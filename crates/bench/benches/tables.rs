@@ -1,0 +1,188 @@
+//! Criterion benches — one group per paper table, on `Scale::Quick`
+//! workloads so a full `cargo bench` stays tractable. The `table*`
+//! binaries are the full-scale reproduction; these benches track relative
+//! solver performance (baseline vs implicit vs explicit) over time.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use csat_bench::{
+    equiv_suite, opt_suite, run_baseline, run_circuit_solver, scan_suite, vliw_suite,
+    CircuitConfig, Scale, Workload,
+};
+use csat_core::{CorrelationMode, ExplicitOptions, SubproblemOrdering};
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+#[derive(Clone, Copy)]
+enum Runner {
+    Baseline,
+    Circuit(CircuitConfig),
+}
+
+fn bench_workload(c: &mut Criterion, group: &str, w: &Workload, configs: &[(&str, Runner)]) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    for (name, runner) in configs {
+        g.bench_function(format!("{}/{name}", w.name), |b| {
+            b.iter_batched(
+                || w.clone(),
+                |w| match runner {
+                    Runner::Baseline => {
+                        let r = run_baseline(&w, TIMEOUT);
+                        assert!(!r.unsound);
+                    }
+                    Runner::Circuit(config) => {
+                        let r = run_circuit_solver(&w, config);
+                        assert!(!r.unsound);
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Tables I & III: UNSAT equiv miters — baseline, plain, jnode, implicit.
+fn t1_t3_equiv(c: &mut Criterion) {
+    let suite = equiv_suite(Scale::Quick);
+    let configs: Vec<(&str, Runner)> = vec![
+        ("zchaff", Runner::Baseline),
+        ("csat", Runner::Circuit(CircuitConfig::plain(TIMEOUT))),
+        ("jnode", Runner::Circuit(CircuitConfig::jnode(TIMEOUT))),
+        ("implicit", Runner::Circuit(CircuitConfig::implicit(TIMEOUT))),
+    ];
+    for w in suite
+        .iter()
+        .filter(|w| matches!(w.name.as_str(), "c1355.equiv" | "c3540.equiv"))
+    {
+        bench_workload(c, "t1_t3_unsat_equiv", w, &configs);
+    }
+}
+
+/// Tables II & IV: SAT VLIW-like — baseline vs implicit.
+fn t2_t4_sat(c: &mut Criterion) {
+    let suite = vliw_suite(Scale::Quick, &[1, 4]);
+    let configs: Vec<(&str, Runner)> = vec![
+        ("zchaff", Runner::Baseline),
+        ("implicit", Runner::Circuit(CircuitConfig::implicit(TIMEOUT))),
+    ];
+    for w in &suite {
+        bench_workload(c, "t2_t4_sat_vliw", w, &configs);
+    }
+}
+
+/// Table V: explicit learning ablation (pair / const / both) + opt suite.
+fn t5_explicit(c: &mut Criterion) {
+    let mut rows = equiv_suite(Scale::Quick);
+    rows.truncate(1);
+    rows.extend(opt_suite(Scale::Quick).into_iter().take(1));
+    let cfg = |mode: CorrelationMode| {
+        Runner::Circuit(CircuitConfig::explicit(
+            ExplicitOptions {
+                mode,
+                ..Default::default()
+            },
+            TIMEOUT,
+        ))
+    };
+    let configs: Vec<(&str, Runner)> = vec![
+        ("pair", cfg(CorrelationMode::Pairs)),
+        ("vs0", cfg(CorrelationMode::Constants)),
+        ("both", cfg(CorrelationMode::Both)),
+    ];
+    for w in &rows {
+        bench_workload(c, "t5_explicit_modes", w, &configs);
+    }
+}
+
+/// Table VI: ordering ablation on the multiplier row.
+fn t6_ordering(c: &mut Criterion) {
+    let suite = equiv_suite(Scale::Quick);
+    let w = &suite[2]; // c3540.equiv: a mid-size multiplier miter
+    let cfg = |ordering: SubproblemOrdering| {
+        Runner::Circuit(CircuitConfig::explicit(
+            ExplicitOptions {
+                ordering,
+                ..Default::default()
+            },
+            TIMEOUT,
+        ))
+    };
+    let configs: Vec<(&str, Runner)> = vec![
+        ("topological", cfg(SubproblemOrdering::Topological)),
+        ("reverse", cfg(SubproblemOrdering::Reverse)),
+        ("random", cfg(SubproblemOrdering::Random(7))),
+    ];
+    bench_workload(c, "t6_ordering", w, &configs);
+}
+
+/// Tables VII & IX: explicit learning on SAT cases (full and partial).
+fn t7_t9_sat_explicit(c: &mut Criterion) {
+    let suite = vliw_suite(Scale::Quick, &[7]);
+    let cfg = |fraction: f64| {
+        Runner::Circuit(CircuitConfig::explicit(
+            ExplicitOptions {
+                fraction,
+                ..Default::default()
+            },
+            TIMEOUT,
+        ))
+    };
+    let configs: Vec<(&str, Runner)> =
+        vec![("frac0.5", cfg(0.5)), ("frac1.0", cfg(1.0))];
+    for w in &suite {
+        bench_workload(c, "t7_t9_sat_explicit", w, &configs);
+    }
+}
+
+/// Table VIII: partial learning sweep on the multiplier row.
+fn t8_partial(c: &mut Criterion) {
+    let suite = equiv_suite(Scale::Quick);
+    let w = &suite[2]; // c3540.equiv
+    let cfg = |fraction: f64| {
+        Runner::Circuit(CircuitConfig::explicit(
+            ExplicitOptions {
+                fraction,
+                ..Default::default()
+            },
+            TIMEOUT,
+        ))
+    };
+    let configs: Vec<(&str, Runner)> = vec![
+        ("frac0.5", cfg(0.5)),
+        ("frac0.9", cfg(0.9)),
+        ("frac1.0", cfg(1.0)),
+    ];
+    bench_workload(c, "t8_partial_learning", w, &configs);
+}
+
+/// Table X: scan-style shallow miters — implicit vs explicit.
+fn t10_scan(c: &mut Criterion) {
+    let suite = scan_suite(Scale::Quick);
+    let configs: Vec<(&str, Runner)> = vec![
+        ("implicit", Runner::Circuit(CircuitConfig::implicit(TIMEOUT))),
+        (
+            "explicit",
+            Runner::Circuit(CircuitConfig::explicit(ExplicitOptions::default(), TIMEOUT)),
+        ),
+    ];
+    for w in suite.iter().take(2) {
+        bench_workload(c, "t10_scan", w, &configs);
+    }
+}
+
+criterion_group!(
+    tables,
+    t1_t3_equiv,
+    t2_t4_sat,
+    t5_explicit,
+    t6_ordering,
+    t7_t9_sat_explicit,
+    t8_partial,
+    t10_scan
+);
+criterion_main!(tables);

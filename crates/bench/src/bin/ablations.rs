@@ -1,0 +1,77 @@
+//! Ablation study over the solver's design choices (beyond the paper's own
+//! ablations in Tables V, VI, VIII and IX):
+//!
+//! * J-node decision restriction on/off (paper: "if we did not treat the
+//!   learned gates as J-nodes, the performance would degrade
+//!   significantly" — here the whole restriction is toggled);
+//! * conflict-clause minimization on/off;
+//! * implicit learning on/off on top of J-node decisions;
+//! * the restart policy (paper rule vs never restarting).
+//!
+//! ```sh
+//! cargo run --release -p csat-bench --bin ablations -- [--quick] [--timeout <secs>]
+//! ```
+
+use csat_bench::report::{parse_args, Table};
+use csat_bench::{equiv_suite, opt_suite, run_circuit_solver, CircuitConfig, LearningMode};
+use csat_core::SolverOptions;
+
+fn main() {
+    let (scale, timeout) = parse_args(120);
+    let mut rows = equiv_suite(scale);
+    rows.truncate(4);
+    rows.extend(opt_suite(scale).into_iter().take(2));
+    let configs: Vec<(&str, SolverOptions, LearningMode)> = vec![
+        (
+            "jnode",
+            SolverOptions::default(),
+            LearningMode::None,
+        ),
+        (
+            "plain-vsids",
+            SolverOptions::plain_csat(),
+            LearningMode::None,
+        ),
+        (
+            "jnode-nomin",
+            SolverOptions {
+                minimize_clauses: false,
+                ..Default::default()
+            },
+            LearningMode::None,
+        ),
+        (
+            "jnode+impl",
+            SolverOptions::with_implicit_learning(),
+            LearningMode::Implicit,
+        ),
+        (
+            "norestart",
+            SolverOptions {
+                restart_threshold: 0.0,
+                ..Default::default()
+            },
+            LearningMode::None,
+        ),
+    ];
+    let mut headers = vec!["circuit".to_string()];
+    headers.extend(configs.iter().map(|(n, ..)| n.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("Ablations: solver design choices (secs)", &header_refs);
+    for w in &rows {
+        let mut cells = vec![w.name.clone()];
+        for (_, options, learning) in &configs {
+            let config = CircuitConfig {
+                options: *options,
+                learning: *learning,
+                timeout,
+            };
+            let r = run_circuit_solver(w, &config);
+            assert!(!r.unsound, "{}: unsound", r.name);
+            cells.push(r.time_cell());
+        }
+        table.row(cells);
+    }
+    table.note("* aborted at the timeout");
+    table.print();
+}

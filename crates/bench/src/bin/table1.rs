@@ -1,0 +1,39 @@
+//! Table I — initial run-time results for UNSAT cases (no correlation
+//! learning): ZChaff-class baseline vs C-SAT vs C-SAT-Jnode on the
+//! `*.equiv` miters.
+
+use csat_bench::report::{parse_args, total_cell, Table};
+use csat_bench::{equiv_suite, run_baseline, run_circuit_solver, CircuitConfig};
+
+fn main() {
+    let (scale, timeout) = parse_args(120);
+    let suite = equiv_suite(scale);
+    let mut table = Table::new(
+        "Table I: initial run time (secs) for UNSAT cases",
+        &["circuit", "zchaff-class", "c-sat", "c-sat-jnode"],
+    );
+    let mut base = Vec::new();
+    let mut plain = Vec::new();
+    let mut jnode = Vec::new();
+    for w in &suite {
+        let b = run_baseline(w, timeout);
+        let p = run_circuit_solver(w, &CircuitConfig::plain(timeout));
+        let j = run_circuit_solver(w, &CircuitConfig::jnode(timeout));
+        for r in [&b, &p, &j] {
+            assert!(!r.unsound, "{}: unsound verdict", r.name);
+        }
+        table.row(vec![w.name.clone(), b.time_cell(), p.time_cell(), j.time_cell()]);
+        base.push(b);
+        plain.push(p);
+        jnode.push(j);
+    }
+    table.separator();
+    table.row(vec![
+        "total".into(),
+        total_cell(&base),
+        total_cell(&plain),
+        total_cell(&jnode),
+    ]);
+    table.note("* aborted at the timeout (paper: 7200 s)");
+    table.print();
+}

@@ -1,0 +1,38 @@
+//! Table II — initial run-time results for SAT cases (no correlation
+//! learning): the VLIW-like mixed circuit+CNF instances.
+
+use csat_bench::report::{parse_args, total_cell, Table};
+use csat_bench::{run_baseline, run_circuit_solver, vliw_suite, CircuitConfig};
+
+fn main() {
+    let (scale, timeout) = parse_args(120);
+    let suite = vliw_suite(scale, &[1, 4, 5, 7, 8, 10]);
+    let mut table = Table::new(
+        "Table II: initial run time (secs) for SAT cases",
+        &["circuit", "zchaff-class", "c-sat", "c-sat-jnode"],
+    );
+    let mut base = Vec::new();
+    let mut plain = Vec::new();
+    let mut jnode = Vec::new();
+    for w in &suite {
+        let b = run_baseline(w, timeout);
+        let p = run_circuit_solver(w, &CircuitConfig::plain(timeout));
+        let j = run_circuit_solver(w, &CircuitConfig::jnode(timeout));
+        for r in [&b, &p, &j] {
+            assert!(!r.unsound, "{}: unsound verdict", r.name);
+        }
+        table.row(vec![w.name.clone(), b.time_cell(), p.time_cell(), j.time_cell()]);
+        base.push(b);
+        plain.push(p);
+        jnode.push(j);
+    }
+    table.separator();
+    table.row(vec![
+        "total".into(),
+        total_cell(&base),
+        total_cell(&plain),
+        total_cell(&jnode),
+    ]);
+    table.note("* aborted at the timeout");
+    table.print();
+}

@@ -1,0 +1,50 @@
+//! Table III — improved results for UNSAT cases with implicit learning:
+//! `*.equiv` and `*.opt` miters, ZChaff-class baseline vs C-SAT-Jnode with
+//! correlation-guided implicit learning; simulation time reported
+//! separately, as in the paper.
+
+use csat_bench::report::{parse_args, total_cell, Table};
+use csat_bench::runner::format_seconds;
+use csat_bench::{equiv_suite, opt_suite, run_baseline, run_circuit_solver, CircuitConfig};
+
+fn main() {
+    let (scale, timeout) = parse_args(120);
+    let mut table = Table::new(
+        "Table III: improved results for UNSAT cases with implicit learning",
+        &["circuit", "zchaff-class", "c-sat-jnode+impl", "simulation"],
+    );
+    for (label, suite) in [
+        ("equiv", equiv_suite(scale)),
+        ("opt", opt_suite(scale)),
+    ] {
+        let mut base = Vec::new();
+        let mut implicit = Vec::new();
+        let mut sim_total = 0.0;
+        for w in &suite {
+            let b = run_baseline(w, timeout);
+            let i = run_circuit_solver(w, &CircuitConfig::implicit(timeout));
+            for r in [&b, &i] {
+                assert!(!r.unsound, "{}: unsound verdict", r.name);
+            }
+            sim_total += i.sim_seconds;
+            table.row(vec![
+                w.name.clone(),
+                b.time_cell(),
+                i.time_cell(),
+                format_seconds(i.sim_seconds),
+            ]);
+            base.push(b);
+            implicit.push(i);
+        }
+        table.separator();
+        table.row(vec![
+            format!("sub-total ({label})"),
+            total_cell(&base),
+            total_cell(&implicit),
+            format_seconds(sim_total),
+        ]);
+        table.separator();
+    }
+    table.note("* aborted at the timeout");
+    table.print();
+}

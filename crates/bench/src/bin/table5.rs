@@ -1,0 +1,97 @@
+//! Table V — improved results for UNSAT cases with explicit learning:
+//! per-correlation-kind ablation ("Signal Pair" / "Signal Vs. 0" / "Both")
+//! with sub-problem counts, on the `*.equiv` and `*.opt` miters including
+//! the multiplier (C6288 stand-in).
+
+use csat_bench::report::{parse_args, total_cell, Table};
+use csat_bench::runner::format_seconds;
+use csat_bench::{equiv_suite, opt_suite, run_baseline, run_circuit_solver, CircuitConfig};
+use csat_core::{CorrelationMode, ExplicitOptions};
+
+fn main() {
+    let (scale, timeout) = parse_args(120);
+    let mut table = Table::new(
+        "Table V: improved results for UNSAT cases with explicit learning",
+        &[
+            "circuit",
+            "zchaff-class",
+            "pair",
+            "pair#",
+            "vs0",
+            "vs0#",
+            "both",
+            "simu",
+        ],
+    );
+    let config = |mode: CorrelationMode| {
+        CircuitConfig::explicit(
+            ExplicitOptions {
+                mode,
+                ..Default::default()
+            },
+            timeout,
+        )
+    };
+    // The multiplier row is split out at the bottom, as in the paper.
+    let mut equiv: Vec<_> = equiv_suite(scale);
+    let c6288 = equiv.pop().expect("multiplier is last");
+    for (label, suite) in [("equiv", equiv), ("opt", opt_suite(scale))] {
+        let mut base = Vec::new();
+        let mut pair = Vec::new();
+        let mut vs0 = Vec::new();
+        let mut both = Vec::new();
+        let mut sim_total = 0.0;
+        for w in &suite {
+            let b = run_baseline(w, timeout);
+            let p = run_circuit_solver(w, &config(CorrelationMode::Pairs));
+            let z = run_circuit_solver(w, &config(CorrelationMode::Constants));
+            let both_r = run_circuit_solver(w, &config(CorrelationMode::Both));
+            for r in [&b, &p, &z, &both_r] {
+                assert!(!r.unsound, "{}: unsound verdict", r.name);
+            }
+            sim_total += both_r.sim_seconds;
+            table.row(vec![
+                w.name.clone(),
+                b.time_cell(),
+                p.time_cell(),
+                p.subproblems.unwrap_or(0).to_string(),
+                z.time_cell(),
+                z.subproblems.unwrap_or(0).to_string(),
+                both_r.time_cell(),
+                format_seconds(both_r.sim_seconds),
+            ]);
+            base.push(b);
+            pair.push(p);
+            vs0.push(z);
+            both.push(both_r);
+        }
+        table.separator();
+        table.row(vec![
+            format!("sub-total ({label})"),
+            total_cell(&base),
+            total_cell(&pair),
+            "".into(),
+            total_cell(&vs0),
+            "".into(),
+            total_cell(&both),
+            format_seconds(sim_total),
+        ]);
+        table.separator();
+    }
+    let b = run_baseline(&c6288, timeout);
+    let p = run_circuit_solver(&c6288, &config(CorrelationMode::Pairs));
+    let z = run_circuit_solver(&c6288, &config(CorrelationMode::Constants));
+    let both_r = run_circuit_solver(&c6288, &config(CorrelationMode::Both));
+    table.row(vec![
+        c6288.name.clone(),
+        b.time_cell(),
+        p.time_cell(),
+        p.subproblems.unwrap_or(0).to_string(),
+        z.time_cell(),
+        z.subproblems.unwrap_or(0).to_string(),
+        both_r.time_cell(),
+        format_seconds(both_r.sim_seconds),
+    ]);
+    table.note("* aborted at the timeout (the paper's ZChaff aborted C6288 at 7200 s)");
+    table.print();
+}

@@ -1,0 +1,59 @@
+//! Table VI — the effect of the explicit-learning sub-problem ordering:
+//! topological vs reverse vs random (paper Section V-A).
+
+use csat_bench::report::{parse_args, total_cell, Table};
+use csat_bench::{equiv_suite, run_circuit_solver, CircuitConfig};
+use csat_core::{ExplicitOptions, SubproblemOrdering};
+
+fn main() {
+    let (scale, timeout) = parse_args(120);
+    let mut suite = equiv_suite(scale);
+    let c6288 = suite.pop().expect("multiplier is last");
+    // The paper's Table VI covers the equiv miters except c1355/c1908 run
+    // them too — keep all rows.
+    let mut table = Table::new(
+        "Table VI: effects from the ordering of explicit learning",
+        &["circuit", "topological", "reverse", "random"],
+    );
+    let config = |ordering: SubproblemOrdering| {
+        CircuitConfig::explicit(
+            ExplicitOptions {
+                ordering,
+                ..Default::default()
+            },
+            timeout,
+        )
+    };
+    let orderings = [
+        SubproblemOrdering::Topological,
+        SubproblemOrdering::Reverse,
+        SubproblemOrdering::Random(0xDA7E),
+    ];
+    let mut per_order: [Vec<csat_bench::RunResult>; 3] = Default::default();
+    for w in &suite {
+        let mut cells = vec![w.name.clone()];
+        for (k, &ordering) in orderings.iter().enumerate() {
+            let r = run_circuit_solver(w, &config(ordering));
+            assert!(!r.unsound, "{}: unsound verdict", r.name);
+            cells.push(r.time_cell());
+            per_order[k].push(r);
+        }
+        table.row(cells);
+    }
+    table.separator();
+    table.row(vec![
+        "sub-total".into(),
+        total_cell(&per_order[0]),
+        total_cell(&per_order[1]),
+        total_cell(&per_order[2]),
+    ]);
+    table.separator();
+    let mut cells = vec![c6288.name.clone()];
+    for &ordering in &orderings {
+        let r = run_circuit_solver(&c6288, &config(ordering));
+        cells.push(r.time_cell());
+    }
+    table.row(cells);
+    table.note("* aborted at the timeout");
+    table.print();
+}

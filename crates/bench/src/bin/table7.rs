@@ -1,0 +1,45 @@
+//! Table VII — run-time degradation for SAT cases in explicit learning
+//! (paper Section V-B): on the partially-CNF VLIW-like instances the
+//! explicit strategy loses its edge.
+
+use csat_bench::report::{parse_args, total_cell, Table};
+use csat_bench::runner::format_seconds;
+use csat_bench::{run_baseline, run_circuit_solver, vliw_suite, CircuitConfig};
+use csat_core::ExplicitOptions;
+
+fn main() {
+    let (scale, timeout) = parse_args(120);
+    let suite = vliw_suite(scale, &[7, 10, 4, 1, 8, 5]);
+    let mut table = Table::new(
+        "Table VII: run time degradation for SAT cases in explicit learning",
+        &["circuit", "zchaff-class", "c-sat-jnode (both)", "simulation"],
+    );
+    let config = CircuitConfig::explicit(ExplicitOptions::default(), timeout);
+    let mut base = Vec::new();
+    let mut exp = Vec::new();
+    let mut sim_total = 0.0;
+    for w in &suite {
+        let b = run_baseline(w, timeout);
+        let e = run_circuit_solver(w, &config);
+        for r in [&b, &e] {
+            assert!(!r.unsound, "{}: unsound verdict", r.name);
+        }
+        sim_total += e.sim_seconds;
+        table.row(vec![
+            w.name.clone(),
+            b.time_cell(),
+            e.time_cell(),
+            format_seconds(e.sim_seconds),
+        ]);
+        base.push(b);
+        exp.push(e);
+    }
+    table.separator();
+    table.row(vec![
+        "total".into(),
+        total_cell(&base),
+        total_cell(&exp),
+        format_seconds(sim_total),
+    ]);
+    table.print();
+}

@@ -1,0 +1,163 @@
+//! Plain-text table rendering for the `table*` binaries.
+
+/// A simple aligned-column table with a title and footnotes.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a separator-style row (rendered as a dashed line).
+    pub fn separator(&mut self) {
+        self.rows.push(Vec::new());
+    }
+
+    /// Adds a footnote below the table.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    out.push_str(&format!("{:<w$}", cell, w = widths[0]));
+                } else {
+                    out.push_str(&format!("  {:>w$}", cell, w = widths[i]));
+                }
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            if row.is_empty() {
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            } else {
+                line(&mut out, row);
+            }
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  {note}\n"));
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Parses the common CLI flags of the table binaries:
+/// `[--quick] [--timeout <secs>]`.
+///
+/// Returns `(scale, timeout_seconds)`. Unknown flags abort with a usage
+/// message.
+pub fn parse_args(default_timeout: u64) -> (crate::workload::Scale, std::time::Duration) {
+    let mut scale = crate::workload::Scale::Full;
+    let mut timeout = default_timeout;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = crate::workload::Scale::Quick,
+            "--timeout" => {
+                timeout = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--timeout requires a number of seconds");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown flag '{other}'; usage: [--quick] [--timeout <secs>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    (scale, std::time::Duration::from_secs(timeout))
+}
+
+/// Sums the seconds of results that completed; returns the paper-style
+/// total cell (timeouts make the total a lower bound, rendered with `>`).
+pub fn total_cell(results: &[crate::runner::RunResult]) -> String {
+    let mut total = 0.0;
+    let mut timed_out = false;
+    for r in results {
+        if r.outcome == crate::runner::RunOutcome::Timeout {
+            timed_out = true;
+        } else {
+            total += r.seconds;
+        }
+    }
+    if timed_out {
+        format!(">{}", crate::runner::format_seconds(total))
+    } else {
+        crate::runner::format_seconds(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["circuit", "time"]);
+        t.row(vec!["c1355.equiv".into(), "3.7".into()]);
+        t.row(vec!["x".into(), "215".into()]);
+        t.separator();
+        t.row(vec!["total".into(), "218.7".into()]);
+        t.note("* aborted");
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("c1355.equiv"));
+        assert!(s.contains("* aborted"));
+        // Header and rows share the first column width.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("circuit"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Solver runners with timing, timeouts and soundness checking.
+
+use std::time::{Duration, Instant};
+
+use csat_core::{explicit, Budget, ExplicitOptions, Solver, SolverOptions, Verdict};
+use csat_netlist::tseitin;
+use csat_sim::{find_correlations, SimulationOptions};
+
+use crate::workload::{Expected, Workload};
+
+/// What a run concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Satisfiable, model verified by simulation.
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+    /// Timeout / budget exhausted (printed as `*`, like the paper's aborts).
+    Timeout,
+}
+
+/// Timing and statistics of one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Workload name.
+    pub name: String,
+    /// Verdict.
+    pub outcome: RunOutcome,
+    /// Solve time in seconds (excluding simulation).
+    pub seconds: f64,
+    /// Random-simulation time in seconds (correlation discovery).
+    pub sim_seconds: f64,
+    /// Number of explicit-learning sub-problems attempted, if applicable.
+    pub subproblems: Option<usize>,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// True when the verdict contradicts the workload's ground truth.
+    pub unsound: bool,
+}
+
+impl RunResult {
+    /// Paper-style cell: seconds with 3 significant digits, or `*`.
+    pub fn time_cell(&self) -> String {
+        match self.outcome {
+            RunOutcome::Timeout => "*".to_string(),
+            _ => format_seconds(self.seconds),
+        }
+    }
+}
+
+/// Formats seconds the way the paper's tables do (2-3 significant digits).
+pub fn format_seconds(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.3}")
+    }
+}
+
+fn check(expected: Expected, outcome: RunOutcome) -> bool {
+    !matches!(
+        (expected, outcome),
+        (_, RunOutcome::Timeout)
+            | (Expected::Sat, RunOutcome::Sat)
+            | (Expected::Unsat, RunOutcome::Unsat)
+    )
+}
+
+/// Runs the ZChaff-class CNF baseline on the Tseitin encoding of the
+/// workload.
+pub fn run_baseline(workload: &Workload, timeout: Duration) -> RunResult {
+    let start = Instant::now();
+    let enc = tseitin::encode_with_objective(&workload.aig, workload.objective);
+    let mut solver = csat_cnf::Solver::new(
+        &enc.cnf,
+        csat_cnf::SolverOptions {
+            max_time: Some(timeout),
+            ..Default::default()
+        },
+    );
+    let outcome = match solver.solve() {
+        csat_cnf::Outcome::Sat(model) => {
+            let inputs = enc.input_values(&workload.aig, &model);
+            let values = workload.aig.evaluate(&inputs);
+            assert!(
+                workload.aig.lit_value(&values, workload.objective),
+                "{}: baseline produced a bogus model",
+                workload.name
+            );
+            RunOutcome::Sat
+        }
+        csat_cnf::Outcome::Unsat => RunOutcome::Unsat,
+        csat_cnf::Outcome::Unknown => RunOutcome::Timeout,
+    };
+    let stats = *solver.stats();
+    RunResult {
+        name: workload.name.clone(),
+        outcome,
+        seconds: start.elapsed().as_secs_f64(),
+        sim_seconds: 0.0,
+        subproblems: None,
+        decisions: stats.decisions,
+        conflicts: stats.conflicts,
+        unsound: check(workload.expected, outcome),
+    }
+}
+
+/// Correlation-learning configuration for [`run_circuit_solver`].
+#[derive(Clone, Copy, Debug, Default)]
+pub enum LearningMode {
+    /// No correlation learning (simulation is skipped entirely).
+    #[default]
+    None,
+    /// Implicit learning only (paper Section IV).
+    Implicit,
+    /// Explicit learning on top of implicit (paper Section V).
+    Explicit(ExplicitOptions),
+    /// Explicit learning without the implicit component (for ablations).
+    ExplicitOnly(ExplicitOptions),
+}
+
+/// Circuit-solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CircuitConfig {
+    /// Base solver options (J-node mode, decay, restarts).
+    pub options: SolverOptions,
+    /// Correlation learning mode.
+    pub learning: LearningMode,
+    /// Wall-clock budget for the final solve.
+    pub timeout: Duration,
+}
+
+impl CircuitConfig {
+    /// C-SAT-Jnode without correlation learning.
+    pub fn jnode(timeout: Duration) -> CircuitConfig {
+        CircuitConfig {
+            options: SolverOptions::default(),
+            learning: LearningMode::None,
+            timeout,
+        }
+    }
+
+    /// The paper's initial C-SAT (plain VSIDS).
+    pub fn plain(timeout: Duration) -> CircuitConfig {
+        CircuitConfig {
+            options: SolverOptions::plain_csat(),
+            learning: LearningMode::None,
+            timeout,
+        }
+    }
+
+    /// C-SAT-Jnode with implicit learning.
+    pub fn implicit(timeout: Duration) -> CircuitConfig {
+        CircuitConfig {
+            options: SolverOptions::with_implicit_learning(),
+            learning: LearningMode::Implicit,
+            timeout,
+        }
+    }
+
+    /// C-SAT-Jnode with implicit + explicit learning.
+    pub fn explicit(options: ExplicitOptions, timeout: Duration) -> CircuitConfig {
+        CircuitConfig {
+            options: SolverOptions::with_implicit_learning(),
+            learning: LearningMode::Explicit(options),
+            timeout,
+        }
+    }
+}
+
+/// Runs the circuit solver on a workload per the configuration.
+///
+/// Simulation time (correlation discovery) is reported separately from
+/// solve time, matching the paper's table layout.
+pub fn run_circuit_solver(workload: &Workload, config: &CircuitConfig) -> RunResult {
+    let mut sim_seconds = 0.0;
+    let mut solver = Solver::new(&workload.aig, config.options);
+    let correlations = match config.learning {
+        LearningMode::None => None,
+        LearningMode::Implicit | LearningMode::Explicit(_) | LearningMode::ExplicitOnly(_) => {
+            let result = find_correlations(&workload.aig, &SimulationOptions::default());
+            sim_seconds = result.elapsed.as_secs_f64();
+            Some(result)
+        }
+    };
+    let start = Instant::now();
+    let mut subproblems = None;
+    match (&config.learning, &correlations) {
+        (LearningMode::Implicit, Some(c)) | (LearningMode::Explicit(_), Some(c)) => {
+            solver.set_correlations(c);
+        }
+        _ => {}
+    }
+    match (&config.learning, &correlations) {
+        (LearningMode::Explicit(opts), Some(c)) | (LearningMode::ExplicitOnly(opts), Some(c)) => {
+            let report = explicit::run(&mut solver, c, opts);
+            subproblems = Some(report.subproblems);
+        }
+        _ => {}
+    }
+    let verdict = solver.solve_with_budget(workload.objective, &Budget::time(config.timeout));
+    let outcome = match verdict {
+        Verdict::Sat(model) => {
+            let values = workload.aig.evaluate(&model);
+            assert!(
+                workload.aig.lit_value(&values, workload.objective),
+                "{}: circuit solver produced a bogus model",
+                workload.name
+            );
+            RunOutcome::Sat
+        }
+        Verdict::Unsat => RunOutcome::Unsat,
+        Verdict::Unknown => RunOutcome::Timeout,
+    };
+    let stats = *solver.stats();
+    RunResult {
+        name: workload.name.clone(),
+        outcome,
+        seconds: start.elapsed().as_secs_f64(),
+        sim_seconds,
+        subproblems,
+        decisions: stats.decisions,
+        conflicts: stats.conflicts,
+        unsound: check(workload.expected, outcome),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{equiv_suite, vliw_suite, Scale};
+
+    const T: Duration = Duration::from_secs(30);
+
+    #[test]
+    fn baseline_agrees_with_ground_truth_on_quick_equiv() {
+        for w in equiv_suite(Scale::Quick).into_iter().take(2) {
+            let r = run_baseline(&w, T);
+            assert!(!r.unsound, "{}: {:?}", r.name, r.outcome);
+        }
+    }
+
+    #[test]
+    fn circuit_solver_all_modes_on_quick_rows() {
+        let suite = equiv_suite(Scale::Quick);
+        let w = &suite[0];
+        for config in [
+            CircuitConfig::jnode(T),
+            CircuitConfig::plain(T),
+            CircuitConfig::implicit(T),
+            CircuitConfig::explicit(ExplicitOptions::default(), T),
+        ] {
+            let r = run_circuit_solver(w, &config);
+            assert!(!r.unsound, "{}: {:?} with {config:?}", r.name, r.outcome);
+        }
+    }
+
+    #[test]
+    fn sat_instances_verify_models() {
+        for w in vliw_suite(Scale::Quick, &[1, 2]) {
+            let r = run_circuit_solver(&w, &CircuitConfig::implicit(T));
+            assert_eq!(r.outcome, RunOutcome::Sat, "{}", r.name);
+            let rb = run_baseline(&w, T);
+            assert_eq!(rb.outcome, RunOutcome::Sat, "{}", rb.name);
+        }
+    }
+
+    #[test]
+    fn explicit_reports_subproblem_count() {
+        let suite = equiv_suite(Scale::Quick);
+        let r = run_circuit_solver(
+            &suite[0],
+            &CircuitConfig::explicit(ExplicitOptions::default(), T),
+        );
+        assert!(r.subproblems.unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn format_seconds_matches_paper_style() {
+        assert_eq!(format_seconds(215.4), "215");
+        assert_eq!(format_seconds(3.812), "3.81");
+        assert_eq!(format_seconds(0.13), "0.130");
+    }
+}

@@ -1,0 +1,36 @@
+//! A ZChaff-class CNF CDCL SAT solver.
+//!
+//! This crate is the *baseline comparator* of the DATE 2003 reproduction:
+//! the paper measures its circuit solver against ZChaff [Moskewicz et al.,
+//! DAC 2001; Zhang et al., ICCAD 2001]. This is a from-scratch CDCL solver
+//! with the same architecture ZChaff introduced:
+//!
+//! * two watched literals per clause,
+//! * VSIDS decision heuristic with periodic activity decay,
+//! * first-UIP conflict analysis with non-chronological backjumping,
+//! * learned-clause database reduction,
+//! * geometric restarts,
+//! * conflict/time budgets (the paper aborts runs at 7200 s).
+//!
+//! # Example
+//!
+//! ```
+//! use csat_cnf::{Outcome, Solver, SolverOptions};
+//! use csat_netlist::cnf::Cnf;
+//!
+//! let cnf = Cnf::from_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n").unwrap();
+//! let mut solver = Solver::new(&cnf, SolverOptions::default());
+//! match solver.solve() {
+//!     Outcome::Sat(model) => assert!(model[1]), // variable 2 must be true
+//!     other => panic!("expected SAT, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod heap;
+pub mod proof;
+mod solver;
+
+pub use solver::{Outcome, Solver, SolverOptions, Stats};

@@ -1,0 +1,220 @@
+//! DRUP-style proof logging and checking for the CNF solver.
+//!
+//! With logging enabled ([`Solver::start_proof`](crate::Solver::start_proof)),
+//! every learned clause is recorded in derivation order. [`verify_unsat`]
+//! replays the log against the original formula with a simple
+//! unit-propagation engine: each logged clause must be *RUP* (asserting its
+//! negation and propagating yields a conflict), and the log must end in a
+//! root-level contradiction. This is the same check DRUP checkers perform,
+//! minus deletion tracking.
+
+use std::error::Error;
+use std::fmt;
+
+use csat_netlist::cnf::{Cnf, Lit};
+
+/// Why a proof failed to check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProofError {
+    /// Index of the offending clause in the log, or `usize::MAX` for the
+    /// final contradiction check.
+    pub step: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proof check failed at step {}: {}", self.step, self.message)
+    }
+}
+
+impl Error for ProofError {}
+
+/// Verifies that `proof` derives unsatisfiability of `cnf`.
+///
+/// # Errors
+///
+/// Returns a [`ProofError`] naming the first clause that is not implied by
+/// reverse unit propagation, or the final step when no contradiction is
+/// reached.
+pub fn verify_unsat(cnf: &Cnf, proof: &[Vec<Lit>]) -> Result<(), ProofError> {
+    let mut checker = Checker::new(cnf);
+    for (step, clause) in proof.iter().enumerate() {
+        if !checker.is_rup(clause) {
+            return Err(ProofError {
+                step,
+                message: format!("clause {clause:?} is not implied by unit propagation"),
+            });
+        }
+        checker.add_clause(clause.clone());
+    }
+    // The formula plus the derived clauses must now be propagation-
+    // contradictory (the empty clause is RUP).
+    if !checker.is_rup(&[]) {
+        return Err(ProofError {
+            step: usize::MAX,
+            message: "proof does not end in a contradiction".to_string(),
+        });
+    }
+    Ok(())
+}
+
+const UNDEF: u8 = 2;
+
+struct Checker {
+    clauses: Vec<Vec<Lit>>,
+    values: Vec<u8>,
+    trail: Vec<Lit>,
+}
+
+impl Checker {
+    fn new(cnf: &Cnf) -> Checker {
+        Checker {
+            clauses: cnf.clauses().to_vec(),
+            values: vec![UNDEF; cnf.num_vars()],
+            trail: Vec::new(),
+        }
+    }
+
+    fn add_clause(&mut self, clause: Vec<Lit>) {
+        self.clauses.push(clause);
+    }
+
+    fn value(&self, lit: Lit) -> u8 {
+        let v = self.values[lit.var().index()];
+        if v == UNDEF {
+            UNDEF
+        } else {
+            v ^ lit.is_negative() as u8
+        }
+    }
+
+    fn assign(&mut self, lit: Lit) {
+        self.values[lit.var().index()] = !lit.is_negative() as u8;
+        self.trail.push(lit);
+    }
+
+    fn is_rup(&mut self, clause: &[Lit]) -> bool {
+        debug_assert!(self.trail.is_empty());
+        let mut conflict = false;
+        for &l in clause {
+            match self.value(!l) {
+                0 => {
+                    conflict = true;
+                    break;
+                }
+                1 => {}
+                _ => self.assign(!l),
+            }
+        }
+        if !conflict {
+            conflict = self.propagate_to_conflict();
+        }
+        for &l in &self.trail {
+            self.values[l.var().index()] = UNDEF;
+        }
+        self.trail.clear();
+        conflict
+    }
+
+    fn propagate_to_conflict(&mut self) -> bool {
+        loop {
+            let mut changed = false;
+            for ci in 0..self.clauses.len() {
+                let mut unassigned: Option<Lit> = None;
+                let mut satisfied = false;
+                let mut free = 0;
+                for k in 0..self.clauses[ci].len() {
+                    let l = self.clauses[ci][k];
+                    match self.value(l) {
+                        1 => {
+                            satisfied = true;
+                            break;
+                        }
+                        UNDEF => {
+                            free += 1;
+                            unassigned = Some(l);
+                        }
+                        _ => {}
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match free {
+                    0 => return true,
+                    1 => {
+                        self.assign(unassigned.expect("free literal"));
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Solver, SolverOptions};
+
+    #[test]
+    fn xor_contradiction_proof_checks() {
+        let cnf = Cnf::from_dimacs(
+            "p cnf 3 6\n1 2 0\n-1 -2 0\n2 3 0\n-2 -3 0\n1 3 0\n-1 -3 0\n",
+        )
+        .expect("dimacs");
+        let mut solver = Solver::new(&cnf, SolverOptions::default());
+        solver.start_proof();
+        assert!(solver.solve().is_unsat());
+        let proof = solver.take_proof();
+        verify_unsat(&cnf, &proof).expect("proof must check");
+    }
+
+    #[test]
+    fn pigeonhole_proof_checks() {
+        // php(4 into 3)
+        let mut cnf = Cnf::with_vars(12);
+        let var = |p: usize, h: usize| csat_netlist::cnf::Var((p * 3 + h) as u32);
+        for p in 0..4 {
+            cnf.add_clause((0..3).map(|h| var(p, h).positive()).collect());
+        }
+        for h in 0..3 {
+            for p1 in 0..4 {
+                for p2 in p1 + 1..4 {
+                    cnf.add_clause(vec![var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        let mut solver = Solver::new(&cnf, SolverOptions::default());
+        solver.start_proof();
+        assert!(solver.solve().is_unsat());
+        let proof = solver.take_proof();
+        assert!(!proof.is_empty());
+        verify_unsat(&cnf, &proof).expect("proof must check");
+    }
+
+    #[test]
+    fn bogus_proof_is_rejected() {
+        let cnf = Cnf::from_dimacs("p cnf 2 1\n1 2 0\n").expect("dimacs");
+        // Fabricated clause that is not RUP.
+        let bogus = vec![vec![Lit::from_dimacs(-1)]];
+        let err = verify_unsat(&cnf, &bogus).unwrap_err();
+        assert_eq!(err.step, 0);
+    }
+
+    #[test]
+    fn incomplete_proof_is_rejected() {
+        let cnf = Cnf::from_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n").expect("dimacs");
+        // Valid-but-useless derivation (unit 2 is RUP) — the formula is
+        // satisfiable, so the final contradiction check must fail.
+        let partial = vec![vec![Lit::from_dimacs(2)]];
+        let err = verify_unsat(&cnf, &partial).unwrap_err();
+        assert_eq!(err.step, usize::MAX);
+    }
+}

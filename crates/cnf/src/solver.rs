@@ -1,0 +1,710 @@
+//! The CDCL solver proper.
+
+use std::time::{Duration, Instant};
+
+use csat_netlist::cnf::{Cnf, Lit, Var};
+
+use crate::heap::ActivityHeap;
+
+/// Result of [`Solver::solve`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// Satisfiable; the model gives one value per variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// Budget (conflicts or wall clock) exhausted before an answer.
+    Unknown,
+}
+
+impl Outcome {
+    /// True for [`Outcome::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Outcome::Sat(_))
+    }
+
+    /// True for [`Outcome::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, Outcome::Unsat)
+    }
+}
+
+/// Tuning knobs and budgets.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverOptions {
+    /// Multiplicative VSIDS decay applied every [`SolverOptions::decay_interval`] conflicts.
+    pub var_decay: f64,
+    /// Conflicts between VSIDS decays (ZChaff decays periodically).
+    pub decay_interval: u64,
+    /// First restart after this many conflicts.
+    pub restart_first: u64,
+    /// Geometric restart growth factor.
+    pub restart_factor: f64,
+    /// Give up after this many conflicts (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Give up after this much wall-clock time (`None` = unlimited).
+    pub max_time: Option<Duration>,
+}
+
+impl Default for SolverOptions {
+    fn default() -> SolverOptions {
+        SolverOptions {
+            var_decay: 0.5,
+            decay_interval: 256,
+            restart_first: 100,
+            restart_factor: 1.5,
+            max_conflicts: None,
+            max_time: None,
+        }
+    }
+}
+
+/// Search statistics, readable after (or during) solving.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learned clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Learned clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+const UNDEF: u8 = 2;
+const NO_REASON: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+/// A CDCL SAT solver over a [`Cnf`].
+///
+/// See the [crate docs](crate) for the architecture; construct with
+/// [`Solver::new`] and call [`Solver::solve`].
+#[derive(Clone, Debug)]
+pub struct Solver {
+    options: SolverOptions,
+    clauses: Vec<Clause>,
+    /// watches[l.code()]: clauses currently watching literal l.
+    watches: Vec<Vec<u32>>,
+    /// Per-variable assignment: 0 false, 1 true, 2 undef.
+    values: Vec<u8>,
+    /// Decision level of each assigned variable.
+    levels: Vec<u32>,
+    /// Reason clause of each implied variable (NO_REASON for decisions).
+    reasons: Vec<u32>,
+    /// Saved phase for decision polarity.
+    phases: Vec<bool>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    bump: f64,
+    heap: ActivityHeap,
+    seen: Vec<bool>,
+    stats: Stats,
+    /// Set when the formula is trivially unsatisfiable at level 0.
+    root_conflict: bool,
+    max_learnts: usize,
+    /// Derivation-ordered log of learned clauses (proof logging).
+    proof_log: Option<Vec<Vec<Lit>>>,
+}
+
+impl Solver {
+    /// Builds a solver for the given formula.
+    ///
+    /// Tautological clauses are dropped and duplicate literals removed.
+    pub fn new(cnf: &Cnf, options: SolverOptions) -> Solver {
+        let num_vars = cnf.num_vars();
+        let mut solver = Solver {
+            options,
+            clauses: Vec::with_capacity(cnf.clauses().len()),
+            watches: vec![Vec::new(); 2 * num_vars],
+            values: vec![UNDEF; num_vars],
+            levels: vec![0; num_vars],
+            reasons: vec![NO_REASON; num_vars],
+            phases: vec![false; num_vars],
+            trail: Vec::with_capacity(num_vars),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; num_vars],
+            bump: 1.0,
+            heap: ActivityHeap::with_capacity(num_vars),
+            seen: vec![false; num_vars],
+            stats: Stats::default(),
+            root_conflict: false,
+            max_learnts: (cnf.clauses().len() / 3).max(1000),
+            proof_log: None,
+        };
+        for clause in cnf.clauses() {
+            let mut lits = clause.clone();
+            lits.sort_unstable();
+            lits.dedup();
+            if lits.windows(2).any(|w| w[0] == !w[1]) {
+                continue; // tautology
+            }
+            // Bump variables appearing in the input so VSIDS starts with
+            // occurrence counts, like ZChaff's literal-count seed.
+            for &l in &lits {
+                solver.activity[l.var().index()] += 1.0;
+            }
+            solver.add_clause_internal(lits, false);
+            if solver.root_conflict {
+                break;
+            }
+        }
+        for v in 0..num_vars as u32 {
+            solver.heap.insert(v, &solver.activity);
+        }
+        solver
+    }
+
+    /// Runs the search.
+    ///
+    /// Returns [`Outcome::Unknown`] only when a budget from
+    /// [`SolverOptions`] ran out.
+    pub fn solve(&mut self) -> Outcome {
+        if self.root_conflict {
+            return Outcome::Unsat;
+        }
+        let start = Instant::now();
+        let mut restart_limit = self.options.restart_first as f64;
+        let mut conflicts_since_restart = 0u64;
+        if self.propagate().is_some() {
+            return Outcome::Unsat;
+        }
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    return Outcome::Unsat;
+                }
+                let (learnt, backjump) = self.analyze(conflict);
+                self.backtrack(backjump);
+                self.learn(learnt);
+                if self.stats.conflicts.is_multiple_of(self.options.decay_interval) {
+                    self.decay_activities();
+                }
+                if self.stats.learnt_clauses as usize > self.max_learnts {
+                    self.reduce_db();
+                }
+                if let Some(max) = self.options.max_conflicts {
+                    if self.stats.conflicts >= max {
+                        return Outcome::Unknown;
+                    }
+                }
+                if let Some(max) = self.options.max_time {
+                    if self.stats.conflicts.is_multiple_of(512) && start.elapsed() >= max {
+                        return Outcome::Unknown;
+                    }
+                }
+            } else {
+                if conflicts_since_restart as f64 >= restart_limit {
+                    conflicts_since_restart = 0;
+                    restart_limit *= self.options.restart_factor;
+                    self.stats.restarts += 1;
+                    self.backtrack(0);
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        let model: Vec<bool> =
+                            self.values.iter().map(|&v| v == 1).collect();
+                        return Outcome::Sat(model);
+                    }
+                    Some(var) => {
+                        self.stats.decisions += 1;
+                        let lit = Lit::new(Var(var), !self.phases[var as usize]);
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(lit, NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Starts recording learned clauses for later checking with
+    /// [`crate::proof::verify_unsat`]. Clears any previous log.
+    pub fn start_proof(&mut self) {
+        self.proof_log = Some(Vec::new());
+    }
+
+    /// Takes the recorded proof log and stops logging.
+    pub fn take_proof(&mut self) -> Vec<Vec<Lit>> {
+        self.proof_log.take().unwrap_or_default()
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn value_of(&self, lit: Lit) -> u8 {
+        let v = self.values[lit.var().index()];
+        if v == UNDEF {
+            UNDEF
+        } else {
+            v ^ lit.is_negative() as u8
+        }
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: u32) {
+        debug_assert_eq!(self.value_of(lit), UNDEF);
+        let var = lit.var().index();
+        self.values[var] = !lit.is_negative() as u8;
+        self.levels[var] = self.decision_level();
+        self.reasons[var] = reason;
+        self.phases[var] = !lit.is_negative();
+        self.trail.push(lit);
+    }
+
+    /// Adds a clause; `lits` must be simplified (no dups, no tautology).
+    fn add_clause_internal(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        match lits.len() {
+            0 => {
+                self.root_conflict = true;
+                NO_REASON
+            }
+            1 => {
+                match self.value_of(lits[0]) {
+                    0 => self.root_conflict = true,
+                    1 => {}
+                    _ => self.enqueue(lits[0], NO_REASON),
+                }
+                NO_REASON
+            }
+            _ => {
+                let index = self.clauses.len() as u32;
+                self.watches[lits[0].code()].push(index);
+                self.watches[lits[1].code()].push(index);
+                self.clauses.push(Clause {
+                    lits,
+                    learnt,
+                    deleted: false,
+                    activity: self.bump,
+                });
+                if learnt {
+                    self.stats.learnt_clauses += 1;
+                }
+                index
+            }
+        }
+    }
+
+    /// Boolean constraint propagation. Returns the conflicting clause.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let falsified = !p;
+            let mut watch_list = std::mem::take(&mut self.watches[falsified.code()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let cref = watch_list[i];
+                let (first, new_watch) = {
+                    let values = &self.values;
+                    let val = |lit: Lit| -> u8 {
+                        let v = values[lit.var().index()];
+                        if v == UNDEF {
+                            UNDEF
+                        } else {
+                            v ^ lit.is_negative() as u8
+                        }
+                    };
+                    let clause = &mut self.clauses[cref as usize];
+                    if clause.deleted {
+                        watch_list.swap_remove(i);
+                        continue;
+                    }
+                    // Normalize: watched literal in position 1.
+                    if clause.lits[0] == falsified {
+                        clause.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(clause.lits[1], falsified);
+                    let first = clause.lits[0];
+                    if val(first) == 1 {
+                        i += 1;
+                        continue; // clause already satisfied
+                    }
+                    // Look for a new literal to watch.
+                    let mut new_watch = None;
+                    for k in 2..clause.lits.len() {
+                        let cand = clause.lits[k];
+                        if val(cand) != 0 {
+                            clause.lits.swap(1, k);
+                            new_watch = Some(cand);
+                            break;
+                        }
+                    }
+                    (first, new_watch)
+                };
+                if let Some(cand) = new_watch {
+                    self.watches[cand.code()].push(cref);
+                    watch_list.swap_remove(i);
+                    continue;
+                }
+                // No replacement: unit or conflict on `first`.
+                if self.value_of(first) == 0 {
+                    self.watches[falsified.code()] = watch_list;
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.enqueue(first, cref);
+                i += 1;
+            }
+            self.watches[falsified.code()] = watch_list;
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
+        let current = self.decision_level();
+        let mut learnt: Vec<Lit> = vec![Lit::new(Var(0), false)]; // placeholder
+        let mut counter = 0usize;
+        let mut confl = conflict;
+        let mut index = self.trail.len();
+        let mut p: Option<Lit> = None;
+        loop {
+            {
+                let clause = &mut self.clauses[confl as usize];
+                clause.activity += 1.0;
+            }
+            let lits: Vec<Lit> = self.clauses[confl as usize].lits.clone();
+            let skip_first = p.is_some();
+            for (k, &q) in lits.iter().enumerate() {
+                if skip_first && k == 0 {
+                    continue;
+                }
+                let v = q.var().index();
+                if !self.seen[v] && self.levels[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.levels[v] == current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                index -= 1;
+                let lit = self.trail[index];
+                if self.seen[lit.var().index()] {
+                    p = Some(lit);
+                    break;
+                }
+            }
+            let p_lit = p.expect("found above");
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p_lit;
+                break;
+            }
+            confl = self.reasons[p_lit.var().index()];
+            debug_assert_ne!(confl, NO_REASON, "non-decision must have a reason");
+            self.seen[p_lit.var().index()] = false;
+        }
+        // Clear flags.
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        // Backjump level: highest level among learnt[1..].
+        let mut backjump = 0;
+        let mut max_pos = 1;
+        for (k, l) in learnt.iter().enumerate().skip(1) {
+            let lv = self.levels[l.var().index()];
+            if lv > backjump {
+                backjump = lv;
+                max_pos = k;
+            }
+        }
+        if learnt.len() > 1 {
+            learnt.swap(1, max_pos);
+        }
+        (learnt, backjump)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level as usize];
+        for k in (target..self.trail.len()).rev() {
+            let lit = self.trail[k];
+            let var = lit.var().index();
+            self.values[var] = UNDEF;
+            self.reasons[var] = NO_REASON;
+            self.heap.insert(lit.var().0, &self.activity);
+        }
+        self.trail.truncate(target);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = target;
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        let assert_lit = learnt[0];
+        if let Some(log) = &mut self.proof_log {
+            log.push(learnt.clone());
+        }
+        if learnt.len() == 1 {
+            debug_assert_eq!(self.decision_level(), 0);
+            if self.value_of(assert_lit) == UNDEF {
+                self.enqueue(assert_lit, NO_REASON);
+            } else if self.value_of(assert_lit) == 0 {
+                self.root_conflict = true;
+            }
+            return;
+        }
+        let cref = self.add_clause_internal(learnt, true);
+        self.enqueue(assert_lit, cref);
+    }
+
+    fn pick_branch_var(&mut self) -> Option<u32> {
+        while let Some(var) = self.heap.pop(&self.activity) {
+            if self.values[var as usize] == UNDEF {
+                return Some(var);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        self.activity[var.index()] += self.bump;
+        if self.activity[var.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.bump *= 1e-100;
+        }
+        self.heap.update(var.0, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        // Dividing all activities is equivalent to growing the bump.
+        self.bump /= self.options.var_decay;
+    }
+
+    /// Removes the lower-activity half of the learned clauses (keeping
+    /// reason clauses and binaries).
+    fn reduce_db(&mut self) {
+        let mut learnt_refs: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                c.learnt && !c.deleted && c.lits.len() > 2
+            })
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .expect("activities are finite")
+        });
+        let locked: Vec<bool> = learnt_refs
+            .iter()
+            .map(|&i| {
+                let c = &self.clauses[i as usize];
+                let l0 = c.lits[0];
+                self.value_of(l0) == 1 && self.reasons[l0.var().index()] == i
+            })
+            .collect();
+        let to_delete = learnt_refs.len() / 2;
+        let mut deleted = 0usize;
+        for (k, &cref) in learnt_refs.iter().enumerate() {
+            if deleted >= to_delete {
+                break;
+            }
+            if locked[k] {
+                continue;
+            }
+            self.clauses[cref as usize].deleted = true;
+            deleted += 1;
+        }
+        self.stats.deleted_clauses += deleted as u64;
+        self.stats.learnt_clauses -= deleted as u64;
+        self.max_learnts = self.max_learnts + self.max_learnts / 10;
+        // Watch lists lazily drop deleted clauses during propagation.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csat_netlist::cnf::Cnf;
+
+    fn solve_text(text: &str) -> Outcome {
+        let cnf = Cnf::from_dimacs(text).expect("dimacs");
+        Solver::new(&cnf, SolverOptions::default()).solve()
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert!(solve_text("p cnf 0 0\n").is_sat());
+    }
+
+    #[test]
+    fn single_unit_is_sat() {
+        match solve_text("p cnf 1 1\n1 0\n") {
+            Outcome::Sat(m) => assert!(m[0]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        assert!(solve_text("p cnf 1 2\n1 0\n-1 0\n").is_unsat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::with_vars(1);
+        cnf.add_clause(vec![]);
+        assert!(Solver::new(&cnf, SolverOptions::default()).solve().is_unsat());
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // a, a->b, b->c, check c forced true.
+        match solve_text("p cnf 3 3\n1 0\n-1 2 0\n-2 3 0\n") {
+            Outcome::Sat(m) => assert_eq!(m, vec![true, true, true]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn xor_chain_unsat() {
+        // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 1 is unsatisfiable.
+        let text = "p cnf 3 12\n1 2 0\n-1 -2 0\n2 3 0\n-2 -3 0\n1 3 0\n-1 -3 0\n";
+        assert!(solve_text(text).is_unsat());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p(i,j): pigeon i in hole j. vars 1..6 = p11 p12 p21 p22 p31 p32.
+        let mut text = String::from("p cnf 6 9\n");
+        text.push_str("1 2 0\n3 4 0\n5 6 0\n"); // each pigeon somewhere
+        // no two pigeons share a hole
+        text.push_str("-1 -3 0\n-1 -5 0\n-3 -5 0\n");
+        text.push_str("-2 -4 0\n-2 -6 0\n-4 -6 0\n");
+        assert!(solve_text(&text).is_unsat());
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        assert!(solve_text("p cnf 2 1\n1 -1 0\n").is_sat());
+    }
+
+    #[test]
+    fn duplicate_literals_are_merged() {
+        match solve_text("p cnf 1 1\n1 1 1 0\n") {
+            Outcome::Sat(m) => assert!(m[0]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_satisfies_formula_on_random_3sat() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for round in 0..30 {
+            let n = 12;
+            let m = rng.gen_range(20..60);
+            let mut cnf = Cnf::with_vars(n);
+            for _ in 0..m {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let v = Var(rng.gen_range(0..n as u32));
+                    clause.push(Lit::new(v, rng.gen_bool(0.5)));
+                }
+                cnf.add_clause(clause);
+            }
+            let outcome = Solver::new(&cnf, SolverOptions::default()).solve();
+            // Cross-check against brute force.
+            let mut brute_sat = false;
+            for code in 0..1u32 << n {
+                let assignment: Vec<bool> = (0..n).map(|i| code >> i & 1 != 0).collect();
+                if cnf.evaluate(&assignment) {
+                    brute_sat = true;
+                    break;
+                }
+            }
+            match outcome {
+                Outcome::Sat(model) => {
+                    assert!(brute_sat, "round {round}: solver SAT, brute UNSAT");
+                    assert!(cnf.evaluate(&model), "round {round}: bogus model");
+                }
+                Outcome::Unsat => assert!(!brute_sat, "round {round}: solver UNSAT, brute SAT"),
+                Outcome::Unknown => panic!("round {round}: unexpected budget exhaustion"),
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown() {
+        // A hard instance with a 1-conflict budget must give Unknown
+        // (pigeonhole 4 into 3).
+        let mut cnf = Cnf::with_vars(12);
+        let var = |p: usize, h: usize| Var((p * 3 + h) as u32);
+        for p in 0..4 {
+            cnf.add_clause((0..3).map(|h| var(p, h).positive()).collect());
+        }
+        for h in 0..3 {
+            for p1 in 0..4 {
+                for p2 in p1 + 1..4 {
+                    cnf.add_clause(vec![var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        let outcome = Solver::new(
+            &cnf,
+            SolverOptions {
+                max_conflicts: Some(1),
+                ..Default::default()
+            },
+        )
+        .solve();
+        assert_eq!(outcome, Outcome::Unknown);
+        // And without the budget it is UNSAT.
+        let outcome = Solver::new(&cnf, SolverOptions::default()).solve();
+        assert!(outcome.is_unsat());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut cnf = Cnf::with_vars(12);
+        let var = |p: usize, h: usize| Var((p * 3 + h) as u32);
+        for p in 0..4 {
+            cnf.add_clause((0..3).map(|h| var(p, h).positive()).collect());
+        }
+        for h in 0..3 {
+            for p1 in 0..4 {
+                for p2 in p1 + 1..4 {
+                    cnf.add_clause(vec![var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        let mut solver = Solver::new(&cnf, SolverOptions::default());
+        let _ = solver.solve();
+        assert!(solver.stats().conflicts > 0);
+        assert!(solver.stats().decisions > 0);
+        assert!(solver.stats().propagations > 0);
+    }
+}

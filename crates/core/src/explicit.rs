@@ -1,0 +1,375 @@
+//! Signal-correlation guided **explicit learning** — the paper's
+//! *incremental learn-from-conflict* strategy (Sections II and V).
+//!
+//! From the correlations discovered by random simulation, a sequence of
+//! likely-unsatisfiable sub-problems is created (`s_i = 1 ∧ s_j = 0` for an
+//! equivalence pair, `s = 1` for a signal correlated to constant 0, ...).
+//! The solver attacks them one at a time **in topological order**, aborting
+//! each after a small number of learned gates (paper: 10). Everything
+//! learned persists in the solver; sub-problems proven unsatisfiable under
+//! their assumptions additionally record the refuted combination as a
+//! learned clause (e.g. proving `s_i=1 ∧ s_j=0` impossible yields
+//! `(¬s_i ∨ s_j)`). Finally the original objective is solved with all the
+//! accumulated knowledge.
+//!
+//! The ordering ablation of Table VI (topological / reverse / random) and
+//! the partial-learning sweep of Tables VIII–IX (only sub-problems below a
+//! topological boundary) are both parameters here.
+
+use csat_netlist::Lit;
+use csat_sim::{Correlation, CorrelationResult, Relation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::options::{Budget, SubVerdict};
+use crate::solver::Solver;
+
+/// Which correlations feed the sub-problem sequence (Table V's columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum CorrelationMode {
+    /// Only pairs of signals ("Signal Pair").
+    Pairs,
+    /// Only correlations with the constant 0 ("Signal Vs. 0").
+    Constants,
+    /// Both kinds ("Both", the paper's best configuration).
+    #[default]
+    Both,
+}
+
+/// Order in which sub-problems are attacked (Table VI).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SubproblemOrdering {
+    /// Topological order — the paper's strategy.
+    #[default]
+    Topological,
+    /// Reverse topological order (the paper's worst case).
+    Reverse,
+    /// Random order with the given seed.
+    Random(u64),
+}
+
+/// Configuration of the explicit-learning pass.
+#[derive(Clone, Copy, Debug)]
+pub struct ExplicitOptions {
+    /// Correlation kinds to use.
+    pub mode: CorrelationMode,
+    /// Sub-problem ordering.
+    pub ordering: SubproblemOrdering,
+    /// Learned-gate budget per sub-problem (paper: 10).
+    pub learned_budget: u64,
+    /// Decision budget per sub-problem. The learned-gate budget only
+    /// bounds *conflicting* searches; a satisfiable sub-problem (a
+    /// correlation that does not actually hold) would otherwise search
+    /// without bound.
+    pub decision_budget: u64,
+    /// Fraction of the circuit (by topological position) whose correlations
+    /// participate, in `[0, 1]` (Tables VIII–IX). 1.0 = all.
+    pub fraction: f64,
+}
+
+impl Default for ExplicitOptions {
+    fn default() -> ExplicitOptions {
+        ExplicitOptions {
+            mode: CorrelationMode::Both,
+            ordering: SubproblemOrdering::Topological,
+            learned_budget: 10,
+            decision_budget: 20_000,
+            fraction: 1.0,
+        }
+    }
+}
+
+/// Outcome of one explicit-learning pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExplicitReport {
+    /// Sub-problems attempted (the paper's "Num." columns).
+    pub subproblems: usize,
+    /// Sub-problems refuted outright (UNSAT under their assumptions).
+    pub refuted: usize,
+    /// Sub-problems aborted at the learned-gate budget.
+    pub aborted: usize,
+    /// Sub-problems that turned out satisfiable.
+    pub satisfiable: usize,
+    /// Whether a global (assumption-free) contradiction was derived — the
+    /// overall instance is UNSAT regardless of the objective.
+    pub proved_root_unsat: bool,
+}
+
+/// The assumption sets of one sub-problem, chosen to be *likely conflicting*
+/// per the correlation (Section II-A's "select those values that are more
+/// likely to cause conflicts").
+///
+/// A pair correlation has two conflicting orientations (`s_a=1 ∧ s_b=0` and
+/// `s_a=0 ∧ s_b=1` for an equivalence); both are attacked so that a refuted
+/// pair yields the *full* equivalence as learned gates — which is what lets
+/// later sub-problems, higher in the topological order, treat the pair as
+/// interchangeable (the incremental cascade of Section II-A).
+fn subproblem_assumptions(c: &Correlation) -> Vec<Vec<Lit>> {
+    if c.is_constant() {
+        match c.relation {
+            // s ≈ 0: try s = 1.
+            Relation::Equal => vec![vec![Lit::new(c.a, false)]],
+            // s ≈ 1: try s = 0.
+            Relation::Opposite => vec![vec![Lit::new(c.a, true)]],
+        }
+    } else {
+        match c.relation {
+            // s_a ≈ s_b: try s_a = 1, s_b = 0, then s_a = 0, s_b = 1.
+            Relation::Equal => vec![
+                vec![Lit::new(c.a, false), Lit::new(c.b, true)],
+                vec![Lit::new(c.a, true), Lit::new(c.b, false)],
+            ],
+            // s_a ≈ ¬s_b: try both equal-value orientations.
+            Relation::Opposite => vec![
+                vec![Lit::new(c.a, false), Lit::new(c.b, false)],
+                vec![Lit::new(c.a, true), Lit::new(c.b, true)],
+            ],
+        }
+    }
+}
+
+/// Runs the explicit-learning pass over the solver.
+///
+/// Call this once (after [`Solver::set_correlations`] if implicit learning
+/// is also wanted) and then [`Solver::solve`] the original objective; the
+/// learned clauses carry over.
+///
+/// # Example
+///
+/// ```
+/// use csat_core::{explicit, ExplicitOptions, Solver, SolverOptions};
+/// use csat_netlist::{generators, miter};
+/// use csat_sim::{find_correlations, SimulationOptions};
+///
+/// let m = miter::self_miter(&generators::ripple_carry_adder(8), Default::default());
+/// let correlations = find_correlations(&m.aig, &SimulationOptions::default());
+/// let mut solver = Solver::new(&m.aig, SolverOptions::with_implicit_learning());
+/// solver.set_correlations(&correlations);
+/// let report = explicit::run(&mut solver, &correlations, &ExplicitOptions::default());
+/// assert!(report.subproblems > 0);
+/// assert!(solver.solve(m.objective).is_unsat());
+/// ```
+pub fn run(
+    solver: &mut Solver<'_>,
+    correlations: &CorrelationResult,
+    options: &ExplicitOptions,
+) -> ExplicitReport {
+    let mut report = ExplicitReport::default();
+    let selected = select_and_order(solver, correlations, options);
+    let budget = Budget {
+        max_learned: Some(options.learned_budget.max(1)),
+        max_decisions: Some(options.decision_budget.max(1)),
+        ..Budget::UNLIMITED
+    };
+    'outer: for c in selected {
+        report.subproblems += 1;
+        let mut any_sat = false;
+        let mut any_abort = false;
+        for assumptions in subproblem_assumptions(&c) {
+            match solver.solve_under(&assumptions, &budget) {
+                // The correlation does not hold on this orientation; the
+                // conflicts hit along the way still taught something.
+                SubVerdict::Sat(_) => any_sat = true,
+                SubVerdict::Aborted => any_abort = true,
+                SubVerdict::UnsatUnderAssumptions(core) => {
+                    // The refuted combination is circuit-implied knowledge:
+                    // record its negation as a learned clause.
+                    let clause: Vec<Lit> = core.iter().map(|&l| !l).collect();
+                    solver.add_learned_clause(clause);
+                }
+                SubVerdict::Unsat => {
+                    report.proved_root_unsat = true;
+                    break 'outer;
+                }
+            }
+        }
+        if any_sat {
+            report.satisfiable += 1;
+        } else if any_abort {
+            report.aborted += 1;
+        } else {
+            report.refuted += 1;
+        }
+    }
+    report
+}
+
+/// Applies the mode filter, the partial-learning boundary and the ordering.
+fn select_and_order(
+    solver: &Solver<'_>,
+    correlations: &CorrelationResult,
+    options: &ExplicitOptions,
+) -> Vec<Correlation> {
+    let n = solver.aig().len();
+    let boundary = ((n as f64) * options.fraction.clamp(0.0, 1.0)) as usize;
+    let mut selected: Vec<Correlation> = correlations
+        .correlations
+        .iter()
+        .copied()
+        .filter(|c| match options.mode {
+            CorrelationMode::Pairs => !c.is_constant(),
+            CorrelationMode::Constants => c.is_constant(),
+            CorrelationMode::Both => true,
+        })
+        // Partial learning: only sub-problems whose topological location is
+        // before the boundary (paper Section V-C).
+        .filter(|c| c.a.index().max(c.b.index()) <= boundary)
+        .collect();
+    // Node indices are topological positions in an Aig.
+    let key = |c: &Correlation| c.a.index().max(c.b.index());
+    match options.ordering {
+        SubproblemOrdering::Topological => selected.sort_by_key(key),
+        SubproblemOrdering::Reverse => {
+            selected.sort_by_key(key);
+            selected.reverse();
+        }
+        SubproblemOrdering::Random(seed) => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Fisher-Yates.
+            for i in (1..selected.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                selected.swap(i, j);
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::SolverOptions;
+    use csat_netlist::{generators, miter};
+    use csat_sim::{find_correlations, SimulationOptions};
+
+    #[test]
+    fn assumptions_pick_conflicting_values() {
+        use csat_netlist::NodeId;
+        let pair_eq = Correlation {
+            a: NodeId::from_index(9),
+            b: NodeId::from_index(4),
+            relation: Relation::Equal,
+        };
+        let orientations = subproblem_assumptions(&pair_eq);
+        // First orientation: s9 = 1, s4 = 0; second is the mirror image.
+        assert_eq!(orientations, vec![
+            vec![
+                Lit::new(NodeId::from_index(9), false),
+                Lit::new(NodeId::from_index(4), true),
+            ],
+            vec![
+                Lit::new(NodeId::from_index(9), true),
+                Lit::new(NodeId::from_index(4), false),
+            ],
+        ]);
+        let const_zero = Correlation {
+            a: NodeId::from_index(7),
+            b: NodeId::FALSE,
+            relation: Relation::Equal,
+        };
+        assert_eq!(
+            subproblem_assumptions(&const_zero),
+            vec![vec![Lit::new(NodeId::from_index(7), false)]]
+        );
+    }
+
+    #[test]
+    fn explicit_learning_keeps_soundness_on_self_miter() {
+        let adder = generators::ripple_carry_adder(6);
+        let m = miter::self_miter(&adder, Default::default());
+        let correlations = find_correlations(&m.aig, &SimulationOptions::default());
+        for ordering in [
+            SubproblemOrdering::Topological,
+            SubproblemOrdering::Reverse,
+            SubproblemOrdering::Random(3),
+        ] {
+            let mut solver = Solver::new(&m.aig, SolverOptions::default());
+            solver.set_correlations(&correlations);
+            let report = run(
+                &mut solver,
+                &correlations,
+                &ExplicitOptions {
+                    ordering,
+                    ..Default::default()
+                },
+            );
+            assert!(report.subproblems > 0, "{ordering:?}");
+            assert!(
+                solver.solve(m.objective).is_unsat(),
+                "{ordering:?} must stay sound"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_learning_keeps_soundness_on_sat_instance() {
+        // A satisfiable mixed instance must stay satisfiable after the
+        // learning pass, and the model must check out.
+        let (aig, objective) = generators::vliw_like(
+            5,
+            &generators::VliwOptions {
+                inputs: 10,
+                core_gates: 120,
+                clauses: 50,
+                clause_width: 3,
+            },
+        );
+        let correlations = find_correlations(&aig, &SimulationOptions::default());
+        let mut solver = Solver::new(&aig, SolverOptions::default());
+        let _ = run(&mut solver, &correlations, &ExplicitOptions::default());
+        match solver.solve(objective) {
+            crate::Verdict::Sat(model) => {
+                let values = aig.evaluate(&model);
+                assert!(aig.lit_value(&values, objective), "model must satisfy");
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fraction_limits_subproblem_count() {
+        let adder = generators::ripple_carry_adder(8);
+        let m = miter::self_miter(&adder, Default::default());
+        let correlations = find_correlations(&m.aig, &SimulationOptions::default());
+        let count_at = |fraction: f64| {
+            let mut solver = Solver::new(&m.aig, SolverOptions::default());
+            run(
+                &mut solver,
+                &correlations,
+                &ExplicitOptions {
+                    fraction,
+                    ..Default::default()
+                },
+            )
+            .subproblems
+        };
+        let half = count_at(0.5);
+        let full = count_at(1.0);
+        assert!(half < full, "half {half} should be < full {full}");
+        assert_eq!(count_at(0.0), 0);
+    }
+
+    #[test]
+    fn mode_filters_correlation_kinds() {
+        let adder = generators::ripple_carry_adder(6);
+        let m = miter::self_miter(&adder, Default::default());
+        let correlations = find_correlations(&m.aig, &SimulationOptions::default());
+        let pairs_total = correlations.pair_correlations().count();
+        let consts_total = correlations.constant_correlations().count();
+        let count = |mode: CorrelationMode| {
+            let mut solver = Solver::new(&m.aig, SolverOptions::default());
+            run(
+                &mut solver,
+                &correlations,
+                &ExplicitOptions {
+                    mode,
+                    ..Default::default()
+                },
+            )
+            .subproblems
+        };
+        assert_eq!(count(CorrelationMode::Pairs), pairs_total);
+        assert_eq!(count(CorrelationMode::Constants), consts_total);
+        assert_eq!(count(CorrelationMode::Both), pairs_total + consts_total);
+    }
+}

@@ -1,0 +1,112 @@
+//! Indexed max-heap over node activities (VSIDS order for the plain C-SAT
+//! decision mode). Mirrors the heap in `csat-cnf`; kept local so the two
+//! solvers stay independently usable.
+
+#[derive(Clone, Debug, Default)]
+pub struct ActivityHeap {
+    heap: Vec<u32>,
+    position: Vec<u32>,
+}
+
+const NOT_IN_HEAP: u32 = u32::MAX;
+
+impl ActivityHeap {
+    pub fn with_capacity(n: usize) -> ActivityHeap {
+        ActivityHeap {
+            heap: Vec::with_capacity(n),
+            position: vec![NOT_IN_HEAP; n],
+        }
+    }
+
+    pub fn contains(&self, item: u32) -> bool {
+        self.position[item as usize] != NOT_IN_HEAP
+    }
+
+    pub fn insert(&mut self, item: u32, activity: &[f64]) {
+        if self.contains(item) {
+            return;
+        }
+        self.position[item as usize] = self.heap.len() as u32;
+        self.heap.push(item);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    pub fn update(&mut self, item: u32, activity: &[f64]) {
+        let pos = self.position[item as usize];
+        if pos != NOT_IN_HEAP {
+            self.sift_up(pos as usize, activity);
+        }
+    }
+
+    pub fn pop(&mut self, activity: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        self.position[top as usize] = NOT_IN_HEAP;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l] as usize] > activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r] as usize] > activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.position[self.heap[i] as usize] = i as u32;
+        self.position[self.heap[j] as usize] = j as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_order_and_updates() {
+        let mut activity = vec![1.0, 5.0, 3.0];
+        let mut h = ActivityHeap::with_capacity(3);
+        for v in 0..3 {
+            h.insert(v, &activity);
+        }
+        assert_eq!(h.pop(&activity), Some(1));
+        activity[0] = 10.0;
+        h.update(0, &activity);
+        assert_eq!(h.pop(&activity), Some(0));
+        assert_eq!(h.pop(&activity), Some(2));
+        assert_eq!(h.pop(&activity), None);
+    }
+}

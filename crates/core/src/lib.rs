@@ -1,0 +1,54 @@
+//! The circuit-based SAT solver of *"A Circuit SAT Solver With Signal
+//! Correlation Guided Learning"* (Lu, Wang, Cheng, Huang — DATE 2003).
+//!
+//! Unlike CNF solvers, this solver works directly on the gate-level netlist
+//! (an [`Aig`](csat_netlist::Aig)) and exploits structure a CNF translation
+//! destroys:
+//!
+//! * **BCP on the AND primitive** via the lookup table in [`implication`]
+//!   (Section IV-A).
+//! * **J-node decisions** ([`SolverOptions::jnode_decisions`]): decisions
+//!   are restricted to inputs of justification-frontier gates, with learned
+//!   gates also treated as J-nodes (Section IV-A).
+//! * **Implicit learning** ([`SolverOptions::implicit_learning`] +
+//!   [`Solver::set_correlations`]): correlated signals are grouped in the
+//!   decision order and assigned the values most likely to conflict
+//!   (Algorithm IV.1).
+//! * **Explicit learning** ([`explicit`]): the incremental
+//!   learn-from-conflict strategy — a topologically ordered sequence of
+//!   likely-UNSAT sub-problems, each aborted after 10 learned gates
+//!   (Section V).
+//! * **Restarts** when the average back-jump distance over 4096 backtracks
+//!   drops below 1.2 (Section IV-A).
+//!
+//! # Example: proving a miter unsatisfiable with both learning modes
+//!
+//! ```
+//! use csat_core::{explicit, ExplicitOptions, Solver, SolverOptions};
+//! use csat_netlist::{generators, miter};
+//! use csat_sim::{find_correlations, SimulationOptions};
+//!
+//! let adder = generators::ripple_carry_adder(8);
+//! let m = miter::self_miter(&adder, Default::default());
+//! let correlations = find_correlations(&m.aig, &SimulationOptions::default());
+//!
+//! let mut solver = Solver::new(&m.aig, SolverOptions::with_implicit_learning());
+//! solver.set_correlations(&correlations);
+//! explicit::run(&mut solver, &correlations, &ExplicitOptions::default());
+//! assert!(solver.solve(m.objective).is_unsat());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explicit;
+mod heap;
+pub mod implication;
+mod options;
+pub mod proof;
+mod solver;
+pub mod sweep;
+
+pub use explicit::{CorrelationMode, ExplicitOptions, ExplicitReport, SubproblemOrdering};
+pub use options::{Budget, SolverOptions, Stats, SubVerdict, Verdict};
+pub use solver::Solver;

@@ -1,0 +1,214 @@
+//! Solver configuration, budgets, statistics and verdicts.
+
+use std::time::Duration;
+
+use csat_netlist::Lit;
+
+/// Configuration of the circuit solver.
+///
+/// The defaults reproduce the paper's **C-SAT-Jnode** configuration without
+/// correlation learning; enable [`SolverOptions::implicit_learning`] (and
+/// feed correlations via
+/// [`Solver::set_correlations`](crate::Solver::set_correlations)) for the
+/// Section IV solver, and drive [`explicit`](crate::explicit) on top for the
+/// Section V solver.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverOptions {
+    /// Restrict decisions to J-node inputs (justification frontier) plus
+    /// learned-gate literals — the paper's C-SAT-Jnode mode. When false,
+    /// plain VSIDS over all signals is used (the paper's initial C-SAT).
+    pub jnode_decisions: bool,
+    /// Enable correlation-guided implicit learning (signal grouping and
+    /// conflict-prone value selection, Algorithm IV.1).
+    pub implicit_learning: bool,
+    /// VSIDS decay divisor applied every [`SolverOptions::decay_interval`]
+    /// conflicts.
+    pub var_decay: f64,
+    /// Conflicts between VSIDS decays.
+    pub decay_interval: u64,
+    /// Backtracks per restart-policy window (paper: 4096).
+    pub restart_window: u64,
+    /// Restart when the average back-jump distance over a window is below
+    /// this (paper: 1.2).
+    pub restart_threshold: f64,
+    /// Apply local conflict-clause minimization (ablation knob; on by
+    /// default).
+    pub minimize_clauses: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> SolverOptions {
+        SolverOptions {
+            jnode_decisions: true,
+            implicit_learning: false,
+            var_decay: 0.5,
+            decay_interval: 256,
+            restart_window: 4096,
+            restart_threshold: 1.2,
+            minimize_clauses: true,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// The paper's initial C-SAT configuration (plain VSIDS, no J-node
+    /// restriction, no correlation learning).
+    pub fn plain_csat() -> SolverOptions {
+        SolverOptions {
+            jnode_decisions: false,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's C-SAT-Jnode configuration with implicit learning on.
+    pub fn with_implicit_learning() -> SolverOptions {
+        SolverOptions {
+            implicit_learning: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Resource budget for one [`solve_under`](crate::Solver::solve_under) call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    /// Stop after this many learned clauses (the paper aborts each explicit
+    /// sub-problem after 10 learned gates).
+    pub max_learned: Option<u64>,
+    /// Stop after this many conflicts.
+    pub max_conflicts: Option<u64>,
+    /// Stop after this many decisions (bounds satisfiable sub-problems,
+    /// whose search is otherwise unbounded by the learned-clause budget).
+    pub max_decisions: Option<u64>,
+    /// Stop after this much wall-clock time.
+    pub max_time: Option<Duration>,
+}
+
+impl Budget {
+    /// No limits.
+    pub const UNLIMITED: Budget = Budget {
+        max_learned: None,
+        max_conflicts: None,
+        max_decisions: None,
+        max_time: None,
+    };
+
+    /// The paper's per-sub-problem budget: abort after `n` learned gates.
+    pub fn learned(n: u64) -> Budget {
+        Budget {
+            max_learned: Some(n),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// Conflict-count budget.
+    pub fn conflicts(n: u64) -> Budget {
+        Budget {
+            max_conflicts: Some(n),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// Wall-clock budget.
+    pub fn time(d: Duration) -> Budget {
+        Budget {
+            max_time: Some(d),
+            ..Budget::UNLIMITED
+        }
+    }
+}
+
+/// Result of a top-level [`Solver::solve`](crate::Solver::solve) call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Satisfiable; one value per primary input, in input order.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// A budget ran out before an answer.
+    Unknown,
+}
+
+impl Verdict {
+    /// True for [`Verdict::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Verdict::Sat(_))
+    }
+
+    /// True for [`Verdict::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, Verdict::Unsat)
+    }
+}
+
+/// Result of an assumption-based
+/// [`Solver::solve_under`](crate::Solver::solve_under) call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubVerdict {
+    /// Satisfiable under the assumptions; model over the primary inputs.
+    Sat(Vec<bool>),
+    /// Unsatisfiable regardless of the assumptions.
+    Unsat,
+    /// Unsatisfiable under the assumptions; the returned literals are a
+    /// subset of the assumptions whose conjunction is refuted.
+    UnsatUnderAssumptions(Vec<Lit>),
+    /// The budget ran out (this is the normal way an explicit-learning
+    /// sub-problem ends).
+    Aborted,
+}
+
+/// Search statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Decisions made.
+    pub decisions: u64,
+    /// Implications (gate or clause) enqueued.
+    pub propagations: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Restarts triggered by the back-jump-average policy.
+    pub restarts: u64,
+    /// Learned clauses currently alive.
+    pub learnt_clauses: u64,
+    /// Learned clauses removed by database reduction.
+    pub deleted_clauses: u64,
+    /// Backtracks performed.
+    pub backtracks: u64,
+    /// Decisions taken by implicit-learning signal grouping.
+    pub grouped_decisions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_jnode_without_learning() {
+        let o = SolverOptions::default();
+        assert!(o.jnode_decisions);
+        assert!(!o.implicit_learning);
+        assert_eq!(o.restart_window, 4096);
+        assert!((o.restart_threshold - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preset_constructors() {
+        assert!(!SolverOptions::plain_csat().jnode_decisions);
+        assert!(SolverOptions::with_implicit_learning().implicit_learning);
+    }
+
+    #[test]
+    fn budget_constructors() {
+        assert_eq!(Budget::learned(10).max_learned, Some(10));
+        assert_eq!(Budget::conflicts(5).max_conflicts, Some(5));
+        assert!(Budget::time(Duration::from_secs(1)).max_time.is_some());
+        assert!(Budget::UNLIMITED.max_learned.is_none());
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert!(Verdict::Sat(vec![]).is_sat());
+        assert!(Verdict::Unsat.is_unsat());
+        assert!(!Verdict::Unknown.is_sat());
+    }
+}

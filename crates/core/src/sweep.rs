@@ -1,0 +1,296 @@
+//! SAT sweeping (fraiging): merge functionally equivalent nodes.
+//!
+//! This is the classic downstream application of exactly the machinery the
+//! paper builds: random simulation proposes equivalence candidates
+//! (Section III), and the circuit solver — with all its correlation-guided
+//! learning — proves or refutes each candidate. Proven-equivalent nodes
+//! are merged, structurally hashing the survivors, which can shrink
+//! redundant netlists dramatically (e.g. a miter of two equivalent
+//! implementations collapses toward one copy plus a constant).
+//!
+//! The prove step is incremental: one solver instance handles every
+//! candidate, so clauses learned refuting early (topologically low)
+//! candidates accelerate the later ones — the incremental
+//! learn-from-conflict strategy put to productive work.
+//!
+//! # Example
+//!
+//! ```
+//! use csat_core::sweep;
+//! use csat_netlist::{generators, miter};
+//!
+//! let m = miter::self_miter(&generators::ripple_carry_adder(6), Default::default());
+//! let result = sweep::fraig(&m.aig, &sweep::FraigOptions::default());
+//! assert!(result.aig.and_count() < m.aig.and_count() / 2);
+//! ```
+
+use csat_netlist::{Aig, Lit, Node};
+use csat_sim::{find_correlations, Relation, SimulationOptions};
+
+use crate::options::{Budget, SolverOptions, SubVerdict};
+use crate::solver::Solver;
+
+/// Configuration for [`fraig`].
+#[derive(Clone, Copy, Debug)]
+pub struct FraigOptions {
+    /// Random-simulation settings for candidate discovery.
+    pub simulation: SimulationOptions,
+    /// Conflict budget per equivalence proof (candidates that exceed it
+    /// stay unmerged).
+    pub proof_conflicts: u64,
+    /// Base solver options for the proving engine.
+    pub solver: SolverOptions,
+}
+
+impl Default for FraigOptions {
+    fn default() -> FraigOptions {
+        FraigOptions {
+            simulation: SimulationOptions::default(),
+            proof_conflicts: 1000,
+            solver: SolverOptions::with_implicit_learning(),
+        }
+    }
+}
+
+/// Result of [`fraig`].
+#[derive(Clone, Debug)]
+pub struct FraigResult {
+    /// The swept circuit (same inputs and outputs, same functions).
+    pub aig: Aig,
+    /// Equivalence candidates proposed by simulation.
+    pub candidates: usize,
+    /// Candidates proven and merged.
+    pub merged: usize,
+    /// Candidates refuted (simulation artifacts).
+    pub refuted: usize,
+    /// Candidates skipped at the conflict budget.
+    pub undecided: usize,
+}
+
+/// Sweeps the circuit, merging all node pairs the solver proves equivalent
+/// (or anti-equivalent) within the budget.
+///
+/// The result has the same interface and functions as the input; the
+/// transformation is verified in this crate's test suite by exhaustive and
+/// randomized equivalence checks.
+pub fn fraig(aig: &Aig, options: &FraigOptions) -> FraigResult {
+    let correlations = find_correlations(aig, &options.simulation);
+    let mut solver = Solver::new(aig, options.solver);
+    solver.set_correlations(&correlations);
+    let budget = Budget::conflicts(options.proof_conflicts.max(1));
+
+    // For every node: the literal (over ORIGINAL node ids) it is proven
+    // equal to, if any. Representatives point at the topologically
+    // earliest member of their proven class.
+    let n = aig.len();
+    let mut proven: Vec<Option<Lit>> = vec![None; n];
+    let mut stats = FraigResult {
+        aig: Aig::new(),
+        candidates: 0,
+        merged: 0,
+        refuted: 0,
+        undecided: 0,
+    };
+
+    // Candidates sorted topologically (correlations already chain class
+    // members in index order; sort for certainty).
+    let mut candidates: Vec<_> = correlations.correlations.clone();
+    candidates.sort_by_key(|c| c.a.index().max(c.b.index()));
+    for c in &candidates {
+        // Later node a against earlier node b (possibly the constant).
+        let (later, earlier) = if c.a.index() >= c.b.index() {
+            (c.a, c.b)
+        } else {
+            (c.b, c.a)
+        };
+        if proven[later.index()].is_some() {
+            continue; // already merged into some representative
+        }
+        stats.candidates += 1;
+        // Resolve the earlier side through existing merges.
+        let target = resolve(&proven, Lit::new(earlier, c.relation == Relation::Opposite));
+        // Prove later == target by refuting both difference orientations.
+        let l = later.lit();
+        let ok1 = matches!(
+            solver.solve_under(&[l, !target], &budget),
+            SubVerdict::UnsatUnderAssumptions(_) | SubVerdict::Unsat
+        );
+        let ok2 = ok1
+            && matches!(
+                solver.solve_under(&[!l, target], &budget),
+                SubVerdict::UnsatUnderAssumptions(_) | SubVerdict::Unsat
+            );
+        if ok2 {
+            proven[later.index()] = Some(target);
+            stats.merged += 1;
+        } else {
+            // Distinguish refuted (SAT found) from budget exhaustion by
+            // re-checking cheaply: a SAT result in either direction is a
+            // refutation.
+            let sat1 = matches!(solver.solve_under(&[l, !target], &Budget::conflicts(1)), SubVerdict::Sat(_));
+            let sat2 = matches!(solver.solve_under(&[!l, target], &Budget::conflicts(1)), SubVerdict::Sat(_));
+            if sat1 || sat2 {
+                stats.refuted += 1;
+            } else {
+                stats.undecided += 1;
+            }
+        }
+    }
+
+    // Mark the logic reachable from the outputs *after* substitution, so
+    // merged-away copies are not rebuilt (dead-node elimination).
+    let mut reachable = vec![false; n];
+    let mut stack: Vec<usize> = aig
+        .outputs()
+        .iter()
+        .map(|&(_, l)| resolve(&proven, l).node().index())
+        .collect();
+    while let Some(i) = stack.pop() {
+        if reachable[i] {
+            continue;
+        }
+        reachable[i] = true;
+        debug_assert!(proven[i].is_none() || i == 0, "reachable nodes are representatives");
+        if let Node::And(a, b) = aig.node(csat_netlist::NodeId::from_index(i)) {
+            stack.push(resolve(&proven, a).node().index());
+            stack.push(resolve(&proven, b).node().index());
+        }
+    }
+
+    // Rebuild the reachable logic, substituting proven representatives.
+    // Primary inputs are always rebuilt so the interface is preserved.
+    let mut out = Aig::new();
+    let mut map = vec![Lit::FALSE; n];
+    for (i, node) in aig.nodes().iter().enumerate() {
+        map[i] = match *node {
+            Node::False => Lit::FALSE,
+            Node::Input => out.input(),
+            Node::And(a, b) => {
+                if let Some(rep) = proven[i] {
+                    let r = resolve(&proven, rep);
+                    map[r.node().index()].xor_complement(r.is_complemented())
+                } else if reachable[i] {
+                    let la = map[a.node().index()].xor_complement(a.is_complemented());
+                    let lb = map[b.node().index()].xor_complement(b.is_complemented());
+                    out.and(la, lb)
+                } else {
+                    Lit::FALSE // dead; never referenced
+                }
+            }
+        };
+    }
+    for (name, l) in aig.outputs() {
+        let r = resolve(&proven, *l);
+        let lit = map[r.node().index()].xor_complement(r.is_complemented());
+        out.set_output(name.clone(), lit);
+    }
+    stats.aig = out;
+    stats
+}
+
+/// Follows proven-equivalence links to the final representative.
+fn resolve(proven: &[Option<Lit>], mut lit: Lit) -> Lit {
+    while let Some(rep) = proven[lit.node().index()] {
+        lit = rep.xor_complement(lit.is_complemented());
+    }
+    lit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csat_netlist::{generators, miter};
+
+    fn exhaustively_equivalent(a: &Aig, b: &Aig) -> bool {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        let n = a.inputs().len();
+        assert!(n <= 18);
+        for code in 0..1u64 << n {
+            let bits: Vec<bool> = (0..n).map(|i| code >> i & 1 != 0).collect();
+            if a.evaluate_outputs(&bits) != b.evaluate_outputs(&bits) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn self_miter_collapses() {
+        let circuit = generators::ripple_carry_adder(6);
+        let m = miter::self_miter(&circuit, Default::default());
+        let result = fraig(&m.aig, &FraigOptions::default());
+        assert!(result.merged > 0);
+        assert!(
+            result.aig.and_count() < m.aig.and_count() / 2,
+            "sweeping should remove the duplicate copy: {} -> {}",
+            m.aig.and_count(),
+            result.aig.and_count()
+        );
+        assert!(exhaustively_equivalent(&m.aig, &result.aig));
+        // The miter output itself is proven constant false.
+        let (_, out) = &result.aig.outputs()[0];
+        assert_eq!(*out, Lit::FALSE);
+    }
+
+    #[test]
+    fn sweeping_preserves_function_on_restructured_pair() {
+        let base = generators::multiply_accumulate(2);
+        let variant = csat_netlist::optimize::restructure_seeded(&base, 9);
+        let m = miter::build_fresh(&base, &variant, Default::default());
+        let result = fraig(&m.aig, &FraigOptions::default());
+        assert!(exhaustively_equivalent(&m.aig, &result.aig));
+    }
+
+    #[test]
+    fn circuit_without_redundancy_is_untouched_functionally() {
+        let circuit = generators::alu(4);
+        let result = fraig(&circuit, &FraigOptions::default());
+        assert!(exhaustively_equivalent(&circuit, &result.aig));
+        // No growth.
+        assert!(result.aig.and_count() <= circuit.and_count());
+    }
+
+    #[test]
+    fn anti_equivalences_merge_too() {
+        // Plant a node and its structural complement.
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let x = g.xor(a, b); // node computes XNOR, literal complemented
+        let p = g.and_fresh(a, !b);
+        let q = g.and_fresh(!a, b);
+        let xn = g.and_fresh(!p, !q); // XNOR as a distinct node
+        g.set_output("x", x);
+        g.set_output("xn", xn);
+        let before = g.and_count();
+        let result = fraig(&g, &FraigOptions::default());
+        assert!(exhaustively_equivalent(&g, &result.aig));
+        assert!(
+            result.aig.and_count() < before,
+            "{} -> {}",
+            before,
+            result.aig.and_count()
+        );
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let m = miter::self_miter(&generators::comparator(5), Default::default());
+        let result = fraig(&m.aig, &FraigOptions::default());
+        assert_eq!(
+            result.candidates,
+            result.merged + result.refuted + result.undecided
+        );
+    }
+
+    #[test]
+    fn zero_budget_sweep_is_safe() {
+        let m = miter::self_miter(&generators::parity_tree(5), Default::default());
+        let options = FraigOptions {
+            proof_conflicts: 0, // clamped to 1
+            ..Default::default()
+        };
+        let result = fraig(&m.aig, &options);
+        assert!(exhaustively_equivalent(&m.aig, &result.aig));
+    }
+}

@@ -1,0 +1,535 @@
+//! Reader and writer for the ISCAS `.bench` netlist format.
+//!
+//! This is the circuit input format the paper assumes ("The input to the
+//! solver is assumed to be in a circuit format (such as the \".bench\"
+//! format)"). Supported gate types: `AND`, `NAND`, `OR`, `NOR`, `XOR`,
+//! `XNOR`, `NOT`, `BUF`/`BUFF`, and `DFF`. All multi-input gates accept any
+//! arity ≥ 1 and are decomposed into the 2-input AND primitive on read.
+//!
+//! `DFF` gates are handled the way the paper handles its `sxxxxx.scan`
+//! benchmarks: "all state holding elements are treated as primary inputs" —
+//! the flip-flop output becomes a fresh primary input and the D pin becomes a
+//! primary output.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), csat_netlist::ParseBenchError> {
+//! let src = "\
+//! INPUT(a)
+//! INPUT(b)
+//! OUTPUT(y)
+//! y = AND(a, b)
+//! ";
+//! let aig = csat_netlist::bench::parse(src)?;
+//! assert_eq!(aig.inputs().len(), 2);
+//! assert_eq!(aig.outputs().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{Aig, Lit, ParseBenchError};
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum GateKind {
+    And,
+    Nand,
+    Or,
+    Nor,
+    Xor,
+    Xnor,
+    Not,
+    Buf,
+    Dff,
+}
+
+impl GateKind {
+    fn from_str(s: &str) -> Option<GateKind> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Some(GateKind::And),
+            "NAND" => Some(GateKind::Nand),
+            "OR" => Some(GateKind::Or),
+            "NOR" => Some(GateKind::Nor),
+            "XOR" => Some(GateKind::Xor),
+            "XNOR" => Some(GateKind::Xnor),
+            "NOT" | "INV" => Some(GateKind::Not),
+            "BUF" | "BUFF" => Some(GateKind::Buf),
+            "DFF" => Some(GateKind::Dff),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct GateDef {
+    kind: GateKind,
+    fanins: Vec<String>,
+    line: usize,
+}
+
+/// Parses a `.bench` netlist into an [`Aig`].
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on syntax errors, unknown gate types, wrong
+/// arities, undefined signals, duplicate definitions, or combinational
+/// cycles.
+pub fn parse(source: &str) -> Result<Aig, ParseBenchError> {
+    let mut inputs: Vec<(String, usize)> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
+    let mut gates: HashMap<String, GateDef> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            inputs.push((rest.to_string(), lineno));
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            outputs.push((rest.to_string(), lineno));
+        } else if let Some(eq) = line.find('=') {
+            let name = line[..eq].trim().to_string();
+            if name.is_empty() {
+                return Err(ParseBenchError::new(lineno, "missing signal name before '='"));
+            }
+            let rhs = line[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| {
+                ParseBenchError::new(lineno, format!("expected gate expression, found '{rhs}'"))
+            })?;
+            if !rhs.ends_with(')') {
+                return Err(ParseBenchError::new(lineno, "missing closing parenthesis"));
+            }
+            let kind_str = rhs[..open].trim();
+            let kind = GateKind::from_str(kind_str).ok_or_else(|| {
+                ParseBenchError::new(lineno, format!("unknown gate type '{kind_str}'"))
+            })?;
+            let args = rhs[open + 1..rhs.len() - 1]
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect::<Vec<_>>();
+            if args.is_empty() {
+                return Err(ParseBenchError::new(lineno, "gate has no fanins"));
+            }
+            let unary = matches!(kind, GateKind::Not | GateKind::Buf | GateKind::Dff);
+            if unary && args.len() != 1 {
+                return Err(ParseBenchError::new(
+                    lineno,
+                    format!("{kind_str} takes exactly one fanin, got {}", args.len()),
+                ));
+            }
+            if gates
+                .insert(
+                    name.clone(),
+                    GateDef {
+                        kind,
+                        fanins: args,
+                        line: lineno,
+                    },
+                )
+                .is_some()
+            {
+                return Err(ParseBenchError::new(
+                    lineno,
+                    format!("signal '{name}' defined more than once"),
+                ));
+            }
+            order.push(name);
+        } else {
+            return Err(ParseBenchError::new(
+                lineno,
+                format!("unrecognized line '{line}'"),
+            ));
+        }
+    }
+
+    let mut aig = Aig::new();
+    let mut signals: HashMap<String, Lit> = HashMap::new();
+
+    for (name, line) in &inputs {
+        if signals.contains_key(name) {
+            return Err(ParseBenchError::new(
+                *line,
+                format!("input '{name}' declared more than once"),
+            ));
+        }
+        let lit = aig.input();
+        signals.insert(name.clone(), lit);
+    }
+
+    // DFF outputs become fresh primary inputs (scan treatment).
+    let mut dff_next: Vec<(String, String)> = Vec::new();
+    for name in &order {
+        let def = &gates[name];
+        if def.kind == GateKind::Dff {
+            if signals.contains_key(name) {
+                return Err(ParseBenchError::new(
+                    def.line,
+                    format!("signal '{name}' defined more than once"),
+                ));
+            }
+            let lit = aig.input();
+            signals.insert(name.clone(), lit);
+            dff_next.push((name.clone(), def.fanins[0].clone()));
+        }
+    }
+
+    // Resolve combinational gates with an explicit stack (no recursion so
+    // deep chains don't overflow), detecting cycles on the way.
+    for name in &order {
+        resolve(name, &gates, &mut signals, &mut aig)?;
+    }
+
+    for (name, line) in &outputs {
+        let lit = *signals.get(name).ok_or_else(|| {
+            ParseBenchError::new(*line, format!("output '{name}' is never defined"))
+        })?;
+        aig.set_output(name.clone(), lit);
+    }
+    for (ff, d) in &dff_next {
+        let lit = *signals.get(d).ok_or_else(|| {
+            ParseBenchError::new(0, format!("dff '{ff}' input '{d}' is never defined"))
+        })?;
+        aig.set_output(format!("{ff}.next"), lit);
+    }
+
+    Ok(aig)
+}
+
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let upper = line.to_ascii_uppercase();
+    if !upper.starts_with(keyword) {
+        return None;
+    }
+    let rest = line[keyword.len()..].trim();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest.trim())
+}
+
+fn resolve(
+    name: &str,
+    gates: &HashMap<String, GateDef>,
+    signals: &mut HashMap<String, Lit>,
+    aig: &mut Aig,
+) -> Result<Lit, ParseBenchError> {
+    if let Some(&lit) = signals.get(name) {
+        return Ok(lit);
+    }
+    // Iterative post-order over the definition DAG.
+    #[derive(Clone)]
+    enum Frame {
+        Visit(String),
+        Build(String),
+    }
+    let mut in_progress: HashMap<String, bool> = HashMap::new();
+    let mut stack = vec![Frame::Visit(name.to_string())];
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Visit(n) => {
+                if signals.contains_key(&n) {
+                    continue;
+                }
+                let def = gates.get(&n).ok_or_else(|| {
+                    ParseBenchError::new(0, format!("signal '{n}' is never defined"))
+                })?;
+                if in_progress.insert(n.clone(), true).is_some() {
+                    return Err(ParseBenchError::new(
+                        def.line,
+                        format!("combinational cycle through signal '{n}'"),
+                    ));
+                }
+                stack.push(Frame::Build(n));
+                for fin in &def.fanins {
+                    if !signals.contains_key(fin) {
+                        stack.push(Frame::Visit(fin.clone()));
+                    }
+                }
+            }
+            Frame::Build(n) => {
+                let def = &gates[&n];
+                let mut fanins = Vec::with_capacity(def.fanins.len());
+                for fin in &def.fanins {
+                    let lit = *signals.get(fin).ok_or_else(|| {
+                        ParseBenchError::new(
+                            def.line,
+                            format!("signal '{fin}' is never defined"),
+                        )
+                    })?;
+                    fanins.push(lit);
+                }
+                let lit = match def.kind {
+                    GateKind::And => aig.and_many(&fanins),
+                    GateKind::Nand => {
+                        let a = aig.and_many(&fanins);
+                        !a
+                    }
+                    GateKind::Or => aig.or_many(&fanins),
+                    GateKind::Nor => {
+                        let o = aig.or_many(&fanins);
+                        !o
+                    }
+                    GateKind::Xor => aig.xor_many(&fanins),
+                    GateKind::Xnor => {
+                        let x = aig.xor_many(&fanins);
+                        !x
+                    }
+                    GateKind::Not => !fanins[0],
+                    GateKind::Buf => fanins[0],
+                    // Handled up front; nothing to build here.
+                    GateKind::Dff => signals[&n],
+                };
+                signals.insert(n, lit);
+            }
+        }
+    }
+    Ok(signals[name])
+}
+
+/// Serializes an [`Aig`] to `.bench` text.
+///
+/// Inputs are named `i<k>`, AND gates `g<node>`, and an inverter wrapper
+/// `g<node>_n` is emitted where a complemented edge feeds a gate or output.
+/// The output parses back to a functionally equivalent netlist (see the
+/// round-trip tests).
+pub fn write(aig: &Aig) -> String {
+    use crate::Node;
+    let mut out = String::new();
+    let _ = writeln!(out, "# generated by csat-netlist");
+    for (k, _) in aig.inputs().iter().enumerate() {
+        let _ = writeln!(out, "INPUT(i{k})");
+    }
+    for (name, _) in aig.outputs() {
+        let _ = writeln!(out, "OUTPUT({name})");
+    }
+    // Name of the positive-polarity signal of each node.
+    let mut pos_name = vec![String::new(); aig.len()];
+    let mut next_input = 0usize;
+    let mut const_needed = false;
+    for (i, node) in aig.nodes().iter().enumerate() {
+        match node {
+            Node::False => pos_name[i] = "const0".to_string(),
+            Node::Input => {
+                pos_name[i] = format!("i{next_input}");
+                next_input += 1;
+            }
+            Node::And(..) => pos_name[i] = format!("g{i}"),
+        }
+    }
+    let mut inverted_emitted = vec![false; aig.len()];
+    let mut body = String::new();
+    let mut lit_name = |l: Lit, body: &mut String, const_needed: &mut bool| -> String {
+        let idx = l.node().index();
+        if idx == 0 {
+            *const_needed = true;
+            return if l.is_complemented() {
+                "const1".to_string()
+            } else {
+                "const0".to_string()
+            };
+        }
+        if !l.is_complemented() {
+            pos_name[idx].clone()
+        } else {
+            let n = format!("{}_n", pos_name[idx]);
+            if !inverted_emitted[idx] {
+                inverted_emitted[idx] = true;
+                let _ = writeln!(body, "{n} = NOT({})", pos_name[idx]);
+            }
+            n
+        }
+    };
+    let mut gate_lines = String::new();
+    for (i, node) in aig.nodes().iter().enumerate() {
+        if let Node::And(a, b) = node {
+            let na = lit_name(*a, &mut body, &mut const_needed);
+            let nb = lit_name(*b, &mut body, &mut const_needed);
+            let _ = writeln!(gate_lines, "g{i} = AND({na}, {nb})");
+        }
+    }
+    let mut output_lines = String::new();
+    for (name, l) in aig.outputs() {
+        let src = lit_name(*l, &mut body, &mut const_needed);
+        let _ = writeln!(output_lines, "{name} = BUF({src})");
+    }
+    if const_needed && !aig.inputs().is_empty() {
+        // const0 = i0 AND NOT i0.
+        let _ = writeln!(out, "i0_inv = NOT(i0)");
+        let _ = writeln!(out, "const0 = AND(i0, i0_inv)");
+        let _ = writeln!(out, "const1 = NOT(const0)");
+    } else if const_needed {
+        // No inputs at all: nothing to derive a constant from; declare one.
+        let _ = writeln!(out, "INPUT(const0)");
+        let _ = writeln!(out, "const1 = NOT(const0)");
+    }
+    out.push_str(&body);
+    out.push_str(&gate_lines);
+    out.push_str(&output_lines);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_netlist() {
+        let src = "\
+# c17-style fragment
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+t1 = NAND(a, b)
+t2 = NAND(b, c)
+y = NAND(t1, t2)
+";
+        let aig = parse(src).expect("parse");
+        assert_eq!(aig.inputs().len(), 3);
+        assert_eq!(aig.outputs().len(), 1);
+        // y = !( !(ab) & !(bc) ) = ab | bc
+        let y = |a: bool, b: bool, c: bool| aig.evaluate_outputs(&[a, b, c])[0];
+        for code in 0..8u32 {
+            let (a, b, c) = (code & 1 != 0, code & 2 != 0, code & 4 != 0);
+            assert_eq!(y(a, b, c), b && (a || c));
+        }
+    }
+
+    #[test]
+    fn parses_out_of_order_definitions() {
+        let src = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = XOR(t, b)
+t = OR(a, b)
+";
+        let aig = parse(src).expect("parse");
+        let y = |a: bool, b: bool| aig.evaluate_outputs(&[a, b])[0];
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(y(a, b), (a || b) ^ b);
+        }
+    }
+
+    #[test]
+    fn parses_multi_input_gates() {
+        let src = "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+y = XOR(a, b, c, d)
+";
+        let aig = parse(src).expect("parse");
+        for code in 0..16u32 {
+            let bits: Vec<bool> = (0..4).map(|i| code >> i & 1 != 0).collect();
+            let expect = bits.iter().filter(|&&v| v).count() % 2 == 1;
+            assert_eq!(aig.evaluate_outputs(&bits)[0], expect);
+        }
+    }
+
+    #[test]
+    fn dff_becomes_input_and_next_state_output() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = AND(a, q)
+y = BUF(q)
+";
+        let aig = parse(src).expect("parse");
+        // a, plus q as pseudo-input.
+        assert_eq!(aig.inputs().len(), 2);
+        // y, plus q.next as pseudo-output.
+        assert_eq!(aig.outputs().len(), 2);
+        assert!(aig.outputs().iter().any(|(n, _)| n == "q.next"));
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let err = parse("INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n").unwrap_err();
+        assert!(err.message.contains("unknown gate type"));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_undefined_signal() {
+        let err = parse("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n").unwrap_err();
+        assert!(err.message.contains("never defined"));
+    }
+
+    #[test]
+    fn rejects_duplicate_definition() {
+        let err = parse("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\ny = NOT(a)\n").unwrap_err();
+        assert!(err.message.contains("more than once"));
+    }
+
+    #[test]
+    fn rejects_combinational_cycle() {
+        let err = parse("INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = BUF(y)\n").unwrap_err();
+        assert!(err.message.contains("cycle"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity_not() {
+        let err = parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n").unwrap_err();
+        assert!(err.message.contains("exactly one"));
+    }
+
+    #[test]
+    fn rejects_garbage_line() {
+        let err = parse("INPUT(a)\nwat is this\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn write_then_parse_is_equivalent() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let x = g.xor(a, b);
+        let m = g.mux(c, x, a);
+        let o = g.or(m, !b);
+        g.set_output("y", o);
+        g.set_output("z", !x);
+        let text = write(&g);
+        let back = parse(&text).expect("reparse");
+        assert_eq!(back.inputs().len(), g.inputs().len());
+        assert_eq!(back.outputs().len(), g.outputs().len());
+        for code in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| code >> i & 1 != 0).collect();
+            assert_eq!(g.evaluate_outputs(&bits), back.evaluate_outputs(&bits));
+        }
+    }
+
+    #[test]
+    fn write_handles_constant_outputs() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let never = g.and(a, !a); // folds to constant false
+        g.set_output("zero", never);
+        let text = write(&g);
+        let back = parse(&text).expect("reparse");
+        assert!(!back.evaluate_outputs(&[false])[0]);
+        assert!(!back.evaluate_outputs(&[true])[0]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n# header\n\nINPUT(a)  # trailing comment\nOUTPUT(y)\ny = BUF(a)\n";
+        let aig = parse(src).expect("parse");
+        assert_eq!(aig.inputs().len(), 1);
+    }
+}

@@ -1,0 +1,386 @@
+//! CNF formulas and DIMACS I/O.
+//!
+//! This is the exchange format between the circuit world and the
+//! [ZChaff-class baseline solver](https://docs.rs/csat-cnf): circuits are
+//! lowered to CNF via [`crate::tseitin`], and CNF problem inputs are lifted
+//! to 2-level OR-AND circuits via [`crate::two_level`], mirroring the paper's
+//! handling of CNF-formatted inputs.
+
+use std::fmt;
+use std::ops::Not;
+
+use crate::ParseDimacsError;
+
+/// A propositional variable, 0-based.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// 0-based index, for dense tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A CNF literal: a variable with a sign, encoded `var << 1 | negated`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Builds a literal from a variable and a sign.
+    #[inline]
+    pub fn new(var: Var, negated: bool) -> Lit {
+        Lit(var.0 << 1 | negated as u32)
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True for a negated literal.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Dense `var << 1 | sign` code.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds a literal from [`Lit::code`].
+    #[inline]
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// DIMACS integer form: `var+1` negated as needed.
+    #[inline]
+    pub fn to_dimacs(self) -> i64 {
+        let v = self.var().0 as i64 + 1;
+        if self.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Parses a DIMACS integer (nonzero) into a literal.
+    #[inline]
+    pub fn from_dimacs(value: i64) -> Lit {
+        debug_assert!(value != 0);
+        let var = Var(value.unsigned_abs() as u32 - 1);
+        Lit::new(var, value < 0)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dimacs())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dimacs())
+    }
+}
+
+/// A CNF formula: a conjunction of clauses over [`Var`]s.
+///
+/// # Example
+///
+/// ```
+/// use csat_netlist::cnf::{Cnf, Lit, Var};
+///
+/// let mut cnf = Cnf::new();
+/// let a = cnf.fresh_var().positive();
+/// let b = cnf.fresh_var().positive();
+/// cnf.add_clause(vec![a, b]);
+/// cnf.add_clause(vec![!a]);
+/// assert_eq!(cnf.num_vars(), 2);
+/// assert_eq!(cnf.clauses().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula with no variables.
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Creates an empty formula over `num_vars` variables.
+    pub fn with_vars(num_vars: usize) -> Cnf {
+        Cnf {
+            num_vars: num_vars as u32,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// The clauses.
+    #[inline]
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Adds one clause, growing the variable count to cover its literals.
+    pub fn add_clause(&mut self, clause: Vec<Lit>) {
+        for l in &clause {
+            self.num_vars = self.num_vars.max(l.var().0 + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Adds a unit clause.
+    pub fn add_unit(&mut self, lit: Lit) {
+        self.add_clause(vec![lit]);
+    }
+
+    /// Evaluates the formula under a full assignment (`assignment[v]` is the
+    /// value of variable `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than [`Cnf::num_vars`].
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|l| assignment[l.var().index()] ^ l.is_negative())
+        })
+    }
+
+    /// Serializes to DIMACS text.
+    pub fn to_dimacs(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for l in clause {
+                let _ = write!(out, "{} ", l.to_dimacs());
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Parses DIMACS text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDimacsError`] on a missing/invalid problem line,
+    /// non-integer tokens, or variables out of the declared range.
+    pub fn from_dimacs(source: &str) -> Result<Cnf, ParseDimacsError> {
+        let mut declared_vars: Option<u32> = None;
+        let mut cnf = Cnf::new();
+        let mut current: Vec<Lit> = Vec::new();
+        for (lineno, raw) in source.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                if declared_vars.is_some() {
+                    return Err(ParseDimacsError::new(lineno, "duplicate problem line"));
+                }
+                let mut parts = rest.split_whitespace();
+                if parts.next() != Some("cnf") {
+                    return Err(ParseDimacsError::new(lineno, "expected 'p cnf <vars> <clauses>'"));
+                }
+                let vars: u32 = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseDimacsError::new(lineno, "invalid variable count"))?;
+                let _clauses: u64 = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseDimacsError::new(lineno, "invalid clause count"))?;
+                declared_vars = Some(vars);
+                cnf.num_vars = vars;
+                continue;
+            }
+            let declared = declared_vars
+                .ok_or_else(|| ParseDimacsError::new(lineno, "clause before problem line"))?;
+            for tok in line.split_whitespace() {
+                let value: i64 = tok.parse().map_err(|_| {
+                    ParseDimacsError::new(lineno, format!("invalid literal '{tok}'"))
+                })?;
+                if value == 0 {
+                    cnf.clauses.push(std::mem::take(&mut current));
+                } else {
+                    if value.unsigned_abs() > declared as u64 {
+                        return Err(ParseDimacsError::new(
+                            lineno,
+                            format!("literal {value} exceeds declared variable count {declared}"),
+                        ));
+                    }
+                    current.push(Lit::from_dimacs(value));
+                }
+            }
+        }
+        if !current.is_empty() {
+            cnf.clauses.push(current);
+        }
+        Ok(cnf)
+    }
+}
+
+impl FromIterator<Vec<Lit>> for Cnf {
+    fn from_iter<I: IntoIterator<Item = Vec<Lit>>>(iter: I) -> Cnf {
+        let mut cnf = Cnf::new();
+        for clause in iter {
+            cnf.add_clause(clause);
+        }
+        cnf
+    }
+}
+
+impl Extend<Vec<Lit>> for Cnf {
+    fn extend<I: IntoIterator<Item = Vec<Lit>>>(&mut self, iter: I) {
+        for clause in iter {
+            self.add_clause(clause);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_dimacs_roundtrip() {
+        for raw in [1i64, -1, 5, -42] {
+            assert_eq!(Lit::from_dimacs(raw).to_dimacs(), raw);
+        }
+        let l = Var(3).positive();
+        assert_eq!(!l, Var(3).negative());
+        assert!(!l.is_negative());
+        assert!((!l).is_negative());
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var().positive();
+        let b = cnf.fresh_var().positive();
+        let c = cnf.fresh_var().positive();
+        cnf.add_clause(vec![a, !b, c]);
+        cnf.add_clause(vec![!a]);
+        cnf.add_clause(vec![b, c]);
+        let text = cnf.to_dimacs();
+        let back = Cnf::from_dimacs(&text).expect("parse");
+        assert_eq!(back, cnf);
+    }
+
+    #[test]
+    fn parses_multiline_clauses_and_comments() {
+        let text = "c a comment\np cnf 3 2\n1 -2\n3 0\n2 3 0\n";
+        let cnf = Cnf::from_dimacs(text).expect("parse");
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.clauses().len(), 2);
+        assert_eq!(cnf.clauses()[0].len(), 3);
+    }
+
+    #[test]
+    fn rejects_clause_before_header() {
+        let err = Cnf::from_dimacs("1 2 0\n").unwrap_err();
+        assert!(err.message.contains("before problem line"));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(Cnf::from_dimacs("p sat 3 2\n").is_err());
+        assert!(Cnf::from_dimacs("p cnf x 2\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_literal() {
+        let err = Cnf::from_dimacs("p cnf 2 1\n3 0\n").unwrap_err();
+        assert!(err.message.contains("exceeds"));
+    }
+
+    #[test]
+    fn rejects_garbage_token() {
+        let err = Cnf::from_dimacs("p cnf 2 1\n1 banana 0\n").unwrap_err();
+        assert!(err.message.contains("invalid literal"));
+    }
+
+    #[test]
+    fn evaluate_checks_all_clauses() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var().positive();
+        let b = cnf.fresh_var().positive();
+        cnf.add_clause(vec![a, b]);
+        cnf.add_clause(vec![!a, b]);
+        assert!(cnf.evaluate(&[true, true]));
+        assert!(cnf.evaluate(&[false, true]));
+        assert!(!cnf.evaluate(&[true, false]));
+        assert!(!cnf.evaluate(&[false, false]));
+    }
+
+    #[test]
+    fn add_clause_grows_vars() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause(vec![Lit::from_dimacs(7)]);
+        assert_eq!(cnf.num_vars(), 7);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let clauses = vec![vec![Lit::from_dimacs(1)], vec![Lit::from_dimacs(-2)]];
+        let mut cnf: Cnf = clauses.clone().into_iter().collect();
+        assert_eq!(cnf.clauses().len(), 2);
+        cnf.extend(vec![vec![Lit::from_dimacs(3)]]);
+        assert_eq!(cnf.clauses().len(), 3);
+        assert_eq!(cnf.num_vars(), 3);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for the netlist parsers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing an ISCAS `.bench` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchError {
+    /// 1-based line on which the problem was found.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseBenchError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> ParseBenchError {
+        ParseBenchError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bench parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseBenchError {}
+
+/// Error produced while parsing a DIMACS CNF file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line on which the problem was found.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseDimacsError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> ParseDimacsError {
+        ParseDimacsError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ParseBenchError::new(3, "unknown gate type 'FOO'");
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("unknown gate type"));
+        let e = ParseDimacsError::new(1, "missing problem line");
+        assert!(e.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseBenchError>();
+        assert_send_sync::<ParseDimacsError>();
+    }
+}

@@ -1,0 +1,199 @@
+//! Additional adder and shifter architectures: Kogge-Stone prefix adder,
+//! conditional-sum adder, and a barrel shifter. Together with the adders in
+//! [`super::arith`] these give many functionally equivalent, structurally
+//! different implementations for equivalence-checking workloads.
+
+use crate::{Aig, Lit};
+
+/// `n`-bit Kogge-Stone parallel-prefix adder, interface-compatible with
+/// [`super::ripple_carry_adder`] (inputs `a[n]`, `b[n]`, `cin`; outputs
+/// `sum[n]`, `cout`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn kogge_stone_adder(n: usize) -> Aig {
+    assert!(n > 0, "adder width must be positive");
+    let mut g = Aig::new();
+    let a = g.inputs_n(n);
+    let b = g.inputs_n(n);
+    let cin = g.input();
+    // Bit-level generate/propagate, with cin folded into position 0 as an
+    // extra (g, p) pair at a virtual position -1.
+    let mut gen: Vec<Lit> = (0..n).map(|i| g.and(a[i], b[i])).collect();
+    let mut prop: Vec<Lit> = (0..n).map(|i| g.xor(a[i], b[i])).collect();
+    let sum_prop = prop.clone();
+    // Fold cin: g0' = g0 | p0 & cin.
+    let p0cin = g.and(prop[0], cin);
+    gen[0] = g.or(gen[0], p0cin);
+    // Kogge-Stone prefix tree: at distance d, (g,p)[i] ∘= (g,p)[i-d].
+    let mut d = 1;
+    while d < n {
+        let mut next_gen = gen.clone();
+        let mut next_prop = prop.clone();
+        for i in d..n {
+            let pg = g.and(prop[i], gen[i - d]);
+            next_gen[i] = g.or(gen[i], pg);
+            next_prop[i] = g.and(prop[i], prop[i - d]);
+        }
+        gen = next_gen;
+        prop = next_prop;
+        d *= 2;
+    }
+    // carries[i] = carry INTO bit i.
+    for i in 0..n {
+        let carry_in = if i == 0 { cin } else { gen[i - 1] };
+        let s = g.xor(sum_prop[i], carry_in);
+        g.set_output(format!("sum{i}"), s);
+    }
+    g.set_output("cout", gen[n - 1]);
+    g
+}
+
+/// `n`-bit conditional-sum adder (recursive carry-select with halving
+/// blocks), interface-compatible with [`super::ripple_carry_adder`].
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn conditional_sum_adder(n: usize) -> Aig {
+    assert!(n > 0, "adder width must be positive");
+    let mut g = Aig::new();
+    let a = g.inputs_n(n);
+    let b = g.inputs_n(n);
+    let cin = g.input();
+    let (sums, cout) = cond_sum(&mut g, &a, &b, cin);
+    for (i, &s) in sums.iter().enumerate() {
+        g.set_output(format!("sum{i}"), s);
+    }
+    g.set_output("cout", cout);
+    g
+}
+
+/// Recursive conditional-sum: returns (sums, carry-out).
+fn cond_sum(g: &mut Aig, a: &[Lit], b: &[Lit], cin: Lit) -> (Vec<Lit>, Lit) {
+    if a.len() == 1 {
+        let (s, c) = g.full_adder(a[0], b[0], cin);
+        return (vec![s], c);
+    }
+    let mid = a.len() / 2;
+    let (lo_s, lo_c) = cond_sum(g, &a[..mid], &b[..mid], cin);
+    // Upper half computed for both carry-in assumptions.
+    let (hi_s0, hi_c0) = cond_sum(g, &a[mid..], &b[mid..], Lit::FALSE);
+    let (hi_s1, hi_c1) = cond_sum(g, &a[mid..], &b[mid..], Lit::TRUE);
+    let mut sums = lo_s;
+    for k in 0..hi_s0.len() {
+        sums.push(g.mux(lo_c, hi_s1[k], hi_s0[k]));
+    }
+    let cout = g.mux(lo_c, hi_c1, hi_c0);
+    (sums, cout)
+}
+
+/// `n`-bit logical barrel shifter: inputs `x[n]`, `sh[log2ceil(n)]`;
+/// outputs `y[n] = x << sh` (zero fill, shift amounts ≥ n yield zero).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn barrel_shifter(n: usize) -> Aig {
+    assert!(n >= 2, "shifter width must be at least 2");
+    let stages = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+    let mut g = Aig::new();
+    let x = g.inputs_n(n);
+    let sh = g.inputs_n(stages);
+    let mut current = x;
+    for (k, &s) in sh.iter().enumerate() {
+        let amount = 1usize << k;
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            let shifted = if i >= amount {
+                current[i - amount]
+            } else {
+                Lit::FALSE
+            };
+            next.push(g.mux(s, shifted, current[i]));
+        }
+        current = next;
+    }
+    for (i, &y) in current.iter().enumerate() {
+        g.set_output(format!("y{i}"), y);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adder_reference(aig: &Aig, n: usize) {
+        let bits = 2 * n + 1;
+        for code in 0..1u64 << bits {
+            let assignment: Vec<bool> = (0..bits).map(|i| code >> i & 1 != 0).collect();
+            let a: u64 = (0..n).map(|i| (assignment[i] as u64) << i).sum();
+            let b: u64 = (0..n).map(|i| (assignment[n + i] as u64) << i).sum();
+            let cin = assignment[2 * n] as u64;
+            let out = aig.evaluate_outputs(&assignment);
+            let got: u64 = (0..=n).map(|i| (out[i] as u64) << i).sum();
+            assert_eq!(got, a + b + cin, "a={a} b={b} cin={cin}");
+        }
+    }
+
+    #[test]
+    fn kogge_stone_is_correct() {
+        for n in 1..=5 {
+            adder_reference(&kogge_stone_adder(n), n);
+        }
+    }
+
+    #[test]
+    fn conditional_sum_is_correct() {
+        for n in 1..=5 {
+            adder_reference(&conditional_sum_adder(n), n);
+        }
+    }
+
+    #[test]
+    fn adder_architectures_differ_structurally() {
+        let ks = kogge_stone_adder(8);
+        let cs = conditional_sum_adder(8);
+        let rc = super::super::ripple_carry_adder(8);
+        assert_ne!(ks.nodes(), cs.nodes());
+        assert_ne!(ks.nodes(), rc.nodes());
+        assert_ne!(cs.nodes(), rc.nodes());
+    }
+
+    #[test]
+    fn barrel_shifter_matches_reference() {
+        let n = 8;
+        let g = barrel_shifter(n);
+        let stages = 3;
+        for code in 0..1u64 << (n + stages) {
+            let assignment: Vec<bool> =
+                (0..n + stages).map(|i| code >> i & 1 != 0).collect();
+            let x: u64 = (0..n).map(|i| (assignment[i] as u64) << i).sum();
+            let sh: u64 = (0..stages).map(|i| (assignment[n + i] as u64) << i).sum();
+            let expect = if sh >= n as u64 { 0 } else { (x << sh) & 0xFF };
+            let out = g.evaluate_outputs(&assignment);
+            let got: u64 = (0..n).map(|i| (out[i] as u64) << i).sum();
+            assert_eq!(got, expect, "x={x} sh={sh}");
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_odd_width() {
+        let n = 5;
+        let g = barrel_shifter(n);
+        let stages = 3; // ceil(log2(5))
+        assert_eq!(g.inputs().len(), n + stages);
+        for code in 0..1u64 << (n + stages) {
+            let assignment: Vec<bool> =
+                (0..n + stages).map(|i| code >> i & 1 != 0).collect();
+            let x: u64 = (0..n).map(|i| (assignment[i] as u64) << i).sum();
+            let sh: u64 = (0..stages).map(|i| (assignment[n + i] as u64) << i).sum();
+            let expect = if sh >= n as u64 { 0 } else { (x << sh) & 0x1F };
+            let out = g.evaluate_outputs(&assignment);
+            let got: u64 = (0..n).map(|i| (out[i] as u64) << i).sum();
+            assert_eq!(got, expect, "x={x} sh={sh}");
+        }
+    }
+}

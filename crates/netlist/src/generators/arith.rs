@@ -1,0 +1,465 @@
+//! Arithmetic circuit generators: adders and multipliers.
+
+use crate::{Aig, Lit};
+
+/// `n`-bit ripple-carry adder: inputs `a[n]`, `b[n]`, `cin`; outputs
+/// `sum[n]`, `cout`.
+///
+/// Input order is `a0..a(n-1), b0..b(n-1), cin`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_carry_adder(n: usize) -> Aig {
+    assert!(n > 0, "adder width must be positive");
+    let mut g = Aig::new();
+    let a = g.inputs_n(n);
+    let b = g.inputs_n(n);
+    let cin = g.input();
+    let mut carry = cin;
+    for i in 0..n {
+        let (s, c) = g.full_adder(a[i], b[i], carry);
+        g.set_output(format!("sum{i}"), s);
+        carry = c;
+    }
+    g.set_output("cout", carry);
+    g
+}
+
+/// `n`-bit carry-lookahead adder (prefix form), interface-compatible with
+/// [`ripple_carry_adder`].
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn carry_lookahead_adder(n: usize) -> Aig {
+    assert!(n > 0, "adder width must be positive");
+    let mut g = Aig::new();
+    let a = g.inputs_n(n);
+    let b = g.inputs_n(n);
+    let cin = g.input();
+    // Generate/propagate per bit, then carries by explicit expansion:
+    // c[i+1] = g[i] | p[i] & c[i], unrolled as a flat OR of AND chains —
+    // the classic lookahead structure (structurally unlike the ripple
+    // chain).
+    let gen: Vec<Lit> = (0..n).map(|i| g.and(a[i], b[i])).collect();
+    let prop: Vec<Lit> = (0..n).map(|i| g.xor(a[i], b[i])).collect();
+    let mut carries = Vec::with_capacity(n + 1);
+    carries.push(cin);
+    for i in 0..n {
+        // c[i+1] = g[i] | p[i]g[i-1] | p[i]p[i-1]g[i-2] | ... | p[i..0]cin
+        let mut terms = vec![gen[i]];
+        let mut prefix = prop[i];
+        for j in (0..i).rev() {
+            terms.push(g.and(prefix, gen[j]));
+            prefix = g.and(prefix, prop[j]);
+        }
+        terms.push(g.and(prefix, cin));
+        carries.push(g.or_many(&terms));
+    }
+    for i in 0..n {
+        let s = g.xor(prop[i], carries[i]);
+        g.set_output(format!("sum{i}"), s);
+    }
+    g.set_output("cout", carries[n]);
+    g
+}
+
+/// `n`-bit carry-select adder with blocks of `block` bits,
+/// interface-compatible with [`ripple_carry_adder`].
+///
+/// Each block is computed twice (carry-in 0 and 1) and selected by the
+/// incoming carry.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `block == 0`.
+pub fn carry_select_adder(n: usize, block: usize) -> Aig {
+    assert!(n > 0, "adder width must be positive");
+    assert!(block > 0, "block size must be positive");
+    let mut g = Aig::new();
+    let a = g.inputs_n(n);
+    let b = g.inputs_n(n);
+    let cin = g.input();
+    let mut sums = vec![Lit::FALSE; n];
+    let mut carry = cin;
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + block).min(n);
+        // Version with carry-in 0.
+        let mut c0 = Lit::FALSE;
+        let mut s0 = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            let (s, c) = g.full_adder(a[i], b[i], c0);
+            s0.push(s);
+            c0 = c;
+        }
+        // Version with carry-in 1.
+        let mut c1 = Lit::TRUE;
+        let mut s1 = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            let (s, c) = g.full_adder(a[i], b[i], c1);
+            s1.push(s);
+            c1 = c;
+        }
+        for (k, i) in (lo..hi).enumerate() {
+            sums[i] = g.mux(carry, s1[k], s0[k]);
+        }
+        carry = g.mux(carry, c1, c0);
+        lo = hi;
+    }
+    for (i, &s) in sums.iter().enumerate() {
+        g.set_output(format!("sum{i}"), s);
+    }
+    g.set_output("cout", carry);
+    g
+}
+
+/// `n`×`n` ripple **array multiplier**: inputs `a[n]`, `b[n]`; outputs
+/// `p[2n]`.
+///
+/// At `n = 16` this is structurally the ISCAS-85 C6288 circuit (a 16×16
+/// array multiplier), the paper's showcase hard instance.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn array_multiplier(n: usize) -> Aig {
+    assert!(n > 0, "multiplier width must be positive");
+    let mut g = Aig::new();
+    let a = g.inputs_n(n);
+    let b = g.inputs_n(n);
+    // Row-by-row accumulation with ripple carries inside each row.
+    // acc holds bits j.. of the running sum (2n bits).
+    let mut acc = vec![Lit::FALSE; 2 * n];
+    for (i, &ai) in a.iter().enumerate() {
+        let pp: Vec<Lit> = b.iter().map(|&bj| g.and(ai, bj)).collect();
+        let mut carry = Lit::FALSE;
+        for (j, &p) in pp.iter().enumerate() {
+            let (s, c) = add3(&mut g, acc[i + j], p, carry);
+            acc[i + j] = s;
+            carry = c;
+        }
+        // Propagate the final carry into the higher bits.
+        let mut k = i + n;
+        while carry != Lit::FALSE && k < 2 * n {
+            let (s, c) = g.half_adder(acc[k], carry);
+            acc[k] = s;
+            carry = c;
+            k += 1;
+        }
+    }
+    for (j, &p) in acc.iter().enumerate() {
+        g.set_output(format!("p{j}"), p);
+    }
+    g
+}
+
+/// `n`×`n` **carry-save multiplier**: column-wise (Dadda-style) reduction of
+/// all partial products with full adders, then one final ripple adder.
+///
+/// Functionally identical to [`array_multiplier`] but structurally very
+/// different — together they form the multiplier `.opt`-style miter.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn carry_save_multiplier(n: usize) -> Aig {
+    assert!(n > 0, "multiplier width must be positive");
+    let mut g = Aig::new();
+    let a = g.inputs_n(n);
+    let b = g.inputs_n(n);
+    let mut columns: Vec<Vec<Lit>> = vec![Vec::new(); 2 * n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let p = g.and(ai, bj);
+            columns[i + j].push(p);
+        }
+    }
+    // Reduce every column to at most two bits.
+    let mut j = 0;
+    while j < columns.len() {
+        while columns[j].len() > 2 {
+            if columns[j].len() >= 3 {
+                let x = columns[j].pop().expect("len checked");
+                let y = columns[j].pop().expect("len checked");
+                let z = columns[j].pop().expect("len checked");
+                let (s, c) = g.full_adder(x, y, z);
+                columns[j].push(s);
+                if j + 1 < columns.len() {
+                    columns[j + 1].push(c);
+                }
+            }
+        }
+        j += 1;
+    }
+    // Final ripple addition of the two remaining rows.
+    let mut carry = Lit::FALSE;
+    let mut product = Vec::with_capacity(2 * n);
+    for col in &columns {
+        let x = col.first().copied().unwrap_or(Lit::FALSE);
+        let y = col.get(1).copied().unwrap_or(Lit::FALSE);
+        let (s, c) = add3(&mut g, x, y, carry);
+        product.push(s);
+        carry = c;
+    }
+    for (j, &p) in product.iter().enumerate() {
+        g.set_output(format!("p{j}"), p);
+    }
+    g
+}
+
+/// Full adder that exploits constant inputs (builder folding keeps the
+/// graph small when one operand is the constant).
+fn add3(g: &mut Aig, x: Lit, y: Lit, z: Lit) -> (Lit, Lit) {
+    if x == Lit::FALSE {
+        return g.half_adder(y, z);
+    }
+    if y == Lit::FALSE {
+        return g.half_adder(x, z);
+    }
+    if z == Lit::FALSE {
+        return g.half_adder(x, y);
+    }
+    g.full_adder(x, y, z)
+}
+
+/// `m`×`n` rectangular ripple array multiplier: inputs `a[m]`, `b[n]`;
+/// outputs `p[m+n]`.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n == 0`.
+pub fn rect_multiplier(m: usize, n: usize) -> Aig {
+    assert!(m > 0 && n > 0, "multiplier width must be positive");
+    let mut g = Aig::new();
+    let a = g.inputs_n(m);
+    let b = g.inputs_n(n);
+    let mut acc = vec![Lit::FALSE; m + n];
+    for (i, &ai) in a.iter().enumerate() {
+        let pp: Vec<Lit> = b.iter().map(|&bj| g.and(ai, bj)).collect();
+        let mut carry = Lit::FALSE;
+        for (j, &p) in pp.iter().enumerate() {
+            let (s, c) = add3(&mut g, acc[i + j], p, carry);
+            acc[i + j] = s;
+            carry = c;
+        }
+        let mut k = i + n;
+        while carry != Lit::FALSE && k < m + n {
+            let (s, c) = g.half_adder(acc[k], carry);
+            acc[k] = s;
+            carry = c;
+            k += 1;
+        }
+    }
+    for (j, &p) in acc.iter().enumerate() {
+        g.set_output(format!("p{j}"), p);
+    }
+    g
+}
+
+/// `n`-bit squarer (`a * a`): inputs `a[n]`; outputs `p[2n]`.
+///
+/// Structurally an array multiplier whose two operands share the same
+/// inputs, which creates heavy reconvergent fanout.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn squarer(n: usize) -> Aig {
+    assert!(n > 0, "squarer width must be positive");
+    let mut g = Aig::new();
+    let a = g.inputs_n(n);
+    let mut acc = vec![Lit::FALSE; 2 * n];
+    for (i, &ai) in a.iter().enumerate() {
+        let pp: Vec<Lit> = a.iter().map(|&aj| g.and(ai, aj)).collect();
+        let mut carry = Lit::FALSE;
+        for (j, &p) in pp.iter().enumerate() {
+            let (s, c) = add3(&mut g, acc[i + j], p, carry);
+            acc[i + j] = s;
+            carry = c;
+        }
+        let mut k = i + n;
+        while carry != Lit::FALSE && k < 2 * n {
+            let (s, c) = g.half_adder(acc[k], carry);
+            acc[k] = s;
+            carry = c;
+            k += 1;
+        }
+    }
+    for (j, &p) in acc.iter().enumerate() {
+        g.set_output(format!("p{j}"), p);
+    }
+    g
+}
+
+/// `n`×`n` multiply-accumulate: inputs `a[n]`, `b[n]`, `c[2n]`; outputs
+/// `p[2n]` with `p = a*b + c` (mod `2^(2n)`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn multiply_accumulate(n: usize) -> Aig {
+    assert!(n > 0, "mac width must be positive");
+    let mut g = Aig::new();
+    let a = g.inputs_n(n);
+    let b = g.inputs_n(n);
+    let c = g.inputs_n(2 * n);
+    let mut acc: Vec<Lit> = c;
+    for (i, &ai) in a.iter().enumerate() {
+        let pp: Vec<Lit> = b.iter().map(|&bj| g.and(ai, bj)).collect();
+        let mut carry = Lit::FALSE;
+        for (j, &p) in pp.iter().enumerate() {
+            let (s, cy) = g.full_adder(acc[i + j], p, carry);
+            acc[i + j] = s;
+            carry = cy;
+        }
+        let mut k = i + n;
+        while carry != Lit::FALSE && k < 2 * n {
+            let (s, cy) = g.half_adder(acc[k], carry);
+            acc[k] = s;
+            carry = cy;
+            k += 1;
+        }
+    }
+    for (j, &p) in acc.iter().enumerate() {
+        g.set_output(format!("p{j}"), p);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adder_reference(aig: &Aig, n: usize) {
+        // Exhaustive for small n.
+        let bits = 2 * n + 1;
+        for code in 0..1u64 << bits {
+            let assignment: Vec<bool> = (0..bits).map(|i| code >> i & 1 != 0).collect();
+            let a: u64 = (0..n).map(|i| (assignment[i] as u64) << i).sum();
+            let b: u64 = (0..n).map(|i| (assignment[n + i] as u64) << i).sum();
+            let cin = assignment[2 * n] as u64;
+            let expect = a + b + cin;
+            let out = aig.evaluate_outputs(&assignment);
+            let got: u64 = (0..=n).map(|i| (out[i] as u64) << i).sum();
+            assert_eq!(got, expect, "a={a} b={b} cin={cin}");
+        }
+    }
+
+    #[test]
+    fn ripple_carry_adder_is_correct() {
+        for n in 1..=4 {
+            adder_reference(&ripple_carry_adder(n), n);
+        }
+    }
+
+    #[test]
+    fn carry_lookahead_adder_is_correct() {
+        for n in 1..=4 {
+            adder_reference(&carry_lookahead_adder(n), n);
+        }
+    }
+
+    #[test]
+    fn carry_select_adder_is_correct() {
+        for n in 1..=4 {
+            for block in 1..=n {
+                adder_reference(&carry_select_adder(n, block), n);
+            }
+        }
+    }
+
+    fn multiplier_reference(aig: &Aig, n: usize) {
+        let bits = 2 * n;
+        for code in 0..1u64 << bits {
+            let assignment: Vec<bool> = (0..bits).map(|i| code >> i & 1 != 0).collect();
+            let a: u64 = (0..n).map(|i| (assignment[i] as u64) << i).sum();
+            let b: u64 = (0..n).map(|i| (assignment[n + i] as u64) << i).sum();
+            let out = aig.evaluate_outputs(&assignment);
+            let got: u64 = (0..2 * n).map(|i| (out[i] as u64) << i).sum();
+            assert_eq!(got, a * b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn array_multiplier_is_correct() {
+        for n in 1..=4 {
+            multiplier_reference(&array_multiplier(n), n);
+        }
+    }
+
+    #[test]
+    fn carry_save_multiplier_is_correct() {
+        for n in 1..=4 {
+            multiplier_reference(&carry_save_multiplier(n), n);
+        }
+    }
+
+    #[test]
+    fn multipliers_are_structurally_different() {
+        let a = array_multiplier(6);
+        let b = carry_save_multiplier(6);
+        assert_ne!(a.nodes(), b.nodes());
+    }
+
+    #[test]
+    fn sixteen_bit_multiplier_is_c6288_scale() {
+        let m = array_multiplier(16);
+        // C6288 has 2406 gates; the AIG decomposition lands in the same
+        // ballpark (a few thousand 2-input ANDs).
+        let count = m.and_count();
+        assert!((2000..12000).contains(&count), "gate count {count}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_adder_panics() {
+        let _ = ripple_carry_adder(0);
+    }
+
+    #[test]
+    fn rect_multiplier_is_correct() {
+        for (m, n) in [(1, 3), (3, 2), (4, 4), (2, 5)] {
+            let g = rect_multiplier(m, n);
+            for code in 0..1u64 << (m + n) {
+                let bits: Vec<bool> = (0..m + n).map(|i| code >> i & 1 != 0).collect();
+                let a: u64 = (0..m).map(|i| (bits[i] as u64) << i).sum();
+                let b: u64 = (0..n).map(|i| (bits[m + i] as u64) << i).sum();
+                let out = g.evaluate_outputs(&bits);
+                let got: u64 = (0..m + n).map(|i| (out[i] as u64) << i).sum();
+                assert_eq!(got, a * b, "{m}x{n} a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn squarer_is_correct() {
+        for n in 1..=5 {
+            let g = squarer(n);
+            for code in 0..1u64 << n {
+                let bits: Vec<bool> = (0..n).map(|i| code >> i & 1 != 0).collect();
+                let a: u64 = (0..n).map(|i| (bits[i] as u64) << i).sum();
+                let out = g.evaluate_outputs(&bits);
+                let got: u64 = (0..2 * n).map(|i| (out[i] as u64) << i).sum();
+                assert_eq!(got, a * a, "n={n} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_accumulate_is_correct() {
+        let n = 3;
+        let g = multiply_accumulate(n);
+        let bits_total = 4 * n;
+        for code in 0..1u64 << bits_total {
+            let bits: Vec<bool> = (0..bits_total).map(|i| code >> i & 1 != 0).collect();
+            let a: u64 = (0..n).map(|i| (bits[i] as u64) << i).sum();
+            let b: u64 = (0..n).map(|i| (bits[n + i] as u64) << i).sum();
+            let c: u64 = (0..2 * n).map(|i| (bits[2 * n + i] as u64) << i).sum();
+            let out = g.evaluate_outputs(&bits);
+            let got: u64 = (0..2 * n).map(|i| (out[i] as u64) << i).sum();
+            assert_eq!(got, (a * b + c) & ((1 << (2 * n)) - 1), "a={a} b={b} c={c}");
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Encoding/decoding and counting blocks: priority encoder, one-hot
+//! decoder, population count, Gray-code converters, and a CRC slice.
+
+use crate::{Aig, Lit};
+
+/// `n`-input priority encoder: inputs `x[n]`; outputs `idx[log2ceil(n)]`
+/// (index of the highest set input) and `valid` (any input set).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn priority_encoder(n: usize) -> Aig {
+    assert!(n >= 2, "encoder needs at least 2 inputs");
+    let bits = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+    let mut g = Aig::new();
+    let x = g.inputs_n(n);
+    // highest[i] = x[i] & none of x[i+1..]
+    let mut none_above = Lit::TRUE;
+    let mut highest = vec![Lit::FALSE; n];
+    for i in (0..n).rev() {
+        highest[i] = g.and(x[i], none_above);
+        none_above = g.and(none_above, !x[i]);
+    }
+    for b in 0..bits {
+        let terms: Vec<Lit> = (0..n).filter(|i| i >> b & 1 == 1).map(|i| highest[i]).collect();
+        let bit = g.or_many(&terms);
+        g.set_output(format!("idx{b}"), bit);
+    }
+    let valid = g.or_many(&x);
+    g.set_output("valid", valid);
+    g
+}
+
+/// `n`-bit one-hot decoder: inputs `sel[n]`; outputs `y[2^n]` with exactly
+/// the selected line high.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 16`.
+pub fn decoder(n: usize) -> Aig {
+    assert!((1..=16).contains(&n), "decoder select width out of range");
+    let mut g = Aig::new();
+    let sel = g.inputs_n(n);
+    for code in 0..1usize << n {
+        let lits: Vec<Lit> = sel
+            .iter()
+            .enumerate()
+            .map(|(b, &s)| s.xor_complement(code >> b & 1 == 0))
+            .collect();
+        let y = g.and_many(&lits);
+        g.set_output(format!("y{code}"), y);
+    }
+    g
+}
+
+/// `n`-input population count: inputs `x[n]`; outputs
+/// `cnt[log2ceil(n+1)]` = number of set inputs, built as a full-adder
+/// reduction tree.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn popcount(n: usize) -> Aig {
+    assert!(n > 0, "popcount needs at least 1 input");
+    let out_bits = (usize::BITS - n.leading_zeros()) as usize;
+    let mut g = Aig::new();
+    let x = g.inputs_n(n);
+    // Column reduction: columns[w] holds bits of weight 2^w.
+    let mut columns: Vec<Vec<Lit>> = vec![Vec::new(); out_bits + 1];
+    columns[0] = x;
+    for w in 0..columns.len() {
+        while columns[w].len() > 1 {
+            if columns[w].len() >= 3 {
+                let a = columns[w].pop().expect("len");
+                let b = columns[w].pop().expect("len");
+                let c = columns[w].pop().expect("len");
+                let (s, cy) = g.full_adder(a, b, c);
+                columns[w].push(s);
+                if w + 1 < columns.len() {
+                    columns[w + 1].push(cy);
+                }
+            } else {
+                let a = columns[w].pop().expect("len");
+                let b = columns[w].pop().expect("len");
+                let (s, cy) = g.half_adder(a, b);
+                columns[w].push(s);
+                if w + 1 < columns.len() {
+                    columns[w + 1].push(cy);
+                }
+            }
+        }
+    }
+    for (w, column) in columns.iter().take(out_bits).enumerate() {
+        let bit = column.first().copied().unwrap_or(Lit::FALSE);
+        g.set_output(format!("cnt{w}"), bit);
+    }
+    g
+}
+
+/// `n`-bit binary → Gray converter: `gray = bin ^ (bin >> 1)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn binary_to_gray(n: usize) -> Aig {
+    assert!(n > 0, "width must be positive");
+    let mut g = Aig::new();
+    let x = g.inputs_n(n);
+    for i in 0..n {
+        let y = if i + 1 < n { g.xor(x[i], x[i + 1]) } else { x[i] };
+        g.set_output(format!("g{i}"), y);
+    }
+    g
+}
+
+/// `n`-bit Gray → binary converter (prefix XOR from the top).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn gray_to_binary(n: usize) -> Aig {
+    assert!(n > 0, "width must be positive");
+    let mut g = Aig::new();
+    let x = g.inputs_n(n);
+    let mut acc = x[n - 1];
+    let mut bits = vec![Lit::FALSE; n];
+    bits[n - 1] = acc;
+    for i in (0..n.saturating_sub(1)).rev() {
+        acc = g.xor(acc, x[i]);
+        bits[i] = acc;
+    }
+    for (i, &b) in bits.iter().enumerate() {
+        g.set_output(format!("b{i}"), b);
+    }
+    g
+}
+
+/// One combinational step of a CRC with the given polynomial taps:
+/// inputs `state[n]`, `din`; outputs `next[n]` (Galois LFSR update).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or a tap index is out of range.
+pub fn crc_step(n: usize, taps: &[usize]) -> Aig {
+    assert!(n > 0, "width must be positive");
+    assert!(taps.iter().all(|&t| t < n), "tap out of range");
+    let mut g = Aig::new();
+    let state = g.inputs_n(n);
+    let din = g.input();
+    let feedback = g.xor(state[n - 1], din);
+    for i in 0..n {
+        let shifted = if i == 0 { Lit::FALSE } else { state[i - 1] };
+        let next = if i == 0 {
+            feedback
+        } else if taps.contains(&i) {
+            g.xor(shifted, feedback)
+        } else {
+            shifted
+        };
+        g.set_output(format!("next{i}"), next);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_encoder_matches_reference() {
+        let n = 6;
+        let g = priority_encoder(n);
+        for code in 0..1u64 << n {
+            let bits: Vec<bool> = (0..n).map(|i| code >> i & 1 != 0).collect();
+            let out = g.evaluate_outputs(&bits);
+            let valid = code != 0;
+            assert_eq!(out[3], valid, "valid for {code:b}");
+            if valid {
+                let expect = 63 - code.leading_zeros() as u64;
+                let got: u64 = (0..3).map(|b| (out[b] as u64) << b).sum();
+                assert_eq!(got, expect, "idx for {code:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let g = decoder(3);
+        for code in 0..8u64 {
+            let bits: Vec<bool> = (0..3).map(|i| code >> i & 1 != 0).collect();
+            let out = g.evaluate_outputs(&bits);
+            for (k, &o) in out.iter().enumerate() {
+                assert_eq!(o, k as u64 == code);
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_matches_reference() {
+        for n in [1usize, 3, 5, 8] {
+            let g = popcount(n);
+            let out_bits = (usize::BITS - n.leading_zeros()) as usize;
+            for code in 0..1u64 << n {
+                let bits: Vec<bool> = (0..n).map(|i| code >> i & 1 != 0).collect();
+                let out = g.evaluate_outputs(&bits);
+                let got: u64 = (0..out_bits).map(|b| (out[b] as u64) << b).sum();
+                assert_eq!(got, code.count_ones() as u64, "n={n} code={code:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gray_conversions_are_inverse() {
+        let n = 5;
+        let b2g = binary_to_gray(n);
+        let g2b = gray_to_binary(n);
+        for code in 0..1u64 << n {
+            let bits: Vec<bool> = (0..n).map(|i| code >> i & 1 != 0).collect();
+            let gray = b2g.evaluate_outputs(&bits);
+            let back = g2b.evaluate_outputs(&gray);
+            let got: u64 = (0..n).map(|i| (back[i] as u64) << i).sum();
+            assert_eq!(got, code);
+            // Adjacent codes differ in exactly one gray bit.
+            if code + 1 < 1 << n {
+                let bits2: Vec<bool> = (0..n).map(|i| (code + 1) >> i & 1 != 0).collect();
+                let gray2 = b2g.evaluate_outputs(&bits2);
+                let diff = gray.iter().zip(&gray2).filter(|(a, b)| a != b).count();
+                assert_eq!(diff, 1, "gray property at {code}");
+            }
+        }
+    }
+
+    #[test]
+    fn crc_step_matches_reference() {
+        // CRC-4 with taps {1} (x^4 + x + 1).
+        let n = 4;
+        let g = crc_step(n, &[1]);
+        for code in 0..1u64 << (n + 1) {
+            let bits: Vec<bool> = (0..n + 1).map(|i| code >> i & 1 != 0).collect();
+            let state: u64 = (0..n).map(|i| (bits[i] as u64) << i).sum();
+            let din = bits[n] as u64;
+            let fb = (state >> (n - 1) & 1) ^ din;
+            let mut next = (state << 1) & 0xF;
+            if fb != 0 {
+                next ^= 0b0010 | 0b0001; // tap at 1 plus bit 0 injection
+            }
+            let out = g.evaluate_outputs(&bits);
+            let got: u64 = (0..n).map(|i| (out[i] as u64) << i).sum();
+            assert_eq!(got, next, "state={state:b} din={din}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tap out of range")]
+    fn crc_rejects_bad_tap() {
+        let _ = crc_step(4, &[4]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Combinational building blocks: ALU, comparator, parity tree.
+
+use crate::{Aig, Lit};
+
+/// `n`-bit 4-operation ALU: inputs `a[n]`, `b[n]`, `op[2]`; outputs
+/// `r[n]`, `cout`.
+///
+/// Operations (`op1 op0`): `00` add, `01` subtract (`a - b`), `10` AND,
+/// `11` XOR. `cout` is the adder/subtractor carry (0 for logic ops).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn alu(n: usize) -> Aig {
+    assert!(n > 0, "alu width must be positive");
+    let mut g = Aig::new();
+    let a = g.inputs_n(n);
+    let b = g.inputs_n(n);
+    let op0 = g.input();
+    let op1 = g.input();
+    // Arithmetic: add or subtract, selected by op0 (b is conditionally
+    // inverted and cin = op0 — the standard add/sub trick).
+    let mut carry = op0;
+    let mut arith = Vec::with_capacity(n);
+    for i in 0..n {
+        let bi = g.xor(b[i], op0);
+        let (s, c) = g.full_adder(a[i], bi, carry);
+        arith.push(s);
+        carry = c;
+    }
+    // Logic: AND or XOR, selected by op0.
+    let logic: Vec<Lit> = (0..n)
+        .map(|i| {
+            let and = g.and(a[i], b[i]);
+            let xor = g.xor(a[i], b[i]);
+            g.mux(op0, xor, and)
+        })
+        .collect();
+    for i in 0..n {
+        let r = g.mux(op1, logic[i], arith[i]);
+        g.set_output(format!("r{i}"), r);
+    }
+    let cout = g.and(!op1, carry);
+    g.set_output("cout", cout);
+    g
+}
+
+/// `n`-bit unsigned comparator: inputs `a[n]`, `b[n]`; outputs `lt`, `eq`,
+/// `gt`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn comparator(n: usize) -> Aig {
+    assert!(n > 0, "comparator width must be positive");
+    let mut g = Aig::new();
+    let a = g.inputs_n(n);
+    let b = g.inputs_n(n);
+    // Ripple from the MSB down.
+    let mut lt = Lit::FALSE;
+    let mut gt = Lit::FALSE;
+    for i in (0..n).rev() {
+        let ai_lt = g.and(!a[i], b[i]);
+        let ai_gt = g.and(a[i], !b[i]);
+        let undecided = g.and(!lt, !gt);
+        let new_lt = g.and(undecided, ai_lt);
+        let new_gt = g.and(undecided, ai_gt);
+        lt = g.or(lt, new_lt);
+        gt = g.or(gt, new_gt);
+    }
+    let eq = g.and(!lt, !gt);
+    g.set_output("lt", lt);
+    g.set_output("eq", eq);
+    g.set_output("gt", gt);
+    g
+}
+
+/// `n`-input parity (XOR) tree: inputs `x[n]`; output `parity`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn parity_tree(n: usize) -> Aig {
+    assert!(n > 0, "parity width must be positive");
+    let mut g = Aig::new();
+    let xs = g.inputs_n(n);
+    let p = g.xor_many(&xs);
+    g.set_output("parity", p);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_matches_reference() {
+        let n = 3;
+        let g = alu(n);
+        let bits = 2 * n + 2;
+        for code in 0..1u64 << bits {
+            let assignment: Vec<bool> = (0..bits).map(|i| code >> i & 1 != 0).collect();
+            let a: u64 = (0..n).map(|i| (assignment[i] as u64) << i).sum();
+            let b: u64 = (0..n).map(|i| (assignment[n + i] as u64) << i).sum();
+            let op0 = assignment[2 * n];
+            let op1 = assignment[2 * n + 1];
+            let mask = (1u64 << n) - 1;
+            let expect = match (op1, op0) {
+                (false, false) => (a + b) & mask,
+                (false, true) => a.wrapping_sub(b) & mask,
+                (true, false) => a & b,
+                (true, true) => a ^ b,
+            };
+            let out = g.evaluate_outputs(&assignment);
+            let got: u64 = (0..n).map(|i| (out[i] as u64) << i).sum();
+            assert_eq!(got, expect, "a={a} b={b} op=({op1},{op0})");
+        }
+    }
+
+    #[test]
+    fn comparator_matches_reference() {
+        let n = 4;
+        let g = comparator(n);
+        for code in 0..1u64 << (2 * n) {
+            let assignment: Vec<bool> = (0..2 * n).map(|i| code >> i & 1 != 0).collect();
+            let a: u64 = (0..n).map(|i| (assignment[i] as u64) << i).sum();
+            let b: u64 = (0..n).map(|i| (assignment[n + i] as u64) << i).sum();
+            let out = g.evaluate_outputs(&assignment);
+            assert_eq!(out[0], a < b, "lt a={a} b={b}");
+            assert_eq!(out[1], a == b, "eq a={a} b={b}");
+            assert_eq!(out[2], a > b, "gt a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn parity_matches_reference() {
+        let g = parity_tree(5);
+        for code in 0..32u64 {
+            let assignment: Vec<bool> = (0..5).map(|i| code >> i & 1 != 0).collect();
+            let expect = code.count_ones() % 2 == 1;
+            assert_eq!(g.evaluate_outputs(&assignment)[0], expect);
+        }
+    }
+
+    #[test]
+    fn single_bit_edge_cases() {
+        assert_eq!(comparator(1).outputs().len(), 3);
+        assert_eq!(parity_tree(1).outputs().len(), 1);
+        assert_eq!(alu(1).outputs().len(), 2);
+    }
+}

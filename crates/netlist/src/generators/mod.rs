@@ -1,0 +1,46 @@
+//! Parameterized circuit families used as benchmark workloads.
+//!
+//! The paper evaluates on ISCAS-85 circuits (`C1355` … `C7552`, `C6288`),
+//! Design-Compiler-optimized variants, Velev's `9Vliw` SAT instances, and
+//! ISCAS-89 scan circuits. None of those artifacts are redistributable, so
+//! this module provides generators for circuits with the same *structural
+//! character* (multi-level logic, internal equivalence points, reconvergent
+//! fanout, arithmetic arrays); the benchmark suites in `csat-bench` size
+//! them to the same ballpark. See `DESIGN.md` §3 for the substitution
+//! rationale.
+//!
+//! Highlights:
+//!
+//! * [`array_multiplier`] — a classic ripple array multiplier; at 16×16 this
+//!   is exactly the structure of ISCAS-85 C6288, the paper's hardest case.
+//! * [`carry_save_multiplier`] — a structurally different but equivalent
+//!   multiplier (column-wise carry-save reduction), giving multiplier
+//!   `.opt`-style miters.
+//! * [`ripple_carry_adder`] / [`carry_lookahead_adder`] /
+//!   [`carry_select_adder`] — three equivalent adder architectures.
+//! * [`random_logic`] — seeded random multi-level control logic.
+//! * [`scan_style`] — wide, shallow circuits mimicking scan-mode sequential
+//!   benchmarks ("circuit depth becomes more shallow", paper §VI).
+//! * [`vliw_like`] — satisfiable instances that are part multi-level
+//!   circuit, part raw CNF, mimicking the structure the paper reports for
+//!   the Velev benchmarks.
+
+mod adders2;
+mod arith;
+mod encoders;
+mod logic;
+mod mixed;
+mod random;
+
+pub use arith::{
+    multiply_accumulate, rect_multiplier, squarer,
+    array_multiplier, carry_lookahead_adder, carry_save_multiplier, carry_select_adder,
+    ripple_carry_adder,
+};
+pub use adders2::{barrel_shifter, conditional_sum_adder, kogge_stone_adder};
+pub use encoders::{
+    binary_to_gray, crc_step, decoder, gray_to_binary, popcount, priority_encoder,
+};
+pub use logic::{alu, comparator, parity_tree};
+pub use mixed::{vliw_like, VliwOptions};
+pub use random::{random_logic, scan_style};

@@ -1,0 +1,155 @@
+//! Seeded random circuit generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Aig, Lit};
+
+/// Random multi-level logic: `n_inputs` inputs, roughly `n_gates` gates,
+/// `n_outputs` outputs.
+///
+/// Operand selection is biased toward recently created signals, producing
+/// deep circuits with reconvergent fanout — the structural character of the
+/// ISCAS-85 control-logic circuits. Equal seeds give equal circuits.
+///
+/// # Panics
+///
+/// Panics if `n_inputs == 0` or `n_outputs == 0`.
+pub fn random_logic(seed: u64, n_inputs: usize, n_gates: usize, n_outputs: usize) -> Aig {
+    assert!(n_inputs > 0, "need at least one input");
+    assert!(n_outputs > 0, "need at least one output");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Aig::new();
+    let mut pool: Vec<Lit> = g.inputs_n(n_inputs);
+    for _ in 0..n_gates {
+        let lit = random_gate(&mut g, &mut rng, &pool, 16);
+        pool.push(lit);
+    }
+    let mut made = 0usize;
+    let mut k = pool.len();
+    while made < n_outputs && k > 0 {
+        k -= 1;
+        let lit = pool[k];
+        if lit.is_constant() {
+            continue;
+        }
+        g.set_output(format!("o{made}"), lit);
+        made += 1;
+    }
+    while made < n_outputs {
+        // Degenerate circuit (everything folded): fall back to inputs.
+        let lit = pool[made % n_inputs];
+        g.set_output(format!("o{made}"), lit);
+        made += 1;
+    }
+    g
+}
+
+/// Wide and shallow random circuit, mimicking scan-mode sequential
+/// benchmarks: `width` inputs, `depth` layers of `width` gates each, and
+/// `width` outputs taken from the last layer.
+///
+/// The paper conjectures (§VI) that shallow circuits reduce the benefit of
+/// topological explicit learning; this generator provides the controlled
+/// structure to test that.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `depth == 0`.
+pub fn scan_style(seed: u64, width: usize, depth: usize) -> Aig {
+    assert!(width > 0, "width must be positive");
+    assert!(depth > 0, "depth must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Aig::new();
+    let mut layer: Vec<Lit> = g.inputs_n(width);
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(width);
+        for _ in 0..width {
+            let lit = random_gate(&mut g, &mut rng, &layer, layer.len());
+            next.push(lit);
+        }
+        layer = next;
+    }
+    for (i, &lit) in layer.iter().enumerate() {
+        g.set_output(format!("o{i}"), lit);
+    }
+    g
+}
+
+/// Creates one random gate over the pool, biased to the last `window`
+/// entries.
+fn random_gate(g: &mut Aig, rng: &mut StdRng, pool: &[Lit], window: usize) -> Lit {
+    let pick = |rng: &mut StdRng| -> Lit {
+        let idx = if rng.gen_bool(0.7) && pool.len() > window {
+            rng.gen_range(pool.len() - window..pool.len())
+        } else {
+            rng.gen_range(0..pool.len())
+        };
+        let lit = pool[idx];
+        lit.xor_complement(rng.gen_bool(0.5))
+    };
+    let a = pick(rng);
+    let b = pick(rng);
+    match rng.gen_range(0..4u8) {
+        0 => g.and(a, b),
+        1 => g.or(a, b),
+        2 => g.xor(a, b),
+        _ => {
+            let c = pick(rng);
+            g.mux(a, b, c)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+
+    #[test]
+    fn random_logic_is_deterministic() {
+        let a = random_logic(9, 10, 100, 5);
+        let b = random_logic(9, 10, 100, 5);
+        assert_eq!(a.nodes(), b.nodes());
+        let c = random_logic(10, 10, 100, 5);
+        assert_ne!(a.nodes(), c.nodes());
+    }
+
+    #[test]
+    fn random_logic_has_requested_interface() {
+        let g = random_logic(1, 12, 200, 7);
+        assert_eq!(g.inputs().len(), 12);
+        assert_eq!(g.outputs().len(), 7);
+        assert!(g.and_count() > 50, "gates: {}", g.and_count());
+    }
+
+    #[test]
+    fn random_logic_is_multi_level() {
+        let g = random_logic(2, 10, 300, 4);
+        assert!(topo::depth(&g) >= 8, "depth: {}", topo::depth(&g));
+    }
+
+    #[test]
+    fn scan_style_is_shallow_and_wide() {
+        let g = scan_style(3, 40, 4);
+        assert_eq!(g.inputs().len(), 40);
+        assert_eq!(g.outputs().len(), 40);
+        // Each layer adds at most ~4 AIG levels (mux/xor decompose).
+        assert!(topo::depth(&g) <= 4 * 4, "depth: {}", topo::depth(&g));
+    }
+
+    #[test]
+    fn scan_style_is_deterministic() {
+        let a = scan_style(7, 16, 3);
+        let b = scan_style(7, 16, 3);
+        assert_eq!(a.nodes(), b.nodes());
+    }
+
+    #[test]
+    fn outputs_are_not_constants_for_reasonable_sizes() {
+        let g = random_logic(5, 10, 150, 6);
+        for (_, l) in g.outputs() {
+            assert!(!l.is_constant());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Circuit statistics: sizes, depth, fanout distribution and per-output
+//! cone sizes — the numbers an EDA engineer wants before pointing a solver
+//! at a netlist.
+
+use std::fmt;
+
+use crate::{topo, Aig, Node};
+
+/// Summary statistics of a netlist.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CircuitStats {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// 2-input AND gates.
+    pub and_gates: usize,
+    /// Inverted fanin edges (the AIG's "inverter" count).
+    pub inverted_edges: usize,
+    /// Logic depth (maximum level).
+    pub depth: u32,
+    /// Maximum fanout of any node.
+    pub max_fanout: u32,
+    /// Mean fanout over driven nodes.
+    pub mean_fanout: f64,
+    /// Size of the largest single-output fanin cone.
+    pub max_cone: usize,
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} inputs, {} outputs, {} ANDs, {} inverted edges, depth {}, \
+             fanout max {} / mean {:.2}, largest cone {}",
+            self.inputs,
+            self.outputs,
+            self.and_gates,
+            self.inverted_edges,
+            self.depth,
+            self.max_fanout,
+            self.mean_fanout,
+            self.max_cone,
+        )
+    }
+}
+
+/// Computes [`CircuitStats`] for a netlist.
+///
+/// # Example
+///
+/// ```
+/// use csat_netlist::{generators, stats};
+///
+/// let s = stats::analyze(&generators::ripple_carry_adder(8));
+/// assert_eq!(s.inputs, 17);
+/// assert_eq!(s.outputs, 9);
+/// assert!(s.depth >= 8);
+/// ```
+pub fn analyze(aig: &Aig) -> CircuitStats {
+    let mut inverted_edges = 0usize;
+    for node in aig.nodes() {
+        if let Node::And(a, b) = node {
+            inverted_edges += a.is_complemented() as usize + b.is_complemented() as usize;
+        }
+    }
+    let fanouts = topo::fanout_counts(aig);
+    let driven: Vec<u32> = fanouts.iter().copied().filter(|&c| c > 0).collect();
+    let mean_fanout = if driven.is_empty() {
+        0.0
+    } else {
+        driven.iter().map(|&c| c as f64).sum::<f64>() / driven.len() as f64
+    };
+    let max_cone = aig
+        .outputs()
+        .iter()
+        .map(|&(_, l)| topo::cone_size(aig, l.node()))
+        .max()
+        .unwrap_or(0);
+    CircuitStats {
+        inputs: aig.inputs().len(),
+        outputs: aig.outputs().len(),
+        and_gates: aig.and_count(),
+        inverted_edges,
+        depth: topo::depth(aig),
+        max_fanout: fanouts.into_iter().max().unwrap_or(0),
+        mean_fanout,
+        max_cone,
+    }
+}
+
+/// Histogram of node levels: `histogram[l]` counts the AND gates at level
+/// `l` (inputs and the constant are excluded).
+pub fn level_histogram(aig: &Aig) -> Vec<usize> {
+    let levels = topo::levels(aig);
+    let mut histogram = vec![0usize; topo::depth(aig) as usize + 1];
+    for (i, node) in aig.nodes().iter().enumerate() {
+        if node.is_and() {
+            histogram[levels[i] as usize] += 1;
+        }
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn adder_stats_are_sane() {
+        let s = analyze(&generators::ripple_carry_adder(4));
+        assert_eq!(s.inputs, 9);
+        assert_eq!(s.outputs, 5);
+        assert!(s.and_gates > 0);
+        assert!(s.depth >= 4);
+        assert!(s.max_fanout >= 1);
+        assert!(s.mean_fanout >= 1.0);
+        assert!(s.max_cone > s.inputs);
+    }
+
+    #[test]
+    fn empty_circuit_stats() {
+        let s = analyze(&Aig::new());
+        assert_eq!(s.inputs, 0);
+        assert_eq!(s.and_gates, 0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.max_cone, 0);
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let s = analyze(&generators::parity_tree(8));
+        let text = s.to_string();
+        assert!(text.contains("inputs"));
+        assert!(text.contains("depth"));
+        assert!(text.contains("cone"));
+    }
+
+    #[test]
+    fn level_histogram_sums_to_gate_count() {
+        let g = generators::alu(4);
+        let h = level_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), g.and_count());
+        assert_eq!(h[0], 0, "no AND gates at level 0");
+    }
+
+    #[test]
+    fn multiplier_is_deeper_than_wide_parity() {
+        let mult = analyze(&generators::array_multiplier(6));
+        let parity = analyze(&generators::parity_tree(36));
+        assert!(mult.depth > parity.depth);
+    }
+}

@@ -1,0 +1,199 @@
+//! Topological analysis of an [`Aig`]: levels, fanout counts and fanin cones.
+//!
+//! The paper's explicit learning strategy is driven by the *topological
+//! ordering* of the selected signals (Section II-A) and its search is
+//! restricted to *cones of logic* headed by those signals (Section V), so
+//! these utilities are load-bearing for the core solver.
+
+use crate::{Aig, Lit, Node, NodeId};
+
+/// Logic level of every node: inputs and the constant are level 0, an AND is
+/// one more than the maximum level of its fanins.
+///
+/// # Example
+///
+/// ```
+/// use csat_netlist::{Aig, topo};
+///
+/// let mut g = Aig::new();
+/// let a = g.input();
+/// let b = g.input();
+/// let y = g.and(a, b);
+/// let levels = topo::levels(&g);
+/// assert_eq!(levels[y.node().index()], 1);
+/// ```
+pub fn levels(aig: &Aig) -> Vec<u32> {
+    let mut levels = vec![0u32; aig.len()];
+    for (i, node) in aig.nodes().iter().enumerate() {
+        if let Node::And(a, b) = node {
+            levels[i] = 1 + levels[a.node().index()].max(levels[b.node().index()]);
+        }
+    }
+    levels
+}
+
+/// Maximum level over all nodes (the circuit depth).
+pub fn depth(aig: &Aig) -> u32 {
+    levels(aig).into_iter().max().unwrap_or(0)
+}
+
+/// Number of fanout edges of every node (primary outputs count as fanouts).
+pub fn fanout_counts(aig: &Aig) -> Vec<u32> {
+    let mut counts = vec![0u32; aig.len()];
+    for node in aig.nodes() {
+        if let Node::And(a, b) = node {
+            counts[a.node().index()] += 1;
+            counts[b.node().index()] += 1;
+        }
+    }
+    for &(_, l) in aig.outputs() {
+        counts[l.node().index()] += 1;
+    }
+    counts
+}
+
+/// Fanout adjacency: for every node, the list of AND nodes it feeds.
+pub fn fanout_lists(aig: &Aig) -> Vec<Vec<NodeId>> {
+    let mut lists = vec![Vec::new(); aig.len()];
+    for (i, node) in aig.nodes().iter().enumerate() {
+        if let Node::And(a, b) = node {
+            let id = NodeId::from_index(i);
+            lists[a.node().index()].push(id);
+            if b.node() != a.node() {
+                lists[b.node().index()].push(id);
+            }
+        }
+    }
+    lists
+}
+
+/// Transitive fanin cone of `root`: a dense membership mask over all nodes.
+///
+/// The root itself is part of its cone. This is the "cone of logic headed by
+/// a signal" of the paper (Figure 2's shaded areas).
+pub fn fanin_cone(aig: &Aig, root: NodeId) -> Vec<bool> {
+    let mut in_cone = vec![false; aig.len()];
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if in_cone[id.index()] {
+            continue;
+        }
+        in_cone[id.index()] = true;
+        if let Node::And(a, b) = aig.node(id) {
+            stack.push(a.node());
+            stack.push(b.node());
+        }
+    }
+    in_cone
+}
+
+/// Transitive fanin cone of a set of literals, as a dense membership mask.
+pub fn fanin_cone_of(aig: &Aig, roots: impl IntoIterator<Item = Lit>) -> Vec<bool> {
+    let mut in_cone = vec![false; aig.len()];
+    let mut stack: Vec<NodeId> = roots.into_iter().map(|l| l.node()).collect();
+    while let Some(id) = stack.pop() {
+        if in_cone[id.index()] {
+            continue;
+        }
+        in_cone[id.index()] = true;
+        if let Node::And(a, b) = aig.node(id) {
+            stack.push(a.node());
+            stack.push(b.node());
+        }
+    }
+    in_cone
+}
+
+/// Number of nodes in the transitive fanin cone of `root`.
+pub fn cone_size(aig: &Aig, root: NodeId) -> usize {
+    fanin_cone(aig, root).into_iter().filter(|&b| b).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Aig, Lit, Lit, Lit, Lit) {
+        // y = (a & b) | (a & !b): reconvergent fanout on a.
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let l = g.and(a, b);
+        let r = g.and(a, !b);
+        let y = g.or(l, r);
+        g.set_output("y", y);
+        (g, a, l, r, y)
+    }
+
+    #[test]
+    fn levels_of_diamond() {
+        let (g, a, l, r, y) = diamond();
+        let lv = levels(&g);
+        assert_eq!(lv[a.node().index()], 0);
+        assert_eq!(lv[l.node().index()], 1);
+        assert_eq!(lv[r.node().index()], 1);
+        assert_eq!(lv[y.node().index()], 2);
+        assert_eq!(depth(&g), 2);
+    }
+
+    #[test]
+    fn depth_of_empty_graph_is_zero() {
+        assert_eq!(depth(&Aig::new()), 0);
+    }
+
+    #[test]
+    fn fanout_counts_of_diamond() {
+        let (g, a, l, r, y) = diamond();
+        let fo = fanout_counts(&g);
+        assert_eq!(fo[a.node().index()], 2);
+        assert_eq!(fo[l.node().index()], 1);
+        assert_eq!(fo[r.node().index()], 1);
+        // y is a primary output.
+        assert_eq!(fo[y.node().index()], 1);
+    }
+
+    #[test]
+    fn fanout_lists_match_counts() {
+        let (g, ..) = diamond();
+        let lists = fanout_lists(&g);
+        let counts = fanout_counts(&g);
+        for (i, list) in lists.iter().enumerate() {
+            // Output fanouts are not in the adjacency, so list <= count.
+            assert!(list.len() as u32 <= counts[i]);
+        }
+    }
+
+    #[test]
+    fn cone_of_root_contains_support() {
+        let (g, a, l, _r, y) = diamond();
+        let cone = fanin_cone(&g, y.node());
+        assert!(cone[y.node().index()]);
+        assert!(cone[a.node().index()]);
+        assert!(cone[l.node().index()]);
+        // Left AND's cone excludes the right AND.
+        let left_cone = fanin_cone(&g, l.node());
+        assert!(left_cone[a.node().index()]);
+        assert!(!left_cone[y.node().index()]);
+    }
+
+    #[test]
+    fn cone_of_set_unions() {
+        let (g, _a, l, r, _y) = diamond();
+        let both = fanin_cone_of(&g, [l, r]);
+        let only_l = fanin_cone(&g, l.node());
+        for i in 0..g.len() {
+            if only_l[i] {
+                assert!(both[i]);
+            }
+        }
+        assert!(both[r.node().index()]);
+    }
+
+    #[test]
+    fn cone_size_counts_members() {
+        let (g, _, l, _, y) = diamond();
+        assert!(cone_size(&g, y.node()) > cone_size(&g, l.node()));
+        // Cone of an input is just itself.
+        assert_eq!(cone_size(&g, g.inputs()[0]), 1);
+    }
+}

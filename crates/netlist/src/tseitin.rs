@@ -1,0 +1,176 @@
+//! Circuit → CNF translation (Tseitin encoding).
+//!
+//! This is the classical transformation the paper's introduction describes:
+//! "applying SAT to solve a circuit-oriented problem often requires
+//! transformation of the circuit gate-level netlist into its corresponding
+//! CNF format", after which "the topological ordering among the internal
+//! signals is no longer there". The CNF baseline solver consumes this
+//! encoding; the circuit solver deliberately does not.
+
+use crate::cnf::{Cnf, Lit as CLit, Var};
+use crate::{Aig, Lit, Node};
+
+/// Result of [`encode`]: the CNF plus the node → variable map.
+#[derive(Clone, Debug)]
+pub struct Encoding {
+    /// The Tseitin CNF of the circuit (without any output constraint).
+    pub cnf: Cnf,
+    /// Variable assigned to each node, indexed by [`NodeId::index`](crate::NodeId::index).
+    ///
+    /// The constant node 0 also receives a variable, constrained to false by
+    /// a unit clause.
+    pub node_var: Vec<Var>,
+}
+
+impl Encoding {
+    /// CNF literal corresponding to a circuit literal.
+    pub fn lit(&self, lit: Lit) -> CLit {
+        CLit::new(self.node_var[lit.node().index()], lit.is_complemented())
+    }
+
+    /// Circuit input values extracted from a CNF model.
+    ///
+    /// `model[v]` is the value of CNF variable `v`. Returns one bool per
+    /// primary input, in input order.
+    pub fn input_values(&self, aig: &Aig, model: &[bool]) -> Vec<bool> {
+        aig.inputs()
+            .iter()
+            .map(|&id| model[self.node_var[id.index()].index()])
+            .collect()
+    }
+}
+
+/// Encodes the whole netlist into CNF.
+///
+/// For every AND node `o = a & b` the three standard clauses are produced:
+/// `(!o | a)`, `(!o | b)`, `(o | !a | !b)`. The constant node is pinned
+/// false with a unit clause.
+///
+/// # Example
+///
+/// ```
+/// use csat_netlist::{Aig, tseitin};
+///
+/// let mut g = Aig::new();
+/// let a = g.input();
+/// let b = g.input();
+/// let y = g.and(a, b);
+/// g.set_output("y", y);
+/// let enc = tseitin::encode(&g);
+/// // 3 clauses for the AND, 1 pinning the constant node.
+/// assert_eq!(enc.cnf.clauses().len(), 4);
+/// ```
+pub fn encode(aig: &Aig) -> Encoding {
+    let mut cnf = Cnf::with_vars(aig.len());
+    let node_var: Vec<Var> = (0..aig.len() as u32).map(Var).collect();
+    let clit = |l: Lit| CLit::new(node_var[l.node().index()], l.is_complemented());
+    for (i, node) in aig.nodes().iter().enumerate() {
+        let o = node_var[i].positive();
+        match *node {
+            Node::False => cnf.add_unit(!o),
+            Node::Input => {}
+            Node::And(a, b) => {
+                let (a, b) = (clit(a), clit(b));
+                cnf.add_clause(vec![!o, a]);
+                cnf.add_clause(vec![!o, b]);
+                cnf.add_clause(vec![o, !a, !b]);
+            }
+        }
+    }
+    Encoding { cnf, node_var }
+}
+
+/// Encodes the netlist and constrains `objective` to be true.
+///
+/// This produces the exact SAT instance "can `objective` evaluate to 1",
+/// which is how every experiment in the paper is phrased (e.g. "the SAT
+/// problem is to ask if the output of the AND gate is 1").
+pub fn encode_with_objective(aig: &Aig, objective: Lit) -> Encoding {
+    let mut enc = encode(aig);
+    let l = enc.lit(objective);
+    enc.cnf.add_unit(l);
+    enc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assignments(n: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0..1u32 << n).map(move |code| (0..n).map(|i| code >> i & 1 != 0).collect())
+    }
+
+    #[test]
+    fn encoding_agrees_with_evaluation() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let x = g.xor(a, b);
+        let y = g.mux(c, x, !a);
+        g.set_output("y", y);
+        let enc = encode(&g);
+        for assignment in assignments(3) {
+            let values = g.evaluate(&assignment);
+            // Extend to a full CNF model: node i -> values[i].
+            assert!(
+                enc.cnf.evaluate(&values),
+                "tseitin cnf must accept the circuit's own evaluation"
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_rejects_inconsistent_models() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let y = g.and(a, b);
+        g.set_output("y", y);
+        let enc = encode(&g);
+        // a=1, b=1 but y=0 violates the AND clauses.
+        let mut model = g.evaluate(&[true, true]);
+        model[y.node().index()] = false;
+        assert!(!enc.cnf.evaluate(&model));
+    }
+
+    #[test]
+    fn objective_unit_added() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let y = g.and(a, b);
+        let enc_plain = encode(&g);
+        let enc_obj = encode_with_objective(&g, y);
+        assert_eq!(
+            enc_obj.cnf.clauses().len(),
+            enc_plain.cnf.clauses().len() + 1
+        );
+        // Only the all-ones input satisfies the objective.
+        let mut model = g.evaluate(&[true, true]);
+        assert!(enc_obj.cnf.evaluate(&model));
+        model = g.evaluate(&[true, false]);
+        assert!(!enc_obj.cnf.evaluate(&model));
+    }
+
+    #[test]
+    fn complemented_objective() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let enc = encode_with_objective(&g, !a);
+        let model = g.evaluate(&[false]);
+        assert!(enc.cnf.evaluate(&model));
+        let model = g.evaluate(&[true]);
+        assert!(!enc.cnf.evaluate(&model));
+    }
+
+    #[test]
+    fn input_values_extraction() {
+        let mut g = Aig::new();
+        let _a = g.input();
+        let _b = g.input();
+        let enc = encode(&g);
+        let model = vec![false, true, false]; // node0 (const), a, b
+        assert_eq!(enc.input_values(&g, &model), vec![true, false]);
+    }
+}

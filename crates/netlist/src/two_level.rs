@@ -1,0 +1,126 @@
+//! CNF → 2-level OR-AND circuit translation.
+//!
+//! The paper's circuit solver accepts CNF inputs by first converting them to
+//! a circuit: "If an input is in its CNF form, we first convert it into a
+//! 2-level OR-AND circuit. Then, the circuit will be given to our circuit
+//! solver. We note that this could add some overhead to the representation
+//! of the problem." — Section IV-A.
+//!
+//! Every CNF variable becomes a primary input, every clause becomes an OR
+//! gate over (possibly inverted) inputs, and all clause outputs feed one
+//! final AND. The resulting SAT objective is *final AND = 1*.
+
+use crate::cnf::Cnf;
+use crate::{Aig, Lit};
+
+/// Result of [`from_cnf`]: the 2-level circuit plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct TwoLevelCircuit {
+    /// The OR-AND circuit.
+    pub aig: Aig,
+    /// The objective literal: the formula is satisfiable iff this can be 1.
+    pub objective: Lit,
+    /// `var_input[v]` is the circuit literal of CNF variable `v`.
+    pub var_input: Vec<Lit>,
+}
+
+impl TwoLevelCircuit {
+    /// Maps a model of the circuit inputs back to a CNF variable assignment.
+    pub fn cnf_assignment(&self, input_values: &[bool]) -> Vec<bool> {
+        // Inputs are created in variable order, so this is the identity map,
+        // but go through the literals to stay robust to future changes.
+        let values = self.aig.evaluate(input_values);
+        self.var_input
+            .iter()
+            .map(|&l| self.aig.lit_value(&values, l))
+            .collect()
+    }
+}
+
+/// Builds the 2-level OR-AND circuit of a CNF formula.
+///
+/// An empty clause yields the constant-false objective; an empty formula
+/// yields constant true.
+///
+/// # Example
+///
+/// ```
+/// use csat_netlist::{cnf::Cnf, two_level};
+///
+/// let cnf = Cnf::from_dimacs("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+/// let tl = two_level::from_cnf(&cnf);
+/// assert_eq!(tl.aig.inputs().len(), 2);
+/// ```
+pub fn from_cnf(cnf: &Cnf) -> TwoLevelCircuit {
+    let mut aig = Aig::new();
+    let var_input: Vec<Lit> = (0..cnf.num_vars()).map(|_| aig.input()).collect();
+    let mut clause_outs = Vec::with_capacity(cnf.clauses().len());
+    for clause in cnf.clauses() {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|l| var_input[l.var().index()].xor_complement(l.is_negative()))
+            .collect();
+        clause_outs.push(aig.or_many(&lits));
+    }
+    let objective = aig.and_many(&clause_outs);
+    aig.set_output("sat", objective);
+    TwoLevelCircuit {
+        aig,
+        objective,
+        var_input,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Lit as CLit;
+
+    #[test]
+    fn objective_matches_cnf_truth_value() {
+        let cnf = Cnf::from_dimacs("p cnf 3 3\n1 -2 0\n2 3 0\n-1 -3 0\n").unwrap();
+        let tl = from_cnf(&cnf);
+        for code in 0..8u32 {
+            let assignment: Vec<bool> = (0..3).map(|i| code >> i & 1 != 0).collect();
+            let values = tl.aig.evaluate(&assignment);
+            let circuit_says = tl.aig.lit_value(&values, tl.objective);
+            assert_eq!(circuit_says, cnf.evaluate(&assignment), "code {code}");
+        }
+    }
+
+    #[test]
+    fn empty_formula_is_constant_true() {
+        let cnf = Cnf::with_vars(2);
+        let tl = from_cnf(&cnf);
+        assert_eq!(tl.objective, Lit::TRUE);
+    }
+
+    #[test]
+    fn empty_clause_is_constant_false() {
+        let mut cnf = Cnf::with_vars(1);
+        cnf.add_clause(vec![]);
+        let tl = from_cnf(&cnf);
+        assert_eq!(tl.objective, Lit::FALSE);
+    }
+
+    #[test]
+    fn two_level_structure_is_shallow() {
+        // A long chain in CNF still yields a depth-bounded circuit: the
+        // clause ORs and the final AND are balanced trees, so depth grows
+        // logarithmically, never linearly in clause width.
+        let mut cnf = Cnf::new();
+        let lits: Vec<CLit> = (0..64).map(|_| cnf.fresh_var().positive()).collect();
+        cnf.add_clause(lits);
+        let tl = from_cnf(&cnf);
+        let depth = crate::topo::depth(&tl.aig);
+        assert!(depth <= 7, "depth {depth} should be ~log2(64)");
+    }
+
+    #[test]
+    fn cnf_assignment_roundtrip() {
+        let cnf = Cnf::from_dimacs("p cnf 2 1\n1 -2 0\n").unwrap();
+        let tl = from_cnf(&cnf);
+        let assignment = tl.cnf_assignment(&[true, false]);
+        assert_eq!(assignment, vec![true, false]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Sequential time-frame expansion.
+//!
+//! The paper's solver reserves data structures ("FRAME objects ... valid
+//! within a time frame during sequential time frame expansion", §IV-A) for
+//! a future sequential extension. This module provides that substrate: a
+//! combinational *transition function* — an [`Aig`] where designated
+//! outputs compute the next values of designated inputs — is replicated
+//! `k` times, chaining each frame's next-state outputs into the following
+//! frame's state inputs. The result is a plain combinational circuit that
+//! any solver in this workspace can attack (bounded model checking).
+//!
+//! # Example
+//!
+//! ```
+//! use csat_netlist::{generators, unroll};
+//!
+//! // A 4-bit CRC step: inputs state[4] + din, outputs next[4].
+//! let step = generators::crc_step(4, &[1]);
+//! let pairs: Vec<(usize, usize)> = (0..4).map(|i| (i, i)).collect();
+//! let u = unroll::unroll(&step, &pairs, 3, Some(&[false; 4]));
+//! // 3 frames, each consuming one free `din` input.
+//! assert_eq!(u.aig.inputs().len(), 3);
+//! ```
+
+use crate::miter::import_nodes;
+use crate::{Aig, Lit};
+
+/// Result of [`unroll`].
+#[derive(Clone, Debug)]
+pub struct Unrolling {
+    /// The unrolled combinational circuit. Its primary inputs are the
+    /// non-state inputs of every frame (frame 0 first); if no initial
+    /// state was given, the frame-0 state inputs come first.
+    pub aig: Aig,
+    /// Per frame, the literals of every output of the transition circuit
+    /// (in the transition circuit's output order).
+    pub frame_outputs: Vec<Vec<Lit>>,
+    /// Per frame, the literals feeding the state inputs (frame 0 holds the
+    /// initial state).
+    pub frame_states: Vec<Vec<Lit>>,
+}
+
+/// Unrolls a transition function over `frames` time frames.
+///
+/// `state_pairs` maps each state element to `(input_index, output_index)`
+/// of the transition circuit: the input that carries the current state and
+/// the output that computes the next state. `initial` optionally pins the
+/// frame-0 state (otherwise it is left as free primary inputs).
+///
+/// # Panics
+///
+/// Panics if `frames == 0`, an index is out of range, an input is listed
+/// twice, or `initial` has the wrong length.
+pub fn unroll(
+    step: &Aig,
+    state_pairs: &[(usize, usize)],
+    frames: usize,
+    initial: Option<&[bool]>,
+) -> Unrolling {
+    assert!(frames > 0, "need at least one frame");
+    let num_inputs = step.inputs().len();
+    let num_outputs = step.outputs().len();
+    let mut is_state = vec![None; num_inputs];
+    for (k, &(inp, out)) in state_pairs.iter().enumerate() {
+        assert!(inp < num_inputs, "state input index out of range");
+        assert!(out < num_outputs, "state output index out of range");
+        assert!(is_state[inp].is_none(), "state input listed twice");
+        is_state[inp] = Some(k);
+    }
+    if let Some(init) = initial {
+        assert_eq!(
+            init.len(),
+            state_pairs.len(),
+            "initial state length must match the state pairs"
+        );
+    }
+
+    let mut aig = Aig::new();
+    // Current state literals entering the next frame.
+    let mut state: Vec<Lit> = match initial {
+        Some(init) => init
+            .iter()
+            .map(|&v| if v { Lit::TRUE } else { Lit::FALSE })
+            .collect(),
+        None => (0..state_pairs.len()).map(|_| aig.input()).collect(),
+    };
+    let mut frame_outputs = Vec::with_capacity(frames);
+    let mut frame_states = Vec::with_capacity(frames);
+    for frame in 0..frames {
+        frame_states.push(state.clone());
+        // Assemble this frame's input map: state inputs from `state`,
+        // free inputs as fresh PIs.
+        let mut input_map = Vec::with_capacity(num_inputs);
+        for &slot in &is_state {
+            match slot {
+                Some(k) => input_map.push(state[k]),
+                None => input_map.push(aig.input()),
+            }
+        }
+        let node_map = import_nodes(&mut aig, step, &input_map);
+        let outs: Vec<Lit> = step
+            .outputs()
+            .iter()
+            .map(|&(_, l)| node_map[l.node().index()].xor_complement(l.is_complemented()))
+            .collect();
+        // Chain next state.
+        state = state_pairs.iter().map(|&(_, out)| outs[out]).collect();
+        for (k, &l) in outs.iter().enumerate() {
+            aig.set_output(format!("f{frame}.{}", step.outputs()[k].0), l);
+        }
+        frame_outputs.push(outs);
+    }
+    Unrolling {
+        aig,
+        frame_outputs,
+        frame_states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// Reference software model of the CRC step used below.
+    fn crc_ref(state: u64, din: u64, n: usize) -> u64 {
+        let fb = (state >> (n - 1) & 1) ^ din;
+        let mut next = (state << 1) & ((1 << n) - 1);
+        if fb != 0 {
+            next ^= 0b0010 | 0b0001;
+        }
+        next
+    }
+
+    #[test]
+    fn unrolled_crc_matches_software_model() {
+        let n = 4;
+        let step = generators::crc_step(n, &[1]);
+        let pairs: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        let frames = 5;
+        let u = unroll(&step, &pairs, frames, Some(&[false; 4]));
+        assert_eq!(u.aig.inputs().len(), frames); // one din per frame
+        for code in 0..1u64 << frames {
+            let dins: Vec<bool> = (0..frames).map(|i| code >> i & 1 != 0).collect();
+            let values = u.aig.evaluate(&dins);
+            let mut state = 0u64;
+            for (f, &din) in dins.iter().enumerate() {
+                state = crc_ref(state, din as u64, n);
+                let got: u64 = (0..n)
+                    .map(|b| (u.aig.lit_value(&values, u.frame_outputs[f][b]) as u64) << b)
+                    .sum();
+                assert_eq!(got, state, "frame {f} code {code:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn free_initial_state_adds_inputs() {
+        let n = 4;
+        let step = generators::crc_step(n, &[1]);
+        let pairs: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        let u = unroll(&step, &pairs, 2, None);
+        // 4 initial-state inputs + 2 dins.
+        assert_eq!(u.aig.inputs().len(), n + 2);
+        assert_eq!(u.frame_states[0].len(), n);
+    }
+
+    #[test]
+    fn frame_states_chain_correctly() {
+        let n = 4;
+        let step = generators::crc_step(n, &[1]);
+        let pairs: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        let u = unroll(&step, &pairs, 3, Some(&[true, false, false, false]));
+        // Frame 1's state literals are frame 0's next outputs.
+        for b in 0..n {
+            assert_eq!(u.frame_states[1][b], u.frame_outputs[0][b]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_panics() {
+        let step = generators::crc_step(4, &[1]);
+        let _ = unroll(&step, &[(0, 0)], 0, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "state input listed twice")]
+    fn duplicate_state_input_panics() {
+        let step = generators::crc_step(4, &[1]);
+        let _ = unroll(&step, &[(0, 0), (0, 1)], 1, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state length")]
+    fn wrong_initial_length_panics() {
+        let step = generators::crc_step(4, &[1]);
+        let _ = unroll(&step, &[(0, 0)], 1, Some(&[true, false]));
+    }
+}

@@ -1,0 +1,117 @@
+//! Cross-generator properties: all adder architectures agree, all
+//! multiplier architectures agree, and derived relations (squarer vs
+//! multiplier, MAC vs multiplier+adder) hold exhaustively at small widths.
+
+use csat_netlist::generators::{
+    array_multiplier, carry_lookahead_adder, carry_save_multiplier, carry_select_adder,
+    conditional_sum_adder, kogge_stone_adder, multiply_accumulate, rect_multiplier,
+    ripple_carry_adder, squarer,
+};
+use csat_netlist::Aig;
+
+fn outputs_as_u64(aig: &Aig, bits: &[bool]) -> u64 {
+    aig.evaluate_outputs(bits)
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (b as u64) << i)
+        .sum()
+}
+
+#[test]
+fn all_adder_architectures_agree() {
+    for n in 1..=5usize {
+        let adders = [
+            ripple_carry_adder(n),
+            carry_lookahead_adder(n),
+            carry_select_adder(n, 2),
+            kogge_stone_adder(n),
+            conditional_sum_adder(n),
+        ];
+        for code in 0..1u64 << (2 * n + 1) {
+            let bits: Vec<bool> = (0..2 * n + 1).map(|i| code >> i & 1 != 0).collect();
+            let reference = outputs_as_u64(&adders[0], &bits);
+            for (k, adder) in adders.iter().enumerate().skip(1) {
+                assert_eq!(
+                    outputs_as_u64(adder, &bits),
+                    reference,
+                    "n={n} architecture {k} diverges at {code:b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_multiplier_architectures_agree() {
+    for n in 1..=4usize {
+        let mults = [array_multiplier(n), carry_save_multiplier(n), rect_multiplier(n, n)];
+        for code in 0..1u64 << (2 * n) {
+            let bits: Vec<bool> = (0..2 * n).map(|i| code >> i & 1 != 0).collect();
+            let reference = outputs_as_u64(&mults[0], &bits);
+            for (k, m) in mults.iter().enumerate().skip(1) {
+                assert_eq!(
+                    outputs_as_u64(m, &bits),
+                    reference,
+                    "n={n} architecture {k} diverges at {code:b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn squarer_agrees_with_multiplier_on_diagonal() {
+    for n in 1..=4usize {
+        let sq = squarer(n);
+        let mult = array_multiplier(n);
+        for a in 0..1u64 << n {
+            let sq_bits: Vec<bool> = (0..n).map(|i| a >> i & 1 != 0).collect();
+            let mut mult_bits = sq_bits.clone();
+            mult_bits.extend(sq_bits.iter().copied());
+            assert_eq!(
+                outputs_as_u64(&sq, &sq_bits),
+                outputs_as_u64(&mult, &mult_bits),
+                "n={n} a={a}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mac_agrees_with_multiplier_plus_addition() {
+    let n = 3usize;
+    let mac = multiply_accumulate(n);
+    let mult = array_multiplier(n);
+    for code in 0..1u64 << (4 * n) {
+        let bits: Vec<bool> = (0..4 * n).map(|i| code >> i & 1 != 0).collect();
+        let mult_bits = &bits[..2 * n];
+        let c: u64 = (0..2 * n).map(|i| (bits[2 * n + i] as u64) << i).sum();
+        let product = outputs_as_u64(&mult, mult_bits);
+        let expected = (product + c) & ((1 << (2 * n)) - 1);
+        assert_eq!(outputs_as_u64(&mac, &bits), expected, "code {code:b}");
+    }
+}
+
+#[test]
+fn adder_architectures_have_distinct_depth_profiles() {
+    use csat_netlist::topo;
+    let n = 16;
+    let ripple = topo::depth(&ripple_carry_adder(n));
+    let kogge = topo::depth(&kogge_stone_adder(n));
+    // The prefix adder must be asymptotically shallower.
+    assert!(
+        kogge < ripple,
+        "kogge-stone depth {kogge} should beat ripple {ripple}"
+    );
+}
+
+#[test]
+fn generated_circuits_expose_named_outputs() {
+    let a = ripple_carry_adder(4);
+    assert!(a.output("sum0").is_some());
+    assert!(a.output("cout").is_some());
+    let m = array_multiplier(3);
+    assert!(m.output("p0").is_some());
+    assert!(m.output("p5").is_some());
+    assert!(m.output("p6").is_none());
+}

@@ -1,0 +1,84 @@
+//! Integration tests: correlation discovery on known-structure circuits.
+
+use csat_netlist::{generators, miter, optimize};
+use csat_sim::{find_correlations, Relation, SimulationOptions};
+
+/// On a self-miter, the discovered equivalences must cover (nearly) every
+/// gate of the duplicated copy.
+#[test]
+fn self_miter_correlations_cover_the_copy() {
+    let circuit = generators::multiply_accumulate(4);
+    let m = miter::self_miter(&circuit, Default::default());
+    let result = find_correlations(&m.aig, &SimulationOptions::default());
+    let pairs = result.pair_correlations().count();
+    // One copy has `circuit.and_count()` gates; most should pair up.
+    assert!(
+        pairs >= circuit.and_count() / 2,
+        "{pairs} pairs for a {}-gate copy",
+        circuit.and_count()
+    );
+}
+
+/// On a restructured-variant miter, correlations still appear (the
+/// function is shared even when the structure is not).
+#[test]
+fn opt_miter_still_correlates() {
+    let base = generators::multiply_accumulate(4);
+    let variant = optimize::restructure_seeded(&base, 3);
+    let m = miter::build_fresh(&base, &variant, Default::default());
+    let result = find_correlations(&m.aig, &SimulationOptions::default());
+    assert!(result.pair_correlations().count() > 0);
+}
+
+/// A circuit of structurally independent random functions produces almost
+/// no pair correlations.
+#[test]
+fn independent_functions_rarely_correlate() {
+    let g = generators::random_logic(77, 16, 120, 4);
+    let result = find_correlations(&g, &SimulationOptions::default());
+    assert!(
+        result.pair_correlations().count() < g.and_count() / 4,
+        "{} of {}",
+        result.pair_correlations().count(),
+        g.and_count()
+    );
+}
+
+/// Classes report consistent phase vectors: the first member's phase is
+/// always false, and members are topologically ordered.
+#[test]
+fn class_invariants() {
+    let m = miter::self_miter(&generators::comparator(6), Default::default());
+    let result = find_correlations(&m.aig, &SimulationOptions::default());
+    for class in &result.classes {
+        assert!(!class.phases[0], "representative phase must be false");
+        assert_eq!(class.members.len(), class.phases.len());
+        for pair in class.members.windows(2) {
+            assert!(pair[0].index() < pair[1].index(), "members must be sorted");
+        }
+    }
+}
+
+/// Constant correlations actually hold on random probes.
+#[test]
+fn constant_correlations_hold() {
+    use rand::{Rng, SeedableRng};
+    let m = miter::self_miter(&generators::parity_tree(12), Default::default());
+    let result = find_correlations(&m.aig, &SimulationOptions::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+    for c in result.constant_correlations() {
+        let mut holds = 0;
+        for _ in 0..200 {
+            let bits: Vec<bool> = (0..m.aig.inputs().len())
+                .map(|_| rng.gen_bool(0.5))
+                .collect();
+            let values = m.aig.evaluate(&bits);
+            let v = values[c.a.index()];
+            let expect_zero = c.relation == Relation::Equal;
+            if v != expect_zero {
+                holds += 1;
+            }
+        }
+        assert!(holds >= 180, "{c:?} held on {holds}/200");
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: build a tiny circuit, ask the solver whether an output can
+//! be 1, and print the witness.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use csat::core::{Solver, SolverOptions, Verdict};
+use csat::netlist::Aig;
+
+fn main() {
+    // y = (a XOR b) AND c
+    let mut aig = Aig::new();
+    let a = aig.input();
+    let b = aig.input();
+    let c = aig.input();
+    let x = aig.xor(a, b);
+    let y = aig.and(x, c);
+    aig.set_output("y", y);
+
+    let mut solver = Solver::new(&aig, SolverOptions::default());
+    match solver.solve(y) {
+        Verdict::Sat(model) => {
+            println!("y = 1 is satisfiable with inputs a={} b={} c={}", model[0], model[1], model[2]);
+            // Cross-check by simulation.
+            let values = aig.evaluate(&model);
+            assert!(aig.lit_value(&values, y));
+        }
+        Verdict::Unsat => println!("y can never be 1"),
+        Verdict::Unknown => println!("budget exhausted"),
+    }
+
+    // The same solver can answer more queries; learned clauses carry over.
+    match solver.solve(!y) {
+        Verdict::Sat(model) => {
+            println!("y = 0 is satisfiable with inputs a={} b={} c={}", model[0], model[1], model[2])
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    println!("solver stats: {:?}", solver.stats());
+}

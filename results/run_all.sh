@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo
+for t in 5 3 6 1 8 2 4 7 9 10; do
+  ./target/release/table$t --timeout 60 > /root/repo/results/table$t.txt 2>&1
+  echo "table$t done $(date +%H:%M:%S)" >> /root/repo/results/progress.log
+done
+./target/release/ablations --quick --timeout 30 > /root/repo/results/ablations.txt 2>&1
+echo "ALL DONE $(date +%H:%M:%S)" >> /root/repo/results/progress.log

@@ -1,0 +1,9 @@
+#!/bin/bash
+cd /root/repo
+# wait for the in-flight table5 to exit
+while pgrep -x table5 >/dev/null; do sleep 2; done
+for t in 3 6 1 8 2 4 7 9 10; do
+  ./target/release/table$t --timeout 30 > /root/repo/results/table$t.txt 2>&1
+  echo "table$t done $(date +%H:%M:%S)" >> /root/repo/results/progress.log
+done
+echo "ALL DONE $(date +%H:%M:%S)" >> /root/repo/results/progress.log

@@ -1,0 +1,13 @@
+#!/usr/bin/env python3
+"""Splice results/table*.txt into EXPERIMENTS.md at the placeholder markers."""
+import re, pathlib
+root = pathlib.Path("/root/repo")
+text = (root / "EXPERIMENTS.md").read_text()
+for n in range(1, 11):
+    f = root / "results" / f"table{n}.txt"
+    marker = f"<!-- TABLE{n}-RESULTS -->"
+    if f.exists() and marker in text:
+        block = "```text\n" + f.read_text().rstrip() + "\n```"
+        text = text.replace(marker, block)
+(root / "EXPERIMENTS.md").write_text(text)
+print("spliced")

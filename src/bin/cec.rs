@@ -1,0 +1,196 @@
+//! `cec` — combinational equivalence checker.
+//!
+//! The paper's motivating application: given two circuit files with the
+//! same interface, prove them equivalent (UNSAT miter) or print a
+//! counterexample, using the full signal-correlation pipeline.
+//!
+//! ```text
+//! cec [OPTIONS] <LEFT> <RIGHT>
+//!
+//! LEFT/RIGHT: .bench or .aag circuit files (matched by input/output count)
+//!
+//! OPTIONS:
+//!   --no-learning       plain C-SAT-Jnode (no correlation learning)
+//!   --check-proof       verify an EQUIVALENT verdict by unit propagation
+//!   --timeout <SECS>    abort after this many seconds
+//!   --stats             print solver statistics
+//! ```
+//!
+//! Exit code 0 = equivalent, 1 = different, 2 = usage/input error,
+//! 3 = proof check failure, 4 = timeout.
+
+use std::error::Error;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use csat::core::{explicit, Budget, ExplicitOptions, Solver, SolverOptions, Verdict};
+use csat::netlist::{aiger, bench, miter, Aig};
+use csat::sim::{find_correlations, SimulationOptions};
+
+struct Options {
+    left: String,
+    right: String,
+    learning: bool,
+    check_proof: bool,
+    timeout: Option<Duration>,
+    stats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cec [--no-learning] [--check-proof] [--timeout SECS] [--stats] <left> <right>"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        left: String::new(),
+        right: String::new(),
+        learning: true,
+        check_proof: false,
+        timeout: None,
+        stats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--no-learning" => options.learning = false,
+            "--check-proof" => options.check_proof = true,
+            "--timeout" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| usage());
+                options.timeout = Some(Duration::from_secs(secs));
+            }
+            "--stats" => options.stats = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => {
+                if options.left.is_empty() {
+                    options.left = other.to_string();
+                } else if options.right.is_empty() {
+                    options.right = other.to_string();
+                } else {
+                    usage();
+                }
+            }
+            _ => usage(),
+        }
+    }
+    if options.right.is_empty() {
+        usage();
+    }
+    options
+}
+
+fn load(path: &str) -> Result<Aig, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let lower = path.to_lowercase();
+    if lower.ends_with(".bench") {
+        Ok(bench::parse(&text)?)
+    } else if lower.ends_with(".aag") || lower.ends_with(".aig") {
+        Ok(aiger::parse(&text)?)
+    } else {
+        Err("unrecognized file extension (use .bench or .aag)".into())
+    }
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+    let (left, right) = match (load(&options.left), load(&options.right)) {
+        (Ok(l), Ok(r)) => (l, r),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if left.inputs().len() != right.inputs().len()
+        || left.outputs().len() != right.outputs().len()
+    {
+        eprintln!(
+            "error: interface mismatch ({}×{} vs {}×{} inputs×outputs)",
+            left.inputs().len(),
+            left.outputs().len(),
+            right.inputs().len(),
+            right.outputs().len()
+        );
+        return ExitCode::from(2);
+    }
+    let m = miter::build_fresh(&left, &right, Default::default());
+    eprintln!(
+        "c miter: {} AND gates over {} inputs",
+        m.aig.and_count(),
+        m.aig.inputs().len()
+    );
+    let start = Instant::now();
+    let mut solver = Solver::new(
+        &m.aig,
+        if options.learning {
+            SolverOptions::with_implicit_learning()
+        } else {
+            SolverOptions::default()
+        },
+    );
+    if options.check_proof {
+        solver.start_proof();
+    }
+    if options.learning {
+        let correlations = find_correlations(&m.aig, &SimulationOptions::default());
+        eprintln!(
+            "c simulation: {} correlations in {:?}",
+            correlations.correlations.len(),
+            correlations.elapsed
+        );
+        solver.set_correlations(&correlations);
+        let report = explicit::run(&mut solver, &correlations, &ExplicitOptions::default());
+        eprintln!(
+            "c explicit learning: {}/{} sub-problems refuted",
+            report.refuted, report.subproblems
+        );
+    }
+    let budget = match options.timeout {
+        Some(t) => Budget::time(t),
+        None => Budget::UNLIMITED,
+    };
+    let verdict = solver.solve_with_budget(m.objective, &budget);
+    eprintln!("c solved in {:?}", start.elapsed());
+    if options.stats {
+        eprintln!("c stats: {:?}", solver.stats());
+    }
+    match verdict {
+        Verdict::Unsat => {
+            if options.check_proof {
+                let proof = solver.take_proof();
+                match csat::core::proof::verify_unsat(&m.aig, &proof, m.objective) {
+                    Ok(()) => eprintln!("c proof: VERIFIED ({} clauses)", proof.len()),
+                    Err(e) => {
+                        eprintln!("c proof: FAILED — {e}");
+                        return ExitCode::from(3);
+                    }
+                }
+            }
+            println!("EQUIVALENT");
+            ExitCode::SUCCESS
+        }
+        Verdict::Sat(model) => {
+            // Confirm and display the distinguishing input.
+            let lo = left.evaluate_outputs(&model);
+            let ro = right.evaluate_outputs(&model);
+            assert_ne!(lo, ro, "internal error: model does not distinguish");
+            let bits: String = model.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            println!("DIFFERENT");
+            println!("input: {bits}");
+            for (k, (name, _)) in left.outputs().iter().enumerate() {
+                if lo[k] != ro[k] {
+                    println!("output {name}: left={} right={}", lo[k] as u8, ro[k] as u8);
+                }
+            }
+            ExitCode::from(1)
+        }
+        Verdict::Unknown => {
+            println!("UNKNOWN (timeout)");
+            ExitCode::from(4)
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! `csat` — command-line circuit SAT solver.
+//!
+//! ```text
+//! csat [OPTIONS] <FILE>
+//!
+//! FILE formats (by extension): .bench, .aag, .cnf / .dimacs
+//!
+//! OPTIONS:
+//!   --output <NAME>     objective output (default: first output) = 1
+//!   --negate            ask for objective = 0 instead
+//!   --engine <E>        circuit | circuit-plain | cnf     [default: circuit]
+//!   --no-implicit       disable implicit correlation learning
+//!   --no-explicit       disable the explicit learning pass
+//!   --check-proof       verify UNSAT answers by reverse unit propagation
+//!   --timeout <SECS>    abort after this many seconds
+//!   --stats             print solver statistics
+//! ```
+
+use std::error::Error;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use csat::core::{explicit, ExplicitOptions, Budget, Solver, SolverOptions, Verdict};
+use csat::netlist::{aiger, bench, cnf::Cnf, two_level, Aig, Lit};
+use csat::sim::{find_correlations, SimulationOptions};
+
+struct Options {
+    file: String,
+    output: Option<String>,
+    negate: bool,
+    engine: Engine,
+    implicit: bool,
+    explicit_pass: bool,
+    check_proof: bool,
+    timeout: Option<Duration>,
+    stats: bool,
+}
+
+#[derive(PartialEq)]
+enum Engine {
+    Circuit,
+    CircuitPlain,
+    Cnf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: csat [--output NAME] [--negate] [--engine circuit|circuit-plain|cnf]\n\
+         \x20           [--no-implicit] [--no-explicit] [--check-proof]\n\
+         \x20           [--timeout SECS] [--stats] <file.{{bench,aag,cnf}}>"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        file: String::new(),
+        output: None,
+        negate: false,
+        engine: Engine::Circuit,
+        implicit: true,
+        explicit_pass: true,
+        check_proof: false,
+        timeout: None,
+        stats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--output" => options.output = Some(args.next().unwrap_or_else(|| usage())),
+            "--negate" => options.negate = true,
+            "--engine" => {
+                options.engine = match args.next().as_deref() {
+                    Some("circuit") => Engine::Circuit,
+                    Some("circuit-plain") => Engine::CircuitPlain,
+                    Some("cnf") => Engine::Cnf,
+                    _ => usage(),
+                }
+            }
+            "--no-implicit" => options.implicit = false,
+            "--no-explicit" => options.explicit_pass = false,
+            "--check-proof" => options.check_proof = true,
+            "--timeout" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| usage());
+                options.timeout = Some(Duration::from_secs(secs));
+            }
+            "--stats" => options.stats = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && options.file.is_empty() => {
+                options.file = other.to_string();
+            }
+            _ => usage(),
+        }
+    }
+    if options.file.is_empty() {
+        usage();
+    }
+    options
+}
+
+fn load(options: &Options) -> Result<(Aig, Lit), Box<dyn Error>> {
+    let text = std::fs::read_to_string(&options.file)?;
+    let lower = options.file.to_lowercase();
+    let (aig, default_objective) = if lower.ends_with(".bench") {
+        let aig = bench::parse(&text)?;
+        let obj = first_output(&aig)?;
+        (aig, obj)
+    } else if lower.ends_with(".aag") || lower.ends_with(".aig") {
+        let aig = aiger::parse(&text)?;
+        let obj = first_output(&aig)?;
+        (aig, obj)
+    } else if lower.ends_with(".cnf") || lower.ends_with(".dimacs") {
+        let cnf = Cnf::from_dimacs(&text)?;
+        let tl = two_level::from_cnf(&cnf);
+        (tl.aig, tl.objective)
+    } else {
+        return Err("unrecognized file extension (use .bench, .aag or .cnf)".into());
+    };
+    let objective = match &options.output {
+        Some(name) => aig
+            .output(name)
+            .ok_or_else(|| format!("no output named '{name}'"))?,
+        None => default_objective,
+    };
+    Ok((aig, objective.xor_complement(options.negate)))
+}
+
+fn first_output(aig: &Aig) -> Result<Lit, Box<dyn Error>> {
+    aig.outputs()
+        .first()
+        .map(|&(_, l)| l)
+        .ok_or_else(|| "circuit has no outputs".into())
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+    let (aig, objective) = match load(&options) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "c {}: {} inputs, {} AND gates, objective {objective:?}",
+        options.file,
+        aig.inputs().len(),
+        aig.and_count()
+    );
+    let start = Instant::now();
+    let verdict = match options.engine {
+        Engine::Cnf => {
+            let enc = csat::netlist::tseitin::encode_with_objective(&aig, objective);
+            let outcome = csat::cnf::Solver::new(
+                &enc.cnf,
+                csat::cnf::SolverOptions {
+                    max_time: options.timeout,
+                    ..Default::default()
+                },
+            )
+            .solve();
+            match outcome {
+                csat::cnf::Outcome::Sat(model) => {
+                    Verdict::Sat(enc.input_values(&aig, &model))
+                }
+                csat::cnf::Outcome::Unsat => Verdict::Unsat,
+                csat::cnf::Outcome::Unknown => Verdict::Unknown,
+            }
+        }
+        ref engine => {
+            let solver_options = SolverOptions {
+                jnode_decisions: *engine == Engine::Circuit,
+                implicit_learning: options.implicit,
+                ..Default::default()
+            };
+            let mut solver = Solver::new(&aig, solver_options);
+            if options.check_proof {
+                solver.start_proof();
+            }
+            if options.implicit || options.explicit_pass {
+                let correlations = find_correlations(&aig, &SimulationOptions::default());
+                eprintln!(
+                    "c simulation: {} correlations in {:?}",
+                    correlations.correlations.len(),
+                    correlations.elapsed
+                );
+                solver.set_correlations(&correlations);
+                if options.explicit_pass {
+                    let report =
+                        explicit::run(&mut solver, &correlations, &ExplicitOptions::default());
+                    eprintln!(
+                        "c explicit learning: {} sub-problems ({} refuted)",
+                        report.subproblems, report.refuted
+                    );
+                }
+            }
+            let budget = match options.timeout {
+                Some(t) => Budget::time(t),
+                None => Budget::UNLIMITED,
+            };
+            let verdict = solver.solve_with_budget(objective, &budget);
+            if options.stats {
+                eprintln!("c stats: {:?}", solver.stats());
+            }
+            if options.check_proof && verdict == Verdict::Unsat {
+                let proof = solver.take_proof();
+                match csat::core::proof::verify_unsat(&aig, &proof, objective) {
+                    Ok(()) => eprintln!("c proof: VERIFIED ({} clauses)", proof.len()),
+                    Err(e) => {
+                        eprintln!("c proof: FAILED — {e}");
+                        return ExitCode::from(3);
+                    }
+                }
+            }
+            verdict
+        }
+    };
+    eprintln!("c solved in {:?}", start.elapsed());
+    match verdict {
+        Verdict::Sat(model) => {
+            // Double-check the model by simulation before reporting.
+            let values = aig.evaluate(&model);
+            assert!(aig.lit_value(&values, objective), "internal error: bad model");
+            println!("s SATISFIABLE");
+            let bits: String = model.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            println!("v {bits}");
+            ExitCode::from(10)
+        }
+        Verdict::Unsat => {
+            println!("s UNSATISFIABLE");
+            ExitCode::from(20)
+        }
+        Verdict::Unknown => {
+            println!("s UNKNOWN");
+            ExitCode::SUCCESS
+        }
+    }
+}

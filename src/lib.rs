@@ -1,0 +1,35 @@
+//! # csat — a circuit SAT solver with signal correlation guided learning
+//!
+//! Facade crate re-exporting the whole workspace: a reproduction of
+//! *"A Circuit SAT Solver With Signal Correlation Guided Learning"*
+//! (Lu, Wang, Cheng, Huang — DATE 2003).
+//!
+//! * [`netlist`] — AIG circuits, `.bench`/DIMACS I/O, miters, generators.
+//! * [`sim`] — random simulation and signal-correlation discovery.
+//! * [`cnf`] — the ZChaff-class CNF CDCL baseline solver.
+//! * [`core`] — the circuit-based CDCL solver with J-node decisions and
+//!   implicit/explicit correlation-guided learning.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use csat::core::{Solver, SolverOptions, Verdict};
+//! use csat::netlist::Aig;
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.input();
+//! let b = aig.input();
+//! let y = aig.and(a, b);
+//! aig.set_output("y", y);
+//!
+//! let mut solver = Solver::new(&aig, SolverOptions::default());
+//! match solver.solve(y) {
+//!     Verdict::Sat(model) => assert_eq!(model, vec![true, true]),
+//!     other => panic!("expected SAT, got {other:?}"),
+//! }
+//! ```
+
+pub use csat_cnf as cnf;
+pub use csat_core as core;
+pub use csat_netlist as netlist;
+pub use csat_sim as sim;

@@ -1,0 +1,112 @@
+//! Property-based tests for the netlist I/O formats: `.bench` and AIGER
+//! round trips on random circuits, DIMACS round trips on random formulas,
+//! and conversion consistency between the circuit and CNF worlds.
+
+use csat::netlist::cnf::{Cnf, Lit as CLit, Var};
+use csat::netlist::{aiger, bench, generators, two_level};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `.bench` write → parse preserves function on random circuits.
+    #[test]
+    fn bench_roundtrip_preserves_function(seed in 0u64..10_000) {
+        let original = generators::random_logic(seed, 6, 30, 3);
+        let text = bench::write(&original);
+        let back = bench::parse(&text).expect("reparse");
+        prop_assert_eq!(back.inputs().len(), original.inputs().len());
+        prop_assert_eq!(back.outputs().len(), original.outputs().len());
+        for code in 0..64u32 {
+            let bits: Vec<bool> = (0..6).map(|i| code >> i & 1 != 0).collect();
+            prop_assert_eq!(
+                original.evaluate_outputs(&bits),
+                back.evaluate_outputs(&bits)
+            );
+        }
+    }
+
+    /// AIGER write → parse preserves function and gate count.
+    #[test]
+    fn aiger_roundtrip_preserves_function(seed in 0u64..10_000) {
+        let original = generators::random_logic(seed, 5, 25, 2);
+        let text = aiger::write(&original);
+        let back = aiger::parse(&text).expect("reparse");
+        prop_assert_eq!(back.and_count(), original.and_count());
+        for code in 0..32u32 {
+            let bits: Vec<bool> = (0..5).map(|i| code >> i & 1 != 0).collect();
+            prop_assert_eq!(
+                original.evaluate_outputs(&bits),
+                back.evaluate_outputs(&bits)
+            );
+        }
+    }
+
+    /// DIMACS text → Cnf → text → Cnf is a fixpoint.
+    #[test]
+    fn dimacs_roundtrip_is_fixpoint(
+        clauses in prop::collection::vec(
+            prop::collection::vec((0u32..6, any::<bool>()), 1..4),
+            0..16,
+        )
+    ) {
+        let mut cnf = Cnf::with_vars(6);
+        for clause in clauses {
+            cnf.add_clause(
+                clause
+                    .into_iter()
+                    .map(|(v, neg)| CLit::new(Var(v), neg))
+                    .collect(),
+            );
+        }
+        let text = cnf.to_dimacs();
+        let once = Cnf::from_dimacs(&text).expect("first parse");
+        let text2 = once.to_dimacs();
+        let twice = Cnf::from_dimacs(&text2).expect("second parse");
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(&once, &cnf);
+    }
+
+    /// CNF → 2-level circuit objective is exactly the formula's truth value.
+    #[test]
+    fn two_level_objective_equals_formula(
+        clauses in prop::collection::vec(
+            prop::collection::vec((0u32..5, any::<bool>()), 1..4),
+            1..12,
+        )
+    ) {
+        let mut cnf = Cnf::with_vars(5);
+        for clause in clauses {
+            cnf.add_clause(
+                clause
+                    .into_iter()
+                    .map(|(v, neg)| CLit::new(Var(v), neg))
+                    .collect(),
+            );
+        }
+        let tl = two_level::from_cnf(&cnf);
+        for code in 0..32u32 {
+            let assignment: Vec<bool> = (0..5).map(|i| code >> i & 1 != 0).collect();
+            let values = tl.aig.evaluate(&assignment);
+            prop_assert_eq!(
+                tl.aig.lit_value(&values, tl.objective),
+                cnf.evaluate(&assignment)
+            );
+        }
+    }
+
+    /// bench → aiger → bench chains preserve function.
+    #[test]
+    fn cross_format_chain_preserves_function(seed in 0u64..5_000) {
+        let original = generators::random_logic(seed, 5, 20, 2);
+        let via_bench = bench::parse(&bench::write(&original)).expect("bench");
+        let via_aiger = aiger::parse(&aiger::write(&via_bench)).expect("aiger");
+        for code in 0..32u32 {
+            let bits: Vec<bool> = (0..5).map(|i| code >> i & 1 != 0).collect();
+            prop_assert_eq!(
+                original.evaluate_outputs(&bits),
+                via_aiger.evaluate_outputs(&bits)
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests over the whole stack: random circuits and random
+//! formulas, cross-checked between the circuit solver, the CNF solver and
+//! brute force.
+
+use csat::core::{Solver, SolverOptions, Verdict};
+use csat::netlist::cnf::{Cnf, Lit as CLit, Var};
+use csat::netlist::{generators, optimize, tseitin, two_level};
+use csat::sim::{find_correlations, SimulationOptions};
+use proptest::prelude::*;
+
+/// Strategy: a small random CNF.
+fn small_cnf() -> impl Strategy<Value = Cnf> {
+    let clause = prop::collection::vec((0u32..8, any::<bool>()), 1..4);
+    prop::collection::vec(clause, 1..24).prop_map(|clauses| {
+        let mut cnf = Cnf::with_vars(8);
+        for c in clauses {
+            cnf.add_clause(
+                c.into_iter()
+                    .map(|(v, neg)| CLit::new(Var(v), neg))
+                    .collect(),
+            );
+        }
+        cnf
+    })
+}
+
+fn brute_force(cnf: &Cnf) -> bool {
+    let n = cnf.num_vars();
+    (0..1u32 << n).any(|code| {
+        let assignment: Vec<bool> = (0..n).map(|i| code >> i & 1 != 0).collect();
+        cnf.evaluate(&assignment)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The CNF solver agrees with brute force, and SAT models check out.
+    #[test]
+    fn cnf_solver_matches_brute_force(cnf in small_cnf()) {
+        let outcome = csat::cnf::Solver::new(&cnf, Default::default()).solve();
+        let expected = brute_force(&cnf);
+        match outcome {
+            csat::cnf::Outcome::Sat(model) => {
+                prop_assert!(expected);
+                prop_assert!(cnf.evaluate(&model));
+            }
+            csat::cnf::Outcome::Unsat => prop_assert!(!expected),
+            csat::cnf::Outcome::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    /// The circuit solver on the 2-level conversion agrees with the CNF
+    /// solver on the original formula.
+    #[test]
+    fn circuit_solver_agrees_on_two_level_conversion(cnf in small_cnf()) {
+        let cnf_outcome = csat::cnf::Solver::new(&cnf, Default::default()).solve();
+        let tl = two_level::from_cnf(&cnf);
+        let mut solver = Solver::new(&tl.aig, SolverOptions::default());
+        match (solver.solve(tl.objective), cnf_outcome) {
+            (Verdict::Sat(inputs), csat::cnf::Outcome::Sat(_)) => {
+                let assignment = tl.cnf_assignment(&inputs);
+                prop_assert!(cnf.evaluate(&assignment));
+            }
+            (Verdict::Unsat, csat::cnf::Outcome::Unsat) => {}
+            other => prop_assert!(false, "mismatch: {other:?}"),
+        }
+    }
+
+    /// Random circuits: the circuit solver (all modes) agrees with the CNF
+    /// solver on the Tseitin encoding.
+    #[test]
+    fn circuit_solver_agrees_with_tseitin(seed in 0u64..10_000, jnode in any::<bool>()) {
+        let aig = generators::random_logic(seed, 7, 40, 2);
+        let objective = aig.outputs()[0].1;
+        let options = SolverOptions { jnode_decisions: jnode, ..Default::default() };
+        let mut solver = Solver::new(&aig, options);
+        let circuit = solver.solve(objective);
+        let enc = tseitin::encode_with_objective(&aig, objective);
+        let cnf = csat::cnf::Solver::new(&enc.cnf, Default::default()).solve();
+        match (circuit, cnf) {
+            (Verdict::Sat(model), csat::cnf::Outcome::Sat(_)) => {
+                let values = aig.evaluate(&model);
+                prop_assert!(aig.lit_value(&values, objective));
+            }
+            (Verdict::Unsat, csat::cnf::Outcome::Unsat) => {}
+            other => prop_assert!(false, "mismatch: {other:?}"),
+        }
+    }
+
+    /// The restructuring optimizer preserves function on random circuits.
+    #[test]
+    fn restructure_preserves_function(seed in 0u64..10_000) {
+        let original = generators::random_logic(seed, 6, 30, 3);
+        let variant = optimize::restructure_seeded(&original, seed ^ 0xABCD);
+        for code in 0..64u32 {
+            let assignment: Vec<bool> = (0..6).map(|i| code >> i & 1 != 0).collect();
+            prop_assert_eq!(
+                original.evaluate_outputs(&assignment),
+                variant.evaluate_outputs(&assignment)
+            );
+        }
+    }
+
+    /// Every correlation discovered by random simulation holds on a large
+    /// random sample (they are "high probability" facts by construction).
+    #[test]
+    fn correlations_hold_on_most_inputs(seed in 0u64..2_000) {
+        let aig = generators::random_logic(seed, 10, 60, 3);
+        let result = find_correlations(&aig, &SimulationOptions::default());
+        for c in &result.correlations {
+            let mut agree = 0u32;
+            for code in 0..1024u32 {
+                let assignment: Vec<bool> = (0..10).map(|i| code >> i & 1 != 0).collect();
+                let values = aig.evaluate(&assignment);
+                let va = values[c.a.index()];
+                let vb = values[c.b.index()];
+                let holds = match c.relation {
+                    csat::sim::Relation::Equal => va == vb,
+                    csat::sim::Relation::Opposite => va != vb,
+                };
+                if holds {
+                    agree += 1;
+                }
+            }
+            prop_assert!(agree >= 900, "correlation {c:?} held {agree}/1024");
+        }
+    }
+
+    /// Tseitin encodings are satisfied by circuit evaluations and reject
+    /// corrupted node values.
+    #[test]
+    fn tseitin_characterizes_circuit(seed in 0u64..10_000, code in 0u32..64) {
+        let aig = generators::random_logic(seed, 6, 25, 2);
+        let enc = tseitin::encode(&aig);
+        let assignment: Vec<bool> = (0..6).map(|i| code >> i & 1 != 0).collect();
+        let values = aig.evaluate(&assignment);
+        prop_assert!(enc.cnf.evaluate(&values));
+        // Corrupt one AND output.
+        let gate = aig.node_ids().find(|&id| aig.node(id).is_and());
+        if let Some(gate) = gate {
+            let mut corrupted = values.clone();
+            corrupted[gate.index()] = !corrupted[gate.index()];
+            prop_assert!(!enc.cnf.evaluate(&corrupted));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests for SAT sweeping: fraig must preserve function on
+//! arbitrary circuits and never grow them.
+
+use csat::core::sweep::{fraig, FraigOptions};
+use csat::netlist::{generators, miter, optimize, Aig, Lit};
+use proptest::prelude::*;
+
+fn equivalent_on_sample(a: &Aig, b: &Aig, samples: u32) -> bool {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xFAB);
+    let n = a.inputs().len();
+    for _ in 0..samples {
+        let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        if a.evaluate_outputs(&bits) != b.evaluate_outputs(&bits) {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sweeping random circuits preserves every output function.
+    #[test]
+    fn fraig_preserves_random_logic(seed in 0u64..5_000) {
+        let g = generators::random_logic(seed, 8, 60, 4);
+        let result = fraig(&g, &FraigOptions::default());
+        prop_assert!(result.aig.and_count() <= g.and_count());
+        for code in 0..256u32 {
+            let bits: Vec<bool> = (0..8).map(|i| code >> i & 1 != 0).collect();
+            prop_assert_eq!(g.evaluate_outputs(&bits), result.aig.evaluate_outputs(&bits));
+        }
+    }
+
+    /// Sweeping a self-miter always proves the output constant false.
+    #[test]
+    fn fraig_collapses_self_miters(seed in 0u64..2_000) {
+        let g = generators::random_logic(seed, 7, 40, 3);
+        let m = miter::self_miter(&g, Default::default());
+        let result = fraig(&m.aig, &FraigOptions::default());
+        let (_, out) = &result.aig.outputs()[0];
+        prop_assert_eq!(*out, Lit::FALSE, "merged {} of {}", result.merged, result.candidates);
+    }
+
+    /// Sweeping the union of a circuit and its restructured variant keeps
+    /// all outputs and shrinks the netlist.
+    #[test]
+    fn fraig_dedups_restructured_variants(seed in 0u64..2_000) {
+        let base = generators::random_logic(seed, 8, 50, 3);
+        let variant = optimize::restructure_seeded(&base, seed ^ 0xF00D);
+        let mut union = Aig::new();
+        let inputs: Vec<Lit> = (0..base.inputs().len()).map(|_| union.input()).collect();
+        let bouts = miter::import(&mut union, &base, &inputs);
+        let vouts = miter::import_fresh(&mut union, &variant, &inputs);
+        for (k, (&bo, &vo)) in bouts.iter().zip(&vouts).enumerate() {
+            union.set_output(format!("b{k}"), bo);
+            union.set_output(format!("v{k}"), vo);
+        }
+        let result = fraig(&union, &FraigOptions::default());
+        prop_assert!(result.aig.and_count() <= union.and_count());
+        prop_assert!(equivalent_on_sample(&union, &result.aig, 200));
+    }
+}
