@@ -1,0 +1,62 @@
+//! Criterion benches for the random-simulation engine: the pre-batching
+//! single-word path (fresh buffers + per-node dispatch, 64 patterns per
+//! round) against the batched [`SimEngine`] at several widths, and — with
+//! `--features parallel` — the pattern-sharded multi-threaded path, on
+//! three circuit sizes.
+//!
+//! Note the rounds differ in size: a `scalar-w1` iteration simulates 64
+//! patterns, a `batched-w4` iteration 256. `sim_bench` (the binary)
+//! normalizes to ns/pattern and writes `BENCH_sim.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use csat_netlist::{generators, miter, Aig};
+use csat_sim::{fill_random_words, seeded_rng, simulate_words, SimEngine};
+
+fn circuits() -> Vec<(&'static str, Aig)> {
+    let m = |aig: &Aig| miter::self_miter(aig, Default::default()).aig;
+    vec![
+        ("rca16.miter", m(&generators::ripple_carry_adder(16))),
+        ("csa32.miter", m(&generators::carry_select_adder(32, 4))),
+        ("mult16.miter", m(&generators::array_multiplier(16))),
+    ]
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    for (name, aig) in circuits() {
+        let mut g = c.benchmark_group(format!("simulate/{name}"));
+        g.sample_size(20);
+
+        // The engine the batched rewrite replaced: one 64-pattern word per
+        // node, a fresh result vector and enum dispatch every round.
+        g.bench_function("scalar-w1", |b| {
+            let mut rng = seeded_rng(1);
+            let mut inputs = vec![0u64; aig.inputs().len()];
+            b.iter(|| {
+                fill_random_words(&mut rng, &mut inputs);
+                black_box(simulate_words(&aig, &inputs));
+            })
+        });
+
+        for words in [1usize, 4, 8] {
+            let mut engine = SimEngine::new(&aig, words, 1);
+            let mut rng = seeded_rng(1);
+            g.bench_function(format!("batched-w{words}"), |b| {
+                b.iter(|| engine.next_round(&mut rng))
+            });
+        }
+
+        #[cfg(feature = "parallel")]
+        for threads in [2usize, 4] {
+            let mut engine = SimEngine::new(&aig, 8, threads);
+            let mut rng = seeded_rng(1);
+            g.bench_function(format!("parallel-w8-t{threads}"), |b| {
+                b.iter(|| engine.next_round(&mut rng))
+            });
+        }
+
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

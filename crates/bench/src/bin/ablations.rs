@@ -64,6 +64,7 @@ fn main() {
             let config = CircuitConfig {
                 options: *options,
                 learning: *learning,
+                simulation: Default::default(),
                 timeout,
             };
             let r = run_circuit_solver(w, &config);

@@ -1,0 +1,154 @@
+//! Measures the simulation engine's throughput and writes `BENCH_sim.json`.
+//!
+//! Rows: the pre-batching single-word path (`engine = "scalar"`: fresh
+//! buffers + per-node dispatch, as before the batched rewrite), the batched
+//! [`SimEngine`] at widths 1/4/8 on one thread, and — when built with
+//! `--features parallel` — the pattern-sharded path on 2 and 4 threads.
+//! Every row reports nanoseconds per simulated pattern, so differently
+//! sized rounds compare directly.
+//!
+//! ```sh
+//! cargo run --release -p csat-bench --features parallel --bin sim_bench \
+//!     -- [BENCH_sim.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use csat_netlist::{generators, miter, Aig};
+use csat_sim::{fill_random_words, seeded_rng, simulate_words, SimEngine};
+
+struct Row {
+    circuit: String,
+    engine: &'static str,
+    words: usize,
+    threads: usize,
+    ns_per_pattern: f64,
+}
+
+/// Times `round` (one simulation round of `patterns` patterns): brief
+/// warm-up, then enough iterations for a ~0.3 s measurement window.
+fn measure(patterns: u64, mut round: impl FnMut()) -> f64 {
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < Duration::from_millis(50) {
+        round();
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let iters = ((0.3 / per_iter).ceil() as u64).clamp(3, 10_000_000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        round();
+    }
+    start.elapsed().as_nanos() as f64 / (iters * patterns) as f64
+}
+
+fn bench_circuit(name: &str, aig: &Aig, rows: &mut Vec<Row>) {
+    eprintln!(
+        "{name}: {} AND gates over {} inputs",
+        aig.and_count(),
+        aig.inputs().len()
+    );
+    let mut push = |engine, words, threads, ns_per_pattern| {
+        eprintln!("  {engine:>8} w={words} t={threads}: {ns_per_pattern:.3} ns/pattern");
+        rows.push(Row {
+            circuit: name.to_string(),
+            engine,
+            words,
+            threads,
+            ns_per_pattern,
+        });
+    };
+
+    let mut rng = seeded_rng(1);
+    let mut inputs = vec![0u64; aig.inputs().len()];
+    let ns = measure(64, || {
+        fill_random_words(&mut rng, &mut inputs);
+        std::hint::black_box(simulate_words(aig, &inputs));
+    });
+    push("scalar", 1, 1, ns);
+
+    for words in [1usize, 4, 8] {
+        let mut engine = SimEngine::new(aig, words, 1);
+        let mut rng = seeded_rng(1);
+        let ns = measure(engine.patterns_per_round(), || engine.next_round(&mut rng));
+        push("batched", words, 1, ns);
+    }
+
+    // The sharded path amortizes its round overhead over wide rounds, so
+    // measure it (and its 1-thread reference) at w=32: 2048 patterns.
+    #[cfg(feature = "parallel")]
+    for threads in [1usize, 2, 4] {
+        let mut engine = SimEngine::new(aig, 32, threads);
+        let mut rng = seeded_rng(1);
+        let ns = measure(engine.patterns_per_round(), || engine.next_round(&mut rng));
+        push("parallel", 32, threads, ns);
+    }
+}
+
+fn to_json(rows: &[Row], host_cpus: usize) -> String {
+    let mut out = String::new();
+    writeln!(out, "{{").expect("string write");
+    writeln!(out, "  \"host_cpus\": {host_cpus},").expect("string write");
+    writeln!(out, "  \"rows\": [").expect("string write");
+    for (k, r) in rows.iter().enumerate() {
+        let comma = if k + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"circuit\": \"{}\", \"engine\": \"{}\", \"words\": {}, \
+             \"threads\": {}, \"ns_per_pattern\": {:.4}}}{comma}",
+            r.circuit, r.engine, r.words, r.threads, r.ns_per_pattern
+        )
+        .expect("string write");
+    }
+    writeln!(out, "  ]").expect("string write");
+    writeln!(out, "}}").expect("string write");
+    out
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let m = |aig: &Aig| miter::self_miter(aig, Default::default()).aig;
+    let circuits = [
+        ("csa32.miter", m(&generators::carry_select_adder(32, 4))),
+        ("mult16.miter", m(&generators::array_multiplier(16))),
+        ("scan256x128", generators::scan_style(7, 256, 128)),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, aig) in &circuits {
+        bench_circuit(name, aig, &mut rows);
+    }
+
+    for (name, _) in &circuits {
+        let of = |engine: &str, words: usize, threads: usize| {
+            rows.iter()
+                .find(|r| {
+                    r.circuit == *name
+                        && r.engine == engine
+                        && r.words == words
+                        && r.threads == threads
+                })
+                .map(|r| r.ns_per_pattern)
+        };
+        if let (Some(scalar), Some(batched)) = (of("scalar", 1, 1), of("batched", 4, 1)) {
+            eprintln!("{name}: batched w=4 speedup over scalar: {:.2}x", scalar / batched);
+        }
+        if let (Some(serial), Some(par)) = (of("parallel", 32, 1), of("parallel", 32, 2)) {
+            eprintln!("{name}: 2-thread speedup over 1-thread (w=32): {:.2}x", serial / par);
+        }
+    }
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if host_cpus < 2 {
+        eprintln!(
+            "note: host exposes {host_cpus} CPU — threads > 1 timeslice a single \
+             core, so multi-thread rows measure pure sharding overhead here"
+        );
+    }
+
+    std::fs::write(&path, to_json(&rows, host_cpus)).expect("write BENCH_sim.json");
+    eprintln!("wrote {path} ({} rows)", rows.len());
+}

@@ -130,6 +130,8 @@ pub struct CircuitConfig {
     pub options: SolverOptions,
     /// Correlation learning mode.
     pub learning: LearningMode,
+    /// Random-simulation engine options (batch width, threads, seed).
+    pub simulation: SimulationOptions,
     /// Wall-clock budget for the final solve.
     pub timeout: Duration,
 }
@@ -140,6 +142,7 @@ impl CircuitConfig {
         CircuitConfig {
             options: SolverOptions::default(),
             learning: LearningMode::None,
+            simulation: SimulationOptions::default(),
             timeout,
         }
     }
@@ -149,6 +152,7 @@ impl CircuitConfig {
         CircuitConfig {
             options: SolverOptions::plain_csat(),
             learning: LearningMode::None,
+            simulation: SimulationOptions::default(),
             timeout,
         }
     }
@@ -158,6 +162,7 @@ impl CircuitConfig {
         CircuitConfig {
             options: SolverOptions::with_implicit_learning(),
             learning: LearningMode::Implicit,
+            simulation: SimulationOptions::default(),
             timeout,
         }
     }
@@ -167,8 +172,15 @@ impl CircuitConfig {
         CircuitConfig {
             options: SolverOptions::with_implicit_learning(),
             learning: LearningMode::Explicit(options),
+            simulation: SimulationOptions::default(),
             timeout,
         }
+    }
+
+    /// The same configuration with different simulation-engine options.
+    pub fn with_simulation(mut self, simulation: SimulationOptions) -> CircuitConfig {
+        self.simulation = simulation;
+        self
     }
 }
 
@@ -182,7 +194,7 @@ pub fn run_circuit_solver(workload: &Workload, config: &CircuitConfig) -> RunRes
     let correlations = match config.learning {
         LearningMode::None => None,
         LearningMode::Implicit | LearningMode::Explicit(_) | LearningMode::ExplicitOnly(_) => {
-            let result = find_correlations(&workload.aig, &SimulationOptions::default());
+            let result = find_correlations(&workload.aig, &config.simulation);
             sim_seconds = result.elapsed.as_secs_f64();
             Some(result)
         }

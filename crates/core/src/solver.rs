@@ -51,6 +51,16 @@ struct LearnedClause {
     activity: f64,
 }
 
+/// Watch-list entry: a clause plus a *blocker* — some other literal of the
+/// clause, updated opportunistically. When the blocker is already true the
+/// clause is satisfied, so propagation can skip it without dereferencing
+/// the clause at all (the MiniSat blocking-literal optimization).
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: u32,
+    blocker: Lit,
+}
+
 /// A free literal of an unsatisfied learned clause, queued as a decision
 /// candidate (learned gates are J-nodes, paper Section IV-A).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,7 +122,7 @@ pub struct Solver<'a> {
     qhead: usize,
     clauses: Vec<LearnedClause>,
     /// watches[l.code()]: learned clauses watching literal l.
-    watches: Vec<Vec<u32>>,
+    watches: Vec<Vec<Watcher>>,
     activity: Vec<f64>,
     bump: f64,
     /// VSIDS heap over all nodes (plain C-SAT mode).
@@ -566,7 +576,13 @@ impl<'a> Solver<'a> {
         let mut i = 0;
         let mut result = Ok(());
         while i < watch_list.len() {
-            let cref = watch_list[i];
+            let Watcher { cref, blocker } = watch_list[i];
+            // Blocker check: if the cached co-watched literal is already
+            // true the clause is satisfied — skip without touching it.
+            if self.lit_value(blocker) == TRUE {
+                i += 1;
+                continue;
+            }
             let (first, new_watch) = {
                 let values = &self.values;
                 let val = |lit: Lit| -> u8 {
@@ -588,6 +604,9 @@ impl<'a> Solver<'a> {
                 debug_assert_eq!(clause.lits[1], falsified);
                 let first = clause.lits[0];
                 if val(first) == TRUE {
+                    // Remember the satisfying literal so later rounds can
+                    // skip the clause from the blocker check alone.
+                    watch_list[i].blocker = first;
                     i += 1;
                     continue;
                 }
@@ -603,7 +622,10 @@ impl<'a> Solver<'a> {
                 (first, new_watch)
             };
             if let Some(cand) = new_watch {
-                self.watches[cand.code()].push(cref);
+                self.watches[cand.code()].push(Watcher {
+                    cref,
+                    blocker: first,
+                });
                 watch_list.swap_remove(i);
                 continue;
             }
@@ -817,8 +839,14 @@ impl<'a> Solver<'a> {
     fn attach_clause(&mut self, lits: Vec<Lit>) -> u32 {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len() as u32;
-        self.watches[lits[0].code()].push(cref);
-        self.watches[lits[1].code()].push(cref);
+        self.watches[lits[0].code()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].code()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
         if self.options.jnode_decisions {
             // Learned gates are J-nodes (paper Section IV-A): make their
             // free literals decision candidates.

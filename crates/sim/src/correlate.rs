@@ -3,7 +3,7 @@
 //!
 //! Every node starts in one class together with the constant 0. Each
 //! simulation round refines the partition: two nodes stay in the same class
-//! only if their 64-pattern words are equal *up to complementation* — the
+//! only if their pattern signatures are equal *up to complementation* — the
 //! polarity normalization is what lets a single refinement discover both
 //! `s_i = s_j` and `s_i ≠ s_j` (and, via the constant node's class, `s = 0`
 //! and `s = 1`). Refinement stops after [`SimulationOptions::stall_rounds`]
@@ -11,15 +11,25 @@
 //! classes larger than [`SimulationOptions::max_class_size`] (paper: three)
 //! are discarded as artifacts of ineffective simulation rather than real
 //! correlations.
+//!
+//! Rounds are batched: the [`SimEngine`] simulates
+//! [`SimulationOptions::words`] u64 words per node per round, and
+//! refinement runs allocation-free — an epoch-stamped open-addressed table
+//! keyed on `(class, signature fingerprint)` replaces the per-round hash
+//! map, and an `active` bitset (shrinking monotonically) skips nodes whose
+//! class has collapsed to a singleton, since refinement only ever splits.
+//! Candidate fingerprint matches are verified against the exact normalized
+//! signature, so hashing can never change the discovered partition: with
+//! `words = 1` the results are identical to the original single-word
+//! engine, bit for bit.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use csat_netlist::{Aig, NodeId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use crate::parallel::{random_input_words, simulate_words};
+use crate::engine::{fingerprint, normalized_eq, SimEngine, SimStats};
+use crate::parallel::seeded_rng;
 
 /// How two correlated signals relate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -77,6 +87,12 @@ pub struct SimulationOptions {
     /// Non-constant classes with more members than this are discarded
     /// (paper: 3).
     pub max_class_size: usize,
+    /// u64 words simulated per node per round (`64 * words` patterns per
+    /// round). `1` reproduces the original single-word engine exactly.
+    pub words: usize,
+    /// Simulation threads per round. Only effective when the `parallel`
+    /// cargo feature is enabled; clamped to `words`.
+    pub threads: usize,
 }
 
 impl Default for SimulationOptions {
@@ -86,6 +102,8 @@ impl Default for SimulationOptions {
             stall_rounds: 4,
             max_rounds: 256,
             max_class_size: 3,
+            words: 4,
+            threads: 1,
         }
     }
 }
@@ -99,10 +117,12 @@ pub struct CorrelationResult {
     /// are chained, and every member of a constant class is paired with the
     /// constant.
     pub correlations: Vec<Correlation>,
-    /// Simulation rounds executed (64 patterns each).
+    /// Simulation rounds executed (`64 * words` patterns each).
     pub rounds: usize,
     /// Wall-clock time spent simulating and refining.
     pub elapsed: Duration,
+    /// Detailed counters: rounds, patterns, splits, per-phase wall time.
+    pub stats: SimStats,
 }
 
 impl CorrelationResult {
@@ -114,6 +134,97 @@ impl CorrelationResult {
     /// Signal-pair correlations only (no constant involved).
     pub fn pair_correlations(&self) -> impl Iterator<Item = &Correlation> {
         self.correlations.iter().filter(|c| !c.is_constant())
+    }
+}
+
+/// Open-addressed `(class, signature) → new class` table, reused across
+/// rounds. Slots are invalidated wholesale by bumping `epoch` — no
+/// clearing pass, no reallocation. Fingerprint matches are confirmed
+/// against the exact signature via the candidate's representative node.
+struct RefineTable {
+    mask: usize,
+    epoch: u32,
+    epochs: Vec<u32>,
+    class_of: Vec<u32>,
+    fp_of: Vec<u64>,
+    rep_of: Vec<u32>,
+    id_of: Vec<u32>,
+}
+
+impl RefineTable {
+    fn new(nodes: usize) -> RefineTable {
+        let capacity = (2 * nodes.max(1)).next_power_of_two();
+        RefineTable {
+            mask: capacity - 1,
+            epoch: 0,
+            epochs: vec![0; capacity],
+            class_of: vec![0; capacity],
+            fp_of: vec![0; capacity],
+            rep_of: vec![0; capacity],
+            id_of: vec![0; capacity],
+        }
+    }
+
+    /// Invalidates every slot in O(1).
+    fn begin_round(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Finds the new class for `node` within old class `class`, or inserts
+    /// a fresh entry with class id `fresh`. Returns `(id, inserted)`.
+    fn classify(
+        &mut self,
+        class: u32,
+        fp: u64,
+        node: u32,
+        fresh: u32,
+        engine: &SimEngine,
+    ) -> (u32, bool) {
+        let mut slot = (fp ^ (class as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize
+            & self.mask;
+        loop {
+            if self.epochs[slot] != self.epoch {
+                self.epochs[slot] = self.epoch;
+                self.class_of[slot] = class;
+                self.fp_of[slot] = fp;
+                self.rep_of[slot] = node;
+                self.id_of[slot] = fresh;
+                return (fresh, true);
+            }
+            if self.class_of[slot] == class
+                && self.fp_of[slot] == fp
+                && normalized_eq(
+                    engine.signature(NodeId::from_index(self.rep_of[slot] as usize)),
+                    engine.signature(NodeId::from_index(node as usize)),
+                )
+            {
+                return (self.id_of[slot], false);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
+/// Dense bitset over node indices; only ever cleared, never re-set.
+struct ActiveSet {
+    bits: Vec<u64>,
+}
+
+impl ActiveSet {
+    fn all(n: usize) -> ActiveSet {
+        ActiveSet {
+            bits: vec![!0u64; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn contains(&self, i: usize) -> bool {
+        self.bits[i / 64] >> (i % 64) & 1 != 0
+    }
+
+    #[inline]
+    fn remove(&mut self, i: usize) {
+        self.bits[i / 64] &= !(1u64 << (i % 64));
     }
 }
 
@@ -139,56 +250,99 @@ impl CorrelationResult {
 pub fn find_correlations(aig: &Aig, options: &SimulationOptions) -> CorrelationResult {
     let start = Instant::now();
     let n = aig.len();
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut engine = SimEngine::new(aig, options.words, options.threads);
+    let mut rng = seeded_rng(options.seed);
+    let mut stats = SimStats::default();
 
     // class[i]: current class of node i. Everything starts with the
-    // constant in class 0.
+    // constant in class 0. Fresh ids come from a never-reused counter, so
+    // ids frozen on deactivated singletons can't collide with later ones.
     let mut class = vec![0u32; n];
-    let mut num_classes = 1usize;
-    let mut last_words = vec![0u64; n];
-    let mut stall = 0usize;
-    let mut rounds = 0usize;
+    let mut active = ActiveSet::all(n);
+    let mut table = RefineTable::new(n);
+    let mut next_class_id = 1u32;
+    // Sizes and first members of the classes created this round, indexed
+    // by `id - round_base`; reused across rounds.
+    let mut round_sizes: Vec<u32> = Vec::with_capacity(n);
+    let mut round_firsts: Vec<u32> = Vec::with_capacity(n);
 
-    while stall < options.stall_rounds && rounds < options.max_rounds && num_classes < n {
-        let inputs = random_input_words(aig, &mut rng);
-        let words = simulate_words(aig, &inputs);
-        // Refine: key = (old class, polarity-normalized word).
-        let mut table: HashMap<(u32, u64), u32> = HashMap::with_capacity(n);
-        let mut next = vec![0u32; n];
-        let mut fresh = 0u32;
-        for (i, &w) in words.iter().enumerate() {
-            let norm = if w & 1 != 0 { !w } else { w };
-            let id = *table.entry((class[i], norm)).or_insert_with(|| {
-                let id = fresh;
-                fresh += 1;
-                id
-            });
-            next[i] = id;
+    let mut num_classes = 1usize;
+    let mut singletons = 0usize;
+    let mut stall = 0usize;
+
+    while stall < options.stall_rounds && stats.rounds < options.max_rounds && num_classes < n {
+        let sim_start = Instant::now();
+        engine.next_round(&mut rng);
+        stats.sim_time += sim_start.elapsed();
+
+        let refine_start = Instant::now();
+        table.begin_round();
+        let round_base = next_class_id;
+        round_sizes.clear();
+        round_firsts.clear();
+        for i in 0..n {
+            if !active.contains(i) {
+                continue;
+            }
+            let fp = fingerprint(engine.signature(NodeId::from_index(i)));
+            let (id, inserted) =
+                table.classify(class[i], fp, i as u32, next_class_id, &engine);
+            if inserted {
+                next_class_id += 1;
+                round_sizes.push(1);
+                round_firsts.push(i as u32);
+            } else {
+                round_sizes[(id - round_base) as usize] += 1;
+            }
+            // In-place is safe: class[i] is only consulted for node i.
+            class[i] = id;
         }
-        let new_classes = fresh as usize;
-        if new_classes == num_classes {
+        // This round's classes plus the singletons retired in earlier
+        // rounds (whose nodes no longer appear in `round_sizes`).
+        let total = round_sizes.len() + singletons;
+        // A class that shrank to one member can never merge back — retire
+        // its node from refinement (simulation still covers it; its final
+        // signature is only needed if it rejoins a report, which it can't).
+        for (k, &size) in round_sizes.iter().enumerate() {
+            if size == 1 {
+                active.remove(round_firsts[k] as usize);
+                singletons += 1;
+            }
+        }
+        if total == num_classes {
             stall += 1;
         } else {
+            stats.splits += total - num_classes;
             stall = 0;
-            num_classes = new_classes;
+            num_classes = total;
         }
-        class = next;
-        last_words = words;
-        rounds += 1;
+        stats.refine_time += refine_start.elapsed();
+        stats.rounds += 1;
     }
+    stats.patterns = stats.rounds as u64 * engine.patterns_per_round();
 
-    // Group members per class, in topological (index) order.
+    // Group the surviving multi-member classes, in topological (index)
+    // order. Iterating nodes in index order makes each group's insertion
+    // order equal the order of its first member, which is exactly the
+    // numeric class-id order the single-word engine reported (ids were
+    // assigned by first occurrence).
     let mut members: HashMap<u32, Vec<NodeId>> = HashMap::new();
-    for (i, &c) in class.iter().enumerate() {
-        members.entry(c).or_default().push(NodeId::from_index(i));
+    let mut group_order: Vec<u32> = Vec::new();
+    for i in 0..n {
+        if !active.contains(i) {
+            continue;
+        }
+        members.entry(class[i]).or_insert_with(|| {
+            group_order.push(class[i]);
+            Vec::new()
+        });
+        members.get_mut(&class[i]).expect("just inserted").push(NodeId::from_index(i));
     }
 
     let constant_class = class[0];
     let mut classes = Vec::new();
     let mut correlations = Vec::new();
-    let mut keys: Vec<u32> = members.keys().copied().collect();
-    keys.sort_unstable();
-    for key in keys {
+    for key in group_order {
         let group = &members[&key];
         if group.len() < 2 {
             continue;
@@ -200,14 +354,13 @@ pub fn find_correlations(aig: &Aig, options: &SimulationOptions) -> CorrelationR
             continue;
         }
         let rep = group[0];
-        let rep_word = last_words[rep.index()];
+        let rep_bit = engine.signature(rep)[0];
         let phases: Vec<bool> = group
             .iter()
             .map(|m| {
-                let w = last_words[m.index()];
-                // Within a class, words are equal or complementary; compare
-                // bit 0 to get the relative polarity.
-                (w ^ rep_word) & 1 != 0
+                // Within a class, signatures are equal or complementary;
+                // compare the first pattern to get the relative polarity.
+                (engine.signature(*m)[0] ^ rep_bit) & 1 != 0
             })
             .collect();
         if contains_constant {
@@ -245,8 +398,9 @@ pub fn find_correlations(aig: &Aig, options: &SimulationOptions) -> CorrelationR
     CorrelationResult {
         classes,
         correlations,
-        rounds,
+        rounds: stats.rounds,
         elapsed: start.elapsed(),
+        stats,
     }
 }
 
@@ -385,7 +539,7 @@ mod tests {
                 }
             }
             // "High probability" per the paper: the pair survived at least
-            // 4 * 64 random patterns, so exact disagreement must be rare.
+            // 4 * 256 random patterns, so exact disagreement must be rare.
             assert!(
                 agree * 10 >= total * 9,
                 "correlation {c:?} holds on only {agree}/{total} patterns"
@@ -409,6 +563,51 @@ mod tests {
         let r2 = find_correlations(&g, &SimulationOptions::default());
         assert_eq!(r1.correlations, r2.correlations);
         assert_eq!(r1.rounds, r2.rounds);
+    }
+
+    #[test]
+    fn word_counts_agree_on_discovered_classes() {
+        // Different batch widths draw different patterns, but on a
+        // self-miter the true equivalences dominate and every width must
+        // find them.
+        let adder = generators::ripple_carry_adder(6);
+        let m = miter::self_miter(&adder, Default::default());
+        let baseline = find_correlations(
+            &m.aig,
+            &SimulationOptions {
+                words: 1,
+                ..Default::default()
+            },
+        );
+        for words in [2, 4, 8] {
+            let result = find_correlations(
+                &m.aig,
+                &SimulationOptions {
+                    words,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                result.classes, baseline.classes,
+                "words={words} diverges on a fully-correlated miter"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_account_for_rounds_and_patterns() {
+        let adder = generators::ripple_carry_adder(8);
+        let m = miter::self_miter(&adder, Default::default());
+        let options = SimulationOptions::default();
+        let result = find_correlations(&m.aig, &options);
+        assert_eq!(result.stats.rounds, result.rounds);
+        assert_eq!(
+            result.stats.patterns,
+            result.rounds as u64 * 64 * options.words as u64
+        );
+        // Every reported class required splitting it off the initial one.
+        assert!(result.stats.splits + 1 >= result.classes.len());
+        assert!(result.stats.sim_time + result.stats.refine_time <= result.elapsed);
     }
 
     #[test]

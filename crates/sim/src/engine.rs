@@ -1,0 +1,498 @@
+//! Batched, buffer-reusing simulation engine.
+//!
+//! [`SimEngine`] generalizes single-word simulation to `W` `u64` words per
+//! node per round (so one round applies `64 * W` random patterns) and keeps
+//! every buffer alive across rounds — after construction, a round performs
+//! no allocation at all. Three ideas carry the speedup over the naive
+//! per-call loop:
+//!
+//! * **Flat gate schedule.** The AIG is levelized once (via
+//!   [`csat_netlist::topo::levels`]) and compiled into a dense list of
+//!   [`GateOp`]s — buffer positions with the fanin complement flags packed
+//!   into the index LSBs. The inner loop is pure index arithmetic and
+//!   bitwise ops; no `Node` enum dispatch, no per-gate branching on
+//!   polarity.
+//! * **Word batching.** Each gate op processes its `W` words back to back
+//!   from one schedule entry, amortizing the per-gate bookkeeping over
+//!   `64 * W` patterns. Small `W` values dispatch to const-generic kernels
+//!   whose fixed-size array accesses let the compiler drop bounds checks
+//!   and unroll.
+//! * **Pattern-sharded parallelism** (behind the `parallel` cargo
+//!   feature). The round's `W` words are split across threads; each thread
+//!   runs the *whole* levelized schedule over its own word shard in a
+//!   private buffer, so there is no synchronization between levels — the
+//!   levelization guarantees every fanin position is written before it is
+//!   read within each shard. Results are bit-identical for any thread
+//!   count.
+//!
+//! Node signatures are exposed as `[u64]` slices of length `W`; the
+//! polarity-normalized [`fingerprint`] hashes a signature so that a signal
+//! and its complement collide — the property equivalence-class refinement
+//! needs to discover both `s_i = s_j` and `s_i ≠ s_j` in one pass.
+
+use std::time::Duration;
+
+use csat_netlist::{topo, Aig, Node, NodeId};
+use rand::rngs::StdRng;
+
+use crate::parallel::fill_random_words;
+
+/// One compiled AND gate: output and fanin *buffer positions*, with each
+/// fanin's complement flag in the LSB (`pos << 1 | complemented`).
+#[derive(Clone, Copy, Debug)]
+struct GateOp {
+    out: u32,
+    a: u32,
+    b: u32,
+}
+
+/// Observability counters for one simulation/refinement run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Simulation rounds executed.
+    pub rounds: usize,
+    /// Total random patterns applied (`rounds * 64 * words`).
+    pub patterns: u64,
+    /// Equivalence classes created by refinement splits (total classes
+    /// minus the initial single class).
+    pub splits: usize,
+    /// Wall-clock time spent simulating gates.
+    pub sim_time: Duration,
+    /// Wall-clock time spent refining classes.
+    pub refine_time: Duration,
+}
+
+/// Reusable batched simulator for one [`Aig`].
+///
+/// Construction levelizes the netlist and allocates all buffers;
+/// [`next_round`](SimEngine::next_round) then simulates `64 * words`
+/// fresh random patterns without allocating. Signatures of the latest
+/// round are read back per node with [`signature`](SimEngine::signature).
+///
+/// # Example
+///
+/// ```
+/// use csat_netlist::generators;
+/// use csat_sim::{seeded_rng, SimEngine};
+///
+/// let aig = generators::ripple_carry_adder(8);
+/// let mut engine = SimEngine::new(&aig, 4, 1);
+/// let mut rng = seeded_rng(7);
+/// engine.next_round(&mut rng);
+/// for id in aig.node_ids() {
+///     assert_eq!(engine.signature(id).len(), 4);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimEngine {
+    words: usize,
+    threads: usize,
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+    num_nodes: usize,
+    num_inputs: usize,
+    /// Node index → position in the level-ordered buffer.
+    pos_of: Vec<u32>,
+    /// Input ordinal → buffer position.
+    input_pos: Vec<u32>,
+    schedule: Vec<GateOp>,
+    /// Random input words of the current round, input-major (`words` per
+    /// input).
+    inputs: Vec<u64>,
+    /// Signatures of the current round, position-major (`words` per node).
+    sigs: Vec<u64>,
+    /// Per-thread shard buffers for the parallel path.
+    #[cfg(feature = "parallel")]
+    scratch: Vec<u64>,
+}
+
+impl SimEngine {
+    /// Builds an engine simulating `words` u64 words per node per round on
+    /// `threads` threads.
+    ///
+    /// `words` is clamped to at least 1. `threads` is clamped to
+    /// `[1, words]` (each thread needs at least one word of the round to
+    /// itself) and falls back to 1 unless the `parallel` feature is
+    /// enabled.
+    pub fn new(aig: &Aig, words: usize, threads: usize) -> SimEngine {
+        let words = words.max(1);
+        let threads = if cfg!(feature = "parallel") {
+            threads.clamp(1, words)
+        } else {
+            1
+        };
+        let n = aig.len();
+
+        // Level-order the nodes: a stable sort by level keeps the (already
+        // topological) index order within a level, and guarantees every
+        // fanin's position is strictly smaller than its gate's position.
+        let levels = topo::levels(aig);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&i| levels[i as usize]);
+        let mut pos_of = vec![0u32; n];
+        for (pos, &i) in order.iter().enumerate() {
+            pos_of[i as usize] = pos as u32;
+        }
+
+        let mut input_pos = Vec::with_capacity(aig.inputs().len());
+        let mut schedule = Vec::with_capacity(aig.and_count());
+        for &i in &order {
+            match *aig.nodes().get(i as usize).expect("order covers all nodes") {
+                Node::False => {}
+                Node::Input => input_pos.push(pos_of[i as usize]),
+                Node::And(a, b) => schedule.push(GateOp {
+                    out: pos_of[i as usize],
+                    a: pos_of[a.node().index()] << 1 | a.is_complemented() as u32,
+                    b: pos_of[b.node().index()] << 1 | b.is_complemented() as u32,
+                }),
+            }
+        }
+
+        SimEngine {
+            words,
+            threads,
+            num_nodes: n,
+            num_inputs: input_pos.len(),
+            pos_of,
+            input_pos,
+            schedule,
+            inputs: vec![0u64; aig.inputs().len() * words],
+            // Constant-0 positions are never written, so zero-initializing
+            // once keeps them correct across every round.
+            sigs: vec![0u64; n * words],
+            #[cfg(feature = "parallel")]
+            scratch: vec![0u64; if threads > 1 { n * words } else { 0 }],
+        }
+    }
+
+    /// Words simulated per node per round.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Effective thread count (1 unless built with the `parallel` feature).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Patterns applied per round (`64 * words`).
+    pub fn patterns_per_round(&self) -> u64 {
+        64 * self.words as u64
+    }
+
+    /// Draws fresh random inputs from `rng` and simulates one round.
+    ///
+    /// The RNG is consumed input-major — `words` consecutive draws per
+    /// primary input — so `words = 1` replays exactly the stream the
+    /// single-word engine consumed, round for round.
+    pub fn next_round(&mut self, rng: &mut StdRng) {
+        fill_random_words(rng, &mut self.inputs);
+        self.run();
+    }
+
+    /// Simulates one round on caller-supplied input words
+    /// (`words` consecutive u64s per primary input, input-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len() != inputs * words`.
+    pub fn simulate(&mut self, input_words: &[u64]) {
+        assert_eq!(
+            input_words.len(),
+            self.num_inputs * self.words,
+            "need `words` input words per primary input"
+        );
+        self.inputs.copy_from_slice(input_words);
+        self.run();
+    }
+
+    /// Signature of `node` from the latest round: `words` u64s, 64
+    /// patterns each (all zeros before the first round).
+    pub fn signature(&self, node: NodeId) -> &[u64] {
+        let p = self.pos_of[node.index()] as usize * self.words;
+        &self.sigs[p..p + self.words]
+    }
+
+    fn run(&mut self) {
+        #[cfg(feature = "parallel")]
+        if self.threads > 1 {
+            self.run_sharded();
+            return;
+        }
+        load_inputs(
+            &mut self.sigs,
+            &self.inputs,
+            &self.input_pos,
+            self.words,
+            0..self.words,
+        );
+        run_schedule(&self.schedule, &mut self.sigs, self.words);
+    }
+
+    /// Parallel path: thread `t` simulates word columns `[w0, w1)` of the
+    /// round through the entire schedule in a private buffer; a serial
+    /// gather then interleaves the shards back into signature layout.
+    #[cfg(feature = "parallel")]
+    fn run_sharded(&mut self) {
+        let (n, words, threads) = (self.num_nodes, self.words, self.threads);
+        let shards = shard_ranges(words, threads);
+        let (schedule, inputs, input_pos) = (&self.schedule, &self.inputs, &self.input_pos);
+
+        let mut chunks: Vec<(&mut [u64], std::ops::Range<usize>)> = Vec::with_capacity(threads);
+        let mut rest = self.scratch.as_mut_slice();
+        for range in shards {
+            let (chunk, tail) = rest.split_at_mut(n * range.len());
+            chunks.push((chunk, range));
+            rest = tail;
+        }
+
+        std::thread::scope(|scope| {
+            // The first shard runs on the calling thread.
+            let mut iter = chunks.into_iter();
+            let (home_chunk, home_range) = iter.next().expect("threads >= 1");
+            for (chunk, range) in iter {
+                scope.spawn(move || {
+                    load_inputs(chunk, inputs, input_pos, words, range.clone());
+                    run_schedule(schedule, chunk, range.len());
+                });
+            }
+            load_inputs(home_chunk, inputs, input_pos, words, home_range.clone());
+            run_schedule(schedule, home_chunk, home_range.len());
+        });
+
+        let mut offset = 0usize;
+        for range in shard_ranges(words, threads) {
+            let sw = range.len();
+            let chunk = &self.scratch[offset..offset + n * sw];
+            for pos in 0..n {
+                self.sigs[pos * words + range.start..pos * words + range.end]
+                    .copy_from_slice(&chunk[pos * sw..pos * sw + sw]);
+            }
+            offset += n * sw;
+        }
+    }
+}
+
+/// Splits `words` columns into `threads` contiguous, near-even ranges.
+#[cfg(feature = "parallel")]
+fn shard_ranges(words: usize, threads: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+    (0..threads).map(move |t| words * t / threads..words * (t + 1) / threads)
+}
+
+/// Copies the word columns `range` of every input into its buffer slot.
+fn load_inputs(
+    buf: &mut [u64],
+    inputs: &[u64],
+    input_pos: &[u32],
+    words: usize,
+    range: std::ops::Range<usize>,
+) {
+    let sw = range.len();
+    for (i, &pos) in input_pos.iter().enumerate() {
+        buf[pos as usize * sw..(pos as usize + 1) * sw]
+            .copy_from_slice(&inputs[i * words + range.start..i * words + range.end]);
+    }
+}
+
+/// Executes the gate schedule over a `width`-words-per-node buffer.
+fn run_schedule(schedule: &[GateOp], buf: &mut [u64], width: usize) {
+    match width {
+        1 => run_schedule_w::<1>(schedule, buf),
+        2 => run_schedule_w::<2>(schedule, buf),
+        4 => run_schedule_w::<4>(schedule, buf),
+        8 => run_schedule_w::<8>(schedule, buf),
+        _ => run_schedule_dyn(schedule, buf, width),
+    }
+}
+
+/// Const-width kernel: fixed-size array views let the compiler elide
+/// bounds checks and unroll the word loop.
+fn run_schedule_w<const W: usize>(schedule: &[GateOp], buf: &mut [u64]) {
+    for op in schedule {
+        let out = op.out as usize * W;
+        let a = (op.a >> 1) as usize * W;
+        let b = (op.b >> 1) as usize * W;
+        let ma = 0u64.wrapping_sub((op.a & 1) as u64);
+        let mb = 0u64.wrapping_sub((op.b & 1) as u64);
+        // Levelization guarantees both fanin positions precede the output.
+        let (lo, hi) = buf.split_at_mut(out);
+        let dst: &mut [u64; W] = (&mut hi[..W]).try_into().expect("W words per node");
+        let sa: &[u64; W] = lo[a..a + W].try_into().expect("W words per node");
+        let sb: &[u64; W] = lo[b..b + W].try_into().expect("W words per node");
+        for w in 0..W {
+            dst[w] = (sa[w] ^ ma) & (sb[w] ^ mb);
+        }
+    }
+}
+
+fn run_schedule_dyn(schedule: &[GateOp], buf: &mut [u64], width: usize) {
+    for op in schedule {
+        let out = op.out as usize * width;
+        let a = (op.a >> 1) as usize * width;
+        let b = (op.b >> 1) as usize * width;
+        let ma = 0u64.wrapping_sub((op.a & 1) as u64);
+        let mb = 0u64.wrapping_sub((op.b & 1) as u64);
+        let (lo, hi) = buf.split_at_mut(out);
+        let dst = &mut hi[..width];
+        let sa = &lo[a..a + width];
+        let sb = &lo[b..b + width];
+        for w in 0..width {
+            dst[w] = (sa[w] ^ ma) & (sb[w] ^ mb);
+        }
+    }
+}
+
+/// Complement mask normalizing a signature's polarity: all-ones when the
+/// signature's first pattern is 1, so `sig ^ mask` always starts with a 0
+/// bit. A signal and its complement normalize to the same value.
+#[inline]
+pub fn polarity_mask(sig: &[u64]) -> u64 {
+    0u64.wrapping_sub(sig[0] & 1)
+}
+
+/// Cheap polarity-normalized hash of a signature: equal for a signal and
+/// its complement, and for `sig.len() == 1` exactly the normalized word
+/// itself. Collisions are possible — callers must verify candidate matches
+/// with [`normalized_eq`].
+#[inline]
+pub fn fingerprint(sig: &[u64]) -> u64 {
+    let mask = polarity_mask(sig);
+    let mut h = sig[0] ^ mask;
+    for &w in &sig[1..] {
+        h = (h.rotate_left(29) ^ (w ^ mask)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    h
+}
+
+/// True when two signatures are equal up to complementation.
+#[inline]
+pub fn normalized_eq(a: &[u64], b: &[u64]) -> bool {
+    let diff = polarity_mask(a) ^ polarity_mask(b);
+    a.iter().zip(b).all(|(&x, &y)| x ^ y == diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::{seeded_rng, simulate_words};
+    use csat_netlist::generators;
+
+    fn assert_matches_scalar(aig: &Aig, words: usize, threads: usize, seed: u64) {
+        let mut engine = SimEngine::new(aig, words, threads);
+        let mut rng = seeded_rng(seed);
+        let mut input_words = vec![0u64; aig.inputs().len() * words];
+        fill_random_words(&mut rng, &mut input_words);
+        engine.simulate(&input_words);
+        for w in 0..words {
+            let column: Vec<u64> = (0..aig.inputs().len())
+                .map(|i| input_words[i * words + w])
+                .collect();
+            let reference = simulate_words(aig, &column);
+            for id in aig.node_ids() {
+                assert_eq!(
+                    engine.signature(id)[w],
+                    reference[id.index()],
+                    "node {id:?} word {w} diverges (words={words} threads={threads})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_widths_match_single_word_reference() {
+        let aig = generators::alu(3);
+        for words in [1, 2, 3, 4, 5, 8] {
+            assert_matches_scalar(&aig, words, 1, 0xBEEF + words as u64);
+        }
+    }
+
+    #[test]
+    fn reuse_across_rounds_is_clean() {
+        // A second round must not see stale words from the first.
+        let aig = generators::parity_tree(5);
+        let mut engine = SimEngine::new(&aig, 2, 1);
+        let mut rng = seeded_rng(3);
+        engine.next_round(&mut rng);
+        let first: Vec<u64> = engine.signature(aig.inputs()[0]).to_vec();
+        engine.next_round(&mut rng);
+        assert_ne!(engine.signature(aig.inputs()[0]), &first[..]);
+        // And the constant node stays all-zero forever.
+        assert!(engine.signature(NodeId::FALSE).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn w1_replays_the_single_word_rng_stream() {
+        let aig = generators::comparator(4);
+        let mut engine = SimEngine::new(&aig, 1, 1);
+        let mut rng = seeded_rng(42);
+        engine.next_round(&mut rng);
+
+        let mut reference_rng = seeded_rng(42);
+        let mut column = vec![0u64; aig.inputs().len()];
+        fill_random_words(&mut reference_rng, &mut column);
+        let reference = simulate_words(&aig, &column);
+        for id in aig.node_ids() {
+            assert_eq!(engine.signature(id), &reference[id.index()..=id.index()]);
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let aig = generators::array_multiplier(6);
+        let mut reference = SimEngine::new(&aig, 8, 1);
+        let mut rng = seeded_rng(11);
+        reference.next_round(&mut rng);
+        for threads in [2, 3, 4, 8] {
+            let mut engine = SimEngine::new(&aig, 8, threads);
+            assert_eq!(engine.threads(), threads);
+            let mut rng = seeded_rng(11);
+            engine.next_round(&mut rng);
+            for id in aig.node_ids() {
+                assert_eq!(
+                    engine.signature(id),
+                    reference.signature(id),
+                    "node {id:?} diverges at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_matches_scalar_reference() {
+        let aig = generators::alu(3);
+        assert_matches_scalar(&aig, 4, 2, 77);
+        assert_matches_scalar(&aig, 8, 3, 78);
+    }
+
+    #[test]
+    fn threads_clamp_to_words() {
+        let aig = generators::parity_tree(3);
+        let engine = SimEngine::new(&aig, 2, 16);
+        if cfg!(feature = "parallel") {
+            assert_eq!(engine.threads(), 2);
+        } else {
+            assert_eq!(engine.threads(), 1);
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_polarity_invariant() {
+        let sig = [0b1011u64, 0x00FF, 7];
+        let complement = [!0b1011u64, !0x00FF, !7];
+        assert_eq!(fingerprint(&sig), fingerprint(&complement));
+        assert!(normalized_eq(&sig, &complement));
+        assert!(normalized_eq(&sig, &sig));
+        let other = [0b1011u64, 0x00FF, 8];
+        assert!(!normalized_eq(&sig, &other));
+    }
+
+    #[test]
+    fn empty_schedule_handles_inputless_graphs() {
+        let aig = Aig::new();
+        let mut engine = SimEngine::new(&aig, 4, 1);
+        let mut rng = seeded_rng(0);
+        engine.next_round(&mut rng);
+        assert!(engine.signature(NodeId::FALSE).iter().all(|&w| w == 0));
+    }
+}

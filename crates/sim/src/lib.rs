@@ -6,9 +6,11 @@
 //! correlations `s_i = s_j`, `s_i ≠ s_j`, `s = 0`, and `s = 1`.
 //!
 //! The paper simulates 32 random patterns per machine word; this
-//! implementation uses 64-bit words (one `u64` per signal per round), which
-//! changes nothing but the constant. Refinement stops once a configurable
-//! number of consecutive rounds (paper: four) fails to split any class.
+//! implementation batches [`SimulationOptions::words`] 64-bit words per
+//! signal per round (default 4 ⇒ 256 patterns) through the reusable
+//! [`SimEngine`], optionally sharding the words across threads (`parallel`
+//! cargo feature). Refinement stops once a configurable number of
+//! consecutive rounds (paper: four) fails to split any class.
 //!
 //! # Example
 //!
@@ -31,11 +33,13 @@
 #![warn(missing_docs)]
 
 mod correlate;
+mod engine;
 pub mod fault;
 mod parallel;
 
 pub use correlate::{
     find_correlations, Correlation, CorrelationResult, EquivClass, Relation, SimulationOptions,
 };
+pub use engine::{fingerprint, normalized_eq, polarity_mask, SimEngine, SimStats};
 pub use fault::{all_faults, simulate_faults, Fault, FaultCoverage};
-pub use parallel::{random_input_words, seeded_rng, simulate_words};
+pub use parallel::{fill_random_words, random_input_words, seeded_rng, simulate_words};

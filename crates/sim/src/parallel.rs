@@ -44,9 +44,29 @@ pub fn simulate_words(aig: &Aig, input_words: &[u64]) -> Vec<u64> {
     words
 }
 
-/// Draws one random 64-pattern word per primary input.
-pub fn random_input_words(aig: &Aig, rng: &mut StdRng) -> Vec<u64> {
-    (0..aig.inputs().len()).map(|_| rng.gen()).collect()
+/// Fills `out` with random 64-pattern words, one per primary input, without
+/// allocating. Size the buffer once and reuse it across rounds.
+///
+/// # Panics
+///
+/// Panics if `out.len() != aig.inputs().len()`.
+pub fn random_input_words(aig: &Aig, rng: &mut StdRng, out: &mut [u64]) {
+    assert_eq!(
+        out.len(),
+        aig.inputs().len(),
+        "need one input word per primary input"
+    );
+    fill_random_words(rng, out);
+}
+
+/// Fills an arbitrary slice with random words, in slice order.
+///
+/// This is the one place simulation draws randomness: the batched engine
+/// fills `words` consecutive u64s per input through this helper, so a
+/// 1-word engine consumes exactly the same RNG stream as the single-word
+/// [`random_input_words`] path.
+pub fn fill_random_words(rng: &mut StdRng, out: &mut [u64]) {
+    out.fill_with(|| rng.gen());
 }
 
 /// Convenience: a seeded RNG for reproducible simulation.
@@ -70,7 +90,8 @@ mod tests {
         g.set_output("y", y);
 
         let mut rng = seeded_rng(5);
-        let inputs = random_input_words(&g, &mut rng);
+        let mut inputs = vec![0u64; g.inputs().len()];
+        random_input_words(&g, &mut rng, &mut inputs);
         let words = simulate_words(&g, &inputs);
         for k in 0..64 {
             let assignment: Vec<bool> = inputs.iter().map(|w| w >> k & 1 != 0).collect();
@@ -117,8 +138,18 @@ mod tests {
     fn seeded_rng_is_reproducible() {
         let mut g = Aig::new();
         let _ = g.inputs_n(4);
-        let w1 = random_input_words(&g, &mut seeded_rng(9));
-        let w2 = random_input_words(&g, &mut seeded_rng(9));
+        let mut w1 = vec![0u64; 4];
+        let mut w2 = vec![0u64; 4];
+        random_input_words(&g, &mut seeded_rng(9), &mut w1);
+        random_input_words(&g, &mut seeded_rng(9), &mut w2);
         assert_eq!(w1, w2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input word per primary input")]
+    fn wrong_buffer_size_panics() {
+        let mut g = Aig::new();
+        let _ = g.inputs_n(4);
+        random_input_words(&g, &mut seeded_rng(9), &mut [0u64; 3]);
     }
 }

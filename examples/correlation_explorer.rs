@@ -20,10 +20,15 @@ fn main() {
         topo::depth(&m.aig)
     );
 
-    let result = find_correlations(&m.aig, &SimulationOptions::default());
+    let options = SimulationOptions::default();
+    let result = find_correlations(&m.aig, &options);
     println!(
-        "simulation: {} rounds of 64 patterns in {:?}",
-        result.rounds, result.elapsed
+        "simulation: {} rounds of {} patterns in {:?} (sim {:?}, refine {:?})",
+        result.rounds,
+        options.words * 64,
+        result.elapsed,
+        result.stats.sim_time,
+        result.stats.refine_time
     );
     println!("equivalence classes: {}", result.classes.len());
 

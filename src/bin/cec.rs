@@ -13,6 +13,8 @@
 //!   --no-learning       plain C-SAT-Jnode (no correlation learning)
 //!   --check-proof       verify an EQUIVALENT verdict by unit propagation
 //!   --timeout <SECS>    abort after this many seconds
+//!   --sim-words <N>     u64 words simulated per node per round [default: 4]
+//!   --sim-threads <N>   simulation threads (needs the `parallel` feature)
 //!   --stats             print solver statistics
 //! ```
 //!
@@ -33,12 +35,14 @@ struct Options {
     learning: bool,
     check_proof: bool,
     timeout: Option<Duration>,
+    simulation: SimulationOptions,
     stats: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cec [--no-learning] [--check-proof] [--timeout SECS] [--stats] <left> <right>"
+        "usage: cec [--no-learning] [--check-proof] [--timeout SECS]\n\
+         \x20          [--sim-words N] [--sim-threads N] [--stats] <left> <right>"
     );
     std::process::exit(2)
 }
@@ -50,6 +54,7 @@ fn parse_args() -> Options {
         learning: true,
         check_proof: false,
         timeout: None,
+        simulation: SimulationOptions::default(),
         stats: false,
     };
     let mut args = std::env::args().skip(1);
@@ -63,6 +68,20 @@ fn parse_args() -> Options {
                     .and_then(|t| t.parse().ok())
                     .unwrap_or_else(|| usage());
                 options.timeout = Some(Duration::from_secs(secs));
+            }
+            "--sim-words" => {
+                options.simulation.words = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .filter(|&w| w >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--sim-threads" => {
+                options.simulation.threads = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| usage());
             }
             "--stats" => options.stats = true,
             "--help" | "-h" => usage(),
@@ -136,11 +155,13 @@ fn main() -> ExitCode {
         solver.start_proof();
     }
     if options.learning {
-        let correlations = find_correlations(&m.aig, &SimulationOptions::default());
+        let correlations = find_correlations(&m.aig, &options.simulation);
         eprintln!(
-            "c simulation: {} correlations in {:?}",
+            "c simulation: {} correlations in {:?} ({} rounds, {} patterns)",
             correlations.correlations.len(),
-            correlations.elapsed
+            correlations.elapsed,
+            correlations.stats.rounds,
+            correlations.stats.patterns
         );
         solver.set_correlations(&correlations);
         let report = explicit::run(&mut solver, &correlations, &ExplicitOptions::default());

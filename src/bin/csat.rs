@@ -13,6 +13,8 @@
 //!   --no-explicit       disable the explicit learning pass
 //!   --check-proof       verify UNSAT answers by reverse unit propagation
 //!   --timeout <SECS>    abort after this many seconds
+//!   --sim-words <N>     u64 words simulated per node per round [default: 4]
+//!   --sim-threads <N>   simulation threads (needs the `parallel` feature)
 //!   --stats             print solver statistics
 //! ```
 
@@ -33,6 +35,7 @@ struct Options {
     explicit_pass: bool,
     check_proof: bool,
     timeout: Option<Duration>,
+    simulation: SimulationOptions,
     stats: bool,
 }
 
@@ -47,7 +50,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: csat [--output NAME] [--negate] [--engine circuit|circuit-plain|cnf]\n\
          \x20           [--no-implicit] [--no-explicit] [--check-proof]\n\
-         \x20           [--timeout SECS] [--stats] <file.{{bench,aag,cnf}}>"
+         \x20           [--timeout SECS] [--sim-words N] [--sim-threads N]\n\
+         \x20           [--stats] <file.{{bench,aag,cnf}}>"
     );
     std::process::exit(2)
 }
@@ -62,6 +66,7 @@ fn parse_args() -> Options {
         explicit_pass: true,
         check_proof: false,
         timeout: None,
+        simulation: SimulationOptions::default(),
         stats: false,
     };
     let mut args = std::env::args().skip(1);
@@ -86,6 +91,20 @@ fn parse_args() -> Options {
                     .and_then(|t| t.parse().ok())
                     .unwrap_or_else(|| usage());
                 options.timeout = Some(Duration::from_secs(secs));
+            }
+            "--sim-words" => {
+                options.simulation.words = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .filter(|&w| w >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--sim-threads" => {
+                options.simulation.threads = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| usage());
             }
             "--stats" => options.stats = true,
             "--help" | "-h" => usage(),
@@ -181,11 +200,16 @@ fn main() -> ExitCode {
                 solver.start_proof();
             }
             if options.implicit || options.explicit_pass {
-                let correlations = find_correlations(&aig, &SimulationOptions::default());
+                let correlations = find_correlations(&aig, &options.simulation);
                 eprintln!(
-                    "c simulation: {} correlations in {:?}",
+                    "c simulation: {} correlations in {:?} ({} rounds, {} patterns, \
+                     sim {:?} + refine {:?})",
                     correlations.correlations.len(),
-                    correlations.elapsed
+                    correlations.elapsed,
+                    correlations.stats.rounds,
+                    correlations.stats.patterns,
+                    correlations.stats.sim_time,
+                    correlations.stats.refine_time
                 );
                 solver.set_correlations(&correlations);
                 if options.explicit_pass {

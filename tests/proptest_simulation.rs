@@ -1,0 +1,192 @@
+//! Property-based tests for the batched simulation engine (paper
+//! Section III): batched word-parallel simulation must agree bit-for-bit
+//! with scalar evaluation, and the allocation-free refinement at `words =
+//! 1` must reproduce the original single-word engine exactly.
+
+use std::collections::HashMap;
+
+use csat::netlist::{generators, miter, Aig, NodeId};
+use csat::sim::{
+    fill_random_words, find_correlations, random_input_words, seeded_rng, simulate_words,
+    Correlation, EquivClass, Relation, SimEngine, SimulationOptions,
+};
+use proptest::prelude::*;
+
+/// The pre-batching correlation engine, kept verbatim as a reference: one
+/// u64 per node per round, per-round `HashMap` refinement, no singleton
+/// retirement. [`find_correlations`] with `words = 1` must match it on
+/// classes, correlations and round count.
+fn reference_find_correlations(
+    aig: &Aig,
+    options: &SimulationOptions,
+) -> (Vec<EquivClass>, Vec<Correlation>, usize) {
+    let n = aig.len();
+    let mut rng = seeded_rng(options.seed);
+    let mut class = vec![0u32; n];
+    let mut num_classes = 1usize;
+    let mut last_words = vec![0u64; n];
+    let mut stall = 0usize;
+    let mut rounds = 0usize;
+    let mut inputs = vec![0u64; aig.inputs().len()];
+
+    while stall < options.stall_rounds && rounds < options.max_rounds && num_classes < n {
+        random_input_words(aig, &mut rng, &mut inputs);
+        let words = simulate_words(aig, &inputs);
+        // Refine: key = (old class, polarity-normalized word).
+        let mut table: HashMap<(u32, u64), u32> = HashMap::with_capacity(n);
+        let mut next = vec![0u32; n];
+        let mut fresh = 0u32;
+        for (i, &w) in words.iter().enumerate() {
+            let norm = if w & 1 != 0 { !w } else { w };
+            let id = *table.entry((class[i], norm)).or_insert_with(|| {
+                let id = fresh;
+                fresh += 1;
+                id
+            });
+            next[i] = id;
+        }
+        let new_classes = fresh as usize;
+        if new_classes == num_classes {
+            stall += 1;
+        } else {
+            stall = 0;
+            num_classes = new_classes;
+        }
+        class = next;
+        last_words = words;
+        rounds += 1;
+    }
+
+    let mut members: HashMap<u32, Vec<NodeId>> = HashMap::new();
+    for (i, &c) in class.iter().enumerate() {
+        members.entry(c).or_default().push(NodeId::from_index(i));
+    }
+
+    let constant_class = class[0];
+    let mut classes = Vec::new();
+    let mut correlations = Vec::new();
+    let mut keys: Vec<u32> = members.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let group = &members[&key];
+        if group.len() < 2 {
+            continue;
+        }
+        let contains_constant = key == constant_class;
+        if !contains_constant && group.len() > options.max_class_size {
+            continue;
+        }
+        let rep_word = last_words[group[0].index()];
+        let phases: Vec<bool> = group
+            .iter()
+            .map(|m| (last_words[m.index()] ^ rep_word) & 1 != 0)
+            .collect();
+        if contains_constant {
+            for (m, &phase) in group.iter().zip(&phases).skip(1) {
+                correlations.push(Correlation {
+                    a: *m,
+                    b: NodeId::FALSE,
+                    relation: if phase { Relation::Opposite } else { Relation::Equal },
+                });
+            }
+        } else {
+            for k in 1..group.len() {
+                let rel = if phases[k] == phases[k - 1] {
+                    Relation::Equal
+                } else {
+                    Relation::Opposite
+                };
+                correlations.push(Correlation {
+                    a: group[k],
+                    b: group[k - 1],
+                    relation: rel,
+                });
+            }
+        }
+        classes.push(EquivClass {
+            members: group.clone(),
+            phases,
+            contains_constant,
+        });
+    }
+    (classes, correlations, rounds)
+}
+
+/// Checks every one of the `64 * words` pattern columns of a batched round
+/// against a scalar [`Aig::evaluate`] of the same assignment.
+fn assert_batch_matches_evaluate(aig: &Aig, words: usize, seed: u64) {
+    let mut engine = SimEngine::new(aig, words, 1);
+    let mut rng = seeded_rng(seed);
+    let mut inputs = vec![0u64; aig.inputs().len() * words];
+    fill_random_words(&mut rng, &mut inputs);
+    engine.simulate(&inputs);
+    for w in 0..words {
+        for bit in 0..64 {
+            let assignment: Vec<bool> = (0..aig.inputs().len())
+                .map(|k| inputs[k * words + w] >> bit & 1 != 0)
+                .collect();
+            let values = aig.evaluate(&assignment);
+            for (i, &value) in values.iter().enumerate() {
+                let got = engine.signature(NodeId::from_index(i))[w] >> bit & 1 != 0;
+                assert_eq!(
+                    got, value,
+                    "node {i}, word {w}, bit {bit}: batched ≠ scalar evaluate"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every pattern column of a batched round equals a scalar evaluation
+    /// of the corresponding input assignment, for every node and width.
+    #[test]
+    fn batched_simulation_matches_scalar_evaluate(
+        seed in 0u64..100_000,
+        n_inputs in 2usize..8,
+        n_gates in 1usize..60,
+        words in 1usize..6,
+    ) {
+        let aig = generators::random_logic(seed, n_inputs, n_gates, 2);
+        assert_batch_matches_evaluate(&aig, words, seed ^ 0xD1CE);
+    }
+
+    /// `find_correlations` with `words = 1` is byte-for-byte the original
+    /// single-word engine on random logic (same RNG stream, same classes,
+    /// same correlations, same round count).
+    #[test]
+    fn single_word_refinement_matches_reference_engine(
+        seed in 0u64..100_000,
+        n_inputs in 2usize..8,
+        n_gates in 1usize..50,
+    ) {
+        let aig = generators::random_logic(seed, n_inputs, n_gates, 3);
+        let options = SimulationOptions { words: 1, threads: 1, ..Default::default() };
+        let result = find_correlations(&aig, &options);
+        let (classes, correlations, rounds) = reference_find_correlations(&aig, &options);
+        prop_assert_eq!(result.classes, classes);
+        prop_assert_eq!(result.correlations, correlations);
+        prop_assert_eq!(result.rounds, rounds);
+    }
+
+    /// The same reference equality on correlation-dense self-miters, which
+    /// exercise multi-member classes, constant classes and the
+    /// max-class-size filter.
+    #[test]
+    fn single_word_refinement_matches_reference_on_miters(
+        seed in 0u64..100_000,
+        n_inputs in 3usize..7,
+        n_gates in 4usize..40,
+    ) {
+        let base = generators::random_logic(seed, n_inputs, n_gates, 2);
+        let m = miter::self_miter(&base, Default::default());
+        let options = SimulationOptions { words: 1, threads: 1, ..Default::default() };
+        let result = find_correlations(&m.aig, &options);
+        let (classes, correlations, rounds) = reference_find_correlations(&m.aig, &options);
+        prop_assert_eq!(result.classes, classes);
+        prop_assert_eq!(result.correlations, correlations);
+        prop_assert_eq!(result.rounds, rounds);
+    }
+}

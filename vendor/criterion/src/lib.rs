@@ -1,0 +1,361 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `criterion` with this crate (see `[patch.crates-io]` in the root
+//! manifest). It implements the subset the repository's benches use —
+//! [`Criterion::benchmark_group`], group configuration, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! mean-of-samples timer and a plain-text report. No HTML output, no
+//! statistical analysis, no comparison against saved baselines.
+//!
+//! Cargo runs `harness = false` bench targets during `cargo test --benches`
+//! with a `--test` argument; in that mode each benchmark body executes once
+//! so the test run stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped between setup calls. The stub times one
+/// routine call per setup call regardless, so the variants only document
+/// intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; upstream batches many per allocation.
+    SmallInput,
+    /// Inputs are expensive; upstream uses few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Profile {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Profile {
+    fn default() -> Profile {
+        Profile {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Benchmark manager: holds configuration and the command-line mode.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    profile: Profile,
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            profile: Profile::default(),
+            test_mode: false,
+            filters: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies the harness command line: `--test` switches to run-once
+    /// mode; bare arguments become substring filters on benchmark ids.
+    pub fn configure_from_args(mut self) -> Criterion {
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.test_mode = true;
+            } else if !arg.starts_with('-') {
+                self.filters.push(arg);
+            }
+            // Other harness flags (--bench, --color, ...) are accepted and
+            // ignored.
+        }
+        self
+    }
+
+    /// Default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.profile.sample_size = n.max(1);
+        self
+    }
+
+    /// Default warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.profile.warm_up_time = t;
+        self
+    }
+
+    /// Default measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.profile.measurement_time = t;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let profile = self.profile;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            profile,
+        }
+    }
+
+    /// Registers a standalone benchmark (a one-function group).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let profile = self.profile;
+        self.run_one(id.into(), profile, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: String, profile: Profile, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.filters.is_empty() && !self.filters.iter().any(|pat| id.contains(pat)) {
+            return;
+        }
+        let mut bencher = Bencher {
+            profile,
+            test_mode: self.test_mode,
+            mean_ns: None,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+        } else if let Some(ns) = bencher.mean_ns {
+            println!("{id:<60} time: {:>14} /iter", format_ns(ns));
+        } else {
+            println!("{id:<60} (no measurement: bencher not invoked)");
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    profile: Profile,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.profile.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration per benchmark in this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.profile.warm_up_time = t;
+        self
+    }
+
+    /// Measurement budget per benchmark in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.profile.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let profile = self.profile;
+        self.criterion.run_one(full, profile, f);
+        self
+    }
+
+    /// Ends the group. (The stub reports incrementally, so this is a no-op
+    /// kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark body.
+pub struct Bencher {
+    profile: Profile,
+    test_mode: bool,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.profile.warm_up_time && warm_iters < 1_000_000 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.profile.measurement_time.as_secs_f64();
+        let per_sample =
+            ((budget / self.profile.sample_size as f64 / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        let deadline = Instant::now() + self.profile.measurement_time * 2;
+        for _ in 0..self.profile.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            total_iters += per_sample;
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.mean_ns = Some(total.as_nanos() as f64 / total_iters as f64);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup cost is
+    /// excluded from the measurement. The stub always uses one input per
+    /// iteration, whatever `BatchSize` is requested.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            return;
+        }
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut warm_busy = Duration::ZERO;
+        while warm_start.elapsed() < self.profile.warm_up_time && warm_iters < 1_000_000 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            warm_busy += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = warm_busy.as_secs_f64() / warm_iters as f64;
+        let budget = self.profile.measurement_time.as_secs_f64();
+        let target_iters =
+            ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        let deadline = Instant::now() + self.profile.measurement_time * 2;
+        for _ in 0..target_iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+            total_iters += 1;
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.mean_ns = Some(total.as_nanos() as f64 / total_iters as f64);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut g = c.benchmark_group("smoke");
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            );
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filters_skip_unmatched() {
+        let mut c = Criterion::default();
+        c.filters.push("nomatch".into());
+        // Would spin for the full budget if not filtered out.
+        c.bench_function("skipped", |b| b.iter(|| std::thread::sleep(Duration::from_secs(1))));
+    }
+
+    #[test]
+    fn format_scales() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert!(format_ns(4_200.0).ends_with("µs"));
+        assert!(format_ns(7_000_000.0).ends_with("ms"));
+        assert!(format_ns(2_000_000_000.0).ends_with('s'));
+    }
+}
