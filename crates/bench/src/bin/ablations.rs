@@ -9,7 +9,8 @@
 //! * the restart policy (paper rule vs never restarting).
 //!
 //! ```sh
-//! cargo run --release -p csat-bench --bin ablations -- [--quick] [--timeout <secs>]
+//! cargo run --release -p csat-bench --bin ablations -- \
+//!     [--quick] [--timeout <secs>] [--json <path>]
 //! ```
 
 use csat_bench::report::{parse_args, Table};
@@ -17,7 +18,9 @@ use csat_bench::{equiv_suite, opt_suite, run_circuit_solver, CircuitConfig, Lear
 use csat_core::SolverOptions;
 
 fn main() {
-    let (scale, timeout) = parse_args(120);
+    let args = parse_args(120);
+    let (scale, timeout) = (args.scale, args.timeout);
+    let mut json = args.json_report("ablations");
     let mut rows = equiv_suite(scale);
     rows.truncate(4);
     rows.extend(opt_suite(scale).into_iter().take(2));
@@ -60,7 +63,7 @@ fn main() {
     let mut table = Table::new("Ablations: solver design choices (secs)", &header_refs);
     for w in &rows {
         let mut cells = vec![w.name.clone()];
-        for (_, options, learning) in &configs {
+        for (label, options, learning) in &configs {
             let config = CircuitConfig {
                 options: *options,
                 learning: *learning,
@@ -69,10 +72,12 @@ fn main() {
             };
             let r = run_circuit_solver(w, &config);
             assert!(!r.unsound, "{}: unsound", r.name);
+            json.add(label, &r);
             cells.push(r.time_cell());
         }
         table.row(cells);
     }
     table.note("* aborted at the timeout");
     table.print();
+    json.finish();
 }

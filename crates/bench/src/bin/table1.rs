@@ -6,7 +6,9 @@ use csat_bench::report::{parse_args, total_cell, Table};
 use csat_bench::{equiv_suite, run_baseline, run_circuit_solver, CircuitConfig};
 
 fn main() {
-    let (scale, timeout) = parse_args(120);
+    let args = parse_args(120);
+    let (scale, timeout) = (args.scale, args.timeout);
+    let mut json = args.json_report("table1");
     let suite = equiv_suite(scale);
     let mut table = Table::new(
         "Table I: initial run time (secs) for UNSAT cases",
@@ -22,6 +24,9 @@ fn main() {
         for r in [&b, &p, &j] {
             assert!(!r.unsound, "{}: unsound verdict", r.name);
         }
+        json.add("zchaff-class", &b);
+        json.add("c-sat", &p);
+        json.add("c-sat-jnode", &j);
         table.row(vec![w.name.clone(), b.time_cell(), p.time_cell(), j.time_cell()]);
         base.push(b);
         plain.push(p);
@@ -36,4 +41,5 @@ fn main() {
     ]);
     table.note("* aborted at the timeout (paper: 7200 s)");
     table.print();
+    json.finish();
 }

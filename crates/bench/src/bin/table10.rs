@@ -11,12 +11,17 @@ use csat_bench::{
 use csat_core::ExplicitOptions;
 
 fn main() {
-    let (scale, timeout) = parse_args(120);
+    let args = parse_args(120);
+    let (scale, timeout) = (args.scale, args.timeout);
+    let mut json = args.json_report("table10");
     let mut table = Table::new(
         "Table X: results for additional SAT and UNSAT cases",
         &["circuit", "zchaff-class", "implicit", "explicit", "simulation"],
     );
-    let run_section = |table: &mut Table, rows: &[Workload], label: &str| {
+    let run_section = |table: &mut Table,
+                       json: &mut csat_bench::JsonReport,
+                       rows: &[Workload],
+                       label: &str| {
         let mut base = Vec::new();
         let mut imp = Vec::new();
         let mut exp = Vec::new();
@@ -31,6 +36,9 @@ fn main() {
             for r in [&b, &i, &e] {
                 assert!(!r.unsound, "{}: unsound verdict", r.name);
             }
+            json.add("zchaff-class", &b);
+            json.add("implicit", &i);
+            json.add("explicit", &e);
             sim_total += e.sim_seconds;
             table.row(vec![
                 w.name.clone(),
@@ -54,10 +62,11 @@ fn main() {
         table.separator();
     };
     let vliw = vliw_suite(scale, &[9, 17, 1, 24, 21, 15, 19]);
-    run_section(&mut table, &vliw, "sat");
+    run_section(&mut table, &mut json, &vliw, "sat");
     let mut unsat_rows = extra_combinational(scale);
     unsat_rows.extend(scan_suite(scale));
-    run_section(&mut table, &unsat_rows, "unsat");
+    run_section(&mut table, &mut json, &unsat_rows, "unsat");
     table.note("* aborted at the timeout");
     table.print();
+    json.finish();
 }

@@ -5,7 +5,9 @@ use csat_bench::report::{parse_args, total_cell, Table};
 use csat_bench::{run_baseline, run_circuit_solver, vliw_suite, CircuitConfig};
 
 fn main() {
-    let (scale, timeout) = parse_args(120);
+    let args = parse_args(120);
+    let (scale, timeout) = (args.scale, args.timeout);
+    let mut json = args.json_report("table2");
     let suite = vliw_suite(scale, &[1, 4, 5, 7, 8, 10]);
     let mut table = Table::new(
         "Table II: initial run time (secs) for SAT cases",
@@ -21,6 +23,9 @@ fn main() {
         for r in [&b, &p, &j] {
             assert!(!r.unsound, "{}: unsound verdict", r.name);
         }
+        json.add("zchaff-class", &b);
+        json.add("c-sat", &p);
+        json.add("c-sat-jnode", &j);
         table.row(vec![w.name.clone(), b.time_cell(), p.time_cell(), j.time_cell()]);
         base.push(b);
         plain.push(p);
@@ -35,4 +40,5 @@ fn main() {
     ]);
     table.note("* aborted at the timeout");
     table.print();
+    json.finish();
 }

@@ -8,7 +8,9 @@ use csat_bench::runner::format_seconds;
 use csat_bench::{equiv_suite, opt_suite, run_baseline, run_circuit_solver, CircuitConfig};
 
 fn main() {
-    let (scale, timeout) = parse_args(120);
+    let args = parse_args(120);
+    let (scale, timeout) = (args.scale, args.timeout);
+    let mut json = args.json_report("table3");
     let mut table = Table::new(
         "Table III: improved results for UNSAT cases with implicit learning",
         &["circuit", "zchaff-class", "c-sat-jnode+impl", "simulation"],
@@ -26,6 +28,8 @@ fn main() {
             for r in [&b, &i] {
                 assert!(!r.unsound, "{}: unsound verdict", r.name);
             }
+            json.add("zchaff-class", &b);
+            json.add("c-sat-jnode+impl", &i);
             sim_total += i.sim_seconds;
             table.row(vec![
                 w.name.clone(),
@@ -47,4 +51,5 @@ fn main() {
     }
     table.note("* aborted at the timeout");
     table.print();
+    json.finish();
 }

@@ -6,7 +6,9 @@ use csat_bench::runner::format_seconds;
 use csat_bench::{run_baseline, run_circuit_solver, vliw_suite, CircuitConfig};
 
 fn main() {
-    let (scale, timeout) = parse_args(120);
+    let args = parse_args(120);
+    let (scale, timeout) = (args.scale, args.timeout);
+    let mut json = args.json_report("table4");
     let suite = vliw_suite(scale, &[7, 10, 4, 1, 8, 5]);
     let mut table = Table::new(
         "Table IV: improved results for SAT cases with implicit learning",
@@ -21,6 +23,8 @@ fn main() {
         for r in [&b, &i] {
             assert!(!r.unsound, "{}: unsound verdict", r.name);
         }
+        json.add("zchaff-class", &b);
+        json.add("c-sat-jnode+impl", &i);
         sim_total += i.sim_seconds;
         table.row(vec![
             w.name.clone(),
@@ -39,4 +43,5 @@ fn main() {
         format_seconds(sim_total),
     ]);
     table.print();
+    json.finish();
 }

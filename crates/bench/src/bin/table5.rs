@@ -9,7 +9,9 @@ use csat_bench::{equiv_suite, opt_suite, run_baseline, run_circuit_solver, Circu
 use csat_core::{CorrelationMode, ExplicitOptions};
 
 fn main() {
-    let (scale, timeout) = parse_args(120);
+    let args = parse_args(120);
+    let (scale, timeout) = (args.scale, args.timeout);
+    let mut json = args.json_report("table5");
     let mut table = Table::new(
         "Table V: improved results for UNSAT cases with explicit learning",
         &[
@@ -49,6 +51,10 @@ fn main() {
             for r in [&b, &p, &z, &both_r] {
                 assert!(!r.unsound, "{}: unsound verdict", r.name);
             }
+            json.add("zchaff-class", &b);
+            json.add("pair", &p);
+            json.add("vs0", &z);
+            json.add("both", &both_r);
             sim_total += both_r.sim_seconds;
             table.row(vec![
                 w.name.clone(),
@@ -82,6 +88,10 @@ fn main() {
     let p = run_circuit_solver(&c6288, &config(CorrelationMode::Pairs));
     let z = run_circuit_solver(&c6288, &config(CorrelationMode::Constants));
     let both_r = run_circuit_solver(&c6288, &config(CorrelationMode::Both));
+    json.add("zchaff-class", &b);
+    json.add("pair", &p);
+    json.add("vs0", &z);
+    json.add("both", &both_r);
     table.row(vec![
         c6288.name.clone(),
         b.time_cell(),
@@ -94,4 +104,5 @@ fn main() {
     ]);
     table.note("* aborted at the timeout (the paper's ZChaff aborted C6288 at 7200 s)");
     table.print();
+    json.finish();
 }

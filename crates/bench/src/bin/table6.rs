@@ -6,7 +6,9 @@ use csat_bench::{equiv_suite, run_circuit_solver, CircuitConfig};
 use csat_core::{ExplicitOptions, SubproblemOrdering};
 
 fn main() {
-    let (scale, timeout) = parse_args(120);
+    let args = parse_args(120);
+    let (scale, timeout) = (args.scale, args.timeout);
+    let mut json = args.json_report("table6");
     let mut suite = equiv_suite(scale);
     let c6288 = suite.pop().expect("multiplier is last");
     // The paper's Table VI covers the equiv miters except c1355/c1908 run
@@ -25,16 +27,17 @@ fn main() {
         )
     };
     let orderings = [
-        SubproblemOrdering::Topological,
-        SubproblemOrdering::Reverse,
-        SubproblemOrdering::Random(0xDA7E),
+        ("topological", SubproblemOrdering::Topological),
+        ("reverse", SubproblemOrdering::Reverse),
+        ("random", SubproblemOrdering::Random(0xDA7E)),
     ];
     let mut per_order: [Vec<csat_bench::RunResult>; 3] = Default::default();
     for w in &suite {
         let mut cells = vec![w.name.clone()];
-        for (k, &ordering) in orderings.iter().enumerate() {
+        for (k, &(label, ordering)) in orderings.iter().enumerate() {
             let r = run_circuit_solver(w, &config(ordering));
             assert!(!r.unsound, "{}: unsound verdict", r.name);
+            json.add(label, &r);
             cells.push(r.time_cell());
             per_order[k].push(r);
         }
@@ -49,11 +52,13 @@ fn main() {
     ]);
     table.separator();
     let mut cells = vec![c6288.name.clone()];
-    for &ordering in &orderings {
+    for &(label, ordering) in &orderings {
         let r = run_circuit_solver(&c6288, &config(ordering));
+        json.add(label, &r);
         cells.push(r.time_cell());
     }
     table.row(cells);
     table.note("* aborted at the timeout");
     table.print();
+    json.finish();
 }

@@ -8,7 +8,9 @@ use csat_bench::{run_baseline, run_circuit_solver, vliw_suite, CircuitConfig};
 use csat_core::ExplicitOptions;
 
 fn main() {
-    let (scale, timeout) = parse_args(120);
+    let args = parse_args(120);
+    let (scale, timeout) = (args.scale, args.timeout);
+    let mut json = args.json_report("table7");
     let suite = vliw_suite(scale, &[7, 10, 4, 1, 8, 5]);
     let mut table = Table::new(
         "Table VII: run time degradation for SAT cases in explicit learning",
@@ -24,6 +26,8 @@ fn main() {
         for r in [&b, &e] {
             assert!(!r.unsound, "{}: unsound verdict", r.name);
         }
+        json.add("zchaff-class", &b);
+        json.add("c-sat-jnode-both", &e);
         sim_total += e.sim_seconds;
         table.row(vec![
             w.name.clone(),
@@ -42,4 +46,5 @@ fn main() {
         format_seconds(sim_total),
     ]);
     table.print();
+    json.finish();
 }

@@ -9,7 +9,9 @@ use csat_core::ExplicitOptions;
 const FRACTIONS: [f64; 8] = [0.1, 0.3, 0.4, 0.5, 0.7, 0.9, 0.95, 1.0];
 
 fn main() {
-    let (scale, timeout) = parse_args(120);
+    let args = parse_args(120);
+    let (scale, timeout) = (args.scale, args.timeout);
+    let mut json = args.json_report("table8");
     let all = equiv_suite(scale);
     let rows: Vec<&Workload> = all
         .iter()
@@ -44,6 +46,7 @@ fn main() {
         for (k, &f) in FRACTIONS.iter().enumerate() {
             let r = run_circuit_solver(w, &config(f));
             assert!(!r.unsound, "{}: unsound verdict", r.name);
+            json.add(&format!("fraction-{f}"), &r);
             cells.push(r.time_cell());
             per_fraction[k].push(r);
         }
@@ -59,9 +62,11 @@ fn main() {
     let mut cells = vec![c6288.name.clone()];
     for &f in &FRACTIONS {
         let r = run_circuit_solver(c6288, &config(f));
+        json.add(&format!("fraction-{f}"), &r);
         cells.push(r.time_cell());
     }
     table.row(cells);
     table.note("* aborted at the timeout");
     table.print();
+    json.finish();
 }

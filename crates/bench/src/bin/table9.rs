@@ -8,7 +8,9 @@ use csat_core::ExplicitOptions;
 const FRACTIONS: [f64; 5] = [0.5, 0.7, 0.8, 0.95, 1.0];
 
 fn main() {
-    let (scale, timeout) = parse_args(120);
+    let args = parse_args(120);
+    let (scale, timeout) = (args.scale, args.timeout);
+    let mut json = args.json_report("table9");
     let suite = vliw_suite(scale, &[7, 4, 10, 8]);
     let mut headers = vec!["circuit".to_string()];
     headers.extend(FRACTIONS.iter().map(|f| format!("{f}")));
@@ -33,6 +35,7 @@ fn main() {
         for (k, &f) in FRACTIONS.iter().enumerate() {
             let r = run_circuit_solver(w, &config(f));
             assert!(!r.unsound, "{}: unsound verdict", r.name);
+            json.add(&format!("fraction-{f}"), &r);
             cells.push(r.time_cell());
             per_fraction[k].push(r);
         }
@@ -45,4 +48,5 @@ fn main() {
     }
     table.row(cells);
     table.print();
+    json.finish();
 }

@@ -18,7 +18,9 @@
 //! | Table X    | `table10` | additional SAT + scan-style UNSAT cases |
 //!
 //! Run them with e.g. `cargo run --release -p csat-bench --bin table5 --`
-//! `[--quick] [--timeout <secs>]`. `--quick` shrinks the workloads so every
+//! `[--quick] [--timeout <secs>] [--json <path>]`. `--json` additionally
+//! writes one JSONL row per run, each carrying the full telemetry metrics
+//! snapshot. `--quick` shrinks the workloads so every
 //! solver finishes in seconds; without it the workloads match the gate
 //! counts of the paper's ISCAS-85 / Velev instances (see `DESIGN.md` §3 for
 //! the substitution rationale) and the baseline may hit its timeout exactly
@@ -31,6 +33,7 @@ pub mod report;
 pub mod runner;
 pub mod workload;
 
+pub use report::{BenchArgs, JsonReport};
 pub use runner::{
     run_baseline, run_circuit_solver, CircuitConfig, LearningMode, RunOutcome, RunResult,
 };

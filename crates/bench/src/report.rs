@@ -84,14 +84,33 @@ impl Table {
     }
 }
 
+/// Parsed common CLI flags of the table binaries.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Workload scale (`--quick` shrinks the suites).
+    pub scale: crate::workload::Scale,
+    /// Per-run wall-clock budget.
+    pub timeout: std::time::Duration,
+    /// Where to write machine-readable result rows (`--json <path>`).
+    pub json: Option<String>,
+}
+
+impl BenchArgs {
+    /// Creates the JSON row collector for a table; a no-op when `--json`
+    /// was not given.
+    pub fn json_report(&self, table: &str) -> JsonReport {
+        JsonReport::new(table, self.json.clone())
+    }
+}
+
 /// Parses the common CLI flags of the table binaries:
-/// `[--quick] [--timeout <secs>]`.
+/// `[--quick] [--timeout <secs>] [--json <path>]`.
 ///
-/// Returns `(scale, timeout_seconds)`. Unknown flags abort with a usage
-/// message.
-pub fn parse_args(default_timeout: u64) -> (crate::workload::Scale, std::time::Duration) {
+/// Unknown flags abort with a usage message.
+pub fn parse_args(default_timeout: u64) -> BenchArgs {
     let mut scale = crate::workload::Scale::Full;
     let mut timeout = default_timeout;
+    let mut json = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -105,13 +124,91 @@ pub fn parse_args(default_timeout: u64) -> (crate::workload::Scale, std::time::D
                         std::process::exit(2);
                     });
             }
+            "--json" => {
+                json = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a file path");
+                    std::process::exit(2);
+                }));
+            }
             other => {
-                eprintln!("unknown flag '{other}'; usage: [--quick] [--timeout <secs>]");
+                eprintln!(
+                    "unknown flag '{other}'; usage: \
+                     [--quick] [--timeout <secs>] [--json <path>]"
+                );
                 std::process::exit(2);
             }
         }
     }
-    (scale, std::time::Duration::from_secs(timeout))
+    BenchArgs {
+        scale,
+        timeout: std::time::Duration::from_secs(timeout),
+        json,
+    }
+}
+
+/// Collects one JSON row per run and writes them as JSONL when finished.
+///
+/// Each row carries the run's identity (table, configuration, workload),
+/// its verdict and timings, and the full telemetry metrics snapshot
+/// recorded by the runner — so a `--json` bench run preserves everything
+/// the rendered table summarizes.
+#[derive(Clone, Debug)]
+pub struct JsonReport {
+    table: String,
+    path: Option<String>,
+    rows: Vec<String>,
+}
+
+impl JsonReport {
+    /// Creates a collector writing to `path` (no-op when `None`).
+    pub fn new(table: impl Into<String>, path: Option<String>) -> JsonReport {
+        JsonReport {
+            table: table.into(),
+            path,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records one run under a configuration label (e.g. `"c-sat-jnode"`).
+    pub fn add(&mut self, config: &str, result: &crate::runner::RunResult) {
+        if self.path.is_none() {
+            return;
+        }
+        let outcome = match result.outcome {
+            crate::runner::RunOutcome::Sat => "SAT",
+            crate::runner::RunOutcome::Unsat => "UNSAT",
+            crate::runner::RunOutcome::Timeout => "TIMEOUT",
+        };
+        let mut o = csat_telemetry::json::JsonObject::new();
+        o.field_str("table", &self.table)
+            .field_str("config", config)
+            .field_str("name", &result.name)
+            .field_str("outcome", outcome)
+            .field_f64("seconds", result.seconds)
+            .field_f64("sim_seconds", result.sim_seconds);
+        if let Some(n) = result.subproblems {
+            o.field_u64("subproblems", n as u64);
+        }
+        o.field_u64("decisions", result.decisions)
+            .field_u64("conflicts", result.conflicts)
+            .field_bool("unsound", result.unsound)
+            .field_raw("metrics", &result.metrics.to_json());
+        self.rows.push(o.finish());
+    }
+
+    /// Writes the collected rows (one JSON object per line).
+    ///
+    /// Prints a confirmation on success and a warning on I/O failure;
+    /// a no-op collector stays silent.
+    pub fn finish(&self) {
+        let Some(path) = &self.path else { return };
+        let mut doc = self.rows.join("\n");
+        doc.push('\n');
+        match std::fs::write(path, doc) {
+            Ok(()) => eprintln!("wrote {} result rows to {path}", self.rows.len()),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
 }
 
 /// Sums the seconds of results that completed; returns the paper-style

@@ -4,7 +4,8 @@ use std::time::{Duration, Instant};
 
 use csat_core::{explicit, Budget, ExplicitOptions, Solver, SolverOptions, Verdict};
 use csat_netlist::tseitin;
-use csat_sim::{find_correlations, SimulationOptions};
+use csat_sim::{find_correlations_observed, SimulationOptions};
+use csat_telemetry::MetricsRecorder;
 
 use crate::workload::{Expected, Workload};
 
@@ -38,6 +39,8 @@ pub struct RunResult {
     pub conflicts: u64,
     /// True when the verdict contradicts the workload's ground truth.
     pub unsound: bool,
+    /// Telemetry metrics recorded during the run (counters + histograms).
+    pub metrics: MetricsRecorder,
 }
 
 impl RunResult {
@@ -75,15 +78,10 @@ fn check(expected: Expected, outcome: RunOutcome) -> bool {
 pub fn run_baseline(workload: &Workload, timeout: Duration) -> RunResult {
     let start = Instant::now();
     let enc = tseitin::encode_with_objective(&workload.aig, workload.objective);
-    let mut solver = csat_cnf::Solver::new(
-        &enc.cnf,
-        csat_cnf::SolverOptions {
-            max_time: Some(timeout),
-            ..Default::default()
-        },
-    );
-    let outcome = match solver.solve() {
-        csat_cnf::Outcome::Sat(model) => {
+    let mut solver = csat_cnf::Solver::new(&enc.cnf, csat_cnf::SolverOptions::default());
+    let mut metrics = MetricsRecorder::default();
+    let outcome = match solver.solve_observed(&Budget::time(timeout), &mut metrics) {
+        Verdict::Sat(model) => {
             let inputs = enc.input_values(&workload.aig, &model);
             let values = workload.aig.evaluate(&inputs);
             assert!(
@@ -93,8 +91,8 @@ pub fn run_baseline(workload: &Workload, timeout: Duration) -> RunResult {
             );
             RunOutcome::Sat
         }
-        csat_cnf::Outcome::Unsat => RunOutcome::Unsat,
-        csat_cnf::Outcome::Unknown => RunOutcome::Timeout,
+        Verdict::Unsat => RunOutcome::Unsat,
+        Verdict::Unknown => RunOutcome::Timeout,
     };
     let stats = *solver.stats();
     RunResult {
@@ -106,6 +104,7 @@ pub fn run_baseline(workload: &Workload, timeout: Duration) -> RunResult {
         decisions: stats.decisions,
         conflicts: stats.conflicts,
         unsound: check(workload.expected, outcome),
+        metrics,
     }
 }
 
@@ -190,11 +189,13 @@ impl CircuitConfig {
 /// solve time, matching the paper's table layout.
 pub fn run_circuit_solver(workload: &Workload, config: &CircuitConfig) -> RunResult {
     let mut sim_seconds = 0.0;
+    let mut metrics = MetricsRecorder::default();
     let mut solver = Solver::new(&workload.aig, config.options);
     let correlations = match config.learning {
         LearningMode::None => None,
         LearningMode::Implicit | LearningMode::Explicit(_) | LearningMode::ExplicitOnly(_) => {
-            let result = find_correlations(&workload.aig, &config.simulation);
+            let result =
+                find_correlations_observed(&workload.aig, &config.simulation, &mut metrics);
             sim_seconds = result.elapsed.as_secs_f64();
             Some(result)
         }
@@ -209,12 +210,16 @@ pub fn run_circuit_solver(workload: &Workload, config: &CircuitConfig) -> RunRes
     }
     match (&config.learning, &correlations) {
         (LearningMode::Explicit(opts), Some(c)) | (LearningMode::ExplicitOnly(opts), Some(c)) => {
-            let report = explicit::run(&mut solver, c, opts);
+            let report = explicit::run_observed(&mut solver, c, opts, &mut metrics);
             subproblems = Some(report.subproblems);
         }
         _ => {}
     }
-    let verdict = solver.solve_with_budget(workload.objective, &Budget::time(config.timeout));
+    let verdict = solver.solve_observed(
+        workload.objective,
+        &Budget::time(config.timeout),
+        &mut metrics,
+    );
     let outcome = match verdict {
         Verdict::Sat(model) => {
             let values = workload.aig.evaluate(&model);
@@ -238,6 +243,7 @@ pub fn run_circuit_solver(workload: &Workload, config: &CircuitConfig) -> RunRes
         decisions: stats.decisions,
         conflicts: stats.conflicts,
         unsound: check(workload.expected, outcome),
+        metrics,
     }
 }
 

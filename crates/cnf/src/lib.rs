@@ -10,18 +10,18 @@
 //! * first-UIP conflict analysis with non-chronological backjumping,
 //! * learned-clause database reduction,
 //! * geometric restarts,
-//! * conflict/time budgets (the paper aborts runs at 7200 s).
+//! * resource budgets via [`Budget`] (the paper aborts runs at 7200 s).
 //!
 //! # Example
 //!
 //! ```
-//! use csat_cnf::{Outcome, Solver, SolverOptions};
+//! use csat_cnf::{Solver, SolverOptions, Verdict};
 //! use csat_netlist::cnf::Cnf;
 //!
 //! let cnf = Cnf::from_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n").unwrap();
 //! let mut solver = Solver::new(&cnf, SolverOptions::default());
 //! match solver.solve() {
-//!     Outcome::Sat(model) => assert!(model[1]), // variable 2 must be true
+//!     Verdict::Sat(model) => assert!(model[1]), // variable 2 must be true
 //!     other => panic!("expected SAT, got {other:?}"),
 //! }
 //! ```
@@ -33,4 +33,6 @@ mod heap;
 pub mod proof;
 mod solver;
 
-pub use solver::{Outcome, Solver, SolverOptions, Stats};
+#[allow(deprecated)]
+pub use solver::Outcome;
+pub use solver::{Budget, Solver, SolverOptions, SolverOptionsBuilder, Stats, Verdict};

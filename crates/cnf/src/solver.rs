@@ -1,35 +1,32 @@
 //! The CDCL solver proper.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use csat_netlist::cnf::{Cnf, Lit, Var};
+use csat_telemetry::{NoOpObserver, Observer, SolverEvent};
 
 use crate::heap::ActivityHeap;
 
-/// Result of [`Solver::solve`].
-#[derive(Clone, Debug, PartialEq)]
-pub enum Outcome {
-    /// Satisfiable; the model gives one value per variable.
-    Sat(Vec<bool>),
-    /// Unsatisfiable.
-    Unsat,
-    /// Budget (conflicts or wall clock) exhausted before an answer.
-    Unknown,
-}
+pub use csat_types::{Budget, Verdict};
 
-impl Outcome {
-    /// True for [`Outcome::Sat`].
-    pub fn is_sat(&self) -> bool {
-        matches!(self, Outcome::Sat(_))
-    }
+/// Former name of [`Verdict`], kept for one release.
+///
+/// The CNF and circuit solvers now share the verdict vocabulary of
+/// [`csat_types`]; use [`Verdict`] directly.
+#[deprecated(since = "0.1.0", note = "renamed to `Verdict` (shared with csat-core)")]
+pub type Outcome = Verdict;
 
-    /// True for [`Outcome::Unsat`].
-    pub fn is_unsat(&self) -> bool {
-        matches!(self, Outcome::Unsat)
-    }
-}
-
-/// Tuning knobs and budgets.
+/// Tuning knobs.
+///
+/// Resource limits moved out of the options and into [`Budget`]: pass one
+/// to [`Solver::solve_with_budget`]. Construct with
+/// [`SolverOptions::builder`] to override individual fields:
+///
+/// ```
+/// use csat_cnf::SolverOptions;
+/// let opts = SolverOptions::builder().restart_first(50).build();
+/// assert_eq!(opts.restart_first, 50);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct SolverOptions {
     /// Multiplicative VSIDS decay applied every [`SolverOptions::decay_interval`] conflicts.
@@ -40,10 +37,6 @@ pub struct SolverOptions {
     pub restart_first: u64,
     /// Geometric restart growth factor.
     pub restart_factor: f64,
-    /// Give up after this many conflicts (`None` = unlimited).
-    pub max_conflicts: Option<u64>,
-    /// Give up after this much wall-clock time (`None` = unlimited).
-    pub max_time: Option<Duration>,
 }
 
 impl Default for SolverOptions {
@@ -53,14 +46,65 @@ impl Default for SolverOptions {
             decay_interval: 256,
             restart_first: 100,
             restart_factor: 1.5,
-            max_conflicts: None,
-            max_time: None,
         }
     }
 }
 
+impl SolverOptions {
+    /// The ZChaff-style configuration the paper benchmarks against. Today
+    /// this equals [`SolverOptions::default`]; the named preset matches the
+    /// `paper()` convention of `csat_core::SolverOptions`.
+    pub fn paper() -> SolverOptions {
+        SolverOptions::default()
+    }
+
+    /// Field-by-field builder starting from [`SolverOptions::default`].
+    pub fn builder() -> SolverOptionsBuilder {
+        SolverOptionsBuilder {
+            options: SolverOptions::default(),
+        }
+    }
+}
+
+/// Builder returned by [`SolverOptions::builder`].
+#[derive(Clone, Copy, Debug)]
+pub struct SolverOptionsBuilder {
+    options: SolverOptions,
+}
+
+impl SolverOptionsBuilder {
+    /// See [`SolverOptions::var_decay`].
+    pub fn var_decay(mut self, decay: f64) -> Self {
+        self.options.var_decay = decay;
+        self
+    }
+
+    /// See [`SolverOptions::decay_interval`].
+    pub fn decay_interval(mut self, conflicts: u64) -> Self {
+        self.options.decay_interval = conflicts;
+        self
+    }
+
+    /// See [`SolverOptions::restart_first`].
+    pub fn restart_first(mut self, conflicts: u64) -> Self {
+        self.options.restart_first = conflicts;
+        self
+    }
+
+    /// See [`SolverOptions::restart_factor`].
+    pub fn restart_factor(mut self, factor: f64) -> Self {
+        self.options.restart_factor = factor;
+        self
+    }
+
+    /// Finish, yielding the configured [`SolverOptions`].
+    pub fn build(self) -> SolverOptions {
+        self.options
+    }
+}
+
 /// Search statistics, readable after (or during) solving.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Decisions made.
     pub decisions: u64,
@@ -169,44 +213,88 @@ impl Solver {
         solver
     }
 
-    /// Runs the search.
+    /// Runs the search with no resource limits.
+    pub fn solve(&mut self) -> Verdict {
+        self.solve_with_budget(&Budget::UNLIMITED)
+    }
+
+    /// Runs the search under a resource [`Budget`], returning
+    /// [`Verdict::Unknown`] when a limit is exhausted before an answer.
     ///
-    /// Returns [`Outcome::Unknown`] only when a budget from
-    /// [`SolverOptions`] ran out.
-    pub fn solve(&mut self) -> Outcome {
+    /// All limits are counted per call, so a solver can be resumed with a
+    /// fresh budget (learned clauses persist).
+    pub fn solve_with_budget(&mut self, budget: &Budget) -> Verdict {
+        self.solve_observed(budget, &mut NoOpObserver)
+    }
+
+    /// Like [`Solver::solve_with_budget`], reporting search events to the
+    /// given [`Observer`].
+    ///
+    /// With the default [`NoOpObserver`] this monomorphizes to exactly the
+    /// unobserved solve — no event is materialized, no allocation happens.
+    pub fn solve_observed<O>(&mut self, budget: &Budget, obs: &mut O) -> Verdict
+    where
+        O: Observer + ?Sized,
+    {
         if self.root_conflict {
-            return Outcome::Unsat;
+            return Verdict::Unsat;
         }
         let start = Instant::now();
         let mut restart_limit = self.options.restart_first as f64;
         let mut conflicts_since_restart = 0u64;
+        let mut conflicts_this_call = 0u64;
+        let mut decisions_this_call = 0u64;
+        let mut learned_this_call = 0u64;
         if self.propagate().is_some() {
-            return Outcome::Unsat;
+            return Verdict::Unsat;
         }
         loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
+                conflicts_this_call += 1;
                 if self.decision_level() == 0 {
-                    return Outcome::Unsat;
+                    obs.record(SolverEvent::Conflict {
+                        level: 0,
+                        backjump: 0,
+                    });
+                    return Verdict::Unsat;
                 }
                 let (learnt, backjump) = self.analyze(conflict);
+                let level = self.decision_level();
+                obs.record(SolverEvent::Conflict {
+                    level,
+                    backjump: level - backjump,
+                });
+                obs.record(SolverEvent::Learn {
+                    literals: learnt.len() as u32,
+                });
                 self.backtrack(backjump);
                 self.learn(learnt);
+                learned_this_call += 1;
+                if self.root_conflict {
+                    return Verdict::Unsat;
+                }
                 if self.stats.conflicts.is_multiple_of(self.options.decay_interval) {
                     self.decay_activities();
                 }
                 if self.stats.learnt_clauses as usize > self.max_learnts {
-                    self.reduce_db();
+                    let deleted = self.reduce_db();
+                    obs.record(SolverEvent::DbReduce { deleted });
                 }
-                if let Some(max) = self.options.max_conflicts {
-                    if self.stats.conflicts >= max {
-                        return Outcome::Unknown;
+                if let Some(max) = budget.max_conflicts {
+                    if conflicts_this_call >= max {
+                        return Verdict::Unknown;
                     }
                 }
-                if let Some(max) = self.options.max_time {
-                    if self.stats.conflicts.is_multiple_of(512) && start.elapsed() >= max {
-                        return Outcome::Unknown;
+                if let Some(max) = budget.max_learned {
+                    if learned_this_call >= max {
+                        return Verdict::Unknown;
+                    }
+                }
+                if let Some(max) = budget.max_time {
+                    if conflicts_this_call.is_multiple_of(512) && start.elapsed() >= max {
+                        return Verdict::Unknown;
                     }
                 }
             } else {
@@ -214,6 +302,7 @@ impl Solver {
                     conflicts_since_restart = 0;
                     restart_limit *= self.options.restart_factor;
                     self.stats.restarts += 1;
+                    obs.record(SolverEvent::Restart);
                     self.backtrack(0);
                     continue;
                 }
@@ -221,10 +310,20 @@ impl Solver {
                     None => {
                         let model: Vec<bool> =
                             self.values.iter().map(|&v| v == 1).collect();
-                        return Outcome::Sat(model);
+                        return Verdict::Sat(model);
                     }
                     Some(var) => {
                         self.stats.decisions += 1;
+                        decisions_this_call += 1;
+                        obs.record(SolverEvent::Decision {
+                            level: self.decision_level() + 1,
+                            grouped: false,
+                        });
+                        if let Some(max) = budget.max_decisions {
+                            if decisions_this_call > max {
+                                return Verdict::Unknown;
+                            }
+                        }
                         let lit = Lit::new(Var(var), !self.phases[var as usize]);
                         self.trail_lim.push(self.trail.len());
                         self.enqueue(lit, NO_REASON);
@@ -504,8 +603,8 @@ impl Solver {
     }
 
     /// Removes the lower-activity half of the learned clauses (keeping
-    /// reason clauses and binaries).
-    fn reduce_db(&mut self) {
+    /// reason clauses and binaries), returning how many were deleted.
+    fn reduce_db(&mut self) -> u64 {
         let mut learnt_refs: Vec<u32> = (0..self.clauses.len() as u32)
             .filter(|&i| {
                 let c = &self.clauses[i as usize];
@@ -540,8 +639,9 @@ impl Solver {
         }
         self.stats.deleted_clauses += deleted as u64;
         self.stats.learnt_clauses -= deleted as u64;
-        self.max_learnts = self.max_learnts + self.max_learnts / 10;
+        self.max_learnts += self.max_learnts / 10;
         // Watch lists lazily drop deleted clauses during propagation.
+        deleted as u64
     }
 }
 
@@ -550,7 +650,7 @@ mod tests {
     use super::*;
     use csat_netlist::cnf::Cnf;
 
-    fn solve_text(text: &str) -> Outcome {
+    fn solve_text(text: &str) -> Verdict {
         let cnf = Cnf::from_dimacs(text).expect("dimacs");
         Solver::new(&cnf, SolverOptions::default()).solve()
     }
@@ -563,7 +663,7 @@ mod tests {
     #[test]
     fn single_unit_is_sat() {
         match solve_text("p cnf 1 1\n1 0\n") {
-            Outcome::Sat(m) => assert!(m[0]),
+            Verdict::Sat(m) => assert!(m[0]),
             other => panic!("{other:?}"),
         }
     }
@@ -584,7 +684,7 @@ mod tests {
     fn simple_implication_chain() {
         // a, a->b, b->c, check c forced true.
         match solve_text("p cnf 3 3\n1 0\n-1 2 0\n-2 3 0\n") {
-            Outcome::Sat(m) => assert_eq!(m, vec![true, true, true]),
+            Verdict::Sat(m) => assert_eq!(m, vec![true, true, true]),
             other => panic!("{other:?}"),
         }
     }
@@ -615,7 +715,7 @@ mod tests {
     #[test]
     fn duplicate_literals_are_merged() {
         match solve_text("p cnf 1 1\n1 1 1 0\n") {
-            Outcome::Sat(m) => assert!(m[0]),
+            Verdict::Sat(m) => assert!(m[0]),
             other => panic!("{other:?}"),
         }
     }
@@ -647,12 +747,12 @@ mod tests {
                 }
             }
             match outcome {
-                Outcome::Sat(model) => {
+                Verdict::Sat(model) => {
                     assert!(brute_sat, "round {round}: solver SAT, brute UNSAT");
                     assert!(cnf.evaluate(&model), "round {round}: bogus model");
                 }
-                Outcome::Unsat => assert!(!brute_sat, "round {round}: solver UNSAT, brute SAT"),
-                Outcome::Unknown => panic!("round {round}: unexpected budget exhaustion"),
+                Verdict::Unsat => assert!(!brute_sat, "round {round}: solver UNSAT, brute SAT"),
+                Verdict::Unknown => panic!("round {round}: unexpected budget exhaustion"),
             }
         }
     }
@@ -673,18 +773,38 @@ mod tests {
                 }
             }
         }
-        let outcome = Solver::new(
-            &cnf,
-            SolverOptions {
-                max_conflicts: Some(1),
-                ..Default::default()
-            },
-        )
-        .solve();
-        assert_eq!(outcome, Outcome::Unknown);
+        let outcome = Solver::new(&cnf, SolverOptions::default())
+            .solve_with_budget(&Budget::conflicts(1));
+        assert_eq!(outcome, Verdict::Unknown);
         // And without the budget it is UNSAT.
         let outcome = Solver::new(&cnf, SolverOptions::default()).solve();
         assert!(outcome.is_unsat());
+    }
+
+    #[test]
+    fn decision_and_time_budgets_yield_unknown() {
+        // Many independent variables: a 1-decision budget cannot finish.
+        let mut cnf = Cnf::with_vars(16);
+        for v in 0..15u32 {
+            cnf.add_clause(vec![Var(v).positive(), Var(v + 1).positive()]);
+        }
+        let outcome = Solver::new(&cnf, SolverOptions::default()).solve_with_budget(&Budget {
+            max_decisions: Some(1),
+            ..Budget::UNLIMITED
+        });
+        assert_eq!(outcome, Verdict::Unknown);
+        // A zero time budget on a conflict-heavy instance gives Unknown.
+        let outcome = Solver::new(&cnf, SolverOptions::default())
+            .solve_with_budget(&Budget::time(std::time::Duration::ZERO));
+        // Time is only polled at conflicts, so an easy instance may finish.
+        assert!(matches!(outcome, Verdict::Sat(_) | Verdict::Unknown));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn outcome_alias_still_compiles() {
+        let v: super::Outcome = Verdict::Unsat;
+        assert!(v.is_unsat());
     }
 
     #[test]

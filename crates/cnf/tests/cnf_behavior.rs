@@ -1,7 +1,7 @@
 //! Behavioral tests for the CNF CDCL baseline: classic benchmark families,
 //! database reduction, restarts, and budget handling.
 
-use csat_cnf::{Outcome, Solver, SolverOptions};
+use csat_cnf::{Budget, Solver, SolverOptions, Verdict};
 use csat_netlist::cnf::{Cnf, Lit, Var};
 
 /// Pigeonhole principle: n+1 pigeons into n holes, always UNSAT.
@@ -66,7 +66,7 @@ fn xor_chains_are_sat_with_odd_parity_models() {
     for n in [1usize, 2, 5, 16, 40] {
         let cnf = xor_chain(n);
         match Solver::new(&cnf, SolverOptions::default()).solve() {
-            Outcome::Sat(model) => {
+            Verdict::Sat(model) => {
                 assert!(cnf.evaluate(&model), "n={n}: model must satisfy");
                 let parity = (0..n).filter(|&i| model[i]).count() % 2;
                 assert_eq!(parity, 1, "n={n}: parity must be odd");
@@ -113,17 +113,11 @@ fn clause_db_reduction_fires_with_tiny_threshold() {
 fn time_budget_is_respected() {
     use std::time::{Duration, Instant};
     let cnf = pigeonhole(10);
-    let mut solver = Solver::new(
-        &cnf,
-        SolverOptions {
-            max_time: Some(Duration::from_millis(100)),
-            ..Default::default()
-        },
-    );
+    let mut solver = Solver::new(&cnf, SolverOptions::default());
     let start = Instant::now();
-    let outcome = solver.solve();
+    let outcome = solver.solve_with_budget(&Budget::time(Duration::from_millis(100)));
     // Either it solved fast or it gave up near the deadline.
-    if outcome == Outcome::Unknown {
+    if outcome == Verdict::Unknown {
         assert!(start.elapsed() < Duration::from_secs(10));
     }
 }
@@ -144,7 +138,7 @@ fn unit_only_formula() {
         cnf.add_unit(Lit::new(Var(v), v % 2 == 0));
     }
     match Solver::new(&cnf, SolverOptions::default()).solve() {
-        Outcome::Sat(model) => assert_eq!(model, vec![false, true, false, true]),
+        Verdict::Sat(model) => assert_eq!(model, vec![false, true, false, true]),
         other => panic!("{other:?}"),
     }
 }
@@ -160,7 +154,7 @@ fn wide_clause_watching_works() {
         cnf.add_unit(Var(v).negative());
     }
     match Solver::new(&cnf, SolverOptions::default()).solve() {
-        Outcome::Sat(model) => assert!(model[n - 1]),
+        Verdict::Sat(model) => assert!(model[n - 1]),
         other => panic!("{other:?}"),
     }
 }

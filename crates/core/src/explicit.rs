@@ -18,6 +18,7 @@
 
 use csat_netlist::Lit;
 use csat_sim::{Correlation, CorrelationResult, Relation};
+use csat_telemetry::{NoOpObserver, Observer, SolverEvent, SubproblemOutcome};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -154,6 +155,21 @@ pub fn run(
     correlations: &CorrelationResult,
     options: &ExplicitOptions,
 ) -> ExplicitReport {
+    run_observed(solver, correlations, options, &mut NoOpObserver)
+}
+
+/// Like [`run`], reporting each sub-problem's lifecycle
+/// ([`SolverEvent::SubproblemStart`] / [`SolverEvent::SubproblemEnd`]) and
+/// the inner search events to the given [`Observer`].
+pub fn run_observed<O>(
+    solver: &mut Solver<'_>,
+    correlations: &CorrelationResult,
+    options: &ExplicitOptions,
+    obs: &mut O,
+) -> ExplicitReport
+where
+    O: Observer + ?Sized,
+{
     let mut report = ExplicitReport::default();
     let selected = select_and_order(solver, correlations, options);
     let budget = Budget {
@@ -162,11 +178,13 @@ pub fn run(
         ..Budget::UNLIMITED
     };
     'outer: for c in selected {
+        let index = report.subproblems as u64;
         report.subproblems += 1;
+        obs.record(SolverEvent::SubproblemStart { index });
         let mut any_sat = false;
         let mut any_abort = false;
         for assumptions in subproblem_assumptions(&c) {
-            match solver.solve_under(&assumptions, &budget) {
+            match solver.solve_under_observed(&assumptions, &budget, obs) {
                 // The correlation does not hold on this orientation; the
                 // conflicts hit along the way still taught something.
                 SubVerdict::Sat(_) => any_sat = true,
@@ -179,17 +197,25 @@ pub fn run(
                 }
                 SubVerdict::Unsat => {
                     report.proved_root_unsat = true;
+                    obs.record(SolverEvent::SubproblemEnd {
+                        index,
+                        outcome: SubproblemOutcome::RootUnsat,
+                    });
                     break 'outer;
                 }
             }
         }
-        if any_sat {
+        let outcome = if any_sat {
             report.satisfiable += 1;
+            SubproblemOutcome::Satisfiable
         } else if any_abort {
             report.aborted += 1;
+            SubproblemOutcome::Aborted
         } else {
             report.refuted += 1;
-        }
+            SubproblemOutcome::Refuted
+        };
+        obs.record(SolverEvent::SubproblemEnd { index, outcome });
     }
     report
 }

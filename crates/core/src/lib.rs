@@ -50,5 +50,5 @@ mod solver;
 pub mod sweep;
 
 pub use explicit::{CorrelationMode, ExplicitOptions, ExplicitReport, SubproblemOrdering};
-pub use options::{Budget, SolverOptions, Stats, SubVerdict, Verdict};
+pub use options::{Budget, SolverOptions, SolverOptionsBuilder, Stats, SubVerdict, Verdict};
 pub use solver::Solver;

@@ -1,8 +1,10 @@
-//! Solver configuration, budgets, statistics and verdicts.
+//! Solver configuration and statistics.
+//!
+//! The shared [`Budget`], [`Verdict`] and [`SubVerdict`] types now live in
+//! [`csat_types`] so the CNF and circuit solvers speak the same vocabulary;
+//! they are re-exported here for backwards compatibility.
 
-use std::time::Duration;
-
-use csat_netlist::Lit;
+pub use csat_types::{Budget, SubVerdict, Verdict};
 
 /// Configuration of the circuit solver.
 ///
@@ -12,6 +14,18 @@ use csat_netlist::Lit;
 /// [`Solver::set_correlations`](crate::Solver::set_correlations)) for the
 /// Section IV solver, and drive [`explicit`](crate::explicit) on top for the
 /// Section V solver.
+///
+/// Construct with [`SolverOptions::builder`] to override individual fields
+/// without spelling out the rest:
+///
+/// ```
+/// use csat_core::SolverOptions;
+/// let opts = SolverOptions::builder()
+///     .implicit_learning(true)
+///     .restart_window(2048)
+///     .build();
+/// assert!(opts.implicit_learning);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct SolverOptions {
     /// Restrict decisions to J-node inputs (justification frontier) plus
@@ -67,98 +81,80 @@ impl SolverOptions {
             ..Default::default()
         }
     }
-}
 
-/// Resource budget for one [`solve_under`](crate::Solver::solve_under) call.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Budget {
-    /// Stop after this many learned clauses (the paper aborts each explicit
-    /// sub-problem after 10 learned gates).
-    pub max_learned: Option<u64>,
-    /// Stop after this many conflicts.
-    pub max_conflicts: Option<u64>,
-    /// Stop after this many decisions (bounds satisfiable sub-problems,
-    /// whose search is otherwise unbounded by the learned-clause budget).
-    pub max_decisions: Option<u64>,
-    /// Stop after this much wall-clock time.
-    pub max_time: Option<Duration>,
-}
-
-impl Budget {
-    /// No limits.
-    pub const UNLIMITED: Budget = Budget {
-        max_learned: None,
-        max_conflicts: None,
-        max_decisions: None,
-        max_time: None,
-    };
-
-    /// The paper's per-sub-problem budget: abort after `n` learned gates.
-    pub fn learned(n: u64) -> Budget {
-        Budget {
-            max_learned: Some(n),
-            ..Budget::UNLIMITED
-        }
+    /// The full paper configuration (J-node decisions + implicit learning,
+    /// paper restart policy). Alias of [`with_implicit_learning`]
+    /// (`SolverOptions::with_implicit_learning`) under the preset naming
+    /// convention shared with [`csat_cnf`](https://docs.rs/csat-cnf).
+    pub fn paper() -> SolverOptions {
+        SolverOptions::with_implicit_learning()
     }
 
-    /// Conflict-count budget.
-    pub fn conflicts(n: u64) -> Budget {
-        Budget {
-            max_conflicts: Some(n),
-            ..Budget::UNLIMITED
-        }
-    }
-
-    /// Wall-clock budget.
-    pub fn time(d: Duration) -> Budget {
-        Budget {
-            max_time: Some(d),
-            ..Budget::UNLIMITED
+    /// Field-by-field builder starting from [`SolverOptions::default`].
+    pub fn builder() -> SolverOptionsBuilder {
+        SolverOptionsBuilder {
+            options: SolverOptions::default(),
         }
     }
 }
 
-/// Result of a top-level [`Solver::solve`](crate::Solver::solve) call.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Verdict {
-    /// Satisfiable; one value per primary input, in input order.
-    Sat(Vec<bool>),
-    /// Unsatisfiable.
-    Unsat,
-    /// A budget ran out before an answer.
-    Unknown,
+/// Builder returned by [`SolverOptions::builder`].
+#[derive(Clone, Copy, Debug)]
+pub struct SolverOptionsBuilder {
+    options: SolverOptions,
 }
 
-impl Verdict {
-    /// True for [`Verdict::Sat`].
-    pub fn is_sat(&self) -> bool {
-        matches!(self, Verdict::Sat(_))
+impl SolverOptionsBuilder {
+    /// See [`SolverOptions::jnode_decisions`].
+    pub fn jnode_decisions(mut self, on: bool) -> Self {
+        self.options.jnode_decisions = on;
+        self
     }
 
-    /// True for [`Verdict::Unsat`].
-    pub fn is_unsat(&self) -> bool {
-        matches!(self, Verdict::Unsat)
+    /// See [`SolverOptions::implicit_learning`].
+    pub fn implicit_learning(mut self, on: bool) -> Self {
+        self.options.implicit_learning = on;
+        self
     }
-}
 
-/// Result of an assumption-based
-/// [`Solver::solve_under`](crate::Solver::solve_under) call.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SubVerdict {
-    /// Satisfiable under the assumptions; model over the primary inputs.
-    Sat(Vec<bool>),
-    /// Unsatisfiable regardless of the assumptions.
-    Unsat,
-    /// Unsatisfiable under the assumptions; the returned literals are a
-    /// subset of the assumptions whose conjunction is refuted.
-    UnsatUnderAssumptions(Vec<Lit>),
-    /// The budget ran out (this is the normal way an explicit-learning
-    /// sub-problem ends).
-    Aborted,
+    /// See [`SolverOptions::var_decay`].
+    pub fn var_decay(mut self, decay: f64) -> Self {
+        self.options.var_decay = decay;
+        self
+    }
+
+    /// See [`SolverOptions::decay_interval`].
+    pub fn decay_interval(mut self, conflicts: u64) -> Self {
+        self.options.decay_interval = conflicts;
+        self
+    }
+
+    /// See [`SolverOptions::restart_window`].
+    pub fn restart_window(mut self, backtracks: u64) -> Self {
+        self.options.restart_window = backtracks;
+        self
+    }
+
+    /// See [`SolverOptions::restart_threshold`].
+    pub fn restart_threshold(mut self, threshold: f64) -> Self {
+        self.options.restart_threshold = threshold;
+        self
+    }
+
+    /// See [`SolverOptions::minimize_clauses`].
+    pub fn minimize_clauses(mut self, on: bool) -> Self {
+        self.options.minimize_clauses = on;
+        self
+    }
+
+    /// Finish, yielding the configured [`SolverOptions`].
+    pub fn build(self) -> SolverOptions {
+        self.options
+    }
 }
 
 /// Search statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Decisions made.
     pub decisions: u64,
@@ -181,6 +177,7 @@ pub struct Stats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn default_options_are_jnode_without_learning() {
@@ -195,12 +192,33 @@ mod tests {
     fn preset_constructors() {
         assert!(!SolverOptions::plain_csat().jnode_decisions);
         assert!(SolverOptions::with_implicit_learning().implicit_learning);
+        assert!(SolverOptions::paper().implicit_learning);
+        assert!(SolverOptions::paper().jnode_decisions);
     }
 
     #[test]
-    fn budget_constructors() {
+    fn builder_overrides_fields() {
+        let o = SolverOptions::builder()
+            .jnode_decisions(false)
+            .implicit_learning(true)
+            .var_decay(0.75)
+            .decay_interval(128)
+            .restart_window(1024)
+            .restart_threshold(2.0)
+            .minimize_clauses(false)
+            .build();
+        assert!(!o.jnode_decisions);
+        assert!(o.implicit_learning);
+        assert!((o.var_decay - 0.75).abs() < 1e-9);
+        assert_eq!(o.decay_interval, 128);
+        assert_eq!(o.restart_window, 1024);
+        assert!((o.restart_threshold - 2.0).abs() < 1e-9);
+        assert!(!o.minimize_clauses);
+    }
+
+    #[test]
+    fn budget_reexport_still_usable() {
         assert_eq!(Budget::learned(10).max_learned, Some(10));
-        assert_eq!(Budget::conflicts(5).max_conflicts, Some(5));
         assert!(Budget::time(Duration::from_secs(1)).max_time.is_some());
         assert!(Budget::UNLIMITED.max_learned.is_none());
     }

@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use csat_netlist::{Aig, Lit, Node, NodeId};
 use csat_sim::{CorrelationResult, Relation};
+use csat_telemetry::{NoOpObserver, Observer, SolverEvent};
 
 use crate::heap::ActivityHeap;
 use crate::implication::{self, is_unjustified, FALSE, TRUE, UNDEF};
@@ -311,7 +312,19 @@ impl<'a> Solver<'a> {
 
     /// Like [`Solver::solve`] with a resource budget.
     pub fn solve_with_budget(&mut self, objective: Lit, budget: &Budget) -> Verdict {
-        match self.solve_under(&[objective], budget) {
+        self.solve_observed(objective, budget, &mut NoOpObserver)
+    }
+
+    /// Like [`Solver::solve_with_budget`], reporting search events to the
+    /// given [`Observer`].
+    ///
+    /// With the default [`NoOpObserver`] this monomorphizes to exactly the
+    /// unobserved solve — no event is materialized, no allocation happens.
+    pub fn solve_observed<O>(&mut self, objective: Lit, budget: &Budget, obs: &mut O) -> Verdict
+    where
+        O: Observer + ?Sized,
+    {
+        match self.solve_under_observed(&[objective], budget, obs) {
             SubVerdict::Sat(model) => Verdict::Sat(model),
             SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_) => Verdict::Unsat,
             SubVerdict::Aborted => Verdict::Unknown,
@@ -325,6 +338,20 @@ impl<'a> Solver<'a> {
     /// Section V): learned clauses survive the call, and a refuted
     /// assumption set is reported so the caller can record its negation.
     pub fn solve_under(&mut self, assumptions: &[Lit], budget: &Budget) -> SubVerdict {
+        self.solve_under_observed(assumptions, budget, &mut NoOpObserver)
+    }
+
+    /// Like [`Solver::solve_under`], reporting search events to the given
+    /// [`Observer`].
+    pub fn solve_under_observed<O>(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &Budget,
+        obs: &mut O,
+    ) -> SubVerdict
+    where
+        O: Observer + ?Sized,
+    {
         let start = Instant::now();
         let mut learned_this_call = 0u64;
         let mut conflicts_this_call = 0u64;
@@ -344,10 +371,22 @@ impl<'a> Solver<'a> {
                 conflicts_this_call += 1;
                 if self.decision_level() == 0 {
                     self.root_conflict = true;
+                    obs.record(SolverEvent::Conflict {
+                        level: 0,
+                        backjump: 0,
+                    });
                     return SubVerdict::Unsat;
                 }
                 let (learnt, backjump) = self.analyze(conflict);
-                self.note_backjump(self.decision_level() - backjump);
+                let level = self.decision_level();
+                obs.record(SolverEvent::Conflict {
+                    level,
+                    backjump: level - backjump,
+                });
+                obs.record(SolverEvent::Learn {
+                    literals: learnt.len() as u32,
+                });
+                self.note_backjump(level - backjump);
                 self.backtrack(backjump);
                 self.learn(learnt);
                 learned_this_call += 1;
@@ -361,7 +400,8 @@ impl<'a> Solver<'a> {
                     }
                 }
                 if self.stats.learnt_clauses as usize > self.max_learnts {
-                    self.reduce_db();
+                    let deleted = self.reduce_db();
+                    obs.record(SolverEvent::DbReduce { deleted });
                 }
                 if let Some(max) = budget.max_learned {
                     if learned_this_call >= max {
@@ -380,6 +420,7 @@ impl<'a> Solver<'a> {
                 }
                 if self.restart_due() && self.decision_level() > 0 {
                     self.stats.restarts += 1;
+                    obs.record(SolverEvent::Restart);
                     self.backtrack(0);
                 }
             } else if (self.decision_level() as usize) < assumptions.len() {
@@ -402,13 +443,17 @@ impl<'a> Solver<'a> {
             } else if let Some((lit, grouped)) = self.pick_decision() {
                 self.stats.decisions += 1;
                 decisions_this_call += 1;
+                if grouped {
+                    self.stats.grouped_decisions += 1;
+                }
+                obs.record(SolverEvent::Decision {
+                    level: self.decision_level() + 1,
+                    grouped,
+                });
                 if let Some(max) = budget.max_decisions {
                     if decisions_this_call > max {
                         return SubVerdict::Aborted;
                     }
-                }
-                if grouped {
-                    self.stats.grouped_decisions += 1;
                 }
                 self.trail_lim.push(self.trail.len());
                 self.enqueue(lit, Reason::Decision)
@@ -1139,7 +1184,9 @@ impl<'a> Solver<'a> {
             .collect()
     }
 
-    fn reduce_db(&mut self) {
+    /// Halves the learned-clause database, returning how many clauses were
+    /// deleted.
+    fn reduce_db(&mut self) -> u64 {
         let mut learnt_refs: Vec<u32> = (0..self.clauses.len() as u32)
             .filter(|&i| {
                 let c = &self.clauses[i as usize];
@@ -1172,6 +1219,7 @@ impl<'a> Solver<'a> {
         self.stats.deleted_clauses += deleted as u64;
         self.stats.learnt_clauses -= deleted as u64;
         self.max_learnts += self.max_learnts / 10;
+        deleted as u64
     }
 }
 
@@ -1323,14 +1371,14 @@ mod tests {
                     )
                     .solve();
                     match (&circuit_verdict, &cnf_verdict) {
-                        (Verdict::Sat(model), csat_cnf::Outcome::Sat(_)) => {
+                        (Verdict::Sat(model), Verdict::Sat(_)) => {
                             let values = g.evaluate(model);
                             assert!(
                                 g.lit_value(&values, objective),
                                 "seed {seed}: bogus model for {objective:?}"
                             );
                         }
-                        (Verdict::Unsat, csat_cnf::Outcome::Unsat) => {}
+                        (Verdict::Unsat, Verdict::Unsat) => {}
                         other => panic!("seed {seed}: verdict mismatch {other:?}"),
                     }
                 }

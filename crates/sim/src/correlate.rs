@@ -27,6 +27,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use csat_netlist::{Aig, NodeId};
+use csat_telemetry::{NoOpObserver, Observer, SolverEvent};
 
 use crate::engine::{fingerprint, normalized_eq, SimEngine, SimStats};
 use crate::parallel::seeded_rng;
@@ -248,6 +249,21 @@ impl ActiveSet {
 /// assert!(!result.correlations.is_empty());
 /// ```
 pub fn find_correlations(aig: &Aig, options: &SimulationOptions) -> CorrelationResult {
+    find_correlations_observed(aig, options, &mut NoOpObserver)
+}
+
+/// Like [`find_correlations`], reporting one
+/// [`SolverEvent::SimRound`] per refinement round to the given
+/// [`Observer`]. With the default [`NoOpObserver`] this compiles down to
+/// exactly [`find_correlations`].
+pub fn find_correlations_observed<O>(
+    aig: &Aig,
+    options: &SimulationOptions,
+    obs: &mut O,
+) -> CorrelationResult
+where
+    O: Observer + ?Sized,
+{
     let start = Instant::now();
     let n = aig.len();
     let mut engine = SimEngine::new(aig, options.words, options.threads);
@@ -280,13 +296,13 @@ pub fn find_correlations(aig: &Aig, options: &SimulationOptions) -> CorrelationR
         let round_base = next_class_id;
         round_sizes.clear();
         round_firsts.clear();
-        for i in 0..n {
+        for (i, cls) in class.iter_mut().enumerate() {
             if !active.contains(i) {
                 continue;
             }
             let fp = fingerprint(engine.signature(NodeId::from_index(i)));
             let (id, inserted) =
-                table.classify(class[i], fp, i as u32, next_class_id, &engine);
+                table.classify(*cls, fp, i as u32, next_class_id, &engine);
             if inserted {
                 next_class_id += 1;
                 round_sizes.push(1);
@@ -295,7 +311,7 @@ pub fn find_correlations(aig: &Aig, options: &SimulationOptions) -> CorrelationR
                 round_sizes[(id - round_base) as usize] += 1;
             }
             // In-place is safe: class[i] is only consulted for node i.
-            class[i] = id;
+            *cls = id;
         }
         // This round's classes plus the singletons retired in earlier
         // rounds (whose nodes no longer appear in `round_sizes`).
@@ -318,6 +334,11 @@ pub fn find_correlations(aig: &Aig, options: &SimulationOptions) -> CorrelationR
         }
         stats.refine_time += refine_start.elapsed();
         stats.rounds += 1;
+        obs.record(SolverEvent::SimRound {
+            round: stats.rounds as u64,
+            patterns: engine.patterns_per_round(),
+            classes: num_classes as u64,
+        });
     }
     stats.patterns = stats.rounds as u64 * engine.patterns_per_round();
 
@@ -328,15 +349,15 @@ pub fn find_correlations(aig: &Aig, options: &SimulationOptions) -> CorrelationR
     // assigned by first occurrence).
     let mut members: HashMap<u32, Vec<NodeId>> = HashMap::new();
     let mut group_order: Vec<u32> = Vec::new();
-    for i in 0..n {
+    for (i, &cls) in class.iter().enumerate() {
         if !active.contains(i) {
             continue;
         }
-        members.entry(class[i]).or_insert_with(|| {
-            group_order.push(class[i]);
+        members.entry(cls).or_insert_with(|| {
+            group_order.push(cls);
             Vec::new()
         });
-        members.get_mut(&class[i]).expect("just inserted").push(NodeId::from_index(i));
+        members.get_mut(&cls).expect("just inserted").push(NodeId::from_index(i));
     }
 
     let constant_class = class[0];

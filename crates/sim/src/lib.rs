@@ -38,7 +38,8 @@ pub mod fault;
 mod parallel;
 
 pub use correlate::{
-    find_correlations, Correlation, CorrelationResult, EquivClass, Relation, SimulationOptions,
+    find_correlations, find_correlations_observed, Correlation, CorrelationResult, EquivClass,
+    Relation, SimulationOptions,
 };
 pub use engine::{fingerprint, normalized_eq, polarity_mask, SimEngine, SimStats};
 pub use fault::{all_faults, simulate_faults, Fault, FaultCoverage};

@@ -1,0 +1,169 @@
+//! A minimal JSON writer.
+//!
+//! The workspace builds offline with no serde; this module is the one
+//! place JSON syntax is produced. It covers exactly what the telemetry
+//! reports need: objects, arrays of numbers, strings with escaping, and
+//! nested raw fragments.
+
+/// Escapes a string for inclusion in a JSON document (quotes not added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` the way JSON requires: finite numbers as-is,
+/// non-finite ones as `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Trim to a stable, readable precision.
+        let s = format!("{v:.6}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        if s.is_empty() { "0".to_string() } else { s.to_string() }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental JSON object builder.
+///
+/// ```
+/// use csat_telemetry::json::JsonObject;
+///
+/// let mut o = JsonObject::new();
+/// o.field_u64("answer", 42);
+/// o.field_str("name", "c6288");
+/// assert_eq!(o.finish(), "{\"answer\": 42, \"name\": \"c6288\"}");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct JsonObject {
+    out: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject { out: String::from("{"), any: false }
+    }
+
+    fn key(&mut self, name: &str) {
+        if self.any {
+            self.out.push_str(", ");
+        }
+        self.any = true;
+        self.out.push('"');
+        self.out.push_str(&escape(name));
+        self.out.push_str("\": ");
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, name: &str, v: u64) -> &mut Self {
+        self.key(name);
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn field_f64(&mut self, name: &str, v: f64) -> &mut Self {
+        self.key(name);
+        self.out.push_str(&number(v));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, name: &str, v: bool) -> &mut Self {
+        self.key(name);
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a string field (escaped).
+    pub fn field_str(&mut self, name: &str, v: &str) -> &mut Self {
+        self.key(name);
+        self.out.push('"');
+        self.out.push_str(&escape(v));
+        self.out.push('"');
+        self
+    }
+
+    /// Adds a pre-rendered JSON fragment (object, array, ...) verbatim.
+    pub fn field_raw(&mut self, name: &str, v: &str) -> &mut Self {
+        self.key(name);
+        self.out.push_str(v);
+        self
+    }
+
+    /// Adds an array of unsigned integers.
+    pub fn field_u64_array(&mut self, name: &str, vs: &[u64]) -> &mut Self {
+        self.key(name);
+        self.out.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.out.push_str(&v.to_string());
+        }
+        self.out.push(']');
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn builds_nested_objects() {
+        let mut inner = JsonObject::new();
+        inner.field_u64("n", 3);
+        let mut o = JsonObject::new();
+        o.field_str("kind", "report")
+            .field_bool("ok", true)
+            .field_f64("secs", 1.25)
+            .field_u64_array("xs", &[1, 2, 3])
+            .field_raw("inner", &inner.finish());
+        assert_eq!(
+            o.finish(),
+            "{\"kind\": \"report\", \"ok\": true, \"secs\": 1.25, \
+             \"xs\": [1, 2, 3], \"inner\": {\"n\": 3}}"
+        );
+    }
+
+    #[test]
+    fn numbers_render_compactly() {
+        assert_eq!(number(2.0), "2");
+        assert_eq!(number(0.5), "0.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(0.0), "0");
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+}

@@ -1,0 +1,289 @@
+//! Counters, histograms and the aggregating [`MetricsRecorder`].
+
+use std::time::Duration;
+
+use crate::json::JsonObject;
+use crate::{Observer, SolverEvent, SubproblemOutcome};
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `i`
+/// (for `i >= 1`) holds values with bit length `i`, i.e. the range
+/// `[2^(i-1), 2^i)`. 33 buckets cover the full `u32` event payloads.
+const BUCKETS: usize = 33;
+
+/// A fixed-size logarithmic histogram over `u64` observations.
+///
+/// Observation is allocation-free and O(1): a value lands in the bucket of
+/// its bit length, so bucket boundaries are powers of two — plenty for
+/// distribution-shape questions like "are back-jumps mostly 1 level?".
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        let bucket = (u64::BITS - v.leading_zeros()) as usize; // 0 for v=0
+        self.buckets[bucket.min(BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket counts; bucket `i >= 1` covers `[2^(i-1), 2^i)`, bucket 0
+    /// covers exactly 0. Trailing empty buckets are trimmed.
+    pub fn buckets(&self) -> &[u64] {
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&b| b != 0)
+            .map_or(0, |i| i + 1);
+        &self.buckets[..last]
+    }
+
+    /// Renders as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("count", self.count)
+            .field_u64("sum", self.sum)
+            .field_u64("max", self.max)
+            .field_f64("mean", self.mean())
+            .field_u64_array("log2_buckets", self.buckets());
+        o.finish()
+    }
+}
+
+/// The aggregate [`Observer`]: monotonic counters for every event kind
+/// plus histograms of decision depth, back-jump distance and
+/// learned-clause length.
+///
+/// One recorder can absorb a whole pipeline — simulation rounds, the
+/// explicit-learning pass and the final solve — and its counters
+/// reconcile with the solvers' own `Stats` (see the workspace integration
+/// tests): `decisions`, `conflicts` and `restarts` match exactly, and
+/// `learned` equals `Stats::learnt_clauses + Stats::deleted_clauses`
+/// (the recorder counts learn events; the stats track the live database).
+/// The one asymmetry is the CNF baseline's learned *units*, which are
+/// asserted at the root rather than stored — the `learned_length`
+/// histogram's bucket 1 counts exactly those.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRecorder {
+    /// Branching decisions.
+    pub decisions: u64,
+    /// Decisions taken by implicit-learning signal grouping.
+    pub grouped_decisions: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Clauses learned (including units).
+    pub learned: u64,
+    /// Restarts fired.
+    pub restarts: u64,
+    /// Clauses removed by database reductions.
+    pub deleted_clauses: u64,
+    /// Database reduction passes.
+    pub db_reductions: u64,
+    /// Explicit-learning sub-problems started.
+    pub subproblems: u64,
+    /// ... of which refuted outright.
+    pub subproblems_refuted: u64,
+    /// ... of which aborted at the budget.
+    pub subproblems_aborted: u64,
+    /// ... of which satisfiable (correlation did not hold).
+    pub subproblems_satisfiable: u64,
+    /// Simulation rounds observed during correlation discovery.
+    pub sim_rounds: u64,
+    /// Total random patterns those rounds applied.
+    pub sim_patterns: u64,
+    /// Equivalence classes alive after the last observed round.
+    pub sim_classes: u64,
+    /// Depth (decision level) of every decision.
+    pub decision_depth: Histogram,
+    /// Back-jump distance of every conflict.
+    pub backjump_distance: Histogram,
+    /// Length of every learned clause.
+    pub learned_length: Histogram,
+}
+
+impl Observer for MetricsRecorder {
+    #[inline]
+    fn record(&mut self, event: SolverEvent) {
+        match event {
+            SolverEvent::Decision { level, grouped } => {
+                self.decisions += 1;
+                self.grouped_decisions += grouped as u64;
+                self.decision_depth.observe(level as u64);
+            }
+            SolverEvent::Conflict { backjump, .. } => {
+                self.conflicts += 1;
+                self.backjump_distance.observe(backjump as u64);
+            }
+            SolverEvent::Learn { literals } => {
+                self.learned += 1;
+                self.learned_length.observe(literals as u64);
+            }
+            SolverEvent::Restart => self.restarts += 1,
+            SolverEvent::DbReduce { deleted } => {
+                self.db_reductions += 1;
+                self.deleted_clauses += deleted;
+            }
+            SolverEvent::SubproblemStart { .. } => self.subproblems += 1,
+            SolverEvent::SubproblemEnd { outcome, .. } => match outcome {
+                SubproblemOutcome::Refuted | SubproblemOutcome::RootUnsat => {
+                    self.subproblems_refuted += 1;
+                }
+                SubproblemOutcome::Aborted => self.subproblems_aborted += 1,
+                SubproblemOutcome::Satisfiable => self.subproblems_satisfiable += 1,
+            },
+            SolverEvent::SimRound { patterns, classes, .. } => {
+                self.sim_rounds += 1;
+                self.sim_patterns += patterns;
+                self.sim_classes = classes;
+            }
+        }
+    }
+}
+
+impl MetricsRecorder {
+    /// Counters only, as a flat JSON object — the shape embedded in
+    /// progress snapshots and bench rows.
+    pub fn counters_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("decisions", self.decisions)
+            .field_u64("grouped_decisions", self.grouped_decisions)
+            .field_u64("conflicts", self.conflicts)
+            .field_u64("learned", self.learned)
+            .field_u64("restarts", self.restarts)
+            .field_u64("deleted_clauses", self.deleted_clauses)
+            .field_u64("db_reductions", self.db_reductions)
+            .field_u64("subproblems", self.subproblems)
+            .field_u64("subproblems_refuted", self.subproblems_refuted)
+            .field_u64("subproblems_aborted", self.subproblems_aborted)
+            .field_u64("subproblems_satisfiable", self.subproblems_satisfiable)
+            .field_u64("sim_rounds", self.sim_rounds)
+            .field_u64("sim_patterns", self.sim_patterns)
+            .field_u64("sim_classes", self.sim_classes);
+        o.finish()
+    }
+
+    /// Full metrics object: counters plus the three histograms.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_raw("counters", &self.counters_json())
+            .field_raw("decision_depth", &self.decision_depth.to_json())
+            .field_raw("backjump_distance", &self.backjump_distance.to_json())
+            .field_raw("learned_length", &self.learned_length.to_json());
+        o.finish()
+    }
+
+    /// One-line progress snapshot (JSONL row) at `elapsed` into the run.
+    pub fn snapshot_json(&self, elapsed: Duration) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("type", "progress")
+            .field_f64("elapsed_s", elapsed.as_secs_f64())
+            .field_raw("counters", &self.counters_json());
+        o.finish()
+    }
+
+    /// End-of-run report: a verdict string, wall-clock time, and the full
+    /// metrics — the document `--metrics-out` writes.
+    pub fn report_json(&self, verdict: &str, elapsed: Duration) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("type", "report")
+            .field_str("verdict", verdict)
+            .field_f64("elapsed_s", elapsed.as_secs_f64())
+            .field_raw("metrics", &self.to_json());
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1023] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), 1023);
+        assert_eq!(h.sum(), 1048);
+        // 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4,7 → bucket 3;
+        // 8 → bucket 4; 1023 → bucket 10.
+        assert_eq!(h.buckets(), &[1, 1, 2, 2, 1, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn recorder_aggregates_events() {
+        let mut m = MetricsRecorder::default();
+        m.record(SolverEvent::Decision { level: 1, grouped: false });
+        m.record(SolverEvent::Decision { level: 2, grouped: true });
+        m.record(SolverEvent::Conflict { level: 2, backjump: 1 });
+        m.record(SolverEvent::Learn { literals: 4 });
+        m.record(SolverEvent::Restart);
+        m.record(SolverEvent::DbReduce { deleted: 12 });
+        m.record(SolverEvent::SubproblemStart { index: 0 });
+        m.record(SolverEvent::SubproblemEnd {
+            index: 0,
+            outcome: SubproblemOutcome::Refuted,
+        });
+        m.record(SolverEvent::SimRound { round: 1, patterns: 256, classes: 5 });
+        assert_eq!(m.decisions, 2);
+        assert_eq!(m.grouped_decisions, 1);
+        assert_eq!(m.conflicts, 1);
+        assert_eq!(m.learned, 1);
+        assert_eq!(m.restarts, 1);
+        assert_eq!(m.deleted_clauses, 12);
+        assert_eq!(m.subproblems, 1);
+        assert_eq!(m.subproblems_refuted, 1);
+        assert_eq!(m.sim_patterns, 256);
+        assert_eq!(m.sim_classes, 5);
+    }
+
+    #[test]
+    fn report_json_is_wellformed_enough() {
+        let mut m = MetricsRecorder::default();
+        m.record(SolverEvent::Conflict { level: 3, backjump: 2 });
+        let report = m.report_json("UNSAT", Duration::from_millis(1500));
+        assert!(report.starts_with('{') && report.ends_with('}'));
+        assert!(report.contains("\"verdict\": \"UNSAT\""));
+        assert!(report.contains("\"elapsed_s\": 1.5"));
+        assert!(report.contains("\"conflicts\": 1"));
+        assert!(report.contains("\"backjump_distance\""));
+    }
+}

@@ -1,0 +1,134 @@
+//! Periodic JSONL progress emission on top of [`MetricsRecorder`].
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+use crate::{MetricsRecorder, Observer, SolverEvent};
+
+/// How many events pass between wall-clock checks. Reading the clock on
+/// every event would dominate light observers; every 256 events keeps
+/// snapshot timing within a few milliseconds of the target interval on
+/// any realistic event rate.
+const CHECK_EVERY: u32 = 256;
+
+/// An [`Observer`] that aggregates into a [`MetricsRecorder`] and, when an
+/// interval is set, writes one-line JSON progress snapshots to a writer
+/// (stderr for the CLIs' `--progress <secs>`).
+///
+/// The recorder is public: after the run, read it for the final report
+/// (`--metrics-out`) or assertions.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use csat_telemetry::{Observer, ProgressObserver, SolverEvent};
+///
+/// let mut out = Vec::new();
+/// {
+///     let mut obs = ProgressObserver::new(&mut out, Some(Duration::ZERO));
+///     for _ in 0..300 {
+///         obs.record(SolverEvent::Restart);
+///     }
+///     assert_eq!(obs.recorder.restarts, 300);
+/// }
+/// let text = String::from_utf8(out).unwrap();
+/// assert!(text.lines().next().unwrap().contains("\"type\": \"progress\""));
+/// ```
+#[derive(Debug)]
+pub struct ProgressObserver<W: Write> {
+    /// The aggregate counters and histograms.
+    pub recorder: MetricsRecorder,
+    writer: W,
+    interval: Option<Duration>,
+    start: Instant,
+    last_emit: Instant,
+    until_check: u32,
+}
+
+impl<W: Write> ProgressObserver<W> {
+    /// Creates an observer writing snapshots to `writer` every `interval`
+    /// (`None` = aggregate only, never emit).
+    pub fn new(writer: W, interval: Option<Duration>) -> ProgressObserver<W> {
+        let now = Instant::now();
+        ProgressObserver {
+            recorder: MetricsRecorder::default(),
+            writer,
+            interval,
+            start: now,
+            last_emit: now,
+            until_check: CHECK_EVERY,
+        }
+    }
+
+    /// Time since the observer was created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Writes one snapshot line now, regardless of the interval.
+    pub fn emit_snapshot(&mut self) {
+        let line = self.recorder.snapshot_json(self.start.elapsed());
+        // Progress is best-effort; a closed pipe must not kill the solve.
+        let _ = writeln!(self.writer, "{line}");
+        let _ = self.writer.flush();
+        self.last_emit = Instant::now();
+    }
+
+    #[cold]
+    fn check_clock(&mut self) {
+        self.until_check = CHECK_EVERY;
+        if let Some(interval) = self.interval {
+            if self.last_emit.elapsed() >= interval {
+                self.emit_snapshot();
+            }
+        }
+    }
+}
+
+impl<W: Write> Observer for ProgressObserver<W> {
+    #[inline]
+    fn record(&mut self, event: SolverEvent) {
+        self.recorder.record(event);
+        self.until_check -= 1;
+        if self.until_check == 0 {
+            self.check_clock();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_interval_means_no_output() {
+        let mut out = Vec::new();
+        {
+            let mut obs = ProgressObserver::new(&mut out, None);
+            for _ in 0..10_000 {
+                obs.record(SolverEvent::Learn { literals: 2 });
+            }
+            assert_eq!(obs.recorder.learned, 10_000);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn snapshots_are_one_json_line_each() {
+        let mut out = Vec::new();
+        {
+            let mut obs = ProgressObserver::new(&mut out, Some(Duration::ZERO));
+            for _ in 0..(2 * CHECK_EVERY) {
+                obs.record(SolverEvent::Decision { level: 1, grouped: false });
+            }
+        }
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"decisions\""));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Shared solver vocabulary for the csat workspace.
+//!
+//! Both solvers — the circuit-based CDCL solver (`csat-core`) and the
+//! ZChaff-class CNF baseline (`csat-cnf`) — answer queries with the same
+//! [`Verdict`] type and accept the same [`Budget`], so callers (the CLIs,
+//! the bench runner, cross-solver tests) can treat them interchangeably.
+//! [`SubVerdict`] is the richer result of assumption-based sub-problem
+//! solving, which the circuit solver's explicit-learning pass is built on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use csat_netlist::Lit;
+
+/// Resource budget for one solver call.
+///
+/// Every limit is *per call*: a reusable solver starts a fresh count on
+/// each budgeted entry point. `None` means unlimited.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    /// Stop after this many learned clauses (the paper aborts each explicit
+    /// sub-problem after 10 learned gates).
+    pub max_learned: Option<u64>,
+    /// Stop after this many conflicts.
+    pub max_conflicts: Option<u64>,
+    /// Stop after this many decisions (bounds satisfiable sub-problems,
+    /// whose search is otherwise unbounded by the learned-clause budget).
+    pub max_decisions: Option<u64>,
+    /// Stop after this much wall-clock time.
+    pub max_time: Option<Duration>,
+}
+
+impl Budget {
+    /// No limits.
+    pub const UNLIMITED: Budget = Budget {
+        max_learned: None,
+        max_conflicts: None,
+        max_decisions: None,
+        max_time: None,
+    };
+
+    /// The paper's per-sub-problem budget: abort after `n` learned gates.
+    pub fn learned(n: u64) -> Budget {
+        Budget {
+            max_learned: Some(n),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// Conflict-count budget.
+    pub fn conflicts(n: u64) -> Budget {
+        Budget {
+            max_conflicts: Some(n),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// Wall-clock budget.
+    pub fn time(d: Duration) -> Budget {
+        Budget {
+            max_time: Some(d),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// Wall-clock budget from an optional timeout (`None` = unlimited) —
+    /// the shape every CLI `--timeout` flag produces.
+    pub fn from_timeout(d: Option<Duration>) -> Budget {
+        match d {
+            Some(d) => Budget::time(d),
+            None => Budget::UNLIMITED,
+        }
+    }
+
+    /// True when no limit is set at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_learned.is_none()
+            && self.max_conflicts.is_none()
+            && self.max_decisions.is_none()
+            && self.max_time.is_none()
+    }
+}
+
+/// Result of a top-level solver query.
+///
+/// The model shape follows the solver: the circuit solver returns one
+/// value per primary input (in input order), the CNF solver one value per
+/// variable (in variable order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Satisfiable, with a satisfying model.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// A budget ran out before an answer.
+    Unknown,
+}
+
+impl Verdict {
+    /// True for [`Verdict::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Verdict::Sat(_))
+    }
+
+    /// True for [`Verdict::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, Verdict::Unsat)
+    }
+
+    /// True for [`Verdict::Unknown`].
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Verdict::Unknown)
+    }
+}
+
+/// Result of an assumption-based sub-problem solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubVerdict {
+    /// Satisfiable under the assumptions; model over the primary inputs.
+    Sat(Vec<bool>),
+    /// Unsatisfiable regardless of the assumptions.
+    Unsat,
+    /// Unsatisfiable under the assumptions; the returned literals are a
+    /// subset of the assumptions whose conjunction is refuted.
+    UnsatUnderAssumptions(Vec<Lit>),
+    /// The budget ran out (this is the normal way an explicit-learning
+    /// sub-problem ends).
+    Aborted,
+}
+
+impl From<SubVerdict> for Verdict {
+    fn from(sub: SubVerdict) -> Verdict {
+        match sub {
+            SubVerdict::Sat(model) => Verdict::Sat(model),
+            SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_) => Verdict::Unsat,
+            SubVerdict::Aborted => Verdict::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_constructors() {
+        assert_eq!(Budget::learned(10).max_learned, Some(10));
+        assert_eq!(Budget::conflicts(5).max_conflicts, Some(5));
+        assert!(Budget::time(Duration::from_secs(1)).max_time.is_some());
+        assert!(Budget::UNLIMITED.is_unlimited());
+        assert!(!Budget::conflicts(5).is_unlimited());
+        assert!(Budget::from_timeout(None).is_unlimited());
+        assert_eq!(
+            Budget::from_timeout(Some(Duration::from_secs(2))).max_time,
+            Some(Duration::from_secs(2))
+        );
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert!(Verdict::Sat(vec![]).is_sat());
+        assert!(Verdict::Unsat.is_unsat());
+        assert!(Verdict::Unknown.is_unknown());
+        assert!(!Verdict::Unknown.is_sat());
+    }
+
+    #[test]
+    fn subverdict_converts_to_verdict() {
+        assert_eq!(Verdict::from(SubVerdict::Sat(vec![true])), Verdict::Sat(vec![true]));
+        assert_eq!(Verdict::from(SubVerdict::Unsat), Verdict::Unsat);
+        assert_eq!(
+            Verdict::from(SubVerdict::UnsatUnderAssumptions(vec![])),
+            Verdict::Unsat
+        );
+        assert_eq!(Verdict::from(SubVerdict::Aborted), Verdict::Unknown);
+    }
+}

@@ -49,12 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = Instant::now();
     let outcome = csat::cnf::Solver::new(&cnf, Default::default()).solve();
     match &outcome {
-        csat::cnf::Outcome::Sat(model) => {
+        Verdict::Sat(model) => {
             assert!(cnf.evaluate(model));
             println!("cnf solver:     SAT in {:?}", t.elapsed());
         }
-        csat::cnf::Outcome::Unsat => println!("cnf solver:     UNSAT in {:?}", t.elapsed()),
-        csat::cnf::Outcome::Unknown => println!("cnf solver:     unknown"),
+        Verdict::Unsat => println!("cnf solver:     UNSAT in {:?}", t.elapsed()),
+        Verdict::Unknown => println!("cnf solver:     unknown"),
     }
 
     // 2. Circuit solver over the 2-level OR-AND conversion.

@@ -16,6 +16,8 @@
 //!   --sim-words <N>     u64 words simulated per node per round [default: 4]
 //!   --sim-threads <N>   simulation threads (needs the `parallel` feature)
 //!   --stats             print solver statistics
+//!   --progress <SECS>   emit JSONL progress snapshots to stderr
+//!   --metrics-out <F>   write an end-of-run JSON metrics report to F
 //! ```
 //!
 //! Exit code 0 = equivalent, 1 = different, 2 = usage/input error,
@@ -27,7 +29,8 @@ use std::time::{Duration, Instant};
 
 use csat::core::{explicit, Budget, ExplicitOptions, Solver, SolverOptions, Verdict};
 use csat::netlist::{aiger, bench, miter, Aig};
-use csat::sim::{find_correlations, SimulationOptions};
+use csat::sim::{find_correlations_observed, SimulationOptions};
+use csat::telemetry::{NoOpObserver, Observer, ProgressObserver};
 
 struct Options {
     left: String,
@@ -37,12 +40,15 @@ struct Options {
     timeout: Option<Duration>,
     simulation: SimulationOptions,
     stats: bool,
+    progress: Option<Duration>,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: cec [--no-learning] [--check-proof] [--timeout SECS]\n\
-         \x20          [--sim-words N] [--sim-threads N] [--stats] <left> <right>"
+         \x20          [--sim-words N] [--sim-threads N] [--stats]\n\
+         \x20          [--progress SECS] [--metrics-out FILE] <left> <right>"
     );
     std::process::exit(2)
 }
@@ -56,6 +62,8 @@ fn parse_args() -> Options {
         timeout: None,
         simulation: SimulationOptions::default(),
         stats: false,
+        progress: None,
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -84,6 +92,16 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| usage());
             }
             "--stats" => options.stats = true,
+            "--progress" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| usage());
+                options.progress = Some(Duration::from_secs(secs));
+            }
+            "--metrics-out" => {
+                options.metrics_out = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => {
                 if options.left.is_empty() {
@@ -143,19 +161,23 @@ fn main() -> ExitCode {
         m.aig.inputs().len()
     );
     let start = Instant::now();
+    // Aggregate metrics whenever either telemetry flag is set; otherwise
+    // the solvers run with the no-op observer (zero overhead).
+    let observing = options.progress.is_some() || options.metrics_out.is_some();
+    let mut progress = ProgressObserver::new(std::io::stderr(), options.progress);
+    let mut noop = NoOpObserver;
+    let obs: &mut dyn Observer = if observing { &mut progress } else { &mut noop };
     let mut solver = Solver::new(
         &m.aig,
-        if options.learning {
-            SolverOptions::with_implicit_learning()
-        } else {
-            SolverOptions::default()
-        },
+        SolverOptions::builder()
+            .implicit_learning(options.learning)
+            .build(),
     );
     if options.check_proof {
         solver.start_proof();
     }
     if options.learning {
-        let correlations = find_correlations(&m.aig, &options.simulation);
+        let correlations = find_correlations_observed(&m.aig, &options.simulation, obs);
         eprintln!(
             "c simulation: {} correlations in {:?} ({} rounds, {} patterns)",
             correlations.correlations.len(),
@@ -164,20 +186,31 @@ fn main() -> ExitCode {
             correlations.stats.patterns
         );
         solver.set_correlations(&correlations);
-        let report = explicit::run(&mut solver, &correlations, &ExplicitOptions::default());
+        let report =
+            explicit::run_observed(&mut solver, &correlations, &ExplicitOptions::default(), obs);
         eprintln!(
             "c explicit learning: {}/{} sub-problems refuted",
             report.refuted, report.subproblems
         );
     }
-    let budget = match options.timeout {
-        Some(t) => Budget::time(t),
-        None => Budget::UNLIMITED,
-    };
-    let verdict = solver.solve_with_budget(m.objective, &budget);
-    eprintln!("c solved in {:?}", start.elapsed());
+    let budget = Budget::from_timeout(options.timeout);
+    let verdict = solver.solve_observed(m.objective, &budget, obs);
+    let elapsed = start.elapsed();
+    eprintln!("c solved in {elapsed:?}");
     if options.stats {
         eprintln!("c stats: {:?}", solver.stats());
+    }
+    if let Some(path) = &options.metrics_out {
+        let name = match &verdict {
+            Verdict::Sat(_) => "SAT",
+            Verdict::Unsat => "UNSAT",
+            Verdict::Unknown => "UNKNOWN",
+        };
+        let report = progress.recorder.report_json(name, elapsed);
+        match std::fs::write(path, report + "\n") {
+            Ok(()) => eprintln!("c metrics written to {path}"),
+            Err(e) => eprintln!("c warning: could not write {path}: {e}"),
+        }
     }
     match verdict {
         Verdict::Unsat => {

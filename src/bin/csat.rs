@@ -16,6 +16,8 @@
 //!   --sim-words <N>     u64 words simulated per node per round [default: 4]
 //!   --sim-threads <N>   simulation threads (needs the `parallel` feature)
 //!   --stats             print solver statistics
+//!   --progress <SECS>   emit JSONL progress snapshots to stderr
+//!   --metrics-out <F>   write an end-of-run JSON metrics report to F
 //! ```
 
 use std::error::Error;
@@ -24,7 +26,8 @@ use std::time::{Duration, Instant};
 
 use csat::core::{explicit, ExplicitOptions, Budget, Solver, SolverOptions, Verdict};
 use csat::netlist::{aiger, bench, cnf::Cnf, two_level, Aig, Lit};
-use csat::sim::{find_correlations, SimulationOptions};
+use csat::sim::{find_correlations_observed, SimulationOptions};
+use csat::telemetry::{NoOpObserver, Observer, ProgressObserver};
 
 struct Options {
     file: String,
@@ -37,6 +40,8 @@ struct Options {
     timeout: Option<Duration>,
     simulation: SimulationOptions,
     stats: bool,
+    progress: Option<Duration>,
+    metrics_out: Option<String>,
 }
 
 #[derive(PartialEq)]
@@ -51,7 +56,8 @@ fn usage() -> ! {
         "usage: csat [--output NAME] [--negate] [--engine circuit|circuit-plain|cnf]\n\
          \x20           [--no-implicit] [--no-explicit] [--check-proof]\n\
          \x20           [--timeout SECS] [--sim-words N] [--sim-threads N]\n\
-         \x20           [--stats] <file.{{bench,aag,cnf}}>"
+         \x20           [--stats] [--progress SECS] [--metrics-out FILE]\n\
+         \x20           <file.{{bench,aag,cnf}}>"
     );
     std::process::exit(2)
 }
@@ -68,6 +74,8 @@ fn parse_args() -> Options {
         timeout: None,
         simulation: SimulationOptions::default(),
         stats: false,
+        progress: None,
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -107,6 +115,16 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| usage());
             }
             "--stats" => options.stats = true,
+            "--progress" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| usage());
+                options.progress = Some(Duration::from_secs(secs));
+            }
+            "--metrics-out" => {
+                options.metrics_out = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && options.file.is_empty() => {
                 options.file = other.to_string();
@@ -170,37 +188,37 @@ fn main() -> ExitCode {
         aig.and_count()
     );
     let start = Instant::now();
+    // One observer for the whole pipeline: aggregate always (cheap), emit
+    // progress snapshots only when --progress asked for them. With neither
+    // flag the solvers run with the no-op observer (zero overhead).
+    let observing = options.progress.is_some() || options.metrics_out.is_some();
+    let mut progress = ProgressObserver::new(std::io::stderr(), options.progress);
+    let mut noop = NoOpObserver;
+    let obs: &mut dyn Observer = if observing { &mut progress } else { &mut noop };
+    let budget = Budget::from_timeout(options.timeout);
     let verdict = match options.engine {
         Engine::Cnf => {
             let enc = csat::netlist::tseitin::encode_with_objective(&aig, objective);
-            let outcome = csat::cnf::Solver::new(
-                &enc.cnf,
-                csat::cnf::SolverOptions {
-                    max_time: options.timeout,
-                    ..Default::default()
-                },
-            )
-            .solve();
+            let outcome =
+                csat::cnf::Solver::new(&enc.cnf, csat::cnf::SolverOptions::default())
+                    .solve_observed(&budget, obs);
             match outcome {
-                csat::cnf::Outcome::Sat(model) => {
-                    Verdict::Sat(enc.input_values(&aig, &model))
-                }
-                csat::cnf::Outcome::Unsat => Verdict::Unsat,
-                csat::cnf::Outcome::Unknown => Verdict::Unknown,
+                Verdict::Sat(model) => Verdict::Sat(enc.input_values(&aig, &model)),
+                Verdict::Unsat => Verdict::Unsat,
+                Verdict::Unknown => Verdict::Unknown,
             }
         }
         ref engine => {
-            let solver_options = SolverOptions {
-                jnode_decisions: *engine == Engine::Circuit,
-                implicit_learning: options.implicit,
-                ..Default::default()
-            };
+            let solver_options = SolverOptions::builder()
+                .jnode_decisions(*engine == Engine::Circuit)
+                .implicit_learning(options.implicit)
+                .build();
             let mut solver = Solver::new(&aig, solver_options);
             if options.check_proof {
                 solver.start_proof();
             }
             if options.implicit || options.explicit_pass {
-                let correlations = find_correlations(&aig, &options.simulation);
+                let correlations = find_correlations_observed(&aig, &options.simulation, obs);
                 eprintln!(
                     "c simulation: {} correlations in {:?} ({} rounds, {} patterns, \
                      sim {:?} + refine {:?})",
@@ -213,19 +231,19 @@ fn main() -> ExitCode {
                 );
                 solver.set_correlations(&correlations);
                 if options.explicit_pass {
-                    let report =
-                        explicit::run(&mut solver, &correlations, &ExplicitOptions::default());
+                    let report = explicit::run_observed(
+                        &mut solver,
+                        &correlations,
+                        &ExplicitOptions::default(),
+                        obs,
+                    );
                     eprintln!(
                         "c explicit learning: {} sub-problems ({} refuted)",
                         report.subproblems, report.refuted
                     );
                 }
             }
-            let budget = match options.timeout {
-                Some(t) => Budget::time(t),
-                None => Budget::UNLIMITED,
-            };
-            let verdict = solver.solve_with_budget(objective, &budget);
+            let verdict = solver.solve_observed(objective, &budget, obs);
             if options.stats {
                 eprintln!("c stats: {:?}", solver.stats());
             }
@@ -242,7 +260,20 @@ fn main() -> ExitCode {
             verdict
         }
     };
-    eprintln!("c solved in {:?}", start.elapsed());
+    let elapsed = start.elapsed();
+    eprintln!("c solved in {elapsed:?}");
+    if let Some(path) = &options.metrics_out {
+        let name = match &verdict {
+            Verdict::Sat(_) => "SAT",
+            Verdict::Unsat => "UNSAT",
+            Verdict::Unknown => "UNKNOWN",
+        };
+        let report = progress.recorder.report_json(name, elapsed);
+        match std::fs::write(path, report + "\n") {
+            Ok(()) => eprintln!("c metrics written to {path}"),
+            Err(e) => eprintln!("c warning: could not write {path}: {e}"),
+        }
+    }
     match verdict {
         Verdict::Sat(model) => {
             // Double-check the model by simulation before reporting.

@@ -5,6 +5,10 @@
 //! (Lu, Wang, Cheng, Huang — DATE 2003).
 //!
 //! * [`netlist`] — AIG circuits, `.bench`/DIMACS I/O, miters, generators.
+//! * [`types`] — the shared solver vocabulary: [`types::Verdict`],
+//!   [`types::SubVerdict`] and resource [`types::Budget`]s.
+//! * [`telemetry`] — the observability layer: [`telemetry::SolverEvent`]s,
+//!   [`telemetry::Observer`]s, metrics and JSON progress/report emitters.
 //! * [`sim`] — random simulation and signal-correlation discovery.
 //! * [`cnf`] — the ZChaff-class CNF CDCL baseline solver.
 //! * [`core`] — the circuit-based CDCL solver with J-node decisions and
@@ -33,3 +37,5 @@ pub use csat_cnf as cnf;
 pub use csat_core as core;
 pub use csat_netlist as netlist;
 pub use csat_sim as sim;
+pub use csat_telemetry as telemetry;
+pub use csat_types as types;

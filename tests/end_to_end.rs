@@ -81,11 +81,11 @@ fn dimacs_two_level_flow_agrees_with_cnf_solver() {
         let tl = two_level::from_cnf(&cnf);
         let mut solver = Solver::new(&tl.aig, SolverOptions::default());
         match (solver.solve(tl.objective), cnf_verdict) {
-            (Verdict::Sat(inputs), csat::cnf::Outcome::Sat(_)) => {
+            (Verdict::Sat(inputs), Verdict::Sat(_)) => {
                 let assignment = tl.cnf_assignment(&inputs);
                 assert!(cnf.evaluate(&assignment), "{source}");
             }
-            (Verdict::Unsat, csat::cnf::Outcome::Unsat) => {}
+            (Verdict::Unsat, Verdict::Unsat) => {}
             other => panic!("verdict mismatch on {source}: {other:?}"),
         }
     }

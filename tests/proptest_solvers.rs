@@ -41,12 +41,12 @@ proptest! {
         let outcome = csat::cnf::Solver::new(&cnf, Default::default()).solve();
         let expected = brute_force(&cnf);
         match outcome {
-            csat::cnf::Outcome::Sat(model) => {
+            Verdict::Sat(model) => {
                 prop_assert!(expected);
                 prop_assert!(cnf.evaluate(&model));
             }
-            csat::cnf::Outcome::Unsat => prop_assert!(!expected),
-            csat::cnf::Outcome::Unknown => prop_assert!(false, "no budget was set"),
+            Verdict::Unsat => prop_assert!(!expected),
+            Verdict::Unknown => prop_assert!(false, "no budget was set"),
         }
     }
 
@@ -58,11 +58,11 @@ proptest! {
         let tl = two_level::from_cnf(&cnf);
         let mut solver = Solver::new(&tl.aig, SolverOptions::default());
         match (solver.solve(tl.objective), cnf_outcome) {
-            (Verdict::Sat(inputs), csat::cnf::Outcome::Sat(_)) => {
+            (Verdict::Sat(inputs), Verdict::Sat(_)) => {
                 let assignment = tl.cnf_assignment(&inputs);
                 prop_assert!(cnf.evaluate(&assignment));
             }
-            (Verdict::Unsat, csat::cnf::Outcome::Unsat) => {}
+            (Verdict::Unsat, Verdict::Unsat) => {}
             other => prop_assert!(false, "mismatch: {other:?}"),
         }
     }
@@ -79,11 +79,11 @@ proptest! {
         let enc = tseitin::encode_with_objective(&aig, objective);
         let cnf = csat::cnf::Solver::new(&enc.cnf, Default::default()).solve();
         match (circuit, cnf) {
-            (Verdict::Sat(model), csat::cnf::Outcome::Sat(_)) => {
+            (Verdict::Sat(model), Verdict::Sat(_)) => {
                 let values = aig.evaluate(&model);
                 prop_assert!(aig.lit_value(&values, objective));
             }
-            (Verdict::Unsat, csat::cnf::Outcome::Unsat) => {}
+            (Verdict::Unsat, Verdict::Unsat) => {}
             other => prop_assert!(false, "mismatch: {other:?}"),
         }
     }

@@ -55,21 +55,11 @@ impl Default for Profile {
 }
 
 /// Benchmark manager: holds configuration and the command-line mode.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Criterion {
     profile: Profile,
     test_mode: bool,
     filters: Vec<String>,
-}
-
-impl Default for Criterion {
-    fn default() -> Criterion {
-        Criterion {
-            profile: Profile::default(),
-            test_mode: false,
-            filters: Vec::new(),
-        }
-    }
 }
 
 impl Criterion {
