@@ -53,7 +53,10 @@ fn t1_t3_equiv(c: &mut Criterion) {
         ("zchaff", Runner::Baseline),
         ("csat", Runner::Circuit(CircuitConfig::plain(TIMEOUT))),
         ("jnode", Runner::Circuit(CircuitConfig::jnode(TIMEOUT))),
-        ("implicit", Runner::Circuit(CircuitConfig::implicit(TIMEOUT))),
+        (
+            "implicit",
+            Runner::Circuit(CircuitConfig::implicit(TIMEOUT)),
+        ),
     ];
     for w in suite
         .iter()
@@ -68,7 +71,10 @@ fn t2_t4_sat(c: &mut Criterion) {
     let suite = vliw_suite(Scale::Quick, &[1, 4]);
     let configs: Vec<(&str, Runner)> = vec![
         ("zchaff", Runner::Baseline),
-        ("implicit", Runner::Circuit(CircuitConfig::implicit(TIMEOUT))),
+        (
+            "implicit",
+            Runner::Circuit(CircuitConfig::implicit(TIMEOUT)),
+        ),
     ];
     for w in &suite {
         bench_workload(c, "t2_t4_sat_vliw", w, &configs);
@@ -132,8 +138,7 @@ fn t7_t9_sat_explicit(c: &mut Criterion) {
             TIMEOUT,
         ))
     };
-    let configs: Vec<(&str, Runner)> =
-        vec![("frac0.5", cfg(0.5)), ("frac1.0", cfg(1.0))];
+    let configs: Vec<(&str, Runner)> = vec![("frac0.5", cfg(0.5)), ("frac1.0", cfg(1.0))];
     for w in &suite {
         bench_workload(c, "t7_t9_sat_explicit", w, &configs);
     }
@@ -164,7 +169,10 @@ fn t8_partial(c: &mut Criterion) {
 fn t10_scan(c: &mut Criterion) {
     let suite = scan_suite(Scale::Quick);
     let configs: Vec<(&str, Runner)> = vec![
-        ("implicit", Runner::Circuit(CircuitConfig::implicit(TIMEOUT))),
+        (
+            "implicit",
+            Runner::Circuit(CircuitConfig::implicit(TIMEOUT)),
+        ),
         (
             "explicit",
             Runner::Circuit(CircuitConfig::explicit(ExplicitOptions::default(), TIMEOUT)),

@@ -25,11 +25,7 @@ fn main() {
     rows.truncate(4);
     rows.extend(opt_suite(scale).into_iter().take(2));
     let configs: Vec<(&str, SolverOptions, LearningMode)> = vec![
-        (
-            "jnode",
-            SolverOptions::default(),
-            LearningMode::None,
-        ),
+        ("jnode", SolverOptions::default(), LearningMode::None),
         (
             "plain-vsids",
             SolverOptions::plain_csat(),

@@ -135,10 +135,16 @@ fn main() {
                 .map(|r| r.ns_per_pattern)
         };
         if let (Some(scalar), Some(batched)) = (of("scalar", 1, 1), of("batched", 4, 1)) {
-            eprintln!("{name}: batched w=4 speedup over scalar: {:.2}x", scalar / batched);
+            eprintln!(
+                "{name}: batched w=4 speedup over scalar: {:.2}x",
+                scalar / batched
+            );
         }
         if let (Some(serial), Some(par)) = (of("parallel", 32, 1), of("parallel", 32, 2)) {
-            eprintln!("{name}: 2-thread speedup over 1-thread (w=32): {:.2}x", serial / par);
+            eprintln!(
+                "{name}: 2-thread speedup over 1-thread (w=32): {:.2}x",
+                serial / par
+            );
         }
     }
     let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());

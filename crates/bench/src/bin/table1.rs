@@ -27,7 +27,12 @@ fn main() {
         json.add("zchaff-class", &b);
         json.add("c-sat", &p);
         json.add("c-sat-jnode", &j);
-        table.row(vec![w.name.clone(), b.time_cell(), p.time_cell(), j.time_cell()]);
+        table.row(vec![
+            w.name.clone(),
+            b.time_cell(),
+            p.time_cell(),
+            j.time_cell(),
+        ]);
         base.push(b);
         plain.push(p);
         jnode.push(j);

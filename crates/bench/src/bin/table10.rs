@@ -16,51 +16,55 @@ fn main() {
     let mut json = args.json_report("table10");
     let mut table = Table::new(
         "Table X: results for additional SAT and UNSAT cases",
-        &["circuit", "zchaff-class", "implicit", "explicit", "simulation"],
+        &[
+            "circuit",
+            "zchaff-class",
+            "implicit",
+            "explicit",
+            "simulation",
+        ],
     );
-    let run_section = |table: &mut Table,
-                       json: &mut csat_bench::JsonReport,
-                       rows: &[Workload],
-                       label: &str| {
-        let mut base = Vec::new();
-        let mut imp = Vec::new();
-        let mut exp = Vec::new();
-        let mut sim_total = 0.0;
-        for w in rows {
-            let b = run_baseline(w, timeout);
-            let i = run_circuit_solver(w, &CircuitConfig::implicit(timeout));
-            let e = run_circuit_solver(
-                w,
-                &CircuitConfig::explicit(ExplicitOptions::default(), timeout),
-            );
-            for r in [&b, &i, &e] {
-                assert!(!r.unsound, "{}: unsound verdict", r.name);
+    let run_section =
+        |table: &mut Table, json: &mut csat_bench::JsonReport, rows: &[Workload], label: &str| {
+            let mut base = Vec::new();
+            let mut imp = Vec::new();
+            let mut exp = Vec::new();
+            let mut sim_total = 0.0;
+            for w in rows {
+                let b = run_baseline(w, timeout);
+                let i = run_circuit_solver(w, &CircuitConfig::implicit(timeout));
+                let e = run_circuit_solver(
+                    w,
+                    &CircuitConfig::explicit(ExplicitOptions::default(), timeout),
+                );
+                for r in [&b, &i, &e] {
+                    assert!(!r.unsound, "{}: unsound verdict", r.name);
+                }
+                json.add("zchaff-class", &b);
+                json.add("implicit", &i);
+                json.add("explicit", &e);
+                sim_total += e.sim_seconds;
+                table.row(vec![
+                    w.name.clone(),
+                    b.time_cell(),
+                    i.time_cell(),
+                    e.time_cell(),
+                    format_seconds(e.sim_seconds),
+                ]);
+                base.push(b);
+                imp.push(i);
+                exp.push(e);
             }
-            json.add("zchaff-class", &b);
-            json.add("implicit", &i);
-            json.add("explicit", &e);
-            sim_total += e.sim_seconds;
+            table.separator();
             table.row(vec![
-                w.name.clone(),
-                b.time_cell(),
-                i.time_cell(),
-                e.time_cell(),
-                format_seconds(e.sim_seconds),
+                format!("sub-total ({label})"),
+                total_cell(&base),
+                total_cell(&imp),
+                total_cell(&exp),
+                format_seconds(sim_total),
             ]);
-            base.push(b);
-            imp.push(i);
-            exp.push(e);
-        }
-        table.separator();
-        table.row(vec![
-            format!("sub-total ({label})"),
-            total_cell(&base),
-            total_cell(&imp),
-            total_cell(&exp),
-            format_seconds(sim_total),
-        ]);
-        table.separator();
-    };
+            table.separator();
+        };
     let vliw = vliw_suite(scale, &[9, 17, 1, 24, 21, 15, 19]);
     run_section(&mut table, &mut json, &vliw, "sat");
     let mut unsat_rows = extra_combinational(scale);

@@ -15,10 +15,7 @@ fn main() {
         "Table III: improved results for UNSAT cases with implicit learning",
         &["circuit", "zchaff-class", "c-sat-jnode+impl", "simulation"],
     );
-    for (label, suite) in [
-        ("equiv", equiv_suite(scale)),
-        ("opt", opt_suite(scale)),
-    ] {
+    for (label, suite) in [("equiv", equiv_suite(scale)), ("opt", opt_suite(scale))] {
         let mut base = Vec::new();
         let mut implicit = Vec::new();
         let mut sim_total = 0.0;

@@ -14,7 +14,12 @@ fn main() {
     let suite = vliw_suite(scale, &[7, 10, 4, 1, 8, 5]);
     let mut table = Table::new(
         "Table VII: run time degradation for SAT cases in explicit learning",
-        &["circuit", "zchaff-class", "c-sat-jnode (both)", "simulation"],
+        &[
+            "circuit",
+            "zchaff-class",
+            "c-sat-jnode (both)",
+            "simulation",
+        ],
     );
     let config = CircuitConfig::explicit(ExplicitOptions::default(), timeout);
     let mut base = Vec::new();

@@ -39,8 +39,7 @@ fn main() {
             timeout,
         )
     };
-    let mut per_fraction: Vec<Vec<csat_bench::RunResult>> =
-        vec![Vec::new(); FRACTIONS.len()];
+    let mut per_fraction: Vec<Vec<csat_bench::RunResult>> = vec![Vec::new(); FRACTIONS.len()];
     for w in &rows {
         let mut cells = vec![w.name.clone()];
         for (k, &f) in FRACTIONS.iter().enumerate() {

@@ -28,8 +28,7 @@ fn main() {
             timeout,
         )
     };
-    let mut per_fraction: Vec<Vec<csat_bench::RunResult>> =
-        vec![Vec::new(); FRACTIONS.len()];
+    let mut per_fraction: Vec<Vec<csat_bench::RunResult>> = vec![Vec::new(); FRACTIONS.len()];
     for w in &suite {
         let mut cells = vec![w.name.clone()];
         for (k, &f) in FRACTIONS.iter().enumerate() {

@@ -116,13 +116,10 @@ pub fn parse_args(default_timeout: u64) -> BenchArgs {
         match arg.as_str() {
             "--quick" => scale = crate::workload::Scale::Quick,
             "--timeout" => {
-                timeout = args
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--timeout requires a number of seconds");
-                        std::process::exit(2);
-                    });
+                timeout = args.next().and_then(|t| t.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--timeout requires a number of seconds");
+                    std::process::exit(2);
+                });
             }
             "--json" => {
                 json = Some(args.next().unwrap_or_else(|| {

@@ -241,8 +241,14 @@ mod tests {
 
     #[test]
     fn full_scale_is_larger_than_quick() {
-        let q: usize = c_series(Scale::Quick).iter().map(|(_, a)| a.and_count()).sum();
-        let f: usize = c_series(Scale::Full).iter().map(|(_, a)| a.and_count()).sum();
+        let q: usize = c_series(Scale::Quick)
+            .iter()
+            .map(|(_, a)| a.and_count())
+            .sum();
+        let f: usize = c_series(Scale::Full)
+            .iter()
+            .map(|(_, a)| a.and_count())
+            .sum();
         assert!(f > 2 * q, "full {f} vs quick {q}");
     }
 

@@ -36,3 +36,30 @@ mod solver;
 #[allow(deprecated)]
 pub use solver::Outcome;
 pub use solver::{Budget, Solver, SolverOptions, SolverOptionsBuilder, Stats, Verdict};
+
+/// Checks a SAT model against the formula itself.
+///
+/// `model` is one value per variable (the shape [`Verdict::Sat`] carries).
+/// The model is accepted iff it satisfies every clause — the ground-truth
+/// check differential testing uses before trusting a SAT answer.
+///
+/// # Panics
+///
+/// Panics if `model` is shorter than the formula's variable count.
+///
+/// # Example
+///
+/// ```
+/// use csat_cnf::{check_model, Solver, SolverOptions, Verdict};
+/// use csat_netlist::cnf::Cnf;
+///
+/// let cnf = Cnf::from_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n").unwrap();
+/// let mut solver = Solver::new(&cnf, SolverOptions::default());
+/// match solver.solve() {
+///     Verdict::Sat(model) => assert!(check_model(&cnf, &model)),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+pub fn check_model(cnf: &csat_netlist::cnf::Cnf, model: &[bool]) -> bool {
+    cnf.evaluate(model)
+}

@@ -25,7 +25,11 @@ pub struct ProofError {
 
 impl fmt::Display for ProofError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "proof check failed at step {}: {}", self.step, self.message)
+        write!(
+            f,
+            "proof check failed at step {}: {}",
+            self.step, self.message
+        )
     }
 }
 
@@ -165,10 +169,8 @@ mod tests {
 
     #[test]
     fn xor_contradiction_proof_checks() {
-        let cnf = Cnf::from_dimacs(
-            "p cnf 3 6\n1 2 0\n-1 -2 0\n2 3 0\n-2 -3 0\n1 3 0\n-1 -3 0\n",
-        )
-        .expect("dimacs");
+        let cnf = Cnf::from_dimacs("p cnf 3 6\n1 2 0\n-1 -2 0\n2 3 0\n-2 -3 0\n1 3 0\n-1 -3 0\n")
+            .expect("dimacs");
         let mut solver = Solver::new(&cnf, SolverOptions::default());
         solver.start_proof();
         assert!(solver.solve().is_unsat());

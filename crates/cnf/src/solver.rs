@@ -275,7 +275,11 @@ impl Solver {
                 if self.root_conflict {
                     return Verdict::Unsat;
                 }
-                if self.stats.conflicts.is_multiple_of(self.options.decay_interval) {
+                if self
+                    .stats
+                    .conflicts
+                    .is_multiple_of(self.options.decay_interval)
+                {
                     self.decay_activities();
                 }
                 if self.stats.learnt_clauses as usize > self.max_learnts {
@@ -308,8 +312,7 @@ impl Solver {
                 }
                 match self.pick_branch_var() {
                     None => {
-                        let model: Vec<bool> =
-                            self.values.iter().map(|&v| v == 1).collect();
+                        let model: Vec<bool> = self.values.iter().map(|&v| v == 1).collect();
                         return Verdict::Sat(model);
                     }
                     Some(var) => {
@@ -677,7 +680,9 @@ mod tests {
     fn empty_clause_is_unsat() {
         let mut cnf = Cnf::with_vars(1);
         cnf.add_clause(vec![]);
-        assert!(Solver::new(&cnf, SolverOptions::default()).solve().is_unsat());
+        assert!(Solver::new(&cnf, SolverOptions::default())
+            .solve()
+            .is_unsat());
     }
 
     #[test]
@@ -701,7 +706,7 @@ mod tests {
         // p(i,j): pigeon i in hole j. vars 1..6 = p11 p12 p21 p22 p31 p32.
         let mut text = String::from("p cnf 6 9\n");
         text.push_str("1 2 0\n3 4 0\n5 6 0\n"); // each pigeon somewhere
-        // no two pigeons share a hole
+                                                // no two pigeons share a hole
         text.push_str("-1 -3 0\n-1 -5 0\n-3 -5 0\n");
         text.push_str("-2 -4 0\n-2 -6 0\n-4 -6 0\n");
         assert!(solve_text(&text).is_unsat());
@@ -773,8 +778,8 @@ mod tests {
                 }
             }
         }
-        let outcome = Solver::new(&cnf, SolverOptions::default())
-            .solve_with_budget(&Budget::conflicts(1));
+        let outcome =
+            Solver::new(&cnf, SolverOptions::default()).solve_with_budget(&Budget::conflicts(1));
         assert_eq!(outcome, Verdict::Unknown);
         // And without the budget it is UNSAT.
         let outcome = Solver::new(&cnf, SolverOptions::default()).solve();

@@ -278,16 +278,19 @@ mod tests {
         };
         let orientations = subproblem_assumptions(&pair_eq);
         // First orientation: s9 = 1, s4 = 0; second is the mirror image.
-        assert_eq!(orientations, vec![
+        assert_eq!(
+            orientations,
             vec![
-                Lit::new(NodeId::from_index(9), false),
-                Lit::new(NodeId::from_index(4), true),
-            ],
-            vec![
-                Lit::new(NodeId::from_index(9), true),
-                Lit::new(NodeId::from_index(4), false),
-            ],
-        ]);
+                vec![
+                    Lit::new(NodeId::from_index(9), false),
+                    Lit::new(NodeId::from_index(4), true),
+                ],
+                vec![
+                    Lit::new(NodeId::from_index(9), true),
+                    Lit::new(NodeId::from_index(4), false),
+                ],
+            ]
+        );
         let const_zero = Correlation {
             a: NodeId::from_index(7),
             b: NodeId::FALSE,

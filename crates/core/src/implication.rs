@@ -269,9 +269,7 @@ mod tests {
                         } else if assigned == UNDEF {
                             // Completeness: if only one value is possible and
                             // the pin is unassigned, the action must fire.
-                            if possible[pin][value as usize]
-                                && !possible[pin][1 - value as usize]
-                            {
+                            if possible[pin][value as usize] && !possible[pin][1 - value as usize] {
                                 panic!("missed implication pin{pin}={value} at ({vo},{va},{vb})");
                             }
                         }

@@ -52,3 +52,35 @@ pub mod sweep;
 pub use explicit::{CorrelationMode, ExplicitOptions, ExplicitReport, SubproblemOrdering};
 pub use options::{Budget, SolverOptions, SolverOptionsBuilder, Stats, SubVerdict, Verdict};
 pub use solver::Solver;
+
+/// Checks a SAT model against the circuit itself.
+///
+/// `model` is one value per primary input (the shape [`Verdict::Sat`]
+/// carries). The model is accepted iff direct evaluation of the circuit
+/// makes `objective` true — the ground-truth check differential testing
+/// and the CLIs use before trusting any solver's SAT answer.
+///
+/// # Panics
+///
+/// Panics if `model.len() != aig.inputs().len()`.
+///
+/// # Example
+///
+/// ```
+/// use csat_core::{check_model, Solver, SolverOptions, Verdict};
+/// use csat_netlist::Aig;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.input();
+/// let b = aig.input();
+/// let y = aig.and(a, !b);
+/// let mut solver = Solver::new(&aig, SolverOptions::default());
+/// match solver.solve(y) {
+///     Verdict::Sat(model) => assert!(check_model(&aig, &model, y)),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+pub fn check_model(aig: &csat_netlist::Aig, model: &[bool], objective: csat_netlist::Lit) -> bool {
+    let values = aig.evaluate(model);
+    aig.lit_value(&values, objective)
+}

@@ -83,8 +83,8 @@ impl SolverOptions {
     }
 
     /// The full paper configuration (J-node decisions + implicit learning,
-    /// paper restart policy). Alias of [`with_implicit_learning`]
-    /// (`SolverOptions::with_implicit_learning`) under the preset naming
+    /// paper restart policy). Alias of
+    /// [`SolverOptions::with_implicit_learning`] under the preset naming
     /// convention shared with [`csat_cnf`](https://docs.rs/csat-cnf).
     pub fn paper() -> SolverOptions {
         SolverOptions::with_implicit_learning()

@@ -35,7 +35,11 @@ pub struct ProofError {
 
 impl fmt::Display for ProofError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "proof check failed at step {}: {}", self.step, self.message)
+        write!(
+            f,
+            "proof check failed at step {}: {}",
+            self.step, self.message
+        )
     }
 }
 

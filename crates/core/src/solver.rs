@@ -393,7 +393,11 @@ impl<'a> Solver<'a> {
                 if self.root_conflict {
                     return SubVerdict::Unsat;
                 }
-                if self.stats.conflicts.is_multiple_of(self.options.decay_interval) {
+                if self
+                    .stats
+                    .conflicts
+                    .is_multiple_of(self.options.decay_interval)
+                {
                     self.bump /= self.options.var_decay;
                     if self.bump > 1e100 {
                         self.rescale_activities();
@@ -430,9 +434,7 @@ impl<'a> Solver<'a> {
                     TRUE => self.trail_lim.push(self.trail.len()),
                     FALSE => {
                         let upto = self.decision_level() as usize;
-                        return SubVerdict::UnsatUnderAssumptions(
-                            assumptions[..=upto].to_vec(),
-                        );
+                        return SubVerdict::UnsatUnderAssumptions(assumptions[..=upto].to_vec());
                     }
                     _ => {
                         self.trail_lim.push(self.trail.len());
@@ -589,11 +591,7 @@ impl<'a> Solver<'a> {
         if !self.options.jnode_decisions {
             return;
         }
-        let now = is_unjustified(
-            self.values[g.index()],
-            self.lit_value(a),
-            self.lit_value(b),
-        );
+        let now = is_unjustified(self.values[g.index()], self.lit_value(a), self.lit_value(b));
         if now == self.jnode_flag[g.index()] {
             return;
         }
@@ -832,9 +830,9 @@ impl<'a> Solver<'a> {
                     // q is false, so the trail holds !q; its reason clause
                     // is (!q | rest) with `rest` the other false literals.
                     self.reason_false_lits(!q, reason, &mut reason_buf);
-                    reason_buf.iter().all(|r| {
-                        self.seen[r.node().index()] || self.levels[r.node().index()] == 0
-                    })
+                    reason_buf
+                        .iter()
+                        .all(|r| self.seen[r.node().index()] || self.levels[r.node().index()] == 0)
                 }
             };
             if !redundant {
@@ -1028,8 +1026,7 @@ impl<'a> Solver<'a> {
                 if trigger_live && self.values[partner.index()] == UNDEF {
                     // Keep the remaining same-level entries for the next
                     // decision.
-                    self.group_queue =
-                        iter.filter(|&(l, ..)| l == now).collect();
+                    self.group_queue = iter.filter(|&(l, ..)| l == now).collect();
                     return Some((Lit::new(partner, !target), true));
                 }
             }
@@ -1064,8 +1061,7 @@ impl<'a> Solver<'a> {
                 if node.is_some() && top.priority <= node_priority {
                     break;
                 }
-                let ClauseCandidate { lit, cref, .. } =
-                    self.clause_cands.pop().expect("peeked");
+                let ClauseCandidate { lit, cref, .. } = self.clause_cands.pop().expect("peeked");
                 self.clause_queued[cref as usize] = false;
                 let clause = &self.clauses[cref as usize];
                 if clause.deleted {
@@ -1128,7 +1124,6 @@ impl<'a> Solver<'a> {
             }
         }
     }
-
 
     /// Plain VSIDS over all signals (the paper's initial C-SAT).
     fn pick_vsids_decision(&mut self) -> Option<Lit> {
@@ -1319,7 +1314,10 @@ mod tests {
         // With a 1-clause budget the solve cannot complete (the instance
         // needs many conflicts) — unless it got refuted instantly.
         assert!(
-            matches!(outcome, SubVerdict::Aborted | SubVerdict::UnsatUnderAssumptions(_)),
+            matches!(
+                outcome,
+                SubVerdict::Aborted | SubVerdict::UnsatUnderAssumptions(_)
+            ),
             "{outcome:?}"
         );
     }
@@ -1365,11 +1363,8 @@ mod tests {
                     }
                     let circuit_verdict = s.solve(objective);
                     let enc = tseitin::encode_with_objective(&g, objective);
-                    let cnf_verdict = csat_cnf::Solver::new(
-                        &enc.cnf,
-                        csat_cnf::SolverOptions::default(),
-                    )
-                    .solve();
+                    let cnf_verdict =
+                        csat_cnf::Solver::new(&enc.cnf, csat_cnf::SolverOptions::default()).solve();
                     match (&circuit_verdict, &cnf_verdict) {
                         (Verdict::Sat(model), Verdict::Sat(_)) => {
                             let values = g.evaluate(model);
@@ -1413,7 +1408,8 @@ mod tests {
         ] {
             let mut s = Solver::new(&m.aig, options);
             if options.implicit_learning {
-                let c = csat_sim::find_correlations(&m.aig, &csat_sim::SimulationOptions::default());
+                let c =
+                    csat_sim::find_correlations(&m.aig, &csat_sim::SimulationOptions::default());
                 s.set_correlations(&c);
             }
             assert!(s.solve(m.objective).is_unsat(), "{options:?}");

@@ -127,8 +127,14 @@ pub fn fraig(aig: &Aig, options: &FraigOptions) -> FraigResult {
             // Distinguish refuted (SAT found) from budget exhaustion by
             // re-checking cheaply: a SAT result in either direction is a
             // refutation.
-            let sat1 = matches!(solver.solve_under(&[l, !target], &Budget::conflicts(1)), SubVerdict::Sat(_));
-            let sat2 = matches!(solver.solve_under(&[!l, target], &Budget::conflicts(1)), SubVerdict::Sat(_));
+            let sat1 = matches!(
+                solver.solve_under(&[l, !target], &Budget::conflicts(1)),
+                SubVerdict::Sat(_)
+            );
+            let sat2 = matches!(
+                solver.solve_under(&[!l, target], &Budget::conflicts(1)),
+                SubVerdict::Sat(_)
+            );
             if sat1 || sat2 {
                 stats.refuted += 1;
             } else {
@@ -150,7 +156,10 @@ pub fn fraig(aig: &Aig, options: &FraigOptions) -> FraigResult {
             continue;
         }
         reachable[i] = true;
-        debug_assert!(proven[i].is_none() || i == 0, "reachable nodes are representatives");
+        debug_assert!(
+            proven[i].is_none() || i == 0,
+            "reachable nodes are representatives"
+        );
         if let Node::And(a, b) = aig.node(csat_netlist::NodeId::from_index(i)) {
             stack.push(resolve(&proven, a).node().index());
             stack.push(resolve(&proven, b).node().index());

@@ -1,0 +1,129 @@
+//! Corpus output: standalone repro files for disagreeing instances.
+//!
+//! Each disagreement produces, under the corpus directory:
+//!
+//! * `seed<seed>-<kind>.bench` — the *shrunk* circuit, with the objective
+//!   as its single output `fuzz_obj`. Replay with
+//!   `cargo run --release --bin csat -- <file> --output fuzz_obj --check-proof`.
+//! * `seed<seed>-<kind>.meta.json` — seed, kind, matrix, the disagreement
+//!   description and the replay command, so the file is self-describing.
+//! * `seed<seed>-<kind>.cnf` — for CNF-born instances, the original
+//!   (unshrunk) DIMACS formula.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use csat_netlist::{bench, Aig, Lit};
+use csat_telemetry::json::JsonObject;
+
+use crate::instances::Instance;
+
+/// Paths written by [`write_repro`].
+#[derive(Clone, Debug)]
+pub struct Repro {
+    /// The shrunk `.bench` circuit.
+    pub bench: PathBuf,
+    /// The `.meta.json` sidecar.
+    pub meta: PathBuf,
+    /// The original DIMACS formula (CNF-born instances only).
+    pub cnf: Option<PathBuf>,
+}
+
+/// Writes the repro files of one disagreement into `dir` (created if
+/// missing). `shrunk` is the minimized circuit and objective from
+/// [`crate::shrink()`]; `matrix` and `disagreement` go into the sidecar.
+pub fn write_repro(
+    dir: &Path,
+    instance: &Instance,
+    shrunk: (&Aig, Lit),
+    matrix: &str,
+    disagreement: &str,
+) -> io::Result<Repro> {
+    fs::create_dir_all(dir)?;
+    let stem = format!("seed{}-{}", instance.seed, instance.kind.name());
+
+    let (aig, objective) = shrunk;
+    let mut repro_aig = aig.clone();
+    repro_aig.clear_outputs();
+    repro_aig.set_output("fuzz_obj", objective);
+    let bench_path = dir.join(format!("{stem}.bench"));
+    fs::write(&bench_path, bench::write(&repro_aig))?;
+
+    let cnf_path = match &instance.cnf {
+        Some(cnf) => {
+            let p = dir.join(format!("{stem}.cnf"));
+            fs::write(&p, cnf.to_dimacs())?;
+            Some(p)
+        }
+        None => None,
+    };
+
+    let mut meta = JsonObject::new();
+    meta.field_str("type", "fuzz_repro")
+        .field_u64("seed", instance.seed)
+        .field_str("kind", instance.kind.name())
+        .field_str("matrix", matrix)
+        .field_str("disagreement", disagreement)
+        .field_u64("shrunk_gates", repro_aig.and_count() as u64)
+        .field_u64("original_gates", instance.aig.and_count() as u64)
+        .field_str(
+            "replay",
+            &format!(
+                "cargo run --release --bin csat -- {stem}.bench --output fuzz_obj --check-proof"
+            ),
+        )
+        .field_str(
+            "reproduce",
+            &format!(
+                "cargo run --release --bin csat-fuzz -- --seed {} --iters 1",
+                instance.seed
+            ),
+        );
+    let meta_path = dir.join(format!("{stem}.meta.json"));
+    fs::write(&meta_path, meta.finish() + "\n")?;
+
+    Ok(Repro {
+        bench: bench_path,
+        meta: meta_path,
+        cnf: cnf_path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::generate;
+
+    /// A unique per-test temp dir (no tempfile crate in the offline build).
+    fn temp_dir(tag: &str) -> PathBuf {
+        let pid = std::process::id();
+        std::env::temp_dir().join(format!("csat-fuzz-corpus-{tag}-{pid}"))
+    }
+
+    #[test]
+    fn repro_files_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        let instance = generate(5); // RandomCnf: exercises the .cnf path too
+        let repro = write_repro(
+            &dir,
+            &instance,
+            (&instance.aig, instance.objective),
+            "quick",
+            "synthetic disagreement for the test",
+        )
+        .expect("write");
+        let text = fs::read_to_string(&repro.bench).expect("read bench");
+        let back = bench::parse(&text).expect("reparse");
+        assert_eq!(back.outputs().len(), 1);
+        assert!(back.output("fuzz_obj").is_some());
+        let meta = fs::read_to_string(&repro.meta).expect("read meta");
+        assert!(meta.contains("\"seed\": 5"));
+        assert!(meta.contains("fuzz_obj"));
+        let cnf_path = repro.cnf.expect("cnf-born instance writes .cnf");
+        let dimacs = fs::read_to_string(cnf_path).expect("read cnf");
+        assert!(dimacs.starts_with("p cnf"));
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

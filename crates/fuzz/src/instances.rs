@@ -1,0 +1,276 @@
+//! Seeded instance generation.
+//!
+//! [`generate`] maps a single `u64` seed to one problem instance,
+//! deterministically. Kinds rotate so a linear seed sweep exercises every
+//! family; several families *plant* a known answer (miters are UNSAT by
+//! construction, fault miters are almost always SAT, constant plants hide a
+//! structural `x AND NOT x`), guaranteeing the fuzzer sees both verdicts
+//! instead of drifting into an all-SAT diet.
+
+use csat_netlist::cnf::{Cnf, Var};
+use csat_netlist::generators::{self, LevelizedOptions};
+use csat_netlist::{miter, two_level, Aig, Lit, Node};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The instance families the fuzzer rotates through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstanceKind {
+    /// Pool-based random multi-level logic ([`generators::random_logic`]);
+    /// the objective is a random output, usually satisfiable.
+    RandomLogic,
+    /// Levelized fanout-shaped AIG with planted equivalences
+    /// ([`generators::levelized`]).
+    Levelized,
+    /// Self-miter of a random circuit — UNSAT by construction (the second
+    /// copy bypasses structural hashing, so there is real work to do).
+    EquivMiter,
+    /// Miter of a circuit against a single-fault mutant (one fanin edge
+    /// complemented) — almost always SAT.
+    FaultyMiter,
+    /// A structurally hidden constant (`s AND NOT s` built without hashing)
+    /// conjoined with a random objective: UNSAT or easily SAT by seed.
+    ConstantPlant,
+    /// Random 3-CNF near the phase transition, run through the paper's
+    /// 2-level OR-AND conversion; the raw formula is kept for the direct
+    /// CNF oracle.
+    RandomCnf,
+}
+
+impl InstanceKind {
+    /// All families, in rotation order.
+    pub const ALL: [InstanceKind; 6] = [
+        InstanceKind::RandomLogic,
+        InstanceKind::Levelized,
+        InstanceKind::EquivMiter,
+        InstanceKind::FaultyMiter,
+        InstanceKind::ConstantPlant,
+        InstanceKind::RandomCnf,
+    ];
+
+    /// Stable lowercase name (used in JSONL rows and corpus file names).
+    pub fn name(self) -> &'static str {
+        match self {
+            InstanceKind::RandomLogic => "random_logic",
+            InstanceKind::Levelized => "levelized",
+            InstanceKind::EquivMiter => "equiv_miter",
+            InstanceKind::FaultyMiter => "faulty_miter",
+            InstanceKind::ConstantPlant => "constant_plant",
+            InstanceKind::RandomCnf => "random_cnf",
+        }
+    }
+}
+
+/// One generated problem: a circuit, the objective literal to satisfy, and
+/// (for CNF-born instances) the source formula.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The seed [`generate`] was called with.
+    pub seed: u64,
+    /// The family the seed mapped to.
+    pub kind: InstanceKind,
+    /// The circuit. Its single output `fuzz_obj` is the objective, so a
+    /// corpus `.bench` dump replays with `csat repro.bench --output fuzz_obj`.
+    pub aig: Aig,
+    /// The objective literal (the instance asks: can this be 1?).
+    pub objective: Lit,
+    /// The source formula, for [`InstanceKind::RandomCnf`] only.
+    pub cnf: Option<Cnf>,
+}
+
+/// Generates the instance of `seed`.
+///
+/// Equal seeds give equal instances; the kind is `seed % 6`.
+pub fn generate(seed: u64) -> Instance {
+    let kind = InstanceKind::ALL[(seed % InstanceKind::ALL.len() as u64) as usize];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut aig, objective, cnf) = match kind {
+        InstanceKind::RandomLogic => {
+            let inputs = 5 + rng.gen_range(0..8);
+            let gates = 30 + rng.gen_range(0..90);
+            let outputs = 1 + rng.gen_range(0..3);
+            let g = generators::random_logic(seed ^ 0xA5, inputs, gates, outputs);
+            let pick = rng.gen_range(0..g.outputs().len());
+            let objective = g.outputs()[pick].1.xor_complement(rng.gen_bool(0.5));
+            (g, objective, None)
+        }
+        InstanceKind::Levelized => {
+            let options = LevelizedOptions {
+                inputs: 5 + rng.gen_range(0..7),
+                levels: 3 + rng.gen_range(0..5),
+                width: 4 + rng.gen_range(0..8),
+                locality: 0.5 + 0.1 * rng.gen_range(0..5) as f64,
+                plant_equivalences: rng.gen_bool(0.8),
+            };
+            let g = generators::levelized(seed ^ 0x1e7e, &options);
+            let pick = rng.gen_range(0..g.outputs().len());
+            let objective = g.outputs()[pick].1.xor_complement(rng.gen_bool(0.5));
+            (g, objective, None)
+        }
+        InstanceKind::EquivMiter => {
+            let base = base_circuit(seed ^ 0xe9, &mut rng);
+            let m = miter::self_miter(&base, Default::default());
+            (m.aig, m.objective, None)
+        }
+        InstanceKind::FaultyMiter => {
+            let base = base_circuit(seed ^ 0xfa, &mut rng);
+            let mutant = mutate_one_edge(&base, &mut rng);
+            let m = miter::build_fresh(&base, &mutant, Default::default());
+            (m.aig, m.objective, None)
+        }
+        InstanceKind::ConstantPlant => {
+            let mut g = base_circuit(seed ^ 0xc0, &mut rng);
+            // Hide `s AND NOT s` behind a fresh (non-hashed) gate so only
+            // actual reasoning — not construction-time folding — sees the
+            // constant.
+            let signals: Vec<Lit> = g
+                .node_ids()
+                .filter(|id| id.index() > 0)
+                .map(|id| id.lit())
+                .collect();
+            let s = signals[rng.gen_range(0..signals.len())];
+            let planted = g.and_fresh(s, !s);
+            let pick = rng.gen_range(0..g.outputs().len());
+            let base_obj = g.outputs()[pick].1;
+            let objective = if rng.gen_bool(0.5) {
+                // UNSAT: the objective requires the hidden constant 0.
+                g.and_fresh(base_obj, planted)
+            } else {
+                // SAT unless base_obj is itself unsatisfiable.
+                g.and_fresh(base_obj.xor_complement(rng.gen_bool(0.5)), !planted)
+            };
+            (g, objective, None)
+        }
+        InstanceKind::RandomCnf => {
+            let vars = 15 + rng.gen_range(0..25);
+            let ratio = 3.6 + 0.2 * rng.gen_range(0..6) as f64;
+            let clauses = (vars as f64 * ratio) as usize;
+            let mut cnf = Cnf::with_vars(vars);
+            for _ in 0..clauses {
+                let mut clause = Vec::with_capacity(3);
+                while clause.len() < 3 {
+                    let v = Var(rng.gen_range(0..vars) as u32);
+                    if clause.iter().any(|l: &csat_netlist::cnf::Lit| l.var() == v) {
+                        continue;
+                    }
+                    clause.push(if rng.gen_bool(0.5) {
+                        v.positive()
+                    } else {
+                        v.negative()
+                    });
+                }
+                cnf.add_clause(clause);
+            }
+            let tl = two_level::from_cnf(&cnf);
+            (tl.aig, tl.objective, Some(cnf))
+        }
+    };
+    aig.clear_outputs();
+    aig.set_output("fuzz_obj", objective);
+    Instance {
+        seed,
+        kind,
+        aig,
+        objective,
+        cnf,
+    }
+}
+
+/// A small random circuit used as the base of the miter/plant families.
+fn base_circuit(seed: u64, rng: &mut StdRng) -> Aig {
+    let inputs = 5 + rng.gen_range(0..5);
+    let gates = 20 + rng.gen_range(0..40);
+    let outputs = 2 + rng.gen_range(0..3);
+    generators::random_logic(seed, inputs, gates, outputs)
+}
+
+/// Rebuilds `aig` with exactly one AND fanin edge complemented (a classic
+/// single stuck-fault mutation). Structural hashing may fold the mutated
+/// gate; the interface (input/output counts and names) is preserved.
+fn mutate_one_edge(aig: &Aig, rng: &mut StdRng) -> Aig {
+    let ands: Vec<usize> = aig
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.is_and())
+        .map(|(i, _)| i)
+        .collect();
+    let target = ands[rng.gen_range(0..ands.len())];
+    let flip_b = rng.gen_bool(0.5);
+    let mut out = Aig::new();
+    let mut map = vec![Lit::FALSE; aig.len()];
+    for (i, node) in aig.nodes().iter().enumerate() {
+        map[i] = match *node {
+            Node::False => Lit::FALSE,
+            Node::Input => out.input(),
+            Node::And(a, b) => {
+                let mut la = map[a.node().index()].xor_complement(a.is_complemented());
+                let mut lb = map[b.node().index()].xor_complement(b.is_complemented());
+                if i == target {
+                    if flip_b {
+                        lb = !lb;
+                    } else {
+                        la = !la;
+                    }
+                }
+                out.and(la, lb)
+            }
+        };
+    }
+    for (name, l) in aig.outputs() {
+        let lit = map[l.node().index()].xor_complement(l.is_complemented());
+        out.set_output(name.clone(), lit);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..12 {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.aig.nodes(), b.aig.nodes());
+            assert_eq!(a.objective, b.objective);
+        }
+    }
+
+    #[test]
+    fn kinds_rotate_and_objective_is_the_output() {
+        for seed in 0..12u64 {
+            let inst = generate(seed);
+            assert_eq!(inst.kind, InstanceKind::ALL[(seed % 6) as usize]);
+            assert_eq!(inst.aig.outputs().len(), 1);
+            assert_eq!(inst.aig.output("fuzz_obj"), Some(inst.objective));
+            assert_eq!(inst.cnf.is_some(), inst.kind == InstanceKind::RandomCnf);
+        }
+    }
+
+    #[test]
+    fn equiv_miter_is_unsat_by_construction() {
+        // Exhaustively evaluate a small miter: no input pattern may set the
+        // objective (the two copies are functionally identical).
+        let inst = generate(2); // kind EquivMiter
+        assert_eq!(inst.kind, InstanceKind::EquivMiter);
+        let n = inst.aig.inputs().len();
+        assert!(n <= 12, "keep exhaustive check feasible, n={n}");
+        for code in 0..1u64 << n {
+            let bits: Vec<bool> = (0..n).map(|i| code >> i & 1 != 0).collect();
+            let values = inst.aig.evaluate(&bits);
+            assert!(!inst.aig.lit_value(&values, inst.objective), "code {code}");
+        }
+    }
+
+    #[test]
+    fn mutant_differs_from_base_somewhere() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = base_circuit(7, &mut rng);
+        let mutant = mutate_one_edge(&base, &mut rng);
+        assert_eq!(base.inputs().len(), mutant.inputs().len());
+        assert_eq!(base.outputs().len(), mutant.outputs().len());
+    }
+}

@@ -1,0 +1,484 @@
+//! The multi-oracle harness.
+//!
+//! An *oracle* is one complete way of answering an instance: a circuit
+//! solver configuration (optionally preceded by correlation discovery,
+//! implicit grouping and the explicit learning pass) or the CNF baseline on
+//! the Tseitin encoding (or on the raw formula, for CNF-born instances).
+//! [`check_instance`] runs every oracle of a matrix on one instance and
+//! cross-checks:
+//!
+//! * **verdicts** — no oracle may answer SAT while another answers UNSAT
+//!   (budget-limited `Unknown`s abstain);
+//! * **models** — every SAT model must satisfy the instance under direct
+//!   evaluation ([`csat_core::check_model`] / [`csat_cnf::check_model`]);
+//! * **proofs** — every UNSAT answer is logged and re-checked by reverse
+//!   unit propagation ([`csat_core::proof::verify_unsat`] /
+//!   [`csat_cnf::proof::verify_unsat`]).
+//!
+//! Every oracle is deterministic: budgets count conflicts, simulation is
+//! seeded, and nothing consults the clock.
+
+use csat_core::{explicit, ExplicitOptions};
+use csat_netlist::tseitin;
+use csat_sim::{find_correlations, SimulationOptions};
+use csat_telemetry::{MetricsRecorder, NoOpObserver, Observer};
+use csat_types::{Budget, Verdict};
+
+use crate::instances::Instance;
+
+/// Which oracle matrix to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Matrix {
+    /// Three oracles: the J-node circuit solver with proof logging, the full
+    /// paper configuration (implicit + explicit learning), and the CNF
+    /// baseline on the Tseitin encoding with proof logging.
+    Quick,
+    /// Everything in [`Matrix::Quick`] plus plain-VSIDS, implicit-only,
+    /// explicit-only, an aggressive-restart circuit configuration, a
+    /// single-word simulation variant, an aggressive-restart CNF
+    /// configuration, and the CNF solver on the raw formula (CNF-born
+    /// instances only).
+    Full,
+}
+
+impl Matrix {
+    /// Stable lowercase name (CLI `--matrix` value, JSONL field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Matrix::Quick => "quick",
+            Matrix::Full => "full",
+        }
+    }
+
+    /// Parses a CLI `--matrix` value.
+    pub fn parse(s: &str) -> Option<Matrix> {
+        match s {
+            "quick" => Some(Matrix::Quick),
+            "full" => Some(Matrix::Full),
+            _ => None,
+        }
+    }
+}
+
+/// How one oracle answers an instance.
+#[derive(Clone, Debug)]
+enum Spec {
+    /// The circuit solver, optionally with correlation-guided learning.
+    Circuit {
+        options: csat_core::SolverOptions,
+        /// Run the explicit learning pass before the final solve.
+        explicit_pass: bool,
+        /// Run correlation discovery (required for implicit grouping and
+        /// the explicit pass) with these options.
+        simulation: Option<SimulationOptions>,
+    },
+    /// The CNF baseline on the Tseitin encoding of the circuit.
+    CnfTseitin { options: csat_cnf::SolverOptions },
+    /// The CNF baseline on the raw source formula (skipped for instances
+    /// that were not born as CNF).
+    CnfDirect { options: csat_cnf::SolverOptions },
+}
+
+/// One named solver configuration of the matrix.
+#[derive(Clone, Debug)]
+pub struct Oracle {
+    /// Stable name (JSONL rows, disagreement reports).
+    pub name: &'static str,
+    spec: Spec,
+}
+
+/// Fixed simulation seed: correlation discovery must not depend on the
+/// instance seed, or implicit-learning runs would not be reproducible from
+/// the JSONL row alone.
+fn sim_options(words: usize) -> SimulationOptions {
+    SimulationOptions {
+        words,
+        threads: 1,
+        ..SimulationOptions::default()
+    }
+}
+
+/// Builds the oracle list of a matrix.
+pub fn oracles(matrix: Matrix) -> Vec<Oracle> {
+    let mut list = vec![
+        Oracle {
+            name: "jnode",
+            spec: Spec::Circuit {
+                options: csat_core::SolverOptions::default(),
+                explicit_pass: false,
+                simulation: None,
+            },
+        },
+        Oracle {
+            name: "paper-full",
+            spec: Spec::Circuit {
+                options: csat_core::SolverOptions::paper(),
+                explicit_pass: true,
+                simulation: Some(sim_options(4)),
+            },
+        },
+        Oracle {
+            name: "cnf-tseitin",
+            spec: Spec::CnfTseitin {
+                options: csat_cnf::SolverOptions::default(),
+            },
+        },
+    ];
+    if matrix == Matrix::Full {
+        list.extend([
+            Oracle {
+                name: "plain-vsids",
+                spec: Spec::Circuit {
+                    options: csat_core::SolverOptions::plain_csat(),
+                    explicit_pass: false,
+                    simulation: None,
+                },
+            },
+            Oracle {
+                name: "implicit-only",
+                spec: Spec::Circuit {
+                    options: csat_core::SolverOptions::with_implicit_learning(),
+                    explicit_pass: false,
+                    simulation: Some(sim_options(4)),
+                },
+            },
+            Oracle {
+                name: "explicit-only",
+                spec: Spec::Circuit {
+                    options: csat_core::SolverOptions::default(),
+                    explicit_pass: true,
+                    simulation: Some(sim_options(4)),
+                },
+            },
+            Oracle {
+                name: "fast-restarts",
+                spec: Spec::Circuit {
+                    options: csat_core::SolverOptions::builder()
+                        .restart_window(512)
+                        .restart_threshold(2.0)
+                        .build(),
+                    explicit_pass: false,
+                    simulation: None,
+                },
+            },
+            Oracle {
+                name: "implicit-sim1",
+                spec: Spec::Circuit {
+                    options: csat_core::SolverOptions::paper(),
+                    explicit_pass: false,
+                    simulation: Some(sim_options(1)),
+                },
+            },
+            Oracle {
+                name: "cnf-fast-restarts",
+                spec: Spec::CnfTseitin {
+                    options: csat_cnf::SolverOptions::builder()
+                        .restart_first(32)
+                        .restart_factor(1.3)
+                        .build(),
+                },
+            },
+            Oracle {
+                name: "cnf-direct",
+                spec: Spec::CnfDirect {
+                    options: csat_cnf::SolverOptions::default(),
+                },
+            },
+        ]);
+    }
+    list
+}
+
+/// One oracle's answer on one instance, with the ground-truth checks.
+#[derive(Clone, Debug)]
+pub struct OracleOutcome {
+    /// The oracle's name.
+    pub name: &'static str,
+    /// Its verdict.
+    pub verdict: Verdict,
+    /// For SAT answers: did the model survive direct evaluation?
+    pub model_ok: Option<bool>,
+    /// For UNSAT answers: did the logged proof verify?
+    pub proof_ok: Option<bool>,
+}
+
+impl OracleOutcome {
+    /// `name=VERDICT` (the JSONL `verdicts` array element).
+    pub fn label(&self) -> String {
+        let v = match self.verdict {
+            Verdict::Sat(_) => "SAT",
+            Verdict::Unsat => "UNSAT",
+            Verdict::Unknown => "UNKNOWN",
+        };
+        format!("{}={v}", self.name)
+    }
+}
+
+/// The cross-checked result of running a matrix on one instance.
+#[derive(Clone, Debug)]
+pub struct InstanceReport {
+    /// Per-oracle answers, in matrix order (oracles inapplicable to the
+    /// instance — `cnf-direct` on circuit-born instances — are omitted).
+    pub outcomes: Vec<OracleOutcome>,
+    /// Human-readable description of the first detected disagreement, if
+    /// any: a SAT/UNSAT split, a model failing direct evaluation, or an
+    /// UNSAT proof failing verification.
+    pub disagreement: Option<String>,
+}
+
+/// Runs one oracle. `obs` absorbs solver events (pass a
+/// [`MetricsRecorder`] to aggregate, [`NoOpObserver`] to discard).
+fn run_oracle(
+    oracle: &Oracle,
+    instance: &Instance,
+    budget: &Budget,
+    obs: &mut dyn Observer,
+) -> Option<OracleOutcome> {
+    match &oracle.spec {
+        Spec::Circuit {
+            options,
+            explicit_pass,
+            simulation,
+        } => {
+            let mut solver = csat_core::Solver::new(&instance.aig, *options);
+            solver.start_proof();
+            if let Some(sim) = simulation {
+                let correlations = find_correlations(&instance.aig, sim);
+                if options.implicit_learning {
+                    solver.set_correlations(&correlations);
+                }
+                if *explicit_pass {
+                    explicit::run_observed(
+                        &mut solver,
+                        &correlations,
+                        &ExplicitOptions::default(),
+                        &mut *obs,
+                    );
+                }
+            }
+            let verdict = solver.solve_observed(instance.objective, budget, &mut *obs);
+            let (model_ok, proof_ok) = match &verdict {
+                Verdict::Sat(model) => (
+                    Some(csat_core::check_model(
+                        &instance.aig,
+                        model,
+                        instance.objective,
+                    )),
+                    None,
+                ),
+                Verdict::Unsat => {
+                    let proof = solver.take_proof();
+                    let ok =
+                        csat_core::proof::verify_unsat(&instance.aig, &proof, instance.objective)
+                            .is_ok();
+                    (None, Some(ok))
+                }
+                Verdict::Unknown => (None, None),
+            };
+            Some(OracleOutcome {
+                name: oracle.name,
+                verdict,
+                model_ok,
+                proof_ok,
+            })
+        }
+        Spec::CnfTseitin { options } => {
+            let enc = tseitin::encode_with_objective(&instance.aig, instance.objective);
+            let mut solver = csat_cnf::Solver::new(&enc.cnf, *options);
+            solver.start_proof();
+            let verdict = solver.solve_observed(budget, &mut *obs);
+            let (model_ok, proof_ok) = match &verdict {
+                Verdict::Sat(model) => {
+                    // Map the CNF model back to circuit inputs and check on
+                    // the circuit itself — this also cross-checks the
+                    // Tseitin encoding's input mapping.
+                    let inputs = enc.input_values(&instance.aig, model);
+                    (
+                        Some(csat_core::check_model(
+                            &instance.aig,
+                            &inputs,
+                            instance.objective,
+                        )),
+                        None,
+                    )
+                }
+                Verdict::Unsat => {
+                    let proof = solver.take_proof();
+                    let ok = csat_cnf::proof::verify_unsat(&enc.cnf, &proof).is_ok();
+                    (None, Some(ok))
+                }
+                Verdict::Unknown => (None, None),
+            };
+            Some(OracleOutcome {
+                name: oracle.name,
+                verdict,
+                model_ok,
+                proof_ok,
+            })
+        }
+        Spec::CnfDirect { options } => {
+            let cnf = instance.cnf.as_ref()?;
+            let mut solver = csat_cnf::Solver::new(cnf, *options);
+            solver.start_proof();
+            let verdict = solver.solve_observed(budget, &mut *obs);
+            let (model_ok, proof_ok) = match &verdict {
+                Verdict::Sat(model) => (Some(csat_cnf::check_model(cnf, model)), None),
+                Verdict::Unsat => {
+                    let proof = solver.take_proof();
+                    (
+                        None,
+                        Some(csat_cnf::proof::verify_unsat(cnf, &proof).is_ok()),
+                    )
+                }
+                Verdict::Unknown => (None, None),
+            };
+            Some(OracleOutcome {
+                name: oracle.name,
+                verdict,
+                model_ok,
+                proof_ok,
+            })
+        }
+    }
+}
+
+/// Runs every applicable oracle of the matrix on `instance` and
+/// cross-checks the answers.
+///
+/// `recorder` (when given) aggregates the solver events of *all* oracle
+/// runs on this instance — the per-row metrics the runner embeds in JSONL.
+pub fn check_instance(
+    instance: &Instance,
+    matrix: &[Oracle],
+    budget: &Budget,
+    recorder: Option<&mut MetricsRecorder>,
+) -> InstanceReport {
+    let mut noop = NoOpObserver;
+    let obs: &mut dyn Observer = match recorder {
+        Some(r) => r,
+        None => &mut noop,
+    };
+    let mut outcomes = Vec::with_capacity(matrix.len());
+    for oracle in matrix {
+        if let Some(outcome) = run_oracle(oracle, instance, budget, &mut *obs) {
+            outcomes.push(outcome);
+        }
+    }
+    let disagreement = find_disagreement(&outcomes);
+    InstanceReport {
+        outcomes,
+        disagreement,
+    }
+}
+
+/// The cross-check proper: first failed model, failed proof, or SAT/UNSAT
+/// split, described for humans.
+fn find_disagreement(outcomes: &[OracleOutcome]) -> Option<String> {
+    for o in outcomes {
+        if o.model_ok == Some(false) {
+            return Some(format!(
+                "oracle '{}' returned a SAT model that fails direct evaluation",
+                o.name
+            ));
+        }
+        if o.proof_ok == Some(false) {
+            return Some(format!(
+                "oracle '{}' returned UNSAT with a proof that fails verification",
+                o.name
+            ));
+        }
+    }
+    let sat: Vec<&str> = outcomes
+        .iter()
+        .filter(|o| o.verdict.is_sat())
+        .map(|o| o.name)
+        .collect();
+    let unsat: Vec<&str> = outcomes
+        .iter()
+        .filter(|o| o.verdict.is_unsat())
+        .map(|o| o.name)
+        .collect();
+    if !sat.is_empty() && !unsat.is_empty() {
+        return Some(format!(
+            "verdict split: SAT from [{}] vs UNSAT from [{}]",
+            sat.join(", "),
+            unsat.join(", ")
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::generate;
+
+    #[test]
+    fn quick_matrix_agrees_on_a_seed_sweep() {
+        let matrix = oracles(Matrix::Quick);
+        let budget = Budget::conflicts(50_000);
+        for seed in 0..6 {
+            let instance = generate(seed);
+            let report = check_instance(&instance, &matrix, &budget, None);
+            assert!(
+                report.disagreement.is_none(),
+                "seed {seed}: {:?}",
+                report.disagreement
+            );
+            assert_eq!(report.outcomes.len(), 3);
+        }
+    }
+
+    #[test]
+    fn full_matrix_includes_cnf_direct_only_for_cnf_instances() {
+        let matrix = oracles(Matrix::Full);
+        let budget = Budget::conflicts(50_000);
+        let circuit_born = generate(0);
+        let cnf_born = generate(5);
+        let a = check_instance(&circuit_born, &matrix, &budget, None);
+        let b = check_instance(&cnf_born, &matrix, &budget, None);
+        assert_eq!(a.outcomes.len(), matrix.len() - 1);
+        assert_eq!(b.outcomes.len(), matrix.len());
+        assert!(a.disagreement.is_none(), "{:?}", a.disagreement);
+        assert!(b.disagreement.is_none(), "{:?}", b.disagreement);
+    }
+
+    #[test]
+    fn verdict_split_is_detected() {
+        let outcomes = vec![
+            OracleOutcome {
+                name: "a",
+                verdict: Verdict::Sat(vec![]),
+                model_ok: Some(true),
+                proof_ok: None,
+            },
+            OracleOutcome {
+                name: "b",
+                verdict: Verdict::Unsat,
+                model_ok: None,
+                proof_ok: Some(true),
+            },
+        ];
+        let d = find_disagreement(&outcomes).expect("split detected");
+        assert!(d.contains("verdict split"));
+    }
+
+    #[test]
+    fn unknowns_abstain() {
+        let outcomes = vec![
+            OracleOutcome {
+                name: "a",
+                verdict: Verdict::Unknown,
+                model_ok: None,
+                proof_ok: None,
+            },
+            OracleOutcome {
+                name: "b",
+                verdict: Verdict::Unsat,
+                model_ok: None,
+                proof_ok: Some(true),
+            },
+        ];
+        assert!(find_disagreement(&outcomes).is_none());
+    }
+}

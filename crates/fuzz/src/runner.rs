@@ -1,0 +1,258 @@
+//! The fuzzing driver behind the `csat-fuzz` binary.
+//!
+//! [`run`] sweeps instance seeds derived from the base seed, runs the
+//! oracle matrix on each, and emits one JSONL row per instance in the same
+//! shape as the bench binaries (`type`, config fields, outcome fields, a
+//! `seconds` timing field and an embedded telemetry `metrics` object).
+//! `seconds` is the *only* non-deterministic field: two runs with equal
+//! options produce byte-identical rows otherwise (see the crate docs'
+//! seed-reproducibility contract).
+//!
+//! On a disagreement the instance is shrunk (the predicate being "the
+//! matrix still disagrees") and written to the corpus directory as a
+//! standalone repro before the sweep continues.
+
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use csat_telemetry::json::JsonObject;
+use csat_telemetry::MetricsRecorder;
+use csat_types::Budget;
+
+use crate::corpus::{write_repro, Repro};
+use crate::instances::{generate, Instance};
+use crate::oracle::{check_instance, oracles, Matrix};
+use crate::shrink::shrink;
+
+/// Configuration of one fuzzing run.
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Base seed; instance seeds are derived from it (splitmix mixing), so
+    /// different base seeds explore disjoint instance streams.
+    pub seed: u64,
+    /// Number of instances to generate and cross-check.
+    pub iters: u64,
+    /// Optional wall-clock cap; the sweep stops early (reported in the
+    /// summary) when exceeded. Off by default — a capped run is not
+    /// bit-reproducible in its *length*, though every emitted row still is.
+    pub time_budget: Option<Duration>,
+    /// Which oracle matrix to run.
+    pub matrix: Matrix,
+    /// Emit one JSONL row per instance (plus the final summary row) to the
+    /// writer passed to [`run`]. When false only the summary row is written.
+    pub json: bool,
+    /// Where disagreement repros are written.
+    pub corpus_dir: PathBuf,
+    /// Per-oracle-call conflict budget. Deterministic (never wall-clock);
+    /// budget-limited oracles answer `Unknown` and abstain from the
+    /// cross-check.
+    pub conflict_budget: u64,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> FuzzOptions {
+        FuzzOptions {
+            seed: 0,
+            iters: 100,
+            time_budget: None,
+            matrix: Matrix::Quick,
+            json: false,
+            corpus_dir: PathBuf::from("fuzz/corpus"),
+            conflict_budget: 100_000,
+        }
+    }
+}
+
+/// End-of-run totals.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzSummary {
+    /// Instances actually run (< `iters` only under a time budget).
+    pub iters_run: u64,
+    /// Instances on which the matrix disagreed.
+    pub disagreements: u64,
+    /// Instances with a SAT consensus.
+    pub sat: u64,
+    /// Instances with an UNSAT consensus.
+    pub unsat: u64,
+    /// Instances where every oracle ran out of budget.
+    pub unknown_only: u64,
+    /// Repro files written (one per disagreement).
+    pub repros: Vec<Repro>,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Splitmix64-style seed mixing: decorrelates the per-instance seeds of
+/// nearby base seeds while staying a pure function of `(base, i)`.
+fn mix(base: u64, i: u64) -> u64 {
+    let mut z = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the sweep; JSONL goes to `out` per [`FuzzOptions::json`].
+///
+/// IO errors from `out` or the corpus directory abort the run.
+pub fn run(options: &FuzzOptions, out: &mut dyn Write) -> io::Result<FuzzSummary> {
+    let matrix = oracles(options.matrix);
+    let budget = Budget::conflicts(options.conflict_budget);
+    let started = Instant::now();
+    let mut summary = FuzzSummary::default();
+    for i in 0..options.iters {
+        if let Some(cap) = options.time_budget {
+            if started.elapsed() >= cap {
+                break;
+            }
+        }
+        let instance_seed = mix(options.seed, i);
+        let instance = generate(instance_seed);
+        let mut recorder = MetricsRecorder::default();
+        let instance_started = Instant::now();
+        let report = check_instance(&instance, &matrix, &budget, Some(&mut recorder));
+        let seconds = instance_started.elapsed().as_secs_f64();
+        summary.iters_run += 1;
+
+        let any_sat = report.outcomes.iter().any(|o| o.verdict.is_sat());
+        let any_unsat = report.outcomes.iter().any(|o| o.verdict.is_unsat());
+        match (any_sat, any_unsat) {
+            (true, false) => summary.sat += 1,
+            (false, true) => summary.unsat += 1,
+            (false, false) => summary.unknown_only += 1,
+            (true, true) => {} // the disagreement path below counts it
+        }
+
+        if options.json {
+            let labels: Vec<String> = report.outcomes.iter().map(|o| o.label()).collect();
+            let mut row = JsonObject::new();
+            row.field_str("type", "fuzz")
+                .field_u64("iter", i)
+                .field_u64("seed", instance_seed)
+                .field_str("kind", instance.kind.name())
+                .field_str("matrix", options.matrix.name())
+                .field_u64("inputs", instance.aig.inputs().len() as u64)
+                .field_u64("gates", instance.aig.and_count() as u64)
+                .field_str_array("verdicts", &labels)
+                .field_bool("disagreement", report.disagreement.is_some())
+                .field_f64("seconds", seconds)
+                .field_raw("metrics", &recorder.to_json());
+            writeln!(out, "{}", row.finish())?;
+        }
+
+        if let Some(description) = report.disagreement {
+            summary.disagreements += 1;
+            let (small, small_obj) = shrink(&instance.aig, instance.objective, &mut |g, o| {
+                let candidate = Instance {
+                    seed: instance.seed,
+                    kind: instance.kind,
+                    aig: g.clone(),
+                    objective: o,
+                    cnf: None,
+                };
+                check_instance(&candidate, &matrix, &budget, None)
+                    .disagreement
+                    .is_some()
+            });
+            let repro = write_repro(
+                &options.corpus_dir,
+                &instance,
+                (&small, small_obj),
+                options.matrix.name(),
+                &description,
+            )?;
+            summary.repros.push(repro);
+        }
+    }
+    summary.elapsed = started.elapsed();
+
+    let mut row = JsonObject::new();
+    row.field_str("type", "fuzz_summary")
+        .field_u64("seed", options.seed)
+        .field_u64("iters", summary.iters_run)
+        .field_str("matrix", options.matrix.name())
+        .field_u64("sat", summary.sat)
+        .field_u64("unsat", summary.unsat)
+        .field_u64("unknown_only", summary.unknown_only)
+        .field_u64("disagreements", summary.disagreements)
+        .field_f64("seconds", summary.elapsed.as_secs_f64());
+    writeln!(out, "{}", row.finish())?;
+    Ok(summary)
+}
+
+/// Strips the timing fields (`"seconds"`) from a JSONL document, for
+/// byte-comparing two runs under the seed-reproducibility contract.
+pub fn strip_timing(jsonl: &str) -> String {
+    // `seconds` is always a top-level `"seconds": <number>` field written
+    // by our own JsonObject, so a lexical strip is exact here.
+    let mut out = String::with_capacity(jsonl.len());
+    for line in jsonl.lines() {
+        let mut cleaned = String::with_capacity(line.len());
+        let mut rest = line;
+        while let Some(pos) = rest.find("\"seconds\": ") {
+            cleaned.push_str(&rest[..pos]);
+            let after = &rest[pos + "\"seconds\": ".len()..];
+            let end = after
+                .find([',', '}'])
+                .expect("a JSON number field ends with ',' or '}'");
+            let mut tail = &after[end..];
+            if tail.starts_with(',') {
+                // Also swallow the separator of the removed field.
+                tail = tail.strip_prefix(", ").unwrap_or(&tail[1..]);
+            }
+            rest = tail;
+        }
+        cleaned.push_str(rest);
+        out.push_str(&cleaned);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_corpus(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("csat-fuzz-runner-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn short_run_is_clean_and_reproducible() {
+        let options = FuzzOptions {
+            seed: 7,
+            iters: 12,
+            json: true,
+            corpus_dir: temp_corpus("repro"),
+            ..FuzzOptions::default()
+        };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let sa = run(&options, &mut a).expect("run a");
+        let sb = run(&options, &mut b).expect("run b");
+        assert_eq!(sa.disagreements, 0, "matrix must agree");
+        assert_eq!(sa.iters_run, 12);
+        assert_eq!(sb.iters_run, 12);
+        let a = strip_timing(std::str::from_utf8(&a).unwrap());
+        let b = strip_timing(std::str::from_utf8(&b).unwrap());
+        assert_eq!(a, b, "rows must be identical modulo timing");
+        assert!(a.lines().count() == 13); // 12 rows + summary
+        assert!(a.contains("\"type\": \"fuzz_summary\""));
+        assert!(!a.contains("seconds"));
+    }
+
+    #[test]
+    fn strip_timing_removes_only_the_timing_field() {
+        let line = "{\"type\": \"fuzz\", \"seconds\": 0.125, \"gates\": 3}\n";
+        assert_eq!(strip_timing(line), "{\"type\": \"fuzz\", \"gates\": 3}\n");
+        let tail = "{\"a\": 1, \"seconds\": 2}\n";
+        assert_eq!(strip_timing(tail), "{\"a\": 1, }\n");
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix(0, 0), mix(0, 0));
+        assert_ne!(mix(0, 0), mix(0, 1));
+        assert_ne!(mix(0, 0), mix(1, 0));
+    }
+}

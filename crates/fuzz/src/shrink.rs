@@ -1,0 +1,163 @@
+//! Greedy instance minimization.
+//!
+//! When oracles disagree, the raw instance is rarely the best bug report.
+//! [`shrink`] minimizes it with the classic delta-debugging move set for
+//! AIGs: replace one AND gate at a time with constant false, constant true,
+//! or either of its fanins, keep any replacement under which the failure
+//! predicate still holds, prune the dangling logic by re-extracting the
+//! objective's fanin cone, and repeat to a fixpoint.
+//!
+//! The predicate is arbitrary (`FnMut(&Aig, Lit) -> bool`), so the same
+//! shrinker serves real oracle disagreements and the self-tests' planted
+//! ones.
+
+use csat_netlist::{cone, Aig, Lit, Node};
+
+/// Minimizes `(aig, objective)` while `still_fails` keeps returning true.
+///
+/// Returns the smallest failing circuit found and the objective literal in
+/// its coordinates. The inputs of the result are the subset of original
+/// inputs still in the objective's cone; the caller is expected to have
+/// checked `still_fails(aig, objective)` once (a non-failing start is
+/// returned unchanged, minus the logic outside the objective's cone).
+pub fn shrink(
+    aig: &Aig,
+    objective: Lit,
+    still_fails: &mut dyn FnMut(&Aig, Lit) -> bool,
+) -> (Aig, Lit) {
+    let (mut cur, mut obj) = prune(aig, objective);
+    if !still_fails(&cur, obj) {
+        // Pruning is function-preserving, so this means the predicate was
+        // not failing (or is flaky); don't make things worse.
+        return (cur, obj);
+    }
+    let mut progress = true;
+    while progress {
+        progress = false;
+        // Walk gates top-down (highest index first): killing a gate near
+        // the objective discards whole subtrees at once.
+        let mut i = cur.len();
+        'pass: while i > 0 {
+            i -= 1;
+            let Node::And(a, b) = cur.nodes()[i] else {
+                continue;
+            };
+            for repl in [Lit::FALSE, !Lit::FALSE, a, b] {
+                let (cand, cand_obj) = replace_gate(&cur, i, repl, obj);
+                let (cand, cand_obj) = prune(&cand, cand_obj);
+                if cand.and_count() < cur.and_count() && still_fails(&cand, cand_obj) {
+                    cur = cand;
+                    obj = cand_obj;
+                    progress = true;
+                    // Node indices shifted; restart the pass on the new
+                    // circuit.
+                    break 'pass;
+                }
+            }
+        }
+    }
+    (cur, obj)
+}
+
+/// Keeps only the objective's fanin cone (drops dangling gates and unused
+/// inputs). Function-preserving by construction.
+fn prune(aig: &Aig, objective: Lit) -> (Aig, Lit) {
+    let c = cone::extract(aig, &[objective]);
+    (c.aig, c.roots[0])
+}
+
+/// Rebuilds `aig` with gate `target` replaced by `repl` (a literal in the
+/// *old* circuit's coordinates, restricted to nodes below `target`).
+/// Returns the rebuilt circuit and the mapped objective.
+fn replace_gate(aig: &Aig, target: usize, repl: Lit, objective: Lit) -> (Aig, Lit) {
+    let mut out = Aig::new();
+    let mut map = vec![Lit::FALSE; aig.len()];
+    for (i, node) in aig.nodes().iter().enumerate() {
+        map[i] = match *node {
+            Node::False => Lit::FALSE,
+            Node::Input => out.input(),
+            Node::And(a, b) => {
+                if i == target {
+                    map[repl.node().index()].xor_complement(repl.is_complemented())
+                } else {
+                    let la = map[a.node().index()].xor_complement(a.is_complemented());
+                    let lb = map[b.node().index()].xor_complement(b.is_complemented());
+                    out.and(la, lb)
+                }
+            }
+        };
+    }
+    let obj = map[objective.node().index()].xor_complement(objective.is_complemented());
+    (out, obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csat_core::{Solver, SolverOptions};
+    use csat_netlist::generators;
+
+    /// Is the objective satisfiable? (Ground truth for planted tests.)
+    fn is_sat(aig: &Aig, objective: Lit) -> bool {
+        Solver::new(aig, SolverOptions::default())
+            .solve(objective)
+            .is_sat()
+    }
+
+    #[test]
+    fn planted_disagreement_shrinks_below_ten_gates() {
+        // A deliberately broken oracle claims every instance is UNSAT; the
+        // real solver disagrees exactly on satisfiable instances, so the
+        // "failure" predicate is satisfiability itself. Greedy shrinking
+        // must collapse a ~100-gate satisfiable circuit to almost nothing.
+        let aig = generators::random_logic(123, 8, 100, 3);
+        let objective = aig.outputs()[0].1;
+        assert!(is_sat(&aig, objective), "planted instance must be SAT");
+        let (small, small_obj) = shrink(&aig, objective, &mut |g, o| is_sat(g, o));
+        assert!(
+            small.and_count() <= 10,
+            "shrunk to {} gates",
+            small.and_count()
+        );
+        assert!(is_sat(&small, small_obj), "shrunk instance still fails");
+    }
+
+    #[test]
+    fn shrinking_preserves_the_predicate_at_every_size() {
+        // Predicate: the objective is *unsatisfiable*. Start from a planted
+        // constant-false objective wrapped in real logic.
+        let mut aig = generators::random_logic(7, 6, 40, 2);
+        let o0 = aig.outputs()[0].1;
+        let s = aig.outputs()[1].1;
+        let planted = aig.and_fresh(s, !s);
+        let objective = aig.and_fresh(o0, planted);
+        let mut checks = 0u32;
+        let (small, small_obj) = shrink(&aig, objective, &mut |g, o| {
+            checks += 1;
+            !is_sat(g, o)
+        });
+        assert!(checks > 0);
+        assert!(!is_sat(&small, small_obj));
+        assert!(small.and_count() <= 10, "got {}", small.and_count());
+    }
+
+    #[test]
+    fn non_failing_instance_is_returned_pruned_not_mangled() {
+        let aig = generators::random_logic(9, 6, 50, 2);
+        let objective = aig.outputs()[0].1;
+        let (out, out_obj) = shrink(&aig, objective, &mut |_, _| false);
+        // Function must be intact (pruning only).
+        let n = out.inputs().len();
+        assert!(n <= aig.inputs().len());
+        assert!(out.and_count() <= aig.and_count());
+        // Spot-check equivalence on the shared support via exhaustive
+        // enumeration of the pruned inputs extended with zeros.
+        let full_cone = cone::extract(&aig, &[objective]);
+        for code in 0..1u64 << n.min(10) {
+            let bits: Vec<bool> = (0..n).map(|i| code >> i & 1 != 0).collect();
+            let a = full_cone.aig.evaluate_outputs(&bits)[0];
+            let values = out.evaluate(&bits);
+            assert_eq!(a, out.lit_value(&values, out_obj), "code {code}");
+        }
+    }
+}

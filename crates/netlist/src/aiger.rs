@@ -47,7 +47,11 @@ impl ParseAigerError {
 
 impl fmt::Display for ParseAigerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "aiger parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "aiger parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -97,7 +101,10 @@ pub fn parse(source: &str) -> Result<Aig, ParseAigerError> {
             ));
         }
         if lit / 2 > m {
-            return Err(ParseAigerError::new(line, format!("literal {lit} exceeds M")));
+            return Err(ParseAigerError::new(
+                line,
+                format!("literal {lit} exceeds M"),
+            ));
         }
         Ok(lit / 2)
     };
@@ -111,7 +118,10 @@ pub fn parse(source: &str) -> Result<Aig, ParseAigerError> {
         let var = expect_var(ln + 1, text)?;
         let lit = aig.input();
         if map[var as usize].replace(lit).is_some() {
-            return Err(ParseAigerError::new(ln + 1, format!("variable {var} redefined")));
+            return Err(ParseAigerError::new(
+                ln + 1,
+                format!("variable {var} redefined"),
+            ));
         }
         input_vars.push(var);
     }
@@ -133,7 +143,10 @@ pub fn parse(source: &str) -> Result<Aig, ParseAigerError> {
             .ok_or_else(|| ParseAigerError::new(ln + 1, "latch needs a next-state literal"))?;
         let lit = aig.input();
         if map[var as usize].replace(lit).is_some() {
-            return Err(ParseAigerError::new(ln + 1, format!("variable {var} redefined")));
+            return Err(ParseAigerError::new(
+                ln + 1,
+                format!("variable {var} redefined"),
+            ));
         }
         latch_next.push((k, next, ln + 1));
     }
@@ -168,13 +181,19 @@ pub fn parse(source: &str) -> Result<Aig, ParseAigerError> {
         }
         let var = lhs / 2;
         if var > m {
-            return Err(ParseAigerError::new(ln + 1, format!("literal {lhs} exceeds M")));
+            return Err(ParseAigerError::new(
+                ln + 1,
+                format!("literal {lhs} exceeds M"),
+            ));
         }
         let f0 = resolve(&map, rhs0, ln + 1)?;
         let f1 = resolve(&map, rhs1, ln + 1)?;
         let lit = aig.and_fresh(f0, f1);
         if map[var as usize].replace(lit).is_some() {
-            return Err(ParseAigerError::new(ln + 1, format!("variable {var} redefined")));
+            return Err(ParseAigerError::new(
+                ln + 1,
+                format!("variable {var} redefined"),
+            ));
         }
     }
     for (k, lit, ln) in outputs {

@@ -234,7 +234,10 @@ impl Cnf {
                 }
                 let mut parts = rest.split_whitespace();
                 if parts.next() != Some("cnf") {
-                    return Err(ParseDimacsError::new(lineno, "expected 'p cnf <vars> <clauses>'"));
+                    return Err(ParseDimacsError::new(
+                        lineno,
+                        "expected 'p cnf <vars> <clauses>'",
+                    ));
                 }
                 let vars: u32 = parts
                     .next()

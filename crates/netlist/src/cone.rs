@@ -119,7 +119,11 @@ mod tests {
             }
             let original = alu.evaluate(&full);
             let expected = alu.lit_value(&original, r0);
-            assert_eq!(c.aig.evaluate_outputs(&cone_bits)[0], expected, "code {code}");
+            assert_eq!(
+                c.aig.evaluate_outputs(&cone_bits)[0],
+                expected,
+                "code {code}"
+            );
         }
     }
 

@@ -23,7 +23,11 @@ impl ParseBenchError {
 
 impl fmt::Display for ParseBenchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bench parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "bench parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -49,7 +53,11 @@ impl ParseDimacsError {
 
 impl fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -168,8 +168,7 @@ mod tests {
         let g = barrel_shifter(n);
         let stages = 3;
         for code in 0..1u64 << (n + stages) {
-            let assignment: Vec<bool> =
-                (0..n + stages).map(|i| code >> i & 1 != 0).collect();
+            let assignment: Vec<bool> = (0..n + stages).map(|i| code >> i & 1 != 0).collect();
             let x: u64 = (0..n).map(|i| (assignment[i] as u64) << i).sum();
             let sh: u64 = (0..stages).map(|i| (assignment[n + i] as u64) << i).sum();
             let expect = if sh >= n as u64 { 0 } else { (x << sh) & 0xFF };
@@ -186,8 +185,7 @@ mod tests {
         let stages = 3; // ceil(log2(5))
         assert_eq!(g.inputs().len(), n + stages);
         for code in 0..1u64 << (n + stages) {
-            let assignment: Vec<bool> =
-                (0..n + stages).map(|i| code >> i & 1 != 0).collect();
+            let assignment: Vec<bool> = (0..n + stages).map(|i| code >> i & 1 != 0).collect();
             let x: u64 = (0..n).map(|i| (assignment[i] as u64) << i).sum();
             let sh: u64 = (0..stages).map(|i| (assignment[n + i] as u64) << i).sum();
             let expect = if sh >= n as u64 { 0 } else { (x << sh) & 0x1F };

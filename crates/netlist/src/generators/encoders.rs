@@ -22,7 +22,10 @@ pub fn priority_encoder(n: usize) -> Aig {
         none_above = g.and(none_above, !x[i]);
     }
     for b in 0..bits {
-        let terms: Vec<Lit> = (0..n).filter(|i| i >> b & 1 == 1).map(|i| highest[i]).collect();
+        let terms: Vec<Lit> = (0..n)
+            .filter(|i| i >> b & 1 == 1)
+            .map(|i| highest[i])
+            .collect();
         let bit = g.or_many(&terms);
         g.set_output(format!("idx{b}"), bit);
     }
@@ -107,7 +110,11 @@ pub fn binary_to_gray(n: usize) -> Aig {
     let mut g = Aig::new();
     let x = g.inputs_n(n);
     for i in 0..n {
-        let y = if i + 1 < n { g.xor(x[i], x[i + 1]) } else { x[i] };
+        let y = if i + 1 < n {
+            g.xor(x[i], x[i + 1])
+        } else {
+            x[i]
+        };
         g.set_output(format!("g{i}"), y);
     }
     g

@@ -94,11 +94,7 @@ pub fn vliw_like(seed: u64, options: &VliwOptions) -> (Aig, Lit) {
     // CNF side constraints over internal signals, each satisfied by the
     // witness, materialized as 2-level OR gates — exactly the way the
     // paper's solver ingests CNF-formatted problem parts.
-    let interesting: Vec<Lit> = pool
-        .iter()
-        .copied()
-        .filter(|l| !l.is_constant())
-        .collect();
+    let interesting: Vec<Lit> = pool.iter().copied().filter(|l| !l.is_constant()).collect();
     let mut clause_outs = Vec::with_capacity(options.clauses);
     for _ in 0..options.clauses {
         let mut lits = Vec::with_capacity(options.clause_width);

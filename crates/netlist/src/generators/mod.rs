@@ -32,15 +32,12 @@ mod logic;
 mod mixed;
 mod random;
 
-pub use arith::{
-    multiply_accumulate, rect_multiplier, squarer,
-    array_multiplier, carry_lookahead_adder, carry_save_multiplier, carry_select_adder,
-    ripple_carry_adder,
-};
 pub use adders2::{barrel_shifter, conditional_sum_adder, kogge_stone_adder};
-pub use encoders::{
-    binary_to_gray, crc_step, decoder, gray_to_binary, popcount, priority_encoder,
+pub use arith::{
+    array_multiplier, carry_lookahead_adder, carry_save_multiplier, carry_select_adder,
+    multiply_accumulate, rect_multiplier, ripple_carry_adder, squarer,
 };
+pub use encoders::{binary_to_gray, crc_step, decoder, gray_to_binary, popcount, priority_encoder};
 pub use logic::{alu, comparator, parity_tree};
 pub use mixed::{vliw_like, VliwOptions};
-pub use random::{random_logic, scan_style};
+pub use random::{levelized, random_logic, scan_style, LevelizedOptions};

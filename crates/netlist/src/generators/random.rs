@@ -76,6 +76,113 @@ pub fn scan_style(seed: u64, width: usize, depth: usize) -> Aig {
     g
 }
 
+/// Shape of a [`levelized`] random AIG.
+///
+/// The generator builds `levels` layers of `width` gates each. Every gate
+/// draws its fanins from the immediately preceding layers with a geometric
+/// bias (`locality` controls how strongly recent layers are preferred), so
+/// the result is deep, fanout-shaped and reconvergent — the structural mix
+/// differential fuzzing wants, as opposed to the purely pool-based
+/// [`random_logic`].
+#[derive(Clone, Copy, Debug)]
+pub struct LevelizedOptions {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Gate layers.
+    pub levels: usize,
+    /// Gates per layer.
+    pub width: usize,
+    /// Probability that a fanin comes from the immediately previous layer
+    /// (otherwise a geometrically earlier one). Clamped to `(0, 1]`.
+    pub locality: f64,
+    /// Plant a functionally redundant copy of one randomly chosen gate per
+    /// layer (built from the same fanins through different gate algebra),
+    /// seeding the equivalence classes correlation discovery feeds on.
+    pub plant_equivalences: bool,
+}
+
+impl Default for LevelizedOptions {
+    fn default() -> LevelizedOptions {
+        LevelizedOptions {
+            inputs: 8,
+            levels: 6,
+            width: 10,
+            locality: 0.7,
+            plant_equivalences: true,
+        }
+    }
+}
+
+/// Levelized, fanout-shaped random AIG (see [`LevelizedOptions`]).
+///
+/// Outputs are drawn from the last layer (`o<k>`, non-constant when
+/// possible). Equal seeds give equal circuits.
+///
+/// # Panics
+///
+/// Panics if `inputs`, `levels` or `width` is zero.
+pub fn levelized(seed: u64, options: &LevelizedOptions) -> Aig {
+    assert!(options.inputs > 0, "need at least one input");
+    assert!(options.levels > 0, "need at least one level");
+    assert!(options.width > 0, "need at least one gate per level");
+    let locality = options.locality.clamp(f64::MIN_POSITIVE, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Aig::new();
+    let mut layers: Vec<Vec<Lit>> = vec![g.inputs_n(options.inputs)];
+    for _ in 0..options.levels {
+        let mut layer = Vec::with_capacity(options.width + 1);
+        let pick = |rng: &mut StdRng, layers: &[Vec<Lit>]| -> Lit {
+            // Geometric walk backwards through the layers.
+            let mut d = layers.len() - 1;
+            while d > 0 && !rng.gen_bool(locality) {
+                d -= 1;
+            }
+            let source = &layers[d];
+            let lit = source[rng.gen_range(0..source.len())];
+            lit.xor_complement(rng.gen_bool(0.5))
+        };
+        for _ in 0..options.width {
+            let a = pick(&mut rng, &layers);
+            let b = pick(&mut rng, &layers);
+            let lit = match rng.gen_range(0..4u8) {
+                0 => g.and(a, b),
+                1 => g.or(a, b),
+                2 => g.xor(a, b),
+                _ => {
+                    let c = pick(&mut rng, &layers);
+                    g.mux(a, b, c)
+                }
+            };
+            layer.push(lit);
+        }
+        if options.plant_equivalences {
+            // A De-Morgan re-expression of one fresh AND pair: functionally
+            // identical to an existing gate, structurally distinct (bypasses
+            // hashing), so simulation should classify the two together.
+            let a = pick(&mut rng, &layers);
+            let b = pick(&mut rng, &layers);
+            let twin = g.and_fresh(a, b);
+            layer.push(!twin);
+            layer.push(g.and(a, b));
+        }
+        layers.push(layer);
+    }
+    let last = layers.last().expect("at least the input layer");
+    let mut made = 0usize;
+    for &lit in last {
+        if !lit.is_constant() {
+            g.set_output(format!("o{made}"), lit);
+            made += 1;
+        }
+    }
+    if made == 0 {
+        // Fully degenerate layer: fall back to the first input.
+        let fallback = g.inputs()[0].lit();
+        g.set_output("o0", fallback);
+    }
+    g
+}
+
 /// Creates one random gate over the pool, biased to the last `window`
 /// entries.
 fn random_gate(g: &mut Aig, rng: &mut StdRng, pool: &[Lit], window: usize) -> Lit {
@@ -143,6 +250,50 @@ mod tests {
         let a = scan_style(7, 16, 3);
         let b = scan_style(7, 16, 3);
         assert_eq!(a.nodes(), b.nodes());
+    }
+
+    #[test]
+    fn levelized_is_deterministic() {
+        let o = LevelizedOptions::default();
+        let a = levelized(11, &o);
+        let b = levelized(11, &o);
+        assert_eq!(a.nodes(), b.nodes());
+        let c = levelized(12, &o);
+        assert_ne!(a.nodes(), c.nodes());
+    }
+
+    #[test]
+    fn levelized_is_deep_and_has_outputs() {
+        let o = LevelizedOptions {
+            inputs: 8,
+            levels: 8,
+            width: 8,
+            ..Default::default()
+        };
+        let g = levelized(4, &o);
+        assert_eq!(g.inputs().len(), 8);
+        assert!(!g.outputs().is_empty());
+        assert!(topo::depth(&g) >= 8, "depth: {}", topo::depth(&g));
+    }
+
+    #[test]
+    fn levelized_plants_structural_twins() {
+        let o = LevelizedOptions {
+            plant_equivalences: true,
+            ..Default::default()
+        };
+        let g = levelized(5, &o);
+        // and_fresh duplicates must exist: at least one structurally
+        // identical (a, b) AND pair appears twice in the node table.
+        let mut pairs = std::collections::HashMap::new();
+        let mut duplicated = false;
+        for node in g.nodes() {
+            if let crate::Node::And(a, b) = node {
+                duplicated |= *pairs.entry((*a, *b)).or_insert(0u32) > 0;
+                *pairs.get_mut(&(*a, *b)).unwrap() += 1;
+            }
+        }
+        assert!(duplicated, "expected planted twin gates");
     }
 
     #[test]

@@ -168,7 +168,12 @@ fn rewrite_and(
     // three or more leaves, rebuild it with a rotated association.
     if options.rebalance {
         let mut leaves = Vec::new();
-        collect_and_leaves(src, Lit::new(crate::NodeId::from_index(node_index), false), 0, &mut leaves);
+        collect_and_leaves(
+            src,
+            Lit::new(crate::NodeId::from_index(node_index), false),
+            0,
+            &mut leaves,
+        );
         if leaves.len() >= 3 {
             let mut mapped: Vec<Lit> = leaves
                 .iter()

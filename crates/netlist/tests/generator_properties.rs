@@ -44,7 +44,11 @@ fn all_adder_architectures_agree() {
 #[test]
 fn all_multiplier_architectures_agree() {
     for n in 1..=4usize {
-        let mults = [array_multiplier(n), carry_save_multiplier(n), rect_multiplier(n, n)];
+        let mults = [
+            array_multiplier(n),
+            carry_save_multiplier(n),
+            rect_multiplier(n, n),
+        ];
         for code in 0..1u64 << (2 * n) {
             let bits: Vec<bool> = (0..2 * n).map(|i| code >> i & 1 != 0).collect();
             let reference = outputs_as_u64(&mults[0], &bits);

@@ -181,8 +181,8 @@ impl RefineTable {
         fresh: u32,
         engine: &SimEngine,
     ) -> (u32, bool) {
-        let mut slot = (fp ^ (class as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize
-            & self.mask;
+        let mut slot =
+            (fp ^ (class as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize & self.mask;
         loop {
             if self.epochs[slot] != self.epoch {
                 self.epochs[slot] = self.epoch;
@@ -301,8 +301,7 @@ where
                 continue;
             }
             let fp = fingerprint(engine.signature(NodeId::from_index(i)));
-            let (id, inserted) =
-                table.classify(*cls, fp, i as u32, next_class_id, &engine);
+            let (id, inserted) = table.classify(*cls, fp, i as u32, next_class_id, &engine);
             if inserted {
                 next_class_id += 1;
                 round_sizes.push(1);
@@ -357,7 +356,10 @@ where
             group_order.push(cls);
             Vec::new()
         });
-        members.get_mut(&cls).expect("just inserted").push(NodeId::from_index(i));
+        members
+            .get_mut(&cls)
+            .expect("just inserted")
+            .push(NodeId::from_index(i));
     }
 
     let constant_class = class[0];
@@ -390,7 +392,11 @@ where
                 correlations.push(Correlation {
                     a: *m,
                     b: NodeId::FALSE,
-                    relation: if phase { Relation::Opposite } else { Relation::Equal },
+                    relation: if phase {
+                        Relation::Opposite
+                    } else {
+                        Relation::Equal
+                    },
                 });
             }
         } else {

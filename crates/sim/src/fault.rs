@@ -94,7 +94,11 @@ pub fn simulate_faults(aig: &Aig, faults: &[Fault], patterns: &[Vec<bool>]) -> F
             .map(|&(_, l)| good[l.node().index()] ^ complement_mask(l.is_complemented()))
             .collect();
         let used = chunk.len();
-        let used_mask = if used == 64 { !0u64 } else { (1u64 << used) - 1 };
+        let used_mask = if used == 64 {
+            !0u64
+        } else {
+            (1u64 << used) - 1
+        };
         remaining.retain(|&fault| {
             let faulty = simulate_with_fault(aig, &input_words, fault);
             let diff = aig.outputs().iter().enumerate().any(|(k, &(_, l))| {
@@ -169,9 +173,7 @@ mod tests {
         let b = g.input();
         let y = g.and(a, b);
         g.set_output("y", y);
-        let patterns: Vec<Vec<bool>> = (0..4u32)
-            .map(|c| vec![c & 1 != 0, c & 2 != 0])
-            .collect();
+        let patterns: Vec<Vec<bool>> = (0..4u32).map(|c| vec![c & 1 != 0, c & 2 != 0]).collect();
         let coverage = simulate_faults(&g, &all_faults(&g), &patterns);
         // Every stuck-at fault on an AND with observable output is testable.
         assert!(coverage.undetected.is_empty(), "{coverage:?}");

@@ -31,7 +31,11 @@ pub fn number(v: f64) -> String {
         // Trim to a stable, readable precision.
         let s = format!("{v:.6}");
         let s = s.trim_end_matches('0').trim_end_matches('.');
-        if s.is_empty() { "0".to_string() } else { s.to_string() }
+        if s.is_empty() {
+            "0".to_string()
+        } else {
+            s.to_string()
+        }
     } else {
         "null".to_string()
     }
@@ -56,7 +60,10 @@ pub struct JsonObject {
 impl JsonObject {
     /// Starts an empty object.
     pub fn new() -> JsonObject {
-        JsonObject { out: String::from("{"), any: false }
+        JsonObject {
+            out: String::from("{"),
+            any: false,
+        }
     }
 
     fn key(&mut self, name: &str) {
@@ -103,6 +110,22 @@ impl JsonObject {
     pub fn field_raw(&mut self, name: &str, v: &str) -> &mut Self {
         self.key(name);
         self.out.push_str(v);
+        self
+    }
+
+    /// Adds an array of strings (each escaped).
+    pub fn field_str_array<S: AsRef<str>>(&mut self, name: &str, vs: &[S]) -> &mut Self {
+        self.key(name);
+        self.out.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.out.push('"');
+            self.out.push_str(&escape(v.as_ref()));
+            self.out.push('"');
+        }
+        self.out.push(']');
         self
     }
 
@@ -165,5 +188,15 @@ mod tests {
     #[test]
     fn empty_object() {
         assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn string_arrays_escape_elements() {
+        let mut o = JsonObject::new();
+        o.field_str_array("vs", &["a", "b\"c"]);
+        assert_eq!(o.finish(), "{\"vs\": [\"a\", \"b\\\"c\"]}");
+        let mut empty = JsonObject::new();
+        empty.field_str_array::<&str>("vs", &[]);
+        assert_eq!(empty.finish(), "{\"vs\": []}");
     }
 }

@@ -170,14 +170,27 @@ mod tests {
     fn noop_observer_accepts_every_event() {
         let mut obs = NoOpObserver;
         for event in [
-            SolverEvent::Decision { level: 1, grouped: true },
-            SolverEvent::Conflict { level: 1, backjump: 1 },
+            SolverEvent::Decision {
+                level: 1,
+                grouped: true,
+            },
+            SolverEvent::Conflict {
+                level: 1,
+                backjump: 1,
+            },
             SolverEvent::Learn { literals: 3 },
             SolverEvent::Restart,
             SolverEvent::DbReduce { deleted: 10 },
             SolverEvent::SubproblemStart { index: 0 },
-            SolverEvent::SubproblemEnd { index: 0, outcome: SubproblemOutcome::Aborted },
-            SolverEvent::SimRound { round: 1, patterns: 256, classes: 7 },
+            SolverEvent::SubproblemEnd {
+                index: 0,
+                outcome: SubproblemOutcome::Aborted,
+            },
+            SolverEvent::SimRound {
+                round: 1,
+                patterns: 256,
+                classes: 7,
+            },
         ] {
             obs.record(event);
         }

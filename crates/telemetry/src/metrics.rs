@@ -25,7 +25,12 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Histogram {
-        Histogram { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
     }
 }
 
@@ -168,7 +173,9 @@ impl Observer for MetricsRecorder {
                 SubproblemOutcome::Aborted => self.subproblems_aborted += 1,
                 SubproblemOutcome::Satisfiable => self.subproblems_satisfiable += 1,
             },
-            SolverEvent::SimRound { patterns, classes, .. } => {
+            SolverEvent::SimRound {
+                patterns, classes, ..
+            } => {
                 self.sim_rounds += 1;
                 self.sim_patterns += patterns;
                 self.sim_classes = classes;
@@ -251,9 +258,18 @@ mod tests {
     #[test]
     fn recorder_aggregates_events() {
         let mut m = MetricsRecorder::default();
-        m.record(SolverEvent::Decision { level: 1, grouped: false });
-        m.record(SolverEvent::Decision { level: 2, grouped: true });
-        m.record(SolverEvent::Conflict { level: 2, backjump: 1 });
+        m.record(SolverEvent::Decision {
+            level: 1,
+            grouped: false,
+        });
+        m.record(SolverEvent::Decision {
+            level: 2,
+            grouped: true,
+        });
+        m.record(SolverEvent::Conflict {
+            level: 2,
+            backjump: 1,
+        });
         m.record(SolverEvent::Learn { literals: 4 });
         m.record(SolverEvent::Restart);
         m.record(SolverEvent::DbReduce { deleted: 12 });
@@ -262,7 +278,11 @@ mod tests {
             index: 0,
             outcome: SubproblemOutcome::Refuted,
         });
-        m.record(SolverEvent::SimRound { round: 1, patterns: 256, classes: 5 });
+        m.record(SolverEvent::SimRound {
+            round: 1,
+            patterns: 256,
+            classes: 5,
+        });
         assert_eq!(m.decisions, 2);
         assert_eq!(m.grouped_decisions, 1);
         assert_eq!(m.conflicts, 1);
@@ -278,7 +298,10 @@ mod tests {
     #[test]
     fn report_json_is_wellformed_enough() {
         let mut m = MetricsRecorder::default();
-        m.record(SolverEvent::Conflict { level: 3, backjump: 2 });
+        m.record(SolverEvent::Conflict {
+            level: 3,
+            backjump: 2,
+        });
         let report = m.report_json("UNSAT", Duration::from_millis(1500));
         assert!(report.starts_with('{') && report.ends_with('}'));
         assert!(report.contains("\"verdict\": \"UNSAT\""));

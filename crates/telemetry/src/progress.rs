@@ -120,7 +120,10 @@ mod tests {
         {
             let mut obs = ProgressObserver::new(&mut out, Some(Duration::ZERO));
             for _ in 0..(2 * CHECK_EVERY) {
-                obs.record(SolverEvent::Decision { level: 1, grouped: false });
+                obs.record(SolverEvent::Decision {
+                    level: 1,
+                    grouped: false,
+                });
             }
         }
         let text = String::from_utf8(out).unwrap();

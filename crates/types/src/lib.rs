@@ -113,6 +113,14 @@ impl Verdict {
     pub fn is_unknown(&self) -> bool {
         matches!(self, Verdict::Unknown)
     }
+
+    /// The satisfying model, when there is one.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            Verdict::Sat(model) => Some(model),
+            _ => None,
+        }
+    }
 }
 
 /// Result of an assumption-based sub-problem solve.
@@ -164,11 +172,20 @@ mod tests {
         assert!(Verdict::Unsat.is_unsat());
         assert!(Verdict::Unknown.is_unknown());
         assert!(!Verdict::Unknown.is_sat());
+        assert_eq!(
+            Verdict::Sat(vec![true, false]).model(),
+            Some(&[true, false][..])
+        );
+        assert_eq!(Verdict::Unsat.model(), None);
+        assert_eq!(Verdict::Unknown.model(), None);
     }
 
     #[test]
     fn subverdict_converts_to_verdict() {
-        assert_eq!(Verdict::from(SubVerdict::Sat(vec![true])), Verdict::Sat(vec![true]));
+        assert_eq!(
+            Verdict::from(SubVerdict::Sat(vec![true])),
+            Verdict::Sat(vec![true])
+        );
         assert_eq!(Verdict::from(SubVerdict::Unsat), Verdict::Unsat);
         assert_eq!(
             Verdict::from(SubVerdict::UnsatUnderAssumptions(vec![])),

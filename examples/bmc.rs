@@ -19,7 +19,10 @@ fn main() {
     let n = 8;
     let step = generators::crc_step(n, &[1, 2]);
     let pairs: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
-    println!("transition function: crc{n}, {} AND gates", step.and_count());
+    println!(
+        "transition function: crc{n}, {} AND gates",
+        step.and_count()
+    );
 
     for k in 1..=12 {
         let u = unroll::unroll(&step, &pairs, k, Some(&vec![false; n]));

@@ -28,7 +28,11 @@ fn inject(aig: &Aig, fault: Fault) -> Aig {
             }
         };
         if i == fault.node.index() {
-            map[i] = if fault.stuck_at { Lit::TRUE } else { Lit::FALSE };
+            map[i] = if fault.stuck_at {
+                Lit::TRUE
+            } else {
+                Lit::FALSE
+            };
         }
     }
     for (name, l) in aig.outputs() {
@@ -49,7 +53,11 @@ fn main() {
     // Phase 1: random patterns.
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let patterns: Vec<Vec<bool>> = (0..6)
-        .map(|_| (0..circuit.inputs().len()).map(|_| rng.gen_bool(0.5)).collect())
+        .map(|_| {
+            (0..circuit.inputs().len())
+                .map(|_| rng.gen_bool(0.5))
+                .collect()
+        })
         .collect();
     let faults = all_faults(&circuit);
     let coverage = simulate_faults(&circuit, &faults, &patterns);

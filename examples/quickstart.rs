@@ -21,7 +21,10 @@ fn main() {
     let mut solver = Solver::new(&aig, SolverOptions::default());
     match solver.solve(y) {
         Verdict::Sat(model) => {
-            println!("y = 1 is satisfiable with inputs a={} b={} c={}", model[0], model[1], model[2]);
+            println!(
+                "y = 1 is satisfiable with inputs a={} b={} c={}",
+                model[0], model[1], model[2]
+            );
             // Cross-check by simulation.
             let values = aig.evaluate(&model);
             assert!(aig.lit_value(&values, y));
@@ -33,7 +36,10 @@ fn main() {
     // The same solver can answer more queries; learned clauses carry over.
     match solver.solve(!y) {
         Verdict::Sat(model) => {
-            println!("y = 0 is satisfiable with inputs a={} b={} c={}", model[0], model[1], model[2])
+            println!(
+                "y = 0 is satisfiable with inputs a={} b={} c={}",
+                model[0], model[1], model[2]
+            )
         }
         other => println!("unexpected: {other:?}"),
     }

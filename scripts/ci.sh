@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# The single source of truth for CI checks.
+#
+# .github/workflows/ci.yml invokes these exact subcommands and the local
+# verify workflow runs `scripts/ci.sh all`, so the two cannot drift: a gate
+# added here gates both.
+#
+# Everything runs fully offline against the vendored dependency stand-ins
+# (vendor/); CARGO_NET_OFFLINE makes any accidental registry access a hard
+# error instead of a hang.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+run_fmt() { cargo fmt --all -- --check; }
+run_clippy() { cargo clippy --workspace --all-features -- -D warnings; }
+run_build() { cargo build --release; }
+run_test() { cargo test --workspace -q; }
+run_doc() { cargo doc --no-deps --workspace; }
+run_fuzz_smoke() {
+    # Differential smoke: 200 seed-0 instances across the quick oracle
+    # matrix. Any disagreement exits non-zero and leaves a shrunk repro in
+    # fuzz/corpus/ (uploaded as a CI artifact by the fuzz-smoke job).
+    cargo run --release --bin csat-fuzz -- \
+        --seed 0 --iters 200 --matrix quick --corpus-dir fuzz/corpus
+}
+
+case "${1:-all}" in
+    fmt) run_fmt ;;
+    clippy) run_clippy ;;
+    build) run_build ;;
+    test) run_test ;;
+    doc) run_doc ;;
+    fuzz-smoke) run_fuzz_smoke ;;
+    all)
+        run_fmt
+        run_clippy
+        run_build
+        run_test
+        run_doc
+        run_fuzz_smoke
+        ;;
+    *)
+        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|all]" >&2
+        exit 2
+        ;;
+esac

@@ -142,8 +142,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if left.inputs().len() != right.inputs().len()
-        || left.outputs().len() != right.outputs().len()
+    if left.inputs().len() != right.inputs().len() || left.outputs().len() != right.outputs().len()
     {
         eprintln!(
             "error: interface mismatch ({}×{} vs {}×{} inputs×outputs)",

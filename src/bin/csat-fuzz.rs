@@ -1,0 +1,114 @@
+//! `csat-fuzz` — deterministic differential fuzzing of the solver matrix.
+//!
+//! ```text
+//! csat-fuzz [OPTIONS]
+//!
+//! OPTIONS:
+//!   --seed <N>          base seed [default: 0]
+//!   --iters <N>         instances to generate and cross-check [default: 100]
+//!   --time-budget <S>   stop early after this many seconds of wall clock
+//!   --matrix <M>        quick | full                         [default: quick]
+//!   --json              emit one JSONL row per instance to stdout
+//!   --corpus-dir <D>    where disagreement repros are written
+//!                       [default: fuzz/corpus]
+//!   --conflict-budget <N>  per-oracle conflict budget [default: 100000]
+//! ```
+//!
+//! Exit codes: 0 — all oracles agreed on every instance; 1 — at least one
+//! disagreement (repros written to the corpus directory); 2 — usage error.
+//!
+//! With equal options two runs produce byte-identical JSONL except for the
+//! `seconds` timing fields (and, under `--time-budget`, possibly the row
+//! count); see the `csat-fuzz` crate docs for the reproducibility contract.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use csat::fuzz::{run, FuzzOptions, Matrix};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: csat-fuzz [--seed N] [--iters N] [--time-budget SECS]\n\
+         \x20               [--matrix quick|full] [--json] [--corpus-dir DIR]\n\
+         \x20               [--conflict-budget N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> FuzzOptions {
+    let mut options = FuzzOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--iters" => {
+                options.iters = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--time-budget" => {
+                let secs: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&s| s > 0.0)
+                    .unwrap_or_else(|| usage());
+                options.time_budget = Some(Duration::from_secs_f64(secs));
+            }
+            "--matrix" => {
+                options.matrix = args
+                    .next()
+                    .and_then(|s| Matrix::parse(&s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--json" => options.json = true,
+            "--corpus-dir" => {
+                options.corpus_dir = PathBuf::from(args.next().unwrap_or_else(|| usage()));
+            }
+            "--conflict-budget" => {
+                options.conflict_budget = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    options
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let summary = match run(&options, &mut out) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("c error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "c {} instances ({} sat, {} unsat, {} unknown) in {:.1}s, {} disagreement(s)",
+        summary.iters_run,
+        summary.sat,
+        summary.unsat,
+        summary.unknown_only,
+        summary.elapsed.as_secs_f64(),
+        summary.disagreements
+    );
+    for repro in &summary.repros {
+        eprintln!("c repro written: {}", repro.bench.display());
+    }
+    if summary.disagreements > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -24,7 +24,7 @@ use std::error::Error;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use csat::core::{explicit, ExplicitOptions, Budget, Solver, SolverOptions, Verdict};
+use csat::core::{explicit, Budget, ExplicitOptions, Solver, SolverOptions, Verdict};
 use csat::netlist::{aiger, bench, cnf::Cnf, two_level, Aig, Lit};
 use csat::sim::{find_correlations_observed, SimulationOptions};
 use csat::telemetry::{NoOpObserver, Observer, ProgressObserver};
@@ -199,9 +199,8 @@ fn main() -> ExitCode {
     let verdict = match options.engine {
         Engine::Cnf => {
             let enc = csat::netlist::tseitin::encode_with_objective(&aig, objective);
-            let outcome =
-                csat::cnf::Solver::new(&enc.cnf, csat::cnf::SolverOptions::default())
-                    .solve_observed(&budget, obs);
+            let outcome = csat::cnf::Solver::new(&enc.cnf, csat::cnf::SolverOptions::default())
+                .solve_observed(&budget, obs);
             match outcome {
                 Verdict::Sat(model) => Verdict::Sat(enc.input_values(&aig, &model)),
                 Verdict::Unsat => Verdict::Unsat,
@@ -277,8 +276,10 @@ fn main() -> ExitCode {
     match verdict {
         Verdict::Sat(model) => {
             // Double-check the model by simulation before reporting.
-            let values = aig.evaluate(&model);
-            assert!(aig.lit_value(&values, objective), "internal error: bad model");
+            assert!(
+                csat::core::check_model(&aig, &model, objective),
+                "internal error: bad model"
+            );
             println!("s SATISFIABLE");
             let bits: String = model.iter().map(|&b| if b { '1' } else { '0' }).collect();
             println!("v {bits}");

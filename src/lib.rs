@@ -13,6 +13,8 @@
 //! * [`cnf`] — the ZChaff-class CNF CDCL baseline solver.
 //! * [`core`] — the circuit-based CDCL solver with J-node decisions and
 //!   implicit/explicit correlation-guided learning.
+//! * [`fuzz`] — the deterministic differential-testing engine cross-checking
+//!   the full solver configuration matrix.
 //!
 //! # Quickstart
 //!
@@ -35,6 +37,7 @@
 
 pub use csat_cnf as cnf;
 pub use csat_core as core;
+pub use csat_fuzz as fuzz;
 pub use csat_netlist as netlist;
 pub use csat_sim as sim;
 pub use csat_telemetry as telemetry;

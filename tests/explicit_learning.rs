@@ -3,8 +3,7 @@
 //! fraction, on both SAT and UNSAT instances.
 
 use csat::core::{
-    explicit, CorrelationMode, ExplicitOptions, Solver, SolverOptions, SubproblemOrdering,
-    Verdict,
+    explicit, CorrelationMode, ExplicitOptions, Solver, SolverOptions, SubproblemOrdering, Verdict,
 };
 use csat::netlist::{generators, miter, optimize};
 use csat::sim::{find_correlations, SimulationOptions};

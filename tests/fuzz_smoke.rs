@@ -1,0 +1,81 @@
+//! Workspace-level differential fuzzing smoke tests.
+//!
+//! These are the library-level mirror of the CI `fuzz-smoke` job (which
+//! drives the `csat-fuzz` binary): a seed-0 sweep over the quick oracle
+//! matrix must produce zero disagreements, and the JSONL output must be
+//! bit-reproducible modulo the timing fields. All file output goes to
+//! per-test temp dirs so `cargo test` stays order-independent and CI-safe.
+
+use std::path::PathBuf;
+
+use csat::fuzz::runner::strip_timing;
+use csat::fuzz::{check_instance, generate, oracles, run, FuzzOptions, Matrix};
+use csat::types::Budget;
+
+/// Unique per-test temp dir (the offline build has no tempfile crate).
+fn temp_corpus(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("csat-fuzz-smoke-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn seed0_quick_sweep_has_no_disagreements() {
+    let options = FuzzOptions {
+        seed: 0,
+        iters: 60,
+        matrix: Matrix::Quick,
+        json: true,
+        corpus_dir: temp_corpus("sweep"),
+        ..FuzzOptions::default()
+    };
+    let mut out = Vec::new();
+    let summary = run(&options, &mut out).expect("run");
+    assert_eq!(summary.disagreements, 0, "repros: {:?}", summary.repros);
+    assert_eq!(summary.iters_run, 60);
+    assert!(summary.sat > 0, "sweep must include satisfiable instances");
+    assert!(
+        summary.unsat > 0,
+        "sweep must include unsatisfiable instances"
+    );
+    assert!(!options.corpus_dir.exists(), "clean run writes no corpus");
+}
+
+#[test]
+fn jsonl_is_reproducible_modulo_timing() {
+    let options = FuzzOptions {
+        seed: 0xC5A7,
+        iters: 24,
+        matrix: Matrix::Full,
+        json: true,
+        corpus_dir: temp_corpus("repro"),
+        ..FuzzOptions::default()
+    };
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    run(&options, &mut a).expect("run a");
+    run(&options, &mut b).expect("run b");
+    let a = strip_timing(std::str::from_utf8(&a).unwrap());
+    let b = strip_timing(std::str::from_utf8(&b).unwrap());
+    assert_eq!(a, b);
+    // The stripped rows still carry the full payload.
+    assert!(a.contains("\"metrics\""));
+    assert!(a.contains("\"verdicts\""));
+    assert!(!a.contains("\"seconds\""));
+}
+
+#[test]
+fn full_matrix_agrees_on_every_instance_kind() {
+    // One instance per family, against the complete oracle matrix — the
+    // broadest per-instance cross-check in the test suite.
+    let matrix = oracles(Matrix::Full);
+    let budget = Budget::conflicts(100_000);
+    for seed in 0..6 {
+        let instance = generate(seed);
+        let report = check_instance(&instance, &matrix, &budget, None);
+        assert!(
+            report.disagreement.is_none(),
+            "kind {:?}: {:?}",
+            instance.kind,
+            report.disagreement
+        );
+    }
+}

@@ -86,7 +86,11 @@ fn reference_find_correlations(
                 correlations.push(Correlation {
                     a: *m,
                     b: NodeId::FALSE,
-                    relation: if phase { Relation::Opposite } else { Relation::Equal },
+                    relation: if phase {
+                        Relation::Opposite
+                    } else {
+                        Relation::Equal
+                    },
                 });
             }
         } else {

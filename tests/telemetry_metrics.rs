@@ -53,7 +53,10 @@ fn recorder_reconciles_with_circuit_solver_stats() {
     assert_eq!(metrics.grouped_decisions, stats.grouped_decisions);
     assert_eq!(metrics.conflicts, stats.conflicts);
     assert_eq!(metrics.restarts, stats.restarts);
-    assert_eq!(metrics.learned, stats.learnt_clauses + stats.deleted_clauses);
+    assert_eq!(
+        metrics.learned,
+        stats.learnt_clauses + stats.deleted_clauses
+    );
     // The miter forces real search: the histograms must have absorbed it.
     assert_eq!(metrics.decision_depth.count(), metrics.decisions);
     assert_eq!(metrics.backjump_distance.count(), metrics.conflicts);
@@ -79,7 +82,12 @@ fn recorder_reconciles_with_cnf_solver_stats() {
     assert_eq!(metrics.decisions, stats.decisions);
     assert_eq!(metrics.conflicts, stats.conflicts);
     assert_eq!(metrics.restarts, stats.restarts);
-    let unit_learns = metrics.learned_length.buckets().get(1).copied().unwrap_or(0);
+    let unit_learns = metrics
+        .learned_length
+        .buckets()
+        .get(1)
+        .copied()
+        .unwrap_or(0);
     assert_eq!(
         metrics.learned - unit_learns,
         stats.learnt_clauses + stats.deleted_clauses
@@ -124,8 +132,14 @@ fn noop_observer_is_free_and_transparent() {
 #[test]
 fn dyn_dispatch_records_identically() {
     let events = [
-        SolverEvent::Decision { level: 1, grouped: false },
-        SolverEvent::Conflict { level: 1, backjump: 1 },
+        SolverEvent::Decision {
+            level: 1,
+            grouped: false,
+        },
+        SolverEvent::Conflict {
+            level: 1,
+            backjump: 1,
+        },
         SolverEvent::Learn { literals: 2 },
         SolverEvent::Restart,
     ];

@@ -249,8 +249,7 @@ impl Bencher {
         }
         let per_iter = warm_busy.as_secs_f64() / warm_iters as f64;
         let budget = self.profile.measurement_time.as_secs_f64();
-        let target_iters =
-            ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let target_iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
 
         let mut total = Duration::ZERO;
         let mut total_iters = 0u64;
@@ -338,7 +337,9 @@ mod tests {
         let mut c = Criterion::default();
         c.filters.push("nomatch".into());
         // Would spin for the full budget if not filtered out.
-        c.bench_function("skipped", |b| b.iter(|| std::thread::sleep(Duration::from_secs(1))));
+        c.bench_function("skipped", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_secs(1)))
+        });
     }
 
     #[test]
