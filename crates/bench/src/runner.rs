@@ -92,7 +92,7 @@ pub fn run_baseline(workload: &Workload, timeout: Duration) -> RunResult {
             RunOutcome::Sat
         }
         Verdict::Unsat => RunOutcome::Unsat,
-        Verdict::Unknown => RunOutcome::Timeout,
+        Verdict::Unknown(_) => RunOutcome::Timeout,
     };
     let stats = *solver.stats();
     RunResult {
@@ -231,7 +231,7 @@ pub fn run_circuit_solver(workload: &Workload, config: &CircuitConfig) -> RunRes
             RunOutcome::Sat
         }
         Verdict::Unsat => RunOutcome::Unsat,
-        Verdict::Unknown => RunOutcome::Timeout,
+        Verdict::Unknown(_) => RunOutcome::Timeout,
     };
     let stats = *solver.stats();
     RunResult {

@@ -35,7 +35,7 @@ mod solver;
 
 #[allow(deprecated)]
 pub use solver::Outcome;
-pub use solver::{Budget, Solver, SolverOptions, SolverOptionsBuilder, Stats, Verdict};
+pub use solver::{Budget, Interrupt, Solver, SolverOptions, SolverOptionsBuilder, Stats, Verdict};
 
 /// Checks a SAT model against the formula itself.
 ///

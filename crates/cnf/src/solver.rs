@@ -1,13 +1,12 @@
 //! The CDCL solver proper.
 
-use std::time::Instant;
-
 use csat_netlist::cnf::{Cnf, Lit, Var};
 use csat_telemetry::{NoOpObserver, Observer, SolverEvent};
+use csat_types::BudgetMeter;
 
 use crate::heap::ActivityHeap;
 
-pub use csat_types::{Budget, Verdict};
+pub use csat_types::{Budget, Interrupt, Verdict};
 
 /// Former name of [`Verdict`], kept for one release.
 ///
@@ -160,8 +159,18 @@ pub struct Solver {
     /// Set when the formula is trivially unsatisfiable at level 0.
     root_conflict: bool,
     max_learnts: usize,
+    /// Estimated heap footprint of the live learned clauses, in bytes.
+    clauses_bytes: u64,
     /// Derivation-ordered log of learned clauses (proof logging).
     proof_log: Option<Vec<Vec<Lit>>>,
+}
+
+/// Estimated heap bytes of one learned clause: the clause header, its
+/// literal storage, and its two watch-list slots.
+fn clause_footprint(len: usize) -> u64 {
+    (std::mem::size_of::<Clause>()
+        + len * std::mem::size_of::<Lit>()
+        + 2 * std::mem::size_of::<u32>()) as u64
 }
 
 impl Solver {
@@ -188,6 +197,7 @@ impl Solver {
             stats: Stats::default(),
             root_conflict: false,
             max_learnts: (cnf.clauses().len() / 3).max(1000),
+            clauses_bytes: 0,
             proof_log: None,
         };
         for clause in cnf.clauses() {
@@ -219,7 +229,13 @@ impl Solver {
     }
 
     /// Runs the search under a resource [`Budget`], returning
-    /// [`Verdict::Unknown`] when a limit is exhausted before an answer.
+    /// [`Verdict::Unknown`] (carrying the exhausted [`Interrupt`] reason)
+    /// when a limit is hit — or the budget's [`CancelToken`](csat_types::CancelToken)
+    /// is triggered — before an answer.
+    ///
+    /// A memory budget first tries an emergency clause-database reduction
+    /// and only aborts with [`Interrupt::Memory`] if the learned clauses
+    /// still exceed the limit afterwards.
     ///
     /// All limits are counted per call, so a solver can be resumed with a
     /// fresh budget (learned clauses persist).
@@ -239,7 +255,7 @@ impl Solver {
         if self.root_conflict {
             return Verdict::Unsat;
         }
-        let start = Instant::now();
+        let mut meter = BudgetMeter::new(budget);
         let mut restart_limit = self.options.restart_first as f64;
         let mut conflicts_since_restart = 0u64;
         let mut conflicts_this_call = 0u64;
@@ -283,23 +299,17 @@ impl Solver {
                     self.decay_activities();
                 }
                 if self.stats.learnt_clauses as usize > self.max_learnts {
-                    let deleted = self.reduce_db();
-                    obs.record(SolverEvent::DbReduce { deleted });
+                    let (dropped, kept) = self.reduce_db(None);
+                    obs.record(SolverEvent::DbReduced { dropped, kept });
                 }
-                if let Some(max) = budget.max_conflicts {
-                    if conflicts_this_call >= max {
-                        return Verdict::Unknown;
-                    }
-                }
-                if let Some(max) = budget.max_learned {
-                    if learned_this_call >= max {
-                        return Verdict::Unknown;
-                    }
-                }
-                if let Some(max) = budget.max_time {
-                    if conflicts_this_call.is_multiple_of(512) && start.elapsed() >= max {
-                        return Verdict::Unknown;
-                    }
+                if let Some(reason) = self.budget_checkpoint(
+                    &mut meter,
+                    learned_this_call,
+                    conflicts_this_call,
+                    decisions_this_call,
+                    obs,
+                ) {
+                    return Verdict::Unknown(reason);
                 }
             } else {
                 if conflicts_since_restart as f64 >= restart_limit {
@@ -322,10 +332,14 @@ impl Solver {
                             level: self.decision_level() + 1,
                             grouped: false,
                         });
-                        if let Some(max) = budget.max_decisions {
-                            if decisions_this_call > max {
-                                return Verdict::Unknown;
-                            }
+                        if let Some(reason) = self.budget_checkpoint(
+                            &mut meter,
+                            learned_this_call,
+                            conflicts_this_call,
+                            decisions_this_call,
+                            obs,
+                        ) {
+                            return Verdict::Unknown(reason);
                         }
                         let lit = Lit::new(Var(var), !self.phases[var as usize]);
                         self.trail_lim.push(self.trail.len());
@@ -336,9 +350,44 @@ impl Solver {
         }
     }
 
+    /// One cooperative budget checkpoint. On memory pressure, attempts an
+    /// emergency database reduction toward half the limit before giving up;
+    /// any abort is reported to the observer as a
+    /// [`SolverEvent::BudgetExhausted`] event.
+    fn budget_checkpoint<O>(
+        &mut self,
+        meter: &mut BudgetMeter,
+        learned: u64,
+        conflicts: u64,
+        decisions: u64,
+        obs: &mut O,
+    ) -> Option<Interrupt>
+    where
+        O: Observer + ?Sized,
+    {
+        let reason = meter.checkpoint(learned, conflicts, decisions, self.clauses_bytes)?;
+        if reason == Interrupt::Memory {
+            if let Some(limit) = meter.memory_limit() {
+                let (dropped, kept) = self.reduce_db(Some(limit / 2));
+                obs.record(SolverEvent::DbReduced { dropped, kept });
+                if !meter.memory_exceeded(self.clauses_bytes) {
+                    return None;
+                }
+            }
+        }
+        obs.record(SolverEvent::BudgetExhausted { reason });
+        Some(reason)
+    }
+
     /// Search statistics so far.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Estimated heap footprint of the live learned clauses, in bytes
+    /// (what a [`Budget::memory`] limit is metered against).
+    pub fn learned_memory_bytes(&self) -> u64 {
+        self.clauses_bytes
     }
 
     /// Starts recording learned clauses for later checking with
@@ -394,15 +443,16 @@ impl Solver {
                 let index = self.clauses.len() as u32;
                 self.watches[lits[0].code()].push(index);
                 self.watches[lits[1].code()].push(index);
+                if learnt {
+                    self.stats.learnt_clauses += 1;
+                    self.clauses_bytes += clause_footprint(lits.len());
+                }
                 self.clauses.push(Clause {
                     lits,
                     learnt,
                     deleted: false,
                     activity: self.bump,
                 });
-                if learnt {
-                    self.stats.learnt_clauses += 1;
-                }
                 index
             }
         }
@@ -507,15 +557,14 @@ impl Solver {
                 }
             }
             // Find the next seen literal on the trail.
-            loop {
+            let p_lit = loop {
                 index -= 1;
                 let lit = self.trail[index];
                 if self.seen[lit.var().index()] {
-                    p = Some(lit);
-                    break;
+                    break lit;
                 }
-            }
-            let p_lit = p.expect("found above");
+            };
+            p = Some(p_lit);
             counter -= 1;
             if counter == 0 {
                 learnt[0] = !p_lit;
@@ -605,9 +654,16 @@ impl Solver {
         self.bump /= self.options.var_decay;
     }
 
-    /// Removes the lower-activity half of the learned clauses (keeping
-    /// reason clauses and binaries), returning how many were deleted.
-    fn reduce_db(&mut self) -> u64 {
+    /// Removes cold learned clauses (keeping reason clauses and binaries),
+    /// lowest activity first, returning `(dropped, kept)` counts.
+    ///
+    /// With `target_bytes == None` this is the routine reduction: delete
+    /// the lower-activity half and grow `max_learnts`. With a target it is
+    /// the emergency response to memory pressure: delete as many cold
+    /// clauses as needed until the learned-clause footprint fits
+    /// `target_bytes` (or everything deletable is gone), without growing
+    /// the database ceiling.
+    fn reduce_db(&mut self, target_bytes: Option<u64>) -> (u64, u64) {
         let mut learnt_refs: Vec<u32> = (0..self.clauses.len() as u32)
             .filter(|&i| {
                 let c = &self.clauses[i as usize];
@@ -617,8 +673,7 @@ impl Solver {
         learnt_refs.sort_by(|&a, &b| {
             self.clauses[a as usize]
                 .activity
-                .partial_cmp(&self.clauses[b as usize].activity)
-                .expect("activities are finite")
+                .total_cmp(&self.clauses[b as usize].activity)
         });
         let locked: Vec<bool> = learnt_refs
             .iter()
@@ -628,23 +683,38 @@ impl Solver {
                 self.value_of(l0) == 1 && self.reasons[l0.var().index()] == i
             })
             .collect();
-        let to_delete = learnt_refs.len() / 2;
+        let count_quota = match target_bytes {
+            None => learnt_refs.len() / 2,
+            Some(_) => learnt_refs.len(),
+        };
         let mut deleted = 0usize;
         for (k, &cref) in learnt_refs.iter().enumerate() {
-            if deleted >= to_delete {
+            if deleted >= count_quota {
                 break;
+            }
+            if let Some(target) = target_bytes {
+                if self.clauses_bytes <= target {
+                    break;
+                }
             }
             if locked[k] {
                 continue;
             }
-            self.clauses[cref as usize].deleted = true;
+            let clause = &mut self.clauses[cref as usize];
+            clause.deleted = true;
+            self.clauses_bytes -= clause_footprint(clause.lits.len());
+            // Free the literal storage now: everything that touches lits
+            // checks `deleted` first, and watch lists lazily drop deleted
+            // clauses during propagation.
+            clause.lits = Vec::new();
             deleted += 1;
         }
         self.stats.deleted_clauses += deleted as u64;
         self.stats.learnt_clauses -= deleted as u64;
-        self.max_learnts += self.max_learnts / 10;
-        // Watch lists lazily drop deleted clauses during propagation.
-        deleted as u64
+        if target_bytes.is_none() {
+            self.max_learnts += self.max_learnts / 10;
+        }
+        (deleted as u64, self.stats.learnt_clauses)
     }
 }
 
@@ -757,7 +827,9 @@ mod tests {
                     assert!(cnf.evaluate(&model), "round {round}: bogus model");
                 }
                 Verdict::Unsat => assert!(!brute_sat, "round {round}: solver UNSAT, brute SAT"),
-                Verdict::Unknown => panic!("round {round}: unexpected budget exhaustion"),
+                Verdict::Unknown(reason) => {
+                    panic!("round {round}: unexpected budget exhaustion ({reason})")
+                }
             }
         }
     }
@@ -780,7 +852,7 @@ mod tests {
         }
         let outcome =
             Solver::new(&cnf, SolverOptions::default()).solve_with_budget(&Budget::conflicts(1));
-        assert_eq!(outcome, Verdict::Unknown);
+        assert_eq!(outcome, Verdict::Unknown(Interrupt::Conflicts));
         // And without the budget it is UNSAT.
         let outcome = Solver::new(&cnf, SolverOptions::default()).solve();
         assert!(outcome.is_unsat());
@@ -797,12 +869,52 @@ mod tests {
             max_decisions: Some(1),
             ..Budget::UNLIMITED
         });
-        assert_eq!(outcome, Verdict::Unknown);
-        // A zero time budget on a conflict-heavy instance gives Unknown.
+        assert_eq!(outcome, Verdict::Unknown(Interrupt::Decisions));
+        // A zero time budget: the very first checkpoint polls the clock.
         let outcome = Solver::new(&cnf, SolverOptions::default())
             .solve_with_budget(&Budget::time(std::time::Duration::ZERO));
-        // Time is only polled at conflicts, so an easy instance may finish.
-        assert!(matches!(outcome, Verdict::Sat(_) | Verdict::Unknown));
+        // An instance decided purely by propagation takes no checkpoints.
+        assert!(matches!(
+            outcome,
+            Verdict::Sat(_) | Verdict::Unknown(Interrupt::Timeout)
+        ));
+    }
+
+    #[test]
+    fn memory_budget_triggers_reduction_not_wrong_answers() {
+        // Pigeonhole 4 into 3 learns enough clauses to hit a tiny memory
+        // budget. Whatever happens — emergency reductions, abort — the
+        // solver must never produce a wrong answer.
+        let mut cnf = Cnf::with_vars(12);
+        let var = |p: usize, h: usize| Var((p * 3 + h) as u32);
+        for p in 0..4 {
+            cnf.add_clause((0..3).map(|h| var(p, h).positive()).collect());
+        }
+        for h in 0..3 {
+            for p1 in 0..4 {
+                for p2 in p1 + 1..4 {
+                    cnf.add_clause(vec![var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        let mut solver = Solver::new(&cnf, SolverOptions::default());
+        match solver.solve_with_budget(&Budget::memory(2048)) {
+            Verdict::Unsat | Verdict::Unknown(Interrupt::Memory) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_yields_unknown_cancelled() {
+        let mut cnf = Cnf::with_vars(16);
+        for v in 0..15u32 {
+            cnf.add_clause(vec![Var(v).positive(), Var(v + 1).positive()]);
+        }
+        let token = csat_types::CancelToken::new();
+        token.cancel();
+        let outcome = Solver::new(&cnf, SolverOptions::default())
+            .solve_with_budget(&Budget::UNLIMITED.with_cancel(token));
+        assert_eq!(outcome, Verdict::Unknown(Interrupt::Cancelled));
     }
 
     #[test]

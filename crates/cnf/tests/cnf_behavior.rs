@@ -117,7 +117,8 @@ fn time_budget_is_respected() {
     let start = Instant::now();
     let outcome = solver.solve_with_budget(&Budget::time(Duration::from_millis(100)));
     // Either it solved fast or it gave up near the deadline.
-    if outcome == Verdict::Unknown {
+    if let Verdict::Unknown(reason) = outcome {
+        assert_eq!(reason, csat_cnf::Interrupt::Timeout);
         assert!(start.elapsed() < Duration::from_secs(10));
     }
 }

@@ -16,9 +16,13 @@
 //! the partial-learning sweep of Tables VIII–IX (only sub-problems below a
 //! topological boundary) are both parameters here.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
 use csat_netlist::Lit;
 use csat_sim::{Correlation, CorrelationResult, Relation};
 use csat_telemetry::{NoOpObserver, Observer, SolverEvent, SubproblemOutcome};
+use csat_types::Interrupt;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -91,9 +95,16 @@ pub struct ExplicitReport {
     pub aborted: usize,
     /// Sub-problems that turned out satisfiable.
     pub satisfiable: usize,
+    /// Sub-problems whose solve panicked; the panic was contained, the
+    /// solver rebuilt, and the sequence continued (see
+    /// [`run_budgeted_observed`]).
+    pub panicked: usize,
     /// Whether a global (assumption-free) contradiction was derived — the
     /// overall instance is UNSAT regardless of the objective.
     pub proved_root_unsat: bool,
+    /// Why the pass stopped before exhausting the sub-problem sequence
+    /// (outer budget ran out or the run was cancelled), if it did.
+    pub interrupted: Option<Interrupt>,
 }
 
 /// The assumption sets of one sub-problem, chosen to be *likely conflicting*
@@ -170,32 +181,118 @@ pub fn run_observed<O>(
 where
     O: Observer + ?Sized,
 {
+    run_budgeted_observed(solver, correlations, options, &Budget::UNLIMITED, obs)
+}
+
+/// Like [`run`] under an *outer* budget governing the whole pass.
+pub fn run_budgeted(
+    solver: &mut Solver<'_>,
+    correlations: &CorrelationResult,
+    options: &ExplicitOptions,
+    outer: &Budget,
+) -> ExplicitReport {
+    run_budgeted_observed(solver, correlations, options, outer, &mut NoOpObserver)
+}
+
+/// The full explicit-learning pass: observed, bounded by an outer budget,
+/// and panic-isolated.
+///
+/// `outer` governs the *whole pass* (the per-sub-problem learned/decision
+/// budgets come from `options`): its cancel token and memory limit are
+/// threaded into every sub-solve, its wall-clock budget is split across
+/// sub-problems as time remaining, and when it fires the pass stops early
+/// with [`ExplicitReport::interrupted`] set.
+///
+/// Each sub-solve runs behind `catch_unwind`: a panic inside one
+/// sub-problem is contained, the solver is rebuilt over the same circuit
+/// (re-installing correlations and any already-recorded explicit cores),
+/// and the remaining sequence continues. A contained panic is reported as
+/// [`SubproblemOutcome::Panicked`] and counted in
+/// [`ExplicitReport::panicked`].
+pub fn run_budgeted_observed<O>(
+    solver: &mut Solver<'_>,
+    correlations: &CorrelationResult,
+    options: &ExplicitOptions,
+    outer: &Budget,
+    obs: &mut O,
+) -> ExplicitReport
+where
+    O: Observer + ?Sized,
+{
+    let start = Instant::now();
     let mut report = ExplicitReport::default();
     let selected = select_and_order(solver, correlations, options);
-    let budget = Budget {
-        max_learned: Some(options.learned_budget.max(1)),
-        max_decisions: Some(options.decision_budget.max(1)),
-        ..Budget::UNLIMITED
-    };
+    // Cores recorded so far, for rebuilding a panicked solver.
+    let mut recorded: Vec<Vec<Lit>> = Vec::new();
     'outer: for c in selected {
+        if let Some(token) = &outer.cancel {
+            if token.is_cancelled() {
+                report.interrupted = Some(Interrupt::Cancelled);
+                break;
+            }
+        }
+        let mut sub_budget = Budget {
+            max_learned: Some(options.learned_budget.max(1)),
+            max_decisions: Some(options.decision_budget.max(1)),
+            max_memory_bytes: outer.max_memory_bytes,
+            cancel: outer.cancel.clone(),
+            ..Budget::UNLIMITED
+        };
+        #[cfg(feature = "fault-injection")]
+        {
+            sub_budget.fault = outer.fault.clone();
+        }
+        if let Some(max) = outer.max_time {
+            let remaining = max.saturating_sub(start.elapsed());
+            if remaining.is_zero() {
+                report.interrupted = Some(Interrupt::Timeout);
+                break;
+            }
+            sub_budget.max_time = Some(remaining);
+        }
         let index = report.subproblems as u64;
         report.subproblems += 1;
         obs.record(SolverEvent::SubproblemStart { index });
         let mut any_sat = false;
         let mut any_abort = false;
+        let mut panicked = false;
+        let mut stop: Option<Interrupt> = None;
         for assumptions in subproblem_assumptions(&c) {
-            match solver.solve_under_observed(&assumptions, &budget, obs) {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                solver.solve_under_observed(&assumptions, &sub_budget, &mut *obs)
+            }));
+            match result {
+                Err(_payload) => {
+                    // The sub-solve panicked mid-search, which can leave
+                    // internal state (trail, watch lists) inconsistent:
+                    // rebuild the solver and move on to the next
+                    // sub-problem.
+                    panicked = true;
+                    recover_solver(solver, correlations, &recorded);
+                    break;
+                }
                 // The correlation does not hold on this orientation; the
                 // conflicts hit along the way still taught something.
-                SubVerdict::Sat(_) => any_sat = true,
-                SubVerdict::Aborted => any_abort = true,
-                SubVerdict::UnsatUnderAssumptions(core) => {
+                Ok(SubVerdict::Sat(_)) => any_sat = true,
+                Ok(SubVerdict::Aborted(reason)) => match reason {
+                    // The outer budget (not the per-sub-problem one) is
+                    // exhausted: no later sub-solve can proceed either.
+                    Interrupt::Timeout | Interrupt::Memory | Interrupt::Cancelled => {
+                        any_abort = true;
+                        stop = Some(reason);
+                        break;
+                    }
+                    _ => any_abort = true,
+                },
+                Ok(SubVerdict::UnsatUnderAssumptions(core)) => {
                     // The refuted combination is circuit-implied knowledge:
                     // record its negation as a learned clause.
                     let clause: Vec<Lit> = core.iter().map(|&l| !l).collect();
-                    solver.add_learned_clause(clause);
+                    recorded.push(clause.clone());
+                    let added = solver.add_learned_clause(clause);
+                    debug_assert!(added.is_ok(), "refuted core literals are in range");
                 }
-                SubVerdict::Unsat => {
+                Ok(SubVerdict::Unsat) => {
                     report.proved_root_unsat = true;
                     obs.record(SolverEvent::SubproblemEnd {
                         index,
@@ -205,7 +302,13 @@ where
                 }
             }
         }
-        let outcome = if any_sat {
+        let outcome = if panicked {
+            report.panicked += 1;
+            obs.record(SolverEvent::BudgetExhausted {
+                reason: Interrupt::Panicked,
+            });
+            SubproblemOutcome::Panicked
+        } else if any_sat {
             report.satisfiable += 1;
             SubproblemOutcome::Satisfiable
         } else if any_abort {
@@ -216,8 +319,37 @@ where
             SubproblemOutcome::Refuted
         };
         obs.record(SolverEvent::SubproblemEnd { index, outcome });
+        if let Some(reason) = stop {
+            report.interrupted = Some(reason);
+            break;
+        }
     }
     report
+}
+
+/// Rebuilds a solver whose internal state may have been poisoned by a
+/// panic mid-solve. Correlations are re-installed; previously recorded
+/// explicit cores are re-added — unless proof logging is active, in which
+/// case the proof restarts from scratch so the log stays a consistent RUP
+/// derivation for the rebuilt (clause-free) solver.
+fn recover_solver<'a>(
+    solver: &mut Solver<'a>,
+    correlations: &CorrelationResult,
+    recorded: &[Vec<Lit>],
+) {
+    let aig = solver.aig();
+    let options = solver.options();
+    let proof_was_active = solver.proof_active();
+    *solver = Solver::new(aig, options);
+    solver.set_correlations(correlations);
+    if proof_was_active {
+        solver.start_proof();
+    } else {
+        for clause in recorded {
+            let added = solver.add_learned_clause(clause.clone());
+            debug_assert!(added.is_ok(), "recorded cores are in range");
+        }
+    }
 }
 
 /// Applies the mode filter, the partial-learning boundary and the ordering.

@@ -50,8 +50,10 @@ mod solver;
 pub mod sweep;
 
 pub use explicit::{CorrelationMode, ExplicitOptions, ExplicitReport, SubproblemOrdering};
-pub use options::{Budget, SolverOptions, SolverOptionsBuilder, Stats, SubVerdict, Verdict};
-pub use solver::Solver;
+pub use options::{
+    Budget, CancelToken, Interrupt, SolverOptions, SolverOptionsBuilder, Stats, SubVerdict, Verdict,
+};
+pub use solver::{LitOutOfRange, Solver};
 
 /// Checks a SAT model against the circuit itself.
 ///

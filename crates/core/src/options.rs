@@ -2,9 +2,10 @@
 //!
 //! The shared [`Budget`], [`Verdict`] and [`SubVerdict`] types now live in
 //! [`csat_types`] so the CNF and circuit solvers speak the same vocabulary;
-//! they are re-exported here for backwards compatibility.
+//! they are re-exported here for backwards compatibility, together with
+//! the resilience vocabulary ([`Interrupt`], [`CancelToken`]).
 
-pub use csat_types::{Budget, SubVerdict, Verdict};
+pub use csat_types::{Budget, CancelToken, Interrupt, SubVerdict, Verdict};
 
 /// Configuration of the circuit solver.
 ///
@@ -227,6 +228,6 @@ mod tests {
     fn verdict_helpers() {
         assert!(Verdict::Sat(vec![]).is_sat());
         assert!(Verdict::Unsat.is_unsat());
-        assert!(!Verdict::Unknown.is_sat());
+        assert!(!Verdict::Unknown(Interrupt::Timeout).is_sat());
     }
 }

@@ -193,10 +193,10 @@ impl Checker {
                 if satisfied {
                     continue;
                 }
-                match free {
-                    0 => return true, // conflict
-                    1 => {
-                        self.assign(unassigned.expect("free literal"));
+                match (free, unassigned) {
+                    (0, _) => return true, // conflict
+                    (1, Some(l)) => {
+                        self.assign(l);
                         changed = true;
                     }
                     _ => {}

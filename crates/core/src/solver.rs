@@ -15,15 +15,38 @@
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
-use std::time::Instant;
+use std::fmt;
 
 use csat_netlist::{Aig, Lit, Node, NodeId};
 use csat_sim::{CorrelationResult, Relation};
 use csat_telemetry::{NoOpObserver, Observer, SolverEvent};
+use csat_types::{BudgetMeter, Interrupt};
 
 use crate::heap::ActivityHeap;
 use crate::implication::{self, is_unjustified, FALSE, TRUE, UNDEF};
 use crate::options::{Budget, SolverOptions, Stats, SubVerdict, Verdict};
+
+/// Error from [`Solver::add_learned_clause`]: a literal refers to a node
+/// outside the solver's circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LitOutOfRange {
+    /// The offending literal.
+    pub lit: Lit,
+    /// Number of nodes in the circuit.
+    pub nodes: usize,
+}
+
+impl fmt::Display for LitOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "literal {:?} refers past the {}-node circuit",
+            self.lit, self.nodes
+        )
+    }
+}
+
+impl std::error::Error for LitOutOfRange {}
 
 /// Why a node holds its current value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,6 +72,9 @@ struct Conflict {
 struct LearnedClause {
     lits: Vec<Lit>,
     deleted: bool,
+    /// Pinned clauses (the explicit-learning pass's refuted sub-problem
+    /// cores, paper Section V) are never dropped by database reduction.
+    pinned: bool,
     activity: f64,
 }
 
@@ -157,6 +183,10 @@ pub struct Solver<'a> {
     stats: Stats,
     root_conflict: bool,
     max_learnts: usize,
+    /// Estimated bytes held by the learned-clause arena (clause structs,
+    /// literal storage, watch entries) — the quantity the memory budget
+    /// bounds.
+    clauses_bytes: u64,
     /// Derivation-ordered log of learned clauses (proof logging).
     proof_log: Option<Vec<Vec<Lit>>>,
 }
@@ -198,6 +228,7 @@ impl<'a> Solver<'a> {
             stats: Stats::default(),
             root_conflict: false,
             max_learnts: (aig.and_count() / 2).max(2000),
+            clauses_bytes: 0,
             proof_log: None,
         };
         // The constant node is a level-0 fact.
@@ -240,14 +271,32 @@ impl<'a> Solver<'a> {
         &self.stats
     }
 
-    /// The circuit this solver operates on.
-    pub fn aig(&self) -> &Aig {
+    /// The circuit this solver operates on (with the full borrow lifetime,
+    /// so a caller can rebuild a solver over the same circuit — which is
+    /// how the explicit-learning pass recovers from an isolated panic).
+    pub fn aig(&self) -> &'a Aig {
         self.aig
+    }
+
+    /// The options this solver was built with.
+    pub fn options(&self) -> SolverOptions {
+        self.options
     }
 
     /// Number of learned clauses currently alive.
     pub fn learned_count(&self) -> u64 {
         self.stats.learnt_clauses
+    }
+
+    /// Estimated bytes held by the learned-clause arena — the quantity
+    /// bounded by [`Budget::max_memory_bytes`].
+    pub fn learned_memory_bytes(&self) -> u64 {
+        self.clauses_bytes
+    }
+
+    /// True while learned clauses are being recorded for proof checking.
+    pub fn proof_active(&self) -> bool {
+        self.proof_log.is_some()
     }
 
     /// Starts recording learned clauses for later checking with
@@ -262,26 +311,33 @@ impl<'a> Solver<'a> {
     }
 
     /// Adds a clause known to be implied by the circuit (used by explicit
-    /// learning to record refuted sub-problems).
+    /// learning to record refuted sub-problems). The clause is *pinned*:
+    /// database reduction never drops it, even under memory pressure.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any literal refers to a node outside the circuit.
-    pub fn add_learned_clause(&mut self, mut lits: Vec<Lit>) {
-        for l in &lits {
-            assert!(l.node().index() < self.aig.len(), "literal out of range");
+    /// [`LitOutOfRange`] if any literal refers to a node outside the
+    /// circuit; the solver is left unchanged.
+    pub fn add_learned_clause(&mut self, mut lits: Vec<Lit>) -> Result<(), LitOutOfRange> {
+        for &l in &lits {
+            if l.node().index() >= self.aig.len() {
+                return Err(LitOutOfRange {
+                    lit: l,
+                    nodes: self.aig.len(),
+                });
+            }
         }
         self.backtrack(0);
         lits.sort_unstable();
         lits.dedup();
         if lits.windows(2).any(|w| w[0] == !w[1]) {
-            return; // tautology
+            return Ok(()); // tautology
         }
         // Drop literals false at level 0; a satisfied clause is dropped.
         let mut filtered = Vec::with_capacity(lits.len());
         for &l in &lits {
             match self.lit_value(l) {
-                TRUE => return,
+                TRUE => return Ok(()),
                 FALSE => {}
                 _ => filtered.push(l),
             }
@@ -300,9 +356,10 @@ impl<'a> Solver<'a> {
                 }
             }
             _ => {
-                self.attach_clause(filtered);
+                self.attach_clause(filtered, true);
             }
         }
+        Ok(())
     }
 
     /// Decides satisfiability of "`objective` can evaluate to 1".
@@ -327,7 +384,7 @@ impl<'a> Solver<'a> {
         match self.solve_under_observed(&[objective], budget, obs) {
             SubVerdict::Sat(model) => Verdict::Sat(model),
             SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_) => Verdict::Unsat,
-            SubVerdict::Aborted => Verdict::Unknown,
+            SubVerdict::Aborted(reason) => Verdict::Unknown(reason),
         }
     }
 
@@ -352,7 +409,7 @@ impl<'a> Solver<'a> {
     where
         O: Observer + ?Sized,
     {
-        let start = Instant::now();
+        let mut meter = BudgetMeter::new(budget);
         let mut learned_this_call = 0u64;
         let mut conflicts_this_call = 0u64;
         let mut decisions_this_call = 0u64;
@@ -404,23 +461,17 @@ impl<'a> Solver<'a> {
                     }
                 }
                 if self.stats.learnt_clauses as usize > self.max_learnts {
-                    let deleted = self.reduce_db();
-                    obs.record(SolverEvent::DbReduce { deleted });
+                    let (dropped, kept) = self.reduce_db(None);
+                    obs.record(SolverEvent::DbReduced { dropped, kept });
                 }
-                if let Some(max) = budget.max_learned {
-                    if learned_this_call >= max {
-                        return SubVerdict::Aborted;
-                    }
-                }
-                if let Some(max) = budget.max_conflicts {
-                    if conflicts_this_call >= max {
-                        return SubVerdict::Aborted;
-                    }
-                }
-                if let Some(max) = budget.max_time {
-                    if conflicts_this_call.is_multiple_of(256) && start.elapsed() >= max {
-                        return SubVerdict::Aborted;
-                    }
+                if let Some(reason) = self.budget_checkpoint(
+                    &mut meter,
+                    learned_this_call,
+                    conflicts_this_call,
+                    decisions_this_call,
+                    obs,
+                ) {
+                    return SubVerdict::Aborted(reason);
                 }
                 if self.restart_due() && self.decision_level() > 0 {
                     self.stats.restarts += 1;
@@ -438,8 +489,8 @@ impl<'a> Solver<'a> {
                     }
                     _ => {
                         self.trail_lim.push(self.trail.len());
-                        self.enqueue(p, Reason::Decision)
-                            .expect("assumption literal is unassigned");
+                        let enqueued = self.enqueue(p, Reason::Decision);
+                        debug_assert!(enqueued.is_ok(), "assumption literal is unassigned");
                     }
                 }
             } else if let Some((lit, grouped)) = self.pick_decision() {
@@ -452,18 +503,52 @@ impl<'a> Solver<'a> {
                     level: self.decision_level() + 1,
                     grouped,
                 });
-                if let Some(max) = budget.max_decisions {
-                    if decisions_this_call > max {
-                        return SubVerdict::Aborted;
-                    }
+                if let Some(reason) = self.budget_checkpoint(
+                    &mut meter,
+                    learned_this_call,
+                    conflicts_this_call,
+                    decisions_this_call,
+                    obs,
+                ) {
+                    return SubVerdict::Aborted(reason);
                 }
                 self.trail_lim.push(self.trail.len());
-                self.enqueue(lit, Reason::Decision)
-                    .expect("decision literal is unassigned");
+                let enqueued = self.enqueue(lit, Reason::Decision);
+                debug_assert!(enqueued.is_ok(), "decision literal is unassigned");
             } else {
                 return SubVerdict::Sat(self.extract_model());
             }
         }
+    }
+
+    /// One cooperative budget checkpoint (called at every conflict and
+    /// decision boundary). Memory pressure gets one chance at graceful
+    /// degradation: an emergency database reduction toward half the limit;
+    /// only if the pinned/locked floor still exceeds the limit does the
+    /// solve abort with [`Interrupt::Memory`].
+    fn budget_checkpoint<O>(
+        &mut self,
+        meter: &mut BudgetMeter,
+        learned: u64,
+        conflicts: u64,
+        decisions: u64,
+        obs: &mut O,
+    ) -> Option<Interrupt>
+    where
+        O: Observer + ?Sized,
+    {
+        let reason = meter.checkpoint(learned, conflicts, decisions, self.clauses_bytes)?;
+        if reason == Interrupt::Memory {
+            if let Some(limit) = meter.memory_limit() {
+                let (dropped, kept) = self.reduce_db(Some(limit / 2));
+                obs.record(SolverEvent::DbReduced { dropped, kept });
+                if !meter.memory_exceeded(self.clauses_bytes) {
+                    return None; // pressure relieved; keep solving
+                }
+            }
+        }
+        obs.record(SolverEvent::BudgetExhausted { reason });
+        Some(reason)
     }
 
     // ------------------------------------------------------------------
@@ -775,7 +860,6 @@ impl<'a> Solver<'a> {
         let mut learnt: Vec<Lit> = vec![Lit::FALSE]; // placeholder for 1UIP
         let mut counter = 0usize;
         let mut index = self.trail.len();
-        let mut p: Option<Lit>;
         let mut reason_buf: Vec<Lit> = Vec::new();
         loop {
             for &q in &clause_lits {
@@ -790,15 +874,13 @@ impl<'a> Solver<'a> {
                     }
                 }
             }
-            loop {
+            let p_lit = loop {
                 index -= 1;
                 let lit = self.trail[index];
                 if self.seen[lit.node().index()] {
-                    p = Some(lit);
-                    break;
+                    break lit;
                 }
-            }
-            let p_lit = p.expect("assigned above");
+            };
             counter -= 1;
             if counter == 0 {
                 learnt[0] = !p_lit;
@@ -874,13 +956,22 @@ impl<'a> Solver<'a> {
             }
             return;
         }
-        let cref = self.attach_clause(learnt);
+        let cref = self.attach_clause(learnt, false);
         self.enqueue(assert_lit, Reason::Clause(cref))
             .expect("asserting literal is unassigned after backjump");
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>) -> u32 {
+    /// Estimated heap footprint of one learned clause: the clause struct,
+    /// its literal storage and its two watch-list entries.
+    fn clause_footprint(len: usize) -> u64 {
+        (std::mem::size_of::<LearnedClause>()
+            + len * std::mem::size_of::<Lit>()
+            + 2 * std::mem::size_of::<Watcher>()) as u64
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, pinned: bool) -> u32 {
         debug_assert!(lits.len() >= 2);
+        self.clauses_bytes += Self::clause_footprint(lits.len());
         let cref = self.clauses.len() as u32;
         self.watches[lits[0].code()].push(Watcher {
             cref,
@@ -901,6 +992,7 @@ impl<'a> Solver<'a> {
         self.clauses.push(LearnedClause {
             lits,
             deleted: false,
+            pinned,
             activity: self.bump,
         });
         cref
@@ -1061,7 +1153,8 @@ impl<'a> Solver<'a> {
                 if node.is_some() && top.priority <= node_priority {
                     break;
                 }
-                let ClauseCandidate { lit, cref, .. } = self.clause_cands.pop().expect("peeked");
+                self.clause_cands.pop();
+                let ClauseCandidate { lit, cref, .. } = top;
                 self.clause_queued[cref as usize] = false;
                 let clause = &self.clauses[cref as usize];
                 if clause.deleted {
@@ -1179,42 +1272,66 @@ impl<'a> Solver<'a> {
             .collect()
     }
 
-    /// Halves the learned-clause database, returning how many clauses were
-    /// deleted.
-    fn reduce_db(&mut self) -> u64 {
+    /// Learned-clause database reduction, coldest-first by activity.
+    ///
+    /// With `target_bytes = None` this is the routine growth-triggered
+    /// pass: delete half the deletable clauses and raise `max_learnts`.
+    /// With `Some(target)` it is the emergency memory-pressure pass:
+    /// delete coldest-first until the arena estimate drops to `target`
+    /// (without growing `max_learnts` — the cap must stay tight).
+    ///
+    /// Pinned clauses (explicit-learning cores), binaries and clauses
+    /// currently locked as a reason are never dropped. Deleted clauses
+    /// release their literal storage immediately so the accounting
+    /// reflects real memory.
+    fn reduce_db(&mut self, target_bytes: Option<u64>) -> (u64, u64) {
         let mut learnt_refs: Vec<u32> = (0..self.clauses.len() as u32)
             .filter(|&i| {
                 let c = &self.clauses[i as usize];
-                !c.deleted && c.lits.len() > 2
+                !c.deleted && !c.pinned && c.lits.len() > 2
             })
             .collect();
         learnt_refs.sort_by(|&x, &y| {
             self.clauses[x as usize]
                 .activity
-                .partial_cmp(&self.clauses[y as usize].activity)
-                .expect("finite activities")
+                .total_cmp(&self.clauses[y as usize].activity)
         });
         let locked = |solver: &Solver<'_>, cref: u32| -> bool {
             let l0 = solver.clauses[cref as usize].lits[0];
             solver.lit_value(l0) == TRUE
                 && solver.reasons[l0.node().index()] == Reason::Clause(cref)
         };
-        let to_delete = learnt_refs.len() / 2;
+        let count_quota = match target_bytes {
+            None => learnt_refs.len() / 2,
+            Some(_) => learnt_refs.len(),
+        };
         let mut deleted = 0usize;
         for &cref in &learnt_refs {
-            if deleted >= to_delete {
+            if deleted >= count_quota {
                 break;
+            }
+            if let Some(target) = target_bytes {
+                if self.clauses_bytes <= target {
+                    break;
+                }
             }
             if locked(self, cref) {
                 continue;
             }
-            self.clauses[cref as usize].deleted = true;
+            let clause = &mut self.clauses[cref as usize];
+            clause.deleted = true;
+            self.clauses_bytes -= Self::clause_footprint(clause.lits.len());
+            // Free the literal storage now; every consumer checks
+            // `deleted` before touching `lits`.
+            clause.lits = Vec::new();
             deleted += 1;
         }
         self.stats.deleted_clauses += deleted as u64;
         self.stats.learnt_clauses -= deleted as u64;
-        self.max_learnts += self.max_learnts / 10;
-        deleted as u64
+        if target_bytes.is_none() {
+            self.max_learnts += self.max_learnts / 10;
+        }
+        (deleted as u64, self.stats.learnt_clauses)
     }
 }
 
@@ -1316,10 +1433,35 @@ mod tests {
         assert!(
             matches!(
                 outcome,
-                SubVerdict::Aborted | SubVerdict::UnsatUnderAssumptions(_)
+                SubVerdict::Aborted(Interrupt::Learned) | SubVerdict::UnsatUnderAssumptions(_)
             ),
             "{outcome:?}"
         );
+    }
+
+    #[test]
+    fn memory_budget_triggers_reduction_not_wrong_answers() {
+        // A moderately hard UNSAT miter with a tiny memory budget: the
+        // emergency reduction must keep the arena bounded without changing
+        // the verdict.
+        let m = miter::self_miter(&generators::ripple_carry_adder(6), Default::default());
+        let mut s = Solver::new(&m.aig, SolverOptions::default());
+        let budget = Budget::memory(64 * 1024);
+        let verdict = s.solve_with_budget(m.objective, &budget);
+        assert_eq!(verdict, Verdict::Unsat);
+        assert!(s.learned_memory_bytes() <= 64 * 1024);
+    }
+
+    #[test]
+    fn cancellation_aborts_promptly() {
+        use csat_types::CancelToken;
+        let m = miter::self_miter(&generators::array_multiplier(6), Default::default());
+        let mut s = Solver::new(&m.aig, SolverOptions::default());
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::UNLIMITED.with_cancel(token);
+        let verdict = s.solve_with_budget(m.objective, &budget);
+        assert_eq!(verdict, Verdict::Unknown(Interrupt::Cancelled));
     }
 
     #[test]
@@ -1329,8 +1471,19 @@ mod tests {
         let mut s = Solver::new(&g, SolverOptions::default());
         // Tell the solver a = 0 (which is *not* circuit-implied, but the
         // API trusts the caller): y can no longer be 1.
-        s.add_learned_clause(vec![!a]);
+        s.add_learned_clause(vec![!a]).unwrap();
         assert!(s.solve(y).is_unsat());
+    }
+
+    #[test]
+    fn add_learned_clause_rejects_out_of_range_literals() {
+        let (g, y) = tiny_and();
+        let mut s = Solver::new(&g, SolverOptions::default());
+        let bogus = Lit::new(NodeId::from_index(g.len() + 5), false);
+        let err = s.add_learned_clause(vec![bogus]).unwrap_err();
+        assert_eq!(err.nodes, g.len());
+        // The solver is still usable.
+        assert!(s.solve(y).is_sat());
     }
 
     #[test]
@@ -1338,8 +1491,8 @@ mod tests {
         let (g, y) = tiny_and();
         let a = g.inputs()[0].lit();
         let mut s = Solver::new(&g, SolverOptions::default());
-        s.add_learned_clause(vec![a, !a]); // dropped
-        s.add_learned_clause(vec![a, a, a]); // unit after dedup
+        s.add_learned_clause(vec![a, !a]).unwrap(); // dropped
+        s.add_learned_clause(vec![a, a, a]).unwrap(); // unit after dedup
         match s.solve(y) {
             Verdict::Sat(model) => assert!(model[0]),
             other => panic!("{other:?}"),

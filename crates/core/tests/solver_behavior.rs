@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use csat_core::{Budget, Solver, SolverOptions, SubVerdict, Verdict};
+use csat_core::{Budget, Interrupt, Solver, SolverOptions, SubVerdict, Verdict};
 use csat_netlist::{generators, miter, Aig, Lit};
 
 /// y = a & b with output forced against fanins, every direction.
@@ -107,7 +107,7 @@ fn time_budget_aborts_hard_instance() {
     let m = miter::self_miter(&generators::array_multiplier(10), Default::default());
     let mut s = Solver::new(&m.aig, SolverOptions::default());
     let verdict = s.solve_with_budget(m.objective, &Budget::time(Duration::from_millis(50)));
-    assert_eq!(verdict, Verdict::Unknown);
+    assert_eq!(verdict, Verdict::Unknown(Interrupt::Timeout));
 }
 
 #[test]
@@ -115,7 +115,7 @@ fn conflict_budget_aborts_hard_instance() {
     let m = miter::self_miter(&generators::array_multiplier(10), Default::default());
     let mut s = Solver::new(&m.aig, SolverOptions::default());
     let outcome = s.solve_under(&[m.objective], &Budget::conflicts(3));
-    assert_eq!(outcome, SubVerdict::Aborted);
+    assert_eq!(outcome, SubVerdict::Aborted(Interrupt::Conflicts));
     assert!(s.stats().conflicts <= 4);
 }
 

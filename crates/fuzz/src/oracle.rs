@@ -18,11 +18,13 @@
 //! Every oracle is deterministic: budgets count conflicts, simulation is
 //! seeded, and nothing consults the clock.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use csat_core::{explicit, ExplicitOptions};
 use csat_netlist::tseitin;
 use csat_sim::{find_correlations, SimulationOptions};
 use csat_telemetry::{MetricsRecorder, NoOpObserver, Observer};
-use csat_types::{Budget, Verdict};
+use csat_types::{Budget, Interrupt, Verdict};
 
 use crate::instances::Instance;
 
@@ -85,6 +87,10 @@ pub struct Oracle {
     /// Stable name (JSONL rows, disagreement reports).
     pub name: &'static str,
     spec: Spec,
+    /// Per-oracle learned-clause memory clamp layered on the run budget —
+    /// lets one matrix column exercise DB reduction under memory pressure
+    /// while the rest run unconstrained.
+    mem_limit: Option<u64>,
 }
 
 /// Fixed simulation seed: correlation discovery must not depend on the
@@ -98,61 +104,70 @@ fn sim_options(words: usize) -> SimulationOptions {
     }
 }
 
+/// Shorthand for an unclamped matrix entry.
+fn oracle(name: &'static str, spec: Spec) -> Oracle {
+    Oracle {
+        name,
+        spec,
+        mem_limit: None,
+    }
+}
+
 /// Builds the oracle list of a matrix.
 pub fn oracles(matrix: Matrix) -> Vec<Oracle> {
     let mut list = vec![
-        Oracle {
-            name: "jnode",
-            spec: Spec::Circuit {
+        oracle(
+            "jnode",
+            Spec::Circuit {
                 options: csat_core::SolverOptions::default(),
                 explicit_pass: false,
                 simulation: None,
             },
-        },
-        Oracle {
-            name: "paper-full",
-            spec: Spec::Circuit {
+        ),
+        oracle(
+            "paper-full",
+            Spec::Circuit {
                 options: csat_core::SolverOptions::paper(),
                 explicit_pass: true,
                 simulation: Some(sim_options(4)),
             },
-        },
-        Oracle {
-            name: "cnf-tseitin",
-            spec: Spec::CnfTseitin {
+        ),
+        oracle(
+            "cnf-tseitin",
+            Spec::CnfTseitin {
                 options: csat_cnf::SolverOptions::default(),
             },
-        },
+        ),
     ];
     if matrix == Matrix::Full {
         list.extend([
-            Oracle {
-                name: "plain-vsids",
-                spec: Spec::Circuit {
+            oracle(
+                "plain-vsids",
+                Spec::Circuit {
                     options: csat_core::SolverOptions::plain_csat(),
                     explicit_pass: false,
                     simulation: None,
                 },
-            },
-            Oracle {
-                name: "implicit-only",
-                spec: Spec::Circuit {
+            ),
+            oracle(
+                "implicit-only",
+                Spec::Circuit {
                     options: csat_core::SolverOptions::with_implicit_learning(),
                     explicit_pass: false,
                     simulation: Some(sim_options(4)),
                 },
-            },
-            Oracle {
-                name: "explicit-only",
-                spec: Spec::Circuit {
+            ),
+            oracle(
+                "explicit-only",
+                Spec::Circuit {
                     options: csat_core::SolverOptions::default(),
                     explicit_pass: true,
                     simulation: Some(sim_options(4)),
                 },
-            },
-            Oracle {
-                name: "fast-restarts",
-                spec: Spec::Circuit {
+            ),
+            oracle(
+                "fast-restarts",
+                Spec::Circuit {
                     options: csat_core::SolverOptions::builder()
                         .restart_window(512)
                         .restart_threshold(2.0)
@@ -160,29 +175,40 @@ pub fn oracles(matrix: Matrix) -> Vec<Oracle> {
                     explicit_pass: false,
                     simulation: None,
                 },
-            },
-            Oracle {
-                name: "implicit-sim1",
-                spec: Spec::Circuit {
+            ),
+            oracle(
+                "implicit-sim1",
+                Spec::Circuit {
                     options: csat_core::SolverOptions::paper(),
                     explicit_pass: false,
                     simulation: Some(sim_options(1)),
                 },
-            },
-            Oracle {
-                name: "cnf-fast-restarts",
-                spec: Spec::CnfTseitin {
+            ),
+            oracle(
+                "cnf-fast-restarts",
+                Spec::CnfTseitin {
                     options: csat_cnf::SolverOptions::builder()
                         .restart_first(32)
                         .restart_factor(1.3)
                         .build(),
                 },
-            },
-            Oracle {
-                name: "cnf-direct",
-                spec: Spec::CnfDirect {
+            ),
+            oracle(
+                "cnf-direct",
+                Spec::CnfDirect {
                     options: csat_cnf::SolverOptions::default(),
                 },
+            ),
+            // Exercises emergency DB reduction and Memory aborts inside the
+            // differential loop; its Unknowns abstain like any other.
+            Oracle {
+                name: "jnode-tiny-mem",
+                spec: Spec::Circuit {
+                    options: csat_core::SolverOptions::default(),
+                    explicit_pass: false,
+                    simulation: None,
+                },
+                mem_limit: Some(64 * 1024),
             },
         ]);
     }
@@ -200,15 +226,19 @@ pub struct OracleOutcome {
     pub model_ok: Option<bool>,
     /// For UNSAT answers: did the logged proof verify?
     pub proof_ok: Option<bool>,
+    /// The oracle panicked mid-solve (caught; always a disagreement).
+    pub panicked: bool,
 }
 
 impl OracleOutcome {
-    /// `name=VERDICT` (the JSONL `verdicts` array element).
+    /// `name=VERDICT` (the JSONL `verdicts` array element). Interrupted
+    /// runs carry their reason, e.g. `jnode=UNKNOWN:memory`.
     pub fn label(&self) -> String {
-        let v = match self.verdict {
-            Verdict::Sat(_) => "SAT",
-            Verdict::Unsat => "UNSAT",
-            Verdict::Unknown => "UNKNOWN",
+        let v = match &self.verdict {
+            _ if self.panicked => "PANIC".to_string(),
+            Verdict::Sat(_) => "SAT".to_string(),
+            Verdict::Unsat => "UNSAT".to_string(),
+            Verdict::Unknown(reason) => format!("UNKNOWN:{reason}"),
         };
         format!("{}={v}", self.name)
     }
@@ -226,9 +256,41 @@ pub struct InstanceReport {
     pub disagreement: Option<String>,
 }
 
+/// Runs one oracle, isolating panics: a crash in one solver configuration
+/// becomes an [`OracleOutcome::panicked`] report (and a disagreement), not
+/// an abort of the whole differential run.
+fn run_oracle(
+    oracle: &Oracle,
+    instance: &Instance,
+    budget: &Budget,
+    obs: &mut dyn Observer,
+) -> Option<OracleOutcome> {
+    let clamped;
+    let budget = match oracle.mem_limit {
+        Some(bytes) => {
+            let limit = budget.max_memory_bytes.map_or(bytes, |b| b.min(bytes));
+            clamped = budget.clone().with_memory_limit(Some(limit));
+            &clamped
+        }
+        None => budget,
+    };
+    match catch_unwind(AssertUnwindSafe(|| {
+        run_oracle_inner(oracle, instance, budget, obs)
+    })) {
+        Ok(outcome) => outcome,
+        Err(_) => Some(OracleOutcome {
+            name: oracle.name,
+            verdict: Verdict::Unknown(Interrupt::Panicked),
+            model_ok: None,
+            proof_ok: None,
+            panicked: true,
+        }),
+    }
+}
+
 /// Runs one oracle. `obs` absorbs solver events (pass a
 /// [`MetricsRecorder`] to aggregate, [`NoOpObserver`] to discard).
-fn run_oracle(
+fn run_oracle_inner(
     oracle: &Oracle,
     instance: &Instance,
     budget: &Budget,
@@ -273,13 +335,14 @@ fn run_oracle(
                             .is_ok();
                     (None, Some(ok))
                 }
-                Verdict::Unknown => (None, None),
+                Verdict::Unknown(_) => (None, None),
             };
             Some(OracleOutcome {
                 name: oracle.name,
                 verdict,
                 model_ok,
                 proof_ok,
+                panicked: false,
             })
         }
         Spec::CnfTseitin { options } => {
@@ -307,13 +370,14 @@ fn run_oracle(
                     let ok = csat_cnf::proof::verify_unsat(&enc.cnf, &proof).is_ok();
                     (None, Some(ok))
                 }
-                Verdict::Unknown => (None, None),
+                Verdict::Unknown(_) => (None, None),
             };
             Some(OracleOutcome {
                 name: oracle.name,
                 verdict,
                 model_ok,
                 proof_ok,
+                panicked: false,
             })
         }
         Spec::CnfDirect { options } => {
@@ -330,13 +394,14 @@ fn run_oracle(
                         Some(csat_cnf::proof::verify_unsat(cnf, &proof).is_ok()),
                     )
                 }
-                Verdict::Unknown => (None, None),
+                Verdict::Unknown(_) => (None, None),
             };
             Some(OracleOutcome {
                 name: oracle.name,
                 verdict,
                 model_ok,
                 proof_ok,
+                panicked: false,
             })
         }
     }
@@ -371,10 +436,14 @@ pub fn check_instance(
     }
 }
 
-/// The cross-check proper: first failed model, failed proof, or SAT/UNSAT
-/// split, described for humans.
+/// The cross-check proper: first panic, failed model, failed proof, or
+/// SAT/UNSAT split, described for humans. Interrupted (`Unknown`) runs
+/// abstain; a panic never does.
 fn find_disagreement(outcomes: &[OracleOutcome]) -> Option<String> {
     for o in outcomes {
+        if o.panicked {
+            return Some(format!("oracle '{}' panicked mid-solve", o.name));
+        }
         if o.model_ok == Some(false) {
             return Some(format!(
                 "oracle '{}' returned a SAT model that fails direct evaluation",
@@ -451,12 +520,14 @@ mod tests {
                 verdict: Verdict::Sat(vec![]),
                 model_ok: Some(true),
                 proof_ok: None,
+                panicked: false,
             },
             OracleOutcome {
                 name: "b",
                 verdict: Verdict::Unsat,
                 model_ok: None,
                 proof_ok: Some(true),
+                panicked: false,
             },
         ];
         let d = find_disagreement(&outcomes).expect("split detected");
@@ -468,17 +539,51 @@ mod tests {
         let outcomes = vec![
             OracleOutcome {
                 name: "a",
-                verdict: Verdict::Unknown,
+                verdict: Verdict::Unknown(Interrupt::Conflicts),
                 model_ok: None,
                 proof_ok: None,
+                panicked: false,
             },
             OracleOutcome {
                 name: "b",
                 verdict: Verdict::Unsat,
                 model_ok: None,
                 proof_ok: Some(true),
+                panicked: false,
             },
         ];
         assert!(find_disagreement(&outcomes).is_none());
+        assert_eq!(outcomes[0].label(), "a=UNKNOWN:conflicts");
+    }
+
+    #[test]
+    fn panics_never_abstain() {
+        let outcomes = vec![OracleOutcome {
+            name: "a",
+            verdict: Verdict::Unknown(Interrupt::Panicked),
+            model_ok: None,
+            proof_ok: None,
+            panicked: true,
+        }];
+        let d = find_disagreement(&outcomes).expect("panic is a disagreement");
+        assert!(d.contains("panicked"));
+        assert_eq!(outcomes[0].label(), "a=PANIC");
+    }
+
+    #[test]
+    fn full_matrix_tiny_mem_oracle_stays_sound() {
+        // The memory-clamped column must agree with the rest (or abstain).
+        let matrix = oracles(Matrix::Full);
+        assert!(matrix.iter().any(|o| o.mem_limit.is_some()));
+        let budget = Budget::conflicts(50_000);
+        for seed in [0u64, 1] {
+            let instance = generate(seed);
+            let report = check_instance(&instance, &matrix, &budget, None);
+            assert!(
+                report.disagreement.is_none(),
+                "seed {seed}: {:?}",
+                report.disagreement
+            );
+        }
     }
 }

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use csat_telemetry::json::JsonObject;
 use csat_telemetry::MetricsRecorder;
-use csat_types::Budget;
+use csat_types::{Budget, CancelToken};
 
 use crate::corpus::{write_repro, Repro};
 use crate::instances::{generate, Instance};
@@ -48,6 +48,14 @@ pub struct FuzzOptions {
     /// budget-limited oracles answer `Unknown` and abstain from the
     /// cross-check.
     pub conflict_budget: u64,
+    /// Optional per-oracle-call learned-clause memory budget, in bytes.
+    /// Memory-limited oracles reduce their clause database under pressure
+    /// and abstain (`Unknown`) if still over the limit.
+    pub mem_limit: Option<u64>,
+    /// Cooperative cancellation: checked between instances and inside
+    /// every oracle's solve loop (the CLI wires Ctrl-C here). A cancelled
+    /// sweep stops early and still writes its summary row.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for FuzzOptions {
@@ -60,6 +68,8 @@ impl Default for FuzzOptions {
             json: false,
             corpus_dir: PathBuf::from("fuzz/corpus"),
             conflict_budget: 100_000,
+            mem_limit: None,
+            cancel: None,
         }
     }
 }
@@ -79,6 +89,8 @@ pub struct FuzzSummary {
     pub unknown_only: u64,
     /// Repro files written (one per disagreement).
     pub repros: Vec<Repro>,
+    /// The sweep was stopped early by the cancel token.
+    pub cancelled: bool,
     /// Total wall-clock time.
     pub elapsed: Duration,
 }
@@ -97,12 +109,22 @@ fn mix(base: u64, i: u64) -> u64 {
 /// IO errors from `out` or the corpus directory abort the run.
 pub fn run(options: &FuzzOptions, out: &mut dyn Write) -> io::Result<FuzzSummary> {
     let matrix = oracles(options.matrix);
-    let budget = Budget::conflicts(options.conflict_budget);
+    let mut budget =
+        Budget::conflicts(options.conflict_budget).with_memory_limit(options.mem_limit);
+    if let Some(token) = &options.cancel {
+        budget = budget.with_cancel(token.clone());
+    }
     let started = Instant::now();
     let mut summary = FuzzSummary::default();
     for i in 0..options.iters {
         if let Some(cap) = options.time_budget {
             if started.elapsed() >= cap {
+                break;
+            }
+        }
+        if let Some(token) = &options.cancel {
+            if token.is_cancelled() {
+                summary.cancelled = true;
                 break;
             }
         }
@@ -175,6 +197,7 @@ pub fn run(options: &FuzzOptions, out: &mut dyn Write) -> io::Result<FuzzSummary
         .field_u64("unsat", summary.unsat)
         .field_u64("unknown_only", summary.unknown_only)
         .field_u64("disagreements", summary.disagreements)
+        .field_bool("cancelled", summary.cancelled)
         .field_f64("seconds", summary.elapsed.as_secs_f64());
     writeln!(out, "{}", row.finish())?;
     Ok(summary)
@@ -247,6 +270,38 @@ mod tests {
         assert_eq!(strip_timing(line), "{\"type\": \"fuzz\", \"gates\": 3}\n");
         let tail = "{\"a\": 1, \"seconds\": 2}\n";
         assert_eq!(strip_timing(tail), "{\"a\": 1, }\n");
+    }
+
+    #[test]
+    fn pre_cancelled_run_stops_immediately() {
+        let token = CancelToken::new();
+        token.cancel();
+        let options = FuzzOptions {
+            cancel: Some(token),
+            iters: 50,
+            corpus_dir: temp_corpus("cancel"),
+            ..FuzzOptions::default()
+        };
+        let mut out = Vec::new();
+        let summary = run(&options, &mut out).expect("run");
+        assert!(summary.cancelled);
+        assert_eq!(summary.iters_run, 0);
+        let text = std::str::from_utf8(&out).unwrap();
+        assert!(text.contains("\"cancelled\": true"));
+    }
+
+    #[test]
+    fn tiny_memory_budget_stays_clean() {
+        let options = FuzzOptions {
+            iters: 6,
+            mem_limit: Some(64 * 1024),
+            corpus_dir: temp_corpus("mem"),
+            ..FuzzOptions::default()
+        };
+        let mut out = Vec::new();
+        let summary = run(&options, &mut out).expect("run");
+        assert_eq!(summary.disagreements, 0, "{:?}", summary.repros);
+        assert_eq!(summary.iters_run, 6);
     }
 
     #[test]

@@ -47,6 +47,8 @@ mod progress;
 pub use metrics::{Histogram, MetricsRecorder};
 pub use progress::ProgressObserver;
 
+use csat_types::Interrupt;
+
 /// How an explicit-learning sub-problem ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SubproblemOutcome {
@@ -62,6 +64,9 @@ pub enum SubproblemOutcome {
     /// The sub-problem exposed a root-level contradiction: the whole
     /// instance is UNSAT.
     RootUnsat,
+    /// A panic escaped the sub-solve and was contained by the isolation
+    /// layer; the solver was rebuilt and the sequence continued.
+    Panicked,
 }
 
 /// One solver event. All variants are plain `Copy` data — recording an
@@ -94,10 +99,20 @@ pub enum SolverEvent {
     },
     /// The restart policy fired.
     Restart,
-    /// Learned-clause database reduction removed `deleted` clauses.
-    DbReduce {
+    /// Learned-clause database reduction removed `dropped` clauses,
+    /// keeping `kept` alive (pinned explicit-learning clauses, locked
+    /// reasons, binaries and the hot half of the activity order).
+    DbReduced {
         /// Clauses deleted by this reduction pass.
-        deleted: u64,
+        dropped: u64,
+        /// Learned clauses still alive after the pass.
+        kept: u64,
+    },
+    /// A resource budget was exhausted (or the solve was cancelled): the
+    /// solver is about to return an interrupted verdict carrying `reason`.
+    BudgetExhausted {
+        /// The structured interrupt reason.
+        reason: Interrupt,
     },
     /// An explicit-learning sub-problem (0-based `index`) started.
     SubproblemStart {
@@ -180,11 +195,21 @@ mod tests {
             },
             SolverEvent::Learn { literals: 3 },
             SolverEvent::Restart,
-            SolverEvent::DbReduce { deleted: 10 },
+            SolverEvent::DbReduced {
+                dropped: 10,
+                kept: 20,
+            },
+            SolverEvent::BudgetExhausted {
+                reason: Interrupt::Memory,
+            },
             SolverEvent::SubproblemStart { index: 0 },
             SolverEvent::SubproblemEnd {
                 index: 0,
                 outcome: SubproblemOutcome::Aborted,
+            },
+            SolverEvent::SubproblemEnd {
+                index: 1,
+                outcome: SubproblemOutcome::Panicked,
             },
             SolverEvent::SimRound {
                 round: 1,
@@ -201,7 +226,7 @@ mod tests {
         let mut metrics = MetricsRecorder::default();
         {
             let mut dynamic: &mut dyn Observer = &mut metrics;
-            dynamic.record(SolverEvent::Restart);
+            Observer::record(&mut dynamic, SolverEvent::Restart);
         }
         assert_eq!(metrics.restarts, 1);
     }

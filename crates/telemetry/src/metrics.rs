@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use csat_types::Interrupt;
+
 use crate::json::JsonObject;
 use crate::{Observer, SolverEvent, SubproblemOutcome};
 
@@ -121,6 +123,11 @@ pub struct MetricsRecorder {
     pub deleted_clauses: u64,
     /// Database reduction passes.
     pub db_reductions: u64,
+    /// Learned clauses alive after the most recent database reduction.
+    pub kept_clauses: u64,
+    /// Budget-exhaustion returns by reason, indexed per
+    /// [`Interrupt::index`] (see [`MetricsRecorder::exhausted`]).
+    pub budget_exhausted: [u64; Interrupt::COUNT],
     /// Explicit-learning sub-problems started.
     pub subproblems: u64,
     /// ... of which refuted outright.
@@ -129,6 +136,8 @@ pub struct MetricsRecorder {
     pub subproblems_aborted: u64,
     /// ... of which satisfiable (correlation did not hold).
     pub subproblems_satisfiable: u64,
+    /// ... of which panicked and were contained by the isolation layer.
+    pub subproblems_panicked: u64,
     /// Simulation rounds observed during correlation discovery.
     pub sim_rounds: u64,
     /// Total random patterns those rounds applied.
@@ -161,9 +170,13 @@ impl Observer for MetricsRecorder {
                 self.learned_length.observe(literals as u64);
             }
             SolverEvent::Restart => self.restarts += 1,
-            SolverEvent::DbReduce { deleted } => {
+            SolverEvent::DbReduced { dropped, kept } => {
                 self.db_reductions += 1;
-                self.deleted_clauses += deleted;
+                self.deleted_clauses += dropped;
+                self.kept_clauses = kept;
+            }
+            SolverEvent::BudgetExhausted { reason } => {
+                self.budget_exhausted[reason.index()] += 1;
             }
             SolverEvent::SubproblemStart { .. } => self.subproblems += 1,
             SolverEvent::SubproblemEnd { outcome, .. } => match outcome {
@@ -172,6 +185,7 @@ impl Observer for MetricsRecorder {
                 }
                 SubproblemOutcome::Aborted => self.subproblems_aborted += 1,
                 SubproblemOutcome::Satisfiable => self.subproblems_satisfiable += 1,
+                SubproblemOutcome::Panicked => self.subproblems_panicked += 1,
             },
             SolverEvent::SimRound {
                 patterns, classes, ..
@@ -185,8 +199,20 @@ impl Observer for MetricsRecorder {
 }
 
 impl MetricsRecorder {
+    /// Budget-exhaustion returns recorded for `reason`.
+    pub fn exhausted(&self, reason: Interrupt) -> u64 {
+        self.budget_exhausted[reason.index()]
+    }
+
+    /// Budget-exhaustion returns recorded across all reasons.
+    pub fn exhausted_total(&self) -> u64 {
+        self.budget_exhausted.iter().sum()
+    }
+
     /// Counters only, as a flat JSON object — the shape embedded in
-    /// progress snapshots and bench rows.
+    /// progress snapshots and bench rows. Per-reason exhaustion counters
+    /// appear as `exhausted_<reason>` and are emitted only when non-zero
+    /// (almost every run has none).
     pub fn counters_json(&self) -> String {
         let mut o = JsonObject::new();
         o.field_u64("decisions", self.decisions)
@@ -196,13 +222,21 @@ impl MetricsRecorder {
             .field_u64("restarts", self.restarts)
             .field_u64("deleted_clauses", self.deleted_clauses)
             .field_u64("db_reductions", self.db_reductions)
+            .field_u64("kept_clauses", self.kept_clauses)
             .field_u64("subproblems", self.subproblems)
             .field_u64("subproblems_refuted", self.subproblems_refuted)
             .field_u64("subproblems_aborted", self.subproblems_aborted)
             .field_u64("subproblems_satisfiable", self.subproblems_satisfiable)
+            .field_u64("subproblems_panicked", self.subproblems_panicked)
             .field_u64("sim_rounds", self.sim_rounds)
             .field_u64("sim_patterns", self.sim_patterns)
             .field_u64("sim_classes", self.sim_classes);
+        for reason in Interrupt::ALL {
+            let n = self.exhausted(reason);
+            if n != 0 {
+                o.field_u64(&format!("exhausted_{}", reason.as_str()), n);
+            }
+        }
         o.finish()
     }
 
@@ -272,7 +306,13 @@ mod tests {
         });
         m.record(SolverEvent::Learn { literals: 4 });
         m.record(SolverEvent::Restart);
-        m.record(SolverEvent::DbReduce { deleted: 12 });
+        m.record(SolverEvent::DbReduced {
+            dropped: 12,
+            kept: 30,
+        });
+        m.record(SolverEvent::BudgetExhausted {
+            reason: Interrupt::Cancelled,
+        });
         m.record(SolverEvent::SubproblemStart { index: 0 });
         m.record(SolverEvent::SubproblemEnd {
             index: 0,
@@ -289,6 +329,11 @@ mod tests {
         assert_eq!(m.learned, 1);
         assert_eq!(m.restarts, 1);
         assert_eq!(m.deleted_clauses, 12);
+        assert_eq!(m.kept_clauses, 30);
+        assert_eq!(m.exhausted(Interrupt::Cancelled), 1);
+        assert_eq!(m.exhausted_total(), 1);
+        assert!(m.counters_json().contains("\"exhausted_cancelled\": 1"));
+        assert!(!m.counters_json().contains("exhausted_timeout"));
         assert_eq!(m.subproblems, 1);
         assert_eq!(m.subproblems_refuted, 1);
         assert_eq!(m.sim_patterns, 256);

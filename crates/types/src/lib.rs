@@ -6,19 +6,222 @@
 //! the bench runner, cross-solver tests) can treat them interchangeably.
 //! [`SubVerdict`] is the richer result of assumption-based sub-problem
 //! solving, which the circuit solver's explicit-learning pass is built on.
+//!
+//! The resilience layer lives here too: a solve that stops early always
+//! says *why* via [`Interrupt`], can be stopped from another thread (or a
+//! signal handler) through a shared [`CancelToken`], and can be bounded in
+//! memory via [`Budget::max_memory_bytes`]. Solvers enforce all of this
+//! cooperatively through a per-call [`BudgetMeter`] whose
+//! [`checkpoint`](BudgetMeter::checkpoint) they call at every decision and
+//! conflict boundary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::time::Duration;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use csat_netlist::Lit;
+
+/// Shared, thread-safe cancellation flag.
+///
+/// Clones share the flag, so a token stored in a [`Budget`] (and in every
+/// sub-budget cloned from it) can be flipped once from a Ctrl-C handler or
+/// a watchdog thread and every in-flight solve observes it at its next
+/// checkpoint. Cancellation is level-triggered: once set it stays set
+/// until [`CancelToken::reset`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Safe to call from any thread (and from a
+    /// signal handler: a relaxed atomic store is async-signal-safe).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Clear the flag so the token can be reused for another run.
+    pub fn reset(&self) {
+        self.0.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Why a solve stopped without an answer.
+///
+/// Carried by [`Verdict::Unknown`] and [`SubVerdict::Aborted`] so callers
+/// can distinguish "ran out of time" from "was cancelled" from "a
+/// sub-solve panicked" without string matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Interrupt {
+    /// The wall-clock budget ([`Budget::max_time`]) ran out.
+    Timeout,
+    /// The conflict budget ([`Budget::max_conflicts`]) ran out.
+    Conflicts,
+    /// The decision budget ([`Budget::max_decisions`]) ran out.
+    Decisions,
+    /// The learned-clause budget ([`Budget::max_learned`]) ran out.
+    Learned,
+    /// The memory budget ([`Budget::max_memory_bytes`]) was exceeded even
+    /// after an emergency learned-clause database reduction.
+    Memory,
+    /// The [`CancelToken`] in the budget was cancelled.
+    Cancelled,
+    /// A panic escaped an isolated sub-solve (caught via `catch_unwind`).
+    Panicked,
+}
+
+impl Interrupt {
+    /// Every interrupt reason, in a fixed order usable as an array index
+    /// (see [`Interrupt::index`]).
+    pub const ALL: [Interrupt; 7] = [
+        Interrupt::Timeout,
+        Interrupt::Conflicts,
+        Interrupt::Decisions,
+        Interrupt::Learned,
+        Interrupt::Memory,
+        Interrupt::Cancelled,
+        Interrupt::Panicked,
+    ];
+
+    /// Number of interrupt reasons ([`Interrupt::ALL`]`.len()`).
+    pub const COUNT: usize = Interrupt::ALL.len();
+
+    /// Stable lower-case name (used in JSON output and CLI messages).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Interrupt::Timeout => "timeout",
+            Interrupt::Conflicts => "conflicts",
+            Interrupt::Decisions => "decisions",
+            Interrupt::Learned => "learned",
+            Interrupt::Memory => "memory",
+            Interrupt::Cancelled => "cancelled",
+            Interrupt::Panicked => "panicked",
+        }
+    }
+
+    /// Position of this reason in [`Interrupt::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Interrupt::Timeout => 0,
+            Interrupt::Conflicts => 1,
+            Interrupt::Decisions => 2,
+            Interrupt::Learned => 3,
+            Interrupt::Memory => 4,
+            Interrupt::Cancelled => 5,
+            Interrupt::Panicked => 6,
+        }
+    }
+}
+
+impl fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which failure a [`FaultPlan`] forces.
+#[cfg(feature = "fault-injection")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the chosen checkpoint (exercises `catch_unwind` isolation).
+    Panic,
+    /// Pretend the memory budget is exhausted from the chosen checkpoint on
+    /// (sticky: survives the emergency database reduction, so the solve
+    /// aborts with [`Interrupt::Memory`]).
+    MemoryExhaustion,
+    /// Cancel at the chosen checkpoint, as if Ctrl-C had been pressed.
+    Cancel,
+}
+
+/// Deterministic fault injection for resilience tests.
+///
+/// Carried in a [`Budget`]; fires **exactly once** across all budgets
+/// cloned from the same plan (the armed flag is shared), at the first
+/// checkpoint whose global ordinal reaches `at_checkpoint`. That way a
+/// plan threaded through a sequence of explicit-learning sub-solves takes
+/// down one sub-solve, not every one after the Nth.
+#[cfg(feature = "fault-injection")]
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    at_checkpoint: u64,
+    kind: FaultKind,
+    armed: Arc<AtomicBool>,
+}
+
+#[cfg(feature = "fault-injection")]
+impl FaultPlan {
+    /// A plan forcing `kind` at the `at_checkpoint`-th checkpoint (1-based)
+    /// of whichever metered solve gets there first.
+    pub fn new(kind: FaultKind, at_checkpoint: u64) -> FaultPlan {
+        FaultPlan {
+            at_checkpoint,
+            kind,
+            armed: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// Force a panic at the Nth checkpoint.
+    pub fn panic_at(n: u64) -> FaultPlan {
+        FaultPlan::new(FaultKind::Panic, n)
+    }
+
+    /// Force memory exhaustion at the Nth checkpoint.
+    pub fn memory_at(n: u64) -> FaultPlan {
+        FaultPlan::new(FaultKind::MemoryExhaustion, n)
+    }
+
+    /// Force cancellation at the Nth checkpoint.
+    pub fn cancel_at(n: u64) -> FaultPlan {
+        FaultPlan::new(FaultKind::Cancel, n)
+    }
+
+    /// The injected failure kind.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// The checkpoint ordinal the fault is scheduled for.
+    pub fn at_checkpoint(&self) -> u64 {
+        self.at_checkpoint
+    }
+
+    /// True once the fault has fired (on any clone).
+    pub fn fired(&self) -> bool {
+        !self.armed.load(Ordering::Relaxed)
+    }
+
+    /// Fire at most once, when `checkpoint` has reached the scheduled
+    /// ordinal. Returns the kind to apply, or `None`.
+    fn try_fire(&self, checkpoint: u64) -> Option<FaultKind> {
+        if checkpoint < self.at_checkpoint {
+            return None;
+        }
+        self.armed
+            .compare_exchange(true, false, Ordering::Relaxed, Ordering::Relaxed)
+            .ok()
+            .map(|_| self.kind)
+    }
+}
 
 /// Resource budget for one solver call.
 ///
 /// Every limit is *per call*: a reusable solver starts a fresh count on
-/// each budgeted entry point. `None` means unlimited.
-#[derive(Clone, Copy, Debug, Default)]
+/// each budgeted entry point. `None` means unlimited. Cloning a budget
+/// shares its [`CancelToken`] (and fault plan), so sub-budgets derived
+/// from a caller's budget stay cancellable together.
+#[derive(Clone, Debug, Default)]
 pub struct Budget {
     /// Stop after this many learned clauses (the paper aborts each explicit
     /// sub-problem after 10 learned gates).
@@ -30,6 +233,16 @@ pub struct Budget {
     pub max_decisions: Option<u64>,
     /// Stop after this much wall-clock time.
     pub max_time: Option<Duration>,
+    /// Bound on the learned-clause arena, in bytes. Under pressure the
+    /// solver first runs an emergency database reduction (dropping cold,
+    /// unpinned clauses); the solve aborts with [`Interrupt::Memory`] only
+    /// if the pinned/locked floor still exceeds the limit.
+    pub max_memory_bytes: Option<u64>,
+    /// Cooperative cancellation: checked at every checkpoint.
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault injection (tests only; see [`FaultPlan`]).
+    #[cfg(feature = "fault-injection")]
+    pub fault: Option<FaultPlan>,
 }
 
 impl Budget {
@@ -39,6 +252,10 @@ impl Budget {
         max_conflicts: None,
         max_decisions: None,
         max_time: None,
+        max_memory_bytes: None,
+        cancel: None,
+        #[cfg(feature = "fault-injection")]
+        fault: None,
     };
 
     /// The paper's per-sub-problem budget: abort after `n` learned gates.
@@ -65,6 +282,14 @@ impl Budget {
         }
     }
 
+    /// Memory budget over the learned-clause arena.
+    pub fn memory(bytes: u64) -> Budget {
+        Budget {
+            max_memory_bytes: Some(bytes),
+            ..Budget::UNLIMITED
+        }
+    }
+
     /// Wall-clock budget from an optional timeout (`None` = unlimited) —
     /// the shape every CLI `--timeout` flag produces.
     pub fn from_timeout(d: Option<Duration>) -> Budget {
@@ -74,12 +299,185 @@ impl Budget {
         }
     }
 
+    /// Attach a cancellation token (builder-style).
+    pub fn with_cancel(mut self, token: CancelToken) -> Budget {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Set the memory limit (builder-style); `None` clears it.
+    pub fn with_memory_limit(mut self, bytes: Option<u64>) -> Budget {
+        self.max_memory_bytes = bytes;
+        self
+    }
+
+    /// Attach a fault-injection plan (builder-style; tests only).
+    #[cfg(feature = "fault-injection")]
+    pub fn with_fault(mut self, plan: FaultPlan) -> Budget {
+        self.fault = Some(plan);
+        self
+    }
+
     /// True when no limit is set at all.
     pub fn is_unlimited(&self) -> bool {
-        self.max_learned.is_none()
+        let unlimited = self.max_learned.is_none()
             && self.max_conflicts.is_none()
             && self.max_decisions.is_none()
             && self.max_time.is_none()
+            && self.max_memory_bytes.is_none()
+            && self.cancel.is_none();
+        #[cfg(feature = "fault-injection")]
+        let unlimited = unlimited && self.fault.is_none();
+        unlimited
+    }
+}
+
+/// Per-call budget enforcement.
+///
+/// A solver creates one meter at the top of a budgeted entry point and
+/// calls [`BudgetMeter::checkpoint`] at every decision and conflict
+/// boundary with its current per-call counters. The meter owns the
+/// wall-clock start, throttles `Instant::now` polling, observes the cancel
+/// token every call, and applies any fault-injection plan. All verdicts
+/// are sticky: once a reason has been reported, later checkpoints keep
+/// reporting it.
+#[derive(Debug)]
+pub struct BudgetMeter {
+    budget: Budget,
+    start: Instant,
+    checkpoints: u64,
+    until_time_poll: u32,
+    time_exhausted: bool,
+    #[cfg(feature = "fault-injection")]
+    forced_memory: bool,
+    #[cfg(feature = "fault-injection")]
+    forced_cancel: bool,
+}
+
+impl BudgetMeter {
+    /// Checkpoints between wall-clock polls (an `Instant::now` call costs
+    /// tens of nanoseconds; decisions can be far cheaper than that).
+    pub const TIME_POLL_INTERVAL: u32 = 64;
+
+    /// Start metering against `budget`. The wall clock starts now.
+    pub fn new(budget: &Budget) -> BudgetMeter {
+        BudgetMeter {
+            budget: budget.clone(),
+            start: Instant::now(),
+            checkpoints: 0,
+            until_time_poll: 1,
+            time_exhausted: false,
+            #[cfg(feature = "fault-injection")]
+            forced_memory: false,
+            #[cfg(feature = "fault-injection")]
+            forced_cancel: false,
+        }
+    }
+
+    /// Wall-clock time since the meter was created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Checkpoints taken so far.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// The budget's memory limit, if any.
+    pub fn memory_limit(&self) -> Option<u64> {
+        self.budget.max_memory_bytes
+    }
+
+    /// One cooperative checkpoint. `learned`/`conflicts`/`decisions` are
+    /// the caller's per-call counters; `memory_bytes` is the current
+    /// learned-clause arena size. Returns the first exhausted limit, or
+    /// `None` to keep solving.
+    ///
+    /// [`Interrupt::Memory`] is advisory on first sight: the solver should
+    /// run an emergency database reduction and re-check with
+    /// [`BudgetMeter::memory_exceeded`] before giving up.
+    pub fn checkpoint(
+        &mut self,
+        learned: u64,
+        conflicts: u64,
+        decisions: u64,
+        memory_bytes: u64,
+    ) -> Option<Interrupt> {
+        self.checkpoints += 1;
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &self.budget.fault {
+            match plan.try_fire(self.checkpoints) {
+                Some(FaultKind::Panic) => {
+                    panic!(
+                        "fault injection: forced panic at checkpoint {}",
+                        self.checkpoints
+                    );
+                }
+                Some(FaultKind::MemoryExhaustion) => self.forced_memory = true,
+                Some(FaultKind::Cancel) => {
+                    // Go through the real token when there is one so the
+                    // cancellation is observable outside this meter too.
+                    match &self.budget.cancel {
+                        Some(token) => token.cancel(),
+                        None => self.forced_cancel = true,
+                    }
+                }
+                None => {}
+            }
+        }
+        #[cfg(feature = "fault-injection")]
+        if self.forced_cancel {
+            return Some(Interrupt::Cancelled);
+        }
+        if let Some(token) = &self.budget.cancel {
+            if token.is_cancelled() {
+                return Some(Interrupt::Cancelled);
+            }
+        }
+        if self.time_exhausted {
+            return Some(Interrupt::Timeout);
+        }
+        if let Some(max) = self.budget.max_time {
+            self.until_time_poll -= 1;
+            if self.until_time_poll == 0 {
+                self.until_time_poll = BudgetMeter::TIME_POLL_INTERVAL;
+                if self.start.elapsed() >= max {
+                    self.time_exhausted = true;
+                    return Some(Interrupt::Timeout);
+                }
+            }
+        }
+        if self.memory_exceeded(memory_bytes) {
+            return Some(Interrupt::Memory);
+        }
+        if let Some(max) = self.budget.max_learned {
+            if learned >= max {
+                return Some(Interrupt::Learned);
+            }
+        }
+        if let Some(max) = self.budget.max_conflicts {
+            if conflicts >= max {
+                return Some(Interrupt::Conflicts);
+            }
+        }
+        if let Some(max) = self.budget.max_decisions {
+            if decisions > max {
+                return Some(Interrupt::Decisions);
+            }
+        }
+        None
+    }
+
+    /// True when `memory_bytes` exceeds the memory limit (or a fault plan
+    /// forced exhaustion, which sticks even through database reduction).
+    /// Used by solvers to re-check after an emergency reduction.
+    pub fn memory_exceeded(&self, memory_bytes: u64) -> bool {
+        #[cfg(feature = "fault-injection")]
+        if self.forced_memory {
+            return true;
+        }
+        matches!(self.budget.max_memory_bytes, Some(max) if memory_bytes > max)
     }
 }
 
@@ -94,8 +492,9 @@ pub enum Verdict {
     Sat(Vec<bool>),
     /// Unsatisfiable.
     Unsat,
-    /// A budget ran out before an answer.
-    Unknown,
+    /// A budget ran out (or the solve was cancelled, or a sub-solve
+    /// panicked) before an answer; the reason says which.
+    Unknown(Interrupt),
 }
 
 impl Verdict {
@@ -111,7 +510,15 @@ impl Verdict {
 
     /// True for [`Verdict::Unknown`].
     pub fn is_unknown(&self) -> bool {
-        matches!(self, Verdict::Unknown)
+        matches!(self, Verdict::Unknown(_))
+    }
+
+    /// Why the solve stopped, when it stopped without an answer.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        match self {
+            Verdict::Unknown(reason) => Some(*reason),
+            _ => None,
+        }
     }
 
     /// The satisfying model, when there is one.
@@ -133,9 +540,19 @@ pub enum SubVerdict {
     /// Unsatisfiable under the assumptions; the returned literals are a
     /// subset of the assumptions whose conjunction is refuted.
     UnsatUnderAssumptions(Vec<Lit>),
-    /// The budget ran out (this is the normal way an explicit-learning
-    /// sub-problem ends).
-    Aborted,
+    /// A budget ran out (this is the normal way an explicit-learning
+    /// sub-problem ends); the reason says which limit.
+    Aborted(Interrupt),
+}
+
+impl SubVerdict {
+    /// Why the sub-solve stopped, when it was aborted.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        match self {
+            SubVerdict::Aborted(reason) => Some(*reason),
+            _ => None,
+        }
+    }
 }
 
 impl From<SubVerdict> for Verdict {
@@ -143,7 +560,7 @@ impl From<SubVerdict> for Verdict {
         match sub {
             SubVerdict::Sat(model) => Verdict::Sat(model),
             SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_) => Verdict::Unsat,
-            SubVerdict::Aborted => Verdict::Unknown,
+            SubVerdict::Aborted(reason) => Verdict::Unknown(reason),
         }
     }
 }
@@ -157,8 +574,12 @@ mod tests {
         assert_eq!(Budget::learned(10).max_learned, Some(10));
         assert_eq!(Budget::conflicts(5).max_conflicts, Some(5));
         assert!(Budget::time(Duration::from_secs(1)).max_time.is_some());
+        assert_eq!(Budget::memory(1 << 20).max_memory_bytes, Some(1 << 20));
         assert!(Budget::UNLIMITED.is_unlimited());
         assert!(!Budget::conflicts(5).is_unlimited());
+        assert!(!Budget::UNLIMITED
+            .with_cancel(CancelToken::new())
+            .is_unlimited());
         assert!(Budget::from_timeout(None).is_unlimited());
         assert_eq!(
             Budget::from_timeout(Some(Duration::from_secs(2))).max_time,
@@ -167,17 +588,122 @@ mod tests {
     }
 
     #[test]
+    fn cancel_token_is_shared_between_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        clone.reset();
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn interrupt_names_and_indices_are_consistent() {
+        for (i, reason) in Interrupt::ALL.iter().enumerate() {
+            assert_eq!(reason.index(), i);
+            assert_eq!(format!("{reason}"), reason.as_str());
+        }
+        assert_eq!(Interrupt::COUNT, Interrupt::ALL.len());
+        assert_eq!(Interrupt::Memory.as_str(), "memory");
+    }
+
+    #[test]
+    fn meter_reports_counter_limits() {
+        let mut meter = BudgetMeter::new(&Budget::conflicts(3));
+        assert_eq!(meter.checkpoint(0, 2, 10, 0), None);
+        assert_eq!(meter.checkpoint(0, 3, 11, 0), Some(Interrupt::Conflicts));
+
+        let mut meter = BudgetMeter::new(&Budget::learned(1));
+        assert_eq!(meter.checkpoint(1, 0, 0, 0), Some(Interrupt::Learned));
+
+        let budget = Budget {
+            max_decisions: Some(5),
+            ..Budget::UNLIMITED
+        };
+        let mut meter = BudgetMeter::new(&budget);
+        assert_eq!(meter.checkpoint(0, 0, 5, 0), None);
+        assert_eq!(meter.checkpoint(0, 0, 6, 0), Some(Interrupt::Decisions));
+    }
+
+    #[test]
+    fn meter_reports_cancellation_immediately() {
+        let token = CancelToken::new();
+        let budget = Budget::UNLIMITED.with_cancel(token.clone());
+        let mut meter = BudgetMeter::new(&budget);
+        assert_eq!(meter.checkpoint(0, 0, 0, 0), None);
+        token.cancel();
+        assert_eq!(meter.checkpoint(0, 0, 0, 0), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn meter_reports_memory_and_timeout() {
+        let mut meter = BudgetMeter::new(&Budget::memory(100));
+        assert_eq!(meter.checkpoint(0, 0, 0, 100), None);
+        assert_eq!(meter.checkpoint(0, 0, 0, 101), Some(Interrupt::Memory));
+        assert!(meter.memory_exceeded(101));
+        assert!(!meter.memory_exceeded(100));
+
+        let mut meter = BudgetMeter::new(&Budget::time(Duration::ZERO));
+        // The first checkpoint always polls the clock.
+        assert_eq!(meter.checkpoint(0, 0, 0, 0), Some(Interrupt::Timeout));
+        // And the result is sticky without further polling.
+        assert_eq!(meter.checkpoint(0, 0, 0, 0), Some(Interrupt::Timeout));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn fault_plan_fires_once_across_clones() {
+        let plan = FaultPlan::cancel_at(3);
+        let budget = Budget::UNLIMITED.with_fault(plan.clone());
+        let mut first = BudgetMeter::new(&budget);
+        assert_eq!(first.checkpoint(0, 0, 0, 0), None);
+        assert_eq!(first.checkpoint(0, 0, 0, 0), None);
+        assert_eq!(first.checkpoint(0, 0, 0, 0), Some(Interrupt::Cancelled));
+        assert!(plan.fired());
+        // A second meter over a clone of the same budget does not re-fire.
+        let mut second = BudgetMeter::new(&budget.clone());
+        for _ in 0..10 {
+            assert_eq!(second.checkpoint(0, 0, 0, 0), None);
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn forced_memory_exhaustion_is_sticky() {
+        let budget = Budget::UNLIMITED.with_fault(FaultPlan::memory_at(1));
+        let mut meter = BudgetMeter::new(&budget);
+        assert_eq!(meter.checkpoint(0, 0, 0, 0), Some(Interrupt::Memory));
+        // Sticks even though no real memory limit is set.
+        assert!(meter.memory_exceeded(0));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    #[should_panic(expected = "fault injection: forced panic")]
+    fn forced_panic_panics() {
+        let budget = Budget::UNLIMITED.with_fault(FaultPlan::panic_at(1));
+        let mut meter = BudgetMeter::new(&budget);
+        let _ = meter.checkpoint(0, 0, 0, 0);
+    }
+
+    #[test]
     fn verdict_helpers() {
         assert!(Verdict::Sat(vec![]).is_sat());
         assert!(Verdict::Unsat.is_unsat());
-        assert!(Verdict::Unknown.is_unknown());
-        assert!(!Verdict::Unknown.is_sat());
+        assert!(Verdict::Unknown(Interrupt::Timeout).is_unknown());
+        assert!(!Verdict::Unknown(Interrupt::Timeout).is_sat());
+        assert_eq!(
+            Verdict::Unknown(Interrupt::Cancelled).interrupt(),
+            Some(Interrupt::Cancelled)
+        );
+        assert_eq!(Verdict::Unsat.interrupt(), None);
         assert_eq!(
             Verdict::Sat(vec![true, false]).model(),
             Some(&[true, false][..])
         );
         assert_eq!(Verdict::Unsat.model(), None);
-        assert_eq!(Verdict::Unknown.model(), None);
+        assert_eq!(Verdict::Unknown(Interrupt::Memory).model(), None);
     }
 
     #[test]
@@ -191,6 +717,14 @@ mod tests {
             Verdict::from(SubVerdict::UnsatUnderAssumptions(vec![])),
             Verdict::Unsat
         );
-        assert_eq!(Verdict::from(SubVerdict::Aborted), Verdict::Unknown);
+        assert_eq!(
+            Verdict::from(SubVerdict::Aborted(Interrupt::Learned)),
+            Verdict::Unknown(Interrupt::Learned)
+        );
+        assert_eq!(
+            SubVerdict::Aborted(Interrupt::Conflicts).interrupt(),
+            Some(Interrupt::Conflicts)
+        );
+        assert_eq!(SubVerdict::Unsat.interrupt(), None);
     }
 }

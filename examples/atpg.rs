@@ -70,7 +70,7 @@ fn main() {
                 tested += 1;
             }
             Verdict::Unsat => untestable += 1,
-            Verdict::Unknown => unreachable!("no budget set"),
+            Verdict::Unknown(_) => unreachable!("no budget set"),
         }
     }
     println!(

@@ -48,7 +48,7 @@ fn main() {
                 break;
             }
             Verdict::Unsat => println!("bound {k:2}: unreachable"),
-            Verdict::Unknown => println!("bound {k:2}: unknown"),
+            Verdict::Unknown(reason) => println!("bound {k:2}: unknown ({reason})"),
         }
     }
 }

@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("cnf solver:     SAT in {:?}", t.elapsed());
         }
         Verdict::Unsat => println!("cnf solver:     UNSAT in {:?}", t.elapsed()),
-        Verdict::Unknown => println!("cnf solver:     unknown"),
+        Verdict::Unknown(reason) => println!("cnf solver:     unknown ({reason})"),
     }
 
     // 2. Circuit solver over the 2-level OR-AND conversion.
@@ -74,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("model: {dimacs:?}");
         }
         Verdict::Unsat => println!("circuit solver: UNSAT in {:?}", t.elapsed()),
-        Verdict::Unknown => println!("circuit solver: unknown"),
+        Verdict::Unknown(reason) => println!("circuit solver: unknown ({reason})"),
     }
     Ok(())
 }

@@ -77,7 +77,7 @@ fn main() {
         match solver.solve(m.objective) {
             Verdict::Sat(model) => extra_patterns.push(model),
             Verdict::Unsat => untestable += 1,
-            Verdict::Unknown => unreachable!("no budget configured"),
+            Verdict::Unknown(_) => unreachable!("no budget configured"),
         }
     }
     println!(

@@ -30,7 +30,7 @@ fn main() {
             assert!(aig.lit_value(&values, y));
         }
         Verdict::Unsat => println!("y can never be 1"),
-        Verdict::Unknown => println!("budget exhausted"),
+        Verdict::Unknown(reason) => println!("budget exhausted ({reason})"),
     }
 
     // The same solver can answer more queries; learned clauses carry over.

@@ -24,6 +24,19 @@ run_fuzz_smoke() {
     cargo run --release --bin csat-fuzz -- \
         --seed 0 --iters 200 --matrix quick --corpus-dir fuzz/corpus
 }
+run_resilience() {
+    # Fault injection: force every interrupt reason (panic, memory
+    # exhaustion, cancellation, expired clock, conflict/decision budgets)
+    # at deterministic checkpoints and check the structured verdicts,
+    # telemetry events and panic containment end-to-end.
+    cargo test --release --features fault-injection --test fault_injection
+    # And a fuzz smoke under a deliberately tiny memory budget: emergency
+    # DB reductions and Memory aborts must abstain cleanly, never corrupt
+    # an answer (a wrong verdict here is a matrix disagreement → exit 1).
+    cargo run --release --bin csat-fuzz -- \
+        --seed 7 --iters 60 --matrix quick --mem-limit 65536 \
+        --corpus-dir fuzz/corpus
+}
 
 case "${1:-all}" in
     fmt) run_fmt ;;
@@ -32,6 +45,7 @@ case "${1:-all}" in
     test) run_test ;;
     doc) run_doc ;;
     fuzz-smoke) run_fuzz_smoke ;;
+    resilience) run_resilience ;;
     all)
         run_fmt
         run_clippy
@@ -39,9 +53,10 @@ case "${1:-all}" in
         run_test
         run_doc
         run_fuzz_smoke
+        run_resilience
         ;;
     *)
-        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|all]" >&2
+        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|resilience|all]" >&2
         exit 2
         ;;
 esac

@@ -13,6 +13,8 @@
 //!   --no-learning       plain C-SAT-Jnode (no correlation learning)
 //!   --check-proof       verify an EQUIVALENT verdict by unit propagation
 //!   --timeout <SECS>    abort after this many seconds
+//!   --mem-limit <BYTES> learned-clause memory budget (DB reduction under
+//!                       pressure; abort only if still over the limit)
 //!   --sim-words <N>     u64 words simulated per node per round [default: 4]
 //!   --sim-threads <N>   simulation threads (needs the `parallel` feature)
 //!   --stats             print solver statistics
@@ -21,7 +23,11 @@
 //! ```
 //!
 //! Exit code 0 = equivalent, 1 = different, 2 = usage/input error,
-//! 3 = proof check failure, 4 = timeout.
+//! 3 = proof check failure, 4 = interrupted (timeout, memory, Ctrl-C).
+//!
+//! Ctrl-C interrupts both the explicit-learning pass and the final solve
+//! cooperatively (`UNKNOWN (cancelled)`, exit 4); a second Ctrl-C kills
+//! the process with status 130.
 
 use std::error::Error;
 use std::process::ExitCode;
@@ -38,6 +44,7 @@ struct Options {
     learning: bool,
     check_proof: bool,
     timeout: Option<Duration>,
+    mem_limit: Option<u64>,
     simulation: SimulationOptions,
     stats: bool,
     progress: Option<Duration>,
@@ -47,8 +54,9 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: cec [--no-learning] [--check-proof] [--timeout SECS]\n\
-         \x20          [--sim-words N] [--sim-threads N] [--stats]\n\
-         \x20          [--progress SECS] [--metrics-out FILE] <left> <right>"
+         \x20          [--mem-limit BYTES] [--sim-words N] [--sim-threads N]\n\
+         \x20          [--stats] [--progress SECS] [--metrics-out FILE]\n\
+         \x20          <left> <right>"
     );
     std::process::exit(2)
 }
@@ -60,6 +68,7 @@ fn parse_args() -> Options {
         learning: true,
         check_proof: false,
         timeout: None,
+        mem_limit: None,
         simulation: SimulationOptions::default(),
         stats: false,
         progress: None,
@@ -76,6 +85,13 @@ fn parse_args() -> Options {
                     .and_then(|t| t.parse().ok())
                     .unwrap_or_else(|| usage());
                 options.timeout = Some(Duration::from_secs(secs));
+            }
+            "--mem-limit" => {
+                let bytes: u64 = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| usage());
+                options.mem_limit = Some(bytes);
             }
             "--sim-words" => {
                 options.simulation.words = args
@@ -175,6 +191,9 @@ fn main() -> ExitCode {
     if options.check_proof {
         solver.start_proof();
     }
+    let budget = Budget::from_timeout(options.timeout)
+        .with_memory_limit(options.mem_limit)
+        .with_cancel(csat::signal::install());
     if options.learning {
         let correlations = find_correlations_observed(&m.aig, &options.simulation, obs);
         eprintln!(
@@ -185,14 +204,27 @@ fn main() -> ExitCode {
             correlations.stats.patterns
         );
         solver.set_correlations(&correlations);
-        let report =
-            explicit::run_observed(&mut solver, &correlations, &ExplicitOptions::default(), obs);
+        let report = explicit::run_budgeted_observed(
+            &mut solver,
+            &correlations,
+            &ExplicitOptions::default(),
+            &budget,
+            obs,
+        );
         eprintln!(
             "c explicit learning: {}/{} sub-problems refuted",
             report.refuted, report.subproblems
         );
+        if report.panicked > 0 {
+            eprintln!(
+                "c explicit learning: {} sub-solve(s) panicked (isolated)",
+                report.panicked
+            );
+        }
+        if let Some(reason) = report.interrupted {
+            eprintln!("c explicit learning interrupted: {reason}");
+        }
     }
-    let budget = Budget::from_timeout(options.timeout);
     let verdict = solver.solve_observed(m.objective, &budget, obs);
     let elapsed = start.elapsed();
     eprintln!("c solved in {elapsed:?}");
@@ -203,7 +235,7 @@ fn main() -> ExitCode {
         let name = match &verdict {
             Verdict::Sat(_) => "SAT",
             Verdict::Unsat => "UNSAT",
-            Verdict::Unknown => "UNKNOWN",
+            Verdict::Unknown(_) => "UNKNOWN",
         };
         let report = progress.recorder.report_json(name, elapsed);
         match std::fs::write(path, report + "\n") {
@@ -241,8 +273,8 @@ fn main() -> ExitCode {
             }
             ExitCode::from(1)
         }
-        Verdict::Unknown => {
-            println!("UNKNOWN (timeout)");
+        Verdict::Unknown(reason) => {
+            println!("UNKNOWN ({reason})");
             ExitCode::from(4)
         }
     }

@@ -12,10 +12,16 @@
 //!   --corpus-dir <D>    where disagreement repros are written
 //!                       [default: fuzz/corpus]
 //!   --conflict-budget <N>  per-oracle conflict budget [default: 100000]
+//!   --mem-limit <BYTES> per-oracle learned-clause memory budget
 //! ```
 //!
 //! Exit codes: 0 — all oracles agreed on every instance; 1 — at least one
 //! disagreement (repros written to the corpus directory); 2 — usage error.
+//!
+//! Ctrl-C stops the sweep cooperatively: the current oracle aborts at its
+//! next checkpoint, the summary row is still written, and the exit code
+//! reflects the disagreements found so far. A second Ctrl-C kills the
+//! process with status 130.
 //!
 //! With equal options two runs produce byte-identical JSONL except for the
 //! `seconds` timing fields (and, under `--time-budget`, possibly the row
@@ -31,7 +37,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: csat-fuzz [--seed N] [--iters N] [--time-budget SECS]\n\
          \x20               [--matrix quick|full] [--json] [--corpus-dir DIR]\n\
-         \x20               [--conflict-budget N]"
+         \x20               [--conflict-budget N] [--mem-limit BYTES]"
     );
     std::process::exit(2)
 }
@@ -77,6 +83,13 @@ fn parse_args() -> FuzzOptions {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--mem-limit" => {
+                options.mem_limit = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             _ => usage(),
         }
     }
@@ -84,7 +97,8 @@ fn parse_args() -> FuzzOptions {
 }
 
 fn main() -> ExitCode {
-    let options = parse_args();
+    let mut options = parse_args();
+    options.cancel = Some(csat::signal::install());
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let summary = match run(&options, &mut out) {
@@ -103,6 +117,12 @@ fn main() -> ExitCode {
         summary.elapsed.as_secs_f64(),
         summary.disagreements
     );
+    if summary.cancelled {
+        eprintln!(
+            "c cancelled by Ctrl-C after {} instance(s)",
+            summary.iters_run
+        );
+    }
     for repro in &summary.repros {
         eprintln!("c repro written: {}", repro.bench.display());
     }

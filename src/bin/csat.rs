@@ -13,12 +13,18 @@
 //!   --no-explicit       disable the explicit learning pass
 //!   --check-proof       verify UNSAT answers by reverse unit propagation
 //!   --timeout <SECS>    abort after this many seconds
+//!   --mem-limit <BYTES> learned-clause memory budget (DB reduction under
+//!                       pressure; abort only if still over the limit)
 //!   --sim-words <N>     u64 words simulated per node per round [default: 4]
 //!   --sim-threads <N>   simulation threads (needs the `parallel` feature)
 //!   --stats             print solver statistics
 //!   --progress <SECS>   emit JSONL progress snapshots to stderr
 //!   --metrics-out <F>   write an end-of-run JSON metrics report to F
 //! ```
+//!
+//! Ctrl-C interrupts the solve cooperatively: the first strike yields
+//! `s UNKNOWN` (reason `cancelled`) with partial statistics and a clean
+//! exit; the second kills the process with status 130.
 
 use std::error::Error;
 use std::process::ExitCode;
@@ -38,6 +44,7 @@ struct Options {
     explicit_pass: bool,
     check_proof: bool,
     timeout: Option<Duration>,
+    mem_limit: Option<u64>,
     simulation: SimulationOptions,
     stats: bool,
     progress: Option<Duration>,
@@ -55,7 +62,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: csat [--output NAME] [--negate] [--engine circuit|circuit-plain|cnf]\n\
          \x20           [--no-implicit] [--no-explicit] [--check-proof]\n\
-         \x20           [--timeout SECS] [--sim-words N] [--sim-threads N]\n\
+         \x20           [--timeout SECS] [--mem-limit BYTES]\n\
+         \x20           [--sim-words N] [--sim-threads N]\n\
          \x20           [--stats] [--progress SECS] [--metrics-out FILE]\n\
          \x20           <file.{{bench,aag,cnf}}>"
     );
@@ -72,6 +80,7 @@ fn parse_args() -> Options {
         explicit_pass: true,
         check_proof: false,
         timeout: None,
+        mem_limit: None,
         simulation: SimulationOptions::default(),
         stats: false,
         progress: None,
@@ -99,6 +108,13 @@ fn parse_args() -> Options {
                     .and_then(|t| t.parse().ok())
                     .unwrap_or_else(|| usage());
                 options.timeout = Some(Duration::from_secs(secs));
+            }
+            "--mem-limit" => {
+                let bytes: u64 = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| usage());
+                options.mem_limit = Some(bytes);
             }
             "--sim-words" => {
                 options.simulation.words = args
@@ -195,7 +211,9 @@ fn main() -> ExitCode {
     let mut progress = ProgressObserver::new(std::io::stderr(), options.progress);
     let mut noop = NoOpObserver;
     let obs: &mut dyn Observer = if observing { &mut progress } else { &mut noop };
-    let budget = Budget::from_timeout(options.timeout);
+    let budget = Budget::from_timeout(options.timeout)
+        .with_memory_limit(options.mem_limit)
+        .with_cancel(csat::signal::install());
     let verdict = match options.engine {
         Engine::Cnf => {
             let enc = csat::netlist::tseitin::encode_with_objective(&aig, objective);
@@ -204,7 +222,7 @@ fn main() -> ExitCode {
             match outcome {
                 Verdict::Sat(model) => Verdict::Sat(enc.input_values(&aig, &model)),
                 Verdict::Unsat => Verdict::Unsat,
-                Verdict::Unknown => Verdict::Unknown,
+                Verdict::Unknown(reason) => Verdict::Unknown(reason),
             }
         }
         ref engine => {
@@ -230,16 +248,20 @@ fn main() -> ExitCode {
                 );
                 solver.set_correlations(&correlations);
                 if options.explicit_pass {
-                    let report = explicit::run_observed(
+                    let report = explicit::run_budgeted_observed(
                         &mut solver,
                         &correlations,
                         &ExplicitOptions::default(),
+                        &budget,
                         obs,
                     );
                     eprintln!(
                         "c explicit learning: {} sub-problems ({} refuted)",
                         report.subproblems, report.refuted
                     );
+                    if let Some(reason) = report.interrupted {
+                        eprintln!("c explicit learning interrupted: {reason}");
+                    }
                 }
             }
             let verdict = solver.solve_observed(objective, &budget, obs);
@@ -265,7 +287,7 @@ fn main() -> ExitCode {
         let name = match &verdict {
             Verdict::Sat(_) => "SAT",
             Verdict::Unsat => "UNSAT",
-            Verdict::Unknown => "UNKNOWN",
+            Verdict::Unknown(_) => "UNKNOWN",
         };
         let report = progress.recorder.report_json(name, elapsed);
         match std::fs::write(path, report + "\n") {
@@ -289,7 +311,8 @@ fn main() -> ExitCode {
             println!("s UNSATISFIABLE");
             ExitCode::from(20)
         }
-        Verdict::Unknown => {
+        Verdict::Unknown(reason) => {
+            eprintln!("c interrupted: {reason}");
             println!("s UNKNOWN");
             ExitCode::SUCCESS
         }

@@ -15,6 +15,8 @@
 //!   implicit/explicit correlation-guided learning.
 //! * [`fuzz`] — the deterministic differential-testing engine cross-checking
 //!   the full solver configuration matrix.
+//! * [`signal`] — Ctrl-C wiring: a SIGINT-backed [`types::CancelToken`]
+//!   shared by the CLI budgets.
 //!
 //! # Quickstart
 //!
@@ -34,6 +36,8 @@
 //!     other => panic!("expected SAT, got {other:?}"),
 //! }
 //! ```
+
+pub mod signal;
 
 pub use csat_cnf as cnf;
 pub use csat_core as core;

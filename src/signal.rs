@@ -1,0 +1,95 @@
+//! Ctrl-C (SIGINT) wiring for the CLIs.
+//!
+//! [`install`] registers a SIGINT handler and returns the process-wide
+//! [`CancelToken`] it trips. Pass the token into a
+//! [`Budget`](csat_types::Budget) (via
+//! [`Budget::with_cancel`](csat_types::Budget::with_cancel)) and the solvers
+//! notice the interrupt at their next cooperative checkpoint, unwind
+//! cleanly, and report `Verdict::Unknown(Interrupt::Cancelled)` — partial
+//! statistics and metrics survive.
+//!
+//! * First Ctrl-C: cooperative — the token is cancelled, solving stops at
+//!   the next checkpoint and the CLI prints what it learned.
+//! * Second Ctrl-C: immediate — the process exits with status 130 (the
+//!   shell convention for death-by-SIGINT), for loops that refuse to end.
+//!
+//! The handler body is async-signal-safe: one relaxed atomic increment,
+//! one relaxed atomic store (the token), and on the second strike `_exit`.
+//! No allocation, no locks, no formatting.
+//!
+//! On non-Unix targets [`install`] still returns a token; it is simply
+//! never tripped by a signal.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+use csat_types::CancelToken;
+
+/// The token [`install`] hands out, tripped by the signal handler.
+static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+/// SIGINTs received so far (the second one force-exits).
+static SIGINTS: AtomicU32 = AtomicU32::new(0);
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        /// ISO C `signal(2)` — enough here; we install one handler once
+        /// and never need `sigaction`'s extra control.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        /// `_exit(2)`: terminate without running atexit handlers or
+        /// unwinding — the only safe way out of a signal handler.
+        fn _exit(code: i32) -> !;
+    }
+
+    extern "C" fn handle_sigint(_signum: i32) {
+        let strikes = SIGINTS.fetch_add(1, Ordering::Relaxed);
+        if strikes == 0 {
+            if let Some(token) = TOKEN.get() {
+                token.cancel();
+            }
+        } else {
+            unsafe { _exit(130) }
+        }
+    }
+
+    pub fn install_handler() {
+        unsafe {
+            let _ = signal(SIGINT, handle_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install_handler() {}
+}
+
+/// Registers the SIGINT handler (idempotent) and returns the cancel token
+/// it trips. Clones of the token share the same flag, so every budget in
+/// the process can watch the same Ctrl-C.
+pub fn install() -> CancelToken {
+    let token = TOKEN.get_or_init(CancelToken::new).clone();
+    imp::install_handler();
+    token
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_idempotent_and_shares_one_token() {
+        let a = install();
+        let b = install();
+        assert!(!a.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+        a.reset();
+        assert!(!b.is_cancelled());
+    }
+}

@@ -46,7 +46,7 @@ proptest! {
                 prop_assert!(cnf.evaluate(&model));
             }
             Verdict::Unsat => prop_assert!(!expected),
-            Verdict::Unknown => prop_assert!(false, "no budget was set"),
+            Verdict::Unknown(_) => prop_assert!(false, "no budget was set"),
         }
     }
 

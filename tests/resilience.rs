@@ -1,0 +1,161 @@
+//! Resilience integration tests (always-on; see `fault_injection.rs` for
+//! the feature-gated injected-fault suite).
+//!
+//! Covers the cooperative interrupt machinery end-to-end without any
+//! injection: cancellation from another thread lands promptly and is
+//! reported as `Unknown(Cancelled)`; memory budgets trigger clause-DB
+//! reduction instead of wrong answers; the explicit-learning pass honors
+//! an outer budget; and the `csat` CLI exits 0 with `s UNKNOWN` on an
+//! interrupted run.
+
+use std::time::{Duration, Instant};
+
+use csat::core::{explicit, ExplicitOptions, Solver, SolverOptions};
+use csat::netlist::{generators, miter};
+use csat::sim::{find_correlations, SimulationOptions};
+use csat::telemetry::MetricsRecorder;
+use csat::types::{Budget, CancelToken, Interrupt, Verdict};
+
+/// A self-miter hard enough that no solver configuration finishes it in
+/// the few hundred milliseconds these tests allow.
+fn hard_miter() -> csat::netlist::miter::Miter {
+    miter::self_miter(&generators::array_multiplier(12), Default::default())
+}
+
+#[test]
+fn cancellation_from_another_thread_lands_promptly() {
+    let m = hard_miter();
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            token.cancel();
+        })
+    };
+    let mut solver = Solver::new(&m.aig, SolverOptions::default());
+    let start = Instant::now();
+    let verdict = solver.solve_with_budget(m.objective, &Budget::UNLIMITED.with_cancel(token));
+    canceller.join().expect("canceller thread");
+    assert_eq!(verdict, Verdict::Unknown(Interrupt::Cancelled));
+    // Checkpoints run at every conflict and decision, so the latency from
+    // token trip to abort is bounded by one propagation pass. Seconds of
+    // slack keep this robust on loaded CI machines.
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "cancellation latency too high: {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn cnf_cancellation_from_another_thread_lands_promptly() {
+    let m = hard_miter();
+    let enc = csat::netlist::tseitin::encode_with_objective(&m.aig, m.objective);
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            token.cancel();
+        })
+    };
+    let mut solver = csat::cnf::Solver::new(&enc.cnf, csat::cnf::SolverOptions::default());
+    let verdict = solver.solve_with_budget(&Budget::UNLIMITED.with_cancel(token));
+    canceller.join().expect("canceller thread");
+    assert_eq!(verdict, Verdict::Unknown(Interrupt::Cancelled));
+}
+
+#[test]
+fn memory_budget_reduces_db_instead_of_answering_wrong() {
+    // A real UNSAT miter under a budget far below what its learned clauses
+    // want: the solver must either still prove UNSAT (after emergency
+    // reductions) or abort with the Memory reason — never anything else.
+    let m = miter::self_miter(&generators::array_multiplier(7), Default::default());
+    let mut metrics = MetricsRecorder::default();
+    let mut solver = Solver::new(&m.aig, SolverOptions::default());
+    let verdict = solver.solve_observed(m.objective, &Budget::memory(16 * 1024), &mut metrics);
+    match verdict {
+        Verdict::Unsat => {
+            // Finishing under this budget requires reductions to have fired.
+            assert!(metrics.db_reductions > 0, "metrics: {metrics:?}");
+        }
+        Verdict::Unknown(Interrupt::Memory) => {
+            assert_eq!(metrics.exhausted(Interrupt::Memory), 1);
+        }
+        other => panic!("unsound under memory pressure: {other:?}"),
+    }
+}
+
+#[test]
+fn explicit_pass_honors_a_cancelled_outer_budget() {
+    let m = miter::self_miter(&generators::array_multiplier(6), Default::default());
+    let correlations = find_correlations(&m.aig, &SimulationOptions::default());
+    let mut solver = Solver::new(&m.aig, SolverOptions::with_implicit_learning());
+    solver.set_correlations(&correlations);
+    let token = CancelToken::new();
+    token.cancel();
+    let report = explicit::run_budgeted(
+        &mut solver,
+        &correlations,
+        &ExplicitOptions::default(),
+        &Budget::UNLIMITED.with_cancel(token),
+    );
+    assert_eq!(report.interrupted, Some(Interrupt::Cancelled));
+    assert!(report.subproblems <= 1, "report: {report:?}");
+    // The solver survives the interrupted pass and still solves.
+    assert!(solver.solve(m.objective).is_unsat());
+}
+
+#[test]
+fn explicit_pass_honors_an_expired_outer_clock() {
+    let m = miter::self_miter(&generators::array_multiplier(6), Default::default());
+    let correlations = find_correlations(&m.aig, &SimulationOptions::default());
+    let mut solver = Solver::new(&m.aig, SolverOptions::with_implicit_learning());
+    solver.set_correlations(&correlations);
+    let report = explicit::run_budgeted(
+        &mut solver,
+        &correlations,
+        &ExplicitOptions::default(),
+        &Budget::time(Duration::ZERO),
+    );
+    assert_eq!(report.interrupted, Some(Interrupt::Timeout));
+}
+
+#[test]
+fn cli_interrupted_run_exits_zero_with_unknown() {
+    // Pigeonhole 8-into-7 in DIMACS: far beyond a zero-second timeout.
+    let mut text = String::from("p cnf 56 204\n");
+    let var = |p: usize, h: usize| p * 7 + h + 1;
+    for p in 0..8 {
+        for h in 0..7 {
+            text.push_str(&format!("{} ", var(p, h)));
+        }
+        text.push_str("0\n");
+    }
+    for h in 0..7 {
+        for p1 in 0..8 {
+            for p2 in p1 + 1..8 {
+                text.push_str(&format!("-{} -{} 0\n", var(p1, h), var(p2, h)));
+            }
+        }
+    }
+    let path = std::env::temp_dir().join(format!("csat-resilience-{}.cnf", std::process::id()));
+    std::fs::write(&path, text).expect("write instance");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_csat"))
+        .arg("--timeout")
+        .arg("0")
+        .arg(&path)
+        .output()
+        .expect("run csat");
+    let _ = std::fs::remove_file(&path);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "status {:?}\nstdout: {stdout}\nstderr: {stderr}",
+        out.status
+    );
+    assert!(stdout.contains("s UNKNOWN"), "stdout: {stdout}");
+    assert!(stderr.contains("interrupted"), "stderr: {stderr}");
+}

@@ -6,7 +6,7 @@ use csat::core::{explicit, ExplicitOptions, Solver, SolverOptions};
 use csat::netlist::{generators, miter, tseitin};
 use csat::sim::{find_correlations_observed, SimulationOptions};
 use csat::telemetry::{MetricsRecorder, NoOpObserver, Observer, SolverEvent};
-use csat::types::{Budget, Verdict};
+use csat::types::{Budget, Interrupt, Verdict};
 
 /// A miter that exercises the full pipeline: simulation rounds, explicit
 /// sub-problems, implicit grouped decisions, conflicts and restarts.
@@ -165,9 +165,11 @@ fn budget_abort_keeps_metrics_consistent() {
     let mut metrics = MetricsRecorder::default();
     let mut solver = Solver::new(&m.aig, SolverOptions::default());
     let verdict = solver.solve_observed(m.objective, &Budget::conflicts(3), &mut metrics);
-    assert_eq!(verdict, Verdict::Unknown);
+    assert_eq!(verdict, Verdict::Unknown(Interrupt::Conflicts));
     let stats = *solver.stats();
     assert_eq!(metrics.decisions, stats.decisions);
     assert_eq!(metrics.conflicts, stats.conflicts);
     assert!(metrics.conflicts >= 3);
+    assert_eq!(metrics.exhausted(Interrupt::Conflicts), 1);
+    assert_eq!(metrics.exhausted_total(), 1);
 }
