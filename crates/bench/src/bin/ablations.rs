@@ -33,10 +33,7 @@ fn main() {
         ),
         (
             "jnode-nomin",
-            SolverOptions {
-                minimize_clauses: false,
-                ..Default::default()
-            },
+            SolverOptions::builder().minimize_clauses(false).build(),
             LearningMode::None,
         ),
         (
@@ -46,10 +43,12 @@ fn main() {
         ),
         (
             "norestart",
-            SolverOptions {
-                restart_threshold: 0.0,
-                ..Default::default()
-            },
+            SolverOptions::builder()
+                .restart(csat_core::RestartPolicy::BackjumpAverage {
+                    window: 4096,
+                    threshold: 0.0,
+                })
+                .build(),
             LearningMode::None,
         ),
     ];

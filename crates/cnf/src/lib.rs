@@ -9,8 +9,15 @@
 //! * VSIDS decision heuristic with periodic activity decay,
 //! * first-UIP conflict analysis with non-chronological backjumping,
 //! * learned-clause database reduction,
-//! * geometric restarts,
+//! * geometric restarts (Luby and back-jump-average selectable via
+//!   [`SearchOptions`]),
 //! * resource budgets via [`Budget`] (the paper aborts runs at 7200 s).
+//!
+//! Since the `csat-search` extraction this crate only contributes the
+//! CNF-specific half — watched-literal propagation over problem clauses —
+//! as a `Propagator` backend; the CDCL loop, conflict analysis,
+//! learned-clause arena, restarts and budgets are the shared kernel, the
+//! same code the circuit solver (`csat-core`) runs on.
 //!
 //! # Example
 //!
@@ -29,13 +36,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod heap;
 pub mod proof;
 mod solver;
 
 #[allow(deprecated)]
 pub use solver::Outcome;
-pub use solver::{Budget, Interrupt, Solver, SolverOptions, SolverOptionsBuilder, Stats, Verdict};
+pub use solver::{
+    Budget, ClauseActivity, Interrupt, LitOutOfRange, ReductionPolicy, RestartPolicy,
+    SearchOptions, SearchStats, Solver, SolverOptions, SolverOptionsBuilder, Stats, Verdict,
+};
 
 /// Checks a SAT model against the formula itself.
 ///

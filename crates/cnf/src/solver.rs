@@ -1,12 +1,21 @@
-//! The CDCL solver proper.
+//! The CDCL solver proper: a clause backend over the shared search kernel.
+//!
+//! The search loop, conflict analysis, learned-clause arena, restarts and
+//! budgets all live in [`csat_search`]; this module contributes the
+//! CNF-specific half — watched-literal propagation over the *problem*
+//! clauses and plain VSIDS decisions — as a [`Propagator`].
 
-use csat_netlist::cnf::{Cnf, Lit, Var};
-use csat_telemetry::{NoOpObserver, Observer, SolverEvent};
-use csat_types::BudgetMeter;
+use csat_netlist::cnf::{Cnf, Lit};
+use csat_search::{
+    ingest_clause, solve_under, Conflict, Propagator, Reason, SearchContext, SearchResult, FALSE,
+    TRUE,
+};
+use csat_telemetry::{NoOpObserver, Observer};
 
-use crate::heap::ActivityHeap;
-
-pub use csat_types::{Budget, Interrupt, Verdict};
+pub use csat_types::{
+    Budget, ClauseActivity, Interrupt, ReductionPolicy, RestartPolicy, SearchOptions, SearchStats,
+    Verdict,
+};
 
 /// Former name of [`Verdict`], kept for one release.
 ///
@@ -15,36 +24,53 @@ pub use csat_types::{Budget, Interrupt, Verdict};
 #[deprecated(since = "0.1.0", note = "renamed to `Verdict` (shared with csat-core)")]
 pub type Outcome = Verdict;
 
+/// Search statistics, readable after (or during) solving.
+///
+/// Now the kernel-wide [`SearchStats`]: the circuit solver reports through
+/// the same struct. `grouped_decisions` stays 0 here (the CNF baseline has
+/// no implicit learning).
+pub type Stats = SearchStats;
+
+/// Error from [`Solver::add_learned_clause`]: a literal referred to a
+/// variable outside the formula.
+pub type LitOutOfRange = csat_search::LitOutOfRange<Lit>;
+
 /// Tuning knobs.
 ///
-/// Resource limits moved out of the options and into [`Budget`]: pass one
-/// to [`Solver::solve_with_budget`]. Construct with
-/// [`SolverOptions::builder`] to override individual fields:
+/// All search policy lives in the shared [`SearchOptions`] block (the
+/// `search` field); this struct exists so the CNF solver can grow
+/// backend-specific switches without touching the kernel vocabulary.
+/// Construct with [`SolverOptions::builder`] to override individual
+/// fields:
 ///
 /// ```
-/// use csat_cnf::SolverOptions;
-/// let opts = SolverOptions::builder().restart_first(50).build();
-/// assert_eq!(opts.restart_first, 50);
+/// use csat_cnf::{RestartPolicy, SolverOptions};
+/// let opts = SolverOptions::builder()
+///     .restart(RestartPolicy::Geometric { first: 50, factor: 1.5 })
+///     .build();
+/// assert_eq!(
+///     opts.search.restart,
+///     RestartPolicy::Geometric { first: 50, factor: 1.5 }
+/// );
 /// ```
 #[derive(Clone, Copy, Debug)]
 pub struct SolverOptions {
-    /// Multiplicative VSIDS decay applied every [`SolverOptions::decay_interval`] conflicts.
-    pub var_decay: f64,
-    /// Conflicts between VSIDS decays (ZChaff decays periodically).
-    pub decay_interval: u64,
-    /// First restart after this many conflicts.
-    pub restart_first: u64,
-    /// Geometric restart growth factor.
-    pub restart_factor: f64,
+    /// Shared search-policy block (restarts, decay, reduction, phase
+    /// saving), interpreted by the `csat-search` kernel.
+    pub search: SearchOptions,
 }
 
 impl Default for SolverOptions {
+    /// ZChaff-style defaults: geometric restarts (first 100, factor 1.5),
+    /// use-count clause activities, no clause minimization.
     fn default() -> SolverOptions {
         SolverOptions {
-            var_decay: 0.5,
-            decay_interval: 256,
-            restart_first: 100,
-            restart_factor: 1.5,
+            search: SearchOptions {
+                restart: RestartPolicy::geometric_default(),
+                clause_activity: ClauseActivity::UseCount,
+                minimize_clauses: false,
+                ..SearchOptions::default()
+            },
         }
     }
 }
@@ -72,27 +98,84 @@ pub struct SolverOptionsBuilder {
 }
 
 impl SolverOptionsBuilder {
-    /// See [`SolverOptions::var_decay`].
+    /// Replaces the whole shared search-policy block.
+    pub fn search(mut self, search: SearchOptions) -> Self {
+        self.options.search = search;
+        self
+    }
+
+    /// See [`SearchOptions::restart`].
+    pub fn restart(mut self, policy: RestartPolicy) -> Self {
+        self.options.search.restart = policy;
+        self
+    }
+
+    /// See [`SearchOptions::reduction`].
+    pub fn reduction(mut self, policy: ReductionPolicy) -> Self {
+        self.options.search.reduction = policy;
+        self
+    }
+
+    /// See [`SearchOptions::phase_saving`].
+    pub fn phase_saving(mut self, on: bool) -> Self {
+        self.options.search.phase_saving = on;
+        self
+    }
+
+    /// See [`SearchOptions::minimize_clauses`].
+    pub fn minimize_clauses(mut self, on: bool) -> Self {
+        self.options.search.minimize_clauses = on;
+        self
+    }
+
+    /// See [`SearchOptions::var_decay`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `SearchOptions::var_decay` via `search()`"
+    )]
     pub fn var_decay(mut self, decay: f64) -> Self {
-        self.options.var_decay = decay;
+        self.options.search.var_decay = decay;
         self
     }
 
-    /// See [`SolverOptions::decay_interval`].
+    /// See [`SearchOptions::decay_interval`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `SearchOptions::decay_interval` via `search()`"
+    )]
     pub fn decay_interval(mut self, conflicts: u64) -> Self {
-        self.options.decay_interval = conflicts;
+        self.options.search.decay_interval = conflicts;
         self
     }
 
-    /// See [`SolverOptions::restart_first`].
+    /// Sets the first geometric restart interval.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `restart(RestartPolicy::Geometric { .. })`"
+    )]
     pub fn restart_first(mut self, conflicts: u64) -> Self {
-        self.options.restart_first = conflicts;
+        let factor = match self.options.search.restart {
+            RestartPolicy::Geometric { factor, .. } => factor,
+            _ => 1.5,
+        };
+        self.options.search.restart = RestartPolicy::Geometric {
+            first: conflicts,
+            factor,
+        };
         self
     }
 
-    /// See [`SolverOptions::restart_factor`].
+    /// Sets the geometric restart growth factor.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `restart(RestartPolicy::Geometric { .. })`"
+    )]
     pub fn restart_factor(mut self, factor: f64) -> Self {
-        self.options.restart_factor = factor;
+        let first = match self.options.search.restart {
+            RestartPolicy::Geometric { first, .. } => first,
+            _ => 100,
+        };
+        self.options.search.restart = RestartPolicy::Geometric { first, factor };
         self
     }
 
@@ -102,32 +185,88 @@ impl SolverOptionsBuilder {
     }
 }
 
-/// Search statistics, readable after (or during) solving.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Stats {
-    /// Decisions made.
-    pub decisions: u64,
-    /// Literals propagated.
-    pub propagations: u64,
-    /// Conflicts analyzed.
-    pub conflicts: u64,
-    /// Restarts performed.
-    pub restarts: u64,
-    /// Learned clauses currently in the database.
-    pub learnt_clauses: u64,
-    /// Learned clauses deleted by database reduction.
-    pub deleted_clauses: u64,
+/// The CNF-specific backend: watched-literal propagation over the problem
+/// clauses (which are never deleted, so watch lists are plain clause
+/// indices) and plain VSIDS decisions from the kernel heap.
+#[derive(Clone, Debug)]
+struct ClausePropagator {
+    clauses: Vec<Vec<Lit>>,
+    /// watches[l.code()]: problem clauses currently watching literal l.
+    watches: Vec<Vec<u32>>,
 }
 
-const UNDEF: u8 = 2;
-const NO_REASON: u32 = u32::MAX;
+impl Propagator for ClausePropagator {
+    type Lit = Lit;
 
-#[derive(Clone, Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    deleted: bool,
-    activity: f64,
+    fn propagate_literal(
+        &mut self,
+        ctx: &mut SearchContext<Lit>,
+        p: Lit,
+    ) -> Result<(), Conflict<Lit>> {
+        let falsified = !p;
+        let mut watch_list = std::mem::take(&mut self.watches[falsified.code()]);
+        let mut i = 0;
+        let mut result = Ok(());
+        while i < watch_list.len() {
+            let cref = watch_list[i];
+            let (first, new_watch) = {
+                let clause = &mut self.clauses[cref as usize];
+                // Normalize: watched literal in position 1.
+                if clause[0] == falsified {
+                    clause.swap(0, 1);
+                }
+                debug_assert_eq!(clause[1], falsified);
+                let first = clause[0];
+                if ctx.lit_value(first) == TRUE {
+                    i += 1;
+                    continue; // clause already satisfied
+                }
+                // Look for a new literal to watch.
+                let mut new_watch = None;
+                for k in 2..clause.len() {
+                    let cand = clause[k];
+                    if ctx.lit_value(cand) != FALSE {
+                        clause.swap(1, k);
+                        new_watch = Some(cand);
+                        break;
+                    }
+                }
+                (first, new_watch)
+            };
+            if let Some(cand) = new_watch {
+                self.watches[cand.code()].push(cref);
+                watch_list.swap_remove(i);
+                continue;
+            }
+            // No replacement: unit or conflict on `first`.
+            match ctx.enqueue(first, Reason::External(cref)) {
+                Ok(()) => i += 1,
+                Err(c) => {
+                    result = Err(c);
+                    break;
+                }
+            }
+        }
+        self.watches[falsified.code()] = watch_list;
+        result
+    }
+
+    fn explain(&self, _ctx: &SearchContext<Lit>, of: Lit, token: u32, out: &mut Vec<Lit>) {
+        for &l in &self.clauses[token as usize] {
+            if l != of {
+                out.push(l);
+            }
+        }
+    }
+
+    fn pick_decision(&mut self, ctx: &mut SearchContext<Lit>) -> Option<(Lit, bool)> {
+        ctx.pop_heap_candidate()
+            .map(|var| (ctx.decision_lit(var), false))
+    }
+
+    fn extract_model(&self, ctx: &SearchContext<Lit>) -> Vec<bool> {
+        (0..ctx.num_vars()).map(|v| ctx.value(v) == TRUE).collect()
+    }
 }
 
 /// A CDCL SAT solver over a [`Cnf`].
@@ -136,41 +275,8 @@ struct Clause {
 /// [`Solver::new`] and call [`Solver::solve`].
 #[derive(Clone, Debug)]
 pub struct Solver {
-    options: SolverOptions,
-    clauses: Vec<Clause>,
-    /// watches[l.code()]: clauses currently watching literal l.
-    watches: Vec<Vec<u32>>,
-    /// Per-variable assignment: 0 false, 1 true, 2 undef.
-    values: Vec<u8>,
-    /// Decision level of each assigned variable.
-    levels: Vec<u32>,
-    /// Reason clause of each implied variable (NO_REASON for decisions).
-    reasons: Vec<u32>,
-    /// Saved phase for decision polarity.
-    phases: Vec<bool>,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
-    qhead: usize,
-    activity: Vec<f64>,
-    bump: f64,
-    heap: ActivityHeap,
-    seen: Vec<bool>,
-    stats: Stats,
-    /// Set when the formula is trivially unsatisfiable at level 0.
-    root_conflict: bool,
-    max_learnts: usize,
-    /// Estimated heap footprint of the live learned clauses, in bytes.
-    clauses_bytes: u64,
-    /// Derivation-ordered log of learned clauses (proof logging).
-    proof_log: Option<Vec<Vec<Lit>>>,
-}
-
-/// Estimated heap bytes of one learned clause: the clause header, its
-/// literal storage, and its two watch-list slots.
-fn clause_footprint(len: usize) -> u64 {
-    (std::mem::size_of::<Clause>()
-        + len * std::mem::size_of::<Lit>()
-        + 2 * std::mem::size_of::<u32>()) as u64
+    ctx: SearchContext<Lit>,
+    prop: ClausePropagator,
 }
 
 impl Solver {
@@ -179,26 +285,11 @@ impl Solver {
     /// Tautological clauses are dropped and duplicate literals removed.
     pub fn new(cnf: &Cnf, options: SolverOptions) -> Solver {
         let num_vars = cnf.num_vars();
-        let mut solver = Solver {
-            options,
+        let max_learnts = (cnf.clauses().len() / 3).max(1000);
+        let mut ctx = SearchContext::new(num_vars, options.search, true, max_learnts);
+        let mut prop = ClausePropagator {
             clauses: Vec::with_capacity(cnf.clauses().len()),
             watches: vec![Vec::new(); 2 * num_vars],
-            values: vec![UNDEF; num_vars],
-            levels: vec![0; num_vars],
-            reasons: vec![NO_REASON; num_vars],
-            phases: vec![false; num_vars],
-            trail: Vec::with_capacity(num_vars),
-            trail_lim: Vec::new(),
-            qhead: 0,
-            activity: vec![0.0; num_vars],
-            bump: 1.0,
-            heap: ActivityHeap::with_capacity(num_vars),
-            seen: vec![false; num_vars],
-            stats: Stats::default(),
-            root_conflict: false,
-            max_learnts: (cnf.clauses().len() / 3).max(1000),
-            clauses_bytes: 0,
-            proof_log: None,
         };
         for clause in cnf.clauses() {
             let mut lits = clause.clone();
@@ -210,17 +301,33 @@ impl Solver {
             // Bump variables appearing in the input so VSIDS starts with
             // occurrence counts, like ZChaff's literal-count seed.
             for &l in &lits {
-                solver.activity[l.var().index()] += 1.0;
+                ctx.seed_activity(l.var().index(), 1.0);
             }
-            solver.add_clause_internal(lits, false);
-            if solver.root_conflict {
+            match lits.len() {
+                0 => ctx.set_root_conflict(),
+                1 => match ctx.lit_value(lits[0]) {
+                    FALSE => ctx.set_root_conflict(),
+                    TRUE => {}
+                    _ => {
+                        let enqueued = ctx.enqueue(lits[0], Reason::Axiom);
+                        debug_assert!(enqueued.is_ok());
+                    }
+                },
+                _ => {
+                    let cref = prop.clauses.len() as u32;
+                    prop.watches[lits[0].code()].push(cref);
+                    prop.watches[lits[1].code()].push(cref);
+                    prop.clauses.push(lits);
+                }
+            }
+            if ctx.has_root_conflict() {
                 break;
             }
         }
-        for v in 0..num_vars as u32 {
-            solver.heap.insert(v, &solver.activity);
+        for v in 0..num_vars {
+            ctx.heap_insert(v);
         }
-        solver
+        Solver { ctx, prop }
     }
 
     /// Runs the search with no resource limits.
@@ -252,476 +359,61 @@ impl Solver {
     where
         O: Observer + ?Sized,
     {
-        if self.root_conflict {
-            return Verdict::Unsat;
-        }
-        let mut meter = BudgetMeter::new(budget);
-        let mut restart_limit = self.options.restart_first as f64;
-        let mut conflicts_since_restart = 0u64;
-        let mut conflicts_this_call = 0u64;
-        let mut decisions_this_call = 0u64;
-        let mut learned_this_call = 0u64;
-        if self.propagate().is_some() {
-            return Verdict::Unsat;
-        }
-        loop {
-            if let Some(conflict) = self.propagate() {
-                self.stats.conflicts += 1;
-                conflicts_since_restart += 1;
-                conflicts_this_call += 1;
-                if self.decision_level() == 0 {
-                    obs.record(SolverEvent::Conflict {
-                        level: 0,
-                        backjump: 0,
-                    });
-                    return Verdict::Unsat;
-                }
-                let (learnt, backjump) = self.analyze(conflict);
-                let level = self.decision_level();
-                obs.record(SolverEvent::Conflict {
-                    level,
-                    backjump: level - backjump,
-                });
-                obs.record(SolverEvent::Learn {
-                    literals: learnt.len() as u32,
-                });
-                self.backtrack(backjump);
-                self.learn(learnt);
-                learned_this_call += 1;
-                if self.root_conflict {
-                    return Verdict::Unsat;
-                }
-                if self
-                    .stats
-                    .conflicts
-                    .is_multiple_of(self.options.decay_interval)
-                {
-                    self.decay_activities();
-                }
-                if self.stats.learnt_clauses as usize > self.max_learnts {
-                    let (dropped, kept) = self.reduce_db(None);
-                    obs.record(SolverEvent::DbReduced { dropped, kept });
-                }
-                if let Some(reason) = self.budget_checkpoint(
-                    &mut meter,
-                    learned_this_call,
-                    conflicts_this_call,
-                    decisions_this_call,
-                    obs,
-                ) {
-                    return Verdict::Unknown(reason);
-                }
-            } else {
-                if conflicts_since_restart as f64 >= restart_limit {
-                    conflicts_since_restart = 0;
-                    restart_limit *= self.options.restart_factor;
-                    self.stats.restarts += 1;
-                    obs.record(SolverEvent::Restart);
-                    self.backtrack(0);
-                    continue;
-                }
-                match self.pick_branch_var() {
-                    None => {
-                        let model: Vec<bool> = self.values.iter().map(|&v| v == 1).collect();
-                        return Verdict::Sat(model);
-                    }
-                    Some(var) => {
-                        self.stats.decisions += 1;
-                        decisions_this_call += 1;
-                        obs.record(SolverEvent::Decision {
-                            level: self.decision_level() + 1,
-                            grouped: false,
-                        });
-                        if let Some(reason) = self.budget_checkpoint(
-                            &mut meter,
-                            learned_this_call,
-                            conflicts_this_call,
-                            decisions_this_call,
-                            obs,
-                        ) {
-                            return Verdict::Unknown(reason);
-                        }
-                        let lit = Lit::new(Var(var), !self.phases[var as usize]);
-                        self.trail_lim.push(self.trail.len());
-                        self.enqueue(lit, NO_REASON);
-                    }
-                }
-            }
+        match solve_under(&mut self.ctx, &mut self.prop, &[], budget, obs) {
+            SearchResult::Sat(model) => Verdict::Sat(model),
+            SearchResult::Unsat | SearchResult::UnsatUnderAssumptions(_) => Verdict::Unsat,
+            SearchResult::Aborted(reason) => Verdict::Unknown(reason),
         }
     }
 
-    /// One cooperative budget checkpoint. On memory pressure, attempts an
-    /// emergency database reduction toward half the limit before giving up;
-    /// any abort is reported to the observer as a
-    /// [`SolverEvent::BudgetExhausted`] event.
-    fn budget_checkpoint<O>(
-        &mut self,
-        meter: &mut BudgetMeter,
-        learned: u64,
-        conflicts: u64,
-        decisions: u64,
-        obs: &mut O,
-    ) -> Option<Interrupt>
-    where
-        O: Observer + ?Sized,
-    {
-        let reason = meter.checkpoint(learned, conflicts, decisions, self.clauses_bytes)?;
-        if reason == Interrupt::Memory {
-            if let Some(limit) = meter.memory_limit() {
-                let (dropped, kept) = self.reduce_db(Some(limit / 2));
-                obs.record(SolverEvent::DbReduced { dropped, kept });
-                if !meter.memory_exceeded(self.clauses_bytes) {
-                    return None;
-                }
-            }
-        }
-        obs.record(SolverEvent::BudgetExhausted { reason });
-        Some(reason)
+    /// Adds a clause known to be implied by the formula (e.g. from an
+    /// external preprocessor or a previous solve's proof log). The clause
+    /// is *pinned*: database reduction never drops it.
+    ///
+    /// # Errors
+    ///
+    /// [`LitOutOfRange`] if any literal refers to a variable outside the
+    /// formula; the solver is left unchanged.
+    pub fn add_learned_clause(&mut self, lits: Vec<Lit>) -> Result<(), LitOutOfRange> {
+        ingest_clause(&mut self.ctx, &mut self.prop, lits)
     }
 
     /// Search statistics so far.
     pub fn stats(&self) -> &Stats {
-        &self.stats
+        self.ctx.stats()
     }
 
     /// Estimated heap footprint of the live learned clauses, in bytes
     /// (what a [`Budget::memory`] limit is metered against).
     pub fn learned_memory_bytes(&self) -> u64 {
-        self.clauses_bytes
+        self.ctx.learned_memory_bytes()
+    }
+
+    /// `(glue, deleted)` for every learned clause ever attached, in
+    /// allocation order (ingested clauses carry `u32::MAX` glue). A
+    /// diagnostic surface for auditing DB-reduction policy.
+    pub fn learned_clause_glues(&self) -> Vec<(u32, bool)> {
+        (0..self.ctx.num_clause_refs())
+            .map(|c| (self.ctx.clause_glue(c), self.ctx.clause_is_deleted(c)))
+            .collect()
     }
 
     /// Starts recording learned clauses for later checking with
     /// [`crate::proof::verify_unsat`]. Clears any previous log.
     pub fn start_proof(&mut self) {
-        self.proof_log = Some(Vec::new());
+        self.ctx.start_proof()
     }
 
     /// Takes the recorded proof log and stops logging.
     pub fn take_proof(&mut self) -> Vec<Vec<Lit>> {
-        self.proof_log.take().unwrap_or_default()
-    }
-
-    fn decision_level(&self) -> u32 {
-        self.trail_lim.len() as u32
-    }
-
-    fn value_of(&self, lit: Lit) -> u8 {
-        let v = self.values[lit.var().index()];
-        if v == UNDEF {
-            UNDEF
-        } else {
-            v ^ lit.is_negative() as u8
-        }
-    }
-
-    fn enqueue(&mut self, lit: Lit, reason: u32) {
-        debug_assert_eq!(self.value_of(lit), UNDEF);
-        let var = lit.var().index();
-        self.values[var] = !lit.is_negative() as u8;
-        self.levels[var] = self.decision_level();
-        self.reasons[var] = reason;
-        self.phases[var] = !lit.is_negative();
-        self.trail.push(lit);
-    }
-
-    /// Adds a clause; `lits` must be simplified (no dups, no tautology).
-    fn add_clause_internal(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
-        match lits.len() {
-            0 => {
-                self.root_conflict = true;
-                NO_REASON
-            }
-            1 => {
-                match self.value_of(lits[0]) {
-                    0 => self.root_conflict = true,
-                    1 => {}
-                    _ => self.enqueue(lits[0], NO_REASON),
-                }
-                NO_REASON
-            }
-            _ => {
-                let index = self.clauses.len() as u32;
-                self.watches[lits[0].code()].push(index);
-                self.watches[lits[1].code()].push(index);
-                if learnt {
-                    self.stats.learnt_clauses += 1;
-                    self.clauses_bytes += clause_footprint(lits.len());
-                }
-                self.clauses.push(Clause {
-                    lits,
-                    learnt,
-                    deleted: false,
-                    activity: self.bump,
-                });
-                index
-            }
-        }
-    }
-
-    /// Boolean constraint propagation. Returns the conflicting clause.
-    fn propagate(&mut self) -> Option<u32> {
-        while self.qhead < self.trail.len() {
-            let p = self.trail[self.qhead];
-            self.qhead += 1;
-            self.stats.propagations += 1;
-            let falsified = !p;
-            let mut watch_list = std::mem::take(&mut self.watches[falsified.code()]);
-            let mut i = 0;
-            while i < watch_list.len() {
-                let cref = watch_list[i];
-                let (first, new_watch) = {
-                    let values = &self.values;
-                    let val = |lit: Lit| -> u8 {
-                        let v = values[lit.var().index()];
-                        if v == UNDEF {
-                            UNDEF
-                        } else {
-                            v ^ lit.is_negative() as u8
-                        }
-                    };
-                    let clause = &mut self.clauses[cref as usize];
-                    if clause.deleted {
-                        watch_list.swap_remove(i);
-                        continue;
-                    }
-                    // Normalize: watched literal in position 1.
-                    if clause.lits[0] == falsified {
-                        clause.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(clause.lits[1], falsified);
-                    let first = clause.lits[0];
-                    if val(first) == 1 {
-                        i += 1;
-                        continue; // clause already satisfied
-                    }
-                    // Look for a new literal to watch.
-                    let mut new_watch = None;
-                    for k in 2..clause.lits.len() {
-                        let cand = clause.lits[k];
-                        if val(cand) != 0 {
-                            clause.lits.swap(1, k);
-                            new_watch = Some(cand);
-                            break;
-                        }
-                    }
-                    (first, new_watch)
-                };
-                if let Some(cand) = new_watch {
-                    self.watches[cand.code()].push(cref);
-                    watch_list.swap_remove(i);
-                    continue;
-                }
-                // No replacement: unit or conflict on `first`.
-                if self.value_of(first) == 0 {
-                    self.watches[falsified.code()] = watch_list;
-                    self.qhead = self.trail.len();
-                    return Some(cref);
-                }
-                self.enqueue(first, cref);
-                i += 1;
-            }
-            self.watches[falsified.code()] = watch_list;
-        }
-        None
-    }
-
-    /// First-UIP conflict analysis. Returns the learned clause (asserting
-    /// literal first) and the backjump level.
-    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
-        let current = self.decision_level();
-        let mut learnt: Vec<Lit> = vec![Lit::new(Var(0), false)]; // placeholder
-        let mut counter = 0usize;
-        let mut confl = conflict;
-        let mut index = self.trail.len();
-        let mut p: Option<Lit> = None;
-        loop {
-            {
-                let clause = &mut self.clauses[confl as usize];
-                clause.activity += 1.0;
-            }
-            let lits: Vec<Lit> = self.clauses[confl as usize].lits.clone();
-            let skip_first = p.is_some();
-            for (k, &q) in lits.iter().enumerate() {
-                if skip_first && k == 0 {
-                    continue;
-                }
-                let v = q.var().index();
-                if !self.seen[v] && self.levels[v] > 0 {
-                    self.seen[v] = true;
-                    self.bump_var(q.var());
-                    if self.levels[v] == current {
-                        counter += 1;
-                    } else {
-                        learnt.push(q);
-                    }
-                }
-            }
-            // Find the next seen literal on the trail.
-            let p_lit = loop {
-                index -= 1;
-                let lit = self.trail[index];
-                if self.seen[lit.var().index()] {
-                    break lit;
-                }
-            };
-            p = Some(p_lit);
-            counter -= 1;
-            if counter == 0 {
-                learnt[0] = !p_lit;
-                break;
-            }
-            confl = self.reasons[p_lit.var().index()];
-            debug_assert_ne!(confl, NO_REASON, "non-decision must have a reason");
-            self.seen[p_lit.var().index()] = false;
-        }
-        // Clear flags.
-        for l in &learnt {
-            self.seen[l.var().index()] = false;
-        }
-        // Backjump level: highest level among learnt[1..].
-        let mut backjump = 0;
-        let mut max_pos = 1;
-        for (k, l) in learnt.iter().enumerate().skip(1) {
-            let lv = self.levels[l.var().index()];
-            if lv > backjump {
-                backjump = lv;
-                max_pos = k;
-            }
-        }
-        if learnt.len() > 1 {
-            learnt.swap(1, max_pos);
-        }
-        (learnt, backjump)
-    }
-
-    fn backtrack(&mut self, level: u32) {
-        if self.decision_level() <= level {
-            return;
-        }
-        let target = self.trail_lim[level as usize];
-        for k in (target..self.trail.len()).rev() {
-            let lit = self.trail[k];
-            let var = lit.var().index();
-            self.values[var] = UNDEF;
-            self.reasons[var] = NO_REASON;
-            self.heap.insert(lit.var().0, &self.activity);
-        }
-        self.trail.truncate(target);
-        self.trail_lim.truncate(level as usize);
-        self.qhead = target;
-    }
-
-    fn learn(&mut self, learnt: Vec<Lit>) {
-        let assert_lit = learnt[0];
-        if let Some(log) = &mut self.proof_log {
-            log.push(learnt.clone());
-        }
-        if learnt.len() == 1 {
-            debug_assert_eq!(self.decision_level(), 0);
-            if self.value_of(assert_lit) == UNDEF {
-                self.enqueue(assert_lit, NO_REASON);
-            } else if self.value_of(assert_lit) == 0 {
-                self.root_conflict = true;
-            }
-            return;
-        }
-        let cref = self.add_clause_internal(learnt, true);
-        self.enqueue(assert_lit, cref);
-    }
-
-    fn pick_branch_var(&mut self) -> Option<u32> {
-        while let Some(var) = self.heap.pop(&self.activity) {
-            if self.values[var as usize] == UNDEF {
-                return Some(var);
-            }
-        }
-        None
-    }
-
-    fn bump_var(&mut self, var: Var) {
-        self.activity[var.index()] += self.bump;
-        if self.activity[var.index()] > 1e100 {
-            for a in &mut self.activity {
-                *a *= 1e-100;
-            }
-            self.bump *= 1e-100;
-        }
-        self.heap.update(var.0, &self.activity);
-    }
-
-    fn decay_activities(&mut self) {
-        // Dividing all activities is equivalent to growing the bump.
-        self.bump /= self.options.var_decay;
-    }
-
-    /// Removes cold learned clauses (keeping reason clauses and binaries),
-    /// lowest activity first, returning `(dropped, kept)` counts.
-    ///
-    /// With `target_bytes == None` this is the routine reduction: delete
-    /// the lower-activity half and grow `max_learnts`. With a target it is
-    /// the emergency response to memory pressure: delete as many cold
-    /// clauses as needed until the learned-clause footprint fits
-    /// `target_bytes` (or everything deletable is gone), without growing
-    /// the database ceiling.
-    fn reduce_db(&mut self, target_bytes: Option<u64>) -> (u64, u64) {
-        let mut learnt_refs: Vec<u32> = (0..self.clauses.len() as u32)
-            .filter(|&i| {
-                let c = &self.clauses[i as usize];
-                c.learnt && !c.deleted && c.lits.len() > 2
-            })
-            .collect();
-        learnt_refs.sort_by(|&a, &b| {
-            self.clauses[a as usize]
-                .activity
-                .total_cmp(&self.clauses[b as usize].activity)
-        });
-        let locked: Vec<bool> = learnt_refs
-            .iter()
-            .map(|&i| {
-                let c = &self.clauses[i as usize];
-                let l0 = c.lits[0];
-                self.value_of(l0) == 1 && self.reasons[l0.var().index()] == i
-            })
-            .collect();
-        let count_quota = match target_bytes {
-            None => learnt_refs.len() / 2,
-            Some(_) => learnt_refs.len(),
-        };
-        let mut deleted = 0usize;
-        for (k, &cref) in learnt_refs.iter().enumerate() {
-            if deleted >= count_quota {
-                break;
-            }
-            if let Some(target) = target_bytes {
-                if self.clauses_bytes <= target {
-                    break;
-                }
-            }
-            if locked[k] {
-                continue;
-            }
-            let clause = &mut self.clauses[cref as usize];
-            clause.deleted = true;
-            self.clauses_bytes -= clause_footprint(clause.lits.len());
-            // Free the literal storage now: everything that touches lits
-            // checks `deleted` first, and watch lists lazily drop deleted
-            // clauses during propagation.
-            clause.lits = Vec::new();
-            deleted += 1;
-        }
-        self.stats.deleted_clauses += deleted as u64;
-        self.stats.learnt_clauses -= deleted as u64;
-        if target_bytes.is_none() {
-            self.max_learnts += self.max_learnts / 10;
-        }
-        (deleted as u64, self.stats.learnt_clauses)
+        self.ctx.take_proof()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csat_netlist::cnf::Cnf;
+    use csat_netlist::cnf::{Cnf, Var};
 
     fn solve_text(text: &str) -> Verdict {
         let cnf = Cnf::from_dimacs(text).expect("dimacs");
@@ -925,6 +617,22 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_aliases_still_configure_restarts() {
+        let opts = SolverOptions::builder()
+            .restart_first(32)
+            .restart_factor(1.25)
+            .build();
+        assert_eq!(
+            opts.search.restart,
+            RestartPolicy::Geometric {
+                first: 32,
+                factor: 1.25
+            }
+        );
+    }
+
+    #[test]
     fn stats_are_populated() {
         let mut cnf = Cnf::with_vars(12);
         let var = |p: usize, h: usize| Var((p * 3 + h) as u32);
@@ -943,5 +651,53 @@ mod tests {
         assert!(solver.stats().conflicts > 0);
         assert!(solver.stats().decisions > 0);
         assert!(solver.stats().propagations > 0);
+    }
+
+    #[test]
+    fn ingested_clause_out_of_range_is_rejected() {
+        let cnf = Cnf::from_dimacs("p cnf 2 1\n1 2 0\n").expect("dimacs");
+        let mut solver = Solver::new(&cnf, SolverOptions::default());
+        let bogus = Lit::new(Var(7), false);
+        let err = solver
+            .add_learned_clause(vec![bogus])
+            .expect_err("out-of-range literal must be rejected");
+        assert_eq!(
+            err,
+            csat_search::LitOutOfRange {
+                lit: bogus,
+                vars: 2
+            }
+        );
+        // The solver is unharmed and still solves.
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn ingested_unit_steers_the_model() {
+        let cnf = Cnf::from_dimacs("p cnf 2 1\n1 2 0\n").expect("dimacs");
+        let mut solver = Solver::new(&cnf, SolverOptions::default());
+        solver
+            .add_learned_clause(vec![Lit::new(Var(1), false)])
+            .expect("in range");
+        match solver.solve() {
+            Verdict::Sat(model) => assert!(model[1], "ingested unit forces var 2"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn phase_saving_repeats_flipped_polarities() {
+        // A formula whose only models need several variables true: with
+        // phase saving, polarities discovered through conflicts persist
+        // into later decisions; defaults stay all-false. Either way the
+        // verdict must match.
+        let text = "p cnf 4 5\n1 2 0\n-1 3 0\n-2 4 0\n-3 -4 1 0\n2 3 4 0\n";
+        let cnf = Cnf::from_dimacs(text).expect("dimacs");
+        let default = Solver::new(&cnf, SolverOptions::default()).solve();
+        let saving = Solver::new(&cnf, SolverOptions::builder().phase_saving(true).build()).solve();
+        assert_eq!(default.is_sat(), saving.is_sat());
+        if let Verdict::Sat(model) = saving {
+            assert!(cnf.evaluate(&model));
+        }
     }
 }

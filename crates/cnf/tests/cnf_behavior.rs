@@ -81,11 +81,12 @@ fn php_stats_show_learning_and_restarts() {
     let cnf = pigeonhole(7);
     let mut solver = Solver::new(
         &cnf,
-        SolverOptions {
-            restart_first: 20,
-            restart_factor: 1.1,
-            ..Default::default()
-        },
+        SolverOptions::builder()
+            .restart(csat_cnf::RestartPolicy::Geometric {
+                first: 20,
+                factor: 1.1,
+            })
+            .build(),
     );
     assert!(solver.solve().is_unsat());
     let stats = *solver.stats();

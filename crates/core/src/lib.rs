@@ -42,7 +42,6 @@
 #![warn(missing_docs)]
 
 pub mod explicit;
-mod heap;
 pub mod implication;
 mod options;
 pub mod proof;
@@ -51,7 +50,8 @@ pub mod sweep;
 
 pub use explicit::{CorrelationMode, ExplicitOptions, ExplicitReport, SubproblemOrdering};
 pub use options::{
-    Budget, CancelToken, Interrupt, SolverOptions, SolverOptionsBuilder, Stats, SubVerdict, Verdict,
+    Budget, CancelToken, ClauseActivity, Interrupt, ReductionPolicy, RestartPolicy, SearchOptions,
+    SearchStats, SolverOptions, SolverOptionsBuilder, Stats, SubVerdict, Verdict,
 };
 pub use solver::{LitOutOfRange, Solver};
 

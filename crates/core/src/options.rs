@@ -1,11 +1,22 @@
 //! Solver configuration and statistics.
 //!
-//! The shared [`Budget`], [`Verdict`] and [`SubVerdict`] types now live in
+//! The shared [`Budget`], [`Verdict`] and [`SubVerdict`] types live in
 //! [`csat_types`] so the CNF and circuit solvers speak the same vocabulary;
 //! they are re-exported here for backwards compatibility, together with
-//! the resilience vocabulary ([`Interrupt`], [`CancelToken`]).
+//! the resilience vocabulary ([`Interrupt`], [`CancelToken`]) and the
+//! search-policy block ([`SearchOptions`] and friends) shared with the
+//! `csat-search` kernel.
 
-pub use csat_types::{Budget, CancelToken, Interrupt, SubVerdict, Verdict};
+pub use csat_types::{
+    Budget, CancelToken, ClauseActivity, Interrupt, ReductionPolicy, RestartPolicy, SearchOptions,
+    SearchStats, SubVerdict, Verdict,
+};
+
+/// Search statistics.
+///
+/// Since the `csat-search` extraction this is the kernel-wide
+/// [`SearchStats`]; the CNF baseline reports through the same struct.
+pub type Stats = SearchStats;
 
 /// Configuration of the circuit solver.
 ///
@@ -16,14 +27,19 @@ pub use csat_types::{Budget, CancelToken, Interrupt, SubVerdict, Verdict};
 /// Section IV solver, and drive [`explicit`](crate::explicit) on top for the
 /// Section V solver.
 ///
+/// The two fields here are what is *circuit-specific*; all generic search
+/// policy (restarts, VSIDS decay, clause-database reduction, phase saving)
+/// lives in the shared [`SearchOptions`] block interpreted by the
+/// `csat-search` kernel.
+///
 /// Construct with [`SolverOptions::builder`] to override individual fields
 /// without spelling out the rest:
 ///
 /// ```
-/// use csat_core::SolverOptions;
+/// use csat_core::{RestartPolicy, SolverOptions};
 /// let opts = SolverOptions::builder()
 ///     .implicit_learning(true)
-///     .restart_window(2048)
+///     .restart(RestartPolicy::Luby { unit: 128 })
 ///     .build();
 /// assert!(opts.implicit_learning);
 /// ```
@@ -36,19 +52,11 @@ pub struct SolverOptions {
     /// Enable correlation-guided implicit learning (signal grouping and
     /// conflict-prone value selection, Algorithm IV.1).
     pub implicit_learning: bool,
-    /// VSIDS decay divisor applied every [`SolverOptions::decay_interval`]
-    /// conflicts.
-    pub var_decay: f64,
-    /// Conflicts between VSIDS decays.
-    pub decay_interval: u64,
-    /// Backtracks per restart-policy window (paper: 4096).
-    pub restart_window: u64,
-    /// Restart when the average back-jump distance over a window is below
-    /// this (paper: 1.2).
-    pub restart_threshold: f64,
-    /// Apply local conflict-clause minimization (ablation knob; on by
-    /// default).
-    pub minimize_clauses: bool,
+    /// Shared search-policy block. The default is the paper's: restart
+    /// when the average back-jump distance over 4096 backtracks drops
+    /// below 1.2, decay VSIDS every 256 conflicts, activity-ordered
+    /// database reduction, clause minimization on, phase saving off.
+    pub search: SearchOptions,
 }
 
 impl Default for SolverOptions {
@@ -56,11 +64,7 @@ impl Default for SolverOptions {
         SolverOptions {
             jnode_decisions: true,
             implicit_learning: false,
-            var_decay: 0.5,
-            decay_interval: 256,
-            restart_window: 4096,
-            restart_threshold: 1.2,
-            minimize_clauses: true,
+            search: SearchOptions::default(),
         }
     }
 }
@@ -118,33 +122,84 @@ impl SolverOptionsBuilder {
         self
     }
 
-    /// See [`SolverOptions::var_decay`].
-    pub fn var_decay(mut self, decay: f64) -> Self {
-        self.options.var_decay = decay;
+    /// Replaces the whole shared search-policy block.
+    pub fn search(mut self, search: SearchOptions) -> Self {
+        self.options.search = search;
         self
     }
 
-    /// See [`SolverOptions::decay_interval`].
-    pub fn decay_interval(mut self, conflicts: u64) -> Self {
-        self.options.decay_interval = conflicts;
+    /// See [`SearchOptions::restart`].
+    pub fn restart(mut self, policy: RestartPolicy) -> Self {
+        self.options.search.restart = policy;
         self
     }
 
-    /// See [`SolverOptions::restart_window`].
-    pub fn restart_window(mut self, backtracks: u64) -> Self {
-        self.options.restart_window = backtracks;
+    /// See [`SearchOptions::reduction`].
+    pub fn reduction(mut self, policy: ReductionPolicy) -> Self {
+        self.options.search.reduction = policy;
         self
     }
 
-    /// See [`SolverOptions::restart_threshold`].
-    pub fn restart_threshold(mut self, threshold: f64) -> Self {
-        self.options.restart_threshold = threshold;
+    /// See [`SearchOptions::phase_saving`].
+    pub fn phase_saving(mut self, on: bool) -> Self {
+        self.options.search.phase_saving = on;
         self
     }
 
-    /// See [`SolverOptions::minimize_clauses`].
+    /// See [`SearchOptions::minimize_clauses`].
     pub fn minimize_clauses(mut self, on: bool) -> Self {
-        self.options.minimize_clauses = on;
+        self.options.search.minimize_clauses = on;
+        self
+    }
+
+    /// See [`SearchOptions::var_decay`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `SearchOptions::var_decay` via `search()`"
+    )]
+    pub fn var_decay(mut self, decay: f64) -> Self {
+        self.options.search.var_decay = decay;
+        self
+    }
+
+    /// See [`SearchOptions::decay_interval`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `SearchOptions::decay_interval` via `search()`"
+    )]
+    pub fn decay_interval(mut self, conflicts: u64) -> Self {
+        self.options.search.decay_interval = conflicts;
+        self
+    }
+
+    /// Sets the back-jump-average restart window (paper: 4096 backtracks).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `restart(RestartPolicy::BackjumpAverage { .. })`"
+    )]
+    pub fn restart_window(mut self, backtracks: u64) -> Self {
+        let threshold = match self.options.search.restart {
+            RestartPolicy::BackjumpAverage { threshold, .. } => threshold,
+            _ => 1.2,
+        };
+        self.options.search.restart = RestartPolicy::BackjumpAverage {
+            window: backtracks,
+            threshold,
+        };
+        self
+    }
+
+    /// Sets the back-jump-average restart threshold (paper: 1.2).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `restart(RestartPolicy::BackjumpAverage { .. })`"
+    )]
+    pub fn restart_threshold(mut self, threshold: f64) -> Self {
+        let window = match self.options.search.restart {
+            RestartPolicy::BackjumpAverage { window, .. } => window,
+            _ => 4096,
+        };
+        self.options.search.restart = RestartPolicy::BackjumpAverage { window, threshold };
         self
     }
 
@@ -152,27 +207,6 @@ impl SolverOptionsBuilder {
     pub fn build(self) -> SolverOptions {
         self.options
     }
-}
-
-/// Search statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Stats {
-    /// Decisions made.
-    pub decisions: u64,
-    /// Implications (gate or clause) enqueued.
-    pub propagations: u64,
-    /// Conflicts analyzed.
-    pub conflicts: u64,
-    /// Restarts triggered by the back-jump-average policy.
-    pub restarts: u64,
-    /// Learned clauses currently alive.
-    pub learnt_clauses: u64,
-    /// Learned clauses removed by database reduction.
-    pub deleted_clauses: u64,
-    /// Backtracks performed.
-    pub backtracks: u64,
-    /// Decisions taken by implicit-learning signal grouping.
-    pub grouped_decisions: u64,
 }
 
 #[cfg(test)]
@@ -185,8 +219,15 @@ mod tests {
         let o = SolverOptions::default();
         assert!(o.jnode_decisions);
         assert!(!o.implicit_learning);
-        assert_eq!(o.restart_window, 4096);
-        assert!((o.restart_threshold - 1.2).abs() < 1e-9);
+        assert_eq!(o.search.restart, RestartPolicy::paper());
+        assert_eq!(
+            o.search.restart,
+            RestartPolicy::BackjumpAverage {
+                window: 4096,
+                threshold: 1.2
+            }
+        );
+        assert!(!o.search.phase_saving);
     }
 
     #[test]
@@ -202,19 +243,40 @@ mod tests {
         let o = SolverOptions::builder()
             .jnode_decisions(false)
             .implicit_learning(true)
-            .var_decay(0.75)
-            .decay_interval(128)
-            .restart_window(1024)
-            .restart_threshold(2.0)
+            .restart(RestartPolicy::Luby { unit: 64 })
+            .reduction(ReductionPolicy::LbdActivity { glue_keep: 2 })
+            .phase_saving(true)
             .minimize_clauses(false)
             .build();
         assert!(!o.jnode_decisions);
         assert!(o.implicit_learning);
-        assert!((o.var_decay - 0.75).abs() < 1e-9);
-        assert_eq!(o.decay_interval, 128);
-        assert_eq!(o.restart_window, 1024);
-        assert!((o.restart_threshold - 2.0).abs() < 1e-9);
-        assert!(!o.minimize_clauses);
+        assert_eq!(o.search.restart, RestartPolicy::Luby { unit: 64 });
+        assert_eq!(
+            o.search.reduction,
+            ReductionPolicy::LbdActivity { glue_keep: 2 }
+        );
+        assert!(o.search.phase_saving);
+        assert!(!o.search.minimize_clauses);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_aliases_still_configure_the_paper_policy() {
+        let o = SolverOptions::builder()
+            .var_decay(0.75)
+            .decay_interval(128)
+            .restart_window(1024)
+            .restart_threshold(2.0)
+            .build();
+        assert!((o.search.var_decay - 0.75).abs() < 1e-9);
+        assert_eq!(o.search.decay_interval, 128);
+        assert_eq!(
+            o.search.restart,
+            RestartPolicy::BackjumpAverage {
+                window: 1024,
+                threshold: 2.0
+            }
+        );
     }
 
     #[test]

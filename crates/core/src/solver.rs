@@ -1,92 +1,38 @@
 //! The circuit CDCL solver (the paper's C-SAT / C-SAT-Jnode).
 //!
-//! The solver works directly on the AIG: Boolean constraint propagation
-//! runs over the 2-input AND primitive through the lookup table of
-//! [`crate::implication`], decisions are restricted to the justification
-//! frontier (J-nodes, including learned gates) when
-//! [`SolverOptions::jnode_decisions`] is on, conflict analysis is first-UIP
-//! over mixed gate/clause reasons, and restarts follow the paper's rule
-//! (restart when the average back-jump distance over 4096 backtracks drops
-//! below 1.2).
+//! Since the `csat-search` extraction the CDCL machinery itself — trail,
+//! first-UIP analysis, learned-clause arena, restarts, budgets, proof
+//! logging — is the shared kernel; this module contributes the circuit
+//! half as a [`Propagator`]:
+//!
+//! * Boolean constraint propagation directly on the AIG through the lookup
+//!   table of [`crate::implication`],
+//! * J-node (justification frontier) decisions, with learned gates as
+//!   J-nodes via their free literals (paper Section IV-A),
+//! * implicit learning — correlation-driven decision grouping and value
+//!   selection (Algorithm IV.1).
 //!
 //! Learned clauses ("learned gates" in the paper's terminology: OR gates
-//! whose output is known to be 1) store explicit pointers to their two
+//! whose output is known to be 1) live in the kernel arena with two
 //! watched literals, mirroring the implementation note in Section IV-A.
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
-use std::fmt;
 
 use csat_netlist::{Aig, Lit, Node, NodeId};
+use csat_search::{
+    ingest_clause, solve_under, ActivityHeap, Conflict, Propagator, Reason, SearchContext,
+    SearchResult,
+};
 use csat_sim::{CorrelationResult, Relation};
-use csat_telemetry::{NoOpObserver, Observer, SolverEvent};
-use csat_types::{BudgetMeter, Interrupt};
+use csat_telemetry::{NoOpObserver, Observer};
 
-use crate::heap::ActivityHeap;
 use crate::implication::{self, is_unjustified, FALSE, TRUE, UNDEF};
 use crate::options::{Budget, SolverOptions, Stats, SubVerdict, Verdict};
 
 /// Error from [`Solver::add_learned_clause`]: a literal refers to a node
 /// outside the solver's circuit.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct LitOutOfRange {
-    /// The offending literal.
-    pub lit: Lit,
-    /// Number of nodes in the circuit.
-    pub nodes: usize,
-}
-
-impl fmt::Display for LitOutOfRange {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "literal {:?} refers past the {}-node circuit",
-            self.lit, self.nodes
-        )
-    }
-}
-
-impl std::error::Error for LitOutOfRange {}
-
-/// Why a node holds its current value.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Reason {
-    /// A decision (or an assumption).
-    Decision,
-    /// Implied through the AND gate with this output node.
-    Gate(NodeId),
-    /// Implied by a learned clause.
-    Clause(u32),
-    /// A level-0 fact (the constant node, learned units).
-    Axiom,
-}
-
-/// A failed implication: `lit` should be true per `reason`, but is false.
-#[derive(Clone, Copy, Debug)]
-struct Conflict {
-    lit: Lit,
-    reason: Reason,
-}
-
-#[derive(Clone, Debug)]
-struct LearnedClause {
-    lits: Vec<Lit>,
-    deleted: bool,
-    /// Pinned clauses (the explicit-learning pass's refuted sub-problem
-    /// cores, paper Section V) are never dropped by database reduction.
-    pinned: bool,
-    activity: f64,
-}
-
-/// Watch-list entry: a clause plus a *blocker* — some other literal of the
-/// clause, updated opportunistically. When the blocker is already true the
-/// clause is satisfied, so propagation can skip it without dereferencing
-/// the clause at all (the MiniSat blocking-literal optimization).
-#[derive(Clone, Copy, Debug)]
-struct Watcher {
-    cref: u32,
-    blocker: Lit,
-}
+pub type LitOutOfRange = csat_search::LitOutOfRange<Lit>;
 
 /// A free literal of an unsatisfied learned clause, queued as a decision
 /// candidate (learned gates are J-nodes, paper Section IV-A).
@@ -108,6 +54,429 @@ impl Ord for ClauseCandidate {
 impl PartialOrd for ClauseCandidate {
     fn partial_cmp(&self, other: &ClauseCandidate) -> Option<CmpOrdering> {
         Some(self.cmp(other))
+    }
+}
+
+/// The circuit-specific backend: AND-gate implication, J-node tracking and
+/// the implicit-learning queues, kept in sync with the kernel trail
+/// through the [`Propagator`] hooks.
+#[derive(Clone, Debug)]
+struct CircuitPropagator<'a> {
+    aig: &'a Aig,
+    jnode_decisions: bool,
+    implicit_learning: bool,
+    /// AND gates fed by each node.
+    fanouts: Vec<Vec<NodeId>>,
+    /// Exact J-node tracking: whether each AND gate is currently
+    /// unjustified (output 0, not yet justified by a 0-fanin).
+    jnode_flag: Vec<bool>,
+    /// How many unjustified gates each node currently feeds.
+    cand_count: Vec<u32>,
+    /// Total number of unjustified gates (zero = everything justified).
+    unjustified_total: u64,
+    /// VSIDS heap over J-node input candidates (C-SAT-Jnode mode).
+    jheap: ActivityHeap,
+    /// Free literals of unsatisfied learned clauses, as lazy candidates.
+    clause_cands: BinaryHeap<ClauseCandidate>,
+    clause_queued: Vec<bool>,
+    /// Implicit learning: correlated partner of each node.
+    partner: Vec<Option<(NodeId, Relation)>>,
+    /// Implicit learning: correlation against constant 0.
+    const_rel: Vec<Option<Relation>>,
+    /// Pending grouped decisions: (level at push, trigger node, trigger
+    /// value, partner, value to assign). Entries are only honored at the
+    /// decision immediately following their creation, while the trigger
+    /// still holds its value — the paper groups the partner with a signal
+    /// "just being assigned", not with long-undone history.
+    group_queue: Vec<(u32, NodeId, bool, NodeId, bool)>,
+}
+
+impl CircuitPropagator<'_> {
+    /// Applies the implication table to one gate, implying through
+    /// [`Reason::External`] with the gate index as the explain token.
+    fn propagate_gate(
+        &mut self,
+        ctx: &mut SearchContext<Lit>,
+        g: NodeId,
+    ) -> Result<(), Conflict<Lit>> {
+        let (a, b) = match self.aig.node(g) {
+            Node::And(a, b) => (a, b),
+            _ => return Ok(()),
+        };
+        let vo = ctx.value(g.index());
+        let va = ctx.lit_value(a);
+        let vb = ctx.lit_value(b);
+        let acts = implication::lookup(vo, va, vb);
+        use crate::implication::Action;
+        let mut result = Ok(());
+        for action in acts.iter() {
+            let lit = match action {
+                Action::OutputFalse => !g.lit(),
+                Action::OutputTrue => g.lit(),
+                Action::AFalse => !a,
+                Action::ATrue => a,
+                Action::BFalse => !b,
+                Action::BTrue => b,
+            };
+            if let Err(c) = ctx.enqueue(lit, Reason::External(g.index() as u32)) {
+                result = Err(c);
+                break;
+            }
+        }
+        self.refresh_gate(ctx, g, a, b);
+        result
+    }
+
+    /// Recomputes the J-node status of one gate and maintains the
+    /// candidate counters and heap. Called whenever one of the gate's pins
+    /// changes value.
+    fn refresh_gate(&mut self, ctx: &SearchContext<Lit>, g: NodeId, a: Lit, b: Lit) {
+        if !self.jnode_decisions {
+            return;
+        }
+        let now = is_unjustified(ctx.value(g.index()), ctx.lit_value(a), ctx.lit_value(b));
+        if now == self.jnode_flag[g.index()] {
+            return;
+        }
+        self.jnode_flag[g.index()] = now;
+        if now {
+            self.unjustified_total += 1;
+            for lit in [a, b] {
+                let n = lit.node().index();
+                self.cand_count[n] += 1;
+                if ctx.value(n) == UNDEF {
+                    self.jheap.insert(n as u32, ctx.activity());
+                }
+            }
+        } else {
+            self.unjustified_total -= 1;
+            for lit in [a, b] {
+                self.cand_count[lit.node().index()] -= 1;
+            }
+        }
+    }
+
+    /// Premise literals (negated, i.e. false) of a gate implication.
+    fn gate_false_lits(&self, ctx: &SearchContext<Lit>, of: Lit, g: NodeId, out: &mut Vec<Lit>) {
+        let (a, b) = match self.aig.node(g) {
+            Node::And(a, b) => (a, b),
+            _ => unreachable!("gate reason on a non-AND node"),
+        };
+        if of.node() == g {
+            if of.is_complemented() {
+                // Output implied 0 by a 0-fanin. Prefer one assigned before
+                // the output (a genuine implication premise); fall back to
+                // any 0-fanin when materializing a conflict clause.
+                let out_pos = ctx.position(g.index());
+                let pick = |l: Lit| -> bool { ctx.lit_value(l) == FALSE };
+                let earlier =
+                    |l: Lit| -> bool { pick(l) && ctx.position(l.node().index()) < out_pos };
+                let chosen = if earlier(a) && earlier(b) {
+                    if ctx.position(a.node().index()) <= ctx.position(b.node().index()) {
+                        a
+                    } else {
+                        b
+                    }
+                } else if earlier(a) {
+                    a
+                } else if earlier(b) {
+                    b
+                } else if pick(a) {
+                    a
+                } else {
+                    debug_assert!(pick(b), "no justifying fanin for output-0 implication");
+                    b
+                };
+                out.push(chosen);
+            } else {
+                // Output implied 1 by both fanins being 1.
+                out.push(!a);
+                out.push(!b);
+            }
+        } else {
+            // A fanin was implied. Identify which edge.
+            let fl = if a.node() == of.node() { a } else { b };
+            let other = if a.node() == of.node() { b } else { a };
+            debug_assert_eq!(fl.node(), of.node());
+            if fl == of {
+                // Fanin implied 1 because the output is 1.
+                out.push(!g.lit());
+            } else {
+                // Fanin implied 0 because the output is 0 and the sibling 1.
+                out.push(g.lit());
+                out.push(!other);
+            }
+        }
+    }
+
+    fn lit_priority(&self, ctx: &SearchContext<Lit>, lit: Lit) -> u64 {
+        ctx.activity()[lit.node().index()].to_bits()
+    }
+
+    fn push_clause_candidates(&mut self, ctx: &SearchContext<Lit>, cref: u32, lits: &[Lit]) {
+        self.clause_queued[cref as usize] = true;
+        let priority = self
+            .lit_priority(ctx, lits[0])
+            .max(self.lit_priority(ctx, lits[1]));
+        self.clause_cands.push(ClauseCandidate {
+            priority,
+            lit: lits[0],
+            cref,
+        });
+    }
+
+    /// VSIDS among J-node inputs and learned-gate literals.
+    fn pick_jnode_decision(&mut self, ctx: &mut SearchContext<Lit>) -> Option<Lit> {
+        loop {
+            // Highest-activity valid node candidate (a fanin of some
+            // unjustified gate).
+            let node = loop {
+                match self.jheap.pop(ctx.activity()) {
+                    None => break None,
+                    Some(v) => {
+                        if ctx.value(v as usize) == UNDEF && self.cand_count[v as usize] > 0 {
+                            break Some(v);
+                        }
+                    }
+                }
+            };
+            let node_priority = node
+                .map(|v| ctx.activity()[v as usize].to_bits())
+                .unwrap_or(0);
+            // Learned-gate candidates compete under the same VSIDS order.
+            while let Some(&top) = self.clause_cands.peek() {
+                if node.is_some() && top.priority <= node_priority {
+                    break;
+                }
+                self.clause_cands.pop();
+                let ClauseCandidate { lit, cref, .. } = top;
+                self.clause_queued[cref as usize] = false;
+                if ctx.clause_is_deleted(cref) {
+                    continue;
+                }
+                let lits = ctx.clause_lits(cref);
+                let (w0, w1) = (lits[0], lits[1]);
+                if ctx.lit_value(w0) == TRUE || ctx.lit_value(w1) == TRUE {
+                    continue; // satisfied (at least through its watches)
+                }
+                let free = if ctx.lit_value(lit) == UNDEF {
+                    lit
+                } else if ctx.lit_value(w0) == UNDEF {
+                    w0
+                } else if ctx.lit_value(w1) == UNDEF {
+                    w1
+                } else {
+                    continue;
+                };
+                // Satisfy the learned gate; put the node candidate back.
+                if let Some(v) = node {
+                    self.jheap.insert(v, ctx.activity());
+                }
+                return Some(self.apply_value_heuristic(free));
+            }
+            if let Some(v) = node {
+                // Justify one of the unjustified gates this node feeds:
+                // set the fanin edge to 0 (ATPG justification), unless a
+                // constant correlation overrides the value.
+                let n = NodeId::from_index(v as usize);
+                let mut chosen: Option<Lit> = None;
+                for i in 0..self.fanouts[n.index()].len() {
+                    let g = self.fanouts[n.index()][i];
+                    if self.jnode_flag[g.index()] {
+                        if let Node::And(a, b) = self.aig.node(g) {
+                            let fl = if a.node() == n { a } else { b };
+                            chosen = Some(fl);
+                            break;
+                        }
+                    }
+                }
+                match chosen {
+                    Some(fl) => return Some(self.apply_value_heuristic(!fl)),
+                    // Stale candidacy; keep looking.
+                    None => continue,
+                }
+            }
+            // No candidates at all: SAT if the counters agree; otherwise
+            // repopulate from a full scan (safety net).
+            if self.unjustified_total == 0 {
+                return None;
+            }
+            match self.scan_for_unjustified(ctx) {
+                Some(g) => {
+                    if let Node::And(a, b) = self.aig.node(g) {
+                        let fl = if ctx.lit_value(a) == UNDEF { a } else { b };
+                        return Some(self.apply_value_heuristic(!fl));
+                    }
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Algorithm IV.1's constant-correlation value override: a signal
+    /// correlated with 0 is assigned 1 (and vice versa) so the decision is
+    /// the one most likely to cause a conflict.
+    fn apply_value_heuristic(&self, lit: Lit) -> Lit {
+        if !self.implicit_learning {
+            return lit;
+        }
+        match self.const_rel[lit.node().index()] {
+            // s ≈ 0: decide s = 1.
+            Some(Relation::Equal) => Lit::new(lit.node(), false),
+            // s ≈ 1: decide s = 0.
+            Some(Relation::Opposite) => Lit::new(lit.node(), true),
+            None => lit,
+        }
+    }
+
+    fn scan_for_unjustified(&self, ctx: &SearchContext<Lit>) -> Option<NodeId> {
+        for (i, node) in self.aig.nodes().iter().enumerate() {
+            if let Node::And(a, b) = node {
+                let vo = ctx.value(i);
+                let va = ctx.lit_value(*a);
+                let vb = ctx.lit_value(*b);
+                if is_unjustified(vo, va, vb) {
+                    return Some(NodeId::from_index(i));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Propagator for CircuitPropagator<'_> {
+    type Lit = Lit;
+
+    fn propagate_literal(
+        &mut self,
+        ctx: &mut SearchContext<Lit>,
+        p: Lit,
+    ) -> Result<(), Conflict<Lit>> {
+        let node = p.node();
+        // The node itself, if it is an AND gate whose output changed.
+        if self.aig.node(node).is_and() {
+            self.propagate_gate(ctx, node)?;
+        }
+        // Gates this node feeds.
+        let fanout_count = self.fanouts[node.index()].len();
+        for i in 0..fanout_count {
+            let g = self.fanouts[node.index()][i];
+            self.propagate_gate(ctx, g)?;
+        }
+        Ok(())
+    }
+
+    fn explain(&self, ctx: &SearchContext<Lit>, of: Lit, token: u32, out: &mut Vec<Lit>) {
+        self.gate_false_lits(ctx, of, NodeId::from_index(token as usize), out);
+    }
+
+    /// Chooses the next decision literal. Grouped implicit-learning
+    /// decisions (Algorithm IV.1's first branch) take precedence; an entry
+    /// is stale — and skipped — once its trigger lost the value that
+    /// created it or the partner got assigned some other way.
+    fn pick_decision(&mut self, ctx: &mut SearchContext<Lit>) -> Option<(Lit, bool)> {
+        if self.implicit_learning {
+            let now = ctx.decision_level();
+            // FIFO: honor the grouping requests in the order BCP created
+            // them (implication order), dropping entries from other levels.
+            let queue = std::mem::take(&mut self.group_queue);
+            let mut iter = queue.into_iter();
+            for (level, trigger, tv, partner, target) in iter.by_ref() {
+                if level != now {
+                    continue;
+                }
+                let trigger_live = ctx.value(trigger.index()) == tv as u8;
+                if trigger_live && ctx.value(partner.index()) == UNDEF {
+                    // Keep the remaining same-level entries for the next
+                    // decision.
+                    self.group_queue = iter.filter(|&(l, ..)| l == now).collect();
+                    return Some((Lit::new(partner, !target), true));
+                }
+            }
+        }
+        if self.jnode_decisions {
+            self.pick_jnode_decision(ctx).map(|l| (l, false))
+        } else {
+            // Plain VSIDS over all signals (the paper's initial C-SAT).
+            ctx.pop_heap_candidate()
+                .map(|var| (self.apply_value_heuristic(ctx.decision_lit(var)), false))
+        }
+    }
+
+    fn extract_model(&self, ctx: &SearchContext<Lit>) -> Vec<bool> {
+        self.aig
+            .inputs()
+            .iter()
+            .map(|&id| ctx.value(id.index()) == TRUE)
+            .collect()
+    }
+
+    fn on_solve_start(&mut self, _ctx: &mut SearchContext<Lit>) {
+        self.group_queue.clear();
+    }
+
+    /// Implicit learning: when a signal is assigned by *implication*
+    /// (Algorithm IV.1: "just being assigned a value v by implication
+    /// (BCP)"), queue its correlated partner as the next decision, with
+    /// the conflict-prone value.
+    fn on_implications(&mut self, ctx: &SearchContext<Lit>, from: usize) {
+        if !self.implicit_learning {
+            return;
+        }
+        let level = ctx.decision_level();
+        for &lit in &ctx.trail()[from..] {
+            let node = lit.node();
+            if let Some((p, rel)) = self.partner[node.index()] {
+                if ctx.value(p.index()) == UNDEF {
+                    let value = !lit.is_complemented();
+                    let target = match rel {
+                        Relation::Equal => !value,
+                        Relation::Opposite => value,
+                    };
+                    self.group_queue.push((level, node, value, p, target));
+                }
+            }
+        }
+    }
+
+    fn on_backtrack(&mut self, ctx: &SearchContext<Lit>, unassigned: &[Lit]) {
+        if !self.jnode_decisions {
+            return;
+        }
+        // Recompute J-node status around every unassigned node and
+        // re-expose node candidates for gates that stayed unjustified.
+        for &lit in unassigned {
+            let node = lit.node();
+            if let Node::And(a, b) = self.aig.node(node) {
+                self.refresh_gate(ctx, node, a, b);
+            }
+            for i in 0..self.fanouts[node.index()].len() {
+                let g = self.fanouts[node.index()][i];
+                if let Node::And(a, b) = self.aig.node(g) {
+                    self.refresh_gate(ctx, g, a, b);
+                }
+            }
+            if self.cand_count[node.index()] > 0 {
+                self.jheap.insert(node.index() as u32, ctx.activity());
+            }
+        }
+    }
+
+    fn on_learned(&mut self, ctx: &SearchContext<Lit>, cref: u32) {
+        debug_assert_eq!(self.clause_queued.len(), cref as usize);
+        self.clause_queued.push(false);
+        if self.jnode_decisions {
+            // Learned gates are J-nodes (paper Section IV-A): make their
+            // free literals decision candidates.
+            let lits: [Lit; 2] = [ctx.clause_lits(cref)[0], ctx.clause_lits(cref)[1]];
+            self.push_clause_candidates(ctx, cref, &lits);
+        }
+    }
+
+    fn on_bump(&mut self, ctx: &SearchContext<Lit>, var: usize) {
+        if self.jnode_decisions {
+            self.jheap.update(var as u32, ctx.activity());
+        }
     }
 }
 
@@ -133,86 +502,34 @@ impl PartialOrd for ClauseCandidate {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Solver<'a> {
-    aig: &'a Aig,
     options: SolverOptions,
-    /// AND gates fed by each node.
-    fanouts: Vec<Vec<NodeId>>,
-    /// Per-node ternary value.
-    values: Vec<u8>,
-    levels: Vec<u32>,
-    /// Trail position of each assigned node.
-    positions: Vec<u32>,
-    reasons: Vec<Reason>,
-    phases: Vec<bool>,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
-    qhead: usize,
-    clauses: Vec<LearnedClause>,
-    /// watches[l.code()]: learned clauses watching literal l.
-    watches: Vec<Vec<Watcher>>,
-    activity: Vec<f64>,
-    bump: f64,
-    /// VSIDS heap over all nodes (plain C-SAT mode).
-    heap: ActivityHeap,
-    /// Exact J-node tracking: whether each AND gate is currently
-    /// unjustified (output 0, not yet justified by a 0-fanin).
-    jnode_flag: Vec<bool>,
-    /// How many unjustified gates each node currently feeds.
-    cand_count: Vec<u32>,
-    /// Total number of unjustified gates (zero = everything justified).
-    unjustified_total: u64,
-    /// VSIDS heap over J-node input candidates (C-SAT-Jnode mode).
-    jheap: ActivityHeap,
-    /// Free literals of unsatisfied learned clauses, as lazy candidates.
-    clause_cands: BinaryHeap<ClauseCandidate>,
-    clause_queued: Vec<bool>,
-    /// Implicit learning: correlated partner of each node.
-    partner: Vec<Option<(NodeId, Relation)>>,
-    /// Implicit learning: correlation against constant 0.
-    const_rel: Vec<Option<Relation>>,
-    /// Pending grouped decisions: (level at push, trigger node, trigger
-    /// value, partner, value to assign). Entries are only honored at the
-    /// decision immediately following their creation, while the trigger
-    /// still holds its value — the paper groups the partner with a signal
-    /// "just being assigned", not with long-undone history.
-    group_queue: Vec<(u32, NodeId, bool, NodeId, bool)>,
-    /// Restart bookkeeping (paper: avg back-jump over 4096 backtracks).
-    window_backtracks: u64,
-    window_jump_sum: u64,
-    seen: Vec<bool>,
-    stats: Stats,
-    root_conflict: bool,
-    max_learnts: usize,
-    /// Estimated bytes held by the learned-clause arena (clause structs,
-    /// literal storage, watch entries) — the quantity the memory budget
-    /// bounds.
-    clauses_bytes: u64,
-    /// Derivation-ordered log of learned clauses (proof logging).
-    proof_log: Option<Vec<Vec<Lit>>>,
+    ctx: SearchContext<Lit>,
+    prop: CircuitPropagator<'a>,
 }
 
 impl<'a> Solver<'a> {
     /// Builds a solver over the given circuit.
     pub fn new(aig: &'a Aig, options: SolverOptions) -> Solver<'a> {
         let n = aig.len();
-        let fanouts = csat_netlist::topo::fanout_lists(aig);
-        let mut solver = Solver {
+        let mut ctx = SearchContext::new(
+            n,
+            options.search,
+            !options.jnode_decisions,
+            (aig.and_count() / 2).max(2000),
+        );
+        // The constant node is a level-0 fact.
+        let constant = ctx.enqueue(!NodeId::FALSE.lit(), Reason::Axiom);
+        debug_assert!(constant.is_ok());
+        if !options.jnode_decisions {
+            for node in 1..n {
+                ctx.heap_insert(node);
+            }
+        }
+        let prop = CircuitPropagator {
             aig,
-            options,
-            fanouts,
-            values: vec![UNDEF; n],
-            levels: vec![0; n],
-            positions: vec![0; n],
-            reasons: vec![Reason::Axiom; n],
-            phases: vec![false; n],
-            trail: Vec::with_capacity(n),
-            trail_lim: Vec::new(),
-            qhead: 0,
-            clauses: Vec::new(),
-            watches: vec![Vec::new(); 2 * n],
-            activity: vec![0.0; n],
-            bump: 1.0,
-            heap: ActivityHeap::with_capacity(n),
+            jnode_decisions: options.jnode_decisions,
+            implicit_learning: options.implicit_learning,
+            fanouts: csat_netlist::topo::fanout_lists(aig),
             jnode_flag: vec![false; n],
             cand_count: vec![0; n],
             unjustified_total: 0,
@@ -222,26 +539,8 @@ impl<'a> Solver<'a> {
             partner: vec![None; n],
             const_rel: vec![None; n],
             group_queue: Vec::new(),
-            window_backtracks: 0,
-            window_jump_sum: 0,
-            seen: vec![false; n],
-            stats: Stats::default(),
-            root_conflict: false,
-            max_learnts: (aig.and_count() / 2).max(2000),
-            clauses_bytes: 0,
-            proof_log: None,
         };
-        // The constant node is a level-0 fact.
-        solver.values[0] = FALSE;
-        solver.reasons[0] = Reason::Axiom;
-        solver.trail.push(!NodeId::FALSE.lit());
-        solver.positions[0] = 0;
-        if !solver.options.jnode_decisions {
-            for node in 1..n as u32 {
-                solver.heap.insert(node, &solver.activity);
-            }
-        }
-        solver
+        Solver { options, ctx, prop }
     }
 
     /// Installs signal correlations for implicit learning.
@@ -253,14 +552,14 @@ impl<'a> Solver<'a> {
     pub fn set_correlations(&mut self, correlations: &CorrelationResult) {
         for c in &correlations.correlations {
             if c.is_constant() {
-                self.const_rel[c.a.index()] = Some(c.relation);
+                self.prop.const_rel[c.a.index()] = Some(c.relation);
             } else {
                 // Symmetric grouping: first registration wins.
-                if self.partner[c.a.index()].is_none() {
-                    self.partner[c.a.index()] = Some((c.b, c.relation));
+                if self.prop.partner[c.a.index()].is_none() {
+                    self.prop.partner[c.a.index()] = Some((c.b, c.relation));
                 }
-                if self.partner[c.b.index()].is_none() {
-                    self.partner[c.b.index()] = Some((c.a, c.relation));
+                if self.prop.partner[c.b.index()].is_none() {
+                    self.prop.partner[c.b.index()] = Some((c.a, c.relation));
                 }
             }
         }
@@ -268,14 +567,14 @@ impl<'a> Solver<'a> {
 
     /// The solver's statistics so far (cumulative across calls).
     pub fn stats(&self) -> &Stats {
-        &self.stats
+        self.ctx.stats()
     }
 
     /// The circuit this solver operates on (with the full borrow lifetime,
     /// so a caller can rebuild a solver over the same circuit — which is
     /// how the explicit-learning pass recovers from an isolated panic).
     pub fn aig(&self) -> &'a Aig {
-        self.aig
+        self.prop.aig
     }
 
     /// The options this solver was built with.
@@ -285,29 +584,38 @@ impl<'a> Solver<'a> {
 
     /// Number of learned clauses currently alive.
     pub fn learned_count(&self) -> u64 {
-        self.stats.learnt_clauses
+        self.ctx.learned_count()
     }
 
     /// Estimated bytes held by the learned-clause arena — the quantity
     /// bounded by [`Budget::max_memory_bytes`].
     pub fn learned_memory_bytes(&self) -> u64 {
-        self.clauses_bytes
+        self.ctx.learned_memory_bytes()
+    }
+
+    /// `(glue, deleted)` for every learned clause ever attached, in
+    /// allocation order (ingested clauses carry `u32::MAX` glue). A
+    /// diagnostic surface for auditing DB-reduction policy.
+    pub fn learned_clause_glues(&self) -> Vec<(u32, bool)> {
+        (0..self.ctx.num_clause_refs())
+            .map(|c| (self.ctx.clause_glue(c), self.ctx.clause_is_deleted(c)))
+            .collect()
     }
 
     /// True while learned clauses are being recorded for proof checking.
     pub fn proof_active(&self) -> bool {
-        self.proof_log.is_some()
+        self.ctx.proof_active()
     }
 
     /// Starts recording learned clauses for later checking with
     /// [`crate::proof::verify_unsat`]. Clears any previous log.
     pub fn start_proof(&mut self) {
-        self.proof_log = Some(Vec::new());
+        self.ctx.start_proof()
     }
 
     /// Takes the recorded proof log and stops logging.
     pub fn take_proof(&mut self) -> Vec<Vec<Lit>> {
-        self.proof_log.take().unwrap_or_default()
+        self.ctx.take_proof()
     }
 
     /// Adds a clause known to be implied by the circuit (used by explicit
@@ -318,48 +626,8 @@ impl<'a> Solver<'a> {
     ///
     /// [`LitOutOfRange`] if any literal refers to a node outside the
     /// circuit; the solver is left unchanged.
-    pub fn add_learned_clause(&mut self, mut lits: Vec<Lit>) -> Result<(), LitOutOfRange> {
-        for &l in &lits {
-            if l.node().index() >= self.aig.len() {
-                return Err(LitOutOfRange {
-                    lit: l,
-                    nodes: self.aig.len(),
-                });
-            }
-        }
-        self.backtrack(0);
-        lits.sort_unstable();
-        lits.dedup();
-        if lits.windows(2).any(|w| w[0] == !w[1]) {
-            return Ok(()); // tautology
-        }
-        // Drop literals false at level 0; a satisfied clause is dropped.
-        let mut filtered = Vec::with_capacity(lits.len());
-        for &l in &lits {
-            match self.lit_value(l) {
-                TRUE => return Ok(()),
-                FALSE => {}
-                _ => filtered.push(l),
-            }
-        }
-        if let Some(log) = &mut self.proof_log {
-            log.push(filtered.clone());
-        }
-        match filtered.len() {
-            0 => self.root_conflict = true,
-            1 => {
-                if self.enqueue(filtered[0], Reason::Axiom).is_err() {
-                    self.root_conflict = true;
-                } else if let Some(c) = self.propagate() {
-                    let _ = c;
-                    self.root_conflict = true;
-                }
-            }
-            _ => {
-                self.attach_clause(filtered, true);
-            }
-        }
-        Ok(())
+    pub fn add_learned_clause(&mut self, lits: Vec<Lit>) -> Result<(), LitOutOfRange> {
+        ingest_clause(&mut self.ctx, &mut self.prop, lits)
     }
 
     /// Decides satisfiability of "`objective` can evaluate to 1".
@@ -409,1248 +677,11 @@ impl<'a> Solver<'a> {
     where
         O: Observer + ?Sized,
     {
-        let mut meter = BudgetMeter::new(budget);
-        let mut learned_this_call = 0u64;
-        let mut conflicts_this_call = 0u64;
-        let mut decisions_this_call = 0u64;
-        self.backtrack(0);
-        self.group_queue.clear();
-        if self.root_conflict {
-            return SubVerdict::Unsat;
-        }
-        if self.propagate().is_some() {
-            self.root_conflict = true;
-            return SubVerdict::Unsat;
-        }
-        loop {
-            if let Some(conflict) = self.propagate() {
-                self.stats.conflicts += 1;
-                conflicts_this_call += 1;
-                if self.decision_level() == 0 {
-                    self.root_conflict = true;
-                    obs.record(SolverEvent::Conflict {
-                        level: 0,
-                        backjump: 0,
-                    });
-                    return SubVerdict::Unsat;
-                }
-                let (learnt, backjump) = self.analyze(conflict);
-                let level = self.decision_level();
-                obs.record(SolverEvent::Conflict {
-                    level,
-                    backjump: level - backjump,
-                });
-                obs.record(SolverEvent::Learn {
-                    literals: learnt.len() as u32,
-                });
-                self.note_backjump(level - backjump);
-                self.backtrack(backjump);
-                self.learn(learnt);
-                learned_this_call += 1;
-                if self.root_conflict {
-                    return SubVerdict::Unsat;
-                }
-                if self
-                    .stats
-                    .conflicts
-                    .is_multiple_of(self.options.decay_interval)
-                {
-                    self.bump /= self.options.var_decay;
-                    if self.bump > 1e100 {
-                        self.rescale_activities();
-                    }
-                }
-                if self.stats.learnt_clauses as usize > self.max_learnts {
-                    let (dropped, kept) = self.reduce_db(None);
-                    obs.record(SolverEvent::DbReduced { dropped, kept });
-                }
-                if let Some(reason) = self.budget_checkpoint(
-                    &mut meter,
-                    learned_this_call,
-                    conflicts_this_call,
-                    decisions_this_call,
-                    obs,
-                ) {
-                    return SubVerdict::Aborted(reason);
-                }
-                if self.restart_due() && self.decision_level() > 0 {
-                    self.stats.restarts += 1;
-                    obs.record(SolverEvent::Restart);
-                    self.backtrack(0);
-                }
-            } else if (self.decision_level() as usize) < assumptions.len() {
-                // Assert the next assumption.
-                let p = assumptions[self.decision_level() as usize];
-                match self.lit_value(p) {
-                    TRUE => self.trail_lim.push(self.trail.len()),
-                    FALSE => {
-                        let upto = self.decision_level() as usize;
-                        return SubVerdict::UnsatUnderAssumptions(assumptions[..=upto].to_vec());
-                    }
-                    _ => {
-                        self.trail_lim.push(self.trail.len());
-                        let enqueued = self.enqueue(p, Reason::Decision);
-                        debug_assert!(enqueued.is_ok(), "assumption literal is unassigned");
-                    }
-                }
-            } else if let Some((lit, grouped)) = self.pick_decision() {
-                self.stats.decisions += 1;
-                decisions_this_call += 1;
-                if grouped {
-                    self.stats.grouped_decisions += 1;
-                }
-                obs.record(SolverEvent::Decision {
-                    level: self.decision_level() + 1,
-                    grouped,
-                });
-                if let Some(reason) = self.budget_checkpoint(
-                    &mut meter,
-                    learned_this_call,
-                    conflicts_this_call,
-                    decisions_this_call,
-                    obs,
-                ) {
-                    return SubVerdict::Aborted(reason);
-                }
-                self.trail_lim.push(self.trail.len());
-                let enqueued = self.enqueue(lit, Reason::Decision);
-                debug_assert!(enqueued.is_ok(), "decision literal is unassigned");
-            } else {
-                return SubVerdict::Sat(self.extract_model());
-            }
-        }
-    }
-
-    /// One cooperative budget checkpoint (called at every conflict and
-    /// decision boundary). Memory pressure gets one chance at graceful
-    /// degradation: an emergency database reduction toward half the limit;
-    /// only if the pinned/locked floor still exceeds the limit does the
-    /// solve abort with [`Interrupt::Memory`].
-    fn budget_checkpoint<O>(
-        &mut self,
-        meter: &mut BudgetMeter,
-        learned: u64,
-        conflicts: u64,
-        decisions: u64,
-        obs: &mut O,
-    ) -> Option<Interrupt>
-    where
-        O: Observer + ?Sized,
-    {
-        let reason = meter.checkpoint(learned, conflicts, decisions, self.clauses_bytes)?;
-        if reason == Interrupt::Memory {
-            if let Some(limit) = meter.memory_limit() {
-                let (dropped, kept) = self.reduce_db(Some(limit / 2));
-                obs.record(SolverEvent::DbReduced { dropped, kept });
-                if !meter.memory_exceeded(self.clauses_bytes) {
-                    return None; // pressure relieved; keep solving
-                }
-            }
-        }
-        obs.record(SolverEvent::BudgetExhausted { reason });
-        Some(reason)
-    }
-
-    // ------------------------------------------------------------------
-    // Assignment and propagation
-    // ------------------------------------------------------------------
-
-    fn decision_level(&self) -> u32 {
-        self.trail_lim.len() as u32
-    }
-
-    #[inline]
-    fn lit_value(&self, lit: Lit) -> u8 {
-        let v = self.values[lit.node().index()];
-        if v == UNDEF {
-            UNDEF
-        } else {
-            v ^ lit.is_complemented() as u8
-        }
-    }
-
-    /// Makes `lit` true. Returns the conflict when it is already false.
-    fn enqueue(&mut self, lit: Lit, reason: Reason) -> Result<(), Conflict> {
-        match self.lit_value(lit) {
-            TRUE => Ok(()),
-            FALSE => Err(Conflict { lit, reason }),
-            _ => {
-                let node = lit.node().index();
-                let value = !lit.is_complemented();
-                self.values[node] = value as u8;
-                self.levels[node] = self.decision_level();
-                self.positions[node] = self.trail.len() as u32;
-                self.reasons[node] = reason;
-                self.phases[node] = value;
-                self.trail.push(lit);
-                // Implicit learning: when a signal is assigned by
-                // *implication* (Algorithm IV.1: "just being assigned a
-                // value v by implication (BCP)"), queue its correlated
-                // partner as the next decision, with the conflict-prone
-                // value.
-                if self.options.implicit_learning && reason != Reason::Decision {
-                    if let Some((p, rel)) = self.partner[node] {
-                        if self.values[p.index()] == UNDEF {
-                            let target = match rel {
-                                Relation::Equal => !value,
-                                Relation::Opposite => value,
-                            };
-                            self.group_queue.push((
-                                self.decision_level(),
-                                lit.node(),
-                                value,
-                                p,
-                                target,
-                            ));
-                        }
-                    }
-                }
-                Ok(())
-            }
-        }
-    }
-
-    /// BCP to fixpoint over gates and learned clauses.
-    fn propagate(&mut self) -> Option<Conflict> {
-        while self.qhead < self.trail.len() {
-            let p = self.trail[self.qhead];
-            self.qhead += 1;
-            self.stats.propagations += 1;
-            let node = p.node();
-            // The node itself, if it is an AND gate whose output changed.
-            if self.aig.node(node).is_and() {
-                if let Err(c) = self.propagate_gate(node) {
-                    return Some(c);
-                }
-            }
-            // Gates this node feeds.
-            let fanout_count = self.fanouts[node.index()].len();
-            for i in 0..fanout_count {
-                let g = self.fanouts[node.index()][i];
-                if let Err(c) = self.propagate_gate(g) {
-                    return Some(c);
-                }
-            }
-            // Learned clauses watching the falsified literal.
-            if let Err(c) = self.propagate_clauses(!p) {
-                return Some(c);
-            }
-        }
-        None
-    }
-
-    /// Applies the implication table to one gate.
-    fn propagate_gate(&mut self, g: NodeId) -> Result<(), Conflict> {
-        let (a, b) = match self.aig.node(g) {
-            Node::And(a, b) => (a, b),
-            _ => return Ok(()),
-        };
-        let vo = self.values[g.index()];
-        let va = self.lit_value(a);
-        let vb = self.lit_value(b);
-        let acts = implication::lookup(vo, va, vb);
-        use crate::implication::Action;
-        let mut result = Ok(());
-        for action in acts.iter() {
-            let lit = match action {
-                Action::OutputFalse => !g.lit(),
-                Action::OutputTrue => g.lit(),
-                Action::AFalse => !a,
-                Action::ATrue => a,
-                Action::BFalse => !b,
-                Action::BTrue => b,
-            };
-            if let Err(c) = self.enqueue(lit, Reason::Gate(g)) {
-                result = Err(c);
-                break;
-            }
-        }
-        self.refresh_gate(g, a, b);
-        result
-    }
-
-    /// Recomputes the J-node status of one gate and maintains the
-    /// candidate counters and heap. Called whenever one of the gate's pins
-    /// changes value.
-    fn refresh_gate(&mut self, g: NodeId, a: Lit, b: Lit) {
-        if !self.options.jnode_decisions {
-            return;
-        }
-        let now = is_unjustified(self.values[g.index()], self.lit_value(a), self.lit_value(b));
-        if now == self.jnode_flag[g.index()] {
-            return;
-        }
-        self.jnode_flag[g.index()] = now;
-        if now {
-            self.unjustified_total += 1;
-            for lit in [a, b] {
-                let n = lit.node().index();
-                self.cand_count[n] += 1;
-                if self.values[n] == UNDEF {
-                    self.jheap.insert(n as u32, &self.activity);
-                }
-            }
-        } else {
-            self.unjustified_total -= 1;
-            for lit in [a, b] {
-                self.cand_count[lit.node().index()] -= 1;
-            }
-        }
-    }
-
-    /// Watched-literal propagation over learned clauses.
-    fn propagate_clauses(&mut self, falsified: Lit) -> Result<(), Conflict> {
-        let mut watch_list = std::mem::take(&mut self.watches[falsified.code()]);
-        let mut i = 0;
-        let mut result = Ok(());
-        while i < watch_list.len() {
-            let Watcher { cref, blocker } = watch_list[i];
-            // Blocker check: if the cached co-watched literal is already
-            // true the clause is satisfied — skip without touching it.
-            if self.lit_value(blocker) == TRUE {
-                i += 1;
-                continue;
-            }
-            let (first, new_watch) = {
-                let values = &self.values;
-                let val = |lit: Lit| -> u8 {
-                    let v = values[lit.node().index()];
-                    if v == UNDEF {
-                        UNDEF
-                    } else {
-                        v ^ lit.is_complemented() as u8
-                    }
-                };
-                let clause = &mut self.clauses[cref as usize];
-                if clause.deleted {
-                    watch_list.swap_remove(i);
-                    continue;
-                }
-                if clause.lits[0] == falsified {
-                    clause.lits.swap(0, 1);
-                }
-                debug_assert_eq!(clause.lits[1], falsified);
-                let first = clause.lits[0];
-                if val(first) == TRUE {
-                    // Remember the satisfying literal so later rounds can
-                    // skip the clause from the blocker check alone.
-                    watch_list[i].blocker = first;
-                    i += 1;
-                    continue;
-                }
-                let mut new_watch = None;
-                for k in 2..clause.lits.len() {
-                    let cand = clause.lits[k];
-                    if val(cand) != FALSE {
-                        clause.lits.swap(1, k);
-                        new_watch = Some(cand);
-                        break;
-                    }
-                }
-                (first, new_watch)
-            };
-            if let Some(cand) = new_watch {
-                self.watches[cand.code()].push(Watcher {
-                    cref,
-                    blocker: first,
-                });
-                watch_list.swap_remove(i);
-                continue;
-            }
-            if self.lit_value(first) == FALSE {
-                result = Err(Conflict {
-                    lit: first,
-                    reason: Reason::Clause(cref),
-                });
-                self.qhead = self.trail.len();
-                break;
-            }
-            if let Err(c) = self.enqueue(first, Reason::Clause(cref)) {
-                result = Err(c);
-                self.qhead = self.trail.len();
-                break;
-            }
-            i += 1;
-        }
-        self.watches[falsified.code()] = watch_list;
-        result
-    }
-
-    // ------------------------------------------------------------------
-    // Conflict analysis
-    // ------------------------------------------------------------------
-
-    /// Literals (all currently false) that together with `of` form the
-    /// implying clause of `of`'s reason.
-    fn reason_false_lits(&self, of: Lit, reason: Reason, out: &mut Vec<Lit>) {
-        match reason {
-            Reason::Clause(cref) => {
-                for &l in &self.clauses[cref as usize].lits {
-                    if l != of {
-                        out.push(l);
-                    }
-                }
-            }
-            Reason::Gate(g) => self.gate_false_lits(of, g, out),
-            Reason::Decision | Reason::Axiom => {
-                unreachable!("decisions and axioms have no reason clause")
-            }
-        }
-    }
-
-    /// Premise literals (negated, i.e. false) of a gate implication.
-    fn gate_false_lits(&self, of: Lit, g: NodeId, out: &mut Vec<Lit>) {
-        let (a, b) = match self.aig.node(g) {
-            Node::And(a, b) => (a, b),
-            _ => unreachable!("gate reason on a non-AND node"),
-        };
-        if of.node() == g {
-            if of.is_complemented() {
-                // Output implied 0 by a 0-fanin. Prefer one assigned before
-                // the output (a genuine implication premise); fall back to
-                // any 0-fanin when materializing a conflict clause.
-                let out_pos = self.positions[g.index()];
-                let pick = |l: Lit| -> bool { self.lit_value(l) == FALSE };
-                let earlier =
-                    |l: Lit| -> bool { pick(l) && self.positions[l.node().index()] < out_pos };
-                let chosen = if earlier(a) && earlier(b) {
-                    if self.positions[a.node().index()] <= self.positions[b.node().index()] {
-                        a
-                    } else {
-                        b
-                    }
-                } else if earlier(a) {
-                    a
-                } else if earlier(b) {
-                    b
-                } else if pick(a) {
-                    a
-                } else {
-                    debug_assert!(pick(b), "no justifying fanin for output-0 implication");
-                    b
-                };
-                out.push(chosen);
-            } else {
-                // Output implied 1 by both fanins being 1.
-                out.push(!a);
-                out.push(!b);
-            }
-        } else {
-            // A fanin was implied. Identify which edge.
-            let fl = if a.node() == of.node() { a } else { b };
-            let other = if a.node() == of.node() { b } else { a };
-            debug_assert_eq!(fl.node(), of.node());
-            if fl == of {
-                // Fanin implied 1 because the output is 1.
-                out.push(!g.lit());
-            } else {
-                // Fanin implied 0 because the output is 0 and the sibling 1.
-                out.push(g.lit());
-                out.push(!other);
-            }
-        }
-    }
-
-    /// First-UIP conflict analysis.
-    fn analyze(&mut self, conflict: Conflict) -> (Vec<Lit>, u32) {
-        let current = self.decision_level();
-        // Materialize the conflicting clause: all literals false.
-        let mut clause_lits: Vec<Lit> = vec![conflict.lit];
-        self.reason_false_lits(conflict.lit, conflict.reason, &mut clause_lits);
-        let mut learnt: Vec<Lit> = vec![Lit::FALSE]; // placeholder for 1UIP
-        let mut counter = 0usize;
-        let mut index = self.trail.len();
-        let mut reason_buf: Vec<Lit> = Vec::new();
-        loop {
-            for &q in &clause_lits {
-                let v = q.node().index();
-                if !self.seen[v] && self.levels[v] > 0 {
-                    self.seen[v] = true;
-                    self.bump_node(q.node());
-                    if self.levels[v] == current {
-                        counter += 1;
-                    } else {
-                        learnt.push(q);
-                    }
-                }
-            }
-            let p_lit = loop {
-                index -= 1;
-                let lit = self.trail[index];
-                if self.seen[lit.node().index()] {
-                    break lit;
-                }
-            };
-            counter -= 1;
-            if counter == 0 {
-                learnt[0] = !p_lit;
-                break;
-            }
-            let reason = self.reasons[p_lit.node().index()];
-            reason_buf.clear();
-            self.reason_false_lits(p_lit, reason, &mut reason_buf);
-            self.seen[p_lit.node().index()] = false;
-            clause_lits.clear();
-            clause_lits.extend_from_slice(&reason_buf);
-        }
-        // Local clause minimization: a non-asserting literal is redundant
-        // when every literal of its implying clause is already in the
-        // learnt clause (all still marked seen) or at level 0.
-        let minimize = self.options.minimize_clauses;
-        let mut minimized: Vec<Lit> = Vec::with_capacity(learnt.len());
-        minimized.push(learnt[0]);
-        for &q in &learnt[1..] {
-            if !minimize {
-                minimized.push(q);
-                continue;
-            }
-            let reason = self.reasons[q.node().index()];
-            let redundant = match reason {
-                Reason::Decision | Reason::Axiom => false,
-                _ => {
-                    reason_buf.clear();
-                    // q is false, so the trail holds !q; its reason clause
-                    // is (!q | rest) with `rest` the other false literals.
-                    self.reason_false_lits(!q, reason, &mut reason_buf);
-                    reason_buf
-                        .iter()
-                        .all(|r| self.seen[r.node().index()] || self.levels[r.node().index()] == 0)
-                }
-            };
-            if !redundant {
-                minimized.push(q);
-            }
-        }
-        for l in &learnt {
-            self.seen[l.node().index()] = false;
-        }
-        let mut learnt = minimized;
-        // Backjump level: highest among learnt[1..]; keep that literal in
-        // position 1 so it becomes the second watch.
-        let mut backjump = 0;
-        let mut max_pos = 1;
-        for (k, l) in learnt.iter().enumerate().skip(1) {
-            let lv = self.levels[l.node().index()];
-            if lv > backjump {
-                backjump = lv;
-                max_pos = k;
-            }
-        }
-        if learnt.len() > 1 {
-            learnt.swap(1, max_pos);
-        }
-        (learnt, backjump)
-    }
-
-    fn learn(&mut self, learnt: Vec<Lit>) {
-        let assert_lit = learnt[0];
-        self.stats.learnt_clauses += 1;
-        if let Some(log) = &mut self.proof_log {
-            log.push(learnt.clone());
-        }
-        if learnt.len() == 1 {
-            debug_assert_eq!(self.decision_level(), 0);
-            match self.enqueue(assert_lit, Reason::Axiom) {
-                Ok(()) => {}
-                Err(_) => self.root_conflict = true,
-            }
-            return;
-        }
-        let cref = self.attach_clause(learnt, false);
-        self.enqueue(assert_lit, Reason::Clause(cref))
-            .expect("asserting literal is unassigned after backjump");
-    }
-
-    /// Estimated heap footprint of one learned clause: the clause struct,
-    /// its literal storage and its two watch-list entries.
-    fn clause_footprint(len: usize) -> u64 {
-        (std::mem::size_of::<LearnedClause>()
-            + len * std::mem::size_of::<Lit>()
-            + 2 * std::mem::size_of::<Watcher>()) as u64
-    }
-
-    fn attach_clause(&mut self, lits: Vec<Lit>, pinned: bool) -> u32 {
-        debug_assert!(lits.len() >= 2);
-        self.clauses_bytes += Self::clause_footprint(lits.len());
-        let cref = self.clauses.len() as u32;
-        self.watches[lits[0].code()].push(Watcher {
-            cref,
-            blocker: lits[1],
-        });
-        self.watches[lits[1].code()].push(Watcher {
-            cref,
-            blocker: lits[0],
-        });
-        if self.options.jnode_decisions {
-            // Learned gates are J-nodes (paper Section IV-A): make their
-            // free literals decision candidates.
-            self.clause_queued.push(false);
-            self.push_clause_candidates(cref, &lits);
-        } else {
-            self.clause_queued.push(false);
-        }
-        self.clauses.push(LearnedClause {
-            lits,
-            deleted: false,
-            pinned,
-            activity: self.bump,
-        });
-        cref
-    }
-
-    // ------------------------------------------------------------------
-    // Backtracking and restarts
-    // ------------------------------------------------------------------
-
-    fn backtrack(&mut self, level: u32) {
-        if self.decision_level() <= level {
-            return;
-        }
-        self.stats.backtracks += 1;
-        let target = self.trail_lim[level as usize];
-        let unassigned: Vec<Lit> = self.trail[target..].to_vec();
-        for &lit in unassigned.iter().rev() {
-            let node = lit.node().index();
-            self.values[node] = UNDEF;
-            self.reasons[node] = Reason::Axiom;
-            if !self.options.jnode_decisions {
-                self.heap.insert(node as u32, &self.activity);
-            }
-        }
-        self.trail.truncate(target);
-        self.trail_lim.truncate(level as usize);
-        self.qhead = target;
-        if self.options.jnode_decisions {
-            // Recompute J-node status around every unassigned node and
-            // re-expose clause candidates.
-            for &lit in &unassigned {
-                let node = lit.node();
-                if let Node::And(a, b) = self.aig.node(node) {
-                    self.refresh_gate(node, a, b);
-                }
-                for i in 0..self.fanouts[node.index()].len() {
-                    let g = self.fanouts[node.index()][i];
-                    if let Node::And(a, b) = self.aig.node(g) {
-                        self.refresh_gate(g, a, b);
-                    }
-                }
-                // The node may again be a candidate for gates that stayed
-                // unjustified across the backtrack.
-                if self.cand_count[node.index()] > 0 {
-                    self.jheap.insert(node.index() as u32, &self.activity);
-                }
-            }
-        }
-    }
-
-    fn note_backjump(&mut self, distance: u32) {
-        self.window_backtracks += 1;
-        self.window_jump_sum += distance as u64;
-    }
-
-    /// The paper's restart rule: every `restart_window` backtracks, restart
-    /// if the average back-jump distance is below `restart_threshold`.
-    fn restart_due(&mut self) -> bool {
-        if self.window_backtracks < self.options.restart_window {
-            return false;
-        }
-        let avg = self.window_jump_sum as f64 / self.window_backtracks as f64;
-        self.window_backtracks = 0;
-        self.window_jump_sum = 0;
-        avg < self.options.restart_threshold
-    }
-
-    // ------------------------------------------------------------------
-    // Decisions
-    // ------------------------------------------------------------------
-
-    fn bump_node(&mut self, node: NodeId) {
-        self.activity[node.index()] += self.bump;
-        if self.activity[node.index()] > 1e100 {
-            self.rescale_activities();
-        }
-        if self.options.jnode_decisions {
-            self.jheap.update(node.index() as u32, &self.activity);
-        } else {
-            self.heap.update(node.index() as u32, &self.activity);
-        }
-    }
-
-    fn rescale_activities(&mut self) {
-        for a in &mut self.activity {
-            *a *= 1e-100;
-        }
-        self.bump *= 1e-100;
-        self.bump = self.bump.max(1e-100);
-    }
-
-    fn lit_priority(&self, lit: Lit) -> u64 {
-        self.activity[lit.node().index()].to_bits()
-    }
-
-    fn push_clause_candidates(&mut self, cref: u32, lits: &[Lit]) {
-        self.clause_queued[cref as usize] = true;
-        let priority = self.lit_priority(lits[0]).max(self.lit_priority(lits[1]));
-        self.clause_cands.push(ClauseCandidate {
-            priority,
-            lit: lits[0],
-            cref,
-        });
-    }
-
-    /// Chooses the next decision literal. Returns `(lit, was_grouped)`.
-    fn pick_decision(&mut self) -> Option<(Lit, bool)> {
-        // 1. Implicit-learning grouped decisions take precedence
-        //    (Algorithm IV.1's first branch). An entry is stale — and
-        //    skipped — once its trigger lost the value that created it or
-        //    the partner got assigned some other way.
-        if self.options.implicit_learning {
-            let now = self.decision_level();
-            // FIFO: honor the grouping requests in the order BCP created
-            // them (implication order), dropping entries from other levels.
-            let queue = std::mem::take(&mut self.group_queue);
-            let mut iter = queue.into_iter();
-            for (level, trigger, tv, partner, target) in iter.by_ref() {
-                if level != now {
-                    continue;
-                }
-                let trigger_live = self.values[trigger.index()] == tv as u8;
-                if trigger_live && self.values[partner.index()] == UNDEF {
-                    // Keep the remaining same-level entries for the next
-                    // decision.
-                    self.group_queue = iter.filter(|&(l, ..)| l == now).collect();
-                    return Some((Lit::new(partner, !target), true));
-                }
-            }
-        }
-        if self.options.jnode_decisions {
-            self.pick_jnode_decision().map(|l| (l, false))
-        } else {
-            self.pick_vsids_decision().map(|l| (l, false))
-        }
-    }
-
-    /// VSIDS among J-node inputs and learned-gate literals.
-    fn pick_jnode_decision(&mut self) -> Option<Lit> {
-        loop {
-            // Highest-activity valid node candidate (a fanin of some
-            // unjustified gate).
-            let node = loop {
-                match self.jheap.pop(&self.activity) {
-                    None => break None,
-                    Some(v) => {
-                        if self.values[v as usize] == UNDEF && self.cand_count[v as usize] > 0 {
-                            break Some(v);
-                        }
-                    }
-                }
-            };
-            let node_priority = node
-                .map(|v| self.activity[v as usize].to_bits())
-                .unwrap_or(0);
-            // Learned-gate candidates compete under the same VSIDS order.
-            while let Some(&top) = self.clause_cands.peek() {
-                if node.is_some() && top.priority <= node_priority {
-                    break;
-                }
-                self.clause_cands.pop();
-                let ClauseCandidate { lit, cref, .. } = top;
-                self.clause_queued[cref as usize] = false;
-                let clause = &self.clauses[cref as usize];
-                if clause.deleted {
-                    continue;
-                }
-                let (w0, w1) = (clause.lits[0], clause.lits[1]);
-                if self.lit_value(w0) == TRUE || self.lit_value(w1) == TRUE {
-                    continue; // satisfied (at least through its watches)
-                }
-                let free = if self.lit_value(lit) == UNDEF {
-                    lit
-                } else if self.lit_value(w0) == UNDEF {
-                    w0
-                } else if self.lit_value(w1) == UNDEF {
-                    w1
-                } else {
-                    continue;
-                };
-                // Satisfy the learned gate; put the node candidate back.
-                if let Some(v) = node {
-                    self.jheap.insert(v, &self.activity);
-                }
-                return Some(self.apply_value_heuristic(free));
-            }
-            if let Some(v) = node {
-                // Justify one of the unjustified gates this node feeds:
-                // set the fanin edge to 0 (ATPG justification), unless a
-                // constant correlation overrides the value.
-                let n = NodeId::from_index(v as usize);
-                let mut chosen: Option<Lit> = None;
-                for i in 0..self.fanouts[n.index()].len() {
-                    let g = self.fanouts[n.index()][i];
-                    if self.jnode_flag[g.index()] {
-                        if let Node::And(a, b) = self.aig.node(g) {
-                            let fl = if a.node() == n { a } else { b };
-                            chosen = Some(fl);
-                            break;
-                        }
-                    }
-                }
-                match chosen {
-                    Some(fl) => return Some(self.apply_value_heuristic(!fl)),
-                    // Stale candidacy; keep looking.
-                    None => continue,
-                }
-            }
-            // No candidates at all: SAT if the counters agree; otherwise
-            // repopulate from a full scan (safety net).
-            if self.unjustified_total == 0 {
-                return None;
-            }
-            match self.scan_for_unjustified() {
-                Some(g) => {
-                    if let Node::And(a, b) = self.aig.node(g) {
-                        let fl = if self.lit_value(a) == UNDEF { a } else { b };
-                        return Some(self.apply_value_heuristic(!fl));
-                    }
-                }
-                None => return None,
-            }
-        }
-    }
-
-    /// Plain VSIDS over all signals (the paper's initial C-SAT).
-    fn pick_vsids_decision(&mut self) -> Option<Lit> {
-        loop {
-            let node = self.heap.pop(&self.activity)?;
-            if self.values[node as usize] == UNDEF {
-                let id = NodeId::from_index(node as usize);
-                let lit = Lit::new(id, !self.phases[node as usize]);
-                return Some(self.apply_value_heuristic(lit));
-            }
-        }
-    }
-
-    /// Algorithm IV.1's constant-correlation value override: a signal
-    /// correlated with 0 is assigned 1 (and vice versa) so the decision is
-    /// the one most likely to cause a conflict.
-    fn apply_value_heuristic(&self, lit: Lit) -> Lit {
-        if !self.options.implicit_learning {
-            return lit;
-        }
-        match self.const_rel[lit.node().index()] {
-            // s ≈ 0: decide s = 1.
-            Some(Relation::Equal) => Lit::new(lit.node(), false),
-            // s ≈ 1: decide s = 0.
-            Some(Relation::Opposite) => Lit::new(lit.node(), true),
-            None => lit,
-        }
-    }
-
-    fn scan_for_unjustified(&self) -> Option<NodeId> {
-        for (i, node) in self.aig.nodes().iter().enumerate() {
-            if let Node::And(a, b) = node {
-                let vo = self.values[i];
-                let va = self.lit_value(*a);
-                let vb = self.lit_value(*b);
-                if is_unjustified(vo, va, vb) {
-                    return Some(NodeId::from_index(i));
-                }
-            }
-        }
-        None
-    }
-
-    // ------------------------------------------------------------------
-    // Model extraction and clause DB reduction
-    // ------------------------------------------------------------------
-
-    fn extract_model(&self) -> Vec<bool> {
-        self.aig
-            .inputs()
-            .iter()
-            .map(|&id| self.values[id.index()] == TRUE)
-            .collect()
-    }
-
-    /// Learned-clause database reduction, coldest-first by activity.
-    ///
-    /// With `target_bytes = None` this is the routine growth-triggered
-    /// pass: delete half the deletable clauses and raise `max_learnts`.
-    /// With `Some(target)` it is the emergency memory-pressure pass:
-    /// delete coldest-first until the arena estimate drops to `target`
-    /// (without growing `max_learnts` — the cap must stay tight).
-    ///
-    /// Pinned clauses (explicit-learning cores), binaries and clauses
-    /// currently locked as a reason are never dropped. Deleted clauses
-    /// release their literal storage immediately so the accounting
-    /// reflects real memory.
-    fn reduce_db(&mut self, target_bytes: Option<u64>) -> (u64, u64) {
-        let mut learnt_refs: Vec<u32> = (0..self.clauses.len() as u32)
-            .filter(|&i| {
-                let c = &self.clauses[i as usize];
-                !c.deleted && !c.pinned && c.lits.len() > 2
-            })
-            .collect();
-        learnt_refs.sort_by(|&x, &y| {
-            self.clauses[x as usize]
-                .activity
-                .total_cmp(&self.clauses[y as usize].activity)
-        });
-        let locked = |solver: &Solver<'_>, cref: u32| -> bool {
-            let l0 = solver.clauses[cref as usize].lits[0];
-            solver.lit_value(l0) == TRUE
-                && solver.reasons[l0.node().index()] == Reason::Clause(cref)
-        };
-        let count_quota = match target_bytes {
-            None => learnt_refs.len() / 2,
-            Some(_) => learnt_refs.len(),
-        };
-        let mut deleted = 0usize;
-        for &cref in &learnt_refs {
-            if deleted >= count_quota {
-                break;
-            }
-            if let Some(target) = target_bytes {
-                if self.clauses_bytes <= target {
-                    break;
-                }
-            }
-            if locked(self, cref) {
-                continue;
-            }
-            let clause = &mut self.clauses[cref as usize];
-            clause.deleted = true;
-            self.clauses_bytes -= Self::clause_footprint(clause.lits.len());
-            // Free the literal storage now; every consumer checks
-            // `deleted` before touching `lits`.
-            clause.lits = Vec::new();
-            deleted += 1;
-        }
-        self.stats.deleted_clauses += deleted as u64;
-        self.stats.learnt_clauses -= deleted as u64;
-        if target_bytes.is_none() {
-            self.max_learnts += self.max_learnts / 10;
-        }
-        (deleted as u64, self.stats.learnt_clauses)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::options::{Budget, SolverOptions, SubVerdict, Verdict};
-    use csat_netlist::{generators, miter, tseitin, Aig};
-
-    fn tiny_and() -> (Aig, Lit) {
-        let mut g = Aig::new();
-        let a = g.input();
-        let b = g.input();
-        let y = g.and(a, b);
-        g.set_output("y", y);
-        (g, y)
-    }
-
-    #[test]
-    fn sat_on_simple_and() {
-        let (g, y) = tiny_and();
-        let mut s = Solver::new(&g, SolverOptions::default());
-        assert_eq!(s.solve(y), Verdict::Sat(vec![true, true]));
-    }
-
-    #[test]
-    fn unsat_on_contradiction() {
-        // y = (a & b) & !(a & b), built fresh so it stays a real gate.
-        let mut g = Aig::new();
-        let a = g.input();
-        let b = g.input();
-        let p = g.and(a, b);
-        let q = g.and_fresh(a, b);
-        let y = g.and_fresh(p, !q);
-        g.set_output("y", y);
-        let mut s = Solver::new(&g, SolverOptions::default());
-        assert!(s.solve(y).is_unsat());
-    }
-
-    #[test]
-    fn constant_objectives() {
-        let (g, _) = tiny_and();
-        let mut s = Solver::new(&g, SolverOptions::default());
-        assert!(s.solve(Lit::TRUE).is_sat());
-        assert!(s.solve(Lit::FALSE).is_unsat());
-    }
-
-    #[test]
-    fn complemented_objective() {
-        let (g, y) = tiny_and();
-        let mut s = Solver::new(&g, SolverOptions::default());
-        match s.solve(!y) {
-            Verdict::Sat(model) => {
-                assert!(!(model[0] && model[1]), "needs a&b = 0");
-            }
-            other => panic!("{other:?}"),
-        }
-    }
-
-    #[test]
-    fn solver_is_reusable_across_calls() {
-        let (g, y) = tiny_and();
-        let mut s = Solver::new(&g, SolverOptions::default());
-        assert!(s.solve(y).is_sat());
-        assert!(s.solve(!y).is_sat());
-        assert!(s.solve(y).is_sat());
-        assert!(s.solve(Lit::FALSE).is_unsat());
-        assert!(s.solve(y).is_sat());
-    }
-
-    #[test]
-    fn assumptions_api() {
-        let (g, y) = tiny_and();
-        let a = g.inputs()[0].lit();
-        let b = g.inputs()[1].lit();
-        let mut s = Solver::new(&g, SolverOptions::default());
-        // y=1 forces a=1; assuming a=0 with y is contradictory.
-        match s.solve_under(&[y, !a], &Budget::UNLIMITED) {
-            SubVerdict::UnsatUnderAssumptions(core) => {
-                assert!(core.contains(&!a));
-            }
-            other => panic!("{other:?}"),
-        }
-        // Consistent assumptions.
-        match s.solve_under(&[y, a, b], &Budget::UNLIMITED) {
-            SubVerdict::Sat(model) => assert_eq!(model, vec![true, true]),
-            other => panic!("{other:?}"),
-        }
-    }
-
-    #[test]
-    fn learned_budget_aborts() {
-        // A miter instance guaranteed to conflict a lot.
-        let m = miter::self_miter(&generators::array_multiplier(4), Default::default());
-        let mut s = Solver::new(&m.aig, SolverOptions::default());
-        let outcome = s.solve_under(&[m.objective], &Budget::learned(1));
-        // With a 1-clause budget the solve cannot complete (the instance
-        // needs many conflicts) — unless it got refuted instantly.
-        assert!(
-            matches!(
-                outcome,
-                SubVerdict::Aborted(Interrupt::Learned) | SubVerdict::UnsatUnderAssumptions(_)
-            ),
-            "{outcome:?}"
-        );
-    }
-
-    #[test]
-    fn memory_budget_triggers_reduction_not_wrong_answers() {
-        // A moderately hard UNSAT miter with a tiny memory budget: the
-        // emergency reduction must keep the arena bounded without changing
-        // the verdict.
-        let m = miter::self_miter(&generators::ripple_carry_adder(6), Default::default());
-        let mut s = Solver::new(&m.aig, SolverOptions::default());
-        let budget = Budget::memory(64 * 1024);
-        let verdict = s.solve_with_budget(m.objective, &budget);
-        assert_eq!(verdict, Verdict::Unsat);
-        assert!(s.learned_memory_bytes() <= 64 * 1024);
-    }
-
-    #[test]
-    fn cancellation_aborts_promptly() {
-        use csat_types::CancelToken;
-        let m = miter::self_miter(&generators::array_multiplier(6), Default::default());
-        let mut s = Solver::new(&m.aig, SolverOptions::default());
-        let token = CancelToken::new();
-        token.cancel();
-        let budget = Budget::UNLIMITED.with_cancel(token);
-        let verdict = s.solve_with_budget(m.objective, &budget);
-        assert_eq!(verdict, Verdict::Unknown(Interrupt::Cancelled));
-    }
-
-    #[test]
-    fn add_learned_clause_units_propagate() {
-        let (g, y) = tiny_and();
-        let a = g.inputs()[0].lit();
-        let mut s = Solver::new(&g, SolverOptions::default());
-        // Tell the solver a = 0 (which is *not* circuit-implied, but the
-        // API trusts the caller): y can no longer be 1.
-        s.add_learned_clause(vec![!a]).unwrap();
-        assert!(s.solve(y).is_unsat());
-    }
-
-    #[test]
-    fn add_learned_clause_rejects_out_of_range_literals() {
-        let (g, y) = tiny_and();
-        let mut s = Solver::new(&g, SolverOptions::default());
-        let bogus = Lit::new(NodeId::from_index(g.len() + 5), false);
-        let err = s.add_learned_clause(vec![bogus]).unwrap_err();
-        assert_eq!(err.nodes, g.len());
-        // The solver is still usable.
-        assert!(s.solve(y).is_sat());
-    }
-
-    #[test]
-    fn add_learned_clause_handles_tautology_and_duplicates() {
-        let (g, y) = tiny_and();
-        let a = g.inputs()[0].lit();
-        let mut s = Solver::new(&g, SolverOptions::default());
-        s.add_learned_clause(vec![a, !a]).unwrap(); // dropped
-        s.add_learned_clause(vec![a, a, a]).unwrap(); // unit after dedup
-        match s.solve(y) {
-            Verdict::Sat(model) => assert!(model[0]),
-            other => panic!("{other:?}"),
-        }
-    }
-
-    /// Cross-check the circuit solver against the CNF baseline on random
-    /// multi-level circuits, verifying SAT models by simulation.
-    fn cross_check(options: SolverOptions, seeds: std::ops::Range<u64>) {
-        for seed in seeds {
-            let g = generators::random_logic(seed, 8, 80, 3);
-            for (_, out) in g.outputs().iter() {
-                for objective in [*out, !*out] {
-                    let mut s = Solver::new(&g, options);
-                    if options.implicit_learning {
-                        let c = csat_sim::find_correlations(
-                            &g,
-                            &csat_sim::SimulationOptions::default(),
-                        );
-                        s.set_correlations(&c);
-                    }
-                    let circuit_verdict = s.solve(objective);
-                    let enc = tseitin::encode_with_objective(&g, objective);
-                    let cnf_verdict =
-                        csat_cnf::Solver::new(&enc.cnf, csat_cnf::SolverOptions::default()).solve();
-                    match (&circuit_verdict, &cnf_verdict) {
-                        (Verdict::Sat(model), Verdict::Sat(_)) => {
-                            let values = g.evaluate(model);
-                            assert!(
-                                g.lit_value(&values, objective),
-                                "seed {seed}: bogus model for {objective:?}"
-                            );
-                        }
-                        (Verdict::Unsat, Verdict::Unsat) => {}
-                        other => panic!("seed {seed}: verdict mismatch {other:?}"),
-                    }
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn cross_check_jnode_mode() {
-        cross_check(SolverOptions::default(), 0..6);
-    }
-
-    #[test]
-    fn cross_check_plain_vsids_mode() {
-        cross_check(SolverOptions::plain_csat(), 0..6);
-    }
-
-    #[test]
-    fn cross_check_implicit_learning() {
-        cross_check(SolverOptions::with_implicit_learning(), 0..6);
-    }
-
-    #[test]
-    fn miter_of_equivalent_adders_is_unsat_in_all_modes() {
-        let left = generators::ripple_carry_adder(5);
-        let right = generators::carry_lookahead_adder(5);
-        let m = miter::build(&left, &right, Default::default());
-        for options in [
-            SolverOptions::default(),
-            SolverOptions::plain_csat(),
-            SolverOptions::with_implicit_learning(),
-        ] {
-            let mut s = Solver::new(&m.aig, options);
-            if options.implicit_learning {
-                let c =
-                    csat_sim::find_correlations(&m.aig, &csat_sim::SimulationOptions::default());
-                s.set_correlations(&c);
-            }
-            assert!(s.solve(m.objective).is_unsat(), "{options:?}");
-        }
-    }
-
-    #[test]
-    fn miter_of_different_circuits_finds_distinguishing_input() {
-        let left = generators::ripple_carry_adder(4);
-        // Sneak a bug in: drop the carry into bit 3 by using a fresh adder
-        // with one output replaced.
-        let mut right = Aig::new();
-        let right_inputs: Vec<Lit> = (0..left.inputs().len()).map(|_| right.input()).collect();
-        let outs = miter::import(&mut right, &left, &right_inputs);
-        for (k, (name, _)) in left.outputs().iter().enumerate() {
-            if k == 2 {
-                // Corrupt sum2.
-                right.set_output(name.clone(), !outs[k]);
-            } else {
-                right.set_output(name.clone(), outs[k]);
-            }
-        }
-        let m = miter::build(&left, &right, Default::default());
-        let mut s = Solver::new(&m.aig, SolverOptions::default());
-        match s.solve(m.objective) {
-            Verdict::Sat(model) => {
-                let values = m.aig.evaluate(&model);
-                assert!(m.aig.lit_value(&values, m.objective));
-            }
-            other => panic!("{other:?}"),
-        }
-    }
-
-    #[test]
-    fn stats_accumulate() {
-        let m = miter::self_miter(&generators::ripple_carry_adder(5), Default::default());
-        let mut s = Solver::new(&m.aig, SolverOptions::default());
-        assert!(s.solve(m.objective).is_unsat());
-        let st = *s.stats();
-        assert!(st.decisions > 0);
-        assert!(st.conflicts > 0);
-        assert!(st.propagations > 0);
-    }
-
-    #[test]
-    fn grouped_decisions_counted_with_implicit_learning() {
-        let m = miter::self_miter(&generators::ripple_carry_adder(6), Default::default());
-        let c = csat_sim::find_correlations(&m.aig, &csat_sim::SimulationOptions::default());
-        let mut s = Solver::new(&m.aig, SolverOptions::with_implicit_learning());
-        s.set_correlations(&c);
-        assert!(s.solve(m.objective).is_unsat());
-        assert!(
-            s.stats().grouped_decisions > 0,
-            "correlations must drive some decisions: {:?}",
-            s.stats()
-        );
-    }
-
-    #[test]
-    fn aggressive_restart_options_stay_sound() {
-        let m = miter::self_miter(&generators::ripple_carry_adder(5), Default::default());
-        let options = SolverOptions {
-            restart_window: 8,
-            restart_threshold: 100.0, // restart every window
-            ..Default::default()
-        };
-        let mut s = Solver::new(&m.aig, options);
-        assert!(s.solve(m.objective).is_unsat());
-    }
-
-    #[test]
-    fn vliw_instances_solve_sat() {
-        let (aig, objective) = generators::vliw_like(
-            3,
-            &generators::VliwOptions {
-                inputs: 10,
-                core_gates: 150,
-                clauses: 80,
-                clause_width: 3,
-            },
-        );
-        let mut s = Solver::new(&aig, SolverOptions::default());
-        match s.solve(objective) {
-            Verdict::Sat(model) => {
-                let values = aig.evaluate(&model);
-                assert!(aig.lit_value(&values, objective));
-            }
-            other => panic!("{other:?}"),
+        match solve_under(&mut self.ctx, &mut self.prop, assumptions, budget, obs) {
+            SearchResult::Sat(model) => SubVerdict::Sat(model),
+            SearchResult::Unsat => SubVerdict::Unsat,
+            SearchResult::UnsatUnderAssumptions(core) => SubVerdict::UnsatUnderAssumptions(core),
+            SearchResult::Aborted(reason) => SubVerdict::Aborted(reason),
         }
     }
 }

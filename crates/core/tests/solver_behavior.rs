@@ -137,11 +137,12 @@ fn clause_database_reduction_fires_on_long_runs() {
 fn restart_policy_triggers_on_shallow_backjumps() {
     let m = miter::self_miter(&generators::array_multiplier(6), Default::default());
     // A tiny window plus an impossible threshold forces restarts.
-    let options = SolverOptions {
-        restart_window: 64,
-        restart_threshold: 1e9,
-        ..Default::default()
-    };
+    let options = SolverOptions::builder()
+        .restart(csat_core::RestartPolicy::BackjumpAverage {
+            window: 64,
+            threshold: 1e9,
+        })
+        .build();
     let mut s = Solver::new(&m.aig, options);
     assert!(s.solve(m.objective).is_unsat());
     assert!(s.stats().restarts > 0);
@@ -150,11 +151,12 @@ fn restart_policy_triggers_on_shallow_backjumps() {
 #[test]
 fn restart_policy_silent_when_threshold_tiny() {
     let m = miter::self_miter(&generators::ripple_carry_adder(8), Default::default());
-    let options = SolverOptions {
-        restart_window: 16,
-        restart_threshold: 0.0,
-        ..Default::default()
-    };
+    let options = SolverOptions::builder()
+        .restart(csat_core::RestartPolicy::BackjumpAverage {
+            window: 16,
+            threshold: 0.0,
+        })
+        .build();
     let mut s = Solver::new(&m.aig, options);
     assert!(s.solve(m.objective).is_unsat());
     assert_eq!(s.stats().restarts, 0);

@@ -169,8 +169,26 @@ pub fn oracles(matrix: Matrix) -> Vec<Oracle> {
                 "fast-restarts",
                 Spec::Circuit {
                     options: csat_core::SolverOptions::builder()
-                        .restart_window(512)
-                        .restart_threshold(2.0)
+                        .restart(csat_core::RestartPolicy::BackjumpAverage {
+                            window: 512,
+                            threshold: 2.0,
+                        })
+                        .build(),
+                    explicit_pass: false,
+                    simulation: None,
+                },
+            ),
+            // The kernel-policy column: Luby restarts, LBD-aware database
+            // reduction and phase saving on the circuit backend — the
+            // non-default `csat_types::SearchOptions` switches must never
+            // change a verdict.
+            oracle(
+                "jnode-kernel-policies",
+                Spec::Circuit {
+                    options: csat_core::SolverOptions::builder()
+                        .restart(csat_core::RestartPolicy::Luby { unit: 64 })
+                        .reduction(csat_core::ReductionPolicy::LbdActivity { glue_keep: 2 })
+                        .phase_saving(true)
                         .build(),
                     explicit_pass: false,
                     simulation: None,
@@ -188,8 +206,21 @@ pub fn oracles(matrix: Matrix) -> Vec<Oracle> {
                 "cnf-fast-restarts",
                 Spec::CnfTseitin {
                     options: csat_cnf::SolverOptions::builder()
-                        .restart_first(32)
-                        .restart_factor(1.3)
+                        .restart(csat_cnf::RestartPolicy::Geometric {
+                            first: 32,
+                            factor: 1.3,
+                        })
+                        .build(),
+                },
+            ),
+            // Same kernel-policy sweep on the CNF backend.
+            oracle(
+                "cnf-kernel-policies",
+                Spec::CnfTseitin {
+                    options: csat_cnf::SolverOptions::builder()
+                        .restart(csat_cnf::RestartPolicy::Luby { unit: 64 })
+                        .reduction(csat_cnf::ReductionPolicy::LbdActivity { glue_keep: 2 })
+                        .phase_saving(true)
                         .build(),
                 },
             ),

@@ -1,0 +1,472 @@
+//! The kernel's mutable search state.
+//!
+//! [`SearchContext`] owns everything a CDCL search shares across backends:
+//! the trail and decision levels, per-variable values/reasons/activities,
+//! the kernel decision heap, the learned-clause arena with its watch
+//! lists, the restart schedule and the proof log. Backends hold a
+//! `SearchContext` next to their [`Propagator`](crate::Propagator) and
+//! drive both through the free functions of [`crate::engine`].
+
+use std::fmt;
+
+use csat_types::{SearchOptions, SearchStats};
+
+use crate::heap::ActivityHeap;
+use crate::restart::RestartState;
+
+/// Ternary value: false.
+pub const FALSE: u8 = 0;
+/// Ternary value: true.
+pub const TRUE: u8 = 1;
+/// Ternary value: unassigned.
+pub const UNDEF: u8 = 2;
+
+/// A literal usable by the kernel: a dense variable index plus a sign.
+///
+/// Implemented for `csat_netlist::Lit` (circuit literals over nodes) and
+/// `csat_netlist::cnf::Lit` (CNF literals over variables); both already
+/// encode as `var << 1 | sign`.
+pub trait SearchLit: Copy + Eq + Ord + fmt::Debug + std::ops::Not<Output = Self> + 'static {
+    /// Builds a literal from a variable index and a sign.
+    fn from_parts(var: usize, negated: bool) -> Self;
+    /// The variable index.
+    fn var_index(self) -> usize;
+    /// True for a negated (complemented) literal.
+    fn is_negated(self) -> bool;
+    /// Dense `var << 1 | sign` code (watch-list index).
+    #[inline]
+    fn code(self) -> usize {
+        self.var_index() << 1 | self.is_negated() as usize
+    }
+}
+
+impl SearchLit for csat_netlist::Lit {
+    #[inline]
+    fn from_parts(var: usize, negated: bool) -> Self {
+        csat_netlist::Lit::new(csat_netlist::NodeId::from_index(var), negated)
+    }
+
+    #[inline]
+    fn var_index(self) -> usize {
+        self.node().index()
+    }
+
+    #[inline]
+    fn is_negated(self) -> bool {
+        self.is_complemented()
+    }
+}
+
+impl SearchLit for csat_netlist::cnf::Lit {
+    #[inline]
+    fn from_parts(var: usize, negated: bool) -> Self {
+        csat_netlist::cnf::Lit::new(csat_netlist::cnf::Var(var as u32), negated)
+    }
+
+    #[inline]
+    fn var_index(self) -> usize {
+        self.var().index()
+    }
+
+    #[inline]
+    fn is_negated(self) -> bool {
+        self.is_negative()
+    }
+}
+
+/// Why a variable holds its current value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reason {
+    /// A decision (or an assumption).
+    Decision,
+    /// A level-0 fact (constant nodes, learned units, ingested units).
+    Axiom,
+    /// Implied by the learned clause with this kernel arena index.
+    Learned(u32),
+    /// Implied by the propagator; the token is backend-defined (a gate
+    /// index for the circuit backend, a problem-clause index for CNF) and
+    /// handed back to [`Propagator::explain`](crate::Propagator::explain).
+    External(u32),
+}
+
+/// A failed implication: `lit` should be true per `reason`, but is false.
+#[derive(Clone, Copy, Debug)]
+pub struct Conflict<L> {
+    /// The literal that could not be made true.
+    pub lit: L,
+    /// The reason that implied it.
+    pub reason: Reason,
+}
+
+/// Error from clause ingest: a literal refers to a variable outside the
+/// kernel's range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LitOutOfRange<L> {
+    /// The offending literal.
+    pub lit: L,
+    /// Number of variables the kernel was built with.
+    pub vars: usize,
+}
+
+impl<L: fmt::Debug> fmt::Display for LitOutOfRange<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "literal {:?} refers past the {}-variable search space",
+            self.lit, self.vars
+        )
+    }
+}
+
+impl<L: fmt::Debug> std::error::Error for LitOutOfRange<L> {}
+
+#[derive(Clone, Debug)]
+pub(crate) struct LearnedClause<L> {
+    pub(crate) lits: Vec<L>,
+    pub(crate) deleted: bool,
+    /// Pinned clauses (the explicit-learning pass's refuted sub-problem
+    /// cores, paper Section V) are never dropped by database reduction.
+    pub(crate) pinned: bool,
+    pub(crate) activity: f64,
+    /// Glue (LBD): distinct decision levels in the clause at learn time;
+    /// `u32::MAX` when unknown (ingested clauses).
+    pub(crate) glue: u32,
+}
+
+/// Watch-list entry: a clause plus a *blocker* — some other literal of the
+/// clause, updated opportunistically. When the blocker is already true the
+/// clause is satisfied, so propagation can skip it without dereferencing
+/// the clause at all (the MiniSat blocking-literal optimization).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Watcher<L> {
+    pub(crate) cref: u32,
+    pub(crate) blocker: L,
+}
+
+/// Estimated heap footprint of one learned clause: the clause struct, its
+/// literal storage and its two watch-list entries.
+pub(crate) fn clause_footprint<L>(len: usize) -> u64 {
+    (std::mem::size_of::<LearnedClause<L>>()
+        + len * std::mem::size_of::<L>()
+        + 2 * std::mem::size_of::<Watcher<L>>()) as u64
+}
+
+/// The shared CDCL search state (see the [module docs](self)).
+#[derive(Clone, Debug)]
+pub struct SearchContext<L> {
+    pub(crate) options: SearchOptions,
+    pub(crate) n_vars: usize,
+    /// Per-variable ternary value.
+    pub(crate) values: Vec<u8>,
+    pub(crate) levels: Vec<u32>,
+    /// Trail position of each assigned variable.
+    pub(crate) positions: Vec<u32>,
+    pub(crate) reasons: Vec<Reason>,
+    /// Saved phase per variable (only written under
+    /// [`SearchOptions::phase_saving`]).
+    pub(crate) phases: Vec<bool>,
+    pub(crate) trail: Vec<L>,
+    pub(crate) trail_lim: Vec<usize>,
+    pub(crate) qhead: usize,
+    pub(crate) clauses: Vec<LearnedClause<L>>,
+    /// watches[l.code()]: learned clauses watching literal l.
+    pub(crate) watches: Vec<Vec<Watcher<L>>>,
+    pub(crate) activity: Vec<f64>,
+    pub(crate) bump: f64,
+    /// Kernel decision heap over all variables. Maintained only when
+    /// `maintain_heap` is set (off in the circuit solver's J-node mode,
+    /// which owns its candidate heaps).
+    pub(crate) heap: ActivityHeap,
+    pub(crate) maintain_heap: bool,
+    pub(crate) seen: Vec<bool>,
+    pub(crate) stats: SearchStats,
+    pub(crate) root_conflict: bool,
+    pub(crate) max_learnts: usize,
+    /// Estimated bytes held by the learned-clause arena (clause structs,
+    /// literal storage, watch entries) — the quantity the memory budget
+    /// bounds.
+    pub(crate) clauses_bytes: u64,
+    /// Derivation-ordered log of learned clauses (proof logging).
+    pub(crate) proof_log: Option<Vec<Vec<L>>>,
+    pub(crate) restart: RestartState,
+    /// Epoch-stamped scratch for glue (LBD) computation.
+    pub(crate) level_stamp: Vec<u64>,
+    pub(crate) level_epoch: u64,
+    /// Reusable backtrack scratch (the unassigned suffix of the trail).
+    pub(crate) backtrack_buf: Vec<L>,
+}
+
+impl<L: SearchLit> SearchContext<L> {
+    /// Builds the search state for `n_vars` variables.
+    ///
+    /// `maintain_heap` selects whether the kernel keeps its own decision
+    /// heap over all variables (used by
+    /// [`SearchContext::pop_heap_candidate`]); a backend with its own
+    /// candidate tracking (the circuit solver's J-node mode) turns it off.
+    /// `max_learnts` is the initial routine database-reduction threshold.
+    pub fn new(
+        n_vars: usize,
+        options: SearchOptions,
+        maintain_heap: bool,
+        max_learnts: usize,
+    ) -> SearchContext<L> {
+        SearchContext {
+            options,
+            n_vars,
+            values: vec![UNDEF; n_vars],
+            levels: vec![0; n_vars],
+            positions: vec![0; n_vars],
+            reasons: vec![Reason::Axiom; n_vars],
+            phases: vec![false; n_vars],
+            trail: Vec::with_capacity(n_vars),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * n_vars],
+            activity: vec![0.0; n_vars],
+            bump: 1.0,
+            heap: ActivityHeap::with_capacity(n_vars),
+            maintain_heap,
+            seen: vec![false; n_vars],
+            stats: SearchStats::default(),
+            root_conflict: false,
+            max_learnts,
+            clauses_bytes: 0,
+            proof_log: None,
+            restart: RestartState::new(options.restart),
+            level_stamp: vec![0; n_vars + 1],
+            level_epoch: 0,
+            backtrack_buf: Vec::new(),
+        }
+    }
+
+    /// The search options the kernel was built with.
+    pub fn options(&self) -> &SearchOptions {
+        &self.options
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The current decision level.
+    #[inline]
+    pub fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// The ternary value of a variable.
+    #[inline]
+    pub fn value(&self, var: usize) -> u8 {
+        self.values[var]
+    }
+
+    /// The ternary value of a literal.
+    #[inline]
+    pub fn lit_value(&self, lit: L) -> u8 {
+        let v = self.values[lit.var_index()];
+        if v == UNDEF {
+            UNDEF
+        } else {
+            v ^ lit.is_negated() as u8
+        }
+    }
+
+    /// The decision level at which a variable was assigned.
+    #[inline]
+    pub fn level(&self, var: usize) -> u32 {
+        self.levels[var]
+    }
+
+    /// The trail position at which a variable was assigned.
+    #[inline]
+    pub fn position(&self, var: usize) -> u32 {
+        self.positions[var]
+    }
+
+    /// Why a variable holds its value.
+    #[inline]
+    pub fn reason(&self, var: usize) -> Reason {
+        self.reasons[var]
+    }
+
+    /// The assignment trail (assignment order).
+    pub fn trail(&self) -> &[L] {
+        &self.trail
+    }
+
+    /// The per-variable VSIDS activities.
+    pub fn activity(&self) -> &[f64] {
+        &self.activity
+    }
+
+    /// Adds `amount` to a variable's activity without notifying any heap —
+    /// for seeding initial activities (e.g. occurrence counts) before the
+    /// heap is populated.
+    pub fn seed_activity(&mut self, var: usize, amount: f64) {
+        self.activity[var] += amount;
+    }
+
+    /// Inserts a variable into the kernel decision heap.
+    pub fn heap_insert(&mut self, var: usize) {
+        self.heap.insert(var as u32, &self.activity);
+    }
+
+    /// Pops the hottest unassigned variable off the kernel decision heap.
+    pub fn pop_heap_candidate(&mut self) -> Option<usize> {
+        while let Some(var) = self.heap.pop(&self.activity) {
+            if self.values[var as usize] == UNDEF {
+                return Some(var as usize);
+            }
+        }
+        None
+    }
+
+    /// The decision literal for `var` under the phase policy: the saved
+    /// phase when [`SearchOptions::phase_saving`] is on, constant false
+    /// otherwise.
+    pub fn decision_lit(&self, var: usize) -> L {
+        L::from_parts(var, !self.phases[var])
+    }
+
+    /// Search statistics so far (cumulative across calls).
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+
+    /// Number of learned clauses currently alive.
+    pub fn learned_count(&self) -> u64 {
+        self.stats.learnt_clauses
+    }
+
+    /// Estimated bytes held by the learned-clause arena.
+    pub fn learned_memory_bytes(&self) -> u64 {
+        self.clauses_bytes
+    }
+
+    /// True once an unconditional contradiction was derived at level 0.
+    pub fn has_root_conflict(&self) -> bool {
+        self.root_conflict
+    }
+
+    /// Marks the instance contradictory at level 0 (used by backends when
+    /// loading an empty clause).
+    pub fn set_root_conflict(&mut self) {
+        self.root_conflict = true;
+    }
+
+    /// True while learned clauses are being recorded for proof checking.
+    pub fn proof_active(&self) -> bool {
+        self.proof_log.is_some()
+    }
+
+    /// Starts recording learned clauses (RUP proof logging). Clears any
+    /// previous log.
+    pub fn start_proof(&mut self) {
+        self.proof_log = Some(Vec::new());
+    }
+
+    /// Takes the recorded proof log and stops logging.
+    pub fn take_proof(&mut self) -> Vec<Vec<L>> {
+        self.proof_log.take().unwrap_or_default()
+    }
+
+    /// The literals of a learned clause (watched literals in the first two
+    /// positions). Empty for deleted clauses.
+    pub fn clause_lits(&self, cref: u32) -> &[L] {
+        &self.clauses[cref as usize].lits
+    }
+
+    /// True when the learned clause was dropped by database reduction.
+    pub fn clause_is_deleted(&self, cref: u32) -> bool {
+        self.clauses[cref as usize].deleted
+    }
+
+    /// The glue (LBD) recorded when the clause was learned. Ingested
+    /// (pinned) clauses carry `u32::MAX`. Valid for deleted clauses too —
+    /// reduction tombstones keep their header, so tests can audit which
+    /// glues a reduction pass dropped.
+    pub fn clause_glue(&self, cref: u32) -> u32 {
+        self.clauses[cref as usize].glue
+    }
+
+    /// Total clause references ever allocated (live + tombstones);
+    /// `0..num_clause_refs()` is the valid `cref` range.
+    pub fn num_clause_refs(&self) -> u32 {
+        self.clauses.len() as u32
+    }
+
+    /// Makes `lit` true. Returns the conflict when it is already false; a
+    /// no-op when it is already true.
+    pub fn enqueue(&mut self, lit: L, reason: Reason) -> Result<(), Conflict<L>> {
+        match self.lit_value(lit) {
+            TRUE => Ok(()),
+            FALSE => Err(Conflict { lit, reason }),
+            _ => {
+                let var = lit.var_index();
+                let value = !lit.is_negated();
+                self.values[var] = value as u8;
+                self.levels[var] = self.decision_level();
+                self.positions[var] = self.trail.len() as u32;
+                self.reasons[var] = reason;
+                if self.options.phase_saving {
+                    self.phases[var] = value;
+                }
+                self.trail.push(lit);
+                Ok(())
+            }
+        }
+    }
+
+    /// Opens a new decision level (call right before enqueueing the
+    /// decision or assumption literal).
+    pub fn push_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    pub(crate) fn rescale_activities(&mut self) {
+        for a in &mut self.activity {
+            *a *= 1e-100;
+        }
+        self.bump *= 1e-100;
+        self.bump = self.bump.max(1e-100);
+    }
+
+    /// Glue (LBD) of a clause: distinct decision levels among its literals.
+    pub(crate) fn compute_glue(&mut self, lits: &[L]) -> u32 {
+        self.level_epoch += 1;
+        let mut glue = 0;
+        for &l in lits {
+            let level = self.levels[l.var_index()] as usize;
+            if self.level_stamp[level] != self.level_epoch {
+                self.level_stamp[level] = self.level_epoch;
+                glue += 1;
+            }
+        }
+        glue
+    }
+
+    /// Attaches a clause of >= 2 literals to the arena and watch lists.
+    pub(crate) fn attach_clause(&mut self, lits: Vec<L>, pinned: bool, glue: u32) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        self.clauses_bytes += clause_footprint::<L>(lits.len());
+        let cref = self.clauses.len() as u32;
+        self.watches[lits[0].code()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].code()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(LearnedClause {
+            lits,
+            deleted: false,
+            pinned,
+            activity: self.bump,
+            glue,
+        });
+        cref
+    }
+}

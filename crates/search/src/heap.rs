@@ -1,4 +1,8 @@
 //! Indexed max-heap over variable activities (the VSIDS order).
+//!
+//! This is the single heap implementation of the workspace: both the
+//! kernel's own decision heap and the circuit solver's J-node candidate
+//! heap are instances of it.
 
 /// A binary max-heap of variable indices keyed by an external activity
 /// array, with an index table for O(log n) `update` when an activity is
@@ -22,13 +26,11 @@ impl ActivityHeap {
     }
 
     /// Number of variables currently in the heap.
-    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
     /// True when no variable is queued.
-    #[cfg(test)]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }

@@ -1,0 +1,41 @@
+//! A generic CDCL search kernel with pluggable propagation.
+//!
+//! The paper's circuit solver (`csat-core`) and the CNF baseline
+//! (`csat-cnf`) are the same search wrapped around different constraint
+//! representations. This crate is that search, extracted once:
+//!
+//! * [`SearchContext`] — the shared state: trail, decision levels,
+//!   values/reasons/activities, the VSIDS [`ActivityHeap`], the
+//!   learned-clause arena with watched literals and blockers, restart
+//!   schedule, proof log and statistics.
+//! * [`Propagator`] — the backend trait: how one trail literal propagates
+//!   (AND-gate implication tables vs. problem-clause watch lists), how an
+//!   implication is explained to conflict analysis, and how the next
+//!   decision is picked (justification-frontier VSIDS vs. plain VSIDS).
+//! * [`engine`] — free functions tying them together: [`solve_under`] (the
+//!   conflict/decide loop with assumptions, budgets and telemetry),
+//!   [`propagate`], [`ingest_clause`] and [`backtrack`].
+//!
+//! Policy — restarts ([`luby`], geometric, the paper's back-jump-average
+//! rule), clause-database reduction (activity or LBD-aware), clause
+//! activities and phase saving — is configured through
+//! [`csat_types::SearchOptions`], shared by every backend.
+//!
+//! The kernel is deliberately split as *data* ([`SearchContext`]) plus
+//! *behavior* ([`Propagator`]) passed side by side: the borrows stay
+//! disjoint, so a propagator can keep its own incremental structures (the
+//! circuit solver's justification frontier) in sync while the engine
+//! drives the search.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod engine;
+mod heap;
+mod restart;
+
+pub use context::{Conflict, LitOutOfRange, Reason, SearchContext, SearchLit, FALSE, TRUE, UNDEF};
+pub use engine::{backtrack, ingest_clause, propagate, solve_under, Propagator, SearchResult};
+pub use heap::ActivityHeap;
+pub use restart::luby;

@@ -1,0 +1,243 @@
+//! Restart schedules.
+//!
+//! The kernel supports three policies (see
+//! [`RestartPolicy`](csat_types::RestartPolicy)): the paper's
+//! back-jump-average rule, which fires immediately after the conflict that
+//! completes a window, and the geometric and Luby schedules, which fire at
+//! the next conflict-free point before a decision.
+
+use csat_types::RestartPolicy;
+
+/// The i-th element (1-based) of the Luby sequence
+/// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …
+///
+/// The sequence is defined by `luby(i) = 2^(k-1)` when `i = 2^k - 1`, and
+/// `luby(i) = luby(i - 2^(k-1) + 1)` for `2^(k-1) <= i < 2^k - 1`.
+pub fn luby(i: u64) -> u64 {
+    debug_assert!(i >= 1);
+    // Find the finite subsequence containing index i-1 and its size
+    // (2^seq - 1), then recurse into it.
+    let mut x = i - 1;
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+/// Mutable schedule state, built from a [`RestartPolicy`].
+#[derive(Clone, Debug)]
+pub(crate) enum RestartState {
+    BackjumpAverage {
+        window: u64,
+        threshold: f64,
+        backtracks: u64,
+        jump_sum: u64,
+    },
+    Geometric {
+        first: u64,
+        factor: f64,
+        limit: f64,
+        conflicts: u64,
+    },
+    Luby {
+        unit: u64,
+        index: u64,
+        conflicts: u64,
+    },
+}
+
+impl RestartState {
+    pub(crate) fn new(policy: RestartPolicy) -> RestartState {
+        match policy {
+            RestartPolicy::BackjumpAverage { window, threshold } => RestartState::BackjumpAverage {
+                window,
+                threshold,
+                backtracks: 0,
+                jump_sum: 0,
+            },
+            RestartPolicy::Geometric { first, factor } => RestartState::Geometric {
+                first,
+                factor,
+                limit: first as f64,
+                conflicts: 0,
+            },
+            RestartPolicy::Luby { unit } => RestartState::Luby {
+                unit,
+                index: 1,
+                conflicts: 0,
+            },
+        }
+    }
+
+    /// Resets per-call schedule state. The back-jump-average window
+    /// persists across calls (the paper's solver keeps its window);
+    /// conflict-counting schedules start over.
+    pub(crate) fn on_solve_start(&mut self) {
+        match self {
+            RestartState::BackjumpAverage { .. } => {}
+            RestartState::Geometric {
+                first,
+                limit,
+                conflicts,
+                ..
+            } => {
+                *limit = *first as f64;
+                *conflicts = 0;
+            }
+            RestartState::Luby {
+                index, conflicts, ..
+            } => {
+                *index = 1;
+                *conflicts = 0;
+            }
+        }
+    }
+
+    /// Notes one analyzed conflict and its back-jump distance.
+    pub(crate) fn on_conflict(&mut self, distance: u32) {
+        match self {
+            RestartState::BackjumpAverage {
+                backtracks,
+                jump_sum,
+                ..
+            } => {
+                *backtracks += 1;
+                *jump_sum += distance as u64;
+            }
+            RestartState::Geometric { conflicts, .. } | RestartState::Luby { conflicts, .. } => {
+                *conflicts += 1;
+            }
+        }
+    }
+
+    /// Whether to restart right after the conflict that was just noted
+    /// (the paper's rule; consumes the window when it is full).
+    pub(crate) fn due_post_conflict(&mut self) -> bool {
+        match self {
+            RestartState::BackjumpAverage {
+                window,
+                threshold,
+                backtracks,
+                jump_sum,
+            } => {
+                if *backtracks < *window {
+                    return false;
+                }
+                let avg = *jump_sum as f64 / *backtracks as f64;
+                *backtracks = 0;
+                *jump_sum = 0;
+                avg < *threshold
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether to restart at a conflict-free point before the next
+    /// decision (the geometric and Luby schedules; advances the schedule
+    /// when it fires).
+    pub(crate) fn due_pre_decision(&mut self) -> bool {
+        match self {
+            RestartState::BackjumpAverage { .. } => false,
+            RestartState::Geometric {
+                factor,
+                limit,
+                conflicts,
+                ..
+            } => {
+                if (*conflicts as f64) < *limit {
+                    return false;
+                }
+                *conflicts = 0;
+                *limit *= *factor;
+                true
+            }
+            RestartState::Luby {
+                unit,
+                index,
+                conflicts,
+            } => {
+                if *conflicts < unit.saturating_mul(luby(*index)) {
+                    return false;
+                }
+                *conflicts = 0;
+                *index += 1;
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_prefix_matches_the_documented_pattern() {
+        let prefix: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(prefix, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn luby_schedule_fires_in_pattern() {
+        let mut s = RestartState::new(RestartPolicy::Luby { unit: 1 });
+        let mut intervals = Vec::new();
+        let mut since = 0u64;
+        for _ in 0..18 {
+            s.on_conflict(1);
+            since += 1;
+            if s.due_pre_decision() {
+                intervals.push(since);
+                since = 0;
+            }
+        }
+        assert_eq!(intervals, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn geometric_schedule_grows() {
+        let mut s = RestartState::new(RestartPolicy::Geometric {
+            first: 2,
+            factor: 2.0,
+        });
+        let mut intervals = Vec::new();
+        let mut since = 0u64;
+        for _ in 0..14 {
+            s.on_conflict(1);
+            since += 1;
+            if s.due_pre_decision() {
+                intervals.push(since);
+                since = 0;
+            }
+        }
+        assert_eq!(intervals, vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn backjump_average_consumes_windows() {
+        let mut s = RestartState::new(RestartPolicy::BackjumpAverage {
+            window: 4,
+            threshold: 1.5,
+        });
+        for _ in 0..3 {
+            s.on_conflict(1);
+            assert!(!s.due_post_conflict());
+        }
+        s.on_conflict(1);
+        assert!(s.due_post_conflict(), "average 1.0 < 1.5");
+        // Window restarts from zero; deep jumps keep it silent.
+        for _ in 0..4 {
+            s.on_conflict(10);
+            let _ = s.due_post_conflict();
+        }
+        s.on_conflict(10);
+        assert!(!s.due_post_conflict());
+        assert!(!s.due_pre_decision());
+    }
+}

@@ -18,6 +18,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod search;
+
+pub use search::{ClauseActivity, ReductionPolicy, RestartPolicy, SearchOptions, SearchStats};
+
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

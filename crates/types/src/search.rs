@@ -1,0 +1,192 @@
+//! Shared search-policy configuration and statistics.
+//!
+//! Both backends of the CDCL kernel (`csat-search`) — the circuit solver
+//! (`csat-core`) and the CNF baseline (`csat-cnf`) — are tuned through the
+//! same [`SearchOptions`] block embedded in their per-backend option
+//! structs, and report progress through the same [`SearchStats`]. Keeping
+//! the vocabulary here (rather than in the kernel crate) lets option
+//! plumbing — CLIs, the fuzz oracle matrix, the bench harness — stay free
+//! of a kernel dependency.
+
+/// When the search engine restarts (backtracks to decision level 0).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RestartPolicy {
+    /// The paper's rule (Section IV-A): every `window` backtracks, restart
+    /// if the average back-jump distance over the window is below
+    /// `threshold`. Fires immediately after the triggering conflict.
+    BackjumpAverage {
+        /// Backtracks per policy window (paper: 4096).
+        window: u64,
+        /// Restart when the window's average back-jump distance is below
+        /// this (paper: 1.2).
+        threshold: f64,
+    },
+    /// ZChaff-style geometric schedule: first restart after `first`
+    /// conflicts, each subsequent interval `factor` times longer. Fires at
+    /// the next conflict-free point before a decision; the schedule resets
+    /// at every `solve` call.
+    Geometric {
+        /// Conflicts before the first restart.
+        first: u64,
+        /// Multiplicative interval growth.
+        factor: f64,
+    },
+    /// The Luby universal restart sequence: restart after
+    /// `unit * luby(i)` conflicts where `luby(i)` is
+    /// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, … — the
+    /// optimally-universal schedule of Luby, Sinclair and Zuckerman.
+    /// Fires at the next conflict-free point before a decision; the
+    /// schedule resets at every `solve` call.
+    Luby {
+        /// Conflicts per Luby unit.
+        unit: u64,
+    },
+}
+
+impl RestartPolicy {
+    /// The paper's back-jump-average rule with its published constants.
+    pub fn paper() -> RestartPolicy {
+        RestartPolicy::BackjumpAverage {
+            window: 4096,
+            threshold: 1.2,
+        }
+    }
+
+    /// The ZChaff-style geometric default (first 100, factor 1.5).
+    pub fn geometric_default() -> RestartPolicy {
+        RestartPolicy::Geometric {
+            first: 100,
+            factor: 1.5,
+        }
+    }
+}
+
+/// Which learned clauses routine database reduction deletes first.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReductionPolicy {
+    /// Delete the coldest clauses by activity (both solvers' historical
+    /// behavior).
+    Activity,
+    /// LBD-aware: clauses whose glue (number of distinct decision levels
+    /// in the clause when it was learned) is at most `glue_keep` are never
+    /// deleted by routine reduction; the rest go highest-glue-first with
+    /// activity as the tiebreak. Emergency (memory-pressure) reduction
+    /// still ignores glue — staying under the memory budget wins.
+    LbdActivity {
+        /// Maximum glue of clauses protected from routine deletion
+        /// (the classic "glue clause" threshold is 2).
+        glue_keep: u32,
+    },
+}
+
+/// How learned-clause activities are maintained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClauseActivity {
+    /// A clause's activity is the variable-bump value at learn time, so
+    /// recently learned clauses are the hottest (the circuit solver's
+    /// historical policy).
+    Recency,
+    /// A clause's activity counts how often it participates in conflict
+    /// analysis (the CNF baseline's historical policy).
+    UseCount,
+}
+
+/// Search-policy knobs shared by every backend of the CDCL kernel.
+///
+/// Embedded as the `search` field of `csat_core::SolverOptions` and
+/// `csat_cnf::SolverOptions`; backend-specific switches (J-node decisions,
+/// implicit learning) stay in the backend structs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SearchOptions {
+    /// VSIDS decay divisor applied every [`SearchOptions::decay_interval`]
+    /// conflicts.
+    pub var_decay: f64,
+    /// Conflicts between VSIDS decays.
+    pub decay_interval: u64,
+    /// The restart schedule.
+    pub restart: RestartPolicy,
+    /// What routine database reduction deletes first.
+    pub reduction: ReductionPolicy,
+    /// How learned-clause activities are maintained.
+    pub clause_activity: ClauseActivity,
+    /// Apply local conflict-clause minimization.
+    pub minimize_clauses: bool,
+    /// Phase saving: re-decide a variable with its last assigned polarity
+    /// instead of constant-false. Off by default — the paper predates
+    /// phase saving, and the default must stay paper-faithful.
+    pub phase_saving: bool,
+}
+
+impl Default for SearchOptions {
+    /// The circuit solver's paper-faithful defaults (back-jump-average
+    /// restarts, recency clause activity, minimization on, phase saving
+    /// off). `csat_cnf` overrides the restart and clause-activity policy
+    /// to its ZChaff-style defaults.
+    fn default() -> SearchOptions {
+        SearchOptions {
+            var_decay: 0.5,
+            decay_interval: 256,
+            restart: RestartPolicy::paper(),
+            reduction: ReductionPolicy::Activity,
+            clause_activity: ClauseActivity::Recency,
+            minimize_clauses: true,
+            phase_saving: false,
+        }
+    }
+}
+
+/// Search statistics, readable after (or during) solving.
+///
+/// Shared by both kernel backends; `grouped_decisions` only moves for the
+/// circuit solver (the CNF baseline has no implicit learning).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated (trail entries processed).
+    pub propagations: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learned clauses currently alive (units included).
+    pub learnt_clauses: u64,
+    /// Learned clauses removed by database reduction.
+    pub deleted_clauses: u64,
+    /// Backtracks performed.
+    pub backtracks: u64,
+    /// Decisions taken by implicit-learning signal grouping.
+    pub grouped_decisions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_paper_faithful() {
+        let o = SearchOptions::default();
+        assert_eq!(o.restart, RestartPolicy::paper());
+        assert_eq!(o.reduction, ReductionPolicy::Activity);
+        assert!(o.minimize_clauses);
+        assert!(!o.phase_saving);
+    }
+
+    #[test]
+    fn restart_presets() {
+        assert_eq!(
+            RestartPolicy::paper(),
+            RestartPolicy::BackjumpAverage {
+                window: 4096,
+                threshold: 1.2
+            }
+        );
+        assert_eq!(
+            RestartPolicy::geometric_default(),
+            RestartPolicy::Geometric {
+                first: 100,
+                factor: 1.5
+            }
+        );
+    }
+}

@@ -24,6 +24,17 @@ run_fuzz_smoke() {
     cargo run --release --bin csat-fuzz -- \
         --seed 0 --iters 200 --matrix quick --corpus-dir fuzz/corpus
 }
+run_kernel_parity() {
+    # The shared search kernel must stay dependency-light: it has to build
+    # with no optional features pulled in by sibling crates.
+    cargo build -p csat-search --no-default-features
+    # And behavior-parity across backends: a 300-instance seed-0 sweep of
+    # the quick oracle matrix (circuit J-node, full paper config, CNF on
+    # the Tseitin encoding) — all of which now run on the kernel — must
+    # report zero disagreements.
+    cargo run --release --bin csat-fuzz -- \
+        --seed 0 --iters 300 --matrix quick --corpus-dir fuzz/corpus
+}
 run_resilience() {
     # Fault injection: force every interrupt reason (panic, memory
     # exhaustion, cancellation, expired clock, conflict/decision budgets)
@@ -45,6 +56,7 @@ case "${1:-all}" in
     test) run_test ;;
     doc) run_doc ;;
     fuzz-smoke) run_fuzz_smoke ;;
+    kernel-parity) run_kernel_parity ;;
     resilience) run_resilience ;;
     all)
         run_fmt
@@ -53,10 +65,11 @@ case "${1:-all}" in
         run_test
         run_doc
         run_fuzz_smoke
+        run_kernel_parity
         run_resilience
         ;;
     *)
-        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|resilience|all]" >&2
+        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|kernel-parity|resilience|all]" >&2
         exit 2
         ;;
 esac
