@@ -1,0 +1,37 @@
+//! Temporary repro attempt: duplicated TRUE assumptions create empty
+//! decision levels; can decision levels exceed n_vars and overflow the
+//! glue level_stamp?
+
+use csat_core::{Budget, Solver, SolverOptions};
+use csat_netlist::Aig;
+
+#[test]
+fn duplicated_assumptions_deep_levels() {
+    // Small circuit: inputs a, b, c; gates forming contradictions that
+    // only fire after decisions.
+    let mut aig = Aig::new();
+    let a = aig.input();
+    let b = aig.input();
+    let c = aig.input();
+    let y = aig.and(a, b);
+    let z = aig.and(a, !b);
+    let w = aig.and(c, y);
+    let v = aig.and(c, z);
+    aig.set_output("w", w);
+    aig.set_output("v", v);
+
+    for jnode in [false, true] {
+        for k in 1..12 {
+            let opts = SolverOptions::builder().jnode_decisions(jnode).build();
+            let mut s = Solver::new(&aig, opts);
+            // Assumption list with many duplicates of `a` (TRUE after the
+            // first) followed by the two outputs (contradictory via b).
+            let mut assumptions = vec![a; k];
+            assumptions.push(w);
+            assumptions.extend(vec![a; k]);
+            assumptions.extend(vec![c; k]);
+            assumptions.push(v);
+            let _ = s.solve_under(&assumptions, &Budget::UNLIMITED);
+        }
+    }
+}
