@@ -24,6 +24,10 @@ struct Row {
     words: usize,
     threads: usize,
     ns_per_pattern: f64,
+    /// True for multi-thread rows measured on a single-CPU host: the
+    /// threads timeslice one core, so the number is pure sharding overhead
+    /// and must not be read as a parallel-speedup data point.
+    overhead_only: bool,
 }
 
 /// Times `round` (one simulation round of `patterns` patterns): brief
@@ -44,20 +48,27 @@ fn measure(patterns: u64, mut round: impl FnMut()) -> f64 {
     start.elapsed().as_nanos() as f64 / (iters * patterns) as f64
 }
 
-fn bench_circuit(name: &str, aig: &Aig, rows: &mut Vec<Row>) {
+fn bench_circuit(name: &str, aig: &Aig, host_cpus: usize, rows: &mut Vec<Row>) {
     eprintln!(
         "{name}: {} AND gates over {} inputs",
         aig.and_count(),
         aig.inputs().len()
     );
-    let mut push = |engine, words, threads, ns_per_pattern| {
-        eprintln!("  {engine:>8} w={words} t={threads}: {ns_per_pattern:.3} ns/pattern");
+    let mut push = |engine, words, threads: usize, ns_per_pattern| {
+        let overhead_only = threads > 1 && host_cpus < 2;
+        let tag = if overhead_only {
+            " (overhead only)"
+        } else {
+            ""
+        };
+        eprintln!("  {engine:>8} w={words} t={threads}: {ns_per_pattern:.3} ns/pattern{tag}");
         rows.push(Row {
             circuit: name.to_string(),
             engine,
             words,
             threads,
             ns_per_pattern,
+            overhead_only,
         });
     };
 
@@ -69,7 +80,8 @@ fn bench_circuit(name: &str, aig: &Aig, rows: &mut Vec<Row>) {
     });
     push("scalar", 1, 1, ns);
 
-    for words in [1usize, 4, 8] {
+    // w=32 runs the lane-chunked dynamic-width kernel.
+    for words in [1usize, 4, 8, 32] {
         let mut engine = SimEngine::new(aig, words, 1);
         let mut rng = seeded_rng(1);
         let ns = measure(engine.patterns_per_round(), || engine.next_round(&mut rng));
@@ -94,10 +106,15 @@ fn to_json(rows: &[Row], host_cpus: usize) -> String {
     writeln!(out, "  \"rows\": [").expect("string write");
     for (k, r) in rows.iter().enumerate() {
         let comma = if k + 1 < rows.len() { "," } else { "" };
+        let overhead = if r.overhead_only {
+            ", \"overhead_only\": true"
+        } else {
+            ""
+        };
         writeln!(
             out,
             "    {{\"circuit\": \"{}\", \"engine\": \"{}\", \"words\": {}, \
-             \"threads\": {}, \"ns_per_pattern\": {:.4}}}{comma}",
+             \"threads\": {}, \"ns_per_pattern\": {:.4}{overhead}}}{comma}",
             r.circuit, r.engine, r.words, r.threads, r.ns_per_pattern
         )
         .expect("string write");
@@ -118,9 +135,10 @@ fn main() {
         ("scan256x128", generators::scan_style(7, 256, 128)),
     ];
 
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut rows = Vec::new();
     for (name, aig) in &circuits {
-        bench_circuit(name, aig, &mut rows);
+        bench_circuit(name, aig, host_cpus, &mut rows);
     }
 
     for (name, _) in &circuits {
@@ -147,7 +165,6 @@ fn main() {
             );
         }
     }
-    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     if host_cpus < 2 {
         eprintln!(
             "note: host exposes {host_cpus} CPU — threads > 1 timeslice a single \

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod workload;

@@ -1,0 +1,742 @@
+//! Solve-side performance trajectory: the rows of `BENCH_solve.json`.
+//!
+//! Every row measures one `(family, solver)` pair over a deterministic
+//! workload set under a fixed conflict budget, reporting nanoseconds per
+//! conflict, propagations per second and conflicts per second. The file
+//! keeps two row sets side by side:
+//!
+//! * `baseline` — captured once (pre-optimization) and preserved verbatim
+//!   by later runs, so the perf delta of any change stays visible, and
+//! * `rows` — the current measurement, refreshed by each `solve_bench` run.
+//!
+//! [`check_regression`] backs the `scripts/ci.sh perf-smoke` gate: it
+//! re-measures the quick subset and fails when ns/conflict regresses more
+//! than the threshold against the checked-in `rows`.
+
+use std::time::Instant;
+
+use csat_core::{Budget, Solver, SolverOptions};
+use csat_netlist::tseitin;
+use csat_telemetry::json::JsonObject;
+
+use crate::workload::{equiv_suite, scan_suite, Scale, Workload};
+
+/// Which solver a perf row drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverKind {
+    /// The circuit solver in its default J-node configuration (no
+    /// correlation simulation — the row isolates the search hot loops).
+    CircuitJnode,
+    /// The ZChaff-class CNF baseline on the Tseitin encoding.
+    Cnf,
+}
+
+impl SolverKind {
+    /// Stable row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverKind::CircuitJnode => "circuit-jnode",
+            SolverKind::Cnf => "cnf",
+        }
+    }
+}
+
+/// One measured `(family, solver)` row.
+#[derive(Clone, Debug)]
+pub struct SolveRow {
+    /// Workload family name (paper-style instance name or suite name).
+    pub family: String,
+    /// Solver label (see [`SolverKind::label`]).
+    pub solver: String,
+    /// Instances aggregated into the row.
+    pub instances: u64,
+    /// Total conflicts analyzed across the family.
+    pub conflicts: u64,
+    /// Total trail literals propagated.
+    pub propagations: u64,
+    /// Total decisions.
+    pub decisions: u64,
+    /// Wall-clock solve time (best of the measurement repetitions).
+    pub wall_s: f64,
+    /// Nanoseconds of solve time per conflict.
+    pub ns_per_conflict: f64,
+    /// Propagations per second.
+    pub props_per_sec: f64,
+    /// Conflicts per second.
+    pub conflicts_per_sec: f64,
+}
+
+/// A family to measure: its workloads, the driving solver and the
+/// per-instance conflict budget that bounds the run.
+pub struct FamilySpec {
+    /// Row name.
+    pub family: &'static str,
+    /// Which solver the row drives.
+    pub solver: SolverKind,
+    /// The instances aggregated into the row.
+    pub workloads: Vec<Workload>,
+    /// Conflict budget per instance (the row's workload size).
+    pub conflict_budget: u64,
+    /// Fresh-solver repeats of each instance per repetition — sized so
+    /// every row's measurement window is a few hundred milliseconds even
+    /// when the instance solves quickly.
+    pub solves: u32,
+    /// Whether the quick (CI perf-smoke) subset includes this row.
+    pub quick: bool,
+}
+
+fn named(suite: &[Workload], name: &str) -> Vec<Workload> {
+    suite
+        .iter()
+        .filter(|w| w.name == name)
+        .cloned()
+        .collect::<Vec<_>>()
+}
+
+/// The measured families. `quick` restricts to the perf-smoke subset;
+/// budgets are identical in both modes so quick rows compare 1:1 against
+/// the full file.
+pub fn family_specs(quick: bool) -> Vec<FamilySpec> {
+    let equiv = equiv_suite(Scale::Quick);
+    let scan = scan_suite(Scale::Quick);
+    let specs = vec![
+        FamilySpec {
+            family: "c3540.equiv",
+            solver: SolverKind::CircuitJnode,
+            workloads: named(&equiv, "c3540.equiv"),
+            conflict_budget: 20_000,
+            solves: 10,
+            quick: true,
+        },
+        FamilySpec {
+            family: "c6288.equiv",
+            solver: SolverKind::CircuitJnode,
+            workloads: named(&equiv, "c6288.equiv"),
+            conflict_budget: 20_000,
+            solves: 1,
+            quick: false,
+        },
+        FamilySpec {
+            family: "c7552.equiv",
+            solver: SolverKind::CircuitJnode,
+            workloads: named(&equiv, "c7552.equiv"),
+            conflict_budget: 20_000,
+            solves: 10,
+            quick: false,
+        },
+        FamilySpec {
+            family: "scan",
+            solver: SolverKind::CircuitJnode,
+            workloads: scan.clone(),
+            conflict_budget: 8_000,
+            solves: 1,
+            quick: true,
+        },
+        FamilySpec {
+            family: "c3540.equiv",
+            solver: SolverKind::Cnf,
+            workloads: named(&equiv, "c3540.equiv"),
+            conflict_budget: 20_000,
+            solves: 10,
+            quick: true,
+        },
+        FamilySpec {
+            family: "c6288.equiv",
+            solver: SolverKind::Cnf,
+            workloads: named(&equiv, "c6288.equiv"),
+            conflict_budget: 20_000,
+            solves: 1,
+            quick: false,
+        },
+        FamilySpec {
+            family: "c7552.equiv",
+            solver: SolverKind::Cnf,
+            workloads: named(&equiv, "c7552.equiv"),
+            conflict_budget: 20_000,
+            solves: 10,
+            quick: false,
+        },
+    ];
+    specs
+        .into_iter()
+        .filter(|s| !quick || s.quick)
+        .collect::<Vec<_>>()
+}
+
+struct Totals {
+    conflicts: u64,
+    propagations: u64,
+    decisions: u64,
+    wall_s: f64,
+}
+
+fn run_once(spec: &FamilySpec) -> Totals {
+    let mut totals = Totals {
+        conflicts: 0,
+        propagations: 0,
+        decisions: 0,
+        wall_s: 0.0,
+    };
+    for w in &spec.workloads {
+        let budget = Budget::conflicts(spec.conflict_budget);
+        for _ in 0..spec.solves.max(1) {
+            match spec.solver {
+                SolverKind::CircuitJnode => {
+                    let mut solver = Solver::new(&w.aig, SolverOptions::default());
+                    let start = Instant::now();
+                    let _ = solver.solve_with_budget(w.objective, &budget);
+                    totals.wall_s += start.elapsed().as_secs_f64();
+                    let stats = solver.stats();
+                    totals.conflicts += stats.conflicts;
+                    totals.propagations += stats.propagations;
+                    totals.decisions += stats.decisions;
+                }
+                SolverKind::Cnf => {
+                    let enc = tseitin::encode_with_objective(&w.aig, w.objective);
+                    let mut solver =
+                        csat_cnf::Solver::new(&enc.cnf, csat_cnf::SolverOptions::default());
+                    let start = Instant::now();
+                    let _ = solver.solve_with_budget(&budget);
+                    totals.wall_s += start.elapsed().as_secs_f64();
+                    let stats = solver.stats();
+                    totals.conflicts += stats.conflicts;
+                    totals.propagations += stats.propagations;
+                    totals.decisions += stats.decisions;
+                }
+            }
+        }
+    }
+    totals
+}
+
+/// Measures one family: `reps` repetitions, keeping the fastest (least
+/// noisy) wall time. The instance set and conflict budgets make the work
+/// itself deterministic; only the clock varies between repetitions.
+pub fn measure_family(spec: &FamilySpec, reps: usize) -> SolveRow {
+    let mut best: Option<Totals> = None;
+    for _ in 0..reps.max(1) {
+        let t = run_once(spec);
+        if best.as_ref().is_none_or(|b| t.wall_s < b.wall_s) {
+            best = Some(t);
+        }
+    }
+    let t = best.expect("at least one repetition");
+    let conflicts = t.conflicts.max(1);
+    SolveRow {
+        family: spec.family.to_string(),
+        solver: spec.solver.label().to_string(),
+        instances: spec.workloads.len() as u64,
+        conflicts: t.conflicts,
+        propagations: t.propagations,
+        decisions: t.decisions,
+        wall_s: t.wall_s,
+        ns_per_conflict: t.wall_s * 1e9 / conflicts as f64,
+        props_per_sec: t.propagations as f64 / t.wall_s.max(1e-12),
+        conflicts_per_sec: t.conflicts as f64 / t.wall_s.max(1e-12),
+    }
+}
+
+/// The `BENCH_solve.json` document.
+#[derive(Clone, Debug, Default)]
+pub struct PerfReport {
+    /// CPUs the measuring host exposed.
+    pub host_cpus: u64,
+    /// Note attached to the baseline capture (when one exists).
+    pub baseline_note: String,
+    /// The preserved pre-optimization rows.
+    pub baseline: Vec<SolveRow>,
+    /// The current measurement.
+    pub rows: Vec<SolveRow>,
+}
+
+fn row_json(r: &SolveRow) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("family", &r.family)
+        .field_str("solver", &r.solver)
+        .field_u64("instances", r.instances)
+        .field_u64("conflicts", r.conflicts)
+        .field_u64("propagations", r.propagations)
+        .field_u64("decisions", r.decisions)
+        .field_f64("wall_s", r.wall_s)
+        .field_f64("ns_per_conflict", r.ns_per_conflict)
+        .field_f64("props_per_sec", r.props_per_sec)
+        .field_f64("conflicts_per_sec", r.conflicts_per_sec);
+    o.finish()
+}
+
+fn rows_json(rows: &[SolveRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&row_json(r));
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    out
+}
+
+fn find<'a>(rows: &'a [SolveRow], family: &str, solver: &str) -> Option<&'a SolveRow> {
+    rows.iter()
+        .find(|r| r.family == family && r.solver == solver)
+}
+
+impl PerfReport {
+    /// Renders the document, including a `comparison` section (speedups vs
+    /// the baseline) when a baseline is present.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("host_cpus", self.host_cpus);
+        if !self.baseline.is_empty() {
+            let mut b = JsonObject::new();
+            b.field_str("note", &self.baseline_note)
+                .field_raw("rows", &rows_json(&self.baseline));
+            o.field_raw("baseline", &b.finish());
+        }
+        o.field_raw("rows", &rows_json(&self.rows));
+        if !self.baseline.is_empty() {
+            let mut cmp = String::from("[\n");
+            let mut first = true;
+            for r in &self.rows {
+                if let Some(b) = find(&self.baseline, &r.family, &r.solver) {
+                    if !first {
+                        cmp.push_str(",\n");
+                    }
+                    first = false;
+                    let mut c = JsonObject::new();
+                    c.field_str("family", &r.family)
+                        .field_str("solver", &r.solver)
+                        .field_f64("baseline_ns_per_conflict", b.ns_per_conflict)
+                        .field_f64("ns_per_conflict", r.ns_per_conflict)
+                        .field_f64("speedup", b.ns_per_conflict / r.ns_per_conflict)
+                        .field_f64("props_per_sec_ratio", r.props_per_sec / b.props_per_sec);
+                    cmp.push_str("    ");
+                    cmp.push_str(&c.finish());
+                }
+            }
+            cmp.push_str("\n  ]");
+            o.field_raw("comparison", &cmp);
+        }
+        // Pretty-ish: put the top-level fields on their own lines.
+        let body = o.finish();
+        let body = body.strip_prefix('{').unwrap_or(&body);
+        let mut out = String::from("{\n  ");
+        out.push_str(
+            body.strip_suffix('}')
+                .unwrap_or(body)
+                .replace(", \"", ",\n  \"")
+                .trim_end(),
+        );
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses a document previously written by [`PerfReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the text is not valid JSON or lacks
+    /// the expected shape.
+    pub fn from_json(text: &str) -> Result<PerfReport, String> {
+        let value = json::parse(text)?;
+        let top = value.as_object().ok_or("top level is not an object")?;
+        let mut report = PerfReport {
+            host_cpus: json::get(top, "host_cpus")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0) as u64,
+            ..PerfReport::default()
+        };
+        if let Some(b) = json::get(top, "baseline").and_then(|v| v.as_object()) {
+            report.baseline_note = json::get(b, "note")
+                .and_then(|v| v.as_str())
+                .unwrap_or_default()
+                .to_string();
+            report.baseline = parse_rows(json::get(b, "rows"))?;
+        }
+        report.rows = parse_rows(json::get(top, "rows"))?;
+        Ok(report)
+    }
+}
+
+fn parse_rows(value: Option<&json::Value>) -> Result<Vec<SolveRow>, String> {
+    let arr = value
+        .and_then(|v| v.as_array())
+        .ok_or("missing rows array")?;
+    let mut rows = Vec::with_capacity(arr.len());
+    for v in arr {
+        let o = v.as_object().ok_or("row is not an object")?;
+        let s = |k: &str| -> String {
+            json::get(o, k)
+                .and_then(|v| v.as_str())
+                .unwrap_or_default()
+                .to_string()
+        };
+        let n = |k: &str| -> f64 { json::get(o, k).and_then(|v| v.as_f64()).unwrap_or(0.0) };
+        rows.push(SolveRow {
+            family: s("family"),
+            solver: s("solver"),
+            instances: n("instances") as u64,
+            conflicts: n("conflicts") as u64,
+            propagations: n("propagations") as u64,
+            decisions: n("decisions") as u64,
+            wall_s: n("wall_s"),
+            ns_per_conflict: n("ns_per_conflict"),
+            props_per_sec: n("props_per_sec"),
+            conflicts_per_sec: n("conflicts_per_sec"),
+        });
+    }
+    Ok(rows)
+}
+
+/// Outcome of one row's regression check.
+#[derive(Clone, Debug)]
+pub struct RegressionRow {
+    /// Family name.
+    pub family: String,
+    /// Solver label.
+    pub solver: String,
+    /// ns/conflict in the checked-in file.
+    pub checked_in: f64,
+    /// Freshly measured ns/conflict.
+    pub measured: f64,
+    /// `measured / checked_in`.
+    pub ratio: f64,
+}
+
+/// Re-measures `fresh` rows against the checked-in `report.rows` and
+/// returns every matching row with its ratio. A row regresses when
+/// `ratio > 1 + threshold`.
+pub fn compare_rows(report: &PerfReport, fresh: &[SolveRow]) -> Vec<RegressionRow> {
+    fresh
+        .iter()
+        .filter_map(|m| {
+            find(&report.rows, &m.family, &m.solver).map(|c| RegressionRow {
+                family: m.family.clone(),
+                solver: m.solver.clone(),
+                checked_in: c.ns_per_conflict,
+                measured: m.ns_per_conflict,
+                ratio: m.ns_per_conflict / c.ns_per_conflict.max(1e-12),
+            })
+        })
+        .collect::<Vec<_>>()
+}
+
+/// Formats a ratio as a signed percentage delta (`+7.3%`).
+pub fn percent_delta(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+mod json {
+    //! A minimal JSON reader for the documents this workspace writes
+    //! itself (no serde offline). Covers objects, arrays, strings with the
+    //! escapes [`csat_telemetry::json::escape`] produces, numbers, `true`,
+    //! `false` and `null`.
+
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// Object as an ordered key/value list.
+        Object(Vec<(String, Value)>),
+        /// Array.
+        Array(Vec<Value>),
+        /// String.
+        String(String),
+        /// Number (all JSON numbers as f64).
+        Number(f64),
+        /// Boolean.
+        Bool(bool),
+        /// Null.
+        Null,
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    /// First field with the given key.
+    pub fn get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Parses one JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", c as char))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+            Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+            Some(_) => parse_number(bytes, pos),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_keyword(
+        bytes: &[u8],
+        pos: &mut usize,
+        word: &str,
+        value: Value,
+    ) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad keyword at byte {pos}"))
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while let Some(&b) = bytes.get(*pos) {
+            *pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = bytes.get(*pos).copied().ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = bytes
+                                .get(*pos..*pos + 4)
+                                .ok_or("truncated \\u escape")
+                                .and_then(|h| {
+                                    std::str::from_utf8(h).map_err(|_| "bad \\u escape")
+                                })?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                            *pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-take the full UTF-8 sequence starting at b.
+                    let start = *pos - 1;
+                    let mut end = *pos;
+                    while end < bytes.len() && bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    out.push_str(s);
+                    *pos = end;
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "bad number")?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(family: &str, solver: &str, ns: f64) -> SolveRow {
+        SolveRow {
+            family: family.to_string(),
+            solver: solver.to_string(),
+            instances: 1,
+            conflicts: 1000,
+            propagations: 50_000,
+            decisions: 2000,
+            wall_s: ns * 1000.0 / 1e9,
+            ns_per_conflict: ns,
+            props_per_sec: 1e6,
+            conflicts_per_sec: 1e3,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = PerfReport {
+            host_cpus: 4,
+            baseline_note: "pre-PR".to_string(),
+            baseline: vec![row("c3540.equiv", "circuit-jnode", 5000.0)],
+            rows: vec![row("c3540.equiv", "circuit-jnode", 4000.0)],
+        };
+        let text = report.to_json();
+        let back = PerfReport::from_json(&text).expect("round trip");
+        assert_eq!(back.host_cpus, 4);
+        assert_eq!(back.baseline_note, "pre-PR");
+        assert_eq!(back.baseline.len(), 1);
+        assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.rows[0].family, "c3540.equiv");
+        assert_eq!(back.rows[0].conflicts, 1000);
+        assert!((back.rows[0].ns_per_conflict - 4000.0).abs() < 1e-6);
+        assert!(text.contains("\"comparison\""));
+        assert!(text.contains("\"speedup\": 1.25"));
+    }
+
+    #[test]
+    fn comparison_flags_regressions() {
+        let report = PerfReport {
+            host_cpus: 1,
+            baseline_note: String::new(),
+            baseline: vec![],
+            rows: vec![row("a", "cnf", 1000.0), row("b", "cnf", 1000.0)],
+        };
+        let fresh = vec![row("a", "cnf", 1300.0), row("b", "cnf", 900.0)];
+        let cmp = compare_rows(&report, &fresh);
+        assert_eq!(cmp.len(), 2);
+        assert!(cmp[0].ratio > 1.15, "a regressed");
+        assert!(cmp[1].ratio < 1.0, "b improved");
+        assert_eq!(percent_delta(cmp[0].ratio), "+30.0%");
+    }
+
+    #[test]
+    fn family_specs_quick_is_a_subset() {
+        let full = family_specs(false);
+        let quick = family_specs(true);
+        assert!(quick.len() < full.len());
+        for q in &quick {
+            assert!(full
+                .iter()
+                .any(|f| f.family == q.family && f.solver == q.solver));
+        }
+        // Budgets identical so quick rows compare 1:1 with the full file.
+        for q in &quick {
+            let f = full
+                .iter()
+                .find(|f| f.family == q.family && f.solver == q.solver)
+                .expect("subset");
+            assert_eq!(f.conflict_budget, q.conflict_budget);
+        }
+    }
+
+    #[test]
+    fn parser_handles_nested_documents() {
+        let v = super::json::parse(r#"{"a": [1, 2.5, "x\n", true, null], "b": {}}"#)
+            .expect("valid json");
+        let o = v.as_object().expect("object");
+        let arr = super::json::get(o, "a").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(arr.len(), 5);
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_str(), Some("x\n"));
+    }
+}

@@ -185,14 +185,62 @@ impl SolverOptionsBuilder {
     }
 }
 
+/// Binary-clause tag in a [`Watcher`]'s cref (mirrors the kernel arena's
+/// scheme): the blocker of a binary watcher *is* the other literal, so
+/// binary propagation resolves without touching clause memory.
+const BINARY_FLAG: u32 = 1 << 31;
+const CREF_MASK: u32 = BINARY_FLAG - 1;
+
+/// Problem-clause watch-list entry: tagged clause index plus an inline
+/// blocker literal (some other literal of the clause, updated
+/// opportunistically — a true blocker means the clause is satisfied and
+/// the visit costs no clause-memory access).
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    tagged_cref: u32,
+    blocker: Lit,
+}
+
 /// The CNF-specific backend: watched-literal propagation over the problem
-/// clauses (which are never deleted, so watch lists are plain clause
-/// indices) and plain VSIDS decisions from the kernel heap.
+/// clauses and plain VSIDS decisions from the kernel heap.
+///
+/// Problem clauses live in one flat literal arena (they are never deleted
+/// and never change length, so per-clause metadata is a single `u32`
+/// start offset with a sentinel at the end): clause `c` is
+/// `arena[starts[c]..starts[c + 1]]`.
 #[derive(Clone, Debug)]
 struct ClausePropagator {
-    clauses: Vec<Vec<Lit>>,
+    /// All problem-clause literals, in clause order.
+    arena: Vec<Lit>,
+    /// Arena start of each clause, plus an end sentinel
+    /// (`starts.len() == num_clauses + 1`).
+    starts: Vec<u32>,
     /// watches[l.code()]: problem clauses currently watching literal l.
-    watches: Vec<Vec<u32>>,
+    watches: Vec<Vec<Watcher>>,
+}
+
+impl ClausePropagator {
+    fn push_clause(&mut self, lits: &[Lit]) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = (self.starts.len() - 1) as u32;
+        let tag = if lits.len() == 2 { BINARY_FLAG } else { 0 };
+        self.watches[lits[0].code()].push(Watcher {
+            tagged_cref: cref | tag,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].code()].push(Watcher {
+            tagged_cref: cref | tag,
+            blocker: lits[0],
+        });
+        self.arena.extend_from_slice(lits);
+        self.starts.push(self.arena.len() as u32);
+        cref
+    }
+
+    #[inline]
+    fn clause(&self, cref: u32) -> &[Lit] {
+        &self.arena[self.starts[cref as usize] as usize..self.starts[cref as usize + 1] as usize]
+    }
 }
 
 impl Propagator for ClausePropagator {
@@ -208,9 +256,41 @@ impl Propagator for ClausePropagator {
         let mut i = 0;
         let mut result = Ok(());
         while i < watch_list.len() {
-            let cref = watch_list[i];
+            if let Some(next) = watch_list.get(i + 1) {
+                if next.tagged_cref & BINARY_FLAG == 0 {
+                    csat_search::prefetch_read(
+                        &self.arena[self.starts[next.tagged_cref as usize] as usize],
+                    );
+                }
+            }
+            let Watcher {
+                tagged_cref,
+                blocker,
+            } = watch_list[i];
+            // Blocker check: a true blocker means the clause is satisfied —
+            // skip it without dereferencing the clause.
+            if ctx.lit_value(blocker) == TRUE {
+                i += 1;
+                continue;
+            }
+            if tagged_cref & BINARY_FLAG != 0 {
+                // Binary fast path: the blocker is exactly the other
+                // literal — unit or conflicting right here.
+                let cref = tagged_cref & CREF_MASK;
+                match ctx.enqueue(blocker, Reason::External(cref)) {
+                    Ok(()) => i += 1,
+                    Err(c) => {
+                        result = Err(c);
+                        break;
+                    }
+                }
+                continue;
+            }
+            let cref = tagged_cref;
             let (first, new_watch) = {
-                let clause = &mut self.clauses[cref as usize];
+                let start = self.starts[cref as usize] as usize;
+                let end = self.starts[cref as usize + 1] as usize;
+                let clause = &mut self.arena[start..end];
                 // Normalize: watched literal in position 1.
                 if clause[0] == falsified {
                     clause.swap(0, 1);
@@ -218,6 +298,8 @@ impl Propagator for ClausePropagator {
                 debug_assert_eq!(clause[1], falsified);
                 let first = clause[0];
                 if ctx.lit_value(first) == TRUE {
+                    // Cache the satisfying literal for later rounds.
+                    watch_list[i].blocker = first;
                     i += 1;
                     continue; // clause already satisfied
                 }
@@ -234,7 +316,10 @@ impl Propagator for ClausePropagator {
                 (first, new_watch)
             };
             if let Some(cand) = new_watch {
-                self.watches[cand.code()].push(cref);
+                self.watches[cand.code()].push(Watcher {
+                    tagged_cref: cref,
+                    blocker: first,
+                });
                 watch_list.swap_remove(i);
                 continue;
             }
@@ -252,7 +337,7 @@ impl Propagator for ClausePropagator {
     }
 
     fn explain(&self, _ctx: &SearchContext<Lit>, of: Lit, token: u32, out: &mut Vec<Lit>) {
-        for &l in &self.clauses[token as usize] {
+        for &l in self.clause(token) {
             if l != of {
                 out.push(l);
             }
@@ -288,7 +373,8 @@ impl Solver {
         let max_learnts = (cnf.clauses().len() / 3).max(1000);
         let mut ctx = SearchContext::new(num_vars, options.search, true, max_learnts);
         let mut prop = ClausePropagator {
-            clauses: Vec::with_capacity(cnf.clauses().len()),
+            arena: Vec::new(),
+            starts: vec![0],
             watches: vec![Vec::new(); 2 * num_vars],
         };
         for clause in cnf.clauses() {
@@ -314,10 +400,7 @@ impl Solver {
                     }
                 },
                 _ => {
-                    let cref = prop.clauses.len() as u32;
-                    prop.watches[lits[0].code()].push(cref);
-                    prop.watches[lits[1].code()].push(cref);
-                    prop.clauses.push(lits);
+                    prop.push_clause(&lits);
                 }
             }
             if ctx.has_root_conflict() {

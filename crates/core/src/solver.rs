@@ -19,10 +19,11 @@
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 
+use csat_netlist::topo::FanoutCsr;
 use csat_netlist::{Aig, Lit, Node, NodeId};
 use csat_search::{
-    ingest_clause, solve_under, ActivityHeap, Conflict, Propagator, Reason, SearchContext,
-    SearchResult,
+    ingest_clause, prefetch_read, solve_under, ActivityHeap, Conflict, Propagator, Reason,
+    SearchContext, SearchResult,
 };
 use csat_sim::{CorrelationResult, Relation};
 use csat_telemetry::{NoOpObserver, Observer};
@@ -65,8 +66,9 @@ struct CircuitPropagator<'a> {
     aig: &'a Aig,
     jnode_decisions: bool,
     implicit_learning: bool,
-    /// AND gates fed by each node.
-    fanouts: Vec<Vec<NodeId>>,
+    /// AND gates fed by each node, in flat CSR form (the BCP hot loop
+    /// streams through this; see `csat_netlist::topo::FanoutCsr`).
+    fanouts: FanoutCsr,
     /// Exact J-node tracking: whether each AND gate is currently
     /// unjustified (output 0, not yet justified by a 0-fanin).
     jnode_flag: Vec<bool>,
@@ -107,6 +109,17 @@ impl CircuitPropagator<'_> {
         let va = ctx.lit_value(a);
         let vb = ctx.lit_value(b);
         let acts = implication::lookup(vo, va, vb);
+        // Quiescent gate — the dominant case while streaming a fanout
+        // list: nothing to imply, just keep the J-node status fresh. The
+        // pin values are already in registers, so skip the re-reads a
+        // full refresh would do.
+        if acts.is_empty() {
+            if self.jnode_decisions {
+                let now = is_unjustified(vo, va, vb);
+                self.refresh_gate_to(ctx, g, a, b, now);
+            }
+            return Ok(());
+        }
         use crate::implication::Action;
         let mut result = Ok(());
         for action in acts.iter() {
@@ -135,6 +148,13 @@ impl CircuitPropagator<'_> {
             return;
         }
         let now = is_unjustified(ctx.value(g.index()), ctx.lit_value(a), ctx.lit_value(b));
+        self.refresh_gate_to(ctx, g, a, b, now);
+    }
+
+    /// [`Self::refresh_gate`] with the J-node status already computed from
+    /// pin values the caller holds.
+    #[inline]
+    fn refresh_gate_to(&mut self, ctx: &SearchContext<Lit>, g: NodeId, a: Lit, b: Lit, now: bool) {
         if now == self.jnode_flag[g.index()] {
             return;
         }
@@ -280,8 +300,7 @@ impl CircuitPropagator<'_> {
                 // constant correlation overrides the value.
                 let n = NodeId::from_index(v as usize);
                 let mut chosen: Option<Lit> = None;
-                for i in 0..self.fanouts[n.index()].len() {
-                    let g = self.fanouts[n.index()][i];
+                for &g in self.fanouts.of(n.index()) {
                     if self.jnode_flag[g.index()] {
                         if let Node::And(a, b) = self.aig.node(g) {
                             let fl = if a.node() == n { a } else { b };
@@ -357,10 +376,17 @@ impl Propagator for CircuitPropagator<'_> {
         if self.aig.node(node).is_and() {
             self.propagate_gate(ctx, node)?;
         }
-        // Gates this node feeds.
-        let fanout_count = self.fanouts[node.index()].len();
-        for i in 0..fanout_count {
-            let g = self.fanouts[node.index()][i];
+        // Gates this node feeds: one contiguous CSR stream. Warm the next
+        // gate's node-table line while the current one propagates — the
+        // gates of a fanout list are scattered across the node table.
+        let range = self.fanouts.bounds(node.index());
+        let end = range.end;
+        for i in range {
+            let g = self.fanouts.at(i);
+            if i + 1 < end {
+                let next = self.fanouts.at(i + 1);
+                prefetch_read(&self.aig.nodes()[next.index()]);
+            }
             self.propagate_gate(ctx, g)?;
         }
         Ok(())
@@ -450,8 +476,8 @@ impl Propagator for CircuitPropagator<'_> {
             if let Node::And(a, b) = self.aig.node(node) {
                 self.refresh_gate(ctx, node, a, b);
             }
-            for i in 0..self.fanouts[node.index()].len() {
-                let g = self.fanouts[node.index()][i];
+            for i in self.fanouts.bounds(node.index()) {
+                let g = self.fanouts.at(i);
                 if let Node::And(a, b) = self.aig.node(g) {
                     self.refresh_gate(ctx, g, a, b);
                 }
@@ -529,7 +555,7 @@ impl<'a> Solver<'a> {
             aig,
             jnode_decisions: options.jnode_decisions,
             implicit_learning: options.implicit_learning,
-            fanouts: csat_netlist::topo::fanout_lists(aig),
+            fanouts: FanoutCsr::build(aig),
             jnode_flag: vec![false; n],
             cand_count: vec![0; n],
             unjustified_total: 0,

@@ -331,3 +331,62 @@ fn vliw_instances_solve_sat() {
         other => panic!("{other:?}"),
     }
 }
+
+#[test]
+fn conflict_analysis_above_n_vars_levels() {
+    // ROADMAP item 6 regression: duplicated already-TRUE assumptions each
+    // open an *empty* decision level, so a conflict can be analyzed at a
+    // decision level greater than the node count — the kernel's glue
+    // stamp table (sized n_vars+1 up front) must grow rather than index
+    // out of bounds. 6 nodes: inputs a/b, gates y=and(a,b), u=and(a,!b),
+    // g=and(y,u); asserting g forces b=1 and b=0, a conflict that is
+    // analyzed (not an early refuted-assumption return) at level > 6.
+    let mut aig = Aig::new();
+    let a = aig.input();
+    let b = aig.input();
+    let y = aig.and(a, b);
+    let u = aig.and(a, !b);
+    let g = aig.and(y, u);
+    aig.set_output("g", g);
+    for jnode in [false, true] {
+        let opts = SolverOptions::builder().jnode_decisions(jnode).build();
+        let mut s = Solver::new(&aig, opts);
+        let mut assumptions = vec![a; 10];
+        assumptions.push(g);
+        let v = s.solve_under(&assumptions, &Budget::UNLIMITED);
+        assert!(matches!(
+            v,
+            SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_)
+        ));
+    }
+}
+
+#[test]
+fn duplicated_assumptions_deep_levels() {
+    // Same overflow family, swept: assumption lists with many duplicates
+    // interleaved with contradictory outputs, at every depth from shallow
+    // to well past the node count, under both decision heuristics.
+    let mut aig = Aig::new();
+    let a = aig.input();
+    let b = aig.input();
+    let c = aig.input();
+    let y = aig.and(a, b);
+    let z = aig.and(a, !b);
+    let w = aig.and(c, y);
+    let v = aig.and(c, z);
+    aig.set_output("w", w);
+    aig.set_output("v", v);
+
+    for jnode in [false, true] {
+        for k in 1..12 {
+            let opts = SolverOptions::builder().jnode_decisions(jnode).build();
+            let mut s = Solver::new(&aig, opts);
+            let mut assumptions = vec![a; k];
+            assumptions.push(w);
+            assumptions.extend(vec![a; k]);
+            assumptions.extend(vec![c; k]);
+            assumptions.push(v);
+            let _ = s.solve_under(&assumptions, &Budget::UNLIMITED);
+        }
+    }
+}

@@ -67,6 +67,83 @@ pub fn fanout_lists(aig: &Aig) -> Vec<Vec<NodeId>> {
     lists
 }
 
+/// Fanout adjacency in compressed sparse row form: one flat gate array
+/// plus per-node offsets, instead of a `Vec<Vec<NodeId>>`.
+///
+/// BCP walks the fanout list of every assigned node, so this is the
+/// hottest read-only structure in the circuit solver; the flat layout
+/// keeps each node's gates contiguous (one cache stream per visit) and
+/// drops the per-node heap indirection entirely. Per-node gate order is
+/// identical to [`fanout_lists`] — ascending gate index — so swapping the
+/// representations does not reorder propagation.
+#[derive(Clone, Debug)]
+pub struct FanoutCsr {
+    /// `starts[n]..starts[n + 1]` indexes `data` with node `n`'s fanouts.
+    starts: Vec<u32>,
+    /// All fanout gates, grouped by driving node.
+    data: Vec<NodeId>,
+}
+
+impl FanoutCsr {
+    /// Builds the CSR adjacency for a circuit.
+    pub fn build(aig: &Aig) -> FanoutCsr {
+        let n = aig.len();
+        // Pass 1: edge counts per driving node.
+        let mut starts = vec![0u32; n + 1];
+        for node in aig.nodes() {
+            if let Node::And(a, b) = node {
+                starts[a.node().index() + 1] += 1;
+                if b.node() != a.node() {
+                    starts[b.node().index() + 1] += 1;
+                }
+            }
+        }
+        for i in 1..=n {
+            starts[i] += starts[i - 1];
+        }
+        // Pass 2: fill. Gates are visited in ascending index order and
+        // each cursor only moves forward, so per-node order matches the
+        // push order of `fanout_lists`.
+        let mut cursor = starts.clone();
+        let mut data = vec![NodeId::FALSE; starts[n] as usize];
+        for (i, node) in aig.nodes().iter().enumerate() {
+            if let Node::And(a, b) = node {
+                let id = NodeId::from_index(i);
+                let ca = &mut cursor[a.node().index()];
+                data[*ca as usize] = id;
+                *ca += 1;
+                if b.node() != a.node() {
+                    let cb = &mut cursor[b.node().index()];
+                    data[*cb as usize] = id;
+                    *cb += 1;
+                }
+            }
+        }
+        FanoutCsr { starts, data }
+    }
+
+    /// The AND gates fed by node `n`, in ascending gate-index order.
+    #[inline]
+    pub fn of(&self, n: usize) -> &[NodeId] {
+        &self.data[self.starts[n] as usize..self.starts[n + 1] as usize]
+    }
+
+    /// Index range of node `n`'s fanouts within the flat gate array —
+    /// for loops that need `&mut self` access between elements and so
+    /// cannot hold the [`FanoutCsr::of`] borrow.
+    #[inline]
+    pub fn bounds(&self, n: usize) -> std::ops::Range<usize> {
+        self.starts[n] as usize..self.starts[n + 1] as usize
+    }
+
+    /// One entry of the flat gate array (an index from
+    /// [`FanoutCsr::bounds`]).
+    #[inline]
+    pub fn at(&self, i: usize) -> NodeId {
+        self.data[i]
+    }
+}
+
 /// Transitive fanin cone of `root`: a dense membership mask over all nodes.
 ///
 /// The root itself is part of its cone. This is the "cone of logic headed by
@@ -161,6 +238,29 @@ mod tests {
             // Output fanouts are not in the adjacency, so list <= count.
             assert!(list.len() as u32 <= counts[i]);
         }
+    }
+
+    #[test]
+    fn fanout_csr_matches_lists() {
+        let (g, ..) = diamond();
+        let lists = fanout_lists(&g);
+        let csr = FanoutCsr::build(&g);
+        for (i, list) in lists.iter().enumerate() {
+            assert_eq!(csr.of(i), list.as_slice());
+            let bounds = csr.bounds(i);
+            assert_eq!(bounds.len(), list.len());
+            for (k, j) in bounds.enumerate() {
+                assert_eq!(csr.at(j), list[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_csr_of_empty_graph() {
+        let g = Aig::new();
+        let csr = FanoutCsr::build(&g);
+        // Node 0 is the constant; it feeds nothing.
+        assert!(csr.of(0).is_empty());
     }
 
     #[test]

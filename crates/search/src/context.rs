@@ -1,11 +1,36 @@
 //! The kernel's mutable search state.
 //!
 //! [`SearchContext`] owns everything a CDCL search shares across backends:
-//! the trail and decision levels, per-variable values/reasons/activities,
+//! the trail and per-variable assignment records, values and activities,
 //! the kernel decision heap, the learned-clause arena with its watch
 //! lists, the restart schedule and the proof log. Backends hold a
 //! `SearchContext` next to their [`Propagator`](crate::Propagator) and
 //! drive both through the free functions of [`crate::engine`].
+//!
+//! # Memory layout (see `DESIGN.md` §5g)
+//!
+//! The hot propagation/analysis paths are laid out for cache behavior
+//! rather than convenience:
+//!
+//! * **Flat clause arena.** Learned-clause literals live in one contiguous
+//!   `Vec<L>` (`arena`); per-clause metadata lives in a parallel
+//!   [`ClauseHeader`] table indexed by the 32-bit clause ref. A `cref` is
+//!   the header ordinal (not a byte offset), so refs stay stable across
+//!   arena compaction and backends can index side tables by `cref`.
+//! * **Inline blockers + binary tag.** A [`Watcher`] is 8 bytes: a tagged
+//!   `cref` and a blocker literal. Bit 31 of the cref marks a binary
+//!   clause, whose blocker *is* the other literal — binary propagation
+//!   never touches clause memory at all.
+//! * **Packed assignment records.** Level, trail position and reason of
+//!   each assigned variable share one 12-byte [`AssignInfo`] (the reason
+//!   packed into 2 tag + 30 payload bits), so conflict analysis pulls all
+//!   three with one cache line fill. The ternary `values` array stays a
+//!   separate byte vector — BCP reads values alone, and a byte per
+//!   variable keeps eight variables per 8 bytes of cache.
+//! * **Epoch stamps, reusable scratch.** The analysis `seen` set is a
+//!   stamp vector cleared by bumping an epoch counter, and every
+//!   analyze/minimize scratch vector is owned here and reused, so a
+//!   steady-state conflict performs no heap allocation.
 
 use std::fmt;
 
@@ -89,6 +114,65 @@ pub enum Reason {
     External(u32),
 }
 
+/// [`Reason`] packed into 32 bits: 2 tag bits + 30 payload bits. Cref and
+/// external tokens are bounded far below 2^30 in practice (a billion live
+/// headers would exhaust memory long before the tag bits), and the pack
+/// asserts it in debug builds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct PackedReason(u32);
+
+const REASON_TAG_SHIFT: u32 = 30;
+const REASON_PAYLOAD_MASK: u32 = (1 << REASON_TAG_SHIFT) - 1;
+const TAG_DECISION: u32 = 0;
+const TAG_AXIOM: u32 = 1;
+const TAG_LEARNED: u32 = 2;
+const TAG_EXTERNAL: u32 = 3;
+
+impl PackedReason {
+    pub(crate) const AXIOM: PackedReason = PackedReason(TAG_AXIOM << REASON_TAG_SHIFT);
+
+    #[inline]
+    pub(crate) fn pack(reason: Reason) -> PackedReason {
+        let (tag, payload) = match reason {
+            Reason::Decision => (TAG_DECISION, 0),
+            Reason::Axiom => (TAG_AXIOM, 0),
+            Reason::Learned(cref) => (TAG_LEARNED, cref),
+            Reason::External(token) => (TAG_EXTERNAL, token),
+        };
+        debug_assert!(payload <= REASON_PAYLOAD_MASK);
+        PackedReason(tag << REASON_TAG_SHIFT | payload)
+    }
+
+    #[inline]
+    pub(crate) fn unpack(self) -> Reason {
+        let payload = self.0 & REASON_PAYLOAD_MASK;
+        match self.0 >> REASON_TAG_SHIFT {
+            TAG_DECISION => Reason::Decision,
+            TAG_AXIOM => Reason::Axiom,
+            TAG_LEARNED => Reason::Learned(payload),
+            _ => Reason::External(payload),
+        }
+    }
+}
+
+/// Per-variable assignment record: decision level, trail position and
+/// packed reason in 12 bytes, so conflict analysis touches one cache line
+/// where three separate arrays used to cost three.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AssignInfo {
+    pub(crate) level: u32,
+    pub(crate) pos: u32,
+    pub(crate) reason: PackedReason,
+}
+
+impl AssignInfo {
+    const UNASSIGNED: AssignInfo = AssignInfo {
+        level: 0,
+        pos: 0,
+        reason: PackedReason::AXIOM,
+    };
+}
+
 /// A failed implication: `lit` should be true per `reason`, but is false.
 #[derive(Clone, Copy, Debug)]
 pub struct Conflict<L> {
@@ -120,55 +204,97 @@ impl<L: fmt::Debug> fmt::Display for LitOutOfRange<L> {
 
 impl<L: fmt::Debug> std::error::Error for LitOutOfRange<L> {}
 
-#[derive(Clone, Debug)]
-pub(crate) struct LearnedClause<L> {
-    pub(crate) lits: Vec<L>,
-    pub(crate) deleted: bool,
-    /// Pinned clauses (the explicit-learning pass's refuted sub-problem
-    /// cores, paper Section V) are never dropped by database reduction.
-    pub(crate) pinned: bool,
-    pub(crate) activity: f64,
-    /// Glue (LBD): distinct decision levels in the clause at learn time;
-    /// `u32::MAX` when unknown (ingested clauses).
+const FLAG_DELETED: u8 = 1;
+const FLAG_PINNED: u8 = 2;
+
+/// Metadata of one arena clause. Literal storage lives in
+/// `SearchContext::arena` at `start..start + len`; a clause ref is the
+/// index into the header table (append-only, so refs are stable tombstones
+/// after deletion and side tables indexed by cref never shift).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ClauseHeader {
+    /// First literal's arena index.
+    pub(crate) start: u32,
+    /// Literal count (kept on deletion until compaction reclaims the
+    /// storage).
+    pub(crate) len: u32,
+    /// Glue (LBD) at learn time; `u32::MAX` for ingested clauses. Kept for
+    /// deleted clauses so reduction audits stay possible.
     pub(crate) glue: u32,
+    /// [`FLAG_DELETED`] | [`FLAG_PINNED`].
+    pub(crate) flags: u8,
+    /// Reduction activity (recency bump value or use count).
+    pub(crate) activity: f64,
 }
 
-/// Watch-list entry: a clause plus a *blocker* — some other literal of the
-/// clause, updated opportunistically. When the blocker is already true the
-/// clause is satisfied, so propagation can skip it without dereferencing
-/// the clause at all (the MiniSat blocking-literal optimization).
+impl ClauseHeader {
+    #[inline]
+    pub(crate) fn is_deleted(self) -> bool {
+        self.flags & FLAG_DELETED != 0
+    }
+
+    #[inline]
+    pub(crate) fn is_pinned(self) -> bool {
+        self.flags & FLAG_PINNED != 0
+    }
+}
+
+/// Watch-list entry, 8 bytes: a tagged clause ref plus a *blocker* — some
+/// other literal of the clause, updated opportunistically. When the
+/// blocker is already true the clause is satisfied, so propagation can
+/// skip it without dereferencing the clause at all (the MiniSat
+/// blocking-literal optimization). Bit 31 of `tagged_cref` marks a binary
+/// clause: its blocker is exactly the other literal, so binary
+/// propagation resolves entirely from the watcher.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct Watcher<L> {
-    pub(crate) cref: u32,
+    pub(crate) tagged_cref: u32,
     pub(crate) blocker: L,
 }
 
-/// Estimated heap footprint of one learned clause: the clause struct, its
+/// Binary-clause tag in [`Watcher::tagged_cref`]. Safe to fold into the
+/// ref because binaries are never deleted (reduction only considers
+/// clauses of length > 2) and never need a new-watch search.
+pub(crate) const BINARY_FLAG: u32 = 1 << 31;
+/// Mask recovering the plain clause ref from a tagged one.
+pub(crate) const CREF_MASK: u32 = BINARY_FLAG - 1;
+
+/// Estimated heap footprint of one learned clause: its header, its arena
 /// literal storage and its two watch-list entries.
 pub(crate) fn clause_footprint<L>(len: usize) -> u64 {
-    (std::mem::size_of::<LearnedClause<L>>()
+    (std::mem::size_of::<ClauseHeader>()
         + len * std::mem::size_of::<L>()
         + 2 * std::mem::size_of::<Watcher<L>>()) as u64
 }
+
+/// Arena-garbage floor below which compaction is not worth the copy.
+const COMPACT_MIN_GARBAGE: usize = 4096;
 
 /// The shared CDCL search state (see the [module docs](self)).
 #[derive(Clone, Debug)]
 pub struct SearchContext<L> {
     pub(crate) options: SearchOptions,
     pub(crate) n_vars: usize,
-    /// Per-variable ternary value.
+    /// Per-variable ternary value. Kept as a standalone byte array: BCP
+    /// reads values and nothing else, so density here is worth more than
+    /// struct locality.
     pub(crate) values: Vec<u8>,
-    pub(crate) levels: Vec<u32>,
-    /// Trail position of each assigned variable.
-    pub(crate) positions: Vec<u32>,
-    pub(crate) reasons: Vec<Reason>,
+    /// Per-variable level/position/reason records.
+    pub(crate) assign: Vec<AssignInfo>,
     /// Saved phase per variable (only written under
     /// [`SearchOptions::phase_saving`]).
     pub(crate) phases: Vec<bool>,
     pub(crate) trail: Vec<L>,
     pub(crate) trail_lim: Vec<usize>,
     pub(crate) qhead: usize,
-    pub(crate) clauses: Vec<LearnedClause<L>>,
+    /// Clause metadata, indexed by cref. Append-only: deletion tombstones
+    /// the header in place.
+    pub(crate) headers: Vec<ClauseHeader>,
+    /// Flat literal storage for every arena clause, in cref order.
+    pub(crate) arena: Vec<L>,
+    /// Arena slots owned by deleted clauses, reclaimed by
+    /// [`SearchContext::maybe_compact`].
+    pub(crate) garbage_lits: usize,
     /// watches[l.code()]: learned clauses watching literal l.
     pub(crate) watches: Vec<Vec<Watcher<L>>>,
     pub(crate) activity: Vec<f64>,
@@ -178,13 +304,16 @@ pub struct SearchContext<L> {
     /// which owns its candidate heaps).
     pub(crate) heap: ActivityHeap,
     pub(crate) maintain_heap: bool,
-    pub(crate) seen: Vec<bool>,
+    /// Conflict-analysis `seen` set as epoch stamps: `stamp == seen_epoch`
+    /// means seen this conflict; clearing the whole set is one counter
+    /// bump, clearing one variable writes stamp 0 (epochs start at 1).
+    pub(crate) seen_stamp: Vec<u64>,
+    pub(crate) seen_epoch: u64,
     pub(crate) stats: SearchStats,
     pub(crate) root_conflict: bool,
     pub(crate) max_learnts: usize,
-    /// Estimated bytes held by the learned-clause arena (clause structs,
-    /// literal storage, watch entries) — the quantity the memory budget
-    /// bounds.
+    /// Estimated bytes held by the learned-clause arena (headers, literal
+    /// storage, watch entries) — the quantity the memory budget bounds.
     pub(crate) clauses_bytes: u64,
     /// Derivation-ordered log of learned clauses (proof logging).
     pub(crate) proof_log: Option<Vec<Vec<L>>>,
@@ -194,6 +323,16 @@ pub struct SearchContext<L> {
     pub(crate) level_epoch: u64,
     /// Reusable backtrack scratch (the unassigned suffix of the trail).
     pub(crate) backtrack_buf: Vec<L>,
+    /// Conflict-analysis scratch: the clause being resolved.
+    pub(crate) analyze_clause_buf: Vec<L>,
+    /// Conflict-analysis scratch: the learnt clause under construction,
+    /// and — after [`crate::engine`]'s analyze returns — the minimized
+    /// result handed to learn.
+    pub(crate) analyze_learnt_buf: Vec<L>,
+    /// Conflict-analysis scratch: one reason clause's false literals.
+    pub(crate) analyze_reason_buf: Vec<L>,
+    /// Conflict-analysis scratch: minimization output.
+    pub(crate) analyze_min_buf: Vec<L>,
 }
 
 impl<L: SearchLit> SearchContext<L> {
@@ -214,20 +353,21 @@ impl<L: SearchLit> SearchContext<L> {
             options,
             n_vars,
             values: vec![UNDEF; n_vars],
-            levels: vec![0; n_vars],
-            positions: vec![0; n_vars],
-            reasons: vec![Reason::Axiom; n_vars],
+            assign: vec![AssignInfo::UNASSIGNED; n_vars],
             phases: vec![false; n_vars],
             trail: Vec::with_capacity(n_vars),
             trail_lim: Vec::new(),
             qhead: 0,
-            clauses: Vec::new(),
+            headers: Vec::new(),
+            arena: Vec::new(),
+            garbage_lits: 0,
             watches: vec![Vec::new(); 2 * n_vars],
             activity: vec![0.0; n_vars],
             bump: 1.0,
             heap: ActivityHeap::with_capacity(n_vars),
             maintain_heap,
-            seen: vec![false; n_vars],
+            seen_stamp: vec![0; n_vars],
+            seen_epoch: 0,
             stats: SearchStats::default(),
             root_conflict: false,
             max_learnts,
@@ -237,6 +377,10 @@ impl<L: SearchLit> SearchContext<L> {
             level_stamp: vec![0; n_vars + 1],
             level_epoch: 0,
             backtrack_buf: Vec::new(),
+            analyze_clause_buf: Vec::new(),
+            analyze_learnt_buf: Vec::new(),
+            analyze_reason_buf: Vec::new(),
+            analyze_min_buf: Vec::new(),
         }
     }
 
@@ -276,19 +420,19 @@ impl<L: SearchLit> SearchContext<L> {
     /// The decision level at which a variable was assigned.
     #[inline]
     pub fn level(&self, var: usize) -> u32 {
-        self.levels[var]
+        self.assign[var].level
     }
 
     /// The trail position at which a variable was assigned.
     #[inline]
     pub fn position(&self, var: usize) -> u32 {
-        self.positions[var]
+        self.assign[var].pos
     }
 
     /// Why a variable holds its value.
     #[inline]
     pub fn reason(&self, var: usize) -> Reason {
-        self.reasons[var]
+        self.assign[var].reason.unpack()
     }
 
     /// The assignment trail (assignment order).
@@ -375,12 +519,17 @@ impl<L: SearchLit> SearchContext<L> {
     /// The literals of a learned clause (watched literals in the first two
     /// positions). Empty for deleted clauses.
     pub fn clause_lits(&self, cref: u32) -> &[L] {
-        &self.clauses[cref as usize].lits
+        let h = self.headers[cref as usize];
+        if h.is_deleted() {
+            &[]
+        } else {
+            &self.arena[h.start as usize..(h.start + h.len) as usize]
+        }
     }
 
     /// True when the learned clause was dropped by database reduction.
     pub fn clause_is_deleted(&self, cref: u32) -> bool {
-        self.clauses[cref as usize].deleted
+        self.headers[cref as usize].is_deleted()
     }
 
     /// The glue (LBD) recorded when the clause was learned. Ingested
@@ -388,13 +537,13 @@ impl<L: SearchLit> SearchContext<L> {
     /// reduction tombstones keep their header, so tests can audit which
     /// glues a reduction pass dropped.
     pub fn clause_glue(&self, cref: u32) -> u32 {
-        self.clauses[cref as usize].glue
+        self.headers[cref as usize].glue
     }
 
     /// Total clause references ever allocated (live + tombstones);
     /// `0..num_clause_refs()` is the valid `cref` range.
     pub fn num_clause_refs(&self) -> u32 {
-        self.clauses.len() as u32
+        self.headers.len() as u32
     }
 
     /// Makes `lit` true. Returns the conflict when it is already false; a
@@ -407,9 +556,11 @@ impl<L: SearchLit> SearchContext<L> {
                 let var = lit.var_index();
                 let value = !lit.is_negated();
                 self.values[var] = value as u8;
-                self.levels[var] = self.decision_level();
-                self.positions[var] = self.trail.len() as u32;
-                self.reasons[var] = reason;
+                self.assign[var] = AssignInfo {
+                    level: self.decision_level(),
+                    pos: self.trail.len() as u32,
+                    reason: PackedReason::pack(reason),
+                };
                 if self.options.phase_saving {
                     self.phases[var] = value;
                 }
@@ -438,7 +589,13 @@ impl<L: SearchLit> SearchContext<L> {
         self.level_epoch += 1;
         let mut glue = 0;
         for &l in lits {
-            let level = self.levels[l.var_index()] as usize;
+            let level = self.assign[l.var_index()].level as usize;
+            // Decision levels are not bounded by the variable count:
+            // duplicated already-true assumptions open empty levels, so the
+            // stamp table must grow past its n_vars+1 initial size.
+            if level >= self.level_stamp.len() {
+                self.level_stamp.resize(level + 1, 0);
+            }
             if self.level_stamp[level] != self.level_epoch {
                 self.level_stamp[level] = self.level_epoch;
                 glue += 1;
@@ -447,26 +604,69 @@ impl<L: SearchLit> SearchContext<L> {
         glue
     }
 
-    /// Attaches a clause of >= 2 literals to the arena and watch lists.
-    pub(crate) fn attach_clause(&mut self, lits: Vec<L>, pinned: bool, glue: u32) -> u32 {
+    /// Copies a clause of >= 2 literals into the arena and attaches it to
+    /// the watch lists of its first two literals.
+    pub(crate) fn attach_clause(&mut self, lits: &[L], pinned: bool, glue: u32) -> u32 {
         debug_assert!(lits.len() >= 2);
         self.clauses_bytes += clause_footprint::<L>(lits.len());
-        let cref = self.clauses.len() as u32;
+        let cref = self.headers.len() as u32;
+        let tag = if lits.len() == 2 { BINARY_FLAG } else { 0 };
         self.watches[lits[0].code()].push(Watcher {
-            cref,
+            tagged_cref: cref | tag,
             blocker: lits[1],
         });
         self.watches[lits[1].code()].push(Watcher {
-            cref,
+            tagged_cref: cref | tag,
             blocker: lits[0],
         });
-        self.clauses.push(LearnedClause {
-            lits,
-            deleted: false,
-            pinned,
-            activity: self.bump,
+        let start = self.arena.len() as u32;
+        self.arena.extend_from_slice(lits);
+        self.headers.push(ClauseHeader {
+            start,
+            len: lits.len() as u32,
             glue,
+            flags: if pinned { FLAG_PINNED } else { 0 },
+            activity: self.bump,
         });
         cref
+    }
+
+    /// Tombstones a clause: flags the header deleted and marks its arena
+    /// range as garbage. The header (glue included) survives for audits;
+    /// the literal storage is reclaimed by [`SearchContext::maybe_compact`].
+    pub(crate) fn delete_clause(&mut self, cref: u32) {
+        let h = &mut self.headers[cref as usize];
+        debug_assert!(!h.is_deleted());
+        h.flags |= FLAG_DELETED;
+        self.clauses_bytes -= clause_footprint::<L>(h.len as usize);
+        self.garbage_lits += h.len as usize;
+    }
+
+    /// Compacts the literal arena in place once deleted clauses own more
+    /// than half of it. Headers are append-only and clauses are stored in
+    /// cref order, so live ranges only ever move down (`copy_within`);
+    /// crefs — and with them watch lists and backend side tables — are
+    /// untouched.
+    pub(crate) fn maybe_compact(&mut self) {
+        if self.garbage_lits < COMPACT_MIN_GARBAGE || self.garbage_lits * 2 < self.arena.len() {
+            return;
+        }
+        let mut dst = 0usize;
+        for h in &mut self.headers {
+            if h.is_deleted() {
+                // Release the tombstone's range for good.
+                h.start = 0;
+                h.len = 0;
+                continue;
+            }
+            let start = h.start as usize;
+            let len = h.len as usize;
+            debug_assert!(dst <= start);
+            self.arena.copy_within(start..start + len, dst);
+            h.start = dst as u32;
+            dst += len;
+        }
+        self.arena.truncate(dst);
+        self.garbage_lits = 0;
     }
 }

@@ -12,14 +12,22 @@
 //! P)` rather than methods of a struct holding both: the split keeps the
 //! borrows disjoint, so a propagator can read the search state while the
 //! engine mutates its own.
+//!
+//! The propagation and analysis paths are allocation-free in the steady
+//! state: watcher traversal works on the flat clause arena (binary clauses
+//! resolve from the watcher alone), and conflict analysis runs entirely in
+//! scratch buffers owned by the [`SearchContext`] (epoch-stamped `seen`,
+//! reused literal vectors). The only allocations left on a conflict are
+//! the amortized growth of those buffers and the arena itself.
 
 use csat_telemetry::{Observer, SolverEvent};
 use csat_types::{Budget, BudgetMeter, ClauseActivity, Interrupt, ReductionPolicy};
 
 use crate::context::{
-    clause_footprint, Conflict, LitOutOfRange, Reason, SearchContext, SearchLit, Watcher, FALSE,
-    TRUE, UNDEF,
+    Conflict, LitOutOfRange, Reason, SearchContext, SearchLit, Watcher, BINARY_FLAG, CREF_MASK,
+    FALSE, TRUE, UNDEF,
 };
+use crate::prefetch::prefetch_read;
 
 /// Backend-specific half of the solver.
 ///
@@ -158,18 +166,22 @@ where
                 });
                 return SearchResult::Unsat;
             }
-            let (learnt, backjump, glue) = analyze(ctx, prop, conflict);
+            let (backjump, glue) = analyze(ctx, prop, conflict);
             let level = ctx.decision_level();
             obs.record(SolverEvent::Conflict {
                 level,
                 backjump: level - backjump,
             });
             obs.record(SolverEvent::Learn {
-                literals: learnt.len() as u32,
+                literals: ctx.analyze_learnt_buf.len() as u32,
             });
             ctx.restart.on_conflict(level - backjump);
             backtrack(ctx, prop, backjump);
-            learn(ctx, prop, learnt, glue);
+            // Reuse the analysis buffer without cloning: take it, learn
+            // from the slice, hand it back for the next conflict.
+            let learnt = std::mem::take(&mut ctx.analyze_learnt_buf);
+            learn(ctx, prop, &learnt, glue);
+            ctx.analyze_learnt_buf = learnt;
             learned_this_call += 1;
             if ctx.root_conflict {
                 return SearchResult::Unsat;
@@ -274,6 +286,13 @@ pub fn propagate<P: Propagator>(
 }
 
 /// Watched-literal propagation over the learned-clause arena.
+///
+/// Per watcher, in order of increasing cost: the inline blocker check
+/// (satisfied clause, no clause memory touched), the binary fast path
+/// (the whole clause is in the watcher), then the full visit — swap the
+/// falsified literal into slot 1, re-check slot 0, scan for a replacement
+/// watch over the arena slice. The next watcher's clause header is
+/// prefetched one iteration ahead to hide the header-table miss.
 fn propagate_learned<L: SearchLit>(
     ctx: &mut SearchContext<L>,
     falsified: L,
@@ -282,13 +301,40 @@ fn propagate_learned<L: SearchLit>(
     let mut i = 0;
     let mut result = Ok(());
     while i < watch_list.len() {
-        let Watcher { cref, blocker } = watch_list[i];
+        if let Some(next) = watch_list.get(i + 1) {
+            if next.tagged_cref & BINARY_FLAG == 0 {
+                prefetch_read(&ctx.headers[next.tagged_cref as usize]);
+            }
+        }
+        let Watcher {
+            tagged_cref,
+            blocker,
+        } = watch_list[i];
         // Blocker check: if the cached co-watched literal is already true
         // the clause is satisfied — skip without touching it.
         if ctx.lit_value(blocker) == TRUE {
             i += 1;
             continue;
         }
+        if tagged_cref & BINARY_FLAG != 0 {
+            // Binary fast path: the blocker is exactly the other literal
+            // (binaries are never deleted or re-watched), so the clause is
+            // fully determined by the watcher — unit or conflicting now.
+            let cref = tagged_cref & CREF_MASK;
+            if ctx.lit_value(blocker) == FALSE {
+                result = Err(Conflict {
+                    lit: blocker,
+                    reason: Reason::Learned(cref),
+                });
+                ctx.qhead = ctx.trail.len();
+                break;
+            }
+            let enqueued = ctx.enqueue(blocker, Reason::Learned(cref));
+            debug_assert!(enqueued.is_ok(), "undef literal enqueues cleanly");
+            i += 1;
+            continue;
+        }
+        let cref = tagged_cref;
         let (first, new_watch) = {
             let values = &ctx.values;
             let val = |lit: L| -> u8 {
@@ -299,16 +345,17 @@ fn propagate_learned<L: SearchLit>(
                     v ^ lit.is_negated() as u8
                 }
             };
-            let clause = &mut ctx.clauses[cref as usize];
-            if clause.deleted {
+            let h = ctx.headers[cref as usize];
+            if h.is_deleted() {
                 watch_list.swap_remove(i);
                 continue;
             }
-            if clause.lits[0] == falsified {
-                clause.lits.swap(0, 1);
+            let lits = &mut ctx.arena[h.start as usize..(h.start + h.len) as usize];
+            if lits[0] == falsified {
+                lits.swap(0, 1);
             }
-            debug_assert_eq!(clause.lits[1], falsified);
-            let first = clause.lits[0];
+            debug_assert_eq!(lits[1], falsified);
+            let first = lits[0];
             if val(first) == TRUE {
                 // Remember the satisfying literal so later rounds can skip
                 // the clause from the blocker check alone.
@@ -317,10 +364,10 @@ fn propagate_learned<L: SearchLit>(
                 continue;
             }
             let mut new_watch = None;
-            for k in 2..clause.lits.len() {
-                let cand = clause.lits[k];
+            for k in 2..lits.len() {
+                let cand = lits[k];
                 if val(cand) != FALSE {
-                    clause.lits.swap(1, k);
+                    lits.swap(1, k);
                     new_watch = Some(cand);
                     break;
                 }
@@ -329,7 +376,7 @@ fn propagate_learned<L: SearchLit>(
         };
         if let Some(cand) = new_watch {
             ctx.watches[cand.code()].push(Watcher {
-                cref,
+                tagged_cref: cref,
                 blocker: first,
             });
             watch_list.swap_remove(i);
@@ -365,7 +412,7 @@ fn reason_false_lits<P: Propagator>(
 ) {
     match reason {
         Reason::Learned(cref) => {
-            for &l in &ctx.clauses[cref as usize].lits {
+            for &l in ctx.clause_lits(cref) {
                 if l != of {
                     out.push(l);
                 }
@@ -386,7 +433,7 @@ fn bump_clause_use<L: SearchLit>(ctx: &mut SearchContext<L>, reason: Reason) {
         return;
     }
     if let Reason::Learned(cref) = reason {
-        ctx.clauses[cref as usize].activity += 1.0;
+        ctx.headers[cref as usize].activity += 1.0;
     }
 }
 
@@ -401,30 +448,38 @@ fn bump_var<P: Propagator>(ctx: &mut SearchContext<P::Lit>, prop: &mut P, var: u
     prop.on_bump(ctx, var);
 }
 
-/// First-UIP conflict analysis. Returns the learned clause (asserting
-/// literal first, a highest-backjump-level literal second), the backjump
-/// level, and the clause's glue (LBD).
+/// First-UIP conflict analysis. Returns the backjump level and the learnt
+/// clause's glue (LBD); the clause itself (asserting literal first, a
+/// highest-backjump-level literal second) is left in
+/// `ctx.analyze_learnt_buf`. Runs entirely in context-owned scratch — no
+/// allocation in the steady state.
 fn analyze<P: Propagator>(
     ctx: &mut SearchContext<P::Lit>,
     prop: &mut P,
     conflict: Conflict<P::Lit>,
-) -> (Vec<P::Lit>, u32, u32) {
+) -> (u32, u32) {
     let current = ctx.decision_level();
+    ctx.seen_epoch += 1;
+    let mut clause_lits = std::mem::take(&mut ctx.analyze_clause_buf);
+    let mut learnt = std::mem::take(&mut ctx.analyze_min_buf);
+    let mut reason_buf = std::mem::take(&mut ctx.analyze_reason_buf);
+    clause_lits.clear();
+    learnt.clear();
+    reason_buf.clear();
     // Materialize the conflicting clause: all literals false.
-    let mut clause_lits: Vec<P::Lit> = vec![conflict.lit];
+    clause_lits.push(conflict.lit);
     bump_clause_use(ctx, conflict.reason);
     reason_false_lits(ctx, prop, conflict.lit, conflict.reason, &mut clause_lits);
-    let mut learnt: Vec<P::Lit> = vec![P::Lit::from_parts(0, false)]; // placeholder for 1UIP
+    learnt.push(P::Lit::from_parts(0, false)); // placeholder for 1UIP
     let mut counter = 0usize;
     let mut index = ctx.trail.len();
-    let mut reason_buf: Vec<P::Lit> = Vec::new();
     loop {
         for q in clause_lits.drain(..) {
             let v = q.var_index();
-            if !ctx.seen[v] && ctx.levels[v] > 0 {
-                ctx.seen[v] = true;
+            if ctx.seen_stamp[v] != ctx.seen_epoch && ctx.assign[v].level > 0 {
+                ctx.seen_stamp[v] = ctx.seen_epoch;
                 bump_var(ctx, prop, v);
-                if ctx.levels[v] == current {
+                if ctx.assign[v].level == current {
                     counter += 1;
                 } else {
                     learnt.push(q);
@@ -434,7 +489,7 @@ fn analyze<P: Propagator>(
         let p_lit = loop {
             index -= 1;
             let lit = ctx.trail[index];
-            if ctx.seen[lit.var_index()] {
+            if ctx.seen_stamp[lit.var_index()] == ctx.seen_epoch {
                 break lit;
             }
         };
@@ -443,11 +498,11 @@ fn analyze<P: Propagator>(
             learnt[0] = !p_lit;
             break;
         }
-        let reason = ctx.reasons[p_lit.var_index()];
+        let reason = ctx.assign[p_lit.var_index()].reason.unpack();
         bump_clause_use(ctx, reason);
         reason_buf.clear();
         reason_false_lits(ctx, prop, p_lit, reason, &mut reason_buf);
-        ctx.seen[p_lit.var_index()] = false;
+        ctx.seen_stamp[p_lit.var_index()] = 0;
         clause_lits.clear();
         clause_lits.extend_from_slice(&reason_buf);
     }
@@ -455,14 +510,15 @@ fn analyze<P: Propagator>(
     // every literal of its implying clause is already in the learnt clause
     // (all still marked seen) or at level 0.
     let minimize = ctx.options.minimize_clauses;
-    let mut minimized: Vec<P::Lit> = Vec::with_capacity(learnt.len());
+    let mut minimized = std::mem::take(&mut ctx.analyze_learnt_buf);
+    minimized.clear();
     minimized.push(learnt[0]);
     for &q in &learnt[1..] {
         if !minimize {
             minimized.push(q);
             continue;
         }
-        let reason = ctx.reasons[q.var_index()];
+        let reason = ctx.assign[q.var_index()].reason.unpack();
         let redundant = match reason {
             Reason::Decision | Reason::Axiom => false,
             _ => {
@@ -470,35 +526,38 @@ fn analyze<P: Propagator>(
                 // q is false, so the trail holds !q; its reason clause is
                 // (!q | rest) with `rest` the other false literals.
                 reason_false_lits(ctx, prop, !q, reason, &mut reason_buf);
-                reason_buf
-                    .iter()
-                    .all(|r| ctx.seen[r.var_index()] || ctx.levels[r.var_index()] == 0)
+                reason_buf.iter().all(|r| {
+                    let v = r.var_index();
+                    ctx.seen_stamp[v] == ctx.seen_epoch || ctx.assign[v].level == 0
+                })
             }
         };
         if !redundant {
             minimized.push(q);
         }
     }
-    for l in &learnt {
-        ctx.seen[l.var_index()] = false;
-    }
-    let mut learnt = minimized;
-    let glue = ctx.compute_glue(&learnt);
-    // Backjump level: highest among learnt[1..]; keep that literal in
+    // No unmarking pass: the next conflict's epoch bump retires every
+    // stamp at once.
+    let glue = ctx.compute_glue(&minimized);
+    // Backjump level: highest among minimized[1..]; keep that literal in
     // position 1 so it becomes the second watch.
     let mut backjump = 0;
     let mut max_pos = 1;
-    for (k, l) in learnt.iter().enumerate().skip(1) {
-        let lv = ctx.levels[l.var_index()];
+    for (k, l) in minimized.iter().enumerate().skip(1) {
+        let lv = ctx.assign[l.var_index()].level;
         if lv > backjump {
             backjump = lv;
             max_pos = k;
         }
     }
-    if learnt.len() > 1 {
-        learnt.swap(1, max_pos);
+    if minimized.len() > 1 {
+        minimized.swap(1, max_pos);
     }
-    (learnt, backjump, glue)
+    ctx.analyze_clause_buf = clause_lits;
+    ctx.analyze_reason_buf = reason_buf;
+    ctx.analyze_min_buf = learnt;
+    ctx.analyze_learnt_buf = minimized;
+    (backjump, glue)
 }
 
 /// Records a learned clause (after the backjump) and asserts its first
@@ -506,13 +565,13 @@ fn analyze<P: Propagator>(
 fn learn<P: Propagator>(
     ctx: &mut SearchContext<P::Lit>,
     prop: &mut P,
-    learnt: Vec<P::Lit>,
+    learnt: &[P::Lit],
     glue: u32,
 ) {
     let assert_lit = learnt[0];
     ctx.stats.learnt_clauses += 1;
     if let Some(log) = &mut ctx.proof_log {
-        log.push(learnt.clone());
+        log.push(learnt.to_vec());
     }
     if learnt.len() == 1 {
         debug_assert_eq!(ctx.decision_level(), 0);
@@ -545,7 +604,7 @@ pub fn backtrack<P: Propagator>(ctx: &mut SearchContext<P::Lit>, prop: &mut P, l
     for &lit in unassigned.iter().rev() {
         let var = lit.var_index();
         ctx.values[var] = UNDEF;
-        ctx.reasons[var] = Reason::Axiom;
+        ctx.assign[var].reason = crate::context::PackedReason::AXIOM;
         if ctx.maintain_heap {
             ctx.heap.insert(var as u32, &ctx.activity);
         }
@@ -613,7 +672,7 @@ pub fn ingest_clause<P: Propagator>(
             }
         }
         _ => {
-            let cref = ctx.attach_clause(filtered, true, u32::MAX);
+            let cref = ctx.attach_clause(&filtered, true, u32::MAX);
             prop.on_learned(ctx, cref);
         }
     }
@@ -663,9 +722,10 @@ where
 /// (without growing `max_learnts`).
 ///
 /// Pinned clauses (explicit-learning cores), binaries and clauses
-/// currently locked as a reason are never dropped. Deleted clauses release
-/// their literal storage immediately so the accounting reflects real
-/// memory.
+/// currently locked as a reason are never dropped. Deletion tombstones the
+/// header immediately (the accounting drops right away); the literal
+/// storage itself is reclaimed by arena compaction once deleted clauses
+/// own more than half of it.
 pub(crate) fn reduce_db<L: SearchLit>(
     ctx: &mut SearchContext<L>,
     target_bytes: Option<u64>,
@@ -674,33 +734,33 @@ pub(crate) fn reduce_db<L: SearchLit>(
         (ReductionPolicy::LbdActivity { glue_keep }, None) => Some(glue_keep),
         _ => None,
     };
-    let mut learnt_refs: Vec<u32> = (0..ctx.clauses.len() as u32)
+    let mut learnt_refs: Vec<u32> = (0..ctx.headers.len() as u32)
         .filter(|&i| {
-            let c = &ctx.clauses[i as usize];
-            !c.deleted
-                && !c.pinned
-                && c.lits.len() > 2
-                && glue_protect.is_none_or(|keep| c.glue > keep)
+            let h = ctx.headers[i as usize];
+            !h.is_deleted()
+                && !h.is_pinned()
+                && h.len > 2
+                && glue_protect.is_none_or(|keep| h.glue > keep)
         })
         .collect();
     if glue_protect.is_some() {
         // Worst glue first; coldest activity breaks ties.
         learnt_refs.sort_by(|&x, &y| {
-            let (cx, cy) = (&ctx.clauses[x as usize], &ctx.clauses[y as usize]);
-            cy.glue
-                .cmp(&cx.glue)
-                .then_with(|| cx.activity.total_cmp(&cy.activity))
+            let (hx, hy) = (&ctx.headers[x as usize], &ctx.headers[y as usize]);
+            hy.glue
+                .cmp(&hx.glue)
+                .then_with(|| hx.activity.total_cmp(&hy.activity))
         });
     } else {
         learnt_refs.sort_by(|&x, &y| {
-            ctx.clauses[x as usize]
+            ctx.headers[x as usize]
                 .activity
-                .total_cmp(&ctx.clauses[y as usize].activity)
+                .total_cmp(&ctx.headers[y as usize].activity)
         });
     }
     let locked = |ctx: &SearchContext<L>, cref: u32| -> bool {
-        let l0 = ctx.clauses[cref as usize].lits[0];
-        ctx.lit_value(l0) == TRUE && ctx.reasons[l0.var_index()] == Reason::Learned(cref)
+        let l0 = ctx.arena[ctx.headers[cref as usize].start as usize];
+        ctx.lit_value(l0) == TRUE && ctx.reason(l0.var_index()) == Reason::Learned(cref)
     };
     let count_quota = match target_bytes {
         None => learnt_refs.len() / 2,
@@ -719,12 +779,7 @@ pub(crate) fn reduce_db<L: SearchLit>(
         if locked(ctx, cref) {
             continue;
         }
-        let clause = &mut ctx.clauses[cref as usize];
-        clause.deleted = true;
-        ctx.clauses_bytes -= clause_footprint::<L>(clause.lits.len());
-        // Free the literal storage now; every consumer checks `deleted`
-        // before touching `lits`.
-        clause.lits = Vec::new();
+        ctx.delete_clause(cref);
         deleted += 1;
     }
     ctx.stats.deleted_clauses += deleted as u64;
@@ -732,5 +787,6 @@ pub(crate) fn reduce_db<L: SearchLit>(
     if target_bytes.is_none() {
         ctx.max_learnts += ctx.max_learnts / 10;
     }
+    ctx.maybe_compact();
     (deleted as u64, ctx.stats.learnt_clauses)
 }

@@ -1,0 +1,28 @@
+//! Software prefetch hint for the watcher hot loop.
+//!
+//! This is the single place the kernel steps outside safe Rust: the
+//! `prefetcht0` instruction takes an arbitrary address and performs no
+//! memory access an optimizer or the architecture can observe — it only
+//! warms the cache — so hinting through a valid reference is sound by
+//! construction. Everything else in the crate remains `deny(unsafe_code)`.
+
+/// Hints the CPU to pull `p`'s cache line toward L1 for an upcoming read.
+/// A no-op on non-x86_64 targets.
+///
+/// Public so backend propagators (which stay `forbid(unsafe_code)`) can
+/// prefetch their own clause storage the same way the kernel does.
+#[inline(always)]
+pub fn prefetch_read<T>(p: &T) {
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)]
+    // SAFETY: prefetch instructions are architectural hints: they never
+    // fault (even on invalid addresses) and perform no observable memory
+    // access; `p` is moreover a live reference.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+            (p as *const T).cast::<i8>(),
+        );
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}

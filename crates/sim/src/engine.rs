@@ -12,11 +12,16 @@
 //!   into the index LSBs. The inner loop is pure index arithmetic and
 //!   bitwise ops; no `Node` enum dispatch, no per-gate branching on
 //!   polarity.
-//! * **Word batching.** Each gate op processes its `W` words back to back
-//!   from one schedule entry, amortizing the per-gate bookkeeping over
-//!   `64 * W` patterns. Small `W` values dispatch to const-generic kernels
-//!   whose fixed-size array accesses let the compiler drop bounds checks
-//!   and unroll.
+//! * **Word batching with SIMD-width lanes.** Each gate op processes its
+//!   `W` words back to back from one schedule entry, amortizing the
+//!   per-gate bookkeeping over `64 * W` patterns. Small `W` values
+//!   dispatch to const-generic kernels; wider rounds run the same op over
+//!   `[u64; 8]` lane groups (one cache line, full AVX2/AVX-512 registers
+//!   for the autovectorizer) plus a scalar tail. Gates whose fanins carry
+//!   no inverter skip the complement XORs entirely. (A cache-blocked
+//!   variant that ran the schedule per 8-column block through a compact
+//!   scratch buffer measured 2-4x *slower* than streaming the wide buffer
+//!   directly — the strided re-interleave dominated — and was dropped.)
 //! * **Pattern-sharded parallelism** (behind the `parallel` cargo
 //!   feature). The round's `W` words are split across threads; each thread
 //!   runs the *whole* levelized schedule over its own word shard in a
@@ -293,6 +298,11 @@ fn load_inputs(
     }
 }
 
+/// Lane width of the unrolled SIMD-style chunks: `[u64; 8]` is 64 bytes —
+/// one cache line — and wide enough for the autovectorizer to use full
+/// AVX2/AVX-512 registers on the bitwise ops.
+const LANES: usize = 8;
+
 /// Executes the gate schedule over a `width`-words-per-node buffer.
 fn run_schedule(schedule: &[GateOp], buf: &mut [u64], width: usize) {
     match width {
@@ -301,6 +311,23 @@ fn run_schedule(schedule: &[GateOp], buf: &mut [u64], width: usize) {
         4 => run_schedule_w::<4>(schedule, buf),
         8 => run_schedule_w::<8>(schedule, buf),
         _ => run_schedule_dyn(schedule, buf, width),
+    }
+}
+
+/// `dst = (sa ^ ma) & (sb ^ mb)` over one fixed-size lane group. The
+/// plain-AND branch skips the complement XORs entirely — AIG fanins are
+/// uninverted often enough that the (per-gate, well-predicted) test pays
+/// for itself on wide lanes.
+#[inline(always)]
+fn and_lanes<const W: usize>(dst: &mut [u64; W], sa: &[u64; W], sb: &[u64; W], ma: u64, mb: u64) {
+    if ma | mb == 0 {
+        for w in 0..W {
+            dst[w] = sa[w] & sb[w];
+        }
+    } else {
+        for w in 0..W {
+            dst[w] = (sa[w] ^ ma) & (sb[w] ^ mb);
+        }
     }
 }
 
@@ -318,13 +345,16 @@ fn run_schedule_w<const W: usize>(schedule: &[GateOp], buf: &mut [u64]) {
         let dst: &mut [u64; W] = (&mut hi[..W]).try_into().expect("W words per node");
         let sa: &[u64; W] = lo[a..a + W].try_into().expect("W words per node");
         let sb: &[u64; W] = lo[b..b + W].try_into().expect("W words per node");
-        for w in 0..W {
-            dst[w] = (sa[w] ^ ma) & (sb[w] ^ mb);
-        }
+        and_lanes(dst, sa, sb, ma, mb);
     }
 }
 
+/// Arbitrary-width kernel: manually chunked into `[u64; LANES]` lane
+/// groups (plus a scalar tail) so wide rounds run the same unrolled,
+/// bounds-check-free inner op as the const-width kernels.
 fn run_schedule_dyn(schedule: &[GateOp], buf: &mut [u64], width: usize) {
+    let chunks = width / LANES;
+    let tail = width % LANES;
     for op in schedule {
         let out = op.out as usize * width;
         let a = (op.a >> 1) as usize * width;
@@ -335,7 +365,14 @@ fn run_schedule_dyn(schedule: &[GateOp], buf: &mut [u64], width: usize) {
         let dst = &mut hi[..width];
         let sa = &lo[a..a + width];
         let sb = &lo[b..b + width];
-        for w in 0..width {
+        for c in 0..chunks {
+            let at = c * LANES;
+            let d: &mut [u64; LANES] = (&mut dst[at..at + LANES]).try_into().expect("lane chunk");
+            let x: &[u64; LANES] = sa[at..at + LANES].try_into().expect("lane chunk");
+            let y: &[u64; LANES] = sb[at..at + LANES].try_into().expect("lane chunk");
+            and_lanes(d, x, y, ma, mb);
+        }
+        for w in width - tail..width {
             dst[w] = (sa[w] ^ ma) & (sb[w] ^ mb);
         }
     }
@@ -400,7 +437,9 @@ mod tests {
     #[test]
     fn batched_widths_match_single_word_reference() {
         let aig = generators::alu(3);
-        for words in [1, 2, 3, 4, 5, 8] {
+        // Widths past 8 run the lane-chunked dynamic kernel; 17 and 27
+        // exercise full lane groups plus a scalar tail.
+        for words in [1, 2, 3, 4, 5, 8, 9, 15, 16, 17, 27] {
             assert_matches_scalar(&aig, words, 1, 0xBEEF + words as u64);
         }
     }

@@ -35,6 +35,14 @@ run_kernel_parity() {
     cargo run --release --bin csat-fuzz -- \
         --seed 0 --iters 300 --matrix quick --corpus-dir fuzz/corpus
 }
+run_perf_smoke() {
+    # Perf regression gate: quick-measure the smoke subset of solve
+    # families (same conflict budgets as the checked-in BENCH_solve.json
+    # rows, so they compare 1:1) and fail on a >15% ns/conflict
+    # regression. Shared CI runners are noisy — take the best of extra
+    # repetitions to keep the gate stable.
+    cargo run --release -p csat-bench --bin solve_bench -- --check --reps 5
+}
 run_resilience() {
     # Fault injection: force every interrupt reason (panic, memory
     # exhaustion, cancellation, expired clock, conflict/decision budgets)
@@ -57,6 +65,7 @@ case "${1:-all}" in
     doc) run_doc ;;
     fuzz-smoke) run_fuzz_smoke ;;
     kernel-parity) run_kernel_parity ;;
+    perf-smoke) run_perf_smoke ;;
     resilience) run_resilience ;;
     all)
         run_fmt
@@ -66,10 +75,11 @@ case "${1:-all}" in
         run_doc
         run_fuzz_smoke
         run_kernel_parity
+        run_perf_smoke
         run_resilience
         ;;
     *)
-        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|kernel-parity|resilience|all]" >&2
+        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|kernel-parity|perf-smoke|resilience|all]" >&2
         exit 2
         ;;
 esac
