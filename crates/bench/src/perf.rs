@@ -15,11 +15,13 @@
 
 use std::time::Instant;
 
-use csat_core::{Budget, Solver, SolverOptions};
-use csat_netlist::tseitin;
+use csat_core::{Budget, Session, Solver, SolverOptions};
+use csat_netlist::{tseitin, Aig, Lit};
+use csat_sim::{find_correlations, Relation, SimulationOptions};
 use csat_telemetry::json::JsonObject;
+use csat_telemetry::NoOpObserver;
 
-use crate::workload::{equiv_suite, scan_suite, Scale, Workload};
+use crate::workload::{equiv_suite, scan_suite, sweep_workload, Scale, Workload};
 
 /// Which solver a perf row drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,6 +31,14 @@ pub enum SolverKind {
     CircuitJnode,
     /// The ZChaff-class CNF baseline on the Tseitin encoding.
     Cnf,
+    /// The circuit solver driven through one incremental [`Session`] over
+    /// the workload's whole SAT-sweeping candidate sequence: learned
+    /// clauses, VSIDS activities and saved phases carry across checks.
+    SweepSession,
+    /// The same candidate sequence with a fresh [`Solver`] per candidate —
+    /// the pre-session baseline the sweep-session row is read against
+    /// (its `conflicts` column shows what learned-clause reuse saves).
+    SweepFresh,
 }
 
 impl SolverKind {
@@ -37,6 +47,8 @@ impl SolverKind {
         match self {
             SolverKind::CircuitJnode => "circuit-jnode",
             SolverKind::Cnf => "cnf",
+            SolverKind::SweepSession => "circuit-session",
+            SolverKind::SweepFresh => "circuit-fresh",
         }
     }
 }
@@ -156,11 +168,51 @@ pub fn family_specs(quick: bool) -> Vec<FamilySpec> {
             solves: 10,
             quick: false,
         },
+        FamilySpec {
+            family: "mac.sweep",
+            solver: SolverKind::SweepSession,
+            workloads: vec![sweep_workload(Scale::Quick)],
+            conflict_budget: 1_000,
+            solves: 1,
+            quick: false,
+        },
+        FamilySpec {
+            family: "mac.sweep",
+            solver: SolverKind::SweepFresh,
+            workloads: vec![sweep_workload(Scale::Quick)],
+            conflict_budget: 1_000,
+            solves: 1,
+            quick: false,
+        },
     ];
     specs
         .into_iter()
         .filter(|s| !quick || s.quick)
         .collect::<Vec<_>>()
+}
+
+/// The candidate-equivalence check sequence SAT sweeping runs over a
+/// redundant netlist: random simulation proposes correlated pairs, and
+/// each candidate is proven by refuting its two difference orientations.
+/// Deterministic (fixed simulation seed), so the session and fresh rows
+/// solve the identical sequence.
+fn sweep_checks(aig: &Aig) -> Vec<[Lit; 2]> {
+    let correlations = find_correlations(aig, &SimulationOptions::default());
+    let mut candidates = correlations.correlations.clone();
+    candidates.sort_by_key(|c| c.a.index().max(c.b.index()));
+    let mut checks = Vec::with_capacity(candidates.len() * 2);
+    for c in &candidates {
+        let (later, earlier) = if c.a.index() >= c.b.index() {
+            (c.a, c.b)
+        } else {
+            (c.b, c.a)
+        };
+        let target = Lit::new(earlier, c.relation == Relation::Opposite);
+        let l = later.lit();
+        checks.push([l, !target]);
+        checks.push([!l, target]);
+    }
+    checks
 }
 
 struct Totals {
@@ -202,6 +254,35 @@ fn run_once(spec: &FamilySpec) -> Totals {
                     totals.conflicts += stats.conflicts;
                     totals.propagations += stats.propagations;
                     totals.decisions += stats.decisions;
+                }
+                SolverKind::SweepSession => {
+                    // Candidate discovery is shared setup, not solve time.
+                    let checks = sweep_checks(&w.aig);
+                    let mut session = Session::new(w.aig.clone(), SolverOptions::default());
+                    let start = Instant::now();
+                    for chk in &checks {
+                        let _ = session.solve_under(chk, &budget, &mut NoOpObserver);
+                    }
+                    totals.wall_s += start.elapsed().as_secs_f64();
+                    let stats = session.stats();
+                    totals.conflicts += stats.conflicts;
+                    totals.propagations += stats.propagations;
+                    totals.decisions += stats.decisions;
+                }
+                SolverKind::SweepFresh => {
+                    let checks = sweep_checks(&w.aig);
+                    // Construction is inside the window: paying it per
+                    // check is exactly what the baseline costs.
+                    let start = Instant::now();
+                    for chk in &checks {
+                        let mut solver = Solver::new(&w.aig, SolverOptions::default());
+                        let _ = solver.solve_under(chk, &budget, &mut NoOpObserver);
+                        let stats = solver.stats();
+                        totals.conflicts += stats.conflicts;
+                        totals.propagations += stats.propagations;
+                        totals.decisions += stats.decisions;
+                    }
+                    totals.wall_s += start.elapsed().as_secs_f64();
                 }
             }
         }

@@ -153,6 +153,35 @@ pub fn opt_suite(scale: Scale) -> Vec<Workload> {
     ]
 }
 
+/// The SAT-sweeping workload: one netlist holding two structurally
+/// different implementations of the same multiply-accumulate, both with
+/// live outputs. Random simulation proposes cross-implementation
+/// equivalence candidates over it; the sweep rows of `BENCH_solve.json`
+/// measure the candidate-proving sequence with and without learned-clause
+/// retention (one incremental session vs. a fresh solver per check) —
+/// the workload behind `examples/sat_sweeping.rs`.
+pub fn sweep_workload(scale: Scale) -> Workload {
+    let q = scale == Scale::Quick;
+    let base = generators::multiply_accumulate(if q { 3 } else { 5 });
+    let variant = optimize::restructure_seeded(&base, 17);
+    let mut aig = Aig::new();
+    let inputs: Vec<Lit> = (0..base.inputs().len()).map(|_| aig.input()).collect();
+    let bouts = miter::import(&mut aig, &base, &inputs);
+    let vouts = miter::import_fresh(&mut aig, &variant, &inputs);
+    for (k, (&bo, &vo)) in bouts.iter().zip(&vouts).enumerate() {
+        aig.set_output(format!("base{k}"), bo);
+        aig.set_output(format!("variant{k}"), vo);
+    }
+    Workload {
+        name: "mac.sweep".to_string(),
+        aig,
+        // The sweep rows solve candidate assumptions, not this objective;
+        // it is recorded so the workload stays usable as a plain instance.
+        objective: bouts[0],
+        expected: Expected::Sat,
+    }
+}
+
 /// Satisfiable VLIW-like mixed circuit+CNF instances (paper's `9Vliw*`
 /// rows). `ids` selects which instances (e.g. `[1, 4, 5, 7, 8, 10]` for
 /// Tables II/IV).
@@ -237,6 +266,15 @@ mod tests {
         assert_eq!(vliw_suite(Scale::Quick, &[1, 4, 5]).len(), 3);
         assert_eq!(scan_suite(Scale::Quick).len(), 5);
         assert_eq!(extra_combinational(Scale::Quick).len(), 2);
+    }
+
+    #[test]
+    fn sweep_workload_keeps_both_implementations_live() {
+        let w = sweep_workload(Scale::Quick);
+        assert_eq!(w.name, "mac.sweep");
+        // One `base{k}` and one `variant{k}` output per product bit.
+        assert!(w.aig.outputs().len() >= 2);
+        assert_eq!(w.aig.outputs().len() % 2, 0);
     }
 
     #[test]

@@ -37,13 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod proof;
+mod session;
 mod solver;
 
-#[allow(deprecated)]
-pub use solver::Outcome;
+pub use session::Session;
 pub use solver::{
     Budget, ClauseActivity, Interrupt, LitOutOfRange, ReductionPolicy, RestartPolicy,
-    SearchOptions, SearchStats, Solver, SolverOptions, SolverOptionsBuilder, Stats, Verdict,
+    SearchOptions, SearchStats, Solver, SolverOptions, SolverOptionsBuilder, Stats, SubVerdict,
+    Verdict,
 };
 
 /// Checks a SAT model against the formula itself.

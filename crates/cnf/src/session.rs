@@ -1,0 +1,402 @@
+//! Incremental solving sessions over a growing CNF formula.
+//!
+//! A [`Session`] is the IPASIR-style interface of the CNF baseline: add
+//! variables and clauses *between* solves, manage scoped assumptions with
+//! [`Session::push`] / [`Session::pop`], and keep everything the kernel
+//! learned — learned clauses, VSIDS activities, saved phases — across
+//! every [`Session::solve_under`] call.
+//!
+//! No invalidation machinery is needed (see `DESIGN.md` §5h): assumptions
+//! are asserted as decisions, never as root-level facts, so learned
+//! clauses are implied by the formula alone and survive any pop; and
+//! added clauses only strengthen the formula, so they never invalidate
+//! clauses learned from a weaker one.
+//!
+//! # Example
+//!
+//! ```
+//! use csat_cnf::{Budget, Session, SolverOptions, SubVerdict};
+//! use csat_netlist::cnf::{Cnf, Lit};
+//! use csat_telemetry::NoOpObserver;
+//!
+//! let cnf = Cnf::from_dimacs("p cnf 2 1\n1 2 0\n").unwrap();
+//! let mut s = Session::new(&cnf, SolverOptions::default());
+//! assert!(matches!(
+//!     s.solve_under(&[], &Budget::UNLIMITED, &mut NoOpObserver),
+//!     SubVerdict::Sat(_)
+//! ));
+//!
+//! // Grow the formula: x3, with x1 -> !x2 and x1.
+//! let x3 = s.add_var();
+//! s.add_clause(vec![Lit::from_dimacs(-1), Lit::from_dimacs(-2), x3.positive()])
+//!     .unwrap();
+//! s.add_clause(vec![Lit::from_dimacs(1)]).unwrap();
+//!
+//! // Scoped assumption: !x3 forces x2 false via the new clause.
+//! s.push();
+//! s.assume(x3.negative());
+//! match s.solve_under(&[], &Budget::UNLIMITED, &mut NoOpObserver) {
+//!     SubVerdict::Sat(_) => assert_eq!(s.value(Lit::from_dimacs(2)), Some(false)),
+//!     other => panic!("{other:?}"),
+//! }
+//! s.pop();
+//! ```
+
+use csat_netlist::cnf::{Cnf, Lit, Var};
+use csat_telemetry::{NoOpObserver, Observer, SolverEvent};
+
+use crate::solver::{Budget, LitOutOfRange, SearchStats, Solver, SolverOptions, SubVerdict};
+
+/// An incremental CNF solving session (IPASIR-style).
+///
+/// Wraps a [`Solver`] with scoped assumptions. Between solves the caller
+/// may add variables ([`Session::add_var`]) and problem clauses
+/// ([`Session::add_clause`]), push and pop assumption scopes, and ingest
+/// implied clauses ([`Session::add_learned_clause`]); learned clauses are
+/// retained across calls and reported via
+/// [`SolverEvent::ClausesRetained`] at each solve.
+#[derive(Clone, Debug)]
+pub struct Session {
+    solver: Solver,
+    /// All currently registered assumptions, outermost scope first.
+    assumptions: Vec<Lit>,
+    /// Stack of scope starts into `assumptions` (like a trail_lim).
+    scope_marks: Vec<usize>,
+}
+
+impl Session {
+    /// Starts a session seeded with `cnf` (which may be empty and grown
+    /// clause by clause).
+    pub fn new(cnf: &Cnf, options: SolverOptions) -> Session {
+        Session {
+            solver: Solver::new(cnf, options),
+            assumptions: Vec::new(),
+            scope_marks: Vec::new(),
+        }
+    }
+
+    /// The session's statistics, cumulative across every solve call.
+    pub fn stats(&self) -> &SearchStats {
+        self.solver.stats()
+    }
+
+    /// Number of learned clauses currently alive (retained for the next
+    /// solve).
+    pub fn learned_count(&self) -> u64 {
+        self.solver.learned_count()
+    }
+
+    /// Number of variables the session currently knows.
+    pub fn num_vars(&self) -> usize {
+        self.solver.num_vars()
+    }
+
+    /// Creates a fresh variable (see [`Solver::add_var`]).
+    pub fn add_var(&mut self) -> Var {
+        self.solver.add_var()
+    }
+
+    /// Appends a problem clause to the live instance (see
+    /// [`Solver::add_clause`]).
+    ///
+    /// # Errors
+    ///
+    /// [`LitOutOfRange`] if any literal refers to an unknown variable; the
+    /// session is left unchanged.
+    pub fn add_clause(&mut self, clause: Vec<Lit>) -> Result<(), LitOutOfRange> {
+        self.solver.add_clause(clause)
+    }
+
+    /// Ingests a clause known to be *implied* by the formula; pinned
+    /// against database reduction (see [`Solver::add_learned_clause`]).
+    ///
+    /// # Errors
+    ///
+    /// [`LitOutOfRange`] if any literal refers to an unknown variable; the
+    /// session is left unchanged.
+    pub fn add_learned_clause(&mut self, lits: Vec<Lit>) -> Result<(), LitOutOfRange> {
+        self.solver.add_learned_clause(lits)
+    }
+
+    /// Opens a new assumption scope and reports
+    /// [`SolverEvent::SessionPush`] to `obs`.
+    pub fn push_observed<O>(&mut self, obs: &mut O)
+    where
+        O: Observer + ?Sized,
+    {
+        self.scope_marks.push(self.assumptions.len());
+        obs.record(SolverEvent::SessionPush {
+            depth: self.scope_marks.len() as u32,
+        });
+    }
+
+    /// [`Session::push_observed`] without telemetry.
+    pub fn push(&mut self) {
+        self.push_observed(&mut NoOpObserver);
+    }
+
+    /// Closes the innermost assumption scope, discarding its assumptions,
+    /// and reports [`SolverEvent::SessionPop`]. Returns `false` (and does
+    /// nothing) when no scope is open. Learned clauses are never
+    /// invalidated by a pop — see the module docs.
+    pub fn pop_observed<O>(&mut self, obs: &mut O) -> bool
+    where
+        O: Observer + ?Sized,
+    {
+        match self.scope_marks.pop() {
+            Some(mark) => {
+                self.assumptions.truncate(mark);
+                obs.record(SolverEvent::SessionPop {
+                    depth: self.scope_marks.len() as u32,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// [`Session::pop_observed`] without telemetry.
+    pub fn pop(&mut self) -> bool {
+        self.pop_observed(&mut NoOpObserver)
+    }
+
+    /// Registers `lit` as an assumption for every subsequent solve. It
+    /// lives in the innermost open scope; with no scope open it is
+    /// permanent (never popped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lit` refers to a variable the session does not know.
+    pub fn assume(&mut self, lit: Lit) {
+        assert!(
+            lit.var().index() < self.solver.num_vars(),
+            "assumption variable outside the session formula"
+        );
+        self.assumptions.push(lit);
+    }
+
+    /// Number of open assumption scopes.
+    pub fn depth(&self) -> usize {
+        self.scope_marks.len()
+    }
+
+    /// The currently registered assumptions, outermost scope first.
+    pub fn assumptions(&self) -> &[Lit] {
+        &self.assumptions
+    }
+
+    /// Solves the current formula under the scoped assumptions plus
+    /// `extra`, reporting search events to `obs`.
+    ///
+    /// **This is the canonical solving entry point** (the [`Session`]
+    /// counterpart of [`Solver::solve_under`]); [`Session::solve`] is its
+    /// no-assumptions, no-telemetry wrapper. The assumption order is: open
+    /// scopes outermost first, then `extra`.
+    ///
+    /// Before searching, learned clauses satisfied at the root level are
+    /// simplified away; the number carried into the search is reported as
+    /// [`SolverEvent::ClausesRetained`]. A
+    /// [`SubVerdict::UnsatUnderAssumptions`] result carries a
+    /// failed-assumption core (IPASIR `failed()`), drawn from scoped and
+    /// `extra` assumptions alike.
+    pub fn solve_under<O>(&mut self, extra: &[Lit], budget: &Budget, obs: &mut O) -> SubVerdict
+    where
+        O: Observer + ?Sized,
+    {
+        for &lit in extra {
+            assert!(
+                lit.var().index() < self.solver.num_vars(),
+                "assumption variable outside the session formula"
+            );
+        }
+        self.solver.simplify_retained();
+        obs.record(SolverEvent::ClausesRetained {
+            clauses: self.solver.learned_count(),
+        });
+        let assumptions: Vec<Lit> = self
+            .assumptions
+            .iter()
+            .chain(extra.iter())
+            .copied()
+            .collect();
+        self.solver.solve_under(&assumptions, budget, obs)
+    }
+
+    /// [`Session::solve_under`] with no extra assumptions and no
+    /// telemetry.
+    pub fn solve(&mut self, budget: &Budget) -> SubVerdict {
+        self.solve_under(&[], budget, &mut NoOpObserver)
+    }
+
+    /// Value of `lit` in the assignment left by the last solve (IPASIR
+    /// `val()`; see [`Solver::value`]).
+    pub fn value(&self, lit: Lit) -> Option<bool> {
+        self.solver.value(lit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Verdict;
+    use csat_telemetry::MetricsRecorder;
+
+    fn unsat(v: &SubVerdict) -> bool {
+        matches!(v, SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_))
+    }
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn grows_formula_between_solves() {
+        let cnf = Cnf::from_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n").expect("dimacs");
+        let mut s = Session::new(&cnf, SolverOptions::default());
+        match s.solve(&Budget::UNLIMITED) {
+            SubVerdict::Sat(m) => assert!(m[1]),
+            other => panic!("{other:?}"),
+        }
+        // x2 -> x3, then force a contradiction with !x3.
+        let x3 = s.add_var();
+        s.add_clause(vec![lit(-2), x3.positive()]).expect("range");
+        s.add_clause(vec![x3.negative()]).expect("range");
+        let v = s.solve(&Budget::UNLIMITED);
+        assert!(unsat(&v), "x2 forced true and false: {v:?}");
+    }
+
+    #[test]
+    fn scoped_assumptions_report_failed_cores() {
+        let cnf = Cnf::from_dimacs("p cnf 3 2\n-1 2 0\n-2 3 0\n").expect("dimacs");
+        let mut s = Session::new(&cnf, SolverOptions::default());
+        let mut metrics = MetricsRecorder::default();
+        s.push_observed(&mut metrics);
+        s.assume(lit(1));
+        s.push_observed(&mut metrics);
+        s.assume(lit(-3));
+        let v = s.solve_under(&[], &Budget::UNLIMITED, &mut metrics);
+        match &v {
+            SubVerdict::UnsatUnderAssumptions(core) => {
+                assert!(!core.is_empty());
+                for &l in core {
+                    assert!([lit(1), lit(-3)].contains(&l), "core literal {l:?}");
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            v.failed().map(<[Lit]>::len),
+            Some(v.failed().unwrap().len())
+        );
+        // Drop only the inner scope: x1 alone is satisfiable.
+        assert!(s.pop_observed(&mut metrics));
+        let v = s.solve_under(&[], &Budget::UNLIMITED, &mut metrics);
+        match v {
+            SubVerdict::Sat(_) => {
+                assert_eq!(s.value(lit(1)), Some(true));
+                assert_eq!(s.value(lit(3)), Some(true));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(s.pop());
+        assert!(!s.pop());
+        assert_eq!(metrics.session_pushes, 2);
+        assert_eq!(metrics.session_pops, 1);
+    }
+
+    #[test]
+    fn learned_clauses_survive_pop_and_resolve() {
+        // Pigeonhole 4-into-3 forces real learning; solve it under a
+        // throwaway scope, then again without: the second call must start
+        // with retained clauses.
+        let mut cnf = Cnf::with_vars(12);
+        let var = |p: usize, h: usize| Var((p * 3 + h) as u32);
+        for p in 0..4 {
+            cnf.add_clause((0..3).map(|h| var(p, h).positive()).collect());
+        }
+        for h in 0..3 {
+            for p1 in 0..4 {
+                for p2 in p1 + 1..4 {
+                    cnf.add_clause(vec![var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        let mut s = Session::new(&cnf, SolverOptions::default());
+        s.push();
+        s.assume(var(0, 0).positive());
+        let v = s.solve(&Budget::UNLIMITED);
+        assert!(unsat(&v), "{v:?}");
+        let learned = s.learned_count();
+        assert!(learned > 0, "pigeonhole must learn clauses");
+        s.pop();
+
+        let mut metrics = MetricsRecorder::default();
+        let v = s.solve_under(&[], &Budget::UNLIMITED, &mut metrics);
+        assert!(unsat(&v), "{v:?}");
+        assert_eq!(
+            metrics.clauses_retained, learned,
+            "second solve must start with the first call's clauses"
+        );
+    }
+
+    #[test]
+    fn matches_monolithic_solver_after_growth() {
+        // Grow a formula in three increments, solving between each; the
+        // final session verdict must match a fresh solver over the final
+        // formula.
+        let mut grown = Cnf::with_vars(2);
+        grown.add_clause(vec![lit(1), lit(2)]);
+        let mut s = Session::new(&grown, SolverOptions::default());
+        let _ = s.solve(&Budget::UNLIMITED);
+
+        let batches: Vec<Vec<Vec<Lit>>> = vec![
+            vec![vec![lit(-1), lit(2)], vec![lit(-2), lit(1)]],
+            vec![vec![lit(-1), lit(-2)]],
+        ];
+        for batch in batches {
+            for clause in batch {
+                grown.add_clause(clause.clone());
+                s.add_clause(clause).expect("in range");
+            }
+            let session_v = s.solve(&Budget::UNLIMITED);
+            let fresh_v = Solver::new(&grown, SolverOptions::default()).solve();
+            match (&session_v, &fresh_v) {
+                (SubVerdict::Sat(_), Verdict::Sat(_)) => {}
+                (a, Verdict::Unsat) if unsat(a) => {}
+                (a, b) => panic!("session {a:?} vs fresh {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn add_clause_rejects_unknown_variables() {
+        let cnf = Cnf::from_dimacs("p cnf 1 1\n1 0\n").expect("dimacs");
+        let mut s = Session::new(&cnf, SolverOptions::default());
+        let bogus = Var(5).positive();
+        let err = s.add_clause(vec![bogus]).expect_err("unknown variable");
+        assert_eq!(err.lit, bogus);
+        // Unchanged and still solvable.
+        assert!(matches!(s.solve(&Budget::UNLIMITED), SubVerdict::Sat(_)));
+    }
+
+    #[test]
+    fn root_level_normalization_of_added_clauses() {
+        let cnf = Cnf::from_dimacs("p cnf 2 1\n1 0\n").expect("dimacs");
+        let mut s = Session::new(&cnf, SolverOptions::default());
+        let _ = s.solve(&Budget::UNLIMITED);
+        // Satisfied at root: dropped.
+        s.add_clause(vec![lit(1), lit(2)]).expect("range");
+        // Tautology: dropped.
+        s.add_clause(vec![lit(2), lit(-2)]).expect("range");
+        // Root-false literal removed, leaving a unit.
+        s.add_clause(vec![lit(-1), lit(-2)]).expect("range");
+        match s.solve(&Budget::UNLIMITED) {
+            SubVerdict::Sat(m) => assert_eq!(m, vec![true, false]),
+            other => panic!("{other:?}"),
+        }
+        // An added clause contradicting the root closure: UNSAT forever.
+        s.add_clause(vec![lit(2)]).expect("range");
+        assert!(unsat(&s.solve(&Budget::UNLIMITED)));
+        assert!(unsat(&s.solve(&Budget::UNLIMITED)), "sticky root conflict");
+    }
+}

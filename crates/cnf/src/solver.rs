@@ -5,10 +5,10 @@
 //! CNF-specific half — watched-literal propagation over the *problem*
 //! clauses and plain VSIDS decisions — as a [`Propagator`].
 
-use csat_netlist::cnf::{Cnf, Lit};
+use csat_netlist::cnf::{Cnf, Lit, Var};
 use csat_search::{
-    ingest_clause, solve_under, Conflict, Propagator, Reason, SearchContext, SearchResult, FALSE,
-    TRUE,
+    ingest_clause, reset_to_root, solve_under, Conflict, Propagator, Reason, SearchContext,
+    SearchResult, FALSE, TRUE,
 };
 use csat_telemetry::{NoOpObserver, Observer};
 
@@ -17,12 +17,10 @@ pub use csat_types::{
     Verdict,
 };
 
-/// Former name of [`Verdict`], kept for one release.
-///
-/// The CNF and circuit solvers now share the verdict vocabulary of
-/// [`csat_types`]; use [`Verdict`] directly.
-#[deprecated(since = "0.1.0", note = "renamed to `Verdict` (shared with csat-core)")]
-pub type Outcome = Verdict;
+/// Assumption-aware verdict of [`Solver::solve_under`], carrying a
+/// failed-assumption core on refutation (the CNF instantiation of
+/// [`csat_types::SubVerdict`]).
+pub type SubVerdict = csat_types::SubVerdict<Lit>;
 
 /// Search statistics, readable after (or during) solving.
 ///
@@ -125,57 +123,6 @@ impl SolverOptionsBuilder {
     /// See [`SearchOptions::minimize_clauses`].
     pub fn minimize_clauses(mut self, on: bool) -> Self {
         self.options.search.minimize_clauses = on;
-        self
-    }
-
-    /// See [`SearchOptions::var_decay`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `SearchOptions::var_decay` via `search()`"
-    )]
-    pub fn var_decay(mut self, decay: f64) -> Self {
-        self.options.search.var_decay = decay;
-        self
-    }
-
-    /// See [`SearchOptions::decay_interval`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `SearchOptions::decay_interval` via `search()`"
-    )]
-    pub fn decay_interval(mut self, conflicts: u64) -> Self {
-        self.options.search.decay_interval = conflicts;
-        self
-    }
-
-    /// Sets the first geometric restart interval.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `restart(RestartPolicy::Geometric { .. })`"
-    )]
-    pub fn restart_first(mut self, conflicts: u64) -> Self {
-        let factor = match self.options.search.restart {
-            RestartPolicy::Geometric { factor, .. } => factor,
-            _ => 1.5,
-        };
-        self.options.search.restart = RestartPolicy::Geometric {
-            first: conflicts,
-            factor,
-        };
-        self
-    }
-
-    /// Sets the geometric restart growth factor.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `restart(RestartPolicy::Geometric { .. })`"
-    )]
-    pub fn restart_factor(mut self, factor: f64) -> Self {
-        let first = match self.options.search.restart {
-            RestartPolicy::Geometric { first, .. } => first,
-            _ => 100,
-        };
-        self.options.search.restart = RestartPolicy::Geometric { first, factor };
         self
     }
 
@@ -442,11 +389,144 @@ impl Solver {
     where
         O: Observer + ?Sized,
     {
-        match solve_under(&mut self.ctx, &mut self.prop, &[], budget, obs) {
-            SearchResult::Sat(model) => Verdict::Sat(model),
-            SearchResult::Unsat | SearchResult::UnsatUnderAssumptions(_) => Verdict::Unsat,
-            SearchResult::Aborted(reason) => Verdict::Unknown(reason),
+        match self.solve_under(&[], budget, obs) {
+            SubVerdict::Sat(model) => Verdict::Sat(model),
+            SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_) => Verdict::Unsat,
+            SubVerdict::Aborted(reason) => Verdict::Unknown(reason),
         }
+    }
+
+    /// Solves under a set of assumption literals with a budget, reporting
+    /// search events to the given [`Observer`].
+    ///
+    /// **This is the canonical entry point** — every other `solve*` method
+    /// on this type is a documented thin wrapper around it, mirroring
+    /// `csat_core::Solver::solve_under`. Assumptions are asserted as
+    /// decisions in order; learned clauses survive the call (they are
+    /// implied by the formula alone, never by the assumptions), and a
+    /// refuted assumption set is reported as
+    /// [`SubVerdict::UnsatUnderAssumptions`] carrying a failed-assumption
+    /// core (IPASIR `failed()`).
+    ///
+    /// Pass [`NoOpObserver`] when no telemetry is wanted; the observer
+    /// hooks monomorphize away entirely.
+    pub fn solve_under<O>(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &Budget,
+        obs: &mut O,
+    ) -> SubVerdict
+    where
+        O: Observer + ?Sized,
+    {
+        match solve_under(&mut self.ctx, &mut self.prop, assumptions, budget, obs) {
+            SearchResult::Sat(model) => SubVerdict::Sat(model),
+            SearchResult::Unsat => SubVerdict::Unsat,
+            SearchResult::UnsatUnderAssumptions(core) => SubVerdict::UnsatUnderAssumptions(core),
+            SearchResult::Aborted(reason) => SubVerdict::Aborted(reason),
+        }
+    }
+
+    /// Creates a fresh variable (initially unconstrained) and returns it.
+    /// The variable joins the VSIDS decision heap immediately and may be
+    /// used in clauses and assumptions from now on.
+    pub fn add_var(&mut self) -> Var {
+        self.reset();
+        let v = self.ctx.add_variable();
+        self.prop.watches.push(Vec::new());
+        self.prop.watches.push(Vec::new());
+        Var(v as u32)
+    }
+
+    /// Appends a *problem* clause to the live solver between solves — the
+    /// incremental half of the IPASIR-style interface ([`crate::Session`]
+    /// builds on this). The clause is normalized like the constructor
+    /// normalizes input clauses: duplicate literals are merged,
+    /// tautologies dropped, and literals already false at the root level
+    /// removed (they can never help). An empty or root-falsified clause
+    /// makes the instance permanently UNSAT.
+    ///
+    /// # Errors
+    ///
+    /// [`LitOutOfRange`] if any literal refers to a variable the solver
+    /// does not know (see [`Solver::add_var`]); the solver is left
+    /// unchanged.
+    pub fn add_clause(&mut self, clause: Vec<Lit>) -> Result<(), LitOutOfRange> {
+        let vars = self.ctx.num_vars();
+        for &l in &clause {
+            if l.var().index() >= vars {
+                return Err(LitOutOfRange { lit: l, vars });
+            }
+        }
+        self.reset();
+        let mut lits = clause;
+        lits.sort_unstable();
+        lits.dedup();
+        if lits.windows(2).any(|w| w[0] == !w[1]) {
+            return Ok(()); // tautology
+        }
+        for &l in &lits {
+            self.ctx.seed_activity(l.var().index(), 1.0);
+        }
+        // Root-level values are permanent: a true literal satisfies the
+        // clause forever, false literals can never contribute.
+        if lits.iter().any(|&l| self.ctx.lit_value(l) == TRUE) {
+            return Ok(());
+        }
+        lits.retain(|&l| self.ctx.lit_value(l) != FALSE);
+        match lits.len() {
+            0 => self.ctx.set_root_conflict(),
+            1 => {
+                let enqueued = self.ctx.enqueue(lits[0], Reason::Axiom);
+                debug_assert!(enqueued.is_ok(), "unit literal is unassigned at root");
+            }
+            _ => {
+                self.prop.push_clause(&lits);
+            }
+        }
+        Ok(())
+    }
+
+    /// Value of `lit` in the assignment left by the *last* solve (IPASIR
+    /// `val()`). After a SAT answer the full assignment is still live (the
+    /// engine returns without backtracking); `None` for unassigned
+    /// variables, out-of-range literals, or once the assignment has been
+    /// reset by a mutating call.
+    pub fn value(&self, lit: Lit) -> Option<bool> {
+        if lit.var().index() >= self.ctx.num_vars() {
+            return None;
+        }
+        match self.ctx.lit_value(lit) {
+            TRUE => Some(true),
+            FALSE => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Number of variables the solver currently knows.
+    pub fn num_vars(&self) -> usize {
+        self.ctx.num_vars()
+    }
+
+    /// Number of learned clauses currently alive.
+    pub fn learned_count(&self) -> u64 {
+        self.ctx.learned_count()
+    }
+
+    /// Backtracks to the root level (undoes the live assignment of a SAT
+    /// answer) so the instance can be mutated.
+    fn reset(&mut self) {
+        if self.ctx.decision_level() > 0 {
+            reset_to_root(&mut self.ctx, &mut self.prop);
+        }
+    }
+
+    /// Deletes learned clauses satisfied at the root level; returns how
+    /// many were dropped. Root only — [`crate::Session`] calls this (after
+    /// its reset) before each solve.
+    pub(crate) fn simplify_retained(&mut self) -> u64 {
+        self.reset();
+        self.ctx.simplify_satisfied_at_root()
     }
 
     /// Adds a clause known to be implied by the formula (e.g. from an
@@ -690,29 +770,6 @@ mod tests {
         let outcome = Solver::new(&cnf, SolverOptions::default())
             .solve_with_budget(&Budget::UNLIMITED.with_cancel(token));
         assert_eq!(outcome, Verdict::Unknown(Interrupt::Cancelled));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn outcome_alias_still_compiles() {
-        let v: super::Outcome = Verdict::Unsat;
-        assert!(v.is_unsat());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_builder_aliases_still_configure_restarts() {
-        let opts = SolverOptions::builder()
-            .restart_first(32)
-            .restart_factor(1.25)
-            .build();
-        assert_eq!(
-            opts.search.restart,
-            RestartPolicy::Geometric {
-                first: 32,
-                factor: 1.25
-            }
-        );
     }
 
     #[test]

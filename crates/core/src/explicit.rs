@@ -259,7 +259,7 @@ where
         let mut stop: Option<Interrupt> = None;
         for assumptions in subproblem_assumptions(&c) {
             let result = catch_unwind(AssertUnwindSafe(|| {
-                solver.solve_under_observed(&assumptions, &sub_budget, &mut *obs)
+                solver.solve_under(&assumptions, &sub_budget, &mut *obs)
             }));
             match result {
                 Err(_payload) => {

@@ -45,6 +45,7 @@ pub mod explicit;
 pub mod implication;
 mod options;
 pub mod proof;
+mod session;
 mod solver;
 pub mod sweep;
 
@@ -53,6 +54,7 @@ pub use options::{
     Budget, CancelToken, ClauseActivity, Interrupt, ReductionPolicy, RestartPolicy, SearchOptions,
     SearchStats, SolverOptions, SolverOptionsBuilder, Stats, SubVerdict, Verdict,
 };
+pub use session::Session;
 pub use solver::{LitOutOfRange, Solver};
 
 /// Checks a SAT model against the circuit itself.

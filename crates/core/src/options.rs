@@ -152,57 +152,6 @@ impl SolverOptionsBuilder {
         self
     }
 
-    /// See [`SearchOptions::var_decay`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `SearchOptions::var_decay` via `search()`"
-    )]
-    pub fn var_decay(mut self, decay: f64) -> Self {
-        self.options.search.var_decay = decay;
-        self
-    }
-
-    /// See [`SearchOptions::decay_interval`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `SearchOptions::decay_interval` via `search()`"
-    )]
-    pub fn decay_interval(mut self, conflicts: u64) -> Self {
-        self.options.search.decay_interval = conflicts;
-        self
-    }
-
-    /// Sets the back-jump-average restart window (paper: 4096 backtracks).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `restart(RestartPolicy::BackjumpAverage { .. })`"
-    )]
-    pub fn restart_window(mut self, backtracks: u64) -> Self {
-        let threshold = match self.options.search.restart {
-            RestartPolicy::BackjumpAverage { threshold, .. } => threshold,
-            _ => 1.2,
-        };
-        self.options.search.restart = RestartPolicy::BackjumpAverage {
-            window: backtracks,
-            threshold,
-        };
-        self
-    }
-
-    /// Sets the back-jump-average restart threshold (paper: 1.2).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `restart(RestartPolicy::BackjumpAverage { .. })`"
-    )]
-    pub fn restart_threshold(mut self, threshold: f64) -> Self {
-        let window = match self.options.search.restart {
-            RestartPolicy::BackjumpAverage { window, .. } => window,
-            _ => 4096,
-        };
-        self.options.search.restart = RestartPolicy::BackjumpAverage { window, threshold };
-        self
-    }
-
     /// Finish, yielding the configured [`SolverOptions`].
     pub fn build(self) -> SolverOptions {
         self.options
@@ -257,26 +206,6 @@ mod tests {
         );
         assert!(o.search.phase_saving);
         assert!(!o.search.minimize_clauses);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_builder_aliases_still_configure_the_paper_policy() {
-        let o = SolverOptions::builder()
-            .var_decay(0.75)
-            .decay_interval(128)
-            .restart_window(1024)
-            .restart_threshold(2.0)
-            .build();
-        assert!((o.search.var_decay - 0.75).abs() < 1e-9);
-        assert_eq!(o.search.decay_interval, 128);
-        assert_eq!(
-            o.search.restart,
-            RestartPolicy::BackjumpAverage {
-                window: 1024,
-                threshold: 2.0
-            }
-        );
     }
 
     #[test]

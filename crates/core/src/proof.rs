@@ -299,7 +299,11 @@ mod tests {
         s.start_proof();
         // lt and eq exclude each other.
         use crate::{Budget, SubVerdict};
-        match s.solve_under(&[lt, eq], &Budget::UNLIMITED) {
+        match s.solve_under(
+            &[lt, eq],
+            &Budget::UNLIMITED,
+            &mut csat_telemetry::NoOpObserver,
+        ) {
             SubVerdict::UnsatUnderAssumptions(_) | SubVerdict::Unsat => {}
             other => panic!("{other:?}"),
         }

@@ -1,0 +1,528 @@
+//! Incremental solving sessions over a growing circuit.
+//!
+//! A [`Session`] is the IPASIR-style counterpart of [`crate::Solver`]: it
+//! *owns* its [`Aig`] and lets the caller interleave structural growth
+//! (new inputs and gates), scoped assumptions ([`Session::push`] /
+//! [`Session::pop`]) and repeated [`Session::solve_under`] calls — while
+//! the learned-clause arena, VSIDS activities and saved phases persist
+//! across every call.
+//!
+//! # Why no invalidation is needed (DESIGN.md §5h)
+//!
+//! Assumptions are asserted as *decisions*, never as root-level facts, so
+//! every clause the kernel learns is implied by the circuit (plus any
+//! ingested clauses) alone — not by any assumption. Popping a scope
+//! therefore never invalidates a learned clause, and growing the circuit
+//! only *adds* constraints: clauses implied by the old circuit remain
+//! implied by the larger one. The only state that must be rebuilt on
+//! growth is derived structure (per-node tables, the fanout CSR) and the
+//! root-level implication closure, which [`Session::solve_under`] replays
+//! by rewinding the propagation queue over the level-0 trail.
+//!
+//! # Example
+//!
+//! ```
+//! use csat_core::{Budget, Session, SolverOptions, SubVerdict};
+//! use csat_netlist::Aig;
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.input();
+//! let b = aig.input();
+//! let y = aig.and(a, b);
+//! let mut session = Session::new(aig, SolverOptions::default());
+//!
+//! // Solve, then grow the instance and solve again — learned clauses,
+//! // activities and phases carry over.
+//! assert!(matches!(
+//!     session.solve_under(&[y], &Budget::UNLIMITED, &mut csat_telemetry::NoOpObserver),
+//!     SubVerdict::Sat(_)
+//! ));
+//! let z = session.grow(|aig| aig.and(y, !a));
+//! assert!(matches!(
+//!     session.solve_under(&[z], &Budget::UNLIMITED, &mut csat_telemetry::NoOpObserver),
+//!     SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_)
+//! ));
+//!
+//! // Scoped assumptions: pushed scopes constrain every solve until popped.
+//! session.push();
+//! session.assume(!y);
+//! assert!(matches!(
+//!     session.solve_under(&[a, b], &Budget::UNLIMITED, &mut csat_telemetry::NoOpObserver),
+//!     SubVerdict::UnsatUnderAssumptions(_)
+//! ));
+//! session.pop();
+//! ```
+
+use csat_netlist::{Aig, Lit};
+use csat_search::{reset_to_root, solve_under, SearchContext, SearchResult};
+use csat_sim::CorrelationResult;
+use csat_telemetry::{NoOpObserver, Observer, SolverEvent};
+
+use crate::options::{Budget, SolverOptions, Stats, SubVerdict};
+use crate::solver::{new_context, CircuitPropagator, CircuitState, LitOutOfRange};
+
+/// An incremental circuit solving session (IPASIR-style).
+///
+/// Owns the circuit and the full solver state. Between solves the caller
+/// may:
+///
+/// * grow the circuit with [`Session::add_input`], [`Session::add_and`] or
+///   the general [`Session::grow`] (the [`Aig`] is append-only, so any
+///   construction through it is legal),
+/// * manage scoped assumptions with [`Session::push`], [`Session::assume`]
+///   and [`Session::pop`],
+/// * ingest implied clauses with [`Session::add_learned_clause`].
+///
+/// Every [`Session::solve_under`] call sees the accumulated structure and
+/// all assumptions of the open scopes (innermost last), plus the
+/// call-local `extra` assumptions. Learned clauses, VSIDS activities and
+/// saved phases are retained across calls; learned clauses satisfied at
+/// the root level are simplified away before each solve and reported via
+/// [`SolverEvent::ClausesRetained`].
+#[derive(Clone, Debug)]
+pub struct Session {
+    options: SolverOptions,
+    aig: Aig,
+    ctx: SearchContext<Lit>,
+    state: CircuitState,
+    /// All currently registered assumptions, outermost scope first.
+    assumptions: Vec<Lit>,
+    /// Stack of scope starts into `assumptions` (like a trail_lim).
+    scope_marks: Vec<usize>,
+    /// Number of AIG nodes already covered by the fanout CSR; nodes from
+    /// here on are committed lazily at the next solve.
+    csr_nodes: usize,
+}
+
+impl Session {
+    /// Starts a session over `aig` (which may be empty and grown later).
+    pub fn new(aig: Aig, options: SolverOptions) -> Session {
+        let ctx = new_context(&aig, &options);
+        let state = CircuitState::new(&aig, &options);
+        let csr_nodes = aig.len();
+        Session {
+            options,
+            aig,
+            ctx,
+            state,
+            assumptions: Vec::new(),
+            scope_marks: Vec::new(),
+            csr_nodes,
+        }
+    }
+
+    /// The circuit in its current (grown) form.
+    pub fn aig(&self) -> &Aig {
+        &self.aig
+    }
+
+    /// The options this session was built with.
+    pub fn options(&self) -> SolverOptions {
+        self.options
+    }
+
+    /// The session's statistics, cumulative across every solve call.
+    pub fn stats(&self) -> &Stats {
+        self.ctx.stats()
+    }
+
+    /// Number of learned clauses currently alive (retained for the next
+    /// solve).
+    pub fn learned_count(&self) -> u64 {
+        self.ctx.learned_count()
+    }
+
+    /// Estimated bytes held by the learned-clause arena.
+    pub fn learned_memory_bytes(&self) -> u64 {
+        self.ctx.learned_memory_bytes()
+    }
+
+    /// Installs signal correlations for implicit learning (see
+    /// [`crate::Solver::set_correlations`]). May be called repeatedly,
+    /// e.g. after growing the circuit and re-simulating.
+    pub fn set_correlations(&mut self, correlations: &CorrelationResult) {
+        self.state.install_correlations(correlations);
+    }
+
+    /// Creates a fresh primary input and returns its positive literal.
+    pub fn add_input(&mut self) -> Lit {
+        self.grow(|aig| aig.input())
+    }
+
+    /// AND of two existing signals, with the [`Aig`]'s usual constant
+    /// folding and structural hashing — so the returned literal may be an
+    /// existing node (even a constant) rather than a new gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` refers to a node outside the session's
+    /// circuit.
+    pub fn add_and(&mut self, a: Lit, b: Lit) -> Lit {
+        let n = self.aig.len();
+        assert!(
+            a.node().index() < n && b.node().index() < n,
+            "add_and literal outside the session circuit"
+        );
+        self.grow(|aig| aig.and(a, b))
+    }
+
+    /// Grows the circuit through an arbitrary construction closure —
+    /// `or`/`xor`/`mux` trees, generator functions, whole imported
+    /// miters. The [`Aig`] API is append-only, so any sequence of calls
+    /// is a legal increment; the session syncs its solver state to the
+    /// new nodes afterwards.
+    ///
+    /// Structure added here is committed to the propagation index lazily,
+    /// at the next solve — a burst of additions pays for one fanout-CSR
+    /// extension, not one per gate.
+    pub fn grow<R>(&mut self, build: impl FnOnce(&mut Aig) -> R) -> R {
+        self.reset();
+        let out = build(&mut self.aig);
+        let n = self.aig.len();
+        while self.ctx.num_vars() < n {
+            self.ctx.add_variable();
+        }
+        self.state.grow_to(n);
+        out
+    }
+
+    /// Opens a new assumption scope and reports
+    /// [`SolverEvent::SessionPush`] to `obs`. Assumptions registered with
+    /// [`Session::assume`] from now on belong to this scope and disappear
+    /// when it is popped.
+    pub fn push_observed<O>(&mut self, obs: &mut O)
+    where
+        O: Observer + ?Sized,
+    {
+        self.scope_marks.push(self.assumptions.len());
+        obs.record(SolverEvent::SessionPush {
+            depth: self.scope_marks.len() as u32,
+        });
+    }
+
+    /// [`Session::push_observed`] without telemetry.
+    pub fn push(&mut self) {
+        self.push_observed(&mut NoOpObserver);
+    }
+
+    /// Closes the innermost assumption scope, discarding its assumptions,
+    /// and reports [`SolverEvent::SessionPop`]. Returns `false` (and does
+    /// nothing) when no scope is open. Learned clauses are *never*
+    /// invalidated by a pop — see the module docs.
+    pub fn pop_observed<O>(&mut self, obs: &mut O) -> bool
+    where
+        O: Observer + ?Sized,
+    {
+        match self.scope_marks.pop() {
+            Some(mark) => {
+                self.assumptions.truncate(mark);
+                obs.record(SolverEvent::SessionPop {
+                    depth: self.scope_marks.len() as u32,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// [`Session::pop_observed`] without telemetry.
+    pub fn pop(&mut self) -> bool {
+        self.pop_observed(&mut NoOpObserver)
+    }
+
+    /// Registers `lit` as an assumption for every subsequent solve. It
+    /// lives in the innermost open scope; with no scope open it is
+    /// permanent (never popped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lit` refers to a node outside the session's circuit.
+    pub fn assume(&mut self, lit: Lit) {
+        assert!(
+            lit.node().index() < self.aig.len(),
+            "assumption outside the session circuit"
+        );
+        self.assumptions.push(lit);
+    }
+
+    /// Number of open assumption scopes.
+    pub fn depth(&self) -> usize {
+        self.scope_marks.len()
+    }
+
+    /// The currently registered assumptions, outermost scope first.
+    pub fn assumptions(&self) -> &[Lit] {
+        &self.assumptions
+    }
+
+    /// Adds a clause known to be implied by the circuit; pinned against
+    /// database reduction (see [`crate::Solver::add_learned_clause`]).
+    ///
+    /// # Errors
+    ///
+    /// [`LitOutOfRange`] if any literal refers to a node outside the
+    /// circuit; the session is left unchanged.
+    pub fn add_learned_clause(&mut self, lits: Vec<Lit>) -> Result<(), LitOutOfRange> {
+        self.reset();
+        let mut prop = CircuitPropagator {
+            aig: &self.aig,
+            state: &mut self.state,
+        };
+        csat_search::ingest_clause(&mut self.ctx, &mut prop, lits)
+    }
+
+    /// Solves the current instance under the scoped assumptions plus
+    /// `extra`, reporting search events to `obs`.
+    ///
+    /// **This is the canonical solving entry point** (the [`Session`]
+    /// counterpart of [`crate::Solver::solve_under`]); [`Session::solve`]
+    /// is its no-assumptions, no-telemetry wrapper. The assumption order
+    /// is: open scopes outermost first, then `extra` — the order
+    /// assumption decisions are asserted in.
+    ///
+    /// Before searching, the call commits any pending structural growth
+    /// (extends the fanout CSR and replays the root-level trail through
+    /// the new gates) and simplifies away learned clauses satisfied at the
+    /// root; the number of clauses carried into the search is reported as
+    /// [`SolverEvent::ClausesRetained`].
+    ///
+    /// A [`SubVerdict::UnsatUnderAssumptions`] result carries a
+    /// failed-assumption core (IPASIR `failed()`), drawn from scoped and
+    /// `extra` assumptions alike.
+    pub fn solve_under<O>(&mut self, extra: &[Lit], budget: &Budget, obs: &mut O) -> SubVerdict
+    where
+        O: Observer + ?Sized,
+    {
+        for &lit in extra {
+            assert!(
+                lit.node().index() < self.aig.len(),
+                "assumption outside the session circuit"
+            );
+        }
+        self.reset();
+        self.commit_structure();
+        self.ctx.simplify_satisfied_at_root();
+        obs.record(SolverEvent::ClausesRetained {
+            clauses: self.ctx.learned_count(),
+        });
+        let assumptions: Vec<Lit> = self
+            .assumptions
+            .iter()
+            .chain(extra.iter())
+            .copied()
+            .collect();
+        let mut prop = CircuitPropagator {
+            aig: &self.aig,
+            state: &mut self.state,
+        };
+        match solve_under(&mut self.ctx, &mut prop, &assumptions, budget, obs) {
+            SearchResult::Sat(model) => SubVerdict::Sat(model),
+            SearchResult::Unsat => SubVerdict::Unsat,
+            SearchResult::UnsatUnderAssumptions(core) => SubVerdict::UnsatUnderAssumptions(core),
+            SearchResult::Aborted(reason) => SubVerdict::Aborted(reason),
+        }
+    }
+
+    /// [`Session::solve_under`] with no extra assumptions and no
+    /// telemetry.
+    pub fn solve(&mut self, budget: &Budget) -> SubVerdict {
+        self.solve_under(&[], budget, &mut NoOpObserver)
+    }
+
+    /// Value of `lit` in the assignment left by the *last* solve.
+    ///
+    /// After a [`SubVerdict::Sat`] result the full satisfying assignment
+    /// is still live (the engine returns without backtracking), so this
+    /// reads the value of any signal — internal gates included, unlike
+    /// the primary-input model the verdict carries. Returns `None` for
+    /// unassigned signals, out-of-range literals, or once the assignment
+    /// has been reset by a mutating call (`grow`, `add_learned_clause`,
+    /// the next solve).
+    pub fn value(&self, lit: Lit) -> Option<bool> {
+        let n = self.ctx.num_vars();
+        if lit.node().index() >= n {
+            return None;
+        }
+        match self.ctx.lit_value(lit) {
+            csat_search::TRUE => Some(true),
+            csat_search::FALSE => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Backtracks to the root level (undoes the live assignment of a SAT
+    /// answer) so structure can be mutated or the trail replayed.
+    fn reset(&mut self) {
+        if self.ctx.decision_level() > 0 {
+            let mut prop = CircuitPropagator {
+                aig: &self.aig,
+                state: &mut self.state,
+            };
+            reset_to_root(&mut self.ctx, &mut prop);
+        }
+    }
+
+    /// Commits structure added since the last solve: extends the fanout
+    /// CSR over the new gates and rewinds the propagation queue so the
+    /// engine's initial root propagation replays the level-0 trail
+    /// through them (a replayed enqueue of an already-true literal is a
+    /// no-op; a contradiction becomes a root conflict).
+    fn commit_structure(&mut self) {
+        let n = self.aig.len();
+        if self.csr_nodes < n {
+            self.state.extend_fanouts(&self.aig, self.csr_nodes);
+            self.csr_nodes = n;
+            self.ctx.rewind_propagation();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csat_telemetry::MetricsRecorder;
+    use csat_types::Interrupt;
+
+    fn unsat(v: &SubVerdict) -> bool {
+        matches!(v, SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_))
+    }
+
+    #[test]
+    fn session_grows_and_solves_incrementally() {
+        let mut s = Session::new(Aig::new(), SolverOptions::default());
+        let a = s.add_input();
+        let b = s.add_input();
+        let y = s.add_and(a, b);
+        match s.solve_under(&[y], &Budget::UNLIMITED, &mut NoOpObserver) {
+            SubVerdict::Sat(model) => assert_eq!(model, vec![true, true]),
+            other => panic!("{other:?}"),
+        }
+        // The satisfying assignment is live: read internal values.
+        assert_eq!(s.value(y), Some(true));
+        assert_eq!(s.value(!a), Some(false));
+
+        // Grow: y && !a is a new gate that can never be 1.
+        let z = s.add_and(y, !a);
+        let v = s.solve_under(&[z], &Budget::UNLIMITED, &mut NoOpObserver);
+        assert!(unsat(&v), "{v:?}");
+        // Folding still applies to trivial additions: no new node.
+        assert_eq!(s.add_and(y, !y), Lit::FALSE);
+
+        // A real new gate after the fold.
+        let c = s.add_input();
+        let w = s.grow(|aig| {
+            let t = aig.and(y, c);
+            aig.and(t, !b)
+        });
+        let v = s.solve_under(&[w], &Budget::UNLIMITED, &mut NoOpObserver);
+        assert!(unsat(&v), "w requires b and !b: {v:?}");
+        let v = s.solve_under(&[!w, c], &Budget::UNLIMITED, &mut NoOpObserver);
+        assert!(matches!(v, SubVerdict::Sat(_)), "{v:?}");
+    }
+
+    #[test]
+    fn scoped_assumptions_constrain_and_release() {
+        let mut s = Session::new(Aig::new(), SolverOptions::default());
+        let a = s.add_input();
+        let b = s.add_input();
+        let y = s.add_and(a, b);
+
+        let mut metrics = MetricsRecorder::default();
+        s.push_observed(&mut metrics);
+        s.assume(!y);
+        let v = s.solve_under(&[a, b], &Budget::UNLIMITED, &mut metrics);
+        assert!(unsat(&v), "{v:?}");
+        // The failed core only mentions assumptions.
+        if let SubVerdict::UnsatUnderAssumptions(core) = &v {
+            for &l in core {
+                assert!([!y, a, b].contains(&l), "core literal {l:?}");
+            }
+        }
+        assert!(s.pop_observed(&mut metrics));
+        assert!(!s.pop(), "no scope left to pop");
+        let v = s.solve_under(&[a, b], &Budget::UNLIMITED, &mut NoOpObserver);
+        assert!(matches!(v, SubVerdict::Sat(_)), "{v:?}");
+
+        assert_eq!(metrics.session_pushes, 1);
+        assert_eq!(metrics.session_pops, 1);
+    }
+
+    #[test]
+    fn learned_clauses_are_retained_across_calls() {
+        // A small miter-ish instance that actually causes conflicts.
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..6).map(|_| aig.input()).collect();
+        let f = aig.xor_many(&xs);
+        let g = {
+            // Same function, rebuilt in reverse order (strashing is
+            // bypassed by association differences).
+            let rev: Vec<Lit> = xs.iter().rev().copied().collect();
+            aig.xor_many(&rev)
+        };
+        let miter = aig.xor(f, g);
+        let mut s = Session::new(aig, SolverOptions::default());
+
+        let v = s.solve_under(&[miter], &Budget::UNLIMITED, &mut NoOpObserver);
+        assert!(unsat(&v), "equivalent functions: {v:?}");
+        let learned_after_first = s.stats().learnt_clauses;
+
+        let mut metrics = MetricsRecorder::default();
+        let v = s.solve_under(&[!miter], &Budget::UNLIMITED, &mut metrics);
+        assert!(matches!(v, SubVerdict::Sat(_)), "{v:?}");
+        // The second call started with the first call's clauses alive.
+        assert_eq!(metrics.clauses_retained, learned_after_first);
+    }
+
+    #[test]
+    fn session_matches_fresh_solver_on_grown_circuit() {
+        // Build incrementally in the session; solve the same final
+        // circuit with a monolithic Solver; verdicts must agree.
+        let mut s = Session::new(Aig::new(), SolverOptions::default());
+        let a = s.add_input();
+        let b = s.add_input();
+        let c = s.add_input();
+        let mut objectives = Vec::new();
+        let t1 = s.grow(|aig| {
+            let ab = aig.and(a, b);
+            aig.or(ab, c)
+        });
+        objectives.push(t1);
+        let v1 = s.solve_under(&[t1], &Budget::UNLIMITED, &mut NoOpObserver);
+        let t2 = s.grow(|aig| {
+            let nc = aig.and(!c, t1);
+            aig.and(nc, !a)
+        });
+        objectives.push(t2);
+        let v2 = s.solve_under(&[t2], &Budget::UNLIMITED, &mut NoOpObserver);
+
+        let final_aig = s.aig().clone();
+        for (objective, session_verdict) in objectives.iter().zip([&v1, &v2]) {
+            let mut fresh = crate::Solver::new(&final_aig, SolverOptions::default());
+            let fresh_v = fresh.solve_under(&[*objective], &Budget::UNLIMITED, &mut NoOpObserver);
+            match (session_verdict, &fresh_v) {
+                (SubVerdict::Sat(_), SubVerdict::Sat(_)) => {}
+                (a, b) if unsat(a) && unsat(b) => {}
+                (a, b) => panic!("session {a:?} vs fresh {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn budget_aborts_surface_in_session() {
+        // Budget checkpoints fire at decisions, so the instance must need
+        // at least one: an XOR over three inputs branches before SAT.
+        let mut s = Session::new(Aig::new(), SolverOptions::default());
+        let y = s.grow(|aig| {
+            let xs = aig.inputs_n(3);
+            aig.xor_many(&xs)
+        });
+        let token = csat_types::CancelToken::new();
+        token.cancel();
+        let v = s.solve_under(
+            &[y],
+            &Budget::UNLIMITED.with_cancel(token),
+            &mut NoOpObserver,
+        );
+        assert_eq!(v.interrupt(), Some(Interrupt::Cancelled));
+    }
+}

@@ -15,6 +15,14 @@
 //! Learned clauses ("learned gates" in the paper's terminology: OR gates
 //! whose output is known to be 1) live in the kernel arena with two
 //! watched literals, mirroring the implementation note in Section IV-A.
+//!
+//! The circuit-specific search state is split in two: [`CircuitState`]
+//! owns the J-node counters, fanout CSR and implicit-learning tables,
+//! while [`CircuitPropagator`] is the short-lived view pairing that state
+//! with a borrow of the circuit for the duration of one engine call. The
+//! borrow-only view is what lets [`Solver`] reference a caller-owned
+//! [`Aig`] while the incremental [`crate::Session`] owns a growing one —
+//! both drive the identical propagation code.
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
@@ -58,12 +66,12 @@ impl PartialOrd for ClauseCandidate {
     }
 }
 
-/// The circuit-specific backend: AND-gate implication, J-node tracking and
-/// the implicit-learning queues, kept in sync with the kernel trail
-/// through the [`Propagator`] hooks.
+/// The owned half of the circuit backend: AND-gate fanout CSR, J-node
+/// tracking and the implicit-learning queues. Holds no reference to the
+/// circuit itself, so a [`crate::Session`] can own both a growing [`Aig`]
+/// and this state side by side.
 #[derive(Clone, Debug)]
-struct CircuitPropagator<'a> {
-    aig: &'a Aig,
+pub(crate) struct CircuitState {
     jnode_decisions: bool,
     implicit_learning: bool,
     /// AND gates fed by each node, in flat CSR form (the BCP hot loop
@@ -93,6 +101,100 @@ struct CircuitPropagator<'a> {
     group_queue: Vec<(u32, NodeId, bool, NodeId, bool)>,
 }
 
+impl CircuitState {
+    /// Builds the backend state for `aig` under `options`.
+    pub(crate) fn new(aig: &Aig, options: &SolverOptions) -> CircuitState {
+        let n = aig.len();
+        CircuitState {
+            jnode_decisions: options.jnode_decisions,
+            implicit_learning: options.implicit_learning,
+            fanouts: FanoutCsr::build(aig),
+            jnode_flag: vec![false; n],
+            cand_count: vec![0; n],
+            unjustified_total: 0,
+            jheap: ActivityHeap::with_capacity(n),
+            clause_cands: BinaryHeap::new(),
+            clause_queued: Vec::new(),
+            partner: vec![None; n],
+            const_rel: vec![None; n],
+            group_queue: Vec::new(),
+        }
+    }
+
+    /// Grows every per-node table to `n` nodes. New nodes start with no
+    /// J-node involvement and no correlations. The fanout CSR is *not*
+    /// extended here — that is deferred to [`CircuitState::extend_fanouts`]
+    /// so a burst of `Session` additions pays for one rebuild, not many.
+    pub(crate) fn grow_to(&mut self, n: usize) {
+        if n <= self.jnode_flag.len() {
+            return;
+        }
+        self.jnode_flag.resize(n, false);
+        self.cand_count.resize(n, 0);
+        self.partner.resize(n, None);
+        self.const_rel.resize(n, None);
+        self.jheap.grow_to(n);
+    }
+
+    /// Extends the fanout CSR with the gates of `aig` from node index
+    /// `first_new` on (see [`FanoutCsr::extend`]).
+    pub(crate) fn extend_fanouts(&mut self, aig: &Aig, first_new: usize) {
+        self.fanouts.extend(aig, first_new);
+    }
+
+    /// Installs pair correlations as decision-grouping partners and
+    /// constant correlations as value-selection overrides (Algorithm
+    /// IV.1). Shared by [`Solver::set_correlations`] and
+    /// [`crate::Session::set_correlations`].
+    pub(crate) fn install_correlations(&mut self, correlations: &CorrelationResult) {
+        for c in &correlations.correlations {
+            if c.is_constant() {
+                self.const_rel[c.a.index()] = Some(c.relation);
+            } else {
+                // Symmetric grouping: first registration wins.
+                if self.partner[c.a.index()].is_none() {
+                    self.partner[c.a.index()] = Some((c.b, c.relation));
+                }
+                if self.partner[c.b.index()].is_none() {
+                    self.partner[c.b.index()] = Some((c.a, c.relation));
+                }
+            }
+        }
+    }
+}
+
+/// Builds the kernel context that matches [`CircuitState::new`]: one
+/// variable per node, the constant node asserted as a level-0 fact, and —
+/// in plain-VSIDS mode — every signal seeded into the decision heap.
+pub(crate) fn new_context(aig: &Aig, options: &SolverOptions) -> SearchContext<Lit> {
+    let n = aig.len();
+    let mut ctx = SearchContext::new(
+        n,
+        options.search,
+        !options.jnode_decisions,
+        (aig.and_count() / 2).max(2000),
+    );
+    // The constant node is a level-0 fact.
+    let constant = ctx.enqueue(!NodeId::FALSE.lit(), Reason::Axiom);
+    debug_assert!(constant.is_ok());
+    if !options.jnode_decisions {
+        for node in 1..n {
+            ctx.heap_insert(node);
+        }
+    }
+    ctx
+}
+
+/// The circuit-specific backend: a borrow of the circuit paired with a
+/// borrow of the [`CircuitState`], implementing [`Propagator`] for the
+/// duration of one engine call. Constructed on the fly by [`Solver`] and
+/// [`crate::Session`].
+#[derive(Debug)]
+pub(crate) struct CircuitPropagator<'a> {
+    pub(crate) aig: &'a Aig,
+    pub(crate) state: &'a mut CircuitState,
+}
+
 impl CircuitPropagator<'_> {
     /// Applies the implication table to one gate, implying through
     /// [`Reason::External`] with the gate index as the explain token.
@@ -114,7 +216,7 @@ impl CircuitPropagator<'_> {
         // pin values are already in registers, so skip the re-reads a
         // full refresh would do.
         if acts.is_empty() {
-            if self.jnode_decisions {
+            if self.state.jnode_decisions {
                 let now = is_unjustified(vo, va, vb);
                 self.refresh_gate_to(ctx, g, a, b, now);
             }
@@ -144,7 +246,7 @@ impl CircuitPropagator<'_> {
     /// candidate counters and heap. Called whenever one of the gate's pins
     /// changes value.
     fn refresh_gate(&mut self, ctx: &SearchContext<Lit>, g: NodeId, a: Lit, b: Lit) {
-        if !self.jnode_decisions {
+        if !self.state.jnode_decisions {
             return;
         }
         let now = is_unjustified(ctx.value(g.index()), ctx.lit_value(a), ctx.lit_value(b));
@@ -155,23 +257,23 @@ impl CircuitPropagator<'_> {
     /// pin values the caller holds.
     #[inline]
     fn refresh_gate_to(&mut self, ctx: &SearchContext<Lit>, g: NodeId, a: Lit, b: Lit, now: bool) {
-        if now == self.jnode_flag[g.index()] {
+        if now == self.state.jnode_flag[g.index()] {
             return;
         }
-        self.jnode_flag[g.index()] = now;
+        self.state.jnode_flag[g.index()] = now;
         if now {
-            self.unjustified_total += 1;
+            self.state.unjustified_total += 1;
             for lit in [a, b] {
                 let n = lit.node().index();
-                self.cand_count[n] += 1;
+                self.state.cand_count[n] += 1;
                 if ctx.value(n) == UNDEF {
-                    self.jheap.insert(n as u32, ctx.activity());
+                    self.state.jheap.insert(n as u32, ctx.activity());
                 }
             }
         } else {
-            self.unjustified_total -= 1;
+            self.state.unjustified_total -= 1;
             for lit in [a, b] {
-                self.cand_count[lit.node().index()] -= 1;
+                self.state.cand_count[lit.node().index()] -= 1;
             }
         }
     }
@@ -234,11 +336,11 @@ impl CircuitPropagator<'_> {
     }
 
     fn push_clause_candidates(&mut self, ctx: &SearchContext<Lit>, cref: u32, lits: &[Lit]) {
-        self.clause_queued[cref as usize] = true;
+        self.state.clause_queued[cref as usize] = true;
         let priority = self
             .lit_priority(ctx, lits[0])
             .max(self.lit_priority(ctx, lits[1]));
-        self.clause_cands.push(ClauseCandidate {
+        self.state.clause_cands.push(ClauseCandidate {
             priority,
             lit: lits[0],
             cref,
@@ -251,10 +353,10 @@ impl CircuitPropagator<'_> {
             // Highest-activity valid node candidate (a fanin of some
             // unjustified gate).
             let node = loop {
-                match self.jheap.pop(ctx.activity()) {
+                match self.state.jheap.pop(ctx.activity()) {
                     None => break None,
                     Some(v) => {
-                        if ctx.value(v as usize) == UNDEF && self.cand_count[v as usize] > 0 {
+                        if ctx.value(v as usize) == UNDEF && self.state.cand_count[v as usize] > 0 {
                             break Some(v);
                         }
                     }
@@ -264,13 +366,13 @@ impl CircuitPropagator<'_> {
                 .map(|v| ctx.activity()[v as usize].to_bits())
                 .unwrap_or(0);
             // Learned-gate candidates compete under the same VSIDS order.
-            while let Some(&top) = self.clause_cands.peek() {
+            while let Some(&top) = self.state.clause_cands.peek() {
                 if node.is_some() && top.priority <= node_priority {
                     break;
                 }
-                self.clause_cands.pop();
+                self.state.clause_cands.pop();
                 let ClauseCandidate { lit, cref, .. } = top;
-                self.clause_queued[cref as usize] = false;
+                self.state.clause_queued[cref as usize] = false;
                 if ctx.clause_is_deleted(cref) {
                     continue;
                 }
@@ -290,7 +392,7 @@ impl CircuitPropagator<'_> {
                 };
                 // Satisfy the learned gate; put the node candidate back.
                 if let Some(v) = node {
-                    self.jheap.insert(v, ctx.activity());
+                    self.state.jheap.insert(v, ctx.activity());
                 }
                 return Some(self.apply_value_heuristic(free));
             }
@@ -300,8 +402,8 @@ impl CircuitPropagator<'_> {
                 // constant correlation overrides the value.
                 let n = NodeId::from_index(v as usize);
                 let mut chosen: Option<Lit> = None;
-                for &g in self.fanouts.of(n.index()) {
-                    if self.jnode_flag[g.index()] {
+                for &g in self.state.fanouts.of(n.index()) {
+                    if self.state.jnode_flag[g.index()] {
                         if let Node::And(a, b) = self.aig.node(g) {
                             let fl = if a.node() == n { a } else { b };
                             chosen = Some(fl);
@@ -317,7 +419,7 @@ impl CircuitPropagator<'_> {
             }
             // No candidates at all: SAT if the counters agree; otherwise
             // repopulate from a full scan (safety net).
-            if self.unjustified_total == 0 {
+            if self.state.unjustified_total == 0 {
                 return None;
             }
             match self.scan_for_unjustified(ctx) {
@@ -336,10 +438,10 @@ impl CircuitPropagator<'_> {
     /// correlated with 0 is assigned 1 (and vice versa) so the decision is
     /// the one most likely to cause a conflict.
     fn apply_value_heuristic(&self, lit: Lit) -> Lit {
-        if !self.implicit_learning {
+        if !self.state.implicit_learning {
             return lit;
         }
-        match self.const_rel[lit.node().index()] {
+        match self.state.const_rel[lit.node().index()] {
             // s ≈ 0: decide s = 1.
             Some(Relation::Equal) => Lit::new(lit.node(), false),
             // s ≈ 1: decide s = 0.
@@ -379,12 +481,12 @@ impl Propagator for CircuitPropagator<'_> {
         // Gates this node feeds: one contiguous CSR stream. Warm the next
         // gate's node-table line while the current one propagates — the
         // gates of a fanout list are scattered across the node table.
-        let range = self.fanouts.bounds(node.index());
+        let range = self.state.fanouts.bounds(node.index());
         let end = range.end;
         for i in range {
-            let g = self.fanouts.at(i);
+            let g = self.state.fanouts.at(i);
             if i + 1 < end {
-                let next = self.fanouts.at(i + 1);
+                let next = self.state.fanouts.at(i + 1);
                 prefetch_read(&self.aig.nodes()[next.index()]);
             }
             self.propagate_gate(ctx, g)?;
@@ -401,11 +503,11 @@ impl Propagator for CircuitPropagator<'_> {
     /// is stale — and skipped — once its trigger lost the value that
     /// created it or the partner got assigned some other way.
     fn pick_decision(&mut self, ctx: &mut SearchContext<Lit>) -> Option<(Lit, bool)> {
-        if self.implicit_learning {
+        if self.state.implicit_learning {
             let now = ctx.decision_level();
             // FIFO: honor the grouping requests in the order BCP created
             // them (implication order), dropping entries from other levels.
-            let queue = std::mem::take(&mut self.group_queue);
+            let queue = std::mem::take(&mut self.state.group_queue);
             let mut iter = queue.into_iter();
             for (level, trigger, tv, partner, target) in iter.by_ref() {
                 if level != now {
@@ -415,12 +517,12 @@ impl Propagator for CircuitPropagator<'_> {
                 if trigger_live && ctx.value(partner.index()) == UNDEF {
                     // Keep the remaining same-level entries for the next
                     // decision.
-                    self.group_queue = iter.filter(|&(l, ..)| l == now).collect();
+                    self.state.group_queue = iter.filter(|&(l, ..)| l == now).collect();
                     return Some((Lit::new(partner, !target), true));
                 }
             }
         }
-        if self.jnode_decisions {
+        if self.state.jnode_decisions {
             self.pick_jnode_decision(ctx).map(|l| (l, false))
         } else {
             // Plain VSIDS over all signals (the paper's initial C-SAT).
@@ -438,7 +540,7 @@ impl Propagator for CircuitPropagator<'_> {
     }
 
     fn on_solve_start(&mut self, _ctx: &mut SearchContext<Lit>) {
-        self.group_queue.clear();
+        self.state.group_queue.clear();
     }
 
     /// Implicit learning: when a signal is assigned by *implication*
@@ -446,27 +548,27 @@ impl Propagator for CircuitPropagator<'_> {
     /// (BCP)"), queue its correlated partner as the next decision, with
     /// the conflict-prone value.
     fn on_implications(&mut self, ctx: &SearchContext<Lit>, from: usize) {
-        if !self.implicit_learning {
+        if !self.state.implicit_learning {
             return;
         }
         let level = ctx.decision_level();
         for &lit in &ctx.trail()[from..] {
             let node = lit.node();
-            if let Some((p, rel)) = self.partner[node.index()] {
+            if let Some((p, rel)) = self.state.partner[node.index()] {
                 if ctx.value(p.index()) == UNDEF {
                     let value = !lit.is_complemented();
                     let target = match rel {
                         Relation::Equal => !value,
                         Relation::Opposite => value,
                     };
-                    self.group_queue.push((level, node, value, p, target));
+                    self.state.group_queue.push((level, node, value, p, target));
                 }
             }
         }
     }
 
     fn on_backtrack(&mut self, ctx: &SearchContext<Lit>, unassigned: &[Lit]) {
-        if !self.jnode_decisions {
+        if !self.state.jnode_decisions {
             return;
         }
         // Recompute J-node status around every unassigned node and
@@ -476,22 +578,22 @@ impl Propagator for CircuitPropagator<'_> {
             if let Node::And(a, b) = self.aig.node(node) {
                 self.refresh_gate(ctx, node, a, b);
             }
-            for i in self.fanouts.bounds(node.index()) {
-                let g = self.fanouts.at(i);
+            for i in self.state.fanouts.bounds(node.index()) {
+                let g = self.state.fanouts.at(i);
                 if let Node::And(a, b) = self.aig.node(g) {
                     self.refresh_gate(ctx, g, a, b);
                 }
             }
-            if self.cand_count[node.index()] > 0 {
-                self.jheap.insert(node.index() as u32, ctx.activity());
+            if self.state.cand_count[node.index()] > 0 {
+                self.state.jheap.insert(node.index() as u32, ctx.activity());
             }
         }
     }
 
     fn on_learned(&mut self, ctx: &SearchContext<Lit>, cref: u32) {
-        debug_assert_eq!(self.clause_queued.len(), cref as usize);
-        self.clause_queued.push(false);
-        if self.jnode_decisions {
+        debug_assert_eq!(self.state.clause_queued.len(), cref as usize);
+        self.state.clause_queued.push(false);
+        if self.state.jnode_decisions {
             // Learned gates are J-nodes (paper Section IV-A): make their
             // free literals decision candidates.
             let lits: [Lit; 2] = [ctx.clause_lits(cref)[0], ctx.clause_lits(cref)[1]];
@@ -500,8 +602,8 @@ impl Propagator for CircuitPropagator<'_> {
     }
 
     fn on_bump(&mut self, ctx: &SearchContext<Lit>, var: usize) {
-        if self.jnode_decisions {
-            self.jheap.update(var as u32, ctx.activity());
+        if self.state.jnode_decisions {
+            self.state.jheap.update(var as u32, ctx.activity());
         }
     }
 }
@@ -510,7 +612,10 @@ impl Propagator for CircuitPropagator<'_> {
 ///
 /// A solver is constructed over one circuit and can be queried repeatedly;
 /// learned clauses persist across calls (this is what makes the paper's
-/// incremental learn-from-conflict strategy work).
+/// incremental learn-from-conflict strategy work). The circuit itself is
+/// borrowed and fixed — to *grow* the circuit between solves, use the
+/// incremental [`crate::Session`], which owns its netlist and exposes the
+/// same solving entry point.
 ///
 /// # Example
 ///
@@ -529,44 +634,20 @@ impl Propagator for CircuitPropagator<'_> {
 #[derive(Clone, Debug)]
 pub struct Solver<'a> {
     options: SolverOptions,
+    aig: &'a Aig,
     ctx: SearchContext<Lit>,
-    prop: CircuitPropagator<'a>,
+    state: CircuitState,
 }
 
 impl<'a> Solver<'a> {
     /// Builds a solver over the given circuit.
     pub fn new(aig: &'a Aig, options: SolverOptions) -> Solver<'a> {
-        let n = aig.len();
-        let mut ctx = SearchContext::new(
-            n,
-            options.search,
-            !options.jnode_decisions,
-            (aig.and_count() / 2).max(2000),
-        );
-        // The constant node is a level-0 fact.
-        let constant = ctx.enqueue(!NodeId::FALSE.lit(), Reason::Axiom);
-        debug_assert!(constant.is_ok());
-        if !options.jnode_decisions {
-            for node in 1..n {
-                ctx.heap_insert(node);
-            }
-        }
-        let prop = CircuitPropagator {
+        Solver {
+            options,
             aig,
-            jnode_decisions: options.jnode_decisions,
-            implicit_learning: options.implicit_learning,
-            fanouts: FanoutCsr::build(aig),
-            jnode_flag: vec![false; n],
-            cand_count: vec![0; n],
-            unjustified_total: 0,
-            jheap: ActivityHeap::with_capacity(n),
-            clause_cands: BinaryHeap::new(),
-            clause_queued: Vec::new(),
-            partner: vec![None; n],
-            const_rel: vec![None; n],
-            group_queue: Vec::new(),
-        };
-        Solver { options, ctx, prop }
+            ctx: new_context(aig, &options),
+            state: CircuitState::new(aig, &options),
+        }
     }
 
     /// Installs signal correlations for implicit learning.
@@ -576,19 +657,7 @@ impl<'a> Solver<'a> {
     /// Has no observable effect unless
     /// [`SolverOptions::implicit_learning`] is set.
     pub fn set_correlations(&mut self, correlations: &CorrelationResult) {
-        for c in &correlations.correlations {
-            if c.is_constant() {
-                self.prop.const_rel[c.a.index()] = Some(c.relation);
-            } else {
-                // Symmetric grouping: first registration wins.
-                if self.prop.partner[c.a.index()].is_none() {
-                    self.prop.partner[c.a.index()] = Some((c.b, c.relation));
-                }
-                if self.prop.partner[c.b.index()].is_none() {
-                    self.prop.partner[c.b.index()] = Some((c.a, c.relation));
-                }
-            }
-        }
+        self.state.install_correlations(correlations);
     }
 
     /// The solver's statistics so far (cumulative across calls).
@@ -600,7 +669,7 @@ impl<'a> Solver<'a> {
     /// so a caller can rebuild a solver over the same circuit — which is
     /// how the explicit-learning pass recovers from an isolated panic).
     pub fn aig(&self) -> &'a Aig {
-        self.prop.aig
+        self.aig
     }
 
     /// The options this solver was built with.
@@ -653,21 +722,31 @@ impl<'a> Solver<'a> {
     /// [`LitOutOfRange`] if any literal refers to a node outside the
     /// circuit; the solver is left unchanged.
     pub fn add_learned_clause(&mut self, lits: Vec<Lit>) -> Result<(), LitOutOfRange> {
-        ingest_clause(&mut self.ctx, &mut self.prop, lits)
+        let mut prop = CircuitPropagator {
+            aig: self.aig,
+            state: &mut self.state,
+        };
+        ingest_clause(&mut self.ctx, &mut prop, lits)
     }
 
     /// Decides satisfiability of "`objective` can evaluate to 1".
+    ///
+    /// Thin wrapper over [`Solver::solve_under`] with an unlimited budget
+    /// and no observer.
     pub fn solve(&mut self, objective: Lit) -> Verdict {
         self.solve_with_budget(objective, &Budget::UNLIMITED)
     }
 
-    /// Like [`Solver::solve`] with a resource budget.
+    /// Like [`Solver::solve`] with a resource budget. Thin wrapper over
+    /// [`Solver::solve_under`] with no observer.
     pub fn solve_with_budget(&mut self, objective: Lit, budget: &Budget) -> Verdict {
         self.solve_observed(objective, budget, &mut NoOpObserver)
     }
 
     /// Like [`Solver::solve_with_budget`], reporting search events to the
-    /// given [`Observer`].
+    /// given [`Observer`]. Thin wrapper over [`Solver::solve_under`] with
+    /// the objective as the single assumption, collapsing the
+    /// assumption-aware [`SubVerdict`] into a plain [`Verdict`].
     ///
     /// With the default [`NoOpObserver`] this monomorphizes to exactly the
     /// unobserved solve — no event is materialized, no allocation happens.
@@ -675,26 +754,28 @@ impl<'a> Solver<'a> {
     where
         O: Observer + ?Sized,
     {
-        match self.solve_under_observed(&[objective], budget, obs) {
+        match self.solve_under(&[objective], budget, obs) {
             SubVerdict::Sat(model) => Verdict::Sat(model),
             SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_) => Verdict::Unsat,
             SubVerdict::Aborted(reason) => Verdict::Unknown(reason),
         }
     }
 
-    /// Solves under a set of assumption literals with a budget.
+    /// Solves under a set of assumption literals with a budget, reporting
+    /// search events to the given [`Observer`].
     ///
-    /// This is the engine behind both the top-level query (the objective is
-    /// just an assumption) and the explicit-learning sub-problems (paper
-    /// Section V): learned clauses survive the call, and a refuted
-    /// assumption set is reported so the caller can record its negation.
-    pub fn solve_under(&mut self, assumptions: &[Lit], budget: &Budget) -> SubVerdict {
-        self.solve_under_observed(assumptions, budget, &mut NoOpObserver)
-    }
-
-    /// Like [`Solver::solve_under`], reporting search events to the given
-    /// [`Observer`].
-    pub fn solve_under_observed<O>(
+    /// **This is the canonical entry point** — every other `solve*` method
+    /// on this type is a documented thin wrapper around it. It is the
+    /// engine behind the top-level query (the objective is just an
+    /// assumption), the explicit-learning sub-problems (paper Section V)
+    /// and SAT sweeping: learned clauses survive the call, and a refuted
+    /// assumption set is reported as
+    /// [`SubVerdict::UnsatUnderAssumptions`] carrying a failed-assumption
+    /// core (IPASIR `failed()`) so the caller can record its negation.
+    ///
+    /// Pass [`NoOpObserver`] when no telemetry is wanted; the observer
+    /// hooks monomorphize away entirely.
+    pub fn solve_under<O>(
         &mut self,
         assumptions: &[Lit],
         budget: &Budget,
@@ -703,7 +784,11 @@ impl<'a> Solver<'a> {
     where
         O: Observer + ?Sized,
     {
-        match solve_under(&mut self.ctx, &mut self.prop, assumptions, budget, obs) {
+        let mut prop = CircuitPropagator {
+            aig: self.aig,
+            state: &mut self.state,
+        };
+        match solve_under(&mut self.ctx, &mut prop, assumptions, budget, obs) {
             SearchResult::Sat(model) => SubVerdict::Sat(model),
             SearchResult::Unsat => SubVerdict::Unsat,
             SearchResult::UnsatUnderAssumptions(core) => SubVerdict::UnsatUnderAssumptions(core),

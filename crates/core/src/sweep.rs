@@ -26,6 +26,7 @@
 
 use csat_netlist::{Aig, Lit, Node};
 use csat_sim::{find_correlations, Relation, SimulationOptions};
+use csat_telemetry::NoOpObserver;
 
 use crate::options::{Budget, SolverOptions, SubVerdict};
 use crate::solver::Solver;
@@ -112,12 +113,12 @@ pub fn fraig(aig: &Aig, options: &FraigOptions) -> FraigResult {
         // Prove later == target by refuting both difference orientations.
         let l = later.lit();
         let ok1 = matches!(
-            solver.solve_under(&[l, !target], &budget),
+            solver.solve_under(&[l, !target], &budget, &mut NoOpObserver),
             SubVerdict::UnsatUnderAssumptions(_) | SubVerdict::Unsat
         );
         let ok2 = ok1
             && matches!(
-                solver.solve_under(&[!l, target], &budget),
+                solver.solve_under(&[!l, target], &budget, &mut NoOpObserver),
                 SubVerdict::UnsatUnderAssumptions(_) | SubVerdict::Unsat
             );
         if ok2 {
@@ -128,11 +129,11 @@ pub fn fraig(aig: &Aig, options: &FraigOptions) -> FraigResult {
             // re-checking cheaply: a SAT result in either direction is a
             // refutation.
             let sat1 = matches!(
-                solver.solve_under(&[l, !target], &Budget::conflicts(1)),
+                solver.solve_under(&[l, !target], &Budget::conflicts(1), &mut NoOpObserver),
                 SubVerdict::Sat(_)
             );
             let sat2 = matches!(
-                solver.solve_under(&[!l, target], &Budget::conflicts(1)),
+                solver.solve_under(&[!l, target], &Budget::conflicts(1), &mut NoOpObserver),
                 SubVerdict::Sat(_)
             );
             if sat1 || sat2 {

@@ -7,6 +7,7 @@
 
 use csat_core::{Budget, Interrupt, Solver, SolverOptions, SubVerdict, Verdict};
 use csat_netlist::{generators, miter, tseitin, Aig, Lit, NodeId};
+use csat_telemetry::NoOpObserver;
 
 fn tiny_and() -> (Aig, Lit) {
     let mut g = Aig::new();
@@ -76,14 +77,14 @@ fn assumptions_api() {
     let b = g.inputs()[1].lit();
     let mut s = Solver::new(&g, SolverOptions::default());
     // y=1 forces a=1; assuming a=0 with y is contradictory.
-    match s.solve_under(&[y, !a], &Budget::UNLIMITED) {
+    match s.solve_under(&[y, !a], &Budget::UNLIMITED, &mut NoOpObserver) {
         SubVerdict::UnsatUnderAssumptions(core) => {
             assert!(core.contains(&!a));
         }
         other => panic!("{other:?}"),
     }
     // Consistent assumptions.
-    match s.solve_under(&[y, a, b], &Budget::UNLIMITED) {
+    match s.solve_under(&[y, a, b], &Budget::UNLIMITED, &mut NoOpObserver) {
         SubVerdict::Sat(model) => assert_eq!(model, vec![true, true]),
         other => panic!("{other:?}"),
     }
@@ -94,7 +95,7 @@ fn learned_budget_aborts() {
     // A miter instance guaranteed to conflict a lot.
     let m = miter::self_miter(&generators::array_multiplier(4), Default::default());
     let mut s = Solver::new(&m.aig, SolverOptions::default());
-    let outcome = s.solve_under(&[m.objective], &Budget::learned(1));
+    let outcome = s.solve_under(&[m.objective], &Budget::learned(1), &mut NoOpObserver);
     // With a 1-clause budget the solve cannot complete (the instance
     // needs many conflicts) — unless it got refuted instantly.
     assert!(
@@ -353,7 +354,7 @@ fn conflict_analysis_above_n_vars_levels() {
         let mut s = Solver::new(&aig, opts);
         let mut assumptions = vec![a; 10];
         assumptions.push(g);
-        let v = s.solve_under(&assumptions, &Budget::UNLIMITED);
+        let v = s.solve_under(&assumptions, &Budget::UNLIMITED, &mut NoOpObserver);
         assert!(matches!(
             v,
             SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_)
@@ -386,7 +387,7 @@ fn duplicated_assumptions_deep_levels() {
             assumptions.extend(vec![a; k]);
             assumptions.extend(vec![c; k]);
             assumptions.push(v);
-            let _ = s.solve_under(&assumptions, &Budget::UNLIMITED);
+            let _ = s.solve_under(&assumptions, &Budget::UNLIMITED, &mut NoOpObserver);
         }
     }
 }

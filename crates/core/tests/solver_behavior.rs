@@ -2,6 +2,7 @@
 //! every direction, assumption handling, budget semantics, restart policy,
 //! clause-database behavior, and decision-mode differences.
 
+use csat_telemetry::NoOpObserver;
 use std::time::Duration;
 
 use csat_core::{Budget, Interrupt, Solver, SolverOptions, SubVerdict, Verdict};
@@ -18,17 +19,17 @@ fn gate_conflicts_in_all_directions() {
     let mut s = Solver::new(&g, SolverOptions::default());
     // Forward: a=0 forces y=0; assuming y=1 with a=0 is UNSAT.
     assert!(matches!(
-        s.solve_under(&[!a, y], &Budget::UNLIMITED),
+        s.solve_under(&[!a, y], &Budget::UNLIMITED, &mut NoOpObserver),
         SubVerdict::UnsatUnderAssumptions(_)
     ));
     // Backward: y=1 forces a=1 and b=1.
-    match s.solve_under(&[y], &Budget::UNLIMITED) {
+    match s.solve_under(&[y], &Budget::UNLIMITED, &mut NoOpObserver) {
         SubVerdict::Sat(model) => assert_eq!(model, vec![true, true]),
         other => panic!("{other:?}"),
     }
     // Sideways: y=0, a=1 forces b=0; with b=1 assumed it is UNSAT.
     assert!(matches!(
-        s.solve_under(&[!y, a, b], &Budget::UNLIMITED),
+        s.solve_under(&[!y, a, b], &Budget::UNLIMITED, &mut NoOpObserver),
         SubVerdict::UnsatUnderAssumptions(_)
     ));
 }
@@ -51,7 +52,7 @@ fn deep_and_chain_propagates_both_ways() {
     // And y=0 with 31 inputs true forces the last one false.
     let mut assumptions: Vec<Lit> = xs[..31].to_vec();
     assumptions.push(!acc);
-    match s.solve_under(&assumptions, &Budget::UNLIMITED) {
+    match s.solve_under(&assumptions, &Budget::UNLIMITED, &mut NoOpObserver) {
         SubVerdict::Sat(model) => assert!(!model[31]),
         other => panic!("{other:?}"),
     }
@@ -64,11 +65,11 @@ fn assumption_order_does_not_change_verdicts() {
     let gt = g.output("gt").expect("gt");
     let mut s = Solver::new(&g, SolverOptions::default());
     let fwd = matches!(
-        s.solve_under(&[lt, gt], &Budget::UNLIMITED),
+        s.solve_under(&[lt, gt], &Budget::UNLIMITED, &mut NoOpObserver),
         SubVerdict::UnsatUnderAssumptions(_) | SubVerdict::Unsat
     );
     let rev = matches!(
-        s.solve_under(&[gt, lt], &Budget::UNLIMITED),
+        s.solve_under(&[gt, lt], &Budget::UNLIMITED, &mut NoOpObserver),
         SubVerdict::UnsatUnderAssumptions(_) | SubVerdict::Unsat
     );
     assert!(fwd && rev);
@@ -82,7 +83,7 @@ fn repeated_assumption_literals_are_fine() {
     let y = g.or(a, b);
     g.set_output("y", y);
     let mut s = Solver::new(&g, SolverOptions::default());
-    match s.solve_under(&[y, y, a, a], &Budget::UNLIMITED) {
+    match s.solve_under(&[y, y, a, a], &Budget::UNLIMITED, &mut NoOpObserver) {
         SubVerdict::Sat(model) => assert!(model[0]),
         other => panic!("{other:?}"),
     }
@@ -94,7 +95,7 @@ fn contradictory_assumptions_name_the_culprit() {
     let a = g.input();
     g.set_output("a", a);
     let mut s = Solver::new(&g, SolverOptions::default());
-    match s.solve_under(&[a, !a], &Budget::UNLIMITED) {
+    match s.solve_under(&[a, !a], &Budget::UNLIMITED, &mut NoOpObserver) {
         SubVerdict::UnsatUnderAssumptions(core) => {
             assert!(core.contains(&!a));
         }
@@ -114,7 +115,7 @@ fn time_budget_aborts_hard_instance() {
 fn conflict_budget_aborts_hard_instance() {
     let m = miter::self_miter(&generators::array_multiplier(10), Default::default());
     let mut s = Solver::new(&m.aig, SolverOptions::default());
-    let outcome = s.solve_under(&[m.objective], &Budget::conflicts(3));
+    let outcome = s.solve_under(&[m.objective], &Budget::conflicts(3), &mut NoOpObserver);
     assert_eq!(outcome, SubVerdict::Aborted(Interrupt::Conflicts));
     assert!(s.stats().conflicts <= 4);
 }

@@ -55,9 +55,11 @@ pub mod instances;
 pub mod oracle;
 pub mod runner;
 pub mod shrink;
+pub mod trajectory;
 
 pub use corpus::{write_repro, Repro};
 pub use instances::{generate, Instance, InstanceKind};
 pub use oracle::{check_instance, oracles, InstanceReport, Matrix, Oracle, OracleOutcome};
 pub use runner::{run, FuzzOptions, FuzzSummary};
 pub use shrink::shrink;
+pub use trajectory::{check_trajectory, TrajectoryKind, TrajectoryReport};

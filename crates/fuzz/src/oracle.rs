@@ -41,6 +41,12 @@ pub enum Matrix {
     /// configuration, and the CNF solver on the raw formula (CNF-born
     /// instances only).
     Full,
+    /// Incremental-trajectory differential testing: random interleavings
+    /// of grow/push/assume/pop/solve on a long-lived session, checked
+    /// against a fresh monolithic solver at every solve point (see
+    /// [`crate::trajectory`]). This matrix drives sessions directly
+    /// instead of the per-instance oracle list.
+    Incremental,
 }
 
 impl Matrix {
@@ -49,6 +55,7 @@ impl Matrix {
         match self {
             Matrix::Quick => "quick",
             Matrix::Full => "full",
+            Matrix::Incremental => "incremental",
         }
     }
 
@@ -57,6 +64,7 @@ impl Matrix {
         match s {
             "quick" => Some(Matrix::Quick),
             "full" => Some(Matrix::Full),
+            "incremental" => Some(Matrix::Incremental),
             _ => None,
         }
     }
@@ -114,7 +122,14 @@ fn oracle(name: &'static str, spec: Spec) -> Oracle {
 }
 
 /// Builds the oracle list of a matrix.
+///
+/// [`Matrix::Incremental`] has no per-instance oracle list — the runner
+/// drives [`crate::trajectory::check_trajectory`] directly — so it maps
+/// to an empty vector.
 pub fn oracles(matrix: Matrix) -> Vec<Oracle> {
+    if matrix == Matrix::Incremental {
+        return Vec::new();
+    }
     let mut list = vec![
         oracle(
             "jnode",

@@ -24,6 +24,7 @@ use crate::corpus::{write_repro, Repro};
 use crate::instances::{generate, Instance};
 use crate::oracle::{check_instance, oracles, Matrix};
 use crate::shrink::shrink;
+use crate::trajectory::check_trajectory;
 
 /// Configuration of one fuzzing run.
 #[derive(Clone, Debug)]
@@ -107,7 +108,16 @@ fn mix(base: u64, i: u64) -> u64 {
 /// Runs the sweep; JSONL goes to `out` per [`FuzzOptions::json`].
 ///
 /// IO errors from `out` or the corpus directory abort the run.
+///
+/// Under [`Matrix::Incremental`] each iteration is one random
+/// incremental-session *trajectory* instead of one instance: the summary's
+/// `sat`/`unsat`/`unknown_only` count cross-checked solve points, and a
+/// disagreeing trajectory replays from its seed alone (no corpus repro is
+/// written — the trajectory IS the repro).
 pub fn run(options: &FuzzOptions, out: &mut dyn Write) -> io::Result<FuzzSummary> {
+    if options.matrix == Matrix::Incremental {
+        return run_trajectories(options, out);
+    }
     let matrix = oracles(options.matrix);
     let mut budget =
         Budget::conflicts(options.conflict_budget).with_memory_limit(options.mem_limit);
@@ -184,6 +194,83 @@ pub fn run(options: &FuzzOptions, out: &mut dyn Write) -> io::Result<FuzzSummary
                 &description,
             )?;
             summary.repros.push(repro);
+        }
+    }
+    summary.elapsed = started.elapsed();
+
+    let mut row = JsonObject::new();
+    row.field_str("type", "fuzz_summary")
+        .field_u64("seed", options.seed)
+        .field_u64("iters", summary.iters_run)
+        .field_str("matrix", options.matrix.name())
+        .field_u64("sat", summary.sat)
+        .field_u64("unsat", summary.unsat)
+        .field_u64("unknown_only", summary.unknown_only)
+        .field_u64("disagreements", summary.disagreements)
+        .field_bool("cancelled", summary.cancelled)
+        .field_f64("seconds", summary.elapsed.as_secs_f64());
+    writeln!(out, "{}", row.finish())?;
+    Ok(summary)
+}
+
+/// The [`Matrix::Incremental`] sweep: one session trajectory per
+/// iteration, emitting the same JSONL row shape as the instance sweep
+/// (`type`, seed/config fields, a `verdicts` array with one
+/// `session=V/fresh=V` label per solve point, `disagreement`, `seconds`,
+/// embedded `metrics`).
+fn run_trajectories(options: &FuzzOptions, out: &mut dyn Write) -> io::Result<FuzzSummary> {
+    let mut budget =
+        Budget::conflicts(options.conflict_budget).with_memory_limit(options.mem_limit);
+    if let Some(token) = &options.cancel {
+        budget = budget.with_cancel(token.clone());
+    }
+    let started = Instant::now();
+    let mut summary = FuzzSummary::default();
+    for i in 0..options.iters {
+        if let Some(cap) = options.time_budget {
+            if started.elapsed() >= cap {
+                break;
+            }
+        }
+        if let Some(token) = &options.cancel {
+            if token.is_cancelled() {
+                summary.cancelled = true;
+                break;
+            }
+        }
+        let trajectory_seed = mix(options.seed, i);
+        let mut recorder = MetricsRecorder::default();
+        let trajectory_started = Instant::now();
+        let report = check_trajectory(trajectory_seed, &budget, &mut recorder);
+        let seconds = trajectory_started.elapsed().as_secs_f64();
+        summary.iters_run += 1;
+        summary.sat += report.sat;
+        summary.unsat += report.unsat;
+        summary.unknown_only += report.unknown;
+        if report.disagreement.is_some() {
+            summary.disagreements += 1;
+        }
+
+        if options.json {
+            let mut row = JsonObject::new();
+            row.field_str("type", "fuzz")
+                .field_u64("iter", i)
+                .field_u64("seed", trajectory_seed)
+                .field_str("kind", report.kind.name())
+                .field_str("matrix", options.matrix.name())
+                .field_u64("steps", report.steps)
+                .field_u64("solves", report.solves)
+                .field_str_array("verdicts", &report.labels)
+                .field_bool("disagreement", report.disagreement.is_some())
+                .field_f64("seconds", seconds)
+                .field_raw("metrics", &recorder.to_json());
+            writeln!(out, "{}", row.finish())?;
+        }
+        if let Some(description) = report.disagreement {
+            eprintln!(
+                "c trajectory disagreement (seed {trajectory_seed}, {}): {description}",
+                report.kind.name()
+            );
         }
     }
     summary.elapsed = started.elapsed();

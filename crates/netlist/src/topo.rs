@@ -122,6 +122,65 @@ impl FanoutCsr {
         FanoutCsr { starts, data }
     }
 
+    /// Extends the adjacency in place after `aig` grew: nodes
+    /// `first_new..aig.len()` are new, and only gates in that range add
+    /// edges (an AIG is append-ordered, so older gates cannot feed newer
+    /// nodes). The result is identical to rebuilding from scratch —
+    /// per-node gate order stays ascending because every new gate index
+    /// exceeds every old one — but costs O(nodes + edges) with no
+    /// re-traversal of the old gates.
+    ///
+    /// This is what lets an incremental session append gates between
+    /// solves without rebuilding BCP's hottest read-only structure.
+    pub fn extend(&mut self, aig: &Aig, first_new: usize) {
+        let n = aig.len();
+        let old_n = self.starts.len() - 1;
+        debug_assert!(first_new <= old_n && old_n <= n);
+        if n == old_n && first_new == old_n {
+            return;
+        }
+        // Pass 1: per-node counts = old counts + edges from new gates.
+        let mut starts = vec![0u32; n + 1];
+        for (count, w) in starts[1..=old_n].iter_mut().zip(self.starts.windows(2)) {
+            *count = w[1] - w[0];
+        }
+        for node in &aig.nodes()[first_new..] {
+            if let Node::And(a, b) = node {
+                starts[a.node().index() + 1] += 1;
+                if b.node() != a.node() {
+                    starts[b.node().index() + 1] += 1;
+                }
+            }
+        }
+        for i in 1..=n {
+            starts[i] += starts[i - 1];
+        }
+        // Pass 2: copy each node's old run, then append its new edges.
+        let mut cursor = starts.clone();
+        let mut data = vec![NodeId::FALSE; starts[n] as usize];
+        for (v, cur) in cursor.iter_mut().enumerate().take(old_n) {
+            let old = self.starts[v] as usize..self.starts[v + 1] as usize;
+            let dst = *cur as usize;
+            data[dst..dst + old.len()].copy_from_slice(&self.data[old.clone()]);
+            *cur += old.len() as u32;
+        }
+        for (i, node) in aig.nodes().iter().enumerate().skip(first_new) {
+            if let Node::And(a, b) = node {
+                let id = NodeId::from_index(i);
+                let ca = &mut cursor[a.node().index()];
+                data[*ca as usize] = id;
+                *ca += 1;
+                if b.node() != a.node() {
+                    let cb = &mut cursor[b.node().index()];
+                    data[*cb as usize] = id;
+                    *cb += 1;
+                }
+            }
+        }
+        self.starts = starts;
+        self.data = data;
+    }
+
     /// The AND gates fed by node `n`, in ascending gate-index order.
     #[inline]
     pub fn of(&self, n: usize) -> &[NodeId] {
@@ -252,6 +311,47 @@ mod tests {
             for (k, j) in bounds.enumerate() {
                 assert_eq!(csr.at(j), list[k]);
             }
+        }
+    }
+
+    #[test]
+    fn fanout_csr_extend_matches_full_rebuild() {
+        // Build a base circuit, snapshot its CSR, grow the circuit with
+        // more inputs and gates (including reconvergence onto old nodes),
+        // and check the incremental extension equals a scratch build.
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let l = g.and(a, b);
+        let r = g.and(a, !b);
+        let mut csr = FanoutCsr::build(&g);
+        let first_new = g.len();
+
+        let c = g.input();
+        let x = g.and(l, c); // fans out an old node
+        let y = g.and(r, x); // mixes old and new
+        let _z = g.and_fresh(y, y); // duplicate-fanin gate (single edge)
+        let _w = g.and(a, c); // more reconvergence on the oldest input
+        csr.extend(&g, first_new);
+
+        let fresh = FanoutCsr::build(&g);
+        for i in 0..g.len() {
+            assert_eq!(csr.of(i), fresh.of(i), "node {i}");
+        }
+
+        // Growing by inputs only (no new gates) still covers the new
+        // nodes with empty fanout lists.
+        let first_new = g.len();
+        let d = g.input();
+        csr.extend(&g, first_new);
+        assert!(csr.of(d.node().index()).is_empty());
+        assert_eq!(csr.bounds(d.node().index()).len(), 0);
+
+        // A no-growth extend is a no-op.
+        csr.extend(&g, g.len());
+        let fresh = FanoutCsr::build(&g);
+        for i in 0..g.len() {
+            assert_eq!(csr.of(i), fresh.of(i), "node {i}");
         }
     }
 

@@ -389,6 +389,88 @@ impl<L: SearchLit> SearchContext<L> {
         &self.options
     }
 
+    /// Grows the search space by one fresh, unassigned variable and
+    /// returns its index — the kernel half of adding a gate or CNF
+    /// variable to a live incremental session.
+    ///
+    /// Every per-variable table (values, assignment records, phases,
+    /// activities, both watch lists, the analysis stamps and the decision
+    /// heap) is extended in place; existing state — the trail, the learned
+    /// arena, saved phases and VSIDS activities — is untouched, which is
+    /// exactly what lets a session retain its learning across growth.
+    /// When the kernel maintains its own decision heap the new variable is
+    /// queued immediately.
+    ///
+    /// Must be called at decision level 0 (sessions reset to root before
+    /// mutating the instance).
+    pub fn add_variable(&mut self) -> usize {
+        debug_assert_eq!(self.decision_level(), 0, "grow only at the root level");
+        let var = self.n_vars;
+        self.n_vars += 1;
+        self.values.push(UNDEF);
+        self.assign.push(AssignInfo::UNASSIGNED);
+        self.phases.push(false);
+        self.activity.push(0.0);
+        self.seen_stamp.push(0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow_to(self.n_vars);
+        if self.maintain_heap {
+            self.heap.insert(var as u32, &self.activity);
+        }
+        var
+    }
+
+    /// Rewinds the propagation queue to the start of the trail, so the
+    /// next [`crate::propagate`] replays every standing assignment through
+    /// the constraint set. Sessions call this after appending clauses or
+    /// gates mid-life: replaying the level-0 trail through the new
+    /// constraints either confirms them (enqueue of an already-true
+    /// literal is a no-op), extends the root trail, or surfaces a root
+    /// conflict — no watcher surgery needed.
+    pub fn rewind_propagation(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0, "replay only at the root level");
+        self.qhead = 0;
+    }
+
+    /// Deletes learned clauses that are satisfied by the root-level trail
+    /// (a literal permanently true at level 0), returning how many were
+    /// dropped. Pinned clauses (ingested cores), binaries (their watchers
+    /// carry no deletion check by design) and locked clauses (the reason
+    /// of a standing assignment) are kept. Must be called at decision
+    /// level 0; sessions run it between solves so retained state does not
+    /// accumulate dead weight.
+    pub fn simplify_satisfied_at_root(&mut self) -> u64 {
+        debug_assert_eq!(self.decision_level(), 0, "simplify only at the root level");
+        let mut dropped = 0u64;
+        for cref in 0..self.headers.len() as u32 {
+            let h = self.headers[cref as usize];
+            if h.is_deleted() || h.is_pinned() || h.len <= 2 {
+                continue;
+            }
+            let lits = h.start as usize..(h.start + h.len) as usize;
+            let first = self.arena[lits.start];
+            let locked = self.lit_value(first) == TRUE
+                && self.assign[first.var_index()].reason.unpack() == Reason::Learned(cref);
+            if locked {
+                continue;
+            }
+            let satisfied = self.arena[lits.clone()]
+                .iter()
+                .any(|&l| self.lit_value(l) == TRUE);
+            if satisfied {
+                self.delete_clause(cref);
+                self.stats.deleted_clauses += 1;
+                self.stats.learnt_clauses -= 1;
+                dropped += 1;
+            }
+        }
+        if dropped > 0 {
+            self.maybe_compact();
+        }
+        dropped
+    }
+
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
         self.n_vars

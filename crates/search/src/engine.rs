@@ -115,8 +115,10 @@ pub enum SearchResult<L> {
     Sat(Vec<bool>),
     /// Unsatisfiable regardless of the assumptions.
     Unsat,
-    /// Unsatisfiable under the assumptions; the returned literals are the
-    /// assumption prefix up to and including the refuted one.
+    /// Unsatisfiable under the assumptions; the returned literals are a
+    /// failed-assumption core (IPASIR `failed()`): the refuted assumption
+    /// plus the earlier assumptions whose propagation forced its negation.
+    /// Negating the core yields a clause implied by the instance alone.
     UnsatUnderAssumptions(Vec<L>),
     /// A budget ran out (or the solve was cancelled) before an answer.
     Aborted(Interrupt),
@@ -221,8 +223,8 @@ where
             match ctx.lit_value(p) {
                 TRUE => ctx.push_decision_level(),
                 FALSE => {
-                    let upto = ctx.decision_level() as usize;
-                    return SearchResult::UnsatUnderAssumptions(assumptions[..=upto].to_vec());
+                    let core = analyze_final(ctx, prop, p);
+                    return SearchResult::UnsatUnderAssumptions(core);
                 }
                 _ => {
                     ctx.push_decision_level();
@@ -399,6 +401,61 @@ fn propagate_learned<L: SearchLit>(
     }
     ctx.watches[falsified.code()] = watch_list;
     result
+}
+
+/// Computes the failed-assumption core when assumption `p` turns out
+/// false: `p` itself plus the subset of earlier assumptions whose
+/// propagation forced `!p` (IPASIR `failed()`).
+///
+/// MiniSat's `analyzeFinal`, adapted to the kernel: mark `p`'s variable
+/// seen, then walk the above-root trail backwards, expanding the reason
+/// clause of every seen variable. A seen *decision* is an earlier
+/// assumption (every decision level open while assumptions are still being
+/// asserted is an assumption level) and joins the core in asserted form.
+/// When `!p` already holds at level 0 the core is `{p}` alone.
+fn analyze_final<P: Propagator>(
+    ctx: &mut SearchContext<P::Lit>,
+    prop: &mut P,
+    p: P::Lit,
+) -> Vec<P::Lit> {
+    let mut core = vec![p];
+    if ctx.trail_lim.is_empty() {
+        return core;
+    }
+    ctx.seen_epoch += 1;
+    let epoch = ctx.seen_epoch;
+    ctx.seen_stamp[p.var_index()] = epoch;
+    let mut reason_buf = std::mem::take(&mut ctx.analyze_reason_buf);
+    for i in (ctx.trail_lim[0]..ctx.trail.len()).rev() {
+        let q = ctx.trail[i];
+        let v = q.var_index();
+        if ctx.seen_stamp[v] != epoch {
+            continue;
+        }
+        match ctx.assign[v].reason.unpack() {
+            Reason::Decision => core.push(q),
+            Reason::Axiom => {}
+            reason => {
+                reason_buf.clear();
+                reason_false_lits(ctx, prop, q, reason, &mut reason_buf);
+                for &l in &reason_buf {
+                    if ctx.assign[l.var_index()].level > 0 {
+                        ctx.seen_stamp[l.var_index()] = epoch;
+                    }
+                }
+            }
+        }
+    }
+    ctx.analyze_reason_buf = reason_buf;
+    core
+}
+
+/// Backtracks to decision level 0 without starting a solve — the explicit
+/// session entry point for mutating a live instance (adding gates,
+/// clauses or variables requires a quiet root state). Equivalent to
+/// [`backtrack`]`(ctx, prop, 0)`.
+pub fn reset_to_root<P: Propagator>(ctx: &mut SearchContext<P::Lit>, prop: &mut P) {
+    backtrack(ctx, prop, 0);
 }
 
 /// Literals (all currently false) that together with `of` form the

@@ -25,6 +25,15 @@ impl ActivityHeap {
         }
     }
 
+    /// Extends the variable range to `0..n`; new variables start outside
+    /// the heap. Existing entries and positions are untouched, so this is
+    /// safe to call between solves of an incremental session.
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.position.len() {
+            self.position.resize(n, NOT_IN_HEAP);
+        }
+    }
+
     /// Number of variables currently in the heap.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -40,7 +40,9 @@ mod prefetch;
 mod restart;
 
 pub use context::{Conflict, LitOutOfRange, Reason, SearchContext, SearchLit, FALSE, TRUE, UNDEF};
-pub use engine::{backtrack, ingest_clause, propagate, solve_under, Propagator, SearchResult};
+pub use engine::{
+    backtrack, ingest_clause, propagate, reset_to_root, solve_under, Propagator, SearchResult,
+};
 pub use heap::ActivityHeap;
 pub use prefetch::prefetch_read;
 pub use restart::luby;

@@ -135,6 +135,25 @@ pub enum SolverEvent {
         /// Equivalence classes alive after refinement.
         classes: u64,
     },
+    /// An incremental session pushed an assumption scope; `depth` is the
+    /// scope-stack depth after the push.
+    SessionPush {
+        /// Scope-stack depth after the push.
+        depth: u32,
+    },
+    /// An incremental session popped an assumption scope; `depth` is the
+    /// scope-stack depth after the pop.
+    SessionPop {
+        /// Scope-stack depth after the pop.
+        depth: u32,
+    },
+    /// An incremental session is starting a solve with `clauses` learned
+    /// clauses retained from earlier calls (after root-level
+    /// simplification) — the reuse the session API exists to enable.
+    ClausesRetained {
+        /// Live learned clauses carried into this solve.
+        clauses: u64,
+    },
 }
 
 /// Observer hook for solver events.
@@ -216,6 +235,9 @@ mod tests {
                 patterns: 256,
                 classes: 7,
             },
+            SolverEvent::SessionPush { depth: 1 },
+            SolverEvent::SessionPop { depth: 0 },
+            SolverEvent::ClausesRetained { clauses: 42 },
         ] {
             obs.record(event);
         }

@@ -144,6 +144,13 @@ pub struct MetricsRecorder {
     pub sim_patterns: u64,
     /// Equivalence classes alive after the last observed round.
     pub sim_classes: u64,
+    /// Assumption scopes pushed on incremental sessions.
+    pub session_pushes: u64,
+    /// Assumption scopes popped on incremental sessions.
+    pub session_pops: u64,
+    /// Learned clauses retained at the start of the most recent session
+    /// solve (the incremental-reuse gauge).
+    pub clauses_retained: u64,
     /// Depth (decision level) of every decision.
     pub decision_depth: Histogram,
     /// Back-jump distance of every conflict.
@@ -194,6 +201,9 @@ impl Observer for MetricsRecorder {
                 self.sim_patterns += patterns;
                 self.sim_classes = classes;
             }
+            SolverEvent::SessionPush { .. } => self.session_pushes += 1,
+            SolverEvent::SessionPop { .. } => self.session_pops += 1,
+            SolverEvent::ClausesRetained { clauses } => self.clauses_retained = clauses,
         }
     }
 }
@@ -230,7 +240,10 @@ impl MetricsRecorder {
             .field_u64("subproblems_panicked", self.subproblems_panicked)
             .field_u64("sim_rounds", self.sim_rounds)
             .field_u64("sim_patterns", self.sim_patterns)
-            .field_u64("sim_classes", self.sim_classes);
+            .field_u64("sim_classes", self.sim_classes)
+            .field_u64("session_pushes", self.session_pushes)
+            .field_u64("session_pops", self.session_pops)
+            .field_u64("clauses_retained", self.clauses_retained);
         for reason in Interrupt::ALL {
             let n = self.exhausted(reason);
             if n != 0 {
@@ -323,6 +336,10 @@ mod tests {
             patterns: 256,
             classes: 5,
         });
+        m.record(SolverEvent::SessionPush { depth: 1 });
+        m.record(SolverEvent::SessionPush { depth: 2 });
+        m.record(SolverEvent::SessionPop { depth: 1 });
+        m.record(SolverEvent::ClausesRetained { clauses: 17 });
         assert_eq!(m.decisions, 2);
         assert_eq!(m.grouped_decisions, 1);
         assert_eq!(m.conflicts, 1);
@@ -338,6 +355,10 @@ mod tests {
         assert_eq!(m.subproblems_refuted, 1);
         assert_eq!(m.sim_patterns, 256);
         assert_eq!(m.sim_classes, 5);
+        assert_eq!(m.session_pushes, 2);
+        assert_eq!(m.session_pops, 1);
+        assert_eq!(m.clauses_retained, 17);
+        assert!(m.counters_json().contains("\"session_pushes\": 2"));
     }
 
     #[test]

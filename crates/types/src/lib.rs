@@ -532,24 +532,107 @@ impl Verdict {
             _ => None,
         }
     }
+
+    /// The value of one literal in the satisfying model, without cloning
+    /// the assignment: `Some(value)` for [`Verdict::Sat`], `None`
+    /// otherwise (or when the literal indexes past the model).
+    ///
+    /// The literal must use the model's indexing: CNF models are indexed
+    /// by variable, circuit models by primary-input ordinal — so this
+    /// reads naturally for CNF verdicts, while circuit callers wanting
+    /// node-level values should query a live session's `value` instead.
+    pub fn value<L: ModelLit>(&self, lit: L) -> Option<bool> {
+        match self {
+            Verdict::Sat(model) => model
+                .get(lit.model_index())
+                .map(|&v| v ^ lit.model_negated()),
+            _ => None,
+        }
+    }
+}
+
+/// A literal that can index a model vector: a dense variable index plus a
+/// sign. Implemented for circuit literals (`csat_netlist::Lit`, node
+/// index) and CNF literals (`csat_netlist::cnf::Lit`, variable index).
+pub trait ModelLit: Copy {
+    /// Dense index into the model vector.
+    fn model_index(self) -> usize;
+    /// True when the literal is negated (the model value is flipped).
+    fn model_negated(self) -> bool;
+}
+
+impl ModelLit for Lit {
+    #[inline]
+    fn model_index(self) -> usize {
+        self.node().index()
+    }
+
+    #[inline]
+    fn model_negated(self) -> bool {
+        self.is_complemented()
+    }
+}
+
+impl ModelLit for csat_netlist::cnf::Lit {
+    #[inline]
+    fn model_index(self) -> usize {
+        self.var().index()
+    }
+
+    #[inline]
+    fn model_negated(self) -> bool {
+        self.is_negative()
+    }
 }
 
 /// Result of an assumption-based sub-problem solve.
+///
+/// Generic over the literal type so both backends can report
+/// failed-assumption cores: the circuit solver uses the default
+/// `SubVerdict<csat_netlist::Lit>`, the CNF solver
+/// `SubVerdict<csat_netlist::cnf::Lit>`.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SubVerdict {
-    /// Satisfiable under the assumptions; model over the primary inputs.
+pub enum SubVerdict<L = Lit> {
+    /// Satisfiable under the assumptions; model over the primary inputs
+    /// (circuit) or variables (CNF).
     Sat(Vec<bool>),
     /// Unsatisfiable regardless of the assumptions.
     Unsat,
     /// Unsatisfiable under the assumptions; the returned literals are a
-    /// subset of the assumptions whose conjunction is refuted.
-    UnsatUnderAssumptions(Vec<Lit>),
+    /// failed-assumption core (IPASIR `failed()`): a subset of the
+    /// assumptions whose conjunction is refuted. Negating the core yields
+    /// a clause implied by the instance alone, so callers can minimize
+    /// assumption sets without re-solving.
+    UnsatUnderAssumptions(Vec<L>),
     /// A budget ran out (this is the normal way an explicit-learning
     /// sub-problem ends); the reason says which limit.
     Aborted(Interrupt),
 }
 
-impl SubVerdict {
+impl<L> SubVerdict<L> {
+    /// True for [`SubVerdict::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SubVerdict::Sat(_))
+    }
+
+    /// True for [`SubVerdict::Unsat`] and
+    /// [`SubVerdict::UnsatUnderAssumptions`] — both are definitive "no"
+    /// answers for the sub-problem as posed.
+    pub fn is_unsat(&self) -> bool {
+        matches!(
+            self,
+            SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_)
+        )
+    }
+
+    /// The satisfying model, when there is one.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SubVerdict::Sat(model) => Some(model),
+            _ => None,
+        }
+    }
+
     /// Why the sub-solve stopped, when it was aborted.
     pub fn interrupt(&self) -> Option<Interrupt> {
         match self {
@@ -557,10 +640,19 @@ impl SubVerdict {
             _ => None,
         }
     }
+
+    /// The failed-assumption core (IPASIR `failed()`), when the solve
+    /// ended [`SubVerdict::UnsatUnderAssumptions`].
+    pub fn failed(&self) -> Option<&[L]> {
+        match self {
+            SubVerdict::UnsatUnderAssumptions(core) => Some(core),
+            _ => None,
+        }
+    }
 }
 
-impl From<SubVerdict> for Verdict {
-    fn from(sub: SubVerdict) -> Verdict {
+impl<L> From<SubVerdict<L>> for Verdict {
+    fn from(sub: SubVerdict<L>) -> Verdict {
         match sub {
             SubVerdict::Sat(model) => Verdict::Sat(model),
             SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_) => Verdict::Unsat,
@@ -711,24 +803,51 @@ mod tests {
     }
 
     #[test]
+    fn verdict_value_reads_single_literals() {
+        use csat_netlist::cnf;
+        let verdict = Verdict::Sat(vec![true, false]);
+        let a = cnf::Var(0).positive();
+        let b = cnf::Var(1).positive();
+        assert_eq!(verdict.value(a), Some(true));
+        assert_eq!(verdict.value(!a), Some(false));
+        assert_eq!(verdict.value(b), Some(false));
+        assert_eq!(verdict.value(!b), Some(true));
+        // Out-of-range literals read as None rather than panicking.
+        assert_eq!(verdict.value(cnf::Var(7).positive()), None);
+        assert_eq!(Verdict::Unsat.value(a), None);
+        assert_eq!(Verdict::Unknown(Interrupt::Timeout).value(a), None);
+    }
+
+    #[test]
     fn subverdict_converts_to_verdict() {
         assert_eq!(
-            Verdict::from(SubVerdict::Sat(vec![true])),
+            Verdict::from(SubVerdict::<Lit>::Sat(vec![true])),
             Verdict::Sat(vec![true])
         );
-        assert_eq!(Verdict::from(SubVerdict::Unsat), Verdict::Unsat);
+        assert_eq!(Verdict::from(SubVerdict::<Lit>::Unsat), Verdict::Unsat);
         assert_eq!(
-            Verdict::from(SubVerdict::UnsatUnderAssumptions(vec![])),
+            Verdict::from(SubVerdict::<Lit>::UnsatUnderAssumptions(vec![])),
             Verdict::Unsat
         );
         assert_eq!(
-            Verdict::from(SubVerdict::Aborted(Interrupt::Learned)),
+            Verdict::from(SubVerdict::<Lit>::Aborted(Interrupt::Learned)),
             Verdict::Unknown(Interrupt::Learned)
         );
         assert_eq!(
-            SubVerdict::Aborted(Interrupt::Conflicts).interrupt(),
+            SubVerdict::<Lit>::Aborted(Interrupt::Conflicts).interrupt(),
             Some(Interrupt::Conflicts)
         );
-        assert_eq!(SubVerdict::Unsat.interrupt(), None);
+        assert_eq!(SubVerdict::<Lit>::Unsat.interrupt(), None);
+    }
+
+    #[test]
+    fn subverdict_failed_exposes_the_core() {
+        use csat_netlist::cnf;
+        let a = cnf::Var(0).positive();
+        let b = cnf::Var(1).negative();
+        let sub = SubVerdict::UnsatUnderAssumptions(vec![a, b]);
+        assert_eq!(sub.failed(), Some(&[a, b][..]));
+        assert_eq!(SubVerdict::<cnf::Lit>::Unsat.failed(), None);
+        assert_eq!(SubVerdict::<cnf::Lit>::Sat(vec![]).failed(), None);
     }
 }

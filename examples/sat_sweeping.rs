@@ -1,19 +1,48 @@
-//! SAT sweeping (fraiging): shrink a redundant netlist by merging nodes
-//! the solver proves equivalent — the productive use of the paper's
-//! correlation + incremental-learning machinery.
+//! SAT sweeping (fraiging) on an incremental solving session.
+//!
+//! Sweeping shrinks a redundant netlist by merging nodes the solver
+//! proves equivalent. The candidate proofs are a long sequence of closely
+//! related sub-solves over one circuit — exactly the workload the
+//! [`csat::core::Session`] API exists for: one session keeps the learned
+//! clauses, VSIDS activities and saved phases from every earlier check,
+//! so later checks start ahead instead of from scratch.
+//!
+//! This example proves the same candidate sequence twice — once on a
+//! single session, once with a fresh solver per check (the pre-session
+//! baseline) — and reports the conflicts saved by learned-clause reuse.
+//! The tracked `BENCH_solve.json` rows `mac.sweep / circuit-session` and
+//! `mac.sweep / circuit-fresh` measure the same comparison.
 //!
 //! ```sh
 //! cargo run --release --example sat_sweeping
 //! ```
 
 use csat::core::sweep::{fraig, FraigOptions};
-use csat::netlist::{generators, miter, optimize, Aig, Lit};
+use csat::core::{Budget, Session, Solver, SolverOptions, SubVerdict};
+use csat::netlist::{miter, optimize, Aig, Lit};
+use csat::sim::{find_correlations, Correlation, Relation, SimulationOptions};
+use csat::telemetry::MetricsRecorder;
+
+/// Proves one candidate by refuting both difference orientations:
+/// `later == target` iff neither `later != target` direction is
+/// satisfiable. Returns `(proven, refuted)` — neither set means the
+/// conflict budget ran out first.
+fn prove<S>(solve: &mut S, l: Lit, target: Lit, budget: &Budget) -> (bool, bool)
+where
+    S: FnMut(&[Lit], &Budget) -> SubVerdict,
+{
+    let d1 = solve(&[l, !target], budget);
+    let d2 = solve(&[!l, target], budget);
+    let unsat =
+        |v: &SubVerdict| matches!(v, SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_));
+    let sat = |v: &SubVerdict| matches!(v, SubVerdict::Sat(_));
+    (unsat(&d1) && unsat(&d2), sat(&d1) || sat(&d2))
+}
 
 fn main() {
-    // Case 1: a redundant netlist with LIVE outputs — two structurally
-    // different implementations of the same 10-bit MAC, both driving
-    // outputs. Sweeping merges the second implementation onto the first.
-    let base = generators::multiply_accumulate(5);
+    // A redundant netlist with LIVE outputs: two structurally different
+    // implementations of the same 10-bit MAC, both driving outputs.
+    let base = csat::netlist::generators::multiply_accumulate(5);
     let variant = optimize::restructure_seeded(&base, 17);
     let mut redundant = Aig::new();
     let inputs: Vec<Lit> = (0..base.inputs().len())
@@ -31,18 +60,93 @@ fn main() {
         redundant.inputs().len(),
         redundant.outputs().len()
     );
-    let result = fraig(&redundant, &FraigOptions::default());
+
+    // Random simulation proposes equivalence candidates (paper §III).
+    let correlations = find_correlations(&redundant, &SimulationOptions::default());
+    let mut candidates: Vec<Correlation> = correlations.correlations.clone();
+    candidates.sort_by_key(|c| c.a.index().max(c.b.index()));
+    println!("simulation proposed {} candidates", candidates.len());
+    let pair = |c: &Correlation| {
+        let (later, earlier) = if c.a.index() >= c.b.index() {
+            (c.a, c.b)
+        } else {
+            (c.b, c.a)
+        };
+        let target = Lit::new(earlier, c.relation == Relation::Opposite);
+        (later.lit(), target)
+    };
+    let budget = Budget::conflicts(1000);
+
+    // Pass 1: ONE session across every check. `metrics` sees a
+    // `ClausesRetained` event at the start of each call — the learned
+    // clauses the previous checks left behind.
+    let mut metrics = MetricsRecorder::default();
+    let mut session = Session::new(redundant.clone(), SolverOptions::default());
+    let (mut proven, mut refuted, mut undecided) = (0u64, 0u64, 0u64);
+    for c in &candidates {
+        let (l, target) = pair(c);
+        let (p, r) = prove(
+            &mut |a: &[Lit], b: &Budget| session.solve_under(a, b, &mut metrics),
+            l,
+            target,
+            &budget,
+        );
+        proven += p as u64;
+        refuted += r as u64;
+        undecided += (!p && !r) as u64;
+    }
+    let session_conflicts = session.stats().conflicts;
     println!(
-        "candidates: {} — merged {}, refuted {}, undecided {}",
-        result.candidates, result.merged, result.refuted, result.undecided
+        "session:  {proven} proven, {refuted} refuted, {undecided} undecided \
+         — {session_conflicts} conflicts total"
     );
     println!(
-        "after sweeping: {} AND gates ({:.1}% of the original)",
+        "          the final check started with {} learned clauses retained",
+        metrics.clauses_retained
+    );
+    assert!(
+        metrics.clauses_retained > 0,
+        "later checks must reuse clauses learned by earlier ones"
+    );
+
+    // Pass 2: the pre-session baseline — a fresh solver per check throws
+    // that learning away every time.
+    let (mut proven_f, mut fresh_conflicts) = (0u64, 0u64);
+    for c in &candidates {
+        let (l, target) = pair(c);
+        let (p, _) = prove(
+            &mut |a: &[Lit], b: &Budget| {
+                let mut solver = Solver::new(&redundant, SolverOptions::default());
+                let v = solver.solve_under(a, b, &mut csat::telemetry::NoOpObserver);
+                fresh_conflicts += solver.stats().conflicts;
+                v
+            },
+            l,
+            target,
+            &budget,
+        );
+        proven_f += p as u64;
+    }
+    println!(
+        "baseline: {proven_f} proven — {fresh_conflicts} conflicts total (fresh solver per check)"
+    );
+    if fresh_conflicts > session_conflicts {
+        println!(
+            "learned-clause reuse saved {:.1}% of the baseline's conflicts",
+            100.0 * (fresh_conflicts - session_conflicts) as f64 / fresh_conflicts as f64
+        );
+    }
+
+    // The full sweep (candidate proving + merging + rebuild) is packaged
+    // as `sweep::fraig`; finish by actually shrinking the netlist and
+    // spot-checking the result.
+    let result = fraig(&redundant, &FraigOptions::default());
+    println!(
+        "fraig: {} -> {} AND gates ({:.1}% of the original)",
+        redundant.and_count(),
         result.aig.and_count(),
         100.0 * result.aig.and_count() as f64 / redundant.and_count() as f64
     );
-
-    // Sanity: spot-check the sweep preserved every output.
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     for _ in 0..1000 {
@@ -54,21 +158,5 @@ fn main() {
             result.aig.evaluate_outputs(&bits)
         );
     }
-    println!("verified on 1000 random patterns");
-
-    // Case 2: sweeping a miter IS equivalence checking — everything
-    // collapses into the constant-0 miter output.
-    let m = miter::build_fresh(&base, &variant, Default::default());
-    let swept = fraig(&m.aig, &FraigOptions::default());
-    let (_, out) = &swept.aig.outputs()[0];
-    println!(
-        "\nmiter sweep: {} -> {} AND gates; output {}",
-        m.aig.and_count(),
-        swept.aig.and_count(),
-        if *out == Lit::FALSE {
-            "constant 0 — implementations proven equivalent"
-        } else {
-            "not constant"
-        }
-    );
+    println!("sweep verified on 1000 random patterns");
 }

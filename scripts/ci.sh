@@ -35,6 +35,15 @@ run_kernel_parity() {
     cargo run --release --bin csat-fuzz -- \
         --seed 0 --iters 300 --matrix quick --corpus-dir fuzz/corpus
 }
+run_incremental() {
+    # Incremental-session differential: 300 seed-0 random trajectories of
+    # grow/add-clause/push/assume/pop/solve steps on the circuit and CNF
+    # Session APIs, each solve point cross-checked against a fresh
+    # monolithic solver on the same accumulated problem. Disagreements are
+    # replayed from the seed alone (no corpus repro) and exit non-zero.
+    cargo run --release --bin csat-fuzz -- \
+        --seed 0 --iters 300 --matrix incremental --corpus-dir fuzz/corpus
+}
 run_perf_smoke() {
     # Perf regression gate: quick-measure the smoke subset of solve
     # families (same conflict budgets as the checked-in BENCH_solve.json
@@ -65,6 +74,7 @@ case "${1:-all}" in
     doc) run_doc ;;
     fuzz-smoke) run_fuzz_smoke ;;
     kernel-parity) run_kernel_parity ;;
+    incremental) run_incremental ;;
     perf-smoke) run_perf_smoke ;;
     resilience) run_resilience ;;
     all)
@@ -75,11 +85,12 @@ case "${1:-all}" in
         run_doc
         run_fuzz_smoke
         run_kernel_parity
+        run_incremental
         run_perf_smoke
         run_resilience
         ;;
     *)
-        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|kernel-parity|perf-smoke|resilience|all]" >&2
+        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|kernel-parity|incremental|perf-smoke|resilience|all]" >&2
         exit 2
         ;;
 esac

@@ -7,7 +7,7 @@
 //!   --seed <N>          base seed [default: 0]
 //!   --iters <N>         instances to generate and cross-check [default: 100]
 //!   --time-budget <S>   stop early after this many seconds of wall clock
-//!   --matrix <M>        quick | full                         [default: quick]
+//!   --matrix <M>        quick | full | incremental           [default: quick]
 //!   --json              emit one JSONL row per instance to stdout
 //!   --corpus-dir <D>    where disagreement repros are written
 //!                       [default: fuzz/corpus]
@@ -17,6 +17,12 @@
 //!
 //! Exit codes: 0 — all oracles agreed on every instance; 1 — at least one
 //! disagreement (repros written to the corpus directory); 2 — usage error.
+//!
+//! `--matrix incremental` switches to the session-trajectory family: each
+//! iteration replays a random add/push/assume/pop/solve trajectory on a
+//! [`csat::core::Session`] or [`csat::cnf::Session`] and cross-checks every
+//! solve point against a fresh monolithic solver. Trajectory disagreements
+//! are replayed from the seed alone, so no corpus repro is written.
 //!
 //! Ctrl-C stops the sweep cooperatively: the current oracle aborts at its
 //! next checkpoint, the summary row is still written, and the exit code
@@ -36,7 +42,8 @@ use csat::fuzz::{run, FuzzOptions, Matrix};
 fn usage() -> ! {
     eprintln!(
         "usage: csat-fuzz [--seed N] [--iters N] [--time-budget SECS]\n\
-         \x20               [--matrix quick|full] [--json] [--corpus-dir DIR]\n\
+         \x20               [--matrix quick|full|incremental] [--json]\n\
+         \x20               [--corpus-dir DIR]\n\
          \x20               [--conflict-budget N] [--mem-limit BYTES]"
     );
     std::process::exit(2)

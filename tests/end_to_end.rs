@@ -4,6 +4,7 @@
 use csat::core::{explicit, ExplicitOptions, Solver, SolverOptions, Verdict};
 use csat::netlist::{bench, generators, miter, tseitin, two_level, Aig};
 use csat::sim::{find_correlations, SimulationOptions};
+use csat_telemetry::NoOpObserver;
 
 /// The full paper pipeline on an equivalence-checking miter: simulate,
 /// learn, solve; verify against the CNF baseline.
@@ -144,7 +145,7 @@ fn incremental_queries_stay_sound() {
     // But no two can hold at once.
     for (x, y) in [(lt, eq), (lt, gt), (eq, gt)] {
         use csat::core::{Budget, SubVerdict};
-        match solver.solve_under(&[x, y], &Budget::UNLIMITED) {
+        match solver.solve_under(&[x, y], &Budget::UNLIMITED, &mut NoOpObserver) {
             SubVerdict::UnsatUnderAssumptions(_) | SubVerdict::Unsat => {}
             other => panic!("{x:?},{y:?} should exclude each other: {other:?}"),
         }
