@@ -23,6 +23,10 @@ struct Row {
     engine: &'static str,
     words: usize,
     threads: usize,
+    /// CPUs the host exposed when this row was measured — recorded per
+    /// row so thread-scaling numbers stay interpretable if rows from
+    /// differently sized machines end up in one file.
+    host_cpus: usize,
     ns_per_pattern: f64,
     /// True for multi-thread rows measured on a single-CPU host: the
     /// threads timeslice one core, so the number is pure sharding overhead
@@ -67,6 +71,7 @@ fn bench_circuit(name: &str, aig: &Aig, host_cpus: usize, rows: &mut Vec<Row>) {
             engine,
             words,
             threads,
+            host_cpus,
             ns_per_pattern,
             overhead_only,
         });
@@ -114,8 +119,8 @@ fn to_json(rows: &[Row], host_cpus: usize) -> String {
         writeln!(
             out,
             "    {{\"circuit\": \"{}\", \"engine\": \"{}\", \"words\": {}, \
-             \"threads\": {}, \"ns_per_pattern\": {:.4}{overhead}}}{comma}",
-            r.circuit, r.engine, r.words, r.threads, r.ns_per_pattern
+             \"threads\": {}, \"host_cpus\": {}, \"ns_per_pattern\": {:.4}{overhead}}}{comma}",
+            r.circuit, r.engine, r.words, r.threads, r.host_cpus, r.ns_per_pattern
         )
         .expect("string write");
     }

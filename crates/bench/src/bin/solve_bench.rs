@@ -69,9 +69,10 @@ fn main() -> ExitCode {
     let mut rows: Vec<SolveRow> = Vec::with_capacity(specs.len());
     for spec in &specs {
         eprintln!(
-            "measuring {} / {} ({} instance(s), {} conflicts budget, best of {reps})...",
+            "measuring {} / {} t={} ({} instance(s), {} conflicts budget, best of {reps})...",
             spec.family,
             spec.solver.label(),
+            spec.threads,
             spec.workloads.len(),
             spec.conflict_budget
         );
@@ -114,10 +115,11 @@ fn main() -> ExitCode {
                 }
                 eprintln!("perf-smoke: re-measuring {key} (best of {})...", reps * 2);
                 let again = measure_family(spec, reps * 2);
-                if let Some(row) = rows
-                    .iter_mut()
-                    .find(|r| r.family == spec.family && r.solver == spec.solver.label())
-                {
+                if let Some(row) = rows.iter_mut().find(|r| {
+                    r.family == spec.family
+                        && r.solver == spec.solver.label()
+                        && r.threads == spec.threads as u64
+                }) {
                     if again.ns_per_conflict < row.ns_per_conflict {
                         *row = again;
                     }

@@ -39,6 +39,12 @@ pub enum SolverKind {
     /// the pre-session baseline the sweep-session row is read against
     /// (its `conflicts` column shows what learned-clause reuse saves).
     SweepFresh,
+    /// The parallel portfolio (`csat-par`) racing `FamilySpec::threads`
+    /// diversified circuit workers; rows at several thread counts form the
+    /// threads-sweep. Conflicts/propagations aggregate over all workers, so
+    /// `conflicts_per_sec` is the scaling signal (read it against the
+    /// row's `host_cpus` — on a 1-CPU host the workers timeslice one core).
+    CircuitPortfolio,
 }
 
 impl SolverKind {
@@ -49,6 +55,7 @@ impl SolverKind {
             SolverKind::Cnf => "cnf",
             SolverKind::SweepSession => "circuit-session",
             SolverKind::SweepFresh => "circuit-fresh",
+            SolverKind::CircuitPortfolio => "circuit-portfolio",
         }
     }
 }
@@ -62,6 +69,13 @@ pub struct SolveRow {
     pub solver: String,
     /// Instances aggregated into the row.
     pub instances: u64,
+    /// Worker threads driving the row (1 for every sequential solver).
+    pub threads: u64,
+    /// CPUs the host exposed when *this row* was measured. Recorded per
+    /// row (not just per file) so thread-scaling rows stay honest when
+    /// files are merged across differently sized machines: a 4-thread row
+    /// with `host_cpus: 1` measures timeslicing overhead, not speedup.
+    pub host_cpus: u64,
     /// Total conflicts analyzed across the family.
     pub conflicts: u64,
     /// Total trail literals propagated.
@@ -85,6 +99,8 @@ pub struct FamilySpec {
     pub family: &'static str,
     /// Which solver the row drives.
     pub solver: SolverKind,
+    /// Worker threads (only read by [`SolverKind::CircuitPortfolio`]).
+    pub threads: usize,
     /// The instances aggregated into the row.
     pub workloads: Vec<Workload>,
     /// Conflict budget per instance (the row's workload size).
@@ -115,6 +131,7 @@ pub fn family_specs(quick: bool) -> Vec<FamilySpec> {
         FamilySpec {
             family: "c3540.equiv",
             solver: SolverKind::CircuitJnode,
+            threads: 1,
             workloads: named(&equiv, "c3540.equiv"),
             conflict_budget: 20_000,
             solves: 10,
@@ -123,6 +140,7 @@ pub fn family_specs(quick: bool) -> Vec<FamilySpec> {
         FamilySpec {
             family: "c6288.equiv",
             solver: SolverKind::CircuitJnode,
+            threads: 1,
             workloads: named(&equiv, "c6288.equiv"),
             conflict_budget: 20_000,
             solves: 1,
@@ -131,6 +149,7 @@ pub fn family_specs(quick: bool) -> Vec<FamilySpec> {
         FamilySpec {
             family: "c7552.equiv",
             solver: SolverKind::CircuitJnode,
+            threads: 1,
             workloads: named(&equiv, "c7552.equiv"),
             conflict_budget: 20_000,
             solves: 10,
@@ -139,6 +158,7 @@ pub fn family_specs(quick: bool) -> Vec<FamilySpec> {
         FamilySpec {
             family: "scan",
             solver: SolverKind::CircuitJnode,
+            threads: 1,
             workloads: scan.clone(),
             conflict_budget: 8_000,
             solves: 1,
@@ -147,6 +167,7 @@ pub fn family_specs(quick: bool) -> Vec<FamilySpec> {
         FamilySpec {
             family: "c3540.equiv",
             solver: SolverKind::Cnf,
+            threads: 1,
             workloads: named(&equiv, "c3540.equiv"),
             conflict_budget: 20_000,
             solves: 10,
@@ -155,6 +176,7 @@ pub fn family_specs(quick: bool) -> Vec<FamilySpec> {
         FamilySpec {
             family: "c6288.equiv",
             solver: SolverKind::Cnf,
+            threads: 1,
             workloads: named(&equiv, "c6288.equiv"),
             conflict_budget: 20_000,
             solves: 1,
@@ -163,6 +185,7 @@ pub fn family_specs(quick: bool) -> Vec<FamilySpec> {
         FamilySpec {
             family: "c7552.equiv",
             solver: SolverKind::Cnf,
+            threads: 1,
             workloads: named(&equiv, "c7552.equiv"),
             conflict_budget: 20_000,
             solves: 10,
@@ -171,6 +194,7 @@ pub fn family_specs(quick: bool) -> Vec<FamilySpec> {
         FamilySpec {
             family: "mac.sweep",
             solver: SolverKind::SweepSession,
+            threads: 1,
             workloads: vec![sweep_workload(Scale::Quick)],
             conflict_budget: 1_000,
             solves: 1,
@@ -179,12 +203,31 @@ pub fn family_specs(quick: bool) -> Vec<FamilySpec> {
         FamilySpec {
             family: "mac.sweep",
             solver: SolverKind::SweepFresh,
+            threads: 1,
             workloads: vec![sweep_workload(Scale::Quick)],
             conflict_budget: 1_000,
             solves: 1,
             quick: false,
         },
     ];
+    // Threads-sweep: the portfolio at 1/2/4 workers on the two hardest
+    // miter families. The per-worker conflict budget is fixed, so total
+    // work grows with the worker count and `conflicts_per_sec` measures
+    // aggregate search throughput (ideal scaling ≈ linear on ≥4 CPUs).
+    let mut specs = specs;
+    for family in ["c6288.equiv", "c7552.equiv"] {
+        for threads in [1usize, 2, 4] {
+            specs.push(FamilySpec {
+                family,
+                solver: SolverKind::CircuitPortfolio,
+                threads,
+                workloads: named(&equiv, family),
+                conflict_budget: 20_000,
+                solves: 1,
+                quick: false,
+            });
+        }
+    }
     specs
         .into_iter()
         .filter(|s| !quick || s.quick)
@@ -269,6 +312,24 @@ fn run_once(spec: &FamilySpec) -> Totals {
                     totals.propagations += stats.propagations;
                     totals.decisions += stats.decisions;
                 }
+                SolverKind::CircuitPortfolio => {
+                    let start = Instant::now();
+                    let outcome = csat_par::solve_aig_portfolio(
+                        &w.aig,
+                        w.objective,
+                        SolverOptions::default(),
+                        spec.threads,
+                        &csat_par::PortfolioOptions::default(),
+                        &budget,
+                        |_, _| {},
+                    );
+                    totals.wall_s += start.elapsed().as_secs_f64();
+                    for wk in &outcome.workers {
+                        totals.conflicts += wk.stats.conflicts;
+                        totals.propagations += wk.stats.propagations;
+                        totals.decisions += wk.stats.decisions;
+                    }
+                }
                 SolverKind::SweepFresh => {
                     let checks = sweep_checks(&w.aig);
                     // Construction is inside the window: paying it per
@@ -307,6 +368,8 @@ pub fn measure_family(spec: &FamilySpec, reps: usize) -> SolveRow {
         family: spec.family.to_string(),
         solver: spec.solver.label().to_string(),
         instances: spec.workloads.len() as u64,
+        threads: spec.threads.max(1) as u64,
+        host_cpus: std::thread::available_parallelism().map_or(1, |p| p.get()) as u64,
         conflicts: t.conflicts,
         propagations: t.propagations,
         decisions: t.decisions,
@@ -335,6 +398,8 @@ fn row_json(r: &SolveRow) -> String {
     o.field_str("family", &r.family)
         .field_str("solver", &r.solver)
         .field_u64("instances", r.instances)
+        .field_u64("threads", r.threads)
+        .field_u64("host_cpus", r.host_cpus)
         .field_u64("conflicts", r.conflicts)
         .field_u64("propagations", r.propagations)
         .field_u64("decisions", r.decisions)
@@ -356,9 +421,14 @@ fn rows_json(rows: &[SolveRow]) -> String {
     out
 }
 
-fn find<'a>(rows: &'a [SolveRow], family: &str, solver: &str) -> Option<&'a SolveRow> {
+fn find<'a>(
+    rows: &'a [SolveRow],
+    family: &str,
+    solver: &str,
+    threads: u64,
+) -> Option<&'a SolveRow> {
     rows.iter()
-        .find(|r| r.family == family && r.solver == solver)
+        .find(|r| r.family == family && r.solver == solver && r.threads == threads)
 }
 
 impl PerfReport {
@@ -378,7 +448,7 @@ impl PerfReport {
             let mut cmp = String::from("[\n");
             let mut first = true;
             for r in &self.rows {
-                if let Some(b) = find(&self.baseline, &r.family, &r.solver) {
+                if let Some(b) = find(&self.baseline, &r.family, &r.solver, r.threads) {
                     if !first {
                         cmp.push_str(",\n");
                     }
@@ -386,6 +456,7 @@ impl PerfReport {
                     let mut c = JsonObject::new();
                     c.field_str("family", &r.family)
                         .field_str("solver", &r.solver)
+                        .field_u64("threads", r.threads)
                         .field_f64("baseline_ns_per_conflict", b.ns_per_conflict)
                         .field_f64("ns_per_conflict", r.ns_per_conflict)
                         .field_f64("speedup", b.ns_per_conflict / r.ns_per_conflict)
@@ -456,6 +527,14 @@ fn parse_rows(value: Option<&json::Value>) -> Result<Vec<SolveRow>, String> {
             family: s("family"),
             solver: s("solver"),
             instances: n("instances") as u64,
+            // Absent in files written before the parallel layer: those
+            // rows were all sequential, measured on an unknown host.
+            threads: json::get(o, "threads")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(1.0) as u64,
+            host_cpus: json::get(o, "host_cpus")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0) as u64,
             conflicts: n("conflicts") as u64,
             propagations: n("propagations") as u64,
             decisions: n("decisions") as u64,
@@ -490,7 +569,7 @@ pub fn compare_rows(report: &PerfReport, fresh: &[SolveRow]) -> Vec<RegressionRo
     fresh
         .iter()
         .filter_map(|m| {
-            find(&report.rows, &m.family, &m.solver).map(|c| RegressionRow {
+            find(&report.rows, &m.family, &m.solver, m.threads).map(|c| RegressionRow {
                 family: m.family.clone(),
                 solver: m.solver.clone(),
                 checked_in: c.ns_per_conflict,
@@ -743,6 +822,8 @@ mod tests {
             family: family.to_string(),
             solver: solver.to_string(),
             instances: 1,
+            threads: 1,
+            host_cpus: 4,
             conflicts: 1000,
             propagations: 50_000,
             decisions: 2000,
@@ -808,6 +889,47 @@ mod tests {
                 .expect("subset");
             assert_eq!(f.conflict_budget, q.conflict_budget);
         }
+    }
+
+    #[test]
+    fn threads_and_host_cpus_round_trip_and_default() {
+        let mut r = row("c6288.equiv", "circuit-portfolio", 800.0);
+        r.threads = 4;
+        r.host_cpus = 8;
+        let report = PerfReport {
+            rows: vec![r],
+            ..Default::default()
+        };
+        let text = report.to_json();
+        let back = PerfReport::from_json(&text).expect("round trip");
+        assert_eq!(back.rows[0].threads, 4);
+        assert_eq!(back.rows[0].host_cpus, 8);
+        // Rows from files written before the parallel layer default to
+        // sequential on an unknown host.
+        let legacy = r#"{"rows": [{"family": "a", "solver": "cnf", "conflicts": 10}]}"#;
+        let back = PerfReport::from_json(legacy).expect("legacy rows");
+        assert_eq!(back.rows[0].threads, 1);
+        assert_eq!(back.rows[0].host_cpus, 0);
+    }
+
+    #[test]
+    fn family_specs_include_a_threads_sweep() {
+        let full = family_specs(false);
+        for family in ["c6288.equiv", "c7552.equiv"] {
+            for threads in [1usize, 2, 4] {
+                assert!(
+                    full.iter().any(|s| s.family == family
+                        && s.solver == SolverKind::CircuitPortfolio
+                        && s.threads == threads),
+                    "missing {family} portfolio row at {threads} threads"
+                );
+            }
+        }
+        // The perf-smoke quick subset stays sequential: its regression
+        // thresholds are tuned for single-thread determinism.
+        assert!(family_specs(true)
+            .iter()
+            .all(|s| s.solver != SolverKind::CircuitPortfolio));
     }
 
     #[test]

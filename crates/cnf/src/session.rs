@@ -118,6 +118,24 @@ impl Session {
         self.solver.add_learned_clause(lits)
     }
 
+    /// Enables clause export for parallel clause sharing (see
+    /// [`Solver::set_clause_export`]).
+    pub fn set_clause_export(&mut self, glue_cap: u32, len_cap: usize, max_buffered: usize) {
+        self.solver
+            .set_clause_export(glue_cap, len_cap, max_buffered);
+    }
+
+    /// Drains the exported-clause buffer (see [`Solver::take_exported`]).
+    pub fn take_exported(&mut self) -> Vec<(Vec<Lit>, u32)> {
+        self.solver.take_exported()
+    }
+
+    /// Up to `k` of the hottest currently-unassigned variables by VSIDS
+    /// activity, hottest first (see [`Solver::top_active_vars`]).
+    pub fn top_active_vars(&self, k: usize) -> Vec<usize> {
+        self.solver.top_active_vars(k)
+    }
+
     /// Opens a new assumption scope and reports
     /// [`SolverEvent::SessionPush`] to `obs`.
     pub fn push_observed<O>(&mut self, obs: &mut O)

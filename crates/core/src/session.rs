@@ -144,6 +144,25 @@ impl Session {
         self.state.install_correlations(correlations);
     }
 
+    /// Enables clause export for parallel clause sharing (see
+    /// [`crate::Solver::set_clause_export`]).
+    pub fn set_clause_export(&mut self, glue_cap: u32, len_cap: usize, max_buffered: usize) {
+        self.ctx.set_clause_export(glue_cap, len_cap, max_buffered);
+    }
+
+    /// Drains the exported-clause buffer (see
+    /// [`crate::Solver::take_exported`]).
+    pub fn take_exported(&mut self) -> Vec<(Vec<Lit>, u32)> {
+        self.ctx.take_exported()
+    }
+
+    /// Up to `k` of the hottest currently-unassigned variables (node
+    /// indices) by VSIDS activity, hottest first (see
+    /// [`crate::Solver::top_active_vars`]).
+    pub fn top_active_vars(&self, k: usize) -> Vec<usize> {
+        self.ctx.top_active_vars(k)
+    }
+
     /// Creates a fresh primary input and returns its positive literal.
     pub fn add_input(&mut self) -> Lit {
         self.grow(|aig| aig.input())

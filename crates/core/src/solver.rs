@@ -697,6 +697,27 @@ impl<'a> Solver<'a> {
             .collect()
     }
 
+    /// Enables clause export for parallel clause sharing (see
+    /// [`csat_search::SearchContext::set_clause_export`]): learned clauses
+    /// with glue ≤ `glue_cap` and ≤ `len_cap` literals are buffered (up to
+    /// `max_buffered`) until drained with [`Solver::take_exported`].
+    pub fn set_clause_export(&mut self, glue_cap: u32, len_cap: usize, max_buffered: usize) {
+        self.ctx.set_clause_export(glue_cap, len_cap, max_buffered);
+    }
+
+    /// Drains the exported-clause buffer: `(literals, glue)` in learn
+    /// order.
+    pub fn take_exported(&mut self) -> Vec<(Vec<Lit>, u32)> {
+        self.ctx.take_exported()
+    }
+
+    /// Up to `k` of the hottest currently-unassigned variables (node
+    /// indices) by VSIDS activity, hottest first — cube-and-conquer split
+    /// candidates.
+    pub fn top_active_vars(&self, k: usize) -> Vec<usize> {
+        self.ctx.top_active_vars(k)
+    }
+
     /// True while learned clauses are being recorded for proof checking.
     pub fn proof_active(&self) -> bool {
         self.ctx.proof_active()

@@ -87,6 +87,15 @@ enum Spec {
     /// The CNF baseline on the raw source formula (skipped for instances
     /// that were not born as CNF).
     CnfDirect { options: csat_cnf::SolverOptions },
+    /// The parallel portfolio on the circuit backend: `threads`
+    /// diversified workers racing with clause sharing. Individually
+    /// deterministic workers make the *verdict* deterministic (soundness
+    /// forbids a SAT/UNSAT split between workers), which is exactly the
+    /// contract this oracle differentials against the sequential columns.
+    ParPortfolio { threads: usize },
+    /// Cube-and-conquer on the circuit backend: probe, split on the
+    /// hottest variables, conquer subcubes with work stealing.
+    ParCubes { threads: usize },
 }
 
 /// One named solver configuration of the matrix.
@@ -127,6 +136,24 @@ fn oracle(name: &'static str, spec: Spec) -> Oracle {
 /// drives [`crate::trajectory::check_trajectory`] directly — so it maps
 /// to an empty vector.
 pub fn oracles(matrix: Matrix) -> Vec<Oracle> {
+    oracles_with_threads(matrix, 1)
+}
+
+/// Builds the oracle list of a matrix, appending the parallel columns
+/// (`par-portfolio`, `par-cubes` on `threads` workers each) when
+/// `threads > 1` — the parallel-vs-sequential differential: every
+/// parallel verdict is cross-checked against the proof-backed sequential
+/// oracles of the same matrix.
+pub fn oracles_with_threads(matrix: Matrix, threads: usize) -> Vec<Oracle> {
+    let mut list = oracles_sequential(matrix);
+    if threads > 1 && matrix != Matrix::Incremental {
+        list.push(oracle("par-portfolio", Spec::ParPortfolio { threads }));
+        list.push(oracle("par-cubes", Spec::ParCubes { threads }));
+    }
+    list
+}
+
+fn oracles_sequential(matrix: Matrix) -> Vec<Oracle> {
     if matrix == Matrix::Incremental {
         return Vec::new();
     }
@@ -450,6 +477,61 @@ fn run_oracle_inner(
                 panicked: false,
             })
         }
+        Spec::ParPortfolio { threads } => {
+            let outcome = csat_par::solve_aig_portfolio(
+                &instance.aig,
+                instance.objective,
+                csat_core::SolverOptions::default(),
+                *threads,
+                &csat_par::PortfolioOptions::default(),
+                budget,
+                |_, _| {},
+            );
+            Some(par_outcome(oracle.name, instance, outcome))
+        }
+        Spec::ParCubes { threads } => {
+            let outcome = csat_par::solve_aig_cubes(
+                &instance.aig,
+                instance.objective,
+                csat_core::SolverOptions::default(),
+                *threads,
+                // A small probe pushes most instances into the actual
+                // split/conquer path instead of settling in the probe.
+                &csat_par::CubeOptions {
+                    cube_vars: 3,
+                    probe_conflicts: 500,
+                },
+                budget,
+            );
+            Some(par_outcome(oracle.name, instance, outcome))
+        }
+    }
+}
+
+/// Wraps a parallel run's verdict as an oracle outcome. Parallel runs
+/// carry no proof log (clauses arrive from several workers), so UNSAT
+/// answers are vouched for by the verdict cross-check against the
+/// proof-backed sequential columns, and SAT models are still checked by
+/// direct evaluation.
+fn par_outcome(
+    name: &'static str,
+    instance: &Instance,
+    outcome: csat_par::ParOutcome,
+) -> OracleOutcome {
+    let model_ok = match &outcome.verdict {
+        Verdict::Sat(model) => Some(csat_core::check_model(
+            &instance.aig,
+            model,
+            instance.objective,
+        )),
+        _ => None,
+    };
+    OracleOutcome {
+        name,
+        verdict: outcome.verdict,
+        model_ok,
+        proof_ok: None,
+        panicked: false,
     }
 }
 
@@ -542,6 +624,34 @@ mod tests {
             );
             assert_eq!(report.outcomes.len(), 3);
         }
+    }
+
+    #[test]
+    fn parallel_columns_join_the_matrix_and_agree() {
+        let matrix = oracles_with_threads(Matrix::Quick, 4);
+        assert_eq!(matrix.len(), 5, "quick + par-portfolio + par-cubes");
+        assert!(matrix.iter().any(|o| o.name == "par-portfolio"));
+        assert!(matrix.iter().any(|o| o.name == "par-cubes"));
+        let budget = Budget::conflicts(50_000);
+        for seed in 0..4 {
+            let instance = generate(seed);
+            let report = check_instance(&instance, &matrix, &budget, None);
+            assert!(
+                report.disagreement.is_none(),
+                "seed {seed}: {:?}",
+                report.disagreement
+            );
+            assert_eq!(report.outcomes.len(), 5);
+        }
+    }
+
+    #[test]
+    fn threads_of_one_keeps_the_matrix_sequential() {
+        assert_eq!(
+            oracles_with_threads(Matrix::Quick, 1).len(),
+            oracles(Matrix::Quick).len()
+        );
+        assert!(oracles_with_threads(Matrix::Incremental, 4).is_empty());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use csat_types::{Budget, CancelToken};
 
 use crate::corpus::{write_repro, Repro};
 use crate::instances::{generate, Instance};
-use crate::oracle::{check_instance, oracles, Matrix};
+use crate::oracle::{check_instance, oracles_with_threads, Matrix};
 use crate::shrink::shrink;
 use crate::trajectory::check_trajectory;
 
@@ -57,6 +57,12 @@ pub struct FuzzOptions {
     /// every oracle's solve loop (the CLI wires Ctrl-C here). A cancelled
     /// sweep stops early and still writes its summary row.
     pub cancel: Option<CancelToken>,
+    /// Workers for the parallel oracle columns. At the default of 1 the
+    /// matrix is purely sequential (and rows stay byte-reproducible);
+    /// above 1 the `par-portfolio` and `par-cubes` columns join the
+    /// cross-check, racing `threads` workers against the sequential
+    /// verdicts.
+    pub threads: usize,
 }
 
 impl Default for FuzzOptions {
@@ -71,6 +77,7 @@ impl Default for FuzzOptions {
             conflict_budget: 100_000,
             mem_limit: None,
             cancel: None,
+            threads: 1,
         }
     }
 }
@@ -118,7 +125,7 @@ pub fn run(options: &FuzzOptions, out: &mut dyn Write) -> io::Result<FuzzSummary
     if options.matrix == Matrix::Incremental {
         return run_trajectories(options, out);
     }
-    let matrix = oracles(options.matrix);
+    let matrix = oracles_with_threads(options.matrix, options.threads.max(1));
     let mut budget =
         Budget::conflicts(options.conflict_budget).with_memory_limit(options.mem_limit);
     if let Some(token) = &options.cancel {
@@ -163,6 +170,7 @@ pub fn run(options: &FuzzOptions, out: &mut dyn Write) -> io::Result<FuzzSummary
                 .field_u64("seed", instance_seed)
                 .field_str("kind", instance.kind.name())
                 .field_str("matrix", options.matrix.name())
+                .field_u64("threads", options.threads.max(1) as u64)
                 .field_u64("inputs", instance.aig.inputs().len() as u64)
                 .field_u64("gates", instance.aig.and_count() as u64)
                 .field_str_array("verdicts", &labels)
@@ -203,6 +211,7 @@ pub fn run(options: &FuzzOptions, out: &mut dyn Write) -> io::Result<FuzzSummary
         .field_u64("seed", options.seed)
         .field_u64("iters", summary.iters_run)
         .field_str("matrix", options.matrix.name())
+        .field_u64("threads", options.threads.max(1) as u64)
         .field_u64("sat", summary.sat)
         .field_u64("unsat", summary.unsat)
         .field_u64("unknown_only", summary.unknown_only)
@@ -280,6 +289,7 @@ fn run_trajectories(options: &FuzzOptions, out: &mut dyn Write) -> io::Result<Fu
         .field_u64("seed", options.seed)
         .field_u64("iters", summary.iters_run)
         .field_str("matrix", options.matrix.name())
+        .field_u64("threads", options.threads.max(1) as u64)
         .field_u64("sat", summary.sat)
         .field_u64("unsat", summary.unsat)
         .field_u64("unknown_only", summary.unknown_only)

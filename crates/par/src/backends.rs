@@ -1,0 +1,231 @@
+//! Adapters plugging the circuit and CNF backends into the portfolio
+//! and cube-and-conquer schedulers.
+//!
+//! Both backends expose the same kernel surface (`solve_under`, clause
+//! export/ingest, VSIDS activities), so the adapters are thin: they fix
+//! the assumption set (the circuit objective rides along on every call),
+//! translate [`SubVerdict`] into the scheduler's [`JobVerdict`] and
+//! forward the clause-exchange hooks.
+
+use csat_netlist::cnf::{Cnf, Lit as CnfLit, Var};
+use csat_netlist::{Aig, Lit as AigLit, NodeId};
+use csat_telemetry::Observer;
+use csat_types::{Budget, SearchStats};
+
+use crate::cubes::CubeSolver;
+use crate::portfolio::{JobVerdict, PortfolioWorker};
+
+/// One circuit-backend portfolio member: a [`csat_core::Solver`] plus
+/// the objective literal it must justify.
+pub struct CircuitWorker<'a> {
+    /// The underlying circuit solver (already diversified and, when the
+    /// caller ran simulation, carrying correlations).
+    pub solver: csat_core::Solver<'a>,
+    /// The objective asserted on every round.
+    pub objective: AigLit,
+}
+
+impl PortfolioWorker for CircuitWorker<'_> {
+    type Lit = AigLit;
+
+    fn configure_export(&mut self, glue_cap: u32, len_cap: usize, max_buffered: usize) {
+        self.solver
+            .set_clause_export(glue_cap, len_cap, max_buffered);
+    }
+
+    fn take_exported(&mut self) -> Vec<(Vec<AigLit>, u32)> {
+        self.solver.take_exported()
+    }
+
+    fn import_clause(&mut self, lits: Vec<AigLit>) {
+        // Peers solve the identical circuit, so their learned clauses are
+        // implied here too; out-of-range cannot happen but is harmless.
+        let _ = self.solver.add_learned_clause(lits);
+    }
+
+    fn solve_round(&mut self, budget: &Budget, obs: &mut dyn Observer) -> JobVerdict {
+        match self.solver.solve_under(&[self.objective], budget, obs) {
+            csat_core::SubVerdict::Sat(model) => JobVerdict::Sat(model),
+            csat_core::SubVerdict::Unsat => JobVerdict::Unsat,
+            // The objective is the only assumption; refuting it refutes
+            // the instance.
+            csat_core::SubVerdict::UnsatUnderAssumptions(_) => JobVerdict::Unsat,
+            csat_core::SubVerdict::Aborted(reason) => JobVerdict::Aborted(reason),
+        }
+    }
+
+    fn stats(&self) -> SearchStats {
+        *self.solver.stats()
+    }
+}
+
+/// One CNF-backend portfolio member.
+pub struct CnfWorker {
+    /// The underlying CNF solver (already diversified).
+    pub solver: csat_cnf::Solver,
+}
+
+impl PortfolioWorker for CnfWorker {
+    type Lit = CnfLit;
+
+    fn configure_export(&mut self, glue_cap: u32, len_cap: usize, max_buffered: usize) {
+        self.solver
+            .set_clause_export(glue_cap, len_cap, max_buffered);
+    }
+
+    fn take_exported(&mut self) -> Vec<(Vec<CnfLit>, u32)> {
+        self.solver.take_exported()
+    }
+
+    fn import_clause(&mut self, lits: Vec<CnfLit>) {
+        let _ = self.solver.add_learned_clause(lits);
+    }
+
+    fn solve_round(&mut self, budget: &Budget, obs: &mut dyn Observer) -> JobVerdict {
+        match self.solver.solve_under(&[], budget, obs) {
+            csat_cnf::SubVerdict::Sat(model) => JobVerdict::Sat(model),
+            // No assumptions, so both UNSAT flavors are global.
+            csat_cnf::SubVerdict::Unsat | csat_cnf::SubVerdict::UnsatUnderAssumptions(_) => {
+                JobVerdict::Unsat
+            }
+            csat_cnf::SubVerdict::Aborted(reason) => JobVerdict::Aborted(reason),
+        }
+    }
+
+    fn stats(&self) -> SearchStats {
+        *self.solver.stats()
+    }
+}
+
+/// Circuit-backend cube solver: a [`csat_core::Session`] (owning its
+/// circuit, hence clonable into workers) plus the objective literal.
+#[derive(Clone)]
+pub struct CircuitCubeSolver {
+    /// The underlying incremental session.
+    pub session: csat_core::Session,
+    /// The objective asserted on the probe and on every cube.
+    pub objective: AigLit,
+}
+
+impl CircuitCubeSolver {
+    /// A cube solver over (a clone of) `aig`, asserting `objective`.
+    pub fn new(aig: &Aig, objective: AigLit, options: csat_core::SolverOptions) -> Self {
+        CircuitCubeSolver {
+            session: csat_core::Session::new(aig.clone(), options),
+            objective,
+        }
+    }
+}
+
+impl CubeSolver for CircuitCubeSolver {
+    type Lit = AigLit;
+
+    fn make_lit(&self, var: usize, negated: bool) -> AigLit {
+        AigLit::new(NodeId::from_index(var), negated)
+    }
+
+    fn probe(&mut self, budget: &Budget, obs: &mut dyn Observer) -> JobVerdict {
+        match self.session.solve_under(&[self.objective], budget, obs) {
+            csat_core::SubVerdict::Sat(model) => JobVerdict::Sat(model),
+            csat_core::SubVerdict::Unsat => JobVerdict::Unsat,
+            // Only the objective was assumed.
+            csat_core::SubVerdict::UnsatUnderAssumptions(_) => JobVerdict::Unsat,
+            csat_core::SubVerdict::Aborted(reason) => JobVerdict::Aborted(reason),
+        }
+    }
+
+    fn split_vars(&self, k: usize) -> Vec<usize> {
+        self.session.top_active_vars(k)
+    }
+
+    fn solve_cube(
+        &mut self,
+        cube: &[AigLit],
+        budget: &Budget,
+        obs: &mut dyn Observer,
+    ) -> JobVerdict {
+        let mut assumptions = Vec::with_capacity(cube.len() + 1);
+        assumptions.push(self.objective);
+        assumptions.extend_from_slice(cube);
+        match self.session.solve_under(&assumptions, budget, obs) {
+            csat_core::SubVerdict::Sat(model) => JobVerdict::Sat(model),
+            csat_core::SubVerdict::Unsat => JobVerdict::Unsat,
+            csat_core::SubVerdict::UnsatUnderAssumptions(core) => {
+                // A core that never mentions the cube refutes the
+                // objective alone — a global UNSAT, not just this cube's.
+                if core.iter().all(|&l| l == self.objective) {
+                    JobVerdict::Unsat
+                } else {
+                    JobVerdict::UnsatUnderAssumptions
+                }
+            }
+            csat_core::SubVerdict::Aborted(reason) => JobVerdict::Aborted(reason),
+        }
+    }
+
+    fn stats(&self) -> SearchStats {
+        *self.session.stats()
+    }
+}
+
+/// CNF-backend cube solver over a [`csat_cnf::Session`].
+#[derive(Clone)]
+pub struct CnfCubeSolver {
+    /// The underlying incremental session.
+    pub session: csat_cnf::Session,
+}
+
+impl CnfCubeSolver {
+    /// A cube solver over `cnf`.
+    pub fn new(cnf: &Cnf, options: csat_cnf::SolverOptions) -> Self {
+        CnfCubeSolver {
+            session: csat_cnf::Session::new(cnf, options),
+        }
+    }
+}
+
+impl CubeSolver for CnfCubeSolver {
+    type Lit = CnfLit;
+
+    fn make_lit(&self, var: usize, negated: bool) -> CnfLit {
+        CnfLit::new(Var(var as u32), negated)
+    }
+
+    fn probe(&mut self, budget: &Budget, obs: &mut dyn Observer) -> JobVerdict {
+        match self.session.solve_under(&[], budget, obs) {
+            csat_cnf::SubVerdict::Sat(model) => JobVerdict::Sat(model),
+            csat_cnf::SubVerdict::Unsat | csat_cnf::SubVerdict::UnsatUnderAssumptions(_) => {
+                JobVerdict::Unsat
+            }
+            csat_cnf::SubVerdict::Aborted(reason) => JobVerdict::Aborted(reason),
+        }
+    }
+
+    fn split_vars(&self, k: usize) -> Vec<usize> {
+        self.session.top_active_vars(k)
+    }
+
+    fn solve_cube(
+        &mut self,
+        cube: &[CnfLit],
+        budget: &Budget,
+        obs: &mut dyn Observer,
+    ) -> JobVerdict {
+        match self.session.solve_under(cube, budget, obs) {
+            csat_cnf::SubVerdict::Sat(model) => JobVerdict::Sat(model),
+            csat_cnf::SubVerdict::Unsat => JobVerdict::Unsat,
+            csat_cnf::SubVerdict::UnsatUnderAssumptions(core) => {
+                if core.is_empty() {
+                    JobVerdict::Unsat
+                } else {
+                    JobVerdict::UnsatUnderAssumptions
+                }
+            }
+            csat_cnf::SubVerdict::Aborted(reason) => JobVerdict::Aborted(reason),
+        }
+    }
+
+    fn stats(&self) -> SearchStats {
+        *self.session.stats()
+    }
+}

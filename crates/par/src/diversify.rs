@@ -1,0 +1,91 @@
+//! Portfolio diversification: one search-policy variation per worker.
+//!
+//! A portfolio only beats its best member if the members explore
+//! *different* parts of the search space. Worker 0 always runs the
+//! caller's base configuration unchanged (so a 1-thread portfolio is the
+//! sequential solver); workers 1..5 walk a fixed table spanning the
+//! restart family (Luby vs geometric vs the paper's back-jump average),
+//! phase saving on/off, LBD-aware vs activity-only reduction and both
+//! clause-activity flavors. Workers past the table repeat it with
+//! seed-mixed perturbations of the VSIDS decay constants — the "decision
+//! noise" axis, kept deterministic per worker index.
+
+use csat_types::{ClauseActivity, ReductionPolicy, RestartPolicy, SearchOptions};
+
+/// splitmix64: the same cheap deterministic mixer the fuzz runner uses
+/// for per-iteration seeds.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The search options worker `worker` runs with, derived from `base`.
+///
+/// Worker 0 returns `base` unchanged; see the module docs for the table.
+pub fn diversify(base: SearchOptions, worker: usize) -> SearchOptions {
+    let mut o = base;
+    match worker % 6 {
+        0 => {}
+        1 => {
+            o.restart = RestartPolicy::Luby { unit: 128 };
+            o.phase_saving = true;
+            o.reduction = ReductionPolicy::LbdActivity { glue_keep: 2 };
+        }
+        2 => {
+            o.restart = RestartPolicy::geometric_default();
+            o.clause_activity = ClauseActivity::UseCount;
+            o.phase_saving = false;
+        }
+        3 => {
+            o.restart = RestartPolicy::Luby { unit: 512 };
+            o.phase_saving = true;
+            o.var_decay = 0.75;
+        }
+        4 => {
+            o.restart = RestartPolicy::Geometric {
+                first: 50,
+                factor: 2.0,
+            };
+            o.reduction = ReductionPolicy::LbdActivity { glue_keep: 3 };
+            o.clause_activity = ClauseActivity::UseCount;
+            o.phase_saving = true;
+        }
+        _ => {
+            o.restart = RestartPolicy::Luby { unit: 64 };
+            o.decay_interval = 128;
+        }
+    }
+    if worker >= 6 {
+        // Past the table: decision noise. Perturb the decay constants by
+        // a per-worker seed so repeated table rows still diverge.
+        let mix = splitmix64(worker as u64);
+        o.var_decay = (o.var_decay * (0.85 + (mix % 21) as f64 / 100.0)).clamp(0.1, 0.95);
+        o.decay_interval = o.decay_interval.max(64) + 1 + (mix >> 8) % 192;
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_zero_is_the_base_configuration() {
+        let base = SearchOptions::default();
+        assert_eq!(diversify(base, 0), base);
+    }
+
+    #[test]
+    fn workers_differ_and_are_deterministic() {
+        let base = SearchOptions::default();
+        let options: Vec<SearchOptions> = (0..8).map(|i| diversify(base, i)).collect();
+        for i in 0..options.len() {
+            assert_eq!(options[i], diversify(base, i), "deterministic per index");
+            for j in i + 1..options.len() {
+                assert_ne!(options[i], options[j], "workers {i} and {j} collide");
+            }
+        }
+    }
+}

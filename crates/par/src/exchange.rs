@@ -1,0 +1,108 @@
+//! Lock-light learned-clause exchange between portfolio workers.
+//!
+//! Every worker owns one inbox (a mutex-protected deque). Publishing
+//! copies a batch of exported clauses into every *other* worker's inbox;
+//! draining takes a bounded batch out of one's own. Locks are only held
+//! for the O(batch) queue operations — never across a solve — and a full
+//! inbox sheds new clauses instead of blocking, so a stalled worker can
+//! not back-pressure the rest of the portfolio.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a mutex, riding through poisoning (a panicked worker must not
+/// take the exchange down with it — clause queues have no invariants a
+/// partial update could break).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One worker's inbox: a queue of `(literals, glue)` pairs.
+type Inbox<L> = Mutex<VecDeque<(Vec<L>, u32)>>;
+
+/// The clause-exchange hub of one portfolio run: one bounded inbox per
+/// worker, carrying `(literals, glue)` pairs.
+pub struct Exchange<L> {
+    inboxes: Vec<Inbox<L>>,
+    capacity: usize,
+}
+
+impl<L: Copy> Exchange<L> {
+    /// An exchange for `workers` workers with `capacity` clauses of
+    /// headroom per inbox.
+    pub fn new(workers: usize, capacity: usize) -> Exchange<L> {
+        Exchange {
+            inboxes: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            capacity,
+        }
+    }
+
+    /// Copies `clauses` into every inbox except `from`'s own. Full
+    /// inboxes drop the overflow (the slow peer simply misses out).
+    /// Returns the number of clause copies actually delivered.
+    pub fn publish(&self, from: usize, clauses: &[(Vec<L>, u32)]) -> usize {
+        if clauses.is_empty() {
+            return 0;
+        }
+        let mut delivered = 0;
+        for (i, inbox) in self.inboxes.iter().enumerate() {
+            if i == from {
+                continue;
+            }
+            let mut queue = lock(inbox);
+            for (lits, glue) in clauses {
+                if queue.len() >= self.capacity {
+                    break;
+                }
+                queue.push_back((lits.clone(), *glue));
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+
+    /// Takes up to `budget` clauses out of `worker`'s inbox, lowest glue
+    /// first — the per-round import allowance, spent on the glue-2-or-
+    /// better clauses before anything else.
+    pub fn drain(&self, worker: usize, budget: usize) -> Vec<(Vec<L>, u32)> {
+        let mut queue = lock(&self.inboxes[worker]);
+        let take = budget.min(queue.len());
+        let mut batch: Vec<(Vec<L>, u32)> = queue.drain(..take).collect();
+        drop(queue);
+        batch.sort_by_key(|&(_, glue)| glue);
+        batch
+    }
+
+    /// Clauses currently queued for `worker`.
+    pub fn pending(&self, worker: usize) -> usize {
+        lock(&self.inboxes[worker]).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_skips_own_inbox_and_respects_capacity() {
+        let x: Exchange<u32> = Exchange::new(3, 2);
+        let batch = vec![(vec![1], 1), (vec![2, 3], 2), (vec![4, 5], 2)];
+        // Capacity 2 per inbox, two peers: 4 of the 6 copies land.
+        assert_eq!(x.publish(0, &batch), 4);
+        assert_eq!(x.pending(0), 0);
+        assert_eq!(x.pending(1), 2);
+        assert_eq!(x.pending(2), 2);
+    }
+
+    #[test]
+    fn drain_is_bounded_and_glue_sorted() {
+        let x: Exchange<u32> = Exchange::new(2, 16);
+        x.publish(1, &[(vec![1, 2], 3), (vec![3], 1), (vec![4, 5], 2)]);
+        let batch = x.drain(0, 2);
+        assert_eq!(batch.len(), 2);
+        // Lowest glue first among the drained prefix.
+        assert!(batch[0].1 <= batch[1].1);
+        assert_eq!(x.pending(0), 1);
+        assert!(x.drain(0, 10).len() == 1 && x.pending(0) == 0);
+    }
+}

@@ -333,6 +333,17 @@ pub struct SearchContext<L> {
     pub(crate) analyze_reason_buf: Vec<L>,
     /// Conflict-analysis scratch: minimization output.
     pub(crate) analyze_min_buf: Vec<L>,
+    /// Clause export for parallel clause sharing: freshly learned clauses
+    /// whose glue is at most `export_glue_cap` (and length at most
+    /// `export_len_cap`) are copied here until a peer drains them with
+    /// [`SearchContext::take_exported`]. A cap of 0 disables export
+    /// entirely (the default), keeping the sequential hot path free of it.
+    pub(crate) export_buf: Vec<(Vec<L>, u32)>,
+    pub(crate) export_glue_cap: u32,
+    pub(crate) export_len_cap: usize,
+    /// Bound on `export_buf` so a fast learner cannot grow it without
+    /// limit when its peers stop draining; overflow drops new exports.
+    pub(crate) export_max: usize,
 }
 
 impl<L: SearchLit> SearchContext<L> {
@@ -381,6 +392,10 @@ impl<L: SearchLit> SearchContext<L> {
             analyze_learnt_buf: Vec::new(),
             analyze_reason_buf: Vec::new(),
             analyze_min_buf: Vec::new(),
+            export_buf: Vec::new(),
+            export_glue_cap: 0,
+            export_len_cap: 0,
+            export_max: 0,
         }
     }
 
@@ -525,6 +540,44 @@ impl<L: SearchLit> SearchContext<L> {
     /// The per-variable VSIDS activities.
     pub fn activity(&self) -> &[f64] {
         &self.activity
+    }
+
+    /// Enables clause export for parallel clause sharing: every clause
+    /// learned from now on with glue at most `glue_cap` and at most
+    /// `len_cap` literals is copied into an internal buffer (bounded by
+    /// `max_buffered`; overflow drops new exports) until drained with
+    /// [`SearchContext::take_exported`]. Passing `glue_cap == 0` turns
+    /// export back off and clears the buffer.
+    pub fn set_clause_export(&mut self, glue_cap: u32, len_cap: usize, max_buffered: usize) {
+        self.export_glue_cap = glue_cap;
+        self.export_len_cap = len_cap;
+        self.export_max = max_buffered;
+        if glue_cap == 0 {
+            self.export_buf = Vec::new();
+        }
+    }
+
+    /// Drains the exported-clause buffer: `(literals, glue)` pairs in
+    /// learn order. Empty unless [`SearchContext::set_clause_export`]
+    /// enabled export.
+    pub fn take_exported(&mut self) -> Vec<(Vec<L>, u32)> {
+        std::mem::take(&mut self.export_buf)
+    }
+
+    /// Up to `k` of the hottest variables by VSIDS activity that are
+    /// currently unassigned — the cube-and-conquer split candidates.
+    /// Sorted hottest first.
+    pub fn top_active_vars(&self, k: usize) -> Vec<usize> {
+        let mut vars: Vec<usize> = (0..self.n_vars)
+            .filter(|&v| self.values[v] == UNDEF)
+            .collect();
+        vars.sort_by(|&a, &b| {
+            self.activity[b]
+                .total_cmp(&self.activity[a])
+                .then(a.cmp(&b))
+        });
+        vars.truncate(k);
+        vars
     }
 
     /// Adds `amount` to a variable's activity without notifying any heap —

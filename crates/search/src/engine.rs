@@ -630,6 +630,15 @@ fn learn<P: Propagator>(
     if let Some(log) = &mut ctx.proof_log {
         log.push(learnt.to_vec());
     }
+    // Clause export for parallel sharing: copy qualifying clauses aside
+    // (glue and length caps, bounded buffer). Off by default — the cap of
+    // 0 keeps this a single predictable branch on the sequential path.
+    if glue <= ctx.export_glue_cap
+        && learnt.len() <= ctx.export_len_cap
+        && ctx.export_buf.len() < ctx.export_max
+    {
+        ctx.export_buf.push((learnt.to_vec(), glue));
+    }
     if learnt.len() == 1 {
         debug_assert_eq!(ctx.decision_level(), 0);
         let mark = ctx.trail.len();

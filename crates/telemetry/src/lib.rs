@@ -154,6 +154,38 @@ pub enum SolverEvent {
         /// Live learned clauses carried into this solve.
         clauses: u64,
     },
+    /// A parallel worker (0-based) started searching.
+    WorkerStart {
+        /// Worker index within the portfolio.
+        worker: u32,
+    },
+    /// A parallel worker finished; `winner` marks the worker whose
+    /// verdict the portfolio adopted (losers report `false`, typically
+    /// after observing cancellation).
+    WorkerFinish {
+        /// Worker index within the portfolio.
+        worker: u32,
+        /// True when this worker's verdict was adopted.
+        winner: bool,
+    },
+    /// One clause-sharing round completed on a worker: `exported` clauses
+    /// were published to peers and `imported` peer clauses were ingested.
+    ClausesShared {
+        /// Worker index within the portfolio.
+        worker: u32,
+        /// Clauses this worker published this round.
+        exported: u32,
+        /// Peer clauses this worker ingested this round.
+        imported: u32,
+    },
+    /// A cube-and-conquer subcube was solved to completion on `worker`;
+    /// `stolen` marks a cube taken from another worker's deque.
+    CubeSolved {
+        /// Worker index that solved the cube.
+        worker: u32,
+        /// True when the cube was stolen from another worker's deque.
+        stolen: bool,
+    },
 }
 
 /// Observer hook for solver events.
@@ -238,6 +270,20 @@ mod tests {
             SolverEvent::SessionPush { depth: 1 },
             SolverEvent::SessionPop { depth: 0 },
             SolverEvent::ClausesRetained { clauses: 42 },
+            SolverEvent::WorkerStart { worker: 0 },
+            SolverEvent::WorkerFinish {
+                worker: 0,
+                winner: true,
+            },
+            SolverEvent::ClausesShared {
+                worker: 1,
+                exported: 3,
+                imported: 5,
+            },
+            SolverEvent::CubeSolved {
+                worker: 2,
+                stolen: true,
+            },
         ] {
             obs.record(event);
         }

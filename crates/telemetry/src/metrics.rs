@@ -71,6 +71,16 @@ impl Histogram {
         }
     }
 
+    /// Folds another histogram into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Bucket counts; bucket `i >= 1` covers `[2^(i-1), 2^i)`, bucket 0
     /// covers exactly 0. Trailing empty buckets are trimmed.
     pub fn buckets(&self) -> &[u64] {
@@ -151,6 +161,22 @@ pub struct MetricsRecorder {
     /// Learned clauses retained at the start of the most recent session
     /// solve (the incremental-reuse gauge).
     pub clauses_retained: u64,
+    /// Parallel workers started.
+    pub workers_started: u64,
+    /// Parallel workers finished (winners and losers alike).
+    pub workers_finished: u64,
+    /// ... of which supplied the adopted verdict.
+    pub worker_wins: u64,
+    /// Clause-sharing rounds observed across all workers.
+    pub share_rounds: u64,
+    /// Clauses published to peers across all sharing rounds.
+    pub clauses_exported: u64,
+    /// Peer clauses ingested across all sharing rounds.
+    pub clauses_imported: u64,
+    /// Cube-and-conquer subcubes solved to completion.
+    pub cubes_solved: u64,
+    /// ... of which were stolen from another worker's deque.
+    pub cubes_stolen: u64,
     /// Depth (decision level) of every decision.
     pub decision_depth: Histogram,
     /// Back-jump distance of every conflict.
@@ -204,11 +230,70 @@ impl Observer for MetricsRecorder {
             SolverEvent::SessionPush { .. } => self.session_pushes += 1,
             SolverEvent::SessionPop { .. } => self.session_pops += 1,
             SolverEvent::ClausesRetained { clauses } => self.clauses_retained = clauses,
+            SolverEvent::WorkerStart { .. } => self.workers_started += 1,
+            SolverEvent::WorkerFinish { winner, .. } => {
+                self.workers_finished += 1;
+                self.worker_wins += winner as u64;
+            }
+            SolverEvent::ClausesShared {
+                exported, imported, ..
+            } => {
+                self.share_rounds += 1;
+                self.clauses_exported += exported as u64;
+                self.clauses_imported += imported as u64;
+            }
+            SolverEvent::CubeSolved { stolen, .. } => {
+                self.cubes_solved += 1;
+                self.cubes_stolen += stolen as u64;
+            }
         }
     }
 }
 
 impl MetricsRecorder {
+    /// Folds another recorder into this one: counters sum, gauges take
+    /// the other's value when set, histograms merge bucket-wise. Used to
+    /// combine per-worker recorders into one portfolio-wide report.
+    pub fn merge(&mut self, other: &MetricsRecorder) {
+        self.decisions += other.decisions;
+        self.grouped_decisions += other.grouped_decisions;
+        self.conflicts += other.conflicts;
+        self.learned += other.learned;
+        self.restarts += other.restarts;
+        self.deleted_clauses += other.deleted_clauses;
+        self.db_reductions += other.db_reductions;
+        self.kept_clauses += other.kept_clauses;
+        for (b, &o) in self
+            .budget_exhausted
+            .iter_mut()
+            .zip(other.budget_exhausted.iter())
+        {
+            *b += o;
+        }
+        self.subproblems += other.subproblems;
+        self.subproblems_refuted += other.subproblems_refuted;
+        self.subproblems_aborted += other.subproblems_aborted;
+        self.subproblems_satisfiable += other.subproblems_satisfiable;
+        self.subproblems_panicked += other.subproblems_panicked;
+        self.sim_rounds += other.sim_rounds;
+        self.sim_patterns += other.sim_patterns;
+        self.sim_classes = self.sim_classes.max(other.sim_classes);
+        self.session_pushes += other.session_pushes;
+        self.session_pops += other.session_pops;
+        self.clauses_retained += other.clauses_retained;
+        self.workers_started += other.workers_started;
+        self.workers_finished += other.workers_finished;
+        self.worker_wins += other.worker_wins;
+        self.share_rounds += other.share_rounds;
+        self.clauses_exported += other.clauses_exported;
+        self.clauses_imported += other.clauses_imported;
+        self.cubes_solved += other.cubes_solved;
+        self.cubes_stolen += other.cubes_stolen;
+        self.decision_depth.merge(&other.decision_depth);
+        self.backjump_distance.merge(&other.backjump_distance);
+        self.learned_length.merge(&other.learned_length);
+    }
+
     /// Budget-exhaustion returns recorded for `reason`.
     pub fn exhausted(&self, reason: Interrupt) -> u64 {
         self.budget_exhausted[reason.index()]
@@ -243,7 +328,15 @@ impl MetricsRecorder {
             .field_u64("sim_classes", self.sim_classes)
             .field_u64("session_pushes", self.session_pushes)
             .field_u64("session_pops", self.session_pops)
-            .field_u64("clauses_retained", self.clauses_retained);
+            .field_u64("clauses_retained", self.clauses_retained)
+            .field_u64("workers_started", self.workers_started)
+            .field_u64("workers_finished", self.workers_finished)
+            .field_u64("worker_wins", self.worker_wins)
+            .field_u64("share_rounds", self.share_rounds)
+            .field_u64("clauses_exported", self.clauses_exported)
+            .field_u64("clauses_imported", self.clauses_imported)
+            .field_u64("cubes_solved", self.cubes_solved)
+            .field_u64("cubes_stolen", self.cubes_stolen);
         for reason in Interrupt::ALL {
             let n = self.exhausted(reason);
             if n != 0 {

@@ -315,6 +315,20 @@ impl Budget {
         self
     }
 
+    /// Set the conflict limit (builder-style); `None` clears it. The
+    /// parallel layer derives per-round worker budgets this way from a
+    /// caller's outer budget.
+    pub fn with_conflict_limit(mut self, conflicts: Option<u64>) -> Budget {
+        self.max_conflicts = conflicts;
+        self
+    }
+
+    /// Set the wall-clock limit (builder-style); `None` clears it.
+    pub fn with_time_limit(mut self, time: Option<Duration>) -> Budget {
+        self.max_time = time;
+        self
+    }
+
     /// Attach a fault-injection plan (builder-style; tests only).
     #[cfg(feature = "fault-injection")]
     pub fn with_fault(mut self, plan: FaultPlan) -> Budget {
@@ -664,6 +678,32 @@ impl<L> From<SubVerdict<L>> for Verdict {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn budget_types_cross_threads() {
+        // The parallel layer ships budgets (with their shared cancel
+        // token) and verdicts across worker threads; that contract is
+        // compile-time, so assert it where a change would break it.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Budget>();
+        assert_send_sync::<CancelToken>();
+        assert_send_sync::<Interrupt>();
+        assert_send_sync::<Verdict>();
+        assert_send_sync::<SubVerdict>();
+    }
+
+    #[test]
+    fn budget_builder_limits() {
+        let b = Budget::UNLIMITED
+            .with_conflict_limit(Some(7))
+            .with_time_limit(Some(Duration::from_millis(3)));
+        assert_eq!(b.max_conflicts, Some(7));
+        assert_eq!(b.max_time, Some(Duration::from_millis(3)));
+        assert!(b
+            .with_conflict_limit(None)
+            .with_time_limit(None)
+            .is_unlimited());
+    }
 
     #[test]
     fn budget_constructors() {

@@ -44,6 +44,29 @@ run_incremental() {
     cargo run --release --bin csat-fuzz -- \
         --seed 0 --iters 300 --matrix incremental --corpus-dir fuzz/corpus
 }
+run_parallel_determinism() {
+    # Parallel-vs-sequential differential gate: the same 200 seed-0
+    # quick-matrix instances as fuzz-smoke, with the portfolio and
+    # cube-and-conquer oracles joining the matrix on 4 workers. Soundness
+    # forbids any verdict split between the parallel and sequential
+    # columns regardless of scheduling, so every disagreement is a real
+    # bug; shrunk repros land in fuzz/corpus/ exactly like fuzz-smoke's.
+    cargo run --release --bin csat-fuzz -- \
+        --seed 0 --iters 200 --matrix quick --threads 4 --corpus-dir fuzz/corpus
+}
+run_features() {
+    # Feature matrix. Every workspace crate must build bare —
+    # --no-default-features catches a crate that silently leans on a
+    # sibling's default features — and the `parallel` feature (threaded
+    # simulation rounds) must build and test everywhere it is forwarded.
+    local crate
+    for crate in csat-types csat-netlist csat-telemetry csat-search csat-sim \
+        csat-cnf csat-core csat-par csat-fuzz csat-bench csat; do
+        cargo build -p "$crate" --no-default-features
+    done
+    cargo test -q -p csat-sim --features parallel
+    cargo test -q --features parallel
+}
 run_perf_smoke() {
     # Perf regression gate: quick-measure the smoke subset of solve
     # families (same conflict budgets as the checked-in BENCH_solve.json
@@ -66,6 +89,47 @@ run_resilience() {
         --corpus-dir fuzz/corpus
 }
 
+# --- `all` orchestration: run every step, time it, and summarize. -------
+#
+# A failing step stops the run (later steps often depend on earlier
+# artifacts), emits a GitHub step annotation (`::error::` — rendered
+# prominently in the Actions UI, harmless noise locally) and still prints
+# the wall-clock table for everything that ran.
+
+STEP_NAMES=()
+STEP_SECS=()
+STEP_RESULTS=()
+
+print_summary() {
+    echo
+    echo "ci step summary:"
+    printf '  %-22s %9s  %s\n' "step" "seconds" "result"
+    local i
+    for i in "${!STEP_NAMES[@]}"; do
+        printf '  %-22s %9s  %s\n' \
+            "${STEP_NAMES[$i]}" "${STEP_SECS[$i]}" "${STEP_RESULTS[$i]}"
+    done
+}
+
+run_step() {
+    local name="$1"
+    shift
+    local start=$SECONDS
+    echo "==> $name"
+    if "$@"; then
+        STEP_NAMES+=("$name")
+        STEP_SECS+=($((SECONDS - start)))
+        STEP_RESULTS+=("ok")
+    else
+        STEP_NAMES+=("$name")
+        STEP_SECS+=($((SECONDS - start)))
+        STEP_RESULTS+=("FAILED")
+        echo "::error::scripts/ci.sh step '$name' failed after $((SECONDS - start))s"
+        print_summary
+        exit 1
+    fi
+}
+
 case "${1:-all}" in
     fmt) run_fmt ;;
     clippy) run_clippy ;;
@@ -75,22 +139,27 @@ case "${1:-all}" in
     fuzz-smoke) run_fuzz_smoke ;;
     kernel-parity) run_kernel_parity ;;
     incremental) run_incremental ;;
+    parallel-determinism) run_parallel_determinism ;;
+    features) run_features ;;
     perf-smoke) run_perf_smoke ;;
     resilience) run_resilience ;;
     all)
-        run_fmt
-        run_clippy
-        run_build
-        run_test
-        run_doc
-        run_fuzz_smoke
-        run_kernel_parity
-        run_incremental
-        run_perf_smoke
-        run_resilience
+        run_step fmt run_fmt
+        run_step clippy run_clippy
+        run_step build run_build
+        run_step test run_test
+        run_step doc run_doc
+        run_step fuzz-smoke run_fuzz_smoke
+        run_step kernel-parity run_kernel_parity
+        run_step incremental run_incremental
+        run_step parallel-determinism run_parallel_determinism
+        run_step features run_features
+        run_step perf-smoke run_perf_smoke
+        run_step resilience run_resilience
+        print_summary
         ;;
     *)
-        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|kernel-parity|incremental|perf-smoke|resilience|all]" >&2
+        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|kernel-parity|incremental|parallel-determinism|features|perf-smoke|resilience|all]" >&2
         exit 2
         ;;
 esac

@@ -20,7 +20,15 @@
 //!   --stats             print solver statistics
 //!   --progress <SECS>   emit JSONL progress snapshots to stderr
 //!   --metrics-out <F>   write an end-of-run JSON metrics report to F
+//!   --threads <N>       solve the miter on N parallel workers [default: 1]
+//!   --par-mode <M>      portfolio | cubes            [default: portfolio]
 //! ```
+//!
+//! With `--threads N` (N > 1) the final solve runs on the parallel layer
+//! (see `csat --help` for the portfolio/cubes split); the correlation
+//! analysis is shared across workers but the explicit learning pass is
+//! skipped (it targets a single solver's clause database). `--check-proof`
+//! is rejected with `--threads > 1`.
 //!
 //! Exit code 0 = equivalent, 1 = different, 2 = usage/input error,
 //! 3 = proof check failure, 4 = interrupted (timeout, memory, Ctrl-C).
@@ -35,8 +43,11 @@ use std::time::{Duration, Instant};
 
 use csat::core::{explicit, Budget, ExplicitOptions, Solver, SolverOptions, Verdict};
 use csat::netlist::{aiger, bench, miter, Aig};
+use csat::par::{
+    run_cubes, solve_aig_portfolio, CircuitCubeSolver, CubeOptions, ParMode, PortfolioOptions,
+};
 use csat::sim::{find_correlations_observed, SimulationOptions};
-use csat::telemetry::{NoOpObserver, Observer, ProgressObserver};
+use csat::telemetry::{MetricsRecorder, NoOpObserver, Observer, ProgressObserver};
 
 struct Options {
     left: String,
@@ -49,6 +60,8 @@ struct Options {
     stats: bool,
     progress: Option<Duration>,
     metrics_out: Option<String>,
+    threads: usize,
+    par_mode: ParMode,
 }
 
 fn usage() -> ! {
@@ -56,6 +69,7 @@ fn usage() -> ! {
         "usage: cec [--no-learning] [--check-proof] [--timeout SECS]\n\
          \x20          [--mem-limit BYTES] [--sim-words N] [--sim-threads N]\n\
          \x20          [--stats] [--progress SECS] [--metrics-out FILE]\n\
+         \x20          [--threads N] [--par-mode portfolio|cubes]\n\
          \x20          <left> <right>"
     );
     std::process::exit(2)
@@ -73,6 +87,8 @@ fn parse_args() -> Options {
         stats: false,
         progress: None,
         metrics_out: None,
+        threads: 1,
+        par_mode: ParMode::Portfolio,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -117,6 +133,19 @@ fn parse_args() -> Options {
             }
             "--metrics-out" => {
                 options.metrics_out = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--threads" => {
+                options.threads = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--par-mode" => {
+                options.par_mode = args
+                    .next()
+                    .and_then(|m| m.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => {
@@ -182,61 +211,143 @@ fn main() -> ExitCode {
     let mut progress = ProgressObserver::new(std::io::stderr(), options.progress);
     let mut noop = NoOpObserver;
     let obs: &mut dyn Observer = if observing { &mut progress } else { &mut noop };
-    let mut solver = Solver::new(
-        &m.aig,
-        SolverOptions::builder()
-            .implicit_learning(options.learning)
-            .build(),
-    );
-    if options.check_proof {
-        solver.start_proof();
-    }
     let budget = Budget::from_timeout(options.timeout)
         .with_memory_limit(options.mem_limit)
         .with_cancel(csat::signal::install());
-    if options.learning {
-        let correlations = find_correlations_observed(&m.aig, &options.simulation, obs);
-        eprintln!(
-            "c simulation: {} correlations in {:?} ({} rounds, {} patterns)",
-            correlations.correlations.len(),
-            correlations.elapsed,
-            correlations.stats.rounds,
-            correlations.stats.patterns
-        );
-        solver.set_correlations(&correlations);
-        let report = explicit::run_budgeted_observed(
-            &mut solver,
-            &correlations,
-            &ExplicitOptions::default(),
-            &budget,
-            obs,
-        );
-        eprintln!(
-            "c explicit learning: {}/{} sub-problems refuted",
-            report.refuted, report.subproblems
-        );
-        if report.panicked > 0 {
-            eprintln!(
-                "c explicit learning: {} sub-solve(s) panicked (isolated)",
-                report.panicked
-            );
-        }
-        if let Some(reason) = report.interrupted {
-            eprintln!("c explicit learning interrupted: {reason}");
-        }
+    if options.threads > 1 && options.check_proof {
+        eprintln!("error: --check-proof requires the sequential engine (drop --threads)");
+        return ExitCode::from(2);
     }
-    let verdict = solver.solve_observed(m.objective, &budget, obs);
+    let mut par_metrics: Option<MetricsRecorder> = None;
+    let verdict = if options.threads > 1 {
+        let solver_options = SolverOptions::builder()
+            .implicit_learning(options.learning)
+            .build();
+        // One correlation analysis feeds every worker; the explicit pass
+        // is skipped here (it learns into a single solver's database).
+        let correlations = if options.learning {
+            let c = find_correlations_observed(&m.aig, &options.simulation, obs);
+            eprintln!(
+                "c simulation: {} correlations in {:?} (shared across {} workers)",
+                c.correlations.len(),
+                c.elapsed,
+                options.threads
+            );
+            Some(c)
+        } else {
+            None
+        };
+        let outcome = match options.par_mode {
+            ParMode::Portfolio => solve_aig_portfolio(
+                &m.aig,
+                m.objective,
+                solver_options,
+                options.threads,
+                &PortfolioOptions::default(),
+                &budget,
+                |_, solver| {
+                    if let Some(c) = &correlations {
+                        solver.set_correlations(c);
+                    }
+                },
+            ),
+            ParMode::Cubes => {
+                let mut base = CircuitCubeSolver::new(&m.aig, m.objective, solver_options);
+                if let Some(c) = &correlations {
+                    base.session.set_correlations(c);
+                }
+                run_cubes(base, options.threads, &CubeOptions::default(), &budget)
+            }
+        };
+        eprintln!(
+            "c parallel: {} workers ({:?}), winner {:?} in {:?}",
+            outcome.workers.len(),
+            options.par_mode,
+            outcome.winner,
+            outcome.elapsed
+        );
+        if options.stats {
+            for w in &outcome.workers {
+                eprintln!(
+                    "c worker {}: {:?}{} {:?}",
+                    w.worker,
+                    w.outcome,
+                    if w.winner { " (winner)" } else { "" },
+                    w.stats
+                );
+            }
+        }
+        par_metrics = Some(outcome.metrics);
+        outcome.verdict
+    } else {
+        let mut solver = Solver::new(
+            &m.aig,
+            SolverOptions::builder()
+                .implicit_learning(options.learning)
+                .build(),
+        );
+        if options.check_proof {
+            solver.start_proof();
+        }
+        if options.learning {
+            let correlations = find_correlations_observed(&m.aig, &options.simulation, obs);
+            eprintln!(
+                "c simulation: {} correlations in {:?} ({} rounds, {} patterns)",
+                correlations.correlations.len(),
+                correlations.elapsed,
+                correlations.stats.rounds,
+                correlations.stats.patterns
+            );
+            solver.set_correlations(&correlations);
+            let report = explicit::run_budgeted_observed(
+                &mut solver,
+                &correlations,
+                &ExplicitOptions::default(),
+                &budget,
+                obs,
+            );
+            eprintln!(
+                "c explicit learning: {}/{} sub-problems refuted",
+                report.refuted, report.subproblems
+            );
+            if report.panicked > 0 {
+                eprintln!(
+                    "c explicit learning: {} sub-solve(s) panicked (isolated)",
+                    report.panicked
+                );
+            }
+            if let Some(reason) = report.interrupted {
+                eprintln!("c explicit learning interrupted: {reason}");
+            }
+        }
+        let verdict = solver.solve_observed(m.objective, &budget, obs);
+        if options.stats {
+            eprintln!("c stats: {:?}", solver.stats());
+        }
+        if options.check_proof && verdict == Verdict::Unsat {
+            let proof = solver.take_proof();
+            match csat::core::proof::verify_unsat(&m.aig, &proof, m.objective) {
+                Ok(()) => eprintln!("c proof: VERIFIED ({} clauses)", proof.len()),
+                Err(e) => {
+                    eprintln!("c proof: FAILED — {e}");
+                    return ExitCode::from(3);
+                }
+            }
+        }
+        verdict
+    };
     let elapsed = start.elapsed();
     eprintln!("c solved in {elapsed:?}");
-    if options.stats {
-        eprintln!("c stats: {:?}", solver.stats());
-    }
     if let Some(path) = &options.metrics_out {
         let name = match &verdict {
             Verdict::Sat(_) => "SAT",
             Verdict::Unsat => "UNSAT",
             Verdict::Unknown(_) => "UNKNOWN",
         };
+        // Fold merged per-worker recorders into the report on parallel runs.
+        if let Some(m) = &par_metrics {
+            progress.recorder.merge(m);
+        }
         let report = progress.recorder.report_json(name, elapsed);
         match std::fs::write(path, report + "\n") {
             Ok(()) => eprintln!("c metrics written to {path}"),
@@ -245,16 +356,6 @@ fn main() -> ExitCode {
     }
     match verdict {
         Verdict::Unsat => {
-            if options.check_proof {
-                let proof = solver.take_proof();
-                match csat::core::proof::verify_unsat(&m.aig, &proof, m.objective) {
-                    Ok(()) => eprintln!("c proof: VERIFIED ({} clauses)", proof.len()),
-                    Err(e) => {
-                        eprintln!("c proof: FAILED — {e}");
-                        return ExitCode::from(3);
-                    }
-                }
-            }
             println!("EQUIVALENT");
             ExitCode::SUCCESS
         }

@@ -13,7 +13,14 @@
 //!                       [default: fuzz/corpus]
 //!   --conflict-budget <N>  per-oracle conflict budget [default: 100000]
 //!   --mem-limit <BYTES> per-oracle learned-clause memory budget
+//!   --threads <N>       workers for the parallel oracle columns
+//!                       [default: 1 = sequential matrix only]
 //! ```
+//!
+//! With `--threads N` (N > 1) the `par-portfolio` and `par-cubes` columns
+//! join the matrix: each races N diversified workers on the circuit
+//! backend and its verdict is cross-checked against the sequential,
+//! proof-backed oracles — the parallel-vs-sequential differential gate.
 //!
 //! Exit codes: 0 — all oracles agreed on every instance; 1 — at least one
 //! disagreement (repros written to the corpus directory); 2 — usage error.
@@ -44,7 +51,8 @@ fn usage() -> ! {
         "usage: csat-fuzz [--seed N] [--iters N] [--time-budget SECS]\n\
          \x20               [--matrix quick|full|incremental] [--json]\n\
          \x20               [--corpus-dir DIR]\n\
-         \x20               [--conflict-budget N] [--mem-limit BYTES]"
+         \x20               [--conflict-budget N] [--mem-limit BYTES]\n\
+         \x20               [--threads N]"
     );
     std::process::exit(2)
 }
@@ -88,6 +96,13 @@ fn parse_args() -> FuzzOptions {
                 options.conflict_budget = args
                     .next()
                     .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                options.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage());
             }
             "--mem-limit" => {

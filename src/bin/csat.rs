@@ -20,7 +20,18 @@
 //!   --stats             print solver statistics
 //!   --progress <SECS>   emit JSONL progress snapshots to stderr
 //!   --metrics-out <F>   write an end-of-run JSON metrics report to F
+//!   --threads <N>       solve on N parallel workers [default: 1]
+//!   --par-mode <M>      portfolio | cubes            [default: portfolio]
 //! ```
+//!
+//! With `--threads N` (N > 1) the solve runs on the parallel layer:
+//! `portfolio` races N diversified solver configurations with learned-
+//! clause sharing; `cubes` splits on the hottest variables after a probe
+//! and conquers the subcubes with work stealing. The verdict is always
+//! the same as a sequential solve's (soundness forbids anything else);
+//! the winning worker, statistics and timing vary run to run.
+//! `--check-proof` requires the sequential engine and is rejected with
+//! `--threads > 1` (parallel runs assemble no single proof log).
 //!
 //! Ctrl-C interrupts the solve cooperatively: the first strike yields
 //! `s UNKNOWN` (reason `cancelled`) with partial statistics and a clean
@@ -32,8 +43,12 @@ use std::time::{Duration, Instant};
 
 use csat::core::{explicit, Budget, ExplicitOptions, Solver, SolverOptions, Verdict};
 use csat::netlist::{aiger, bench, cnf::Cnf, two_level, Aig, Lit};
+use csat::par::{
+    run_cubes, solve_aig_portfolio, solve_cnf_cubes, solve_cnf_portfolio, CircuitCubeSolver,
+    CubeOptions, ParMode, ParOutcome, PortfolioOptions,
+};
 use csat::sim::{find_correlations_observed, SimulationOptions};
-use csat::telemetry::{NoOpObserver, Observer, ProgressObserver};
+use csat::telemetry::{MetricsRecorder, NoOpObserver, Observer, ProgressObserver};
 
 struct Options {
     file: String,
@@ -49,6 +64,8 @@ struct Options {
     stats: bool,
     progress: Option<Duration>,
     metrics_out: Option<String>,
+    threads: usize,
+    par_mode: ParMode,
 }
 
 #[derive(PartialEq)]
@@ -65,6 +82,7 @@ fn usage() -> ! {
          \x20           [--timeout SECS] [--mem-limit BYTES]\n\
          \x20           [--sim-words N] [--sim-threads N]\n\
          \x20           [--stats] [--progress SECS] [--metrics-out FILE]\n\
+         \x20           [--threads N] [--par-mode portfolio|cubes]\n\
          \x20           <file.{{bench,aag,cnf}}>"
     );
     std::process::exit(2)
@@ -85,6 +103,8 @@ fn parse_args() -> Options {
         stats: false,
         progress: None,
         metrics_out: None,
+        threads: 1,
+        par_mode: ParMode::Portfolio,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -140,6 +160,19 @@ fn parse_args() -> Options {
             }
             "--metrics-out" => {
                 options.metrics_out = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--threads" => {
+                options.threads = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--par-mode" => {
+                options.par_mode = args
+                    .next()
+                    .and_then(|m| m.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && options.file.is_empty() => {
@@ -214,72 +247,49 @@ fn main() -> ExitCode {
     let budget = Budget::from_timeout(options.timeout)
         .with_memory_limit(options.mem_limit)
         .with_cancel(csat::signal::install());
-    let verdict = match options.engine {
-        Engine::Cnf => {
-            let enc = csat::netlist::tseitin::encode_with_objective(&aig, objective);
-            let outcome = csat::cnf::Solver::new(&enc.cnf, csat::cnf::SolverOptions::default())
-                .solve_observed(&budget, obs);
-            match outcome {
-                Verdict::Sat(model) => Verdict::Sat(enc.input_values(&aig, &model)),
-                Verdict::Unsat => Verdict::Unsat,
-                Verdict::Unknown(reason) => Verdict::Unknown(reason),
-            }
-        }
-        ref engine => {
-            let solver_options = SolverOptions::builder()
-                .jnode_decisions(*engine == Engine::Circuit)
-                .implicit_learning(options.implicit)
-                .build();
-            let mut solver = Solver::new(&aig, solver_options);
-            if options.check_proof {
-                solver.start_proof();
-            }
-            if options.implicit || options.explicit_pass {
-                let correlations = find_correlations_observed(&aig, &options.simulation, obs);
+    if options.threads > 1 && options.check_proof {
+        eprintln!("error: --check-proof requires the sequential engine (drop --threads)");
+        return ExitCode::from(2);
+    }
+    let mut par_metrics: Option<MetricsRecorder> = None;
+    let verdict = if options.threads > 1 {
+        let outcome = solve_parallel(&options, &aig, objective, &budget, obs);
+        eprintln!(
+            "c parallel: {} workers ({:?}), winner {:?}, {} rounds total in {:?}",
+            outcome.workers.len(),
+            options.par_mode,
+            outcome.winner,
+            outcome.workers.iter().map(|w| w.rounds).sum::<u64>(),
+            outcome.elapsed
+        );
+        if options.stats {
+            for w in &outcome.workers {
                 eprintln!(
-                    "c simulation: {} correlations in {:?} ({} rounds, {} patterns, \
-                     sim {:?} + refine {:?})",
-                    correlations.correlations.len(),
-                    correlations.elapsed,
-                    correlations.stats.rounds,
-                    correlations.stats.patterns,
-                    correlations.stats.sim_time,
-                    correlations.stats.refine_time
+                    "c worker {}: {:?}{} {:?}",
+                    w.worker,
+                    w.outcome,
+                    if w.winner { " (winner)" } else { "" },
+                    w.stats
                 );
-                solver.set_correlations(&correlations);
-                if options.explicit_pass {
-                    let report = explicit::run_budgeted_observed(
-                        &mut solver,
-                        &correlations,
-                        &ExplicitOptions::default(),
-                        &budget,
-                        obs,
-                    );
-                    eprintln!(
-                        "c explicit learning: {} sub-problems ({} refuted)",
-                        report.subproblems, report.refuted
-                    );
-                    if let Some(reason) = report.interrupted {
-                        eprintln!("c explicit learning interrupted: {reason}");
-                    }
-                }
             }
-            let verdict = solver.solve_observed(objective, &budget, obs);
-            if options.stats {
-                eprintln!("c stats: {:?}", solver.stats());
-            }
-            if options.check_proof && verdict == Verdict::Unsat {
-                let proof = solver.take_proof();
-                match csat::core::proof::verify_unsat(&aig, &proof, objective) {
-                    Ok(()) => eprintln!("c proof: VERIFIED ({} clauses)", proof.len()),
-                    Err(e) => {
-                        eprintln!("c proof: FAILED — {e}");
-                        return ExitCode::from(3);
-                    }
-                }
-            }
-            verdict
         }
+        let verdict = match (&options.engine, outcome.verdict.clone()) {
+            // CNF-engine models come back over CNF variables; map them to
+            // circuit inputs like the sequential path does.
+            (Engine::Cnf, Verdict::Sat(model)) => {
+                let enc = csat::netlist::tseitin::encode_with_objective(&aig, objective);
+                Verdict::Sat(enc.input_values(&aig, &model))
+            }
+            (_, v) => v,
+        };
+        par_metrics = Some(outcome.metrics);
+        Some(verdict)
+    } else {
+        solve_sequential(&options, &aig, objective, &budget, obs)
+    };
+    let verdict = match verdict {
+        Some(v) => v,
+        None => return ExitCode::from(3),
     };
     let elapsed = start.elapsed();
     eprintln!("c solved in {elapsed:?}");
@@ -289,6 +299,11 @@ fn main() -> ExitCode {
             Verdict::Unsat => "UNSAT",
             Verdict::Unknown(_) => "UNKNOWN",
         };
+        // Parallel runs record per-worker events into their own recorders;
+        // fold the merged copy in so the report covers every worker.
+        if let Some(m) = &par_metrics {
+            progress.recorder.merge(m);
+        }
         let report = progress.recorder.report_json(name, elapsed);
         match std::fs::write(path, report + "\n") {
             Ok(()) => eprintln!("c metrics written to {path}"),
@@ -315,6 +330,157 @@ fn main() -> ExitCode {
             eprintln!("c interrupted: {reason}");
             println!("s UNKNOWN");
             ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Single-threaded solve: the classic engine dispatch. Returns `None` only
+/// when `--check-proof` was asked for and the proof failed verification
+/// (`main` maps that to exit code 3).
+fn solve_sequential(
+    options: &Options,
+    aig: &Aig,
+    objective: Lit,
+    budget: &Budget,
+    obs: &mut dyn Observer,
+) -> Option<Verdict> {
+    match options.engine {
+        Engine::Cnf => {
+            let enc = csat::netlist::tseitin::encode_with_objective(aig, objective);
+            let outcome = csat::cnf::Solver::new(&enc.cnf, csat::cnf::SolverOptions::default())
+                .solve_observed(budget, obs);
+            Some(match outcome {
+                Verdict::Sat(model) => Verdict::Sat(enc.input_values(aig, &model)),
+                Verdict::Unsat => Verdict::Unsat,
+                Verdict::Unknown(reason) => Verdict::Unknown(reason),
+            })
+        }
+        ref engine => {
+            let solver_options = SolverOptions::builder()
+                .jnode_decisions(*engine == Engine::Circuit)
+                .implicit_learning(options.implicit)
+                .build();
+            let mut solver = Solver::new(aig, solver_options);
+            if options.check_proof {
+                solver.start_proof();
+            }
+            if options.implicit || options.explicit_pass {
+                let correlations = find_correlations_observed(aig, &options.simulation, obs);
+                eprintln!(
+                    "c simulation: {} correlations in {:?} ({} rounds, {} patterns, \
+                     sim {:?} + refine {:?})",
+                    correlations.correlations.len(),
+                    correlations.elapsed,
+                    correlations.stats.rounds,
+                    correlations.stats.patterns,
+                    correlations.stats.sim_time,
+                    correlations.stats.refine_time
+                );
+                solver.set_correlations(&correlations);
+                if options.explicit_pass {
+                    let report = explicit::run_budgeted_observed(
+                        &mut solver,
+                        &correlations,
+                        &ExplicitOptions::default(),
+                        budget,
+                        obs,
+                    );
+                    eprintln!(
+                        "c explicit learning: {} sub-problems ({} refuted)",
+                        report.subproblems, report.refuted
+                    );
+                    if let Some(reason) = report.interrupted {
+                        eprintln!("c explicit learning interrupted: {reason}");
+                    }
+                }
+            }
+            let verdict = solver.solve_observed(objective, budget, obs);
+            if options.stats {
+                eprintln!("c stats: {:?}", solver.stats());
+            }
+            if options.check_proof && verdict == Verdict::Unsat {
+                let proof = solver.take_proof();
+                match csat::core::proof::verify_unsat(aig, &proof, objective) {
+                    Ok(()) => eprintln!("c proof: VERIFIED ({} clauses)", proof.len()),
+                    Err(e) => {
+                        eprintln!("c proof: FAILED — {e}");
+                        return None;
+                    }
+                }
+            }
+            Some(verdict)
+        }
+    }
+}
+
+/// Multi-threaded solve on the `csat-par` layer. The CNF engine races (or
+/// cubes) over the Tseitin encoding — its SAT models come back over CNF
+/// variables and are mapped to circuit inputs by `main`. Circuit engines
+/// share one correlation analysis across all workers.
+fn solve_parallel(
+    options: &Options,
+    aig: &Aig,
+    objective: Lit,
+    budget: &Budget,
+    obs: &mut dyn Observer,
+) -> ParOutcome {
+    if options.engine == Engine::Cnf {
+        let enc = csat::netlist::tseitin::encode_with_objective(aig, objective);
+        return match options.par_mode {
+            ParMode::Portfolio => solve_cnf_portfolio(
+                &enc.cnf,
+                csat::cnf::SolverOptions::default(),
+                options.threads,
+                &PortfolioOptions::default(),
+                budget,
+            ),
+            ParMode::Cubes => solve_cnf_cubes(
+                &enc.cnf,
+                csat::cnf::SolverOptions::default(),
+                options.threads,
+                &CubeOptions::default(),
+                budget,
+            ),
+        };
+    }
+    let solver_options = SolverOptions::builder()
+        .jnode_decisions(options.engine == Engine::Circuit)
+        .implicit_learning(options.implicit)
+        .build();
+    // One simulation pass feeds every worker: correlations are a property
+    // of the circuit, not of any particular search configuration.
+    let correlations = if options.implicit {
+        let c = find_correlations_observed(aig, &options.simulation, obs);
+        eprintln!(
+            "c simulation: {} correlations in {:?} (shared across {} workers)",
+            c.correlations.len(),
+            c.elapsed,
+            options.threads
+        );
+        Some(c)
+    } else {
+        None
+    };
+    match options.par_mode {
+        ParMode::Portfolio => solve_aig_portfolio(
+            aig,
+            objective,
+            solver_options,
+            options.threads,
+            &PortfolioOptions::default(),
+            budget,
+            |_, solver| {
+                if let Some(c) = &correlations {
+                    solver.set_correlations(c);
+                }
+            },
+        ),
+        ParMode::Cubes => {
+            let mut base = CircuitCubeSolver::new(aig, objective, solver_options);
+            if let Some(c) = &correlations {
+                base.session.set_correlations(c);
+            }
+            run_cubes(base, options.threads, &CubeOptions::default(), budget)
         }
     }
 }

@@ -43,6 +43,7 @@ pub use csat_cnf as cnf;
 pub use csat_core as core;
 pub use csat_fuzz as fuzz;
 pub use csat_netlist as netlist;
+pub use csat_par as par;
 pub use csat_sim as sim;
 pub use csat_telemetry as telemetry;
 pub use csat_types as types;

@@ -8,13 +8,15 @@
 //! an outer budget; and the `csat` CLI exits 0 with `s UNKNOWN` on an
 //! interrupted run.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use csat::core::{explicit, ExplicitOptions, Solver, SolverOptions};
 use csat::netlist::{generators, miter};
+use csat::par::{run_portfolio, JobVerdict, PortfolioOptions, PortfolioWorker, WorkerOutcome};
 use csat::sim::{find_correlations, SimulationOptions};
-use csat::telemetry::MetricsRecorder;
-use csat::types::{Budget, CancelToken, Interrupt, Verdict};
+use csat::telemetry::{MetricsRecorder, Observer};
+use csat::types::{Budget, BudgetMeter, CancelToken, Interrupt, SearchStats, Verdict};
 
 /// A self-miter hard enough that no solver configuration finishes it in
 /// the few hundred milliseconds these tests allow.
@@ -120,6 +122,94 @@ fn explicit_pass_honors_an_expired_outer_clock() {
         &Budget::time(Duration::ZERO),
     );
     assert_eq!(report.interrupted, Some(Interrupt::Timeout));
+}
+
+/// A scripted portfolio member: worker 0 "solves" the instance after a
+/// short delay; every other worker spins on budget checkpoints (exactly
+/// what the real kernel does at each conflict and decision) and records
+/// how many it took before the cancellation landed.
+struct ScriptedWorker<'a> {
+    idx: usize,
+    observed_checkpoints: &'a [AtomicU64],
+    observed_cancelled: &'a [AtomicU64],
+}
+
+impl PortfolioWorker for ScriptedWorker<'_> {
+    type Lit = u32;
+
+    fn configure_export(&mut self, _: u32, _: usize, _: usize) {}
+
+    fn take_exported(&mut self) -> Vec<(Vec<u32>, u32)> {
+        Vec::new()
+    }
+
+    fn import_clause(&mut self, _: Vec<u32>) {}
+
+    fn solve_round(&mut self, budget: &Budget, _: &mut dyn Observer) -> JobVerdict {
+        if self.idx == 0 {
+            std::thread::sleep(Duration::from_millis(30));
+            return JobVerdict::Sat(vec![true]);
+        }
+        let mut meter = BudgetMeter::new(budget);
+        loop {
+            match meter.checkpoint(0, 0, 0, 0) {
+                Some(reason) => {
+                    self.observed_checkpoints[self.idx]
+                        .store(meter.checkpoints(), Ordering::SeqCst);
+                    if reason == Interrupt::Cancelled {
+                        self.observed_cancelled[self.idx].store(1, Ordering::SeqCst);
+                    }
+                    return JobVerdict::Aborted(reason);
+                }
+                None => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+    }
+
+    fn stats(&self) -> SearchStats {
+        SearchStats::default()
+    }
+}
+
+#[test]
+fn portfolio_losers_observe_cancellation_within_bounded_checkpoints() {
+    const WORKERS: usize = 4;
+    let observed_checkpoints: Vec<AtomicU64> = (0..WORKERS).map(|_| AtomicU64::new(0)).collect();
+    let observed_cancelled: Vec<AtomicU64> = (0..WORKERS).map(|_| AtomicU64::new(0)).collect();
+    let workers: Vec<ScriptedWorker<'_>> = (0..WORKERS)
+        .map(|idx| ScriptedWorker {
+            idx,
+            observed_checkpoints: &observed_checkpoints,
+            observed_cancelled: &observed_cancelled,
+        })
+        .collect();
+    let outcome = run_portfolio(workers, &PortfolioOptions::default(), &Budget::UNLIMITED);
+
+    // Worker 0 wins with its model; every loser observed Cancelled through
+    // the ordinary budget-checkpoint path, not a kill.
+    assert_eq!(outcome.verdict, Verdict::Sat(vec![true]));
+    assert_eq!(outcome.winner, Some(0));
+    for idx in 1..WORKERS {
+        assert_eq!(
+            outcome.workers[idx].outcome,
+            WorkerOutcome::Aborted(Interrupt::Cancelled),
+            "worker {idx}: {:?}",
+            outcome.workers[idx].outcome
+        );
+        assert_eq!(observed_cancelled[idx].load(Ordering::SeqCst), 1);
+        // The winner finishes after ~30ms and losers checkpoint every
+        // ~1ms, so cancellation must land within a bounded number of
+        // checkpoints — generous slack for loaded CI machines, but far
+        // below an unbounded spin.
+        let checkpoints = observed_checkpoints[idx].load(Ordering::SeqCst);
+        assert!(
+            (1..=60_000).contains(&checkpoints),
+            "worker {idx} took {checkpoints} checkpoints to see the cancellation"
+        );
+    }
+    // Telemetry from all workers was merged: one win, all started.
+    assert_eq!(outcome.metrics.workers_started, WORKERS as u64);
+    assert_eq!(outcome.metrics.worker_wins, 1);
 }
 
 #[test]
