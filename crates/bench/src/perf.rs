@@ -9,7 +9,8 @@
 //!   by later runs, so the perf delta of any change stays visible, and
 //! * `rows` — the current measurement, refreshed by each `solve_bench` run.
 //!
-//! [`check_regression`] backs the `scripts/ci.sh perf-smoke` gate: it
+//! The `solve_bench --check` mode backs the `scripts/ci.sh perf-smoke`
+//! gate: it
 //! re-measures the quick subset and fails when ns/conflict regresses more
 //! than the threshold against the checked-in `rows`.
 

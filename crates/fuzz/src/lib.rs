@@ -25,6 +25,10 @@
 //!   for CNF-born instances, the original `.cnf`) into a corpus directory.
 //! * [`runner`] — the seed-reproducible driver behind the `csat-fuzz`
 //!   binary, emitting the same JSONL row shape as the bench binaries.
+//! * [`serve_frames`] — hostile-input fuzzing of the `csat-serve` JSONL
+//!   request parser (`--matrix serve`): malformed, truncated, mutated and
+//!   duplicate-id frames must never panic and must produce structured,
+//!   deterministic accept/reject outcomes.
 //!
 //! # Seed-reproducibility contract
 //!
@@ -54,6 +58,7 @@ pub mod corpus;
 pub mod instances;
 pub mod oracle;
 pub mod runner;
+pub mod serve_frames;
 pub mod shrink;
 pub mod trajectory;
 
@@ -61,5 +66,6 @@ pub use corpus::{write_repro, Repro};
 pub use instances::{generate, Instance, InstanceKind};
 pub use oracle::{check_instance, oracles, InstanceReport, Matrix, Oracle, OracleOutcome};
 pub use runner::{run, FuzzOptions, FuzzSummary};
+pub use serve_frames::{check_frames, FrameKind, FrameReport};
 pub use shrink::shrink;
 pub use trajectory::{check_trajectory, TrajectoryKind, TrajectoryReport};

@@ -47,6 +47,13 @@ pub enum Matrix {
     /// [`crate::trajectory`]). This matrix drives sessions directly
     /// instead of the per-instance oracle list.
     Incremental,
+    /// Serve-protocol frame fuzzing: seed-derived batches of malformed,
+    /// truncated, mutated and duplicate-id JSONL frames thrown at the
+    /// daemon's request parser, asserting it never panics, rejects with
+    /// structured errors, and stays deterministic (see
+    /// [`crate::serve_frames`]). Like [`Matrix::Incremental`], this
+    /// matrix bypasses the per-instance oracle list.
+    Serve,
 }
 
 impl Matrix {
@@ -56,6 +63,7 @@ impl Matrix {
             Matrix::Quick => "quick",
             Matrix::Full => "full",
             Matrix::Incremental => "incremental",
+            Matrix::Serve => "serve",
         }
     }
 
@@ -65,6 +73,7 @@ impl Matrix {
             "quick" => Some(Matrix::Quick),
             "full" => Some(Matrix::Full),
             "incremental" => Some(Matrix::Incremental),
+            "serve" => Some(Matrix::Serve),
             _ => None,
         }
     }
@@ -146,7 +155,7 @@ pub fn oracles(matrix: Matrix) -> Vec<Oracle> {
 /// oracles of the same matrix.
 pub fn oracles_with_threads(matrix: Matrix, threads: usize) -> Vec<Oracle> {
     let mut list = oracles_sequential(matrix);
-    if threads > 1 && matrix != Matrix::Incremental {
+    if threads > 1 && !matches!(matrix, Matrix::Incremental | Matrix::Serve) {
         list.push(oracle("par-portfolio", Spec::ParPortfolio { threads }));
         list.push(oracle("par-cubes", Spec::ParCubes { threads }));
     }
@@ -154,7 +163,7 @@ pub fn oracles_with_threads(matrix: Matrix, threads: usize) -> Vec<Oracle> {
 }
 
 fn oracles_sequential(matrix: Matrix) -> Vec<Oracle> {
-    if matrix == Matrix::Incremental {
+    if matches!(matrix, Matrix::Incremental | Matrix::Serve) {
         return Vec::new();
     }
     let mut list = vec![

@@ -23,6 +23,7 @@ use csat_types::{Budget, CancelToken};
 use crate::corpus::{write_repro, Repro};
 use crate::instances::{generate, Instance};
 use crate::oracle::{check_instance, oracles_with_threads, Matrix};
+use crate::serve_frames::check_frames;
 use crate::shrink::shrink;
 use crate::trajectory::check_trajectory;
 
@@ -124,6 +125,9 @@ fn mix(base: u64, i: u64) -> u64 {
 pub fn run(options: &FuzzOptions, out: &mut dyn Write) -> io::Result<FuzzSummary> {
     if options.matrix == Matrix::Incremental {
         return run_trajectories(options, out);
+    }
+    if options.matrix == Matrix::Serve {
+        return run_serve_frames(options, out);
     }
     let matrix = oracles_with_threads(options.matrix, options.threads.max(1));
     let mut budget =
@@ -278,6 +282,77 @@ fn run_trajectories(options: &FuzzOptions, out: &mut dyn Write) -> io::Result<Fu
         if let Some(description) = report.disagreement {
             eprintln!(
                 "c trajectory disagreement (seed {trajectory_seed}, {}): {description}",
+                report.kind.name()
+            );
+        }
+    }
+    summary.elapsed = started.elapsed();
+
+    let mut row = JsonObject::new();
+    row.field_str("type", "fuzz_summary")
+        .field_u64("seed", options.seed)
+        .field_u64("iters", summary.iters_run)
+        .field_str("matrix", options.matrix.name())
+        .field_u64("threads", options.threads.max(1) as u64)
+        .field_u64("sat", summary.sat)
+        .field_u64("unsat", summary.unsat)
+        .field_u64("unknown_only", summary.unknown_only)
+        .field_u64("disagreements", summary.disagreements)
+        .field_bool("cancelled", summary.cancelled)
+        .field_f64("seconds", summary.elapsed.as_secs_f64());
+    writeln!(out, "{}", row.finish())?;
+    Ok(summary)
+}
+
+/// The [`Matrix::Serve`] sweep: one hostile-frame batch per iteration
+/// thrown at the `csat-serve` request parser (see [`crate::serve_frames`]).
+/// Accepted frames count under `sat`, structured rejections under `unsat`;
+/// a contract violation (panic, unstructured or non-deterministic parse,
+/// wrong accept/reject) is a disagreement, replayable from its seed —
+/// there is no corpus repro, the seed is the repro.
+fn run_serve_frames(options: &FuzzOptions, out: &mut dyn Write) -> io::Result<FuzzSummary> {
+    let started = Instant::now();
+    let mut summary = FuzzSummary::default();
+    for i in 0..options.iters {
+        if let Some(cap) = options.time_budget {
+            if started.elapsed() >= cap {
+                break;
+            }
+        }
+        if let Some(token) = &options.cancel {
+            if token.is_cancelled() {
+                summary.cancelled = true;
+                break;
+            }
+        }
+        let batch_seed = mix(options.seed, i);
+        let batch_started = Instant::now();
+        let report = check_frames(batch_seed);
+        let seconds = batch_started.elapsed().as_secs_f64();
+        summary.iters_run += 1;
+        summary.sat += report.accepted;
+        summary.unsat += report.rejected;
+        if report.disagreement.is_some() {
+            summary.disagreements += 1;
+        }
+
+        if options.json {
+            let mut row = JsonObject::new();
+            row.field_str("type", "fuzz")
+                .field_u64("iter", i)
+                .field_u64("seed", batch_seed)
+                .field_str("kind", report.kind.name())
+                .field_str("matrix", options.matrix.name())
+                .field_u64("frames", report.frames)
+                .field_u64("accepted", report.accepted)
+                .field_u64("rejected", report.rejected)
+                .field_bool("disagreement", report.disagreement.is_some())
+                .field_f64("seconds", seconds);
+            writeln!(out, "{}", row.finish())?;
+        }
+        if let Some(description) = report.disagreement {
+            eprintln!(
+                "c serve-frame contract violation (seed {batch_seed}, {}): {description}",
                 report.kind.name()
             );
         }

@@ -1,0 +1,358 @@
+//! Serve-protocol frame fuzzing ([`crate::Matrix::Serve`]).
+//!
+//! The daemon's first line of defense is [`csat_serve::parse_request`]:
+//! every byte a client sends crosses it before touching the queue. This
+//! family hammers that boundary with seed-derived batches of hostile
+//! frames — truncations, byte mutations, raw garbage, shape-valid JSON
+//! with broken request semantics, duplicate ids — and checks the
+//! parser's contract on each one:
+//!
+//! * it never panics, whatever the input;
+//! * rejections are *structured* (a non-empty, client-safe message);
+//! * parsing is deterministic (same frame twice ⇒ identical result);
+//! * frames known to be well-formed parse `Ok`, frames known to be
+//!   broken parse `Err`.
+//!
+//! A violated contract is reported as a disagreement, mirroring the
+//! solver matrices: the seed alone replays it.
+
+use std::panic::catch_unwind;
+
+use csat_serve::parse_request;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The hostile-input family a seed maps to (`seed % 6`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Well-formed frames of every request type; must all parse `Ok`.
+    RoundTrip,
+    /// Proper prefixes of well-formed frames; the closing brace is gone,
+    /// so every one must be rejected.
+    Truncated,
+    /// Well-formed frames with random printable-ASCII bytes substituted.
+    /// No verdict expectation — only the no-panic/structured/deterministic
+    /// contract.
+    Mutated,
+    /// Random printable-ASCII noise, braces and quotes included.
+    Garbage,
+    /// Syntactically valid JSON that violates the request schema; must
+    /// all be rejected with a structured error.
+    WrongShape,
+    /// Repeated and colliding ids. Admission-time dedup is the server's
+    /// job, not the parser's: both copies must parse `Ok`.
+    DuplicateId,
+}
+
+impl FrameKind {
+    /// Stable lowercase name (JSONL `kind` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameKind::RoundTrip => "round_trip",
+            FrameKind::Truncated => "truncated",
+            FrameKind::Mutated => "mutated",
+            FrameKind::Garbage => "garbage",
+            FrameKind::WrongShape => "wrong_shape",
+            FrameKind::DuplicateId => "duplicate_id",
+        }
+    }
+}
+
+/// What one seed's frame batch did.
+#[derive(Debug)]
+pub struct FrameReport {
+    /// The family the seed mapped to.
+    pub kind: FrameKind,
+    /// Frames checked in this batch.
+    pub frames: u64,
+    /// Frames the parser accepted.
+    pub accepted: u64,
+    /// Frames the parser rejected with a structured error.
+    pub rejected: u64,
+    /// First contract violation, if any (the seed is the repro).
+    pub disagreement: Option<String>,
+}
+
+/// How one frame may legally come out of the parser.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    Accept,
+    Reject,
+    Either,
+}
+
+/// Runs one seed's batch. Equal seeds check equal frames.
+pub fn check_frames(seed: u64) -> FrameReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kind = match seed % 6 {
+        0 => FrameKind::RoundTrip,
+        1 => FrameKind::Truncated,
+        2 => FrameKind::Mutated,
+        3 => FrameKind::Garbage,
+        4 => FrameKind::WrongShape,
+        _ => FrameKind::DuplicateId,
+    };
+    let batch: Vec<(String, Expect)> = match kind {
+        FrameKind::RoundTrip => valid_frames(&mut rng)
+            .into_iter()
+            .map(|f| (f, Expect::Accept))
+            .collect(),
+        FrameKind::Truncated => valid_frames(&mut rng)
+            .iter()
+            .map(|f| (truncate(f, &mut rng), Expect::Reject))
+            .collect(),
+        FrameKind::Mutated => valid_frames(&mut rng)
+            .iter()
+            .flat_map(|f| {
+                (0..4)
+                    .map(|_| (mutate(f, &mut rng), Expect::Either))
+                    .collect::<Vec<_>>()
+            })
+            .collect(),
+        FrameKind::Garbage => (0..32)
+            .map(|_| (garbage(&mut rng), Expect::Either))
+            .collect(),
+        FrameKind::WrongShape => wrong_shape_frames(&mut rng)
+            .into_iter()
+            .map(|f| (f, Expect::Reject))
+            .collect(),
+        FrameKind::DuplicateId => duplicate_id_frames(&mut rng)
+            .into_iter()
+            .map(|f| (f, Expect::Accept))
+            .collect(),
+    };
+    let mut report = FrameReport {
+        kind,
+        frames: 0,
+        accepted: 0,
+        rejected: 0,
+        disagreement: None,
+    };
+    for (frame, expect) in &batch {
+        report.frames += 1;
+        if let Err(violation) = check_one(frame, *expect, &mut report) {
+            report.disagreement = Some(violation);
+            break;
+        }
+    }
+    report
+}
+
+/// Checks the parser contract on one frame; `Err` is a violation.
+fn check_one(frame: &str, expect: Expect, report: &mut FrameReport) -> Result<(), String> {
+    let first = catch_unwind(|| parse_request(frame))
+        .map_err(|_| format!("parser panicked on {}", preview(frame)))?;
+    // Determinism: the parser is a pure function of the line.
+    let second = parse_request(frame);
+    match (&first, &second) {
+        (Ok(a), Ok(b)) if a == b => {}
+        (Err(a), Err(b)) if a.message == b.message && a.id == b.id => {}
+        _ => return Err(format!("non-deterministic parse of {}", preview(frame))),
+    }
+    match first {
+        Ok(request) => {
+            if expect == Expect::Reject {
+                return Err(format!(
+                    "broken frame accepted as {request:?}: {}",
+                    preview(frame)
+                ));
+            }
+            report.accepted += 1;
+        }
+        Err(error) => {
+            if error.message.is_empty() {
+                return Err(format!("empty rejection message for {}", preview(frame)));
+            }
+            if expect == Expect::Accept {
+                return Err(format!(
+                    "well-formed frame rejected ({}): {}",
+                    error.message,
+                    preview(frame)
+                ));
+            }
+            report.rejected += 1;
+        }
+    }
+    Ok(())
+}
+
+/// A clipped, quoted rendering of a hostile frame for the disagreement
+/// message (the frame may be megabytes of noise).
+fn preview(frame: &str) -> String {
+    let clipped: String = frame.chars().take(120).collect();
+    if clipped.len() < frame.len() {
+        format!("{clipped:?}… ({} bytes)", frame.len())
+    } else {
+        format!("{clipped:?}")
+    }
+}
+
+/// One well-formed frame of every request type, with seed-varied fields.
+fn valid_frames(rng: &mut StdRng) -> Vec<String> {
+    let id = rng.gen_range(0u64..1_000_000);
+    let threads = rng.gen_range(1u64..8);
+    let timeout = rng.gen_range(1u64..100_000);
+    #[cfg_attr(not(feature = "fault-injection"), allow(unused_mut))]
+    let mut frames = vec![
+        format!(
+            r#"{{"type": "solve", "id": "job-{id}", "source": "INPUT(a)\nOUTPUT(y)\ny = NOT(a)", "format": "bench", "threads": {threads}, "timeout_ms": {timeout}}}"#
+        ),
+        format!(
+            r#"{{"type": "solve", "id": "p-{id}", "path": "/tmp/instance-{id}.bench", "negate": true, "mem": "64m"}}"#
+        ),
+        format!(r#"{{"type": "solve-dir", "id": "batch-{id}", "dir": "/tmp/suite-{id}"}}"#),
+        format!(r#"{{"type": "cancel", "id": "job-{id}"}}"#),
+        r#"{"type": "status"}"#.to_string(),
+        r#"{"type": "drain"}"#.to_string(),
+    ];
+    // Fault fields are only schema-valid when the daemon is compiled with
+    // fault injection; without it they are a structured rejection, which
+    // the WrongShape family covers instead.
+    #[cfg(feature = "fault-injection")]
+    frames.push(format!(
+        r#"{{"type": "solve", "id": "f-{id}", "source": "INPUT(a)\nOUTPUT(y)\ny = NOT(a)", "format": "bench", "fault": "panic", "fault_at": {}}}"#,
+        rng.gen_range(1u64..10)
+    ));
+    frames
+}
+
+/// Cuts a frame at a random char boundary strictly inside it.
+fn truncate(frame: &str, rng: &mut StdRng) -> String {
+    let cut = rng.gen_range(1..frame.len());
+    let mut end = cut;
+    while !frame.is_char_boundary(end) {
+        end -= 1;
+    }
+    frame[..end.max(1)].to_string()
+}
+
+/// Substitutes 1–6 random printable-ASCII bytes. Valid frames are ASCII,
+/// so byte positions are char boundaries and the result stays UTF-8.
+fn mutate(frame: &str, rng: &mut StdRng) -> String {
+    let mut bytes = frame.as_bytes().to_vec();
+    for _ in 0..rng.gen_range(1..=6) {
+        let at = rng.gen_range(0..bytes.len());
+        bytes[at] = rng.gen_range(0x20u8..0x7f);
+    }
+    String::from_utf8(bytes).expect("ASCII substitution keeps UTF-8")
+}
+
+/// Random printable-ASCII noise, with JSON punctuation over-represented
+/// so some of it gets deep into the parser.
+fn garbage(rng: &mut StdRng) -> String {
+    const PUNCT: &[u8] = br#"{}[]":,\"#;
+    let len = rng.gen_range(0..256);
+    (0..len)
+        .map(|_| {
+            if rng.gen_range(0..3) == 0 {
+                PUNCT[rng.gen_range(0..PUNCT.len())] as char
+            } else {
+                rng.gen_range(0x20u8..0x7f) as char
+            }
+        })
+        .collect()
+}
+
+/// Syntactically valid JSON violating the request schema.
+fn wrong_shape_frames(rng: &mut StdRng) -> Vec<String> {
+    let id = rng.gen_range(0u64..1_000_000);
+    let mut frames = vec![
+        // No type / unknown type / wrong JSON shape at the top.
+        "{}".to_string(),
+        format!(r#"{{"type": "explode", "id": "j-{id}"}}"#),
+        "[1, 2, 3]".to_string(),
+        r#""just a string""#.to_string(),
+        "42".to_string(),
+        // Solve frames with missing or ill-typed fields.
+        r#"{"type": "solve"}"#.to_string(),
+        format!(r#"{{"type": "solve", "id": {id}}}"#),
+        format!(r#"{{"type": "solve", "id": "j-{id}", "source": "x", "format": "vhdl"}}"#),
+        format!(
+            r#"{{"type": "solve", "id": "j-{id}", "source": "x", "format": "bench", "path": "/tmp/x.bench"}}"#
+        ),
+        format!(r#"{{"type": "solve", "id": "j-{id}", "path": "/tmp/x.bench", "threads": -3}}"#),
+        format!(
+            r#"{{"type": "solve", "id": "j-{id}", "path": "/tmp/x.bench", "timeout_ms": "soon"}}"#
+        ),
+        format!(r#"{{"type": "solve", "id": "j-{id}", "path": "/tmp/x.bench", "mem": "10q"}}"#),
+        format!(r#"{{"type": "solve", "id": "j-{id}", "path": "/tmp/x.bench", "mode": "raft"}}"#),
+        // Cancel / solve-dir with missing fields.
+        r#"{"type": "cancel"}"#.to_string(),
+        format!(r#"{{"type": "solve-dir", "id": "b-{id}"}}"#),
+        // A frame over the hard size cap.
+        format!(
+            r#"{{"type": "solve", "id": "big-{id}", "source": "{}", "format": "bench"}}"#,
+            "a".repeat(csat_serve::protocol::MAX_FRAME_BYTES)
+        ),
+    ];
+    // Without fault injection compiled in, fault fields are schema errors.
+    #[cfg(not(feature = "fault-injection"))]
+    frames.push(format!(
+        r#"{{"type": "solve", "id": "j-{id}", "path": "/tmp/x.bench", "fault": "panic"}}"#
+    ));
+    // With it, an unknown fault kind still is one.
+    #[cfg(feature = "fault-injection")]
+    frames.push(format!(
+        r#"{{"type": "solve", "id": "j-{id}", "path": "/tmp/x.bench", "fault": "gremlins"}}"#
+    ));
+    frames
+}
+
+/// Frame pairs sharing one id. The parser treats each line independently;
+/// duplicate detection happens at admission, so both must parse.
+fn duplicate_id_frames(rng: &mut StdRng) -> Vec<String> {
+    let id = rng.gen_range(0u64..1_000_000);
+    let solve = format!(
+        r#"{{"type": "solve", "id": "dup-{id}", "source": "INPUT(a)\nOUTPUT(y)\ny = NOT(a)", "format": "bench"}}"#
+    );
+    vec![
+        solve.clone(),
+        solve,
+        format!(r#"{{"type": "cancel", "id": "dup-{id}"}}"#),
+        format!(r#"{{"type": "cancel", "id": "dup-{id}"}}"#),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_runs_clean_on_a_seed_sweep() {
+        for seed in 0..24 {
+            let report = check_frames(seed);
+            assert!(
+                report.disagreement.is_none(),
+                "seed {seed} ({}): {:?}",
+                report.kind.name(),
+                report.disagreement
+            );
+            assert!(report.frames > 0);
+            assert_eq!(report.frames, report.accepted + report.rejected);
+        }
+    }
+
+    #[test]
+    fn equal_seeds_give_equal_reports() {
+        let a = check_frames(7);
+        let b = check_frames(7);
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.frames, b.frames);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.rejected, b.rejected);
+    }
+
+    #[test]
+    fn round_trip_seeds_accept_everything() {
+        let report = check_frames(0); // 0 % 6 == RoundTrip
+        assert_eq!(report.kind, FrameKind::RoundTrip);
+        assert_eq!(report.rejected, 0, "{:?}", report.disagreement);
+    }
+
+    #[test]
+    fn truncated_seeds_reject_everything() {
+        let report = check_frames(1); // 1 % 6 == Truncated
+        assert_eq!(report.kind, FrameKind::Truncated);
+        assert_eq!(report.accepted, 0, "{:?}", report.disagreement);
+    }
+}

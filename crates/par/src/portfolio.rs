@@ -232,6 +232,14 @@ pub(crate) fn job_budget(
         .with_cancel(control.cancel.clone());
     b.max_learned = outer.max_learned;
     b.max_decisions = outer.max_decisions;
+    // Fault plans ride along so a served parallel job can be fault-
+    // injected like a sequential one. The plan's armed flag is shared
+    // across clones, so it still fires exactly once per outer solve no
+    // matter how many round budgets are derived from it.
+    #[cfg(feature = "fault-injection")]
+    {
+        b.fault = outer.fault.clone();
+    }
     b
 }
 

@@ -1,0 +1,158 @@
+//! Per-instance circuit breaker.
+//!
+//! A poison instance — one that reliably panics the solver or wedges
+//! until the watchdog kills it — must not be allowed to grind the daemon
+//! down by being resubmitted in a loop. The breaker keys on a fingerprint
+//! of the instance *content* (not the job id, which retries change), and
+//! after [`CircuitBreaker::threshold`] consecutive hard failures it opens:
+//! further submissions of the same instance are shed with
+//! `reason: "breaker_open"` until a cool-off elapses. One success closes
+//! the entry again.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// 64-bit FNV-1a over the instance bytes: stable, dependency-free, and
+/// plenty for "is this the same instance again".
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[derive(Debug)]
+struct Entry {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+/// Tracks hard failures per instance fingerprint and sheds repeat
+/// offenders. Thread-safe; admission and workers share one breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    entries: Mutex<HashMap<u64, Entry>>,
+    threshold: u32,
+    cooloff: Duration,
+}
+
+impl CircuitBreaker {
+    /// A breaker opening after `threshold` consecutive hard failures,
+    /// staying open for `cooloff`.
+    pub fn new(threshold: u32, cooloff: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            entries: Mutex::new(HashMap::new()),
+            threshold: threshold.max(1),
+            cooloff,
+        }
+    }
+
+    /// Failures needed to open.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// True when submissions of this fingerprint should be shed. An
+    /// expired cool-off half-closes the entry: the next submission runs
+    /// (probe), and its outcome decides whether the breaker re-opens.
+    pub fn is_open(&self, fp: u64) -> bool {
+        let mut entries = self.entries.lock().unwrap();
+        match entries.get_mut(&fp) {
+            Some(entry) => match entry.open_until {
+                Some(until) if Instant::now() < until => true,
+                Some(_) => {
+                    // Cool-off over: let one probe through; a failure
+                    // re-opens immediately (the count stays at threshold).
+                    entry.open_until = None;
+                    false
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Records a hard failure (panic, watchdog kill) for this fingerprint;
+    /// returns `true` when this failure opened (or re-opened) the breaker.
+    pub fn record_failure(&self, fp: u64) -> bool {
+        let mut entries = self.entries.lock().unwrap();
+        let entry = entries.entry(fp).or_insert(Entry {
+            consecutive_failures: 0,
+            open_until: None,
+        });
+        entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
+        if entry.consecutive_failures >= self.threshold {
+            entry.open_until = Some(Instant::now() + self.cooloff);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a clean finish: closes the entry entirely.
+    pub fn record_success(&self, fp: u64) {
+        self.entries.lock().unwrap().remove(&fp);
+    }
+
+    /// Fingerprints currently open (for `status` frames).
+    pub fn open_count(&self) -> usize {
+        let now = Instant::now();
+        self.entries
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|e| matches!(e.open_until, Some(until) if now < until))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        assert_eq!(fingerprint(b"abc"), fingerprint(b"abc"));
+        assert_ne!(fingerprint(b"abc"), fingerprint(b"abd"));
+        assert_eq!(fingerprint(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(3, Duration::from_secs(60));
+        let fp = fingerprint(b"poison");
+        assert!(!b.record_failure(fp));
+        assert!(!b.record_failure(fp));
+        assert!(!b.is_open(fp)); // two strikes: still closed
+        assert!(b.record_failure(fp));
+        assert!(b.is_open(fp));
+        assert_eq!(b.open_count(), 1);
+        // Other instances are unaffected.
+        assert!(!b.is_open(fingerprint(b"healthy")));
+    }
+
+    #[test]
+    fn success_resets_the_count() {
+        let b = CircuitBreaker::new(2, Duration::from_secs(60));
+        let fp = fingerprint(b"flaky");
+        b.record_failure(fp);
+        b.record_success(fp);
+        assert!(!b.record_failure(fp)); // count restarted, not at 2
+        assert!(!b.is_open(fp));
+    }
+
+    #[test]
+    fn cooloff_lets_a_probe_through_then_reopens_on_failure() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(20));
+        let fp = fingerprint(b"poison");
+        assert!(b.record_failure(fp));
+        assert!(b.is_open(fp));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!b.is_open(fp)); // probe admitted after cool-off
+        assert!(b.record_failure(fp)); // probe failed: straight back open
+        assert!(b.is_open(fp));
+    }
+}

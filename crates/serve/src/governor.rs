@@ -1,0 +1,113 @@
+//! Process-wide memory governor.
+//!
+//! The daemon is handed one `--mem-limit` for the whole process; the
+//! governor divides it into per-worker shares so W concurrent jobs cannot
+//! collectively blow the limit. Each job's budget gets
+//! `total / workers` as its learned-clause arena bound (unless the job
+//! requested a *smaller* one), and retried jobs get half shares. The
+//! governor can also read the process RSS from `/proc/self/status` so the
+//! soak test can assert the daemon stays where the limit says.
+
+/// Splits one process-wide memory limit into per-job shares.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryGovernor {
+    /// Process-wide learned-clause budget, when configured.
+    total: Option<u64>,
+    /// Worker-pool size the limit is divided across.
+    workers: u64,
+}
+
+impl MemoryGovernor {
+    /// Smallest share the governor will hand out; below this a solver
+    /// cannot even hold its pinned clauses and every job would abort.
+    pub const MIN_SHARE: u64 = 1 << 20;
+
+    /// A governor dividing `total` (None = unlimited) across `workers`.
+    pub fn new(total: Option<u64>, workers: usize) -> MemoryGovernor {
+        MemoryGovernor {
+            total,
+            workers: workers.max(1) as u64,
+        }
+    }
+
+    /// The process-wide limit.
+    pub fn total(&self) -> Option<u64> {
+        self.total
+    }
+
+    /// The memory share for one job: the smaller of the per-worker slice
+    /// and the job's own request, floored at [`MemoryGovernor::MIN_SHARE`]
+    /// (unless the job explicitly asked for less — an explicit tiny limit
+    /// is a test rig, not an accident).
+    pub fn share(&self, requested: Option<u64>) -> Option<u64> {
+        let slice = self
+            .total
+            .map(|t| (t / self.workers).max(MemoryGovernor::MIN_SHARE));
+        match (slice, requested) {
+            (Some(s), Some(r)) => Some(s.min(r)),
+            (Some(s), None) => Some(s),
+            (None, r) => r,
+        }
+    }
+
+    /// The share for a job being retried after a memory failure: half the
+    /// normal share (the retry should succeed by using *less*, not by
+    /// grabbing more).
+    pub fn retry_share(&self, requested: Option<u64>) -> Option<u64> {
+        self.share(requested).map(|s| (s / 2).max(1))
+    }
+
+    /// Current resident set size of this process in bytes, read from
+    /// `/proc/self/status` (`None` off Linux or if the read fails).
+    pub fn process_rss_bytes() -> Option<u64> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+        let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kb * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divides_the_total_across_workers() {
+        let g = MemoryGovernor::new(Some(64 << 20), 4);
+        assert_eq!(g.share(None), Some(16 << 20));
+        // Job asking for less gets less; asking for more is clamped.
+        assert_eq!(g.share(Some(4 << 20)), Some(4 << 20));
+        assert_eq!(g.share(Some(1 << 30)), Some(16 << 20));
+        assert_eq!(g.total(), Some(64 << 20));
+    }
+
+    #[test]
+    fn unlimited_governor_passes_requests_through() {
+        let g = MemoryGovernor::new(None, 8);
+        assert_eq!(g.share(None), None);
+        assert_eq!(g.share(Some(123)), Some(123));
+    }
+
+    #[test]
+    fn shares_are_floored_but_explicit_requests_are_not() {
+        let g = MemoryGovernor::new(Some(1 << 20), 16);
+        assert_eq!(g.share(None), Some(MemoryGovernor::MIN_SHARE));
+        // An explicit tiny request (a test rig) is honoured.
+        assert_eq!(g.share(Some(100)), Some(100));
+    }
+
+    #[test]
+    fn retries_run_under_half_budget() {
+        let g = MemoryGovernor::new(Some(64 << 20), 4);
+        assert_eq!(g.retry_share(None), Some(8 << 20));
+        assert_eq!(g.retry_share(Some(100)), Some(50));
+        assert_eq!(MemoryGovernor::new(None, 4).retry_share(None), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn rss_reads_a_plausible_value() {
+        let rss = MemoryGovernor::process_rss_bytes().expect("VmRSS on Linux");
+        assert!(rss > 1024, "rss {rss} implausibly small");
+    }
+}

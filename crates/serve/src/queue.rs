@@ -1,0 +1,225 @@
+//! A bounded MPMC job queue with explicit backpressure.
+//!
+//! The daemon admits work through [`JobQueue::try_push`], which **fails
+//! fast** when the queue is full — the caller turns that into a `reject`
+//! frame with a suggested retry delay instead of buffering without bound.
+//! Workers block on [`JobQueue::pop`]; [`JobQueue::close`] wakes them all
+//! for shutdown. Plain `Mutex` + `Condvar`, no dependencies.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Bounded FIFO handed between the admission path and the worker pool.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> JobQueue<T> {
+    /// An empty queue admitting at most `capacity` queued jobs.
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits `item` if there is room, returning the depth *after* the
+    /// push. Returns `Err(item)` (the item handed back, nothing buffered)
+    /// when the queue is full or closed — the caller sheds the job.
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Like [`JobQueue::try_push`], but runs `on_queued(depth)` with the
+    /// queue lock still held — before any worker can pop the item. A
+    /// caller that acknowledges admission inside the callback (the
+    /// daemon's `queued` frame) gets that acknowledgement ordered ahead
+    /// of anything the worker sends about the job, however fast the job
+    /// finishes.
+    pub fn try_push_with<F: FnOnce(usize)>(&self, item: T, on_queued: F) -> Result<usize, T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        on_queued(depth);
+        drop(inner);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available (returning it) or the queue is
+    /// closed *and* empty (returning `None`). Queued jobs are still
+    /// drained after close so a graceful drain finishes accepted work.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+    }
+
+    /// Removes the first queued job matching `pred` (for cancellation of
+    /// not-yet-started jobs).
+    pub fn remove_where<F: FnMut(&T) -> bool>(&self, pred: F) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        let idx = inner.items.iter().position(pred)?;
+        inner.items.remove(idx)
+    }
+
+    /// Closes the queue: further pushes fail, blocked `pop`s drain the
+    /// remaining items and then return `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Closes the queue *and* discards everything still queued, returning
+    /// the discarded jobs (hard drain: cancel instead of finish).
+    pub fn close_and_drain(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        let dropped = inner.items.drain(..).collect();
+        drop(inner);
+        self.available.notify_all();
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_and_backpressure() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(3)); // full: shed, not buffered
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(2));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_accepted_work_then_wakes_poppers() {
+        let q = Arc::new(JobQueue::new(8));
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(8)); // closed: no new admissions
+        assert_eq!(q.pop(), Some(7)); // ...but accepted work still drains
+        assert_eq!(q.pop(), None);
+
+        // A popper blocked on an empty queue wakes on close.
+        let q2 = Arc::new(JobQueue::<u32>::new(8));
+        let popper = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+
+    #[test]
+    fn hard_drain_returns_the_dropped_jobs() {
+        let q = JobQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.close_and_drain(), vec![1, 2]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn remove_where_cancels_queued_jobs() {
+        let q = JobQueue::new(8);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.remove_where(|&i| i == 2), Some(2));
+        assert_eq!(q.remove_where(|&i| i == 9), None);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn contended_producers_and_consumers_conserve_items() {
+        let q = Arc::new(JobQueue::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut pushed = 0u32;
+        for i in 0..200u32 {
+            loop {
+                match q.try_push(i) {
+                    Ok(_) => break,
+                    Err(_) => std::thread::yield_now(),
+                }
+            }
+            pushed += 1;
+        }
+        // Give consumers a moment to drain, then close.
+        while !q.is_empty() {
+            std::thread::yield_now();
+        }
+        q.close();
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap().len()).sum();
+        assert_eq!(total as u32, pushed);
+    }
+}

@@ -1,0 +1,1078 @@
+//! The daemon: admission, worker pool, watchdog, drain.
+//!
+//! One [`Server`] owns the bounded [`JobQueue`], the worker threads, the
+//! heartbeat watchdog, the per-instance [`CircuitBreaker`] and the
+//! [`MemoryGovernor`]. Transports (stdin/stdout, unix socket) are thin:
+//! they read lines, call [`Server::handle_line`] with a reply channel,
+//! and write whatever frames come back. [`run`] wires the whole thing
+//! together for the `csat-serve` binary.
+//!
+//! Robustness invariants, in order of importance:
+//!
+//! 1. **The daemon never dies on a job.** Jobs run behind `catch_unwind`
+//!    with their own budget and cancel token; a panic is a `result` frame
+//!    with `status: "panicked"`, not a dead process.
+//! 2. **Overload sheds, never buffers.** Admission past the queue bound
+//!    is a `reject` with `reason: "overloaded"` and a suggested
+//!    `retry_after_ms`. Memory admission is governed: each worker gets a
+//!    share of `--mem-limit`, so W concurrent jobs cannot blow the total.
+//! 3. **Drain is graceful, then firm.** On SIGINT/SIGTERM, a `drain`
+//!    frame or stdin EOF: stop accepting, finish the queue, emit a
+//!    `summary`, exit 0. Past the drain deadline, in-flight jobs are
+//!    cancelled (they report `cancelled`) and the daemon still exits 0.
+//! 4. **Wedged workers are noticed.** Every job's observer bumps a
+//!    heartbeat; a watchdog cancels jobs whose heartbeat has not moved
+//!    for the wedge window.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use csat_telemetry::json::JsonObject;
+use csat_telemetry::{MetricsRecorder, Observer, SolverEvent};
+use csat_types::{CancelToken, Interrupt, RejectReason};
+
+use crate::breaker::CircuitBreaker;
+use crate::governor::MemoryGovernor;
+use crate::job::{execute, load_instance, LoadedInstance};
+use crate::protocol::{parse_request, reply, FrameError, JobStatus, Request, SolveRequest};
+use crate::queue::JobQueue;
+use crate::OutMsg;
+
+/// Daemon configuration (the `csat-serve` CLI maps onto this 1:1).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads solving jobs.
+    pub workers: usize,
+    /// Bounded queue capacity; admission past it sheds.
+    pub queue_capacity: usize,
+    /// Process-wide learned-clause memory limit, divided by the governor.
+    pub mem_limit: Option<u64>,
+    /// Heartbeat silence after which the watchdog cancels a running job.
+    pub wedge: Duration,
+    /// Graceful-drain deadline; past it, in-flight jobs are cancelled.
+    pub drain_deadline: Duration,
+    /// Consecutive hard failures before an instance's breaker opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker sheds before admitting a probe.
+    pub breaker_cooloff: Duration,
+    /// `retry_after_ms` hint attached to overload rejects.
+    pub retry_after_ms: u64,
+    /// Serve the JSONL protocol on stdin/stdout.
+    pub stdin: bool,
+    /// Also serve it on this unix socket path.
+    pub socket: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            mem_limit: None,
+            wedge: Duration::from_secs(5),
+            drain_deadline: Duration::from_secs(10),
+            breaker_threshold: 3,
+            breaker_cooloff: Duration::from_secs(30),
+            retry_after_ms: 250,
+            stdin: true,
+            socket: None,
+        }
+    }
+}
+
+/// One admitted job travelling from admission to a worker.
+struct QueuedJob {
+    seq: u64,
+    req: SolveRequest,
+    instance: LoadedInstance,
+    token: CancelToken,
+    reply: Sender<OutMsg>,
+}
+
+/// Per-worker shared state the watchdog reads.
+struct WorkerSlot {
+    /// True while a job is being solved on this worker.
+    busy: AtomicBool,
+    /// Bumped on every solver event of the current job.
+    heartbeat: Arc<AtomicU64>,
+    /// Incremented when a new job starts (resets the watchdog baseline).
+    generation: AtomicU64,
+    /// Set by the watchdog when it cancels a wedged job; the worker
+    /// reads-and-clears it to classify the failure for the breaker.
+    kicked: AtomicBool,
+    /// Cancel token of the job currently on this worker.
+    token: Mutex<Option<CancelToken>>,
+}
+
+struct ServerState {
+    config: ServeConfig,
+    queue: JobQueue<QueuedJob>,
+    governor: MemoryGovernor,
+    breaker: CircuitBreaker,
+    slots: Vec<Arc<WorkerSlot>>,
+    /// id → cancel token for every admitted, unfinished job.
+    registry: Mutex<HashMap<String, CancelToken>>,
+    metrics: Mutex<MetricsRecorder>,
+    next_seq: AtomicU64,
+    in_flight: AtomicUsize,
+    drain_requested: AtomicBool,
+    shutdown: AtomicBool,
+    results_sat: AtomicU64,
+    results_unsat: AtomicU64,
+    results_unknown: AtomicU64,
+    results_panicked: AtomicU64,
+}
+
+impl ServerState {
+    fn record(&self, event: SolverEvent) {
+        self.metrics.lock().unwrap().record(event);
+    }
+
+    fn count_status(&self, status: &JobStatus) {
+        let counter = match status {
+            JobStatus::Sat(_) => &self.results_sat,
+            JobStatus::Unsat => &self.results_unsat,
+            JobStatus::Unknown(_) => &self.results_unknown,
+            JobStatus::Panicked => &self.results_panicked,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A running daemon core (no transports — see [`run`] for the wired-up
+/// binary entry point).
+pub struct Server {
+    state: Arc<ServerState>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool and watchdog.
+    pub fn start(config: ServeConfig) -> Server {
+        let workers = config.workers.max(1);
+        let slots: Vec<Arc<WorkerSlot>> = (0..workers)
+            .map(|_| {
+                Arc::new(WorkerSlot {
+                    busy: AtomicBool::new(false),
+                    heartbeat: Arc::new(AtomicU64::new(0)),
+                    generation: AtomicU64::new(0),
+                    kicked: AtomicBool::new(false),
+                    token: Mutex::new(None),
+                })
+            })
+            .collect();
+        let state = Arc::new(ServerState {
+            queue: JobQueue::new(config.queue_capacity),
+            governor: MemoryGovernor::new(config.mem_limit, workers),
+            breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooloff),
+            slots,
+            registry: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(MetricsRecorder::default()),
+            next_seq: AtomicU64::new(1),
+            in_flight: AtomicUsize::new(0),
+            drain_requested: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            results_sat: AtomicU64::new(0),
+            results_unsat: AtomicU64::new(0),
+            results_unknown: AtomicU64::new(0),
+            results_panicked: AtomicU64::new(0),
+            config,
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("csat-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state, i))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let watchdog = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("csat-serve-watchdog".to_string())
+                .spawn(move || watchdog_loop(&state))
+                .expect("spawn watchdog")
+        };
+        Server {
+            state,
+            workers,
+            watchdog: Some(watchdog),
+        }
+    }
+
+    /// Handles one request line; every reply frame goes to `reply`
+    /// (admission replies now, the job's `result` later from its worker).
+    pub fn handle_line(&self, line: &str, reply: &Sender<OutMsg>) {
+        let line = line.trim();
+        if line.is_empty() {
+            return;
+        }
+        match parse_request(line) {
+            Err(e) => send(reply, reply::error(&e)),
+            Ok(Request::Solve(req)) => self.admit(*req, reply),
+            Ok(Request::SolveDir { id, dir, template }) => {
+                self.admit_dir(&id, &dir, &template, reply)
+            }
+            Ok(Request::Cancel { id }) => {
+                let token = self.state.registry.lock().unwrap().get(&id).cloned();
+                match token {
+                    Some(token) => {
+                        token.cancel();
+                        send(reply, reply::cancelled(&id, true));
+                    }
+                    None => send(reply, reply::cancelled(&id, false)),
+                }
+            }
+            Ok(Request::Status) => send(reply, self.status_frame()),
+            Ok(Request::Drain) => {
+                self.request_drain();
+                send(reply, self.status_frame());
+            }
+        }
+    }
+
+    fn admit(&self, req: SolveRequest, reply: &Sender<OutMsg>) {
+        let state = &self.state;
+        if state.drain_requested.load(Ordering::Relaxed) {
+            send(reply, reply::reject(&req.id, RejectReason::Draining, None));
+            self.shed();
+            return;
+        }
+        // Even instance loading runs inside the fault domain: a parser
+        // panic on hostile input must not take the daemon down.
+        let loaded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| load_instance(&req)));
+        let instance = match loaded {
+            Ok(Ok(instance)) => instance,
+            Ok(Err(msg)) => {
+                send(reply, reply::reject(&req.id, RejectReason::Invalid, None));
+                send(
+                    reply,
+                    reply::error(&FrameError {
+                        message: msg,
+                        id: Some(req.id.clone()),
+                    }),
+                );
+                self.shed();
+                return;
+            }
+            Err(_) => {
+                send(reply, reply::reject(&req.id, RejectReason::Invalid, None));
+                self.shed();
+                return;
+            }
+        };
+        if state.breaker.is_open(instance.fingerprint) {
+            let cooloff = state.config.breaker_cooloff.as_millis() as u64;
+            send(
+                reply,
+                reply::reject(&req.id, RejectReason::BreakerOpen, Some(cooloff)),
+            );
+            self.shed();
+            return;
+        }
+        let token = CancelToken::new();
+        {
+            let mut registry = state.registry.lock().unwrap();
+            if registry.contains_key(&req.id) {
+                send(
+                    reply,
+                    reply::error(&FrameError {
+                        message: format!("duplicate job id '{}'", req.id),
+                        id: Some(req.id.clone()),
+                    }),
+                );
+                return;
+            }
+            registry.insert(req.id.clone(), token.clone());
+        }
+        let seq = state.next_seq.fetch_add(1, Ordering::Relaxed);
+        let id = req.id.clone();
+        let job = QueuedJob {
+            seq,
+            req,
+            instance,
+            token,
+            reply: reply.clone(),
+        };
+        // The `queued` ack is sent from inside the push, with the queue
+        // lock still held: a worker that grabs and finishes the job in a
+        // blink cannot get its `result` frame ordered before the ack.
+        match state.queue.try_push_with(job, |depth| {
+            send(reply, reply::queued(&id, depth as u32));
+        }) {
+            Ok(depth) => {
+                state.record(SolverEvent::JobQueued {
+                    job: seq,
+                    depth: depth as u32,
+                });
+            }
+            Err(_) => {
+                state.registry.lock().unwrap().remove(&id);
+                send(
+                    reply,
+                    reply::reject(
+                        &id,
+                        RejectReason::Overloaded,
+                        Some(state.config.retry_after_ms),
+                    ),
+                );
+                self.shed();
+            }
+        }
+    }
+
+    fn admit_dir(&self, batch: &str, dir: &str, template: &SolveRequest, reply: &Sender<OutMsg>) {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) => {
+                send(
+                    reply,
+                    reply::error(&FrameError {
+                        message: format!("cannot read directory '{dir}': {e}"),
+                        id: Some(batch.to_string()),
+                    }),
+                );
+                return;
+            }
+        };
+        let mut files: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                let ext = p
+                    .extension()
+                    .and_then(|e| e.to_str())
+                    .unwrap_or("")
+                    .to_lowercase();
+                matches!(ext.as_str(), "bench" | "aag" | "aig" | "cnf" | "dimacs")
+            })
+            .filter_map(|p| p.to_str().map(str::to_string))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            send(
+                reply,
+                reply::error(&FrameError {
+                    message: format!("no instance files in '{dir}'"),
+                    id: Some(batch.to_string()),
+                }),
+            );
+            return;
+        }
+        for path in files {
+            let name = std::path::Path::new(&path)
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("instance")
+                .to_string();
+            let mut req = template.clone();
+            req.id = format!("{batch}/{name}");
+            req.source = crate::protocol::JobSource::Path(path);
+            self.admit(req, reply);
+        }
+    }
+
+    fn shed(&self) {
+        let seq = self.state.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.state.record(SolverEvent::JobShed { job: seq });
+    }
+
+    /// Requests a graceful drain (idempotent): admission stops, queued
+    /// work still runs.
+    pub fn request_drain(&self) {
+        if !self.state.drain_requested.swap(true, Ordering::SeqCst) {
+            self.state.queue.close();
+        }
+    }
+
+    /// True once a drain has been requested.
+    pub fn drain_requested(&self) -> bool {
+        self.state.drain_requested.load(Ordering::Relaxed)
+    }
+
+    /// True when nothing is queued or running.
+    pub fn is_idle(&self) -> bool {
+        self.state.queue.is_empty() && self.state.in_flight.load(Ordering::SeqCst) == 0
+    }
+
+    /// Firm phase of the drain: discard still-queued jobs (each reports
+    /// `cancelled`) and cancel every running job's token.
+    pub fn hard_cancel(&self) {
+        for job in self.state.queue.close_and_drain() {
+            self.state.registry.lock().unwrap().remove(&job.req.id);
+            send(
+                &job.reply,
+                reply::result(
+                    &job.req.id,
+                    &JobStatus::Unknown(Interrupt::Cancelled),
+                    0,
+                    0,
+                    0,
+                    0,
+                    false,
+                ),
+            );
+            self.state.results_unknown.fetch_add(1, Ordering::Relaxed);
+        }
+        for token in self.state.registry.lock().unwrap().values() {
+            token.cancel();
+        }
+    }
+
+    /// The `status` reply frame.
+    pub fn status_frame(&self) -> String {
+        let state = &self.state;
+        let metrics = state.metrics.lock().unwrap();
+        let mut o = JsonObject::new();
+        o.field_str("type", "status")
+            .field_u64("queued", state.queue.len() as u64)
+            .field_u64("running", state.in_flight.load(Ordering::Relaxed) as u64)
+            .field_u64("capacity", state.queue.capacity() as u64)
+            .field_u64("workers", state.slots.len() as u64)
+            .field_bool("draining", state.drain_requested.load(Ordering::Relaxed))
+            .field_u64("jobs_queued", metrics.jobs_queued)
+            .field_u64("jobs_finished", metrics.jobs_finished)
+            .field_u64("jobs_shed", metrics.jobs_shed)
+            .field_u64("jobs_retried", metrics.jobs_retried)
+            .field_u64("queue_depth_peak", metrics.queue_depth_peak)
+            .field_u64("breaker_open", state.breaker.open_count() as u64);
+        if let Some(rss) = MemoryGovernor::process_rss_bytes() {
+            o.field_u64("rss_bytes", rss);
+        }
+        if let Some(total) = state.governor.total() {
+            o.field_u64("mem_limit", total);
+        }
+        o.finish()
+    }
+
+    /// The end-of-life `summary` frame.
+    pub fn summary_frame(&self) -> String {
+        let state = &self.state;
+        let metrics = state.metrics.lock().unwrap();
+        let mut o = JsonObject::new();
+        o.field_str("type", "summary")
+            .field_u64("jobs_queued", metrics.jobs_queued)
+            .field_u64("jobs_finished", metrics.jobs_finished)
+            .field_u64("jobs_shed", metrics.jobs_shed)
+            .field_u64("jobs_retried", metrics.jobs_retried)
+            .field_u64("queue_depth_peak", metrics.queue_depth_peak)
+            .field_u64("sat", state.results_sat.load(Ordering::Relaxed))
+            .field_u64("unsat", state.results_unsat.load(Ordering::Relaxed))
+            .field_u64("unknown", state.results_unknown.load(Ordering::Relaxed))
+            .field_u64("panicked", state.results_panicked.load(Ordering::Relaxed));
+        o.finish()
+    }
+
+    /// Ends the daemon: waits for workers when they can finish (drained
+    /// queue), abandons them when they cannot (a wedged job past the firm
+    /// deadline — the process is exiting anyway). Returns the summary.
+    pub fn shutdown(mut self) -> String {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue.close();
+        let summary = self.summary_frame();
+        if self.state.in_flight.load(Ordering::SeqCst) == 0 {
+            for worker in self.workers.drain(..) {
+                let _ = worker.join();
+            }
+        }
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
+        summary
+    }
+}
+
+fn send(reply: &Sender<OutMsg>, frame: String) {
+    // A gone transport (client hung up) is not an error for the daemon.
+    let _ = reply.send(OutMsg::Line(frame));
+}
+
+fn worker_loop(state: &Arc<ServerState>, index: usize) {
+    let slot = Arc::clone(&state.slots[index]);
+    while let Some(job) = state.queue.pop() {
+        state.in_flight.fetch_add(1, Ordering::SeqCst);
+        slot.generation.fetch_add(1, Ordering::Relaxed);
+        slot.heartbeat.fetch_add(1, Ordering::Relaxed);
+        slot.kicked.store(false, Ordering::Relaxed);
+        *slot.token.lock().unwrap() = Some(job.token.clone());
+        slot.busy.store(true, Ordering::SeqCst);
+        state.record(SolverEvent::JobStart {
+            job: job.seq,
+            worker: index as u32,
+        });
+        let progress_tx = job_progress_sender(&job);
+        let outcome = execute(
+            &job.req,
+            &job.instance,
+            &state.governor,
+            &job.token,
+            Arc::clone(&slot.heartbeat),
+            progress_tx,
+            index as u32,
+        );
+        slot.busy.store(false, Ordering::SeqCst);
+        *slot.token.lock().unwrap() = None;
+        let kicked = slot.kicked.swap(false, Ordering::Relaxed);
+        // Breaker: panics, wedges and timeouts are hard failures of the
+        // *instance*; definitive answers close the entry. Cancels and
+        // resource aborts are the client's business, not the instance's.
+        // Breaker and registry are settled BEFORE the result frame goes
+        // out: a client that reacts to the result (resubmits the id, or
+        // expects the breaker to have tripped) must see updated state.
+        let hard_failure = kicked
+            || matches!(outcome.status, JobStatus::Panicked)
+            || matches!(outcome.status, JobStatus::Unknown(Interrupt::Timeout));
+        if hard_failure {
+            state.breaker.record_failure(job.instance.fingerprint);
+        } else if matches!(outcome.status, JobStatus::Sat(_) | JobStatus::Unsat) {
+            state.breaker.record_success(job.instance.fingerprint);
+        }
+        state.count_status(&outcome.status);
+        state.registry.lock().unwrap().remove(&job.req.id);
+        send(
+            &job.reply,
+            reply::result(
+                &job.req.id,
+                &outcome.status,
+                index as u32,
+                outcome.elapsed_ms,
+                outcome.conflicts,
+                outcome.decisions,
+                outcome.retried,
+            ),
+        );
+        {
+            let mut metrics = state.metrics.lock().unwrap();
+            metrics.merge(&outcome.metrics);
+            if outcome.retried {
+                metrics.record(SolverEvent::JobRetried { job: job.seq });
+            }
+            metrics.record(SolverEvent::JobFinish {
+                job: job.seq,
+                worker: index as u32,
+            });
+        }
+        state.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The progress channel for one job is simply its reply channel.
+fn job_progress_sender(job: &QueuedJob) -> Sender<OutMsg> {
+    job.reply.clone()
+}
+
+fn watchdog_loop(state: &Arc<ServerState>) {
+    let wedge = state.config.wedge;
+    let poll = (wedge / 4).max(Duration::from_millis(5));
+    // Per-slot (generation, heartbeat, last time it moved).
+    let mut seen: Vec<(u64, u64, Instant)> =
+        state.slots.iter().map(|_| (0, 0, Instant::now())).collect();
+    while !state.shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(poll);
+        let now = Instant::now();
+        for (slot, last) in state.slots.iter().zip(seen.iter_mut()) {
+            let generation = slot.generation.load(Ordering::Relaxed);
+            let beat = slot.heartbeat.load(Ordering::Relaxed);
+            if generation != last.0 || beat != last.1 {
+                *last = (generation, beat, now);
+                continue;
+            }
+            if !slot.busy.load(Ordering::SeqCst) {
+                last.2 = now;
+                continue;
+            }
+            if now.duration_since(last.2) >= wedge {
+                // Wedged: no solver event for a whole wedge window.
+                // Cancel the job cooperatively and note the kick so the
+                // worker blames the instance, not the client.
+                slot.kicked.store(true, Ordering::Relaxed);
+                if let Some(token) = slot.token.lock().unwrap().as_ref() {
+                    token.cancel();
+                }
+                last.2 = now; // rearm rather than re-kicking every poll
+            }
+        }
+    }
+}
+
+/// Runs the full daemon — transports, signal handling, drain — and
+/// returns the process exit code (0 after any successful drain).
+pub fn run(config: ServeConfig, signal: CancelToken) -> u8 {
+    let server = Server::start(config.clone());
+    let (frames_tx, frames_rx) = mpsc::channel::<FrameMsg>();
+    // Every live transport's writer channel, for the final summary
+    // broadcast. Socket connections add theirs as they arrive.
+    let sinks: Arc<Mutex<Vec<Sender<OutMsg>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // stdout writer + stdin reader (the primary transport).
+    let stdout_tx = spawn_writer(Box::new(std::io::stdout()));
+    sinks.lock().unwrap().push(stdout_tx.clone());
+    if config.stdin {
+        let frames = frames_tx.clone();
+        let reply = stdout_tx.clone();
+        std::thread::Builder::new()
+            .name("csat-serve-stdin".to_string())
+            .spawn(move || {
+                let stdin = std::io::stdin();
+                for line in stdin.lock().lines() {
+                    match line {
+                        Ok(line) => {
+                            if frames.send(FrameMsg::Line(line, reply.clone())).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                let _ = frames.send(FrameMsg::Eof);
+            })
+            .expect("spawn stdin reader");
+    }
+    if let Some(path) = &config.socket {
+        spawn_socket_acceptor(path.clone(), frames_tx.clone(), Arc::clone(&sinks));
+    }
+    drop(frames_tx);
+
+    let mut drain_started: Option<Instant> = None;
+    let mut hard_cancelled = false;
+    loop {
+        if signal.is_cancelled() {
+            server.request_drain();
+        }
+        if server.drain_requested() && drain_started.is_none() {
+            drain_started = Some(Instant::now());
+        }
+        match frames_rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(FrameMsg::Line(line, reply)) => {
+                server.handle_line(&line, &reply);
+            }
+            Ok(FrameMsg::Eof) => server.request_drain(),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => server.request_drain(),
+        }
+        if let Some(started) = drain_started {
+            if server.is_idle() {
+                break;
+            }
+            if !hard_cancelled && started.elapsed() >= config.drain_deadline {
+                hard_cancelled = true;
+                server.hard_cancel();
+            }
+            // Workers get one wedge window after the firm cancel; a job
+            // stuck past that is abandoned and the process exits anyway.
+            if hard_cancelled
+                && started.elapsed()
+                    >= config.drain_deadline + config.wedge.max(Duration::from_millis(100)) * 2
+            {
+                break;
+            }
+        }
+    }
+    let summary = server.shutdown();
+    for sink in sinks.lock().unwrap().iter() {
+        let _ = sink.send(OutMsg::Line(summary.clone()));
+    }
+    // Make sure the summary reaches the client before the process exits.
+    let (ack_tx, ack_rx) = mpsc::channel();
+    if stdout_tx.send(OutMsg::Sync(ack_tx)).is_ok() {
+        let _ = ack_rx.recv_timeout(Duration::from_secs(1));
+    }
+    0
+}
+
+/// A line arriving from some transport, paired with where its replies go.
+enum FrameMsg {
+    Line(String, Sender<OutMsg>),
+    Eof,
+}
+
+/// Spawns a writer thread owning `out`; every [`OutMsg::Line`] becomes
+/// one flushed line.
+fn spawn_writer(mut out: Box<dyn Write + Send>) -> Sender<OutMsg> {
+    let (tx, rx): (Sender<OutMsg>, Receiver<OutMsg>) = mpsc::channel();
+    std::thread::Builder::new()
+        .name("csat-serve-writer".to_string())
+        .spawn(move || {
+            for msg in rx {
+                match msg {
+                    OutMsg::Line(line) => {
+                        if writeln!(out, "{line}").is_err() {
+                            return;
+                        }
+                        let _ = out.flush();
+                    }
+                    OutMsg::Sync(ack) => {
+                        let _ = out.flush();
+                        let _ = ack.send(());
+                    }
+                }
+            }
+        })
+        .expect("spawn writer");
+    tx
+}
+
+#[cfg(unix)]
+fn spawn_socket_acceptor(
+    path: String,
+    frames: Sender<FrameMsg>,
+    sinks: Arc<Mutex<Vec<Sender<OutMsg>>>>,
+) {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(&path);
+    let listener = match UnixListener::bind(&path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("c csat-serve: cannot bind socket '{path}': {e}");
+            return;
+        }
+    };
+    std::thread::Builder::new()
+        .name("csat-serve-accept".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let frames = frames.clone();
+                let sinks = Arc::clone(&sinks);
+                std::thread::spawn(move || {
+                    let Ok(write_half) = stream.try_clone() else {
+                        return;
+                    };
+                    let reply = spawn_writer(Box::new(write_half));
+                    sinks.lock().unwrap().push(reply.clone());
+                    let reader = std::io::BufReader::new(stream);
+                    for line in reader.lines() {
+                        let Ok(line) = line else { break };
+                        if frames.send(FrameMsg::Line(line, reply.clone())).is_err() {
+                            break;
+                        }
+                    }
+                    // Connection EOF ends the connection, not the daemon.
+                });
+            }
+        })
+        .expect("spawn acceptor");
+}
+
+#[cfg(not(unix))]
+fn spawn_socket_acceptor(
+    _path: String,
+    _frames: Sender<FrameMsg>,
+    _sinks: Arc<Mutex<Vec<Sender<OutMsg>>>>,
+) {
+    eprintln!("c csat-serve: unix sockets are not available on this platform");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::Receiver;
+
+    const AND2: &str = "INPUT(a)\\nINPUT(b)\\nOUTPUT(y)\\ny = AND(a, b)";
+
+    // Eight-input parity (JSON-escaped bench text). XOR justification is
+    // ambiguous, so solving this fixture is guaranteed to branch and hit
+    // budget checkpoints — the hook faults, cancellation and heartbeats
+    // all rely on. AND2 solves by pure implication and never checks.
+    #[cfg(feature = "fault-injection")]
+    const XOR8: &str = "INPUT(a)\\nINPUT(b)\\nINPUT(c)\\nINPUT(d)\\nINPUT(e)\\nINPUT(f)\\nINPUT(g)\\nINPUT(h)\\nOUTPUT(y)\\nx1 = XOR(a, b)\\nx2 = XOR(x1, c)\\nx3 = XOR(x2, d)\\nx4 = XOR(x3, e)\\nx5 = XOR(x4, f)\\nx6 = XOR(x5, g)\\ny = XOR(x6, h)";
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 4,
+            wedge: Duration::from_millis(200),
+            drain_deadline: Duration::from_millis(2000),
+            breaker_threshold: 2,
+            breaker_cooloff: Duration::from_millis(200),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn solve_frame(id: &str) -> String {
+        format!(r#"{{"type": "solve", "id": "{id}", "source": "{AND2}", "format": "bench"}}"#)
+    }
+
+    fn drain_lines(rx: &Receiver<OutMsg>, until_results: usize, timeout: Duration) -> Vec<String> {
+        let deadline = Instant::now() + timeout;
+        let mut lines = Vec::new();
+        let mut results = 0;
+        while results < until_results && Instant::now() < deadline {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(OutMsg::Line(line)) => {
+                    if line.contains("\"type\": \"result\"") {
+                        results += 1;
+                    }
+                    lines.push(line);
+                }
+                Ok(OutMsg::Sync(_)) => {}
+                Err(_) => {}
+            }
+        }
+        lines
+    }
+
+    #[test]
+    fn solves_jobs_end_to_end_in_process() {
+        let server = Server::start(quick_config());
+        let (tx, rx) = mpsc::channel();
+        server.handle_line(&solve_frame("a"), &tx);
+        server.handle_line(&solve_frame("b"), &tx);
+        let lines = drain_lines(&rx, 2, Duration::from_secs(10));
+        let results: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"type\": \"result\""))
+            .collect();
+        assert_eq!(results.len(), 2, "{lines:?}");
+        for r in results {
+            assert!(r.contains("\"status\": \"sat\""), "{r}");
+            assert!(r.contains("\"model\": \"11\""), "{r}");
+        }
+        server.request_drain();
+        let summary = server.shutdown();
+        assert!(summary.contains("\"sat\": 2"), "{summary}");
+    }
+
+    #[test]
+    fn malformed_lines_get_error_frames_not_crashes() {
+        let server = Server::start(quick_config());
+        let (tx, rx) = mpsc::channel();
+        for bad in ["nonsense", "{}", "{\"type\": \"solve\"}", "[1,2]"] {
+            server.handle_line(bad, &tx);
+        }
+        server.handle_line("", &tx); // blank lines are ignored
+        let mut errors = 0;
+        while let Ok(OutMsg::Line(line)) = rx.try_recv() {
+            assert!(line.contains("\"type\": \"error\""), "{line}");
+            errors += 1;
+        }
+        assert_eq!(errors, 4);
+        server.request_drain();
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_with_retry_hint() {
+        let mut config = quick_config();
+        config.workers = 1;
+        config.queue_capacity = 1;
+        let server = Server::start(config);
+        let (tx, rx) = mpsc::channel();
+        // Many fast jobs at once: at least one must be shed (capacity 1),
+        // and the shed reply carries the retry hint.
+        for i in 0..12 {
+            server.handle_line(&solve_frame(&format!("j{i}")), &tx);
+        }
+        // Workers race the admission loop, so `result` frames interleave
+        // with the admission acks — drain until every one of the 12
+        // submissions has its `queued` or `reject`, not until a result.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut lines = Vec::new();
+        let mut admissions = 0;
+        while admissions < 12 && Instant::now() < deadline {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(OutMsg::Line(line)) => {
+                    if line.contains("\"type\": \"queued\"")
+                        || line.contains("\"type\": \"reject\"")
+                    {
+                        admissions += 1;
+                    }
+                    lines.push(line);
+                }
+                Ok(OutMsg::Sync(_)) => {}
+                Err(_) => {}
+            }
+        }
+        let mut saw_overload = false;
+        for line in &lines {
+            if line.contains("\"reason\": \"overloaded\"") {
+                assert!(line.contains("retry_after_ms"), "{line}");
+                saw_overload = true;
+            }
+        }
+        // With a 1-deep queue and 12 near-instant admissions, shedding is
+        // effectively guaranteed; tolerate the lucky case by checking
+        // queued+rejected accounting instead of demanding a shed.
+        let queued = lines
+            .iter()
+            .filter(|l| l.contains("\"type\": \"queued\""))
+            .count();
+        let rejected = lines
+            .iter()
+            .filter(|l| l.contains("\"type\": \"reject\""))
+            .count();
+        assert_eq!(queued + rejected, 12, "{lines:?}");
+        if rejected > 0 {
+            assert!(saw_overload);
+        }
+        server.request_drain();
+        server.shutdown();
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected_while_in_flight() {
+        let mut config = quick_config();
+        config.workers = 1;
+        let server = Server::start(config);
+        let (tx, rx) = mpsc::channel();
+        server.handle_line(&solve_frame("dup"), &tx);
+        server.handle_line(&solve_frame("dup"), &tx);
+        let lines = drain_lines(&rx, 1, Duration::from_secs(10));
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"type\": \"error\"") && l.contains("duplicate")),
+            "{lines:?}"
+        );
+        server.request_drain();
+        server.shutdown();
+    }
+
+    #[test]
+    fn draining_rejects_new_work_but_finishes_queued() {
+        let server = Server::start(quick_config());
+        let (tx, rx) = mpsc::channel();
+        server.handle_line(&solve_frame("early"), &tx);
+        server.request_drain();
+        server.handle_line(&solve_frame("late"), &tx);
+        let lines = drain_lines(&rx, 1, Duration::from_secs(10));
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"id\": \"early\"") && l.contains("\"status\": \"sat\"")),
+            "{lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"id\": \"late\"") && l.contains("\"reason\": \"draining\"")),
+            "{lines:?}"
+        );
+        let summary = server.shutdown();
+        assert!(summary.contains("\"type\": \"summary\""));
+    }
+
+    #[test]
+    fn status_frames_report_queue_and_counters() {
+        let server = Server::start(quick_config());
+        let (tx, rx) = mpsc::channel();
+        server.handle_line(r#"{"type": "status"}"#, &tx);
+        let line = match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            OutMsg::Line(l) => l,
+            _ => panic!("expected a line"),
+        };
+        assert!(line.contains("\"type\": \"status\""), "{line}");
+        assert!(line.contains("\"workers\": 2"), "{line}");
+        assert!(line.contains("\"capacity\": 4"), "{line}");
+        server.request_drain();
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancel_acknowledges_and_unknown_ids_report_not_found() {
+        let server = Server::start(quick_config());
+        let (tx, rx) = mpsc::channel();
+        server.handle_line(r#"{"type": "cancel", "id": "ghost"}"#, &tx);
+        let line = match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            OutMsg::Line(l) => l,
+            _ => panic!("expected a line"),
+        };
+        assert!(line.contains("\"found\": false"), "{line}");
+        server.request_drain();
+        server.shutdown();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn panicking_jobs_do_not_kill_the_daemon() {
+        let server = Server::start(quick_config());
+        let (tx, rx) = mpsc::channel();
+        let panic_frame = format!(
+            r#"{{"type": "solve", "id": "boom", "source": "{XOR8}", "format": "bench", "fault": "panic"}}"#
+        );
+        server.handle_line(&panic_frame, &tx);
+        let lines = drain_lines(&rx, 1, Duration::from_secs(10));
+        assert!(
+            lines.iter().any(|l| l.contains("\"status\": \"panicked\"")),
+            "{lines:?}"
+        );
+        // The daemon still serves.
+        server.handle_line(&solve_frame("after"), &tx);
+        let lines = drain_lines(&rx, 1, Duration::from_secs(10));
+        assert!(
+            lines.iter().any(|l| l.contains("\"status\": \"sat\"")),
+            "{lines:?}"
+        );
+        server.request_drain();
+        let summary = server.shutdown();
+        assert!(summary.contains("\"panicked\": 1"), "{summary}");
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn breaker_opens_after_repeated_panics_of_one_instance() {
+        let mut config = quick_config();
+        config.workers = 1;
+        config.breaker_threshold = 2;
+        // Longer than the test itself: quick_config's 200ms cooloff would
+        // half-open the breaker before the third frame arrives and admit
+        // it as a probe instead of shedding it.
+        config.breaker_cooloff = Duration::from_secs(60);
+        let server = Server::start(config);
+        let (tx, rx) = mpsc::channel();
+        let poison = format!(
+            r#"{{"type": "solve", "id": "p0", "source": "{XOR8}", "format": "bench", "fault": "panic"}}"#
+        );
+        server.handle_line(&poison, &tx);
+        drain_lines(&rx, 1, Duration::from_secs(10));
+        let poison2 = poison.replace("\"p0\"", "\"p1\"");
+        server.handle_line(&poison2, &tx);
+        drain_lines(&rx, 1, Duration::from_secs(10));
+        // Third submission of the same instance text: breaker is open.
+        let poison3 = poison.replace("\"p0\"", "\"p2\"");
+        server.handle_line(&poison3, &tx);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut saw_breaker = false;
+        while Instant::now() < deadline && !saw_breaker {
+            if let Ok(OutMsg::Line(line)) = rx.recv_timeout(Duration::from_millis(100)) {
+                saw_breaker = line.contains("\"reason\": \"breaker_open\"");
+            }
+        }
+        assert!(saw_breaker);
+        server.request_drain();
+        server.shutdown();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn watchdog_cancels_wedged_jobs() {
+        let mut config = quick_config();
+        config.workers = 1;
+        config.wedge = Duration::from_millis(60);
+        let server = Server::start(config);
+        let (tx, rx) = mpsc::channel();
+        // Stall far longer than the wedge window: the watchdog cancels
+        // the job; when the stall ends the next checkpoint aborts it.
+        let frame = format!(
+            r#"{{"type": "solve", "id": "wedge", "source": "{XOR8}", "format": "bench",
+                "fault": "stall", "fault_at": 2, "fault_ms": 400}}"#
+        );
+        server.handle_line(&frame, &tx);
+        let lines = drain_lines(&rx, 1, Duration::from_secs(10));
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"id\": \"wedge\"") && l.contains("\"reason\": \"cancelled\"")),
+            "{lines:?}"
+        );
+        server.request_drain();
+        server.shutdown();
+    }
+}

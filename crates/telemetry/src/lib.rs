@@ -186,6 +186,40 @@ pub enum SolverEvent {
         /// True when the cube was stolen from another worker's deque.
         stolen: bool,
     },
+    /// A served job (daemon sequence number `job`) was admitted to the
+    /// bounded queue; `depth` is the queue depth after the enqueue.
+    JobQueued {
+        /// Daemon-wide job sequence number.
+        job: u64,
+        /// Queue depth right after this job was admitted.
+        depth: u32,
+    },
+    /// A served job started solving on `worker`.
+    JobStart {
+        /// Daemon-wide job sequence number.
+        job: u64,
+        /// Daemon worker index executing the job.
+        worker: u32,
+    },
+    /// A served job finished (any status — the result frame says which).
+    JobFinish {
+        /// Daemon-wide job sequence number.
+        job: u64,
+        /// Daemon worker index that executed the job.
+        worker: u32,
+    },
+    /// A served job hit a transient failure (memory pressure) and is
+    /// being retried once under a halved budget.
+    JobRetried {
+        /// Daemon-wide job sequence number.
+        job: u64,
+    },
+    /// A served job was shed at admission (queue full, draining, or an
+    /// open circuit breaker) and never ran.
+    JobShed {
+        /// Daemon-wide job sequence number.
+        job: u64,
+    },
 }
 
 /// Observer hook for solver events.
@@ -284,6 +318,11 @@ mod tests {
                 worker: 2,
                 stolen: true,
             },
+            SolverEvent::JobQueued { job: 1, depth: 3 },
+            SolverEvent::JobStart { job: 1, worker: 0 },
+            SolverEvent::JobFinish { job: 1, worker: 0 },
+            SolverEvent::JobRetried { job: 2 },
+            SolverEvent::JobShed { job: 3 },
         ] {
             obs.record(event);
         }

@@ -177,6 +177,18 @@ pub struct MetricsRecorder {
     pub cubes_solved: u64,
     /// ... of which were stolen from another worker's deque.
     pub cubes_stolen: u64,
+    /// Served jobs admitted to the daemon queue.
+    pub jobs_queued: u64,
+    /// Served jobs that started solving on a daemon worker.
+    pub jobs_started: u64,
+    /// Served jobs that finished (any status).
+    pub jobs_finished: u64,
+    /// Served jobs retried once after a transient (memory) failure.
+    pub jobs_retried: u64,
+    /// Served jobs shed at admission (queue full, draining, open breaker).
+    pub jobs_shed: u64,
+    /// Deepest daemon queue observed across all enqueues (gauge).
+    pub queue_depth_peak: u64,
     /// Depth (decision level) of every decision.
     pub decision_depth: Histogram,
     /// Back-jump distance of every conflict.
@@ -246,6 +258,14 @@ impl Observer for MetricsRecorder {
                 self.cubes_solved += 1;
                 self.cubes_stolen += stolen as u64;
             }
+            SolverEvent::JobQueued { depth, .. } => {
+                self.jobs_queued += 1;
+                self.queue_depth_peak = self.queue_depth_peak.max(depth as u64);
+            }
+            SolverEvent::JobStart { .. } => self.jobs_started += 1,
+            SolverEvent::JobFinish { .. } => self.jobs_finished += 1,
+            SolverEvent::JobRetried { .. } => self.jobs_retried += 1,
+            SolverEvent::JobShed { .. } => self.jobs_shed += 1,
         }
     }
 }
@@ -289,6 +309,12 @@ impl MetricsRecorder {
         self.clauses_imported += other.clauses_imported;
         self.cubes_solved += other.cubes_solved;
         self.cubes_stolen += other.cubes_stolen;
+        self.jobs_queued += other.jobs_queued;
+        self.jobs_started += other.jobs_started;
+        self.jobs_finished += other.jobs_finished;
+        self.jobs_retried += other.jobs_retried;
+        self.jobs_shed += other.jobs_shed;
+        self.queue_depth_peak = self.queue_depth_peak.max(other.queue_depth_peak);
         self.decision_depth.merge(&other.decision_depth);
         self.backjump_distance.merge(&other.backjump_distance);
         self.learned_length.merge(&other.learned_length);
@@ -336,7 +362,13 @@ impl MetricsRecorder {
             .field_u64("clauses_exported", self.clauses_exported)
             .field_u64("clauses_imported", self.clauses_imported)
             .field_u64("cubes_solved", self.cubes_solved)
-            .field_u64("cubes_stolen", self.cubes_stolen);
+            .field_u64("cubes_stolen", self.cubes_stolen)
+            .field_u64("jobs_queued", self.jobs_queued)
+            .field_u64("jobs_started", self.jobs_started)
+            .field_u64("jobs_finished", self.jobs_finished)
+            .field_u64("jobs_retried", self.jobs_retried)
+            .field_u64("jobs_shed", self.jobs_shed)
+            .field_u64("queue_depth_peak", self.queue_depth_peak);
         for reason in Interrupt::ALL {
             let n = self.exhausted(reason);
             if n != 0 {

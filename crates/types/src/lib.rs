@@ -135,6 +135,93 @@ impl fmt::Display for Interrupt {
     }
 }
 
+/// Why a job was turned away *before* solving started.
+///
+/// The queue/admission vocabulary of the serving layer (`csat-serve`),
+/// kept here next to [`Interrupt`] so every "the solver did not answer"
+/// reason in the workspace is a structured type rather than a string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// The bounded job queue is full; retry after the suggested delay.
+    Overloaded,
+    /// The daemon is draining and no longer accepts new jobs.
+    Draining,
+    /// The per-instance circuit breaker is open: this fingerprint has
+    /// recently panicked or timed out too many times in a row.
+    BreakerOpen,
+    /// The request was structurally valid but the instance could not be
+    /// loaded or parsed.
+    Invalid,
+}
+
+impl RejectReason {
+    /// Stable lower-case name (used in JSONL replies).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::Overloaded => "overloaded",
+            RejectReason::Draining => "draining",
+            RejectReason::BreakerOpen => "breaker_open",
+            RejectReason::Invalid => "invalid",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Parses a human byte size: a bare integer (bytes) or an integer with a
+/// `k`/`m`/`g` suffix (powers of 1024, case-insensitive, optional trailing
+/// `b` or `ib` as in `64m`, `64M`, `64mb`, `64MiB`).
+///
+/// This is the one parser behind every `--mem-limit` flag in the
+/// workspace (the `csat`, `cec`, `csat-fuzz` and `csat-serve` CLIs) and
+/// the serve protocol's `mem` field, so they cannot drift.
+///
+/// ```
+/// use csat_types::parse_byte_size;
+/// assert_eq!(parse_byte_size("65536"), Ok(65536));
+/// assert_eq!(parse_byte_size("64k"), Ok(64 << 10));
+/// assert_eq!(parse_byte_size("64K"), Ok(64 << 10));
+/// assert_eq!(parse_byte_size("2mb"), Ok(2 << 20));
+/// assert_eq!(parse_byte_size("1GiB"), Ok(1 << 30));
+/// assert!(parse_byte_size("64q").is_err());
+/// ```
+pub fn parse_byte_size(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err("empty byte size".to_string());
+    }
+    let digits_end = s
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_digit())
+        .map_or(s.len(), |(i, _)| i);
+    let (digits, suffix) = s.split_at(digits_end);
+    if digits.is_empty() {
+        return Err(format!("byte size '{s}' does not start with a number"));
+    }
+    let value: u64 = digits
+        .parse()
+        .map_err(|_| format!("byte size '{s}' is out of range"))?;
+    let shift = match suffix.to_ascii_lowercase().as_str() {
+        "" | "b" => 0,
+        "k" | "kb" | "kib" => 10,
+        "m" | "mb" | "mib" => 20,
+        "g" | "gb" | "gib" => 30,
+        other => {
+            return Err(format!(
+                "unknown byte-size suffix '{other}' in '{s}' (expected k, m or g)"
+            ))
+        }
+    };
+    value
+        .checked_shl(shift)
+        .filter(|v| v >> shift == value)
+        .ok_or_else(|| format!("byte size '{s}' overflows u64"))
+}
+
 /// Which failure a [`FaultPlan`] forces.
 #[cfg(feature = "fault-injection")]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -147,6 +234,10 @@ pub enum FaultKind {
     MemoryExhaustion,
     /// Cancel at the chosen checkpoint, as if Ctrl-C had been pressed.
     Cancel,
+    /// Block inside the checkpoint for this many milliseconds without
+    /// emitting any telemetry — simulates a wedged worker so heartbeat
+    /// watchdogs (see `csat-serve`) can be tested deterministically.
+    Stall(u64),
 }
 
 /// Deterministic fault injection for resilience tests.
@@ -189,6 +280,12 @@ impl FaultPlan {
     /// Force cancellation at the Nth checkpoint.
     pub fn cancel_at(n: u64) -> FaultPlan {
         FaultPlan::new(FaultKind::Cancel, n)
+    }
+
+    /// Block for `millis` milliseconds at the Nth checkpoint (a simulated
+    /// wedge; the solve continues normally once the stall ends).
+    pub fn stall_at(n: u64, millis: u64) -> FaultPlan {
+        FaultPlan::new(FaultKind::Stall(millis), n)
     }
 
     /// The injected failure kind.
@@ -433,6 +530,9 @@ impl BudgetMeter {
                     );
                 }
                 Some(FaultKind::MemoryExhaustion) => self.forced_memory = true,
+                Some(FaultKind::Stall(millis)) => {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
                 Some(FaultKind::Cancel) => {
                     // Go through the real token when there is one so the
                     // cancellation is observable outside this meter too.
@@ -821,6 +921,66 @@ mod tests {
         let budget = Budget::UNLIMITED.with_fault(FaultPlan::panic_at(1));
         let mut meter = BudgetMeter::new(&budget);
         let _ = meter.checkpoint(0, 0, 0, 0);
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_and_without_suffixes() {
+        assert_eq!(parse_byte_size("0"), Ok(0));
+        assert_eq!(parse_byte_size("65536"), Ok(65536));
+        assert_eq!(parse_byte_size("64b"), Ok(64));
+        assert_eq!(parse_byte_size("64k"), Ok(64 << 10));
+        assert_eq!(parse_byte_size("64K"), Ok(64 << 10));
+        assert_eq!(parse_byte_size("64kb"), Ok(64 << 10));
+        assert_eq!(parse_byte_size("64KiB"), Ok(64 << 10));
+        assert_eq!(parse_byte_size("3m"), Ok(3 << 20));
+        assert_eq!(parse_byte_size("3MB"), Ok(3 << 20));
+        assert_eq!(parse_byte_size("2g"), Ok(2 << 30));
+        assert_eq!(parse_byte_size(" 2g "), Ok(2 << 30));
+        assert_eq!(parse_byte_size("16G"), Ok(16 << 30));
+    }
+
+    #[test]
+    fn malformed_byte_sizes_are_rejected() {
+        for bad in [
+            "",
+            " ",
+            "k",
+            "-1",
+            "1.5m",
+            "64q",
+            "64kk",
+            "64 k",
+            "m64",
+            "0x40",
+            "64tb",
+            "99999999999999999999",  // out of u64 range
+            "18446744073709551615g", // u64::MAX scaled: overflow
+        ] {
+            assert!(parse_byte_size(bad).is_err(), "'{bad}' should be rejected");
+        }
+        // The error is descriptive, not a bare parse failure.
+        let err = parse_byte_size("64q").unwrap_err();
+        assert!(err.contains("suffix"), "got: {err}");
+    }
+
+    #[test]
+    fn reject_reasons_have_stable_names() {
+        assert_eq!(RejectReason::Overloaded.as_str(), "overloaded");
+        assert_eq!(RejectReason::Draining.as_str(), "draining");
+        assert_eq!(RejectReason::BreakerOpen.as_str(), "breaker_open");
+        assert_eq!(RejectReason::Invalid.as_str(), "invalid");
+        assert_eq!(format!("{}", RejectReason::Overloaded), "overloaded");
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn stall_fault_blocks_then_continues() {
+        let budget = Budget::UNLIMITED.with_fault(FaultPlan::stall_at(1, 30));
+        let mut meter = BudgetMeter::new(&budget);
+        let t0 = Instant::now();
+        assert_eq!(meter.checkpoint(0, 0, 0, 0), None); // stalls ~30ms, no verdict
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        assert_eq!(meter.checkpoint(0, 0, 0, 0), None); // fired once only
     }
 
     #[test]

@@ -75,6 +75,41 @@ run_perf_smoke() {
     # repetitions to keep the gate stable.
     cargo run --release -p csat-bench --bin solve_bench -- --check --reps 5
 }
+run_serve() {
+    # Protocol smoke: pipe a scripted JSONL session straight through the
+    # daemon binary — solve, status, a malformed line, cancel of an
+    # unknown id — and require a clean drain (EOF) with exit 0 and a
+    # summary counting the solve.
+    cargo build --release --bin csat-serve
+    local out
+    out=$(printf '%s\n' \
+        '{"type": "solve", "id": "smoke", "source": "INPUT(a)\nOUTPUT(y)\ny = NOT(a)", "format": "bench"}' \
+        '{"type": "status"}' \
+        'this line is not json' \
+        '{"type": "cancel", "id": "ghost"}' \
+        | ./target/release/csat-serve --stdin --workers 2)
+    echo "$out"
+    echo "$out" | grep -q '"type": "result".*"status": "sat"'
+    echo "$out" | grep -q '"type": "error"'
+    echo "$out" | grep -q '"type": "summary".*"sat": 1'
+    # Tier-1 protocol integration tests (real binary over stdin/stdout and
+    # a unix socket), then the chaos suite: a 120-job mix where a third of
+    # the jobs are booby-trapped (injected panics, transient memory
+    # exhaustion, self-cancellation, watchdog-length stalls) with a
+    # mid-run SIGTERM drain, plus the circuit-breaker trip test.
+    cargo test --release --test serve_protocol
+    cargo test --release --features fault-injection --test serve_resilience
+    # 60-second soak: healthy jobs streamed continuously, RSS must stay
+    # bounded across thousands of jobs.
+    cargo test --release --features fault-injection --test serve_resilience \
+        -- --ignored
+    # Hostile-frame fuzz: seeded families of truncated / mutated / garbage
+    # / wrong-shape frames against the protocol parser. A parser panic,
+    # nondeterministic parse or accept/reject contract violation is a
+    # disagreement → exit non-zero, replayable from the seed.
+    cargo run --release --bin csat-fuzz -- \
+        --seed 0 --iters 300 --matrix serve
+}
 run_resilience() {
     # Fault injection: force every interrupt reason (panic, memory
     # exhaustion, cancellation, expired clock, conflict/decision budgets)
@@ -142,6 +177,7 @@ case "${1:-all}" in
     parallel-determinism) run_parallel_determinism ;;
     features) run_features ;;
     perf-smoke) run_perf_smoke ;;
+    serve) run_serve ;;
     resilience) run_resilience ;;
     all)
         run_step fmt run_fmt
@@ -155,11 +191,12 @@ case "${1:-all}" in
         run_step parallel-determinism run_parallel_determinism
         run_step features run_features
         run_step perf-smoke run_perf_smoke
+        run_step serve run_serve
         run_step resilience run_resilience
         print_summary
         ;;
     *)
-        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|kernel-parity|incremental|parallel-determinism|features|perf-smoke|resilience|all]" >&2
+        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|kernel-parity|incremental|parallel-determinism|features|perf-smoke|serve|resilience|all]" >&2
         exit 2
         ;;
 esac

@@ -13,8 +13,9 @@
 //!   --no-learning       plain C-SAT-Jnode (no correlation learning)
 //!   --check-proof       verify an EQUIVALENT verdict by unit propagation
 //!   --timeout <SECS>    abort after this many seconds
-//!   --mem-limit <BYTES> learned-clause memory budget (DB reduction under
-//!                       pressure; abort only if still over the limit)
+//!   --mem-limit <SIZE>  learned-clause memory budget, k/m/g suffixes
+//!                       accepted (DB reduction under pressure; abort only
+//!                       if still over the limit)
 //!   --sim-words <N>     u64 words simulated per node per round [default: 4]
 //!   --sim-threads <N>   simulation threads (needs the `parallel` feature)
 //!   --stats             print solver statistics
@@ -48,6 +49,7 @@ use csat::par::{
 };
 use csat::sim::{find_correlations_observed, SimulationOptions};
 use csat::telemetry::{MetricsRecorder, NoOpObserver, Observer, ProgressObserver};
+use csat::types::parse_byte_size;
 
 struct Options {
     left: String,
@@ -67,7 +69,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: cec [--no-learning] [--check-proof] [--timeout SECS]\n\
-         \x20          [--mem-limit BYTES] [--sim-words N] [--sim-threads N]\n\
+         \x20          [--mem-limit SIZE] [--sim-words N] [--sim-threads N]\n\
          \x20          [--stats] [--progress SECS] [--metrics-out FILE]\n\
          \x20          [--threads N] [--par-mode portfolio|cubes]\n\
          \x20          <left> <right>"
@@ -103,11 +105,14 @@ fn parse_args() -> Options {
                 options.timeout = Some(Duration::from_secs(secs));
             }
             "--mem-limit" => {
-                let bytes: u64 = args
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .unwrap_or_else(|| usage());
-                options.mem_limit = Some(bytes);
+                let text = args.next().unwrap_or_else(|| usage());
+                match parse_byte_size(&text) {
+                    Ok(bytes) => options.mem_limit = Some(bytes),
+                    Err(e) => {
+                        eprintln!("error: --mem-limit: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--sim-words" => {
                 options.simulation.words = args

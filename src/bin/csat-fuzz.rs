@@ -7,12 +7,13 @@
 //!   --seed <N>          base seed [default: 0]
 //!   --iters <N>         instances to generate and cross-check [default: 100]
 //!   --time-budget <S>   stop early after this many seconds of wall clock
-//!   --matrix <M>        quick | full | incremental           [default: quick]
+//!   --matrix <M>        quick | full | incremental | serve   [default: quick]
 //!   --json              emit one JSONL row per instance to stdout
 //!   --corpus-dir <D>    where disagreement repros are written
 //!                       [default: fuzz/corpus]
 //!   --conflict-budget <N>  per-oracle conflict budget [default: 100000]
-//!   --mem-limit <BYTES> per-oracle learned-clause memory budget
+//!   --mem-limit <SIZE>  per-oracle learned-clause memory budget
+//!                       (k/m/g suffixes accepted)
 //!   --threads <N>       workers for the parallel oracle columns
 //!                       [default: 1 = sequential matrix only]
 //! ```
@@ -31,6 +32,12 @@
 //! solve point against a fresh monolithic solver. Trajectory disagreements
 //! are replayed from the seed alone, so no corpus repro is written.
 //!
+//! `--matrix serve` switches to the daemon-protocol family: each iteration
+//! feeds one seed-derived batch of hostile JSONL frames — malformed,
+//! truncated, byte-mutated, duplicate-id — to the `csat-serve` request
+//! parser and asserts it never panics, rejects with structured errors, and
+//! parses deterministically. Violations replay from the seed alone.
+//!
 //! Ctrl-C stops the sweep cooperatively: the current oracle aborts at its
 //! next checkpoint, the summary row is still written, and the exit code
 //! reflects the disagreements found so far. A second Ctrl-C kills the
@@ -45,13 +52,14 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use csat::fuzz::{run, FuzzOptions, Matrix};
+use csat::types::parse_byte_size;
 
 fn usage() -> ! {
     eprintln!(
         "usage: csat-fuzz [--seed N] [--iters N] [--time-budget SECS]\n\
-         \x20               [--matrix quick|full|incremental] [--json]\n\
+         \x20               [--matrix quick|full|incremental|serve] [--json]\n\
          \x20               [--corpus-dir DIR]\n\
-         \x20               [--conflict-budget N] [--mem-limit BYTES]\n\
+         \x20               [--conflict-budget N] [--mem-limit SIZE]\n\
          \x20               [--threads N]"
     );
     std::process::exit(2)
@@ -106,11 +114,14 @@ fn parse_args() -> FuzzOptions {
                     .unwrap_or_else(|| usage());
             }
             "--mem-limit" => {
-                options.mem_limit = Some(
-                    args.next()
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                );
+                let text = args.next().unwrap_or_else(|| usage());
+                match parse_byte_size(&text) {
+                    Ok(bytes) => options.mem_limit = Some(bytes),
+                    Err(e) => {
+                        eprintln!("error: --mem-limit: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             _ => usage(),
         }

@@ -1,0 +1,94 @@
+//! `csat-serve` — persistent solver daemon speaking a JSONL job protocol.
+//!
+//! ```text
+//! csat-serve [OPTIONS]
+//!
+//! OPTIONS:
+//!   --stdin                  serve on stdin/stdout [default when no --socket]
+//!   --socket <PATH>          also serve on a unix socket
+//!   --workers <N>            worker threads [default: 2]
+//!   --queue <N>              bounded queue capacity [default: 64]
+//!   --mem-limit <SIZE>       process-wide learned-clause budget, divided
+//!                            across workers (accepts k/m/g suffixes)
+//!   --wedge-ms <N>           heartbeat silence before the watchdog cancels
+//!                            a wedged job [default: 5000]
+//!   --drain-ms <N>           graceful-drain deadline [default: 10000]
+//!   --breaker <N>            hard failures before an instance's circuit
+//!                            breaker opens [default: 3]
+//!   --breaker-cooloff-ms <N> how long an open breaker sheds [default: 30000]
+//!   --retry-after-ms <N>     retry hint on overload rejects [default: 250]
+//! ```
+//!
+//! Protocol schema: README, "Serving". The daemon drains gracefully on
+//! SIGINT/SIGTERM, a `drain` frame, or stdin EOF, then exits 0; a second
+//! signal hard-exits (130/143).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use csat::serve::{run, ServeConfig};
+use csat_types::parse_byte_size;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: csat-serve [--stdin] [--socket PATH] [--workers N] [--queue N]\n\
+         \x20                 [--mem-limit SIZE] [--wedge-ms N] [--drain-ms N]\n\
+         \x20                 [--breaker N] [--breaker-cooloff-ms N] [--retry-after-ms N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> ServeConfig {
+    let mut config = ServeConfig::default();
+    let mut explicit_stdin = false;
+    let mut args = std::env::args().skip(1);
+    let next_u64 = |args: &mut dyn Iterator<Item = String>| -> u64 {
+        args.next()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdin" => explicit_stdin = true,
+            "--socket" => config.socket = Some(args.next().unwrap_or_else(|| usage())),
+            "--workers" => config.workers = next_u64(&mut args).clamp(1, 256) as usize,
+            "--queue" => config.queue_capacity = next_u64(&mut args).clamp(1, 1 << 20) as usize,
+            "--mem-limit" => {
+                let text = args.next().unwrap_or_else(|| usage());
+                match parse_byte_size(&text) {
+                    Ok(bytes) => config.mem_limit = Some(bytes),
+                    Err(e) => {
+                        eprintln!("error: --mem-limit: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--wedge-ms" => config.wedge = Duration::from_millis(next_u64(&mut args).max(10)),
+            "--drain-ms" => config.drain_deadline = Duration::from_millis(next_u64(&mut args)),
+            "--breaker" => config.breaker_threshold = next_u64(&mut args).clamp(1, 1000) as u32,
+            "--breaker-cooloff-ms" => {
+                config.breaker_cooloff = Duration::from_millis(next_u64(&mut args))
+            }
+            "--retry-after-ms" => config.retry_after_ms = next_u64(&mut args),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    // stdin is the default transport; with --socket only, stdin stays
+    // untouched unless explicitly asked for as well.
+    config.stdin = explicit_stdin || config.socket.is_none();
+    config
+}
+
+fn main() -> ExitCode {
+    let config = parse_args();
+    // First SIGINT/SIGTERM begins the graceful drain; a second hard-exits
+    // with 128+signum (src/signal.rs).
+    let signal = csat::signal::install();
+    let socket = config.socket.clone();
+    let code = run(config, signal);
+    if let Some(path) = socket {
+        let _ = std::fs::remove_file(path);
+    }
+    ExitCode::from(code)
+}

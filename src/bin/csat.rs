@@ -13,8 +13,9 @@
 //!   --no-explicit       disable the explicit learning pass
 //!   --check-proof       verify UNSAT answers by reverse unit propagation
 //!   --timeout <SECS>    abort after this many seconds
-//!   --mem-limit <BYTES> learned-clause memory budget (DB reduction under
-//!                       pressure; abort only if still over the limit)
+//!   --mem-limit <SIZE>  learned-clause memory budget, k/m/g suffixes
+//!                       accepted (DB reduction under pressure; abort only
+//!                       if still over the limit)
 //!   --sim-words <N>     u64 words simulated per node per round [default: 4]
 //!   --sim-threads <N>   simulation threads (needs the `parallel` feature)
 //!   --stats             print solver statistics
@@ -49,6 +50,7 @@ use csat::par::{
 };
 use csat::sim::{find_correlations_observed, SimulationOptions};
 use csat::telemetry::{MetricsRecorder, NoOpObserver, Observer, ProgressObserver};
+use csat::types::parse_byte_size;
 
 struct Options {
     file: String,
@@ -79,7 +81,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: csat [--output NAME] [--negate] [--engine circuit|circuit-plain|cnf]\n\
          \x20           [--no-implicit] [--no-explicit] [--check-proof]\n\
-         \x20           [--timeout SECS] [--mem-limit BYTES]\n\
+         \x20           [--timeout SECS] [--mem-limit SIZE]\n\
          \x20           [--sim-words N] [--sim-threads N]\n\
          \x20           [--stats] [--progress SECS] [--metrics-out FILE]\n\
          \x20           [--threads N] [--par-mode portfolio|cubes]\n\
@@ -130,11 +132,14 @@ fn parse_args() -> Options {
                 options.timeout = Some(Duration::from_secs(secs));
             }
             "--mem-limit" => {
-                let bytes: u64 = args
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .unwrap_or_else(|| usage());
-                options.mem_limit = Some(bytes);
+                let text = args.next().unwrap_or_else(|| usage());
+                match parse_byte_size(&text) {
+                    Ok(bytes) => options.mem_limit = Some(bytes),
+                    Err(e) => {
+                        eprintln!("error: --mem-limit: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--sim-words" => {
                 options.simulation.words = args

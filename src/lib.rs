@@ -15,8 +15,12 @@
 //!   implicit/explicit correlation-guided learning.
 //! * [`fuzz`] — the deterministic differential-testing engine cross-checking
 //!   the full solver configuration matrix.
-//! * [`signal`] — Ctrl-C wiring: a SIGINT-backed [`types::CancelToken`]
-//!   shared by the CLI budgets.
+//! * [`par`] — the parallel portfolio / cube-and-conquer layer.
+//! * [`serve`] — the crash-tolerant solver daemon behind `csat-serve`:
+//!   JSONL job protocol, bounded queue, per-job fault domains.
+//! * [`signal`] — SIGINT/SIGTERM wiring: a signal-backed
+//!   [`types::CancelToken`] shared by the CLI budgets and the daemon's
+//!   graceful drain.
 //!
 //! # Quickstart
 //!
@@ -44,6 +48,7 @@ pub use csat_core as core;
 pub use csat_fuzz as fuzz;
 pub use csat_netlist as netlist;
 pub use csat_par as par;
+pub use csat_serve as serve;
 pub use csat_sim as sim;
 pub use csat_telemetry as telemetry;
 pub use csat_types as types;

@@ -1,17 +1,22 @@
-//! Ctrl-C (SIGINT) wiring for the CLIs.
+//! SIGINT/SIGTERM wiring for the CLIs and the `csat-serve` daemon.
 //!
-//! [`install`] registers a SIGINT handler and returns the process-wide
-//! [`CancelToken`] it trips. Pass the token into a
-//! [`Budget`](csat_types::Budget) (via
+//! [`install`] registers handlers for SIGINT (Ctrl-C) and SIGTERM (the
+//! `kill(1)` default, and what process supervisors send on shutdown) and
+//! returns the process-wide [`CancelToken`] both trip. Pass the token into
+//! a [`Budget`](csat_types::Budget) (via
 //! [`Budget::with_cancel`](csat_types::Budget::with_cancel)) and the solvers
 //! notice the interrupt at their next cooperative checkpoint, unwind
 //! cleanly, and report `Verdict::Unknown(Interrupt::Cancelled)` — partial
-//! statistics and metrics survive.
+//! statistics and metrics survive. `csat-serve` watches the same token to
+//! begin its graceful drain.
 //!
-//! * First Ctrl-C: cooperative — the token is cancelled, solving stops at
-//!   the next checkpoint and the CLI prints what it learned.
-//! * Second Ctrl-C: immediate — the process exits with status 130 (the
-//!   shell convention for death-by-SIGINT), for loops that refuse to end.
+//! * First signal (either one): cooperative — the token is cancelled,
+//!   solving stops at the next checkpoint and the CLI prints what it
+//!   learned (the daemon drains).
+//! * Second signal (either one): immediate — the process exits with the
+//!   shell convention `128 + signum` for the *second* signal: 130 for
+//!   SIGINT, 143 for SIGTERM. For loops (and supervisors) that refuse to
+//!   wait.
 //!
 //! The handler body is async-signal-safe: one relaxed atomic increment,
 //! one relaxed atomic store (the token), and on the second strike `_exit`.
@@ -25,41 +30,46 @@ use std::sync::OnceLock;
 
 use csat_types::CancelToken;
 
-/// The token [`install`] hands out, tripped by the signal handler.
+/// The token [`install`] hands out, tripped by the signal handlers.
 static TOKEN: OnceLock<CancelToken> = OnceLock::new();
 
-/// SIGINTs received so far (the second one force-exits).
-static SIGINTS: AtomicU32 = AtomicU32::new(0);
+/// Termination signals (SIGINT or SIGTERM) received so far; the second
+/// one — of either kind — force-exits.
+static STRIKES: AtomicU32 = AtomicU32::new(0);
 
 #[cfg(unix)]
 mod imp {
     use super::*;
 
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
 
     extern "C" {
-        /// ISO C `signal(2)` — enough here; we install one handler once
-        /// and never need `sigaction`'s extra control.
+        /// ISO C `signal(2)` — enough here; we install one handler per
+        /// signal once and never need `sigaction`'s extra control.
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
         /// `_exit(2)`: terminate without running atexit handlers or
         /// unwinding — the only safe way out of a signal handler.
         fn _exit(code: i32) -> !;
     }
 
-    extern "C" fn handle_sigint(_signum: i32) {
-        let strikes = SIGINTS.fetch_add(1, Ordering::Relaxed);
+    extern "C" fn handle_termination(signum: i32) {
+        let strikes = STRIKES.fetch_add(1, Ordering::Relaxed);
         if strikes == 0 {
             if let Some(token) = TOKEN.get() {
                 token.cancel();
             }
         } else {
-            unsafe { _exit(130) }
+            // 128 + signum, keyed on the signal that struck *second* —
+            // that is the one that actually killed us.
+            unsafe { _exit(128 + signum) }
         }
     }
 
     pub fn install_handler() {
         unsafe {
-            let _ = signal(SIGINT, handle_sigint);
+            let _ = signal(SIGINT, handle_termination);
+            let _ = signal(SIGTERM, handle_termination);
         }
     }
 }
@@ -69,9 +79,9 @@ mod imp {
     pub fn install_handler() {}
 }
 
-/// Registers the SIGINT handler (idempotent) and returns the cancel token
-/// it trips. Clones of the token share the same flag, so every budget in
-/// the process can watch the same Ctrl-C.
+/// Registers the SIGINT/SIGTERM handlers (idempotent) and returns the
+/// cancel token they trip. Clones of the token share the same flag, so
+/// every budget in the process can watch the same shutdown request.
 pub fn install() -> CancelToken {
     let token = TOKEN.get_or_init(CancelToken::new).clone();
     imp::install_handler();

@@ -1,0 +1,432 @@
+//! `csat-serve` chaos suite (requires `--features fault-injection`).
+//!
+//! Drives the real daemon binary through a 120-job mixed workload where
+//! more than a quarter of the jobs are booby-trapped — injected panics,
+//! transient memory exhaustion, self-cancellation, multi-second stalls —
+//! interleaved with healthy jobs whose verdicts are cross-checked against
+//! a serial re-solve through the same [`csat::serve::job::solve_once`]
+//! entry point the daemon uses. Mid-run the daemon takes a SIGTERM and
+//! must drain gracefully: every admitted job still gets a terminal frame,
+//! the summary is emitted, and the exit code is 0. A poisoned instance
+//! repeatedly panicking must trip its circuit breaker. The `#[ignore]`d
+//! soak keeps the daemon under load for a minute and checks its RSS
+//! stays bounded.
+
+#![cfg(feature = "fault-injection")]
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::AtomicU64;
+use std::sync::mpsc::{self, Receiver};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csat::serve::job::{load_instance, solve_once, JobObserver};
+use csat::serve::{parse_request, JobStatus, Request};
+use csat::types::Budget;
+
+struct Daemon {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    rx: Receiver<String>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_csat-serve"))
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn csat-serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                match line {
+                    Ok(l) => {
+                        if tx.send(l).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        let stdin = child.stdin.take();
+        Daemon { child, stdin, rx }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.stdin.as_mut().expect("stdin open"), "{line}").expect("write frame");
+    }
+
+    fn sigterm(&self) {
+        let status = Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status()
+            .expect("send SIGTERM");
+        assert!(status.success());
+    }
+
+    fn alive(&mut self) -> bool {
+        self.child.try_wait().expect("try_wait").is_none()
+    }
+
+    fn wait(mut self) -> i32 {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(status) => return status.code().expect("exit code"),
+                None if Instant::now() >= deadline => {
+                    let _ = self.child.kill();
+                    panic!("daemon failed to exit after the drain deadline");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Closes stdin (EOF is a drain request) and waits for a clean exit.
+    fn wait_after_eof(mut self) -> i32 {
+        drop(self.stdin.take());
+        self.wait()
+    }
+}
+
+/// `width`-input XOR parity chain asserted to 1 — always SAT, and XOR
+/// justification forces branching, so every job reaches the budget
+/// checkpoints that injected faults, heartbeats and cancellation use.
+fn parity_bench(width: usize) -> String {
+    assert!(width >= 3);
+    let mut text = String::new();
+    for i in 0..width {
+        text.push_str(&format!("INPUT(i{i})\n"));
+    }
+    text.push_str("OUTPUT(y)\n");
+    text.push_str("x1 = XOR(i0, i1)\n");
+    for i in 2..width {
+        let prev = i - 1;
+        let name = if i == width - 1 {
+            "y".to_string()
+        } else {
+            format!("x{i}")
+        };
+        text.push_str(&format!("{name} = XOR(x{prev}, i{i})\n"));
+    }
+    text
+}
+
+/// Pigeonhole `pigeons` into `pigeons - 1` holes in DIMACS — UNSAT, and
+/// small enough to prove in milliseconds while still needing real search.
+fn php_dimacs(pigeons: usize) -> String {
+    let holes = pigeons - 1;
+    let var = |p: usize, h: usize| p * holes + h + 1;
+    let mut clauses = Vec::new();
+    for p in 0..pigeons {
+        clauses.push(
+            (0..holes)
+                .map(|h| var(p, h).to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                clauses.push(format!("-{} -{}", var(p1, h), var(p2, h)));
+            }
+        }
+    }
+    let mut text = format!("p cnf {} {}\n", pigeons * holes, clauses.len());
+    for c in &clauses {
+        text.push_str(c);
+        text.push_str(" 0\n");
+    }
+    text
+}
+
+fn json_escape(text: &str) -> String {
+    text.replace('\n', "\\n")
+}
+
+/// What the chaos workload expects from one job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Expected {
+    /// Cross-check the daemon's verdict against a serial re-solve.
+    Reference,
+    Panicked,
+    /// Transient memory fault: retried once, then the reference verdict.
+    RetriedReference,
+    Cancelled,
+}
+
+fn extract_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Serial reference verdict for one healthy solve frame, computed through
+/// the same entry point the daemon workers use.
+fn serial_status(frame: &str) -> JobStatus {
+    let req = match parse_request(frame).expect("healthy frame parses") {
+        Request::Solve(req) => req,
+        other => panic!("not a solve frame: {other:?}"),
+    };
+    let instance = load_instance(&req).expect("healthy instance loads");
+    let mut obs = JobObserver::new(Arc::new(AtomicU64::new(0)), None);
+    let verdict = solve_once(&req, &instance, &Budget::UNLIMITED, &mut obs);
+    JobStatus::from_verdict(verdict)
+}
+
+#[test]
+fn chaos_mix_survives_faults_and_a_midrun_sigterm_drain() {
+    const JOBS: usize = 120;
+    let mut d = Daemon::spawn(&[
+        "--stdin",
+        "--workers",
+        "4",
+        "--queue",
+        "200",
+        "--wedge-ms",
+        "300",
+        "--drain-ms",
+        "30000",
+        // The chaos mix reuses instance texts across panic jobs; breaker
+        // shedding has its own test below.
+        "--breaker",
+        "1000",
+    ]);
+
+    let php = json_escape(&php_dimacs(4));
+    let mut expected: HashMap<String, Expected> = HashMap::new();
+    let mut healthy_frames: HashMap<String, String> = HashMap::new();
+    for i in 0..JOBS {
+        let id = format!("job-{i}");
+        let parity = json_escape(&parity_bench(4 + i % 6));
+        let frame = match i % 12 {
+            // ~33% of the mix is booby-trapped, faults firing at the
+            // first or second budget checkpoint.
+            0 => {
+                expected.insert(id.clone(), Expected::Panicked);
+                format!(
+                    r#"{{"type": "solve", "id": "{id}", "source": "{parity}", "format": "bench", "fault": "panic", "fault_at": 1}}"#
+                )
+            }
+            4 => {
+                expected.insert(id.clone(), Expected::RetriedReference);
+                format!(
+                    r#"{{"type": "solve", "id": "{id}", "source": "{parity}", "format": "bench", "fault": "memory", "fault_at": 1}}"#
+                )
+            }
+            8 => {
+                expected.insert(id.clone(), Expected::Cancelled);
+                format!(
+                    r#"{{"type": "solve", "id": "{id}", "source": "{parity}", "format": "bench", "fault": "stall", "fault_at": 1, "fault_ms": 1500}}"#
+                )
+            }
+            2 => {
+                expected.insert(id.clone(), Expected::Cancelled);
+                format!(
+                    r#"{{"type": "solve", "id": "{id}", "source": "{parity}", "format": "bench", "fault": "cancel", "fault_at": 1}}"#
+                )
+            }
+            _ => {
+                expected.insert(id.clone(), Expected::Reference);
+                let source = if i % 2 == 0 { &parity } else { &php };
+                let format = if i % 2 == 0 { "bench" } else { "dimacs" };
+                let f = format!(
+                    r#"{{"type": "solve", "id": "{id}", "source": "{source}", "format": "{format}"}}"#
+                );
+                healthy_frames.insert(id.clone(), f.clone());
+                f
+            }
+        };
+        d.send(&frame);
+    }
+
+    // Let the pool chew through part of the mix, then pull the plug.
+    let collect_deadline = Instant::now() + Duration::from_secs(120);
+    let mut terminal: HashMap<String, String> = HashMap::new();
+    let mut summary: Option<String> = None;
+    let mut termed = false;
+    let mut term_sent_at = None;
+    while summary.is_none() && Instant::now() < collect_deadline {
+        if !termed && terminal.len() >= 30 {
+            assert!(d.alive(), "daemon died mid-run");
+            d.sigterm();
+            term_sent_at = Some(Instant::now());
+            termed = true;
+        }
+        let Ok(line) = d.rx.recv_timeout(Duration::from_millis(100)) else {
+            continue;
+        };
+        if line.contains("\"type\": \"result\"") || line.contains("\"type\": \"reject\"") {
+            let id = extract_field(&line, "id")
+                .expect("terminal frame has an id")
+                .to_string();
+            let previous = terminal.insert(id.clone(), line);
+            assert!(previous.is_none(), "two terminal frames for {id}");
+        } else if line.contains("\"type\": \"summary\"") {
+            summary = Some(line);
+        }
+    }
+    assert!(termed, "never reached the mid-run SIGTERM point");
+    let summary = summary.expect("no summary frame before the deadline");
+    assert_eq!(d.wait(), 0, "daemon exited non-zero; summary: {summary}");
+    let drained_in = term_sent_at.expect("term timestamp").elapsed();
+    assert!(
+        drained_in < Duration::from_secs(40),
+        "drain blew through the deadline: {drained_in:?}"
+    );
+
+    // Every one of the 120 submissions got exactly one terminal frame.
+    assert_eq!(terminal.len(), JOBS, "missing terminal frames");
+    let mut reference_checked = 0usize;
+    let mut faulted_seen = 0usize;
+    for (id, want) in &expected {
+        let line = &terminal[id];
+        // Jobs shed after the drain began are accounted, not solved.
+        if line.contains("\"type\": \"reject\"") {
+            assert!(
+                line.contains("\"reason\": \"draining\""),
+                "unexpected shed: {line}"
+            );
+            continue;
+        }
+        match want {
+            Expected::Reference => {
+                let serial = serial_status(&healthy_frames[id]);
+                assert_eq!(
+                    extract_field(line, "status").expect("status"),
+                    serial.as_str(),
+                    "daemon and serial re-solve disagree on {id}: {line}"
+                );
+                reference_checked += 1;
+            }
+            Expected::Panicked => {
+                assert!(line.contains("\"status\": \"panicked\""), "{id}: {line}");
+                faulted_seen += 1;
+            }
+            Expected::RetriedReference => {
+                assert!(line.contains("\"retried\": true"), "{id}: {line}");
+                assert!(line.contains("\"status\": \"sat\""), "{id}: {line}");
+                faulted_seen += 1;
+            }
+            Expected::Cancelled => {
+                assert!(line.contains("\"reason\": \"cancelled\""), "{id}: {line}");
+                faulted_seen += 1;
+            }
+        }
+    }
+    // The mid-run drain may shed a tail of the mix, but a healthy slice
+    // of both populations must actually have run.
+    assert!(
+        reference_checked >= 20,
+        "only {reference_checked} cross-checked"
+    );
+    assert!(faulted_seen >= 10, "only {faulted_seen} faulted jobs ran");
+}
+
+#[test]
+fn repeated_panics_trip_the_instance_breaker() {
+    let mut d = Daemon::spawn(&[
+        "--stdin",
+        "--workers",
+        "1",
+        "--breaker",
+        "2",
+        "--breaker-cooloff-ms",
+        "60000",
+    ]);
+    let poison = json_escape(&parity_bench(5));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut breaker_open = false;
+    for round in 0..3 {
+        d.send(&format!(
+            r#"{{"type": "solve", "id": "p{round}", "source": "{poison}", "format": "bench", "fault": "panic", "fault_at": 1}}"#
+        ));
+        // Wait for this round's terminal frame before the next, so the
+        // failures accumulate in order.
+        loop {
+            assert!(Instant::now() < deadline, "no terminal frame for p{round}");
+            let Ok(line) = d.rx.recv_timeout(Duration::from_millis(100)) else {
+                continue;
+            };
+            if line.contains("\"status\": \"panicked\"") {
+                break;
+            }
+            if line.contains("\"reason\": \"breaker_open\"") {
+                assert!(line.contains("retry_after_ms"), "{line}");
+                breaker_open = true;
+                break;
+            }
+        }
+        if breaker_open {
+            break;
+        }
+    }
+    assert!(breaker_open, "breaker never opened after repeated panics");
+    assert_eq!(d.wait_after_eof(), 0);
+}
+
+/// Minute-long soak: healthy jobs streamed continuously; the daemon's
+/// resident set must stay bounded (no leak across thousands of jobs).
+/// Run explicitly with `cargo test --release --features fault-injection
+/// --test serve_resilience -- --ignored`.
+#[test]
+#[ignore]
+fn soak_rss_stays_bounded() {
+    let mut d = Daemon::spawn(&["--stdin", "--workers", "4", "--queue", "64"]);
+    let pid = d.child.id();
+    let rss = |pid: u32| -> Option<u64> {
+        let status = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+        line.split_whitespace()
+            .nth(1)?
+            .parse::<u64>()
+            .ok()
+            .map(|kb| kb * 1024)
+    };
+    let parity = json_escape(&parity_bench(8));
+    let php = json_escape(&php_dimacs(5));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut submitted = 0u64;
+    let mut results = 0u64;
+    let mut baseline = None;
+    while Instant::now() < deadline {
+        // Keep ~32 jobs in flight; drain the output as we go.
+        while submitted.saturating_sub(results) < 32 {
+            let (source, format) = if submitted % 2 == 0 {
+                (&parity, "bench")
+            } else {
+                (&php, "dimacs")
+            };
+            d.send(&format!(
+                r#"{{"type": "solve", "id": "soak-{submitted}", "source": "{source}", "format": "{format}"}}"#
+            ));
+            submitted += 1;
+        }
+        while let Ok(line) = d.rx.recv_timeout(Duration::from_millis(10)) {
+            if line.contains("\"type\": \"result\"") {
+                results += 1;
+            }
+        }
+        if baseline.is_none() && Instant::now() > deadline - Duration::from_secs(50) {
+            baseline = rss(pid);
+        }
+    }
+    let final_rss = rss(pid).expect("daemon alive at soak end");
+    assert!(d.alive(), "daemon died during the soak");
+    assert!(results > 500, "soak barely ran: {results} results");
+    let baseline = baseline.expect("baseline RSS sampled");
+    assert!(
+        final_rss < baseline * 3 + (64 << 20),
+        "RSS grew from {baseline} to {final_rss} over {results} jobs"
+    );
+    assert_eq!(d.wait_after_eof(), 0);
+}
