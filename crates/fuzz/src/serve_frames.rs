@@ -226,15 +226,31 @@ fn truncate(frame: &str, rng: &mut StdRng) -> String {
     frame[..end.max(1)].to_string()
 }
 
-/// Substitutes 1–6 random printable-ASCII bytes. Valid frames are ASCII,
-/// so byte positions are char boundaries and the result stays UTF-8.
+/// Substitutes 1–6 random printable-ASCII bytes, then splices `\uXXXX`
+/// escapes into half the mutants, biased toward surrogate halves — the
+/// decoder's hardest corner (lone and mispaired halves must come out as
+/// U+FFFD, never a panic; an earlier underflow bug lived exactly here).
+/// Valid frames are ASCII, so byte positions are char boundaries and the
+/// result stays UTF-8.
 fn mutate(frame: &str, rng: &mut StdRng) -> String {
     let mut bytes = frame.as_bytes().to_vec();
     for _ in 0..rng.gen_range(1..=6) {
         let at = rng.gen_range(0..bytes.len());
         bytes[at] = rng.gen_range(0x20u8..0x7f);
     }
-    String::from_utf8(bytes).expect("ASCII substitution keeps UTF-8")
+    let mut out = String::from_utf8(bytes).expect("ASCII substitution keeps UTF-8");
+    if rng.gen_bool(0.5) {
+        for _ in 0..rng.gen_range(1..=3) {
+            let unit: u16 = if rng.gen_bool(0.75) {
+                rng.gen_range(0xD800..0xE000) // surrogate half
+            } else {
+                rng.gen() // anything
+            };
+            let at = rng.gen_range(0..=out.len());
+            out.insert_str(at, &format!("\\u{unit:04x}"));
+        }
+    }
+    out
 }
 
 /// Random printable-ASCII noise, with JSON punctuation over-represented
@@ -354,5 +370,28 @@ mod tests {
         let report = check_frames(1); // 1 % 6 == Truncated
         assert_eq!(report.kind, FrameKind::Truncated);
         assert_eq!(report.accepted, 0, "{:?}", report.disagreement);
+    }
+
+    #[test]
+    fn mispaired_surrogate_escapes_never_panic_the_parser() {
+        // Regression: a high surrogate followed by a non-low-surrogate
+        // escape underflowed the pair arithmetic and panicked debug
+        // builds — one hostile line killed the frame-parsing thread.
+        // These must parse (the id decodes with U+FFFD) or reject
+        // cleanly; either way, no panic.
+        for id in [
+            "\\ud800\\u0041",
+            "\\ud800\\ud800",
+            "\\ud800\\udbff",
+            "\\ud800\\ue000",
+            "\\udc00\\ud800",
+            "\\ud800",
+        ] {
+            let frame = format!(
+                r#"{{"type": "solve", "id": "{id}", "source": "INPUT(a)\nOUTPUT(y)\ny = NOT(a)", "format": "bench"}}"#
+            );
+            let parsed = catch_unwind(|| parse_request(&frame));
+            assert!(parsed.is_ok(), "parser panicked on {frame}");
+        }
     }
 }

@@ -244,10 +244,20 @@ impl<'a> Parser<'a> {
                                 if self.bytes[self.pos..].starts_with(b"\\u") {
                                     self.pos += 2;
                                     let low = self.hex4()?;
-                                    let combined = 0x10000
-                                        + ((unit as u32 - 0xD800) << 10)
-                                        + (low as u32 - 0xDC00);
-                                    char::from_u32(combined).unwrap_or('\u{FFFD}')
+                                    if (0xDC00..0xE000).contains(&low) {
+                                        let combined = 0x10000
+                                            + ((unit as u32 - 0xD800) << 10)
+                                            + (low as u32 - 0xDC00);
+                                        char::from_u32(combined).unwrap_or('\u{FFFD}')
+                                    } else {
+                                        // Mispaired: the high half is lone
+                                        // (U+FFFD), and the second escape is
+                                        // rewound so the loop decodes it on
+                                        // its own terms (it may start a valid
+                                        // pair of its own).
+                                        self.pos -= 6;
+                                        '\u{FFFD}'
+                                    }
                                 } else {
                                     '\u{FFFD}'
                                 }
@@ -350,6 +360,43 @@ mod tests {
         assert_eq!(
             parse(r#""\ud83dx""#).unwrap(),
             Json::Str("\u{FFFD}x".to_string())
+        );
+    }
+
+    #[test]
+    fn mispaired_surrogates_decode_to_replacement_chars() {
+        // High surrogate followed by a non-surrogate \u escape: the
+        // hostile case that used to underflow `low - 0xDC00` and panic
+        // debug builds. The high half is U+FFFD; the rewound second
+        // escape stands alone.
+        assert_eq!(
+            parse(r#""\ud800\u0041""#).unwrap(),
+            Json::Str("\u{FFFD}A".to_string())
+        );
+        // Two high halves in a row, and halves just outside the low
+        // window on either side (0xDBFF below it, 0xE000 above it).
+        assert_eq!(
+            parse(r#""\ud800\ud800""#).unwrap(),
+            Json::Str("\u{FFFD}\u{FFFD}".to_string())
+        );
+        assert_eq!(
+            parse(r#""\ud800\udbff""#).unwrap(),
+            Json::Str("\u{FFFD}\u{FFFD}".to_string())
+        );
+        assert_eq!(
+            parse(r#""\ud800\ue000""#).unwrap(),
+            Json::Str("\u{FFFD}\u{E000}".to_string())
+        );
+        // A high half shadowing a valid pair: the rewound second escape
+        // still pairs with the third.
+        assert_eq!(
+            parse(r#""\ud800\ud83d\ude00""#).unwrap(),
+            Json::Str("\u{FFFD}\u{1F600}".to_string())
+        );
+        // A lone low half was already U+FFFD before the fix.
+        assert_eq!(
+            parse(r#""\udc00\ud800x""#).unwrap(),
+            Json::Str("\u{FFFD}\u{FFFD}x".to_string())
         );
     }
 

@@ -105,8 +105,10 @@ struct WorkerSlot {
     /// Set by the watchdog when it cancels a wedged job; the worker
     /// reads-and-clears it to classify the failure for the breaker.
     kicked: AtomicBool,
-    /// Cancel token of the job currently on this worker.
-    token: Mutex<Option<CancelToken>>,
+    /// Cancel token of the job currently on this worker, tagged with the
+    /// generation it belongs to so the watchdog can verify — under this
+    /// lock — that the job it sampled as wedged is still the one running.
+    token: Mutex<Option<(u64, CancelToken)>>,
 }
 
 struct ServerState {
@@ -220,21 +222,45 @@ impl Server {
             Ok(Request::SolveDir { id, dir, template }) => {
                 self.admit_dir(&id, &dir, &template, reply)
             }
-            Ok(Request::Cancel { id }) => {
-                let token = self.state.registry.lock().unwrap().get(&id).cloned();
-                match token {
-                    Some(token) => {
-                        token.cancel();
-                        send(reply, reply::cancelled(&id, true));
-                    }
-                    None => send(reply, reply::cancelled(&id, false)),
-                }
-            }
+            Ok(Request::Cancel { id }) => self.cancel(&id, reply),
             Ok(Request::Status) => send(reply, self.status_frame()),
             Ok(Request::Drain) => {
                 self.request_drain();
                 send(reply, self.status_frame());
             }
+        }
+    }
+
+    /// Cancels a job by id. A queued-but-unstarted job is plucked
+    /// straight out of the queue and answered `cancelled` here — no
+    /// worker time is spent running a job nobody wants; a running job
+    /// gets its token cancelled and reports through its worker.
+    fn cancel(&self, id: &str, reply: &Sender<OutMsg>) {
+        if let Some(job) = self.state.queue.remove_where(|j| j.req.id == id) {
+            self.state.registry.lock().unwrap().remove(id);
+            send(reply, reply::cancelled(id, true));
+            send(
+                &job.reply,
+                reply::result(
+                    id,
+                    &JobStatus::Unknown(Interrupt::Cancelled),
+                    0,
+                    0,
+                    0,
+                    0,
+                    false,
+                ),
+            );
+            self.state.results_unknown.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let token = self.state.registry.lock().unwrap().get(id).cloned();
+        match token {
+            Some(token) => {
+                token.cancel();
+                send(reply, reply::cancelled(id, true));
+            }
+            None => send(reply, reply::cancelled(id, false)),
         }
     }
 
@@ -498,10 +524,16 @@ fn worker_loop(state: &Arc<ServerState>, index: usize) {
     let slot = Arc::clone(&state.slots[index]);
     while let Some(job) = state.queue.pop() {
         state.in_flight.fetch_add(1, Ordering::SeqCst);
-        slot.generation.fetch_add(1, Ordering::Relaxed);
+        let generation = slot.generation.fetch_add(1, Ordering::Relaxed) + 1;
         slot.heartbeat.fetch_add(1, Ordering::Relaxed);
-        slot.kicked.store(false, Ordering::Relaxed);
-        *slot.token.lock().unwrap() = Some(job.token.clone());
+        {
+            // Clearing the stale kick and installing the new token happen
+            // under the token lock so a concurrent watchdog kick cannot
+            // interleave between them.
+            let mut current = slot.token.lock().unwrap();
+            slot.kicked.store(false, Ordering::Relaxed);
+            *current = Some((generation, job.token.clone()));
+        }
         slot.busy.store(true, Ordering::SeqCst);
         state.record(SolverEvent::JobStart {
             job: job.seq,
@@ -520,15 +552,20 @@ fn worker_loop(state: &Arc<ServerState>, index: usize) {
         slot.busy.store(false, Ordering::SeqCst);
         *slot.token.lock().unwrap() = None;
         let kicked = slot.kicked.swap(false, Ordering::Relaxed);
-        // Breaker: panics, wedges and timeouts are hard failures of the
-        // *instance*; definitive answers close the entry. Cancels and
-        // resource aborts are the client's business, not the instance's.
+        // Breaker: panics and wedge kicks are hard failures of the
+        // *instance*; definitive answers close the entry. Cancels,
+        // resource aborts and runs out of a client-chosen `timeout_ms`
+        // are the client's business, not the instance's — a caller
+        // submitting with a 1ms budget must not open the breaker for
+        // everyone else. Timeouts count only when the daemon itself
+        // imposed the deadline.
         // Breaker and registry are settled BEFORE the result frame goes
         // out: a client that reacts to the result (resubmits the id, or
         // expects the breaker to have tripped) must see updated state.
         let hard_failure = kicked
             || matches!(outcome.status, JobStatus::Panicked)
-            || matches!(outcome.status, JobStatus::Unknown(Interrupt::Timeout));
+            || (job.req.timeout_ms.is_none()
+                && matches!(outcome.status, JobStatus::Unknown(Interrupt::Timeout)));
         if hard_failure {
             state.breaker.record_failure(job.instance.fingerprint);
         } else if matches!(outcome.status, JobStatus::Sat(_) | JobStatus::Unsat) {
@@ -591,10 +628,18 @@ fn watchdog_loop(state: &Arc<ServerState>) {
             if now.duration_since(last.2) >= wedge {
                 // Wedged: no solver event for a whole wedge window.
                 // Cancel the job cooperatively and note the kick so the
-                // worker blames the instance, not the client.
-                slot.kicked.store(true, Ordering::Relaxed);
-                if let Some(token) = slot.token.lock().unwrap().as_ref() {
-                    token.cancel();
+                // worker blames the instance, not the client. The
+                // generation is re-checked under the token lock: between
+                // sampling and kicking, the wedged job may have finished
+                // and a fresh one started on this slot — cancelling that
+                // one would abort (and charge to the breaker) an
+                // innocent instance.
+                let current = slot.token.lock().unwrap();
+                if let Some((gen, token)) = current.as_ref() {
+                    if *gen == generation {
+                        slot.kicked.store(true, Ordering::Relaxed);
+                        token.cancel();
+                    }
                 }
                 last.2 = now; // rearm rather than re-kicking every poll
             }
@@ -607,13 +652,17 @@ fn watchdog_loop(state: &Arc<ServerState>) {
 pub fn run(config: ServeConfig, signal: CancelToken) -> u8 {
     let server = Server::start(config.clone());
     let (frames_tx, frames_rx) = mpsc::channel::<FrameMsg>();
-    // Every live transport's writer channel, for the final summary
-    // broadcast. Socket connections add theirs as they arrive.
-    let sinks: Arc<Mutex<Vec<Sender<OutMsg>>>> = Arc::new(Mutex::new(Vec::new()));
+    // Every live transport's writer channel, keyed by connection id, for
+    // the final summary broadcast. Socket connections add theirs as they
+    // arrive and REMOVE them when the peer hangs up — a long-lived daemon
+    // accepting many short connections must not accumulate dead senders
+    // (each of which also pins its writer thread alive).
+    let sinks: SinkList = Arc::new(Mutex::new(Vec::new()));
 
-    // stdout writer + stdin reader (the primary transport).
+    // stdout writer + stdin reader (the primary transport, id 0 — it
+    // lives as long as the daemon and is never pruned).
     let stdout_tx = spawn_writer(Box::new(std::io::stdout()));
-    sinks.lock().unwrap().push(stdout_tx.clone());
+    sinks.lock().unwrap().push((0, stdout_tx.clone()));
     if config.stdin {
         let frames = frames_tx.clone();
         let reply = stdout_tx.clone();
@@ -676,7 +725,7 @@ pub fn run(config: ServeConfig, signal: CancelToken) -> u8 {
         }
     }
     let summary = server.shutdown();
-    for sink in sinks.lock().unwrap().iter() {
+    for (_, sink) in sinks.lock().unwrap().iter() {
         let _ = sink.send(OutMsg::Line(summary.clone()));
     }
     // Make sure the summary reaches the client before the process exits.
@@ -692,6 +741,10 @@ enum FrameMsg {
     Line(String, Sender<OutMsg>),
     Eof,
 }
+
+/// Live transport writer channels keyed by connection id (0 = stdout),
+/// shared between the supervising loop and the socket acceptor.
+type SinkList = Arc<Mutex<Vec<(u64, Sender<OutMsg>)>>>;
 
 /// Spawns a writer thread owning `out`; every [`OutMsg::Line`] becomes
 /// one flushed line.
@@ -720,11 +773,7 @@ fn spawn_writer(mut out: Box<dyn Write + Send>) -> Sender<OutMsg> {
 }
 
 #[cfg(unix)]
-fn spawn_socket_acceptor(
-    path: String,
-    frames: Sender<FrameMsg>,
-    sinks: Arc<Mutex<Vec<Sender<OutMsg>>>>,
-) {
+fn spawn_socket_acceptor(path: String, frames: Sender<FrameMsg>, sinks: SinkList) {
     use std::os::unix::net::UnixListener;
     let _ = std::fs::remove_file(&path);
     let listener = match UnixListener::bind(&path) {
@@ -737,8 +786,11 @@ fn spawn_socket_acceptor(
     std::thread::Builder::new()
         .name("csat-serve-accept".to_string())
         .spawn(move || {
+            // Connection ids start at 1; 0 is the stdout transport.
+            let next_conn = AtomicU64::new(1);
             for stream in listener.incoming() {
                 let Ok(stream) = stream else { break };
+                let conn = next_conn.fetch_add(1, Ordering::Relaxed);
                 let frames = frames.clone();
                 let sinks = Arc::clone(&sinks);
                 std::thread::spawn(move || {
@@ -746,7 +798,7 @@ fn spawn_socket_acceptor(
                         return;
                     };
                     let reply = spawn_writer(Box::new(write_half));
-                    sinks.lock().unwrap().push(reply.clone());
+                    sinks.lock().unwrap().push((conn, reply.clone()));
                     let reader = std::io::BufReader::new(stream);
                     for line in reader.lines() {
                         let Ok(line) = line else { break };
@@ -755,6 +807,12 @@ fn spawn_socket_acceptor(
                         }
                     }
                     // Connection EOF ends the connection, not the daemon.
+                    // Drop this connection's sink so a churn of short
+                    // connections doesn't grow the broadcast list (and
+                    // leak writer threads) without bound; in-flight jobs
+                    // from this connection hold their own reply clones
+                    // and finish into the closed socket harmlessly.
+                    sinks.lock().unwrap().retain(|(id, _)| *id != conn);
                 });
             }
         })
@@ -762,11 +820,7 @@ fn spawn_socket_acceptor(
 }
 
 #[cfg(not(unix))]
-fn spawn_socket_acceptor(
-    _path: String,
-    _frames: Sender<FrameMsg>,
-    _sinks: Arc<Mutex<Vec<Sender<OutMsg>>>>,
-) {
+fn spawn_socket_acceptor(_path: String, _frames: Sender<FrameMsg>, _sinks: SinkList) {
     eprintln!("c csat-serve: unix sockets are not available on this platform");
 }
 
@@ -779,9 +833,9 @@ mod tests {
 
     // Eight-input parity (JSON-escaped bench text). XOR justification is
     // ambiguous, so solving this fixture is guaranteed to branch and hit
-    // budget checkpoints — the hook faults, cancellation and heartbeats
-    // all rely on. AND2 solves by pure implication and never checks.
-    #[cfg(feature = "fault-injection")]
+    // budget checkpoints — the hook faults, cancellation, timeouts and
+    // heartbeats all rely on. AND2 solves by pure implication and never
+    // checks.
     const XOR8: &str = "INPUT(a)\\nINPUT(b)\\nINPUT(c)\\nINPUT(d)\\nINPUT(e)\\nINPUT(f)\\nINPUT(g)\\nINPUT(h)\\nOUTPUT(y)\\nx1 = XOR(a, b)\\nx2 = XOR(x1, c)\\nx3 = XOR(x2, d)\\nx4 = XOR(x3, e)\\nx5 = XOR(x4, f)\\nx6 = XOR(x5, g)\\ny = XOR(x6, h)";
 
     fn quick_config() -> ServeConfig {
@@ -971,6 +1025,89 @@ mod tests {
         assert!(line.contains("\"type\": \"status\""), "{line}");
         assert!(line.contains("\"workers\": 2"), "{line}");
         assert!(line.contains("\"capacity\": 4"), "{line}");
+        server.request_drain();
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_chosen_timeouts_do_not_trip_the_breaker() {
+        let mut config = quick_config();
+        config.workers = 1;
+        config.breaker_threshold = 1;
+        config.breaker_cooloff = Duration::from_secs(60);
+        let server = Server::start(config);
+        let (tx, rx) = mpsc::channel();
+        // A zero budget always times out (the first checkpoint polls).
+        let starved = format!(
+            r#"{{"type": "solve", "id": "t0", "source": "{XOR8}", "format": "bench", "timeout_ms": 0}}"#
+        );
+        server.handle_line(&starved, &tx);
+        let lines = drain_lines(&rx, 1, Duration::from_secs(10));
+        assert!(
+            lines.iter().any(|l| l.contains("\"reason\": \"timeout\"")),
+            "{lines:?}"
+        );
+        // The same instance with a generous budget must be admitted and
+        // solved — the 0ms timeout was the client's choice, not the
+        // instance's fault, so it must not have opened the breaker.
+        let generous =
+            format!(r#"{{"type": "solve", "id": "t1", "source": "{XOR8}", "format": "bench"}}"#);
+        server.handle_line(&generous, &tx);
+        let lines = drain_lines(&rx, 1, Duration::from_secs(10));
+        assert!(
+            !lines.iter().any(|l| l.contains("breaker_open")),
+            "{lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"id\": \"t1\"") && l.contains("\"status\": \"sat\"")),
+            "{lines:?}"
+        );
+        server.request_drain();
+        server.shutdown();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn cancel_plucks_queued_jobs_without_running_them() {
+        let mut config = quick_config();
+        config.workers = 1;
+        config.wedge = Duration::from_secs(5); // watchdog must not kick the stall
+        let server = Server::start(config);
+        let (tx, rx) = mpsc::channel();
+        // Occupy the single worker with a stalling job...
+        let slow = format!(
+            r#"{{"type": "solve", "id": "slow", "source": "{XOR8}", "format": "bench",
+                "fault": "stall", "fault_at": 2, "fault_ms": 300}}"#
+        );
+        server.handle_line(&slow, &tx);
+        // ...queue a second job behind it, then cancel it while queued.
+        server.handle_line(&solve_frame("victim"), &tx);
+        server.handle_line(r#"{"type": "cancel", "id": "victim"}"#, &tx);
+        // The pluck answers immediately — ack with found plus the
+        // victim's terminal cancelled result — long before the stall
+        // ends; no worker ever touches the victim.
+        let lines = drain_lines(&rx, 1, Duration::from_secs(10));
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"type\": \"cancelled\"") && l.contains("\"found\": true")),
+            "{lines:?}"
+        );
+        assert!(
+            lines.iter().any(
+                |l| l.contains("\"id\": \"victim\"") && l.contains("\"reason\": \"cancelled\"")
+            ),
+            "{lines:?}"
+        );
+        // The stalled job still runs to its own verdict.
+        let more = drain_lines(&rx, 1, Duration::from_secs(10));
+        assert!(
+            more.iter()
+                .any(|l| l.contains("\"id\": \"slow\"") && l.contains("\"type\": \"result\"")),
+            "{more:?}"
+        );
         server.request_drain();
         server.shutdown();
     }

@@ -401,7 +401,7 @@ fn soak_rss_stays_bounded() {
     while Instant::now() < deadline {
         // Keep ~32 jobs in flight; drain the output as we go.
         while submitted.saturating_sub(results) < 32 {
-            let (source, format) = if submitted % 2 == 0 {
+            let (source, format) = if submitted.is_multiple_of(2) {
                 (&parity, "bench")
             } else {
                 (&php, "dimacs")
