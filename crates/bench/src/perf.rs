@@ -18,11 +18,12 @@ use std::time::Instant;
 
 use csat_core::{Budget, Session, Solver, SolverOptions};
 use csat_netlist::{tseitin, Aig, Lit};
+use csat_prep::{PrepLevel, PrepPipeline};
 use csat_sim::{find_correlations, Relation, SimulationOptions};
 use csat_telemetry::json::JsonObject;
 use csat_telemetry::NoOpObserver;
 
-use crate::workload::{equiv_suite, scan_suite, sweep_workload, Scale, Workload};
+use crate::workload::{equiv_suite, opt_suite, scan_suite, sweep_workload, Scale, Workload};
 
 /// Which solver a perf row drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,6 +47,12 @@ pub enum SolverKind {
     /// `conflicts_per_sec` is the scaling signal (read it against the
     /// row's `host_cpus` — on a 1-CPU host the workers timeslice one core).
     CircuitPortfolio,
+    /// The `csat-prep` pipeline at the given level followed by the circuit
+    /// solver on the reduced netlist, timed end-to-end (preprocessing plus
+    /// solve). `PrepLevel::Off` is the unpreprocessed control row; the
+    /// `nodes_before`/`nodes_after` columns record what the pipeline
+    /// removed. Conflicts aggregate sweep proofs and the final solve.
+    CircuitPrep(PrepLevel),
 }
 
 impl SolverKind {
@@ -57,6 +64,9 @@ impl SolverKind {
             SolverKind::SweepSession => "circuit-session",
             SolverKind::SweepFresh => "circuit-fresh",
             SolverKind::CircuitPortfolio => "circuit-portfolio",
+            SolverKind::CircuitPrep(PrepLevel::Off) => "prep-off",
+            SolverKind::CircuitPrep(PrepLevel::Light) => "prep-light",
+            SolverKind::CircuitPrep(PrepLevel::Full) => "prep-full",
         }
     }
 }
@@ -91,6 +101,11 @@ pub struct SolveRow {
     pub props_per_sec: f64,
     /// Conflicts per second.
     pub conflicts_per_sec: f64,
+    /// AIG nodes summed over the family's instances before preprocessing
+    /// (0 on rows measured without the prep pipeline).
+    pub nodes_before: u64,
+    /// AIG nodes after preprocessing (0 on non-prep rows).
+    pub nodes_after: u64,
 }
 
 /// A family to measure: its workloads, the driving solver and the
@@ -211,11 +226,36 @@ pub fn family_specs(quick: bool) -> Vec<FamilySpec> {
             quick: false,
         },
     ];
+    // Preprocessing trajectory: the prep pipeline at every level on one
+    // self-miter family (collapses during the strash rebuild — measures
+    // pure pipeline overhead against the prep-off search cost) and one
+    // restructured-variant family (survives the rebuild, so the full row
+    // exercises simulation + SAT sweeping). End-to-end wall time; the
+    // nodes_before/nodes_after columns record the reduction.
+    let mut specs = specs;
+    let opt = opt_suite(Scale::Quick);
+    for family in ["c3540.equiv", "c3540.opt"] {
+        let workloads = if family.ends_with(".opt") {
+            named(&opt, family)
+        } else {
+            named(&equiv, family)
+        };
+        for level in [PrepLevel::Off, PrepLevel::Light, PrepLevel::Full] {
+            specs.push(FamilySpec {
+                family,
+                solver: SolverKind::CircuitPrep(level),
+                threads: 1,
+                workloads: workloads.clone(),
+                conflict_budget: 20_000,
+                solves: 1,
+                quick: false,
+            });
+        }
+    }
     // Threads-sweep: the portfolio at 1/2/4 workers on the two hardest
     // miter families. The per-worker conflict budget is fixed, so total
     // work grows with the worker count and `conflicts_per_sec` measures
     // aggregate search throughput (ideal scaling ≈ linear on ≥4 CPUs).
-    let mut specs = specs;
     for family in ["c6288.equiv", "c7552.equiv"] {
         for threads in [1usize, 2, 4] {
             specs.push(FamilySpec {
@@ -264,6 +304,8 @@ struct Totals {
     propagations: u64,
     decisions: u64,
     wall_s: f64,
+    nodes_before: u64,
+    nodes_after: u64,
 }
 
 fn run_once(spec: &FamilySpec) -> Totals {
@@ -272,6 +314,8 @@ fn run_once(spec: &FamilySpec) -> Totals {
         propagations: 0,
         decisions: 0,
         wall_s: 0.0,
+        nodes_before: 0,
+        nodes_after: 0,
     };
     for w in &spec.workloads {
         let budget = Budget::conflicts(spec.conflict_budget);
@@ -331,6 +375,30 @@ fn run_once(spec: &FamilySpec) -> Totals {
                         totals.decisions += wk.stats.decisions;
                     }
                 }
+                SolverKind::CircuitPrep(level) => {
+                    // End-to-end: the pipeline run is inside the window —
+                    // preprocessing only pays off if reduction plus the
+                    // reduced solve beats solving the original outright.
+                    let pipeline = PrepPipeline::with_level(level);
+                    let start = Instant::now();
+                    let result =
+                        pipeline.run_under(&w.aig, &[w.objective], &budget, &mut NoOpObserver);
+                    let mapped = result
+                        .map_lit(w.objective)
+                        .expect("objective is a preserved root");
+                    if !mapped.is_constant() {
+                        let mut solver = Solver::new(&result.reduced, SolverOptions::default());
+                        let _ = solver.solve_with_budget(mapped, &budget);
+                        let stats = solver.stats();
+                        totals.conflicts += stats.conflicts;
+                        totals.propagations += stats.propagations;
+                        totals.decisions += stats.decisions;
+                    }
+                    totals.wall_s += start.elapsed().as_secs_f64();
+                    totals.conflicts += result.stats.sweep_conflicts;
+                    totals.nodes_before += result.stats.nodes_before as u64;
+                    totals.nodes_after += result.stats.nodes_after as u64;
+                }
                 SolverKind::SweepFresh => {
                     let checks = sweep_checks(&w.aig);
                     // Construction is inside the window: paying it per
@@ -378,6 +446,8 @@ pub fn measure_family(spec: &FamilySpec, reps: usize) -> SolveRow {
         ns_per_conflict: t.wall_s * 1e9 / conflicts as f64,
         props_per_sec: t.propagations as f64 / t.wall_s.max(1e-12),
         conflicts_per_sec: t.conflicts as f64 / t.wall_s.max(1e-12),
+        nodes_before: t.nodes_before,
+        nodes_after: t.nodes_after,
     }
 }
 
@@ -408,6 +478,12 @@ fn row_json(r: &SolveRow) -> String {
         .field_f64("ns_per_conflict", r.ns_per_conflict)
         .field_f64("props_per_sec", r.props_per_sec)
         .field_f64("conflicts_per_sec", r.conflicts_per_sec);
+    // Only meaningful on prep rows; omitted elsewhere to keep the
+    // pre-prep row shape (and the frozen baseline section) byte-stable.
+    if r.nodes_before != 0 || r.nodes_after != 0 {
+        o.field_u64("nodes_before", r.nodes_before)
+            .field_u64("nodes_after", r.nodes_after);
+    }
     o.finish()
 }
 
@@ -543,6 +619,8 @@ fn parse_rows(value: Option<&json::Value>) -> Result<Vec<SolveRow>, String> {
             ns_per_conflict: n("ns_per_conflict"),
             props_per_sec: n("props_per_sec"),
             conflicts_per_sec: n("conflicts_per_sec"),
+            nodes_before: n("nodes_before") as u64,
+            nodes_after: n("nodes_after") as u64,
         });
     }
     Ok(rows)
@@ -832,6 +910,8 @@ mod tests {
             ns_per_conflict: ns,
             props_per_sec: 1e6,
             conflicts_per_sec: 1e3,
+            nodes_before: 0,
+            nodes_after: 0,
         }
     }
 
@@ -931,6 +1011,66 @@ mod tests {
         assert!(family_specs(true)
             .iter()
             .all(|s| s.solver != SolverKind::CircuitPortfolio));
+    }
+
+    #[test]
+    fn family_specs_include_a_prep_trajectory() {
+        let full = family_specs(false);
+        for family in ["c3540.equiv", "c3540.opt"] {
+            for level in [PrepLevel::Off, PrepLevel::Light, PrepLevel::Full] {
+                assert!(
+                    full.iter()
+                        .any(|s| s.family == family && s.solver == SolverKind::CircuitPrep(level)),
+                    "missing {family} {} row",
+                    SolverKind::CircuitPrep(level).label()
+                );
+            }
+        }
+        // Prep rows stay out of the quick perf-smoke subset: its
+        // regression threshold is tuned for the search hot loops, not for
+        // pipeline-dominated end-to-end times.
+        assert!(family_specs(true)
+            .iter()
+            .all(|s| !matches!(s.solver, SolverKind::CircuitPrep(_))));
+    }
+
+    #[test]
+    fn prep_full_rows_record_the_node_reduction() {
+        let spec = family_specs(false)
+            .into_iter()
+            .find(|s| {
+                s.family == "c3540.opt" && s.solver == SolverKind::CircuitPrep(PrepLevel::Full)
+            })
+            .expect("prep-full c3540.opt row");
+        let t = run_once(&spec);
+        assert!(t.nodes_before > 0);
+        // The acceptance bar for the prep tentpole: a restructured-variant
+        // miter loses at least 30% of its nodes under full preprocessing.
+        assert!(
+            (t.nodes_after as f64) <= 0.7 * t.nodes_before as f64,
+            "only reduced {} -> {} nodes",
+            t.nodes_before,
+            t.nodes_after
+        );
+    }
+
+    #[test]
+    fn node_columns_round_trip_and_stay_off_legacy_rows() {
+        let mut r = row("c3540.opt", "prep-full", 100.0);
+        r.nodes_before = 2000;
+        r.nodes_after = 600;
+        let plain = row("c3540.equiv", "circuit-jnode", 5000.0);
+        let report = PerfReport {
+            rows: vec![r, plain],
+            ..Default::default()
+        };
+        let text = report.to_json();
+        let back = PerfReport::from_json(&text).expect("round trip");
+        assert_eq!(back.rows[0].nodes_before, 2000);
+        assert_eq!(back.rows[0].nodes_after, 600);
+        assert_eq!(back.rows[1].nodes_before, 0);
+        // Non-prep rows keep the pre-prep shape on disk.
+        assert_eq!(text.matches("nodes_before").count(), 1);
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   direct circuit evaluation ([`csat_core::check_model`]), and UNSAT
 //!   answers against reverse-unit-propagation proof checking
 //!   ([`csat_core::proof::verify_unsat`] / [`csat_cnf::proof::verify_unsat`]).
+//!   The `prep` matrix solves every instance through the [`csat_prep`]
+//!   pipeline at each level plus the CNF baseline, lifting SAT models
+//!   through the reconstruction map and re-checking them on the *original*
+//!   netlist — the preprocessing-soundness differential.
 //! * [`shrink()`] — a greedy minimizer that, given a disagreeing instance,
 //!   repeatedly rewires or drops gates while the disagreement persists.
 //! * [`corpus`] — writes a standalone `.bench` repro (plus `.meta.json` and,

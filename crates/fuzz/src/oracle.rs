@@ -22,6 +22,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use csat_core::{explicit, ExplicitOptions};
 use csat_netlist::tseitin;
+use csat_prep::{PrepLevel, PrepOptions, PrepPipeline};
 use csat_sim::{find_correlations, SimulationOptions};
 use csat_telemetry::{MetricsRecorder, NoOpObserver, Observer};
 use csat_types::{Budget, Interrupt, Verdict};
@@ -54,6 +55,12 @@ pub enum Matrix {
     /// [`crate::serve_frames`]). Like [`Matrix::Incremental`], this
     /// matrix bypasses the per-instance oracle list.
     Serve,
+    /// Preprocessing differential: the plain circuit solver (`prep-off`),
+    /// the same solve behind light and full `csat_prep` pipelines
+    /// (`prep-light`, `prep-full` — solved on the reduced netlist with
+    /// models lifted back and checked on the *original* one), and the CNF
+    /// baseline. Any verdict flip or unliftable model is a disagreement.
+    Prep,
 }
 
 impl Matrix {
@@ -64,6 +71,7 @@ impl Matrix {
             Matrix::Full => "full",
             Matrix::Incremental => "incremental",
             Matrix::Serve => "serve",
+            Matrix::Prep => "prep",
         }
     }
 
@@ -74,6 +82,7 @@ impl Matrix {
             "full" => Some(Matrix::Full),
             "incremental" => Some(Matrix::Incremental),
             "serve" => Some(Matrix::Serve),
+            "prep" => Some(Matrix::Prep),
             _ => None,
         }
     }
@@ -105,6 +114,11 @@ enum Spec {
     /// Cube-and-conquer on the circuit backend: probe, split on the
     /// hottest variables, conquer subcubes with work stealing.
     ParCubes { threads: usize },
+    /// The circuit solver behind a `csat_prep` pipeline: preprocess, solve
+    /// the reduced netlist (with proof logging against it), lift SAT
+    /// models through the reconstruction map and check them on the
+    /// original netlist.
+    Prep { level: PrepLevel },
 }
 
 /// One named solver configuration of the matrix.
@@ -165,6 +179,40 @@ pub fn oracles_with_threads(matrix: Matrix, threads: usize) -> Vec<Oracle> {
 fn oracles_sequential(matrix: Matrix) -> Vec<Oracle> {
     if matches!(matrix, Matrix::Incremental | Matrix::Serve) {
         return Vec::new();
+    }
+    if matrix == Matrix::Prep {
+        // The preprocessing differential: the same kernel configuration
+        // with no prep, light prep and full prep, cross-checked against
+        // the independent CNF baseline. Verdicts must match columnwise
+        // and every lifted model must validate on the original netlist.
+        return vec![
+            oracle(
+                "prep-off",
+                Spec::Circuit {
+                    options: csat_core::SolverOptions::default(),
+                    explicit_pass: false,
+                    simulation: None,
+                },
+            ),
+            oracle(
+                "prep-light",
+                Spec::Prep {
+                    level: PrepLevel::Light,
+                },
+            ),
+            oracle(
+                "prep-full",
+                Spec::Prep {
+                    level: PrepLevel::Full,
+                },
+            ),
+            oracle(
+                "cnf-tseitin",
+                Spec::CnfTseitin {
+                    options: csat_cnf::SolverOptions::default(),
+                },
+            ),
+        ];
     }
     let mut list = vec![
         oracle(
@@ -486,6 +534,60 @@ fn run_oracle_inner(
                 panicked: false,
             })
         }
+        Spec::Prep { level } => {
+            let pipeline = PrepPipeline::new(PrepOptions {
+                level: *level,
+                simulation: sim_options(4),
+                ..PrepOptions::default()
+            });
+            // An interrupted pipeline still returns a sound (partially
+            // reduced) netlist, so the solve below proceeds either way.
+            let result = pipeline.run_under(&instance.aig, &[instance.objective], budget, obs);
+            let mapped = result
+                .map_lit(instance.objective)
+                .expect("the objective is a preserved root");
+            use csat_netlist::Lit;
+            // Prep proved the objective constant: the verdict needs no
+            // kernel solve. Like the parallel columns, these answers carry
+            // no proof log — they are vouched for by the verdict
+            // cross-check (and, for SAT, by direct evaluation of the
+            // lifted model on the ORIGINAL netlist).
+            let (verdict, model_ok, proof_ok) = if mapped == Lit::FALSE {
+                (Verdict::Unsat, None, None)
+            } else if mapped == Lit::TRUE {
+                let model = result.lift_model(&vec![false; result.reduced.inputs().len()]);
+                let ok = csat_core::check_model(&instance.aig, &model, instance.objective);
+                (Verdict::Sat(model), Some(ok), None)
+            } else {
+                let mut solver =
+                    csat_core::Solver::new(&result.reduced, csat_core::SolverOptions::default());
+                solver.start_proof();
+                match solver.solve_observed(mapped, budget, &mut *obs) {
+                    Verdict::Sat(model) => {
+                        // Lift through the reconstruction map and check on
+                        // the original netlist — the lifting itself is
+                        // under test here, not just the solver.
+                        let lifted = result.lift_model(&model);
+                        let ok = csat_core::check_model(&instance.aig, &lifted, instance.objective);
+                        (Verdict::Sat(lifted), Some(ok), None)
+                    }
+                    Verdict::Unsat => {
+                        let proof = solver.take_proof();
+                        let ok =
+                            csat_core::proof::verify_unsat(&result.reduced, &proof, mapped).is_ok();
+                        (Verdict::Unsat, None, Some(ok))
+                    }
+                    Verdict::Unknown(reason) => (Verdict::Unknown(reason), None, None),
+                }
+            };
+            Some(OracleOutcome {
+                name: oracle.name,
+                verdict,
+                model_ok,
+                proof_ok,
+                panicked: false,
+            })
+        }
         Spec::ParPortfolio { threads } => {
             let outcome = csat_par::solve_aig_portfolio(
                 &instance.aig,
@@ -733,6 +835,24 @@ mod tests {
         let d = find_disagreement(&outcomes).expect("panic is a disagreement");
         assert!(d.contains("panicked"));
         assert_eq!(outcomes[0].label(), "a=PANIC");
+    }
+
+    #[test]
+    fn prep_matrix_agrees_on_a_seed_sweep() {
+        let matrix = oracles(Matrix::Prep);
+        assert_eq!(matrix.len(), 4);
+        assert!(matrix.iter().any(|o| o.name == "prep-full"));
+        let budget = Budget::conflicts(50_000);
+        for seed in 0..6 {
+            let instance = generate(seed);
+            let report = check_instance(&instance, &matrix, &budget, None);
+            assert!(
+                report.disagreement.is_none(),
+                "seed {seed}: {:?}",
+                report.disagreement
+            );
+            assert_eq!(report.outcomes.len(), 4, "seed {seed}");
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ use csat_netlist::{aiger, bench, cnf::Cnf, two_level, Aig, Lit};
 use csat_par::{
     run_cubes, solve_aig_portfolio, CircuitCubeSolver, CubeOptions, ParMode, PortfolioOptions,
 };
+use csat_prep::{PrepLevel, PrepOptions, PrepPipeline};
 use csat_telemetry::{MetricsRecorder, Observer, SolverEvent};
 use csat_types::{Budget, CancelToken, Interrupt, Verdict};
 
@@ -321,29 +322,73 @@ pub fn solve_once(
         .jnode_decisions(true)
         .implicit_learning(false)
         .build();
-    if req.threads <= 1 {
-        let mut solver = Solver::new(&instance.aig, options);
-        return solver.solve_observed(instance.objective, budget, obs);
-    }
-    let outcome = match req.mode {
-        ParMode::Portfolio => solve_aig_portfolio(
-            &instance.aig,
-            instance.objective,
-            options,
-            req.threads,
-            &PortfolioOptions::default(),
-            budget,
-            |_, _| {},
-        ),
-        ParMode::Cubes => run_cubes(
-            CircuitCubeSolver::new(&instance.aig, instance.objective, options),
-            req.threads,
-            &CubeOptions::default(),
-            budget,
-        ),
+    // Preprocessing runs under the job's own budget, so a client cancel,
+    // the watchdog, a timeout or memory pressure aborts mid-sweep cleanly
+    // (the pipeline stops between candidates and reports the interrupt).
+    let prepped = if req.prep != PrepLevel::Off {
+        let pipeline = PrepPipeline::new(PrepOptions {
+            level: req.prep,
+            ..PrepOptions::default()
+        });
+        let result = pipeline.run_under(&instance.aig, &[instance.objective], budget, obs);
+        if let Some(reason) = result.stats.interrupted {
+            return Verdict::Unknown(reason);
+        }
+        Some(result)
+    } else {
+        None
     };
-    obs.recorder.merge(&outcome.metrics);
-    outcome.verdict
+    let (aig, objective) = match &prepped {
+        Some(r) => (
+            &r.reduced,
+            r.map_lit(instance.objective)
+                .expect("the objective is a preserved root"),
+        ),
+        None => (&instance.aig, instance.objective),
+    };
+    // A constant objective (prep collapsed the instance) needs no solve;
+    // constant true is satisfied by the lifted all-false assignment.
+    let lift = |r: &Option<csat_prep::PrepResult>, model: Vec<bool>| match r {
+        Some(r) => r.lift_model(&model),
+        None => model,
+    };
+    if objective == Lit::FALSE {
+        return Verdict::Unsat;
+    }
+    if objective == Lit::TRUE {
+        return Verdict::Sat(lift(&prepped, vec![false; aig.inputs().len()]));
+    }
+    let verdict = if req.threads <= 1 {
+        let mut solver = Solver::new(aig, options);
+        solver.solve_observed(objective, budget, obs)
+    } else {
+        let outcome = match req.mode {
+            ParMode::Portfolio => solve_aig_portfolio(
+                aig,
+                objective,
+                options,
+                req.threads,
+                &PortfolioOptions::default(),
+                budget,
+                |_, _| {},
+            ),
+            ParMode::Cubes => run_cubes(
+                CircuitCubeSolver::new(aig, objective, options),
+                req.threads,
+                &CubeOptions::default(),
+                budget,
+            ),
+        };
+        obs.recorder.merge(&outcome.metrics);
+        outcome.verdict
+    };
+    // Reduced-netlist models are lifted back to the original inputs
+    // before they leave the fault domain (and before `execute`'s model
+    // check against the original netlist).
+    match verdict {
+        Verdict::Sat(model) => Verdict::Sat(lift(&prepped, model)),
+        v => v,
+    }
 }
 
 #[cfg(test)]
@@ -362,6 +407,7 @@ mod tests {
             negate: false,
             threads: 1,
             mode: ParMode::Portfolio,
+            prep: PrepLevel::Off,
             timeout_ms: None,
             conflicts: None,
             mem: None,
@@ -472,6 +518,44 @@ mod tests {
         let out = run(&req);
         assert!(out.retried);
         assert!(matches!(out.status, JobStatus::Sat(_)), "{:?}", out.status);
+    }
+
+    #[test]
+    fn prep_jobs_solve_and_lift_models() {
+        // XOR8 has no sweepable redundancy, but the strash/prune passes
+        // still run; the verdict must match the prep-off answer and the
+        // model must validate on the ORIGINAL netlist (execute asserts
+        // that before returning).
+        for level in [PrepLevel::Light, PrepLevel::Full] {
+            let mut req = req_inline("j", XOR8);
+            req.prep = level;
+            let out = run(&req);
+            assert!(
+                matches!(out.status, JobStatus::Sat(_)),
+                "{level:?}: {:?}",
+                out.status
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_prep_jobs_abort_mid_sweep() {
+        let mut req = req_inline("j", XOR8);
+        req.prep = PrepLevel::Full;
+        let instance = load_instance(&req).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let (tx, _rx) = mpsc::channel();
+        let out = execute(
+            &req,
+            &instance,
+            &MemoryGovernor::new(None, 1),
+            &token,
+            Arc::new(AtomicU64::new(0)),
+            tx,
+            0,
+        );
+        assert_eq!(out.status, JobStatus::Unknown(Interrupt::Cancelled));
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //!
 //! Solve limits (all optional): `output` (objective name), `negate`,
 //! `threads` (>1 solves on the parallel layer), `mode`
-//! (`portfolio`/`cubes`), `timeout_ms`, `conflicts`, `mem` (byte size,
-//! `k`/`m`/`g` suffixes), `progress_ms` (emit job-tagged progress frames).
+//! (`portfolio`/`cubes`), `prep` (`off`/`light`/`full` preprocessing in
+//! front of the solve, charged to the job's budget), `timeout_ms`,
+//! `conflicts`, `mem` (byte size, `k`/`m`/`g` suffixes), `progress_ms`
+//! (emit job-tagged progress frames).
 //! With the `fault-injection` feature the frame may also carry `fault`
 //! (`panic`/`memory`/`cancel`/`stall`), `fault_at` (checkpoint ordinal)
 //! and `fault_ms` (stall length) for chaos testing.
@@ -32,6 +34,7 @@
 //! README's Serving section.
 
 use csat_par::ParMode;
+use csat_prep::PrepLevel;
 use csat_telemetry::json::JsonObject;
 use csat_types::{parse_byte_size, Interrupt, RejectReason, Verdict};
 
@@ -81,6 +84,9 @@ pub struct SolveRequest {
     pub threads: usize,
     /// Parallel mode when `threads > 1`.
     pub mode: ParMode,
+    /// Preprocessing level run in front of the solve (charged to the
+    /// job's budget).
+    pub prep: PrepLevel,
     /// Wall-clock limit in milliseconds.
     pub timeout_ms: Option<u64>,
     /// Conflict limit.
@@ -244,6 +250,13 @@ fn parse_solve(value: &Json, need_source: bool) -> Result<SolveRequest, FrameErr
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| err("'mode' must be 'portfolio' or 'cubes'".to_string()))?,
     };
+    let prep = match value.get("prep") {
+        None | Some(Json::Null) => PrepLevel::Off,
+        Some(v) => v
+            .as_str()
+            .and_then(PrepLevel::parse)
+            .ok_or_else(|| err("'prep' must be 'off', 'light' or 'full'".to_string()))?,
+    };
     let mem = match value.get("mem") {
         None | Some(Json::Null) => None,
         Some(Json::Str(s)) => Some(parse_byte_size(s).map_err(err)?),
@@ -264,6 +277,7 @@ fn parse_solve(value: &Json, need_source: bool) -> Result<SolveRequest, FrameErr
         negate: value.get("negate").and_then(Json::as_bool).unwrap_or(false),
         threads,
         mode,
+        prep,
         timeout_ms: uint("timeout_ms")?,
         conflicts: uint("conflicts")?,
         mem,
@@ -463,6 +477,7 @@ mod tests {
             Request::Solve(s) => {
                 assert_eq!(s.id, "j1");
                 assert_eq!(s.source, JobSource::Path("c17.bench".to_string()));
+                assert_eq!(s.prep, PrepLevel::Off);
                 assert_eq!(s.threads, 1);
                 assert!(!s.negate);
                 assert_eq!(s.timeout_ms, None);
@@ -475,8 +490,8 @@ mod tests {
     fn parses_inline_source_and_limits() {
         let req = parse_request(
             r#"{"type": "solve", "id": "j2", "source": "INPUT(a)\nOUTPUT(a)", "format": "bench",
-                "negate": true, "threads": 4, "mode": "cubes", "timeout_ms": 500,
-                "conflicts": 1000, "mem": "64m", "progress_ms": 100}"#,
+                "negate": true, "threads": 4, "mode": "cubes", "prep": "light",
+                "timeout_ms": 500, "conflicts": 1000, "mem": "64m", "progress_ms": 100}"#,
         )
         .unwrap();
         match req {
@@ -485,6 +500,7 @@ mod tests {
                 assert!(s.negate);
                 assert_eq!(s.threads, 4);
                 assert_eq!(s.mode, ParMode::Cubes);
+                assert_eq!(s.prep, PrepLevel::Light);
                 assert_eq!(s.timeout_ms, Some(500));
                 assert_eq!(s.conflicts, Some(1000));
                 assert_eq!(s.mem, Some(64 << 20));
@@ -544,6 +560,10 @@ mod tests {
             (
                 r#"{"type": "solve", "id": "j", "path": "f", "mem": "64q"}"#,
                 "suffix",
+            ),
+            (
+                r#"{"type": "solve", "id": "j", "path": "f", "prep": "turbo"}"#,
+                "'prep'",
             ),
             (
                 r#"{"type": "solve", "id": "j", "path": "f", "mode": "race"}"#,

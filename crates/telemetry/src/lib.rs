@@ -220,6 +220,28 @@ pub enum SolverEvent {
         /// Daemon-wide job sequence number.
         job: u64,
     },
+    /// A preprocessing pass completed. `pass` is 1-based within the
+    /// pipeline's fixed order (1 strash rebuild, 2 constant propagation +
+    /// cone pruning, 3 simulation-guided candidate classes, 4 SAT-sweep
+    /// rewrite); `nodes` is the AIG node count after the pass.
+    PrepPassCompleted {
+        /// 1-based position in the pass order.
+        pass: u32,
+        /// AIG nodes (constant + inputs + gates) after the pass.
+        nodes: u64,
+    },
+    /// SAT sweeping proved `nodes` candidate equivalences and merged the
+    /// later node of each pair into its representative.
+    NodesMerged {
+        /// Proven-equivalent nodes rewritten onto their representatives.
+        nodes: u64,
+    },
+    /// Cone pruning dropped `nodes` nodes that sit outside the fanin cone
+    /// of every preserved root (dead logic and unobservable inputs).
+    ConesPruned {
+        /// Nodes removed by the pruning pass.
+        nodes: u64,
+    },
 }
 
 /// Observer hook for solver events.
@@ -323,6 +345,12 @@ mod tests {
             SolverEvent::JobFinish { job: 1, worker: 0 },
             SolverEvent::JobRetried { job: 2 },
             SolverEvent::JobShed { job: 3 },
+            SolverEvent::PrepPassCompleted {
+                pass: 1,
+                nodes: 100,
+            },
+            SolverEvent::NodesMerged { nodes: 12 },
+            SolverEvent::ConesPruned { nodes: 30 },
         ] {
             obs.record(event);
         }

@@ -189,6 +189,12 @@ pub struct MetricsRecorder {
     pub jobs_shed: u64,
     /// Deepest daemon queue observed across all enqueues (gauge).
     pub queue_depth_peak: u64,
+    /// Preprocessing passes completed.
+    pub prep_passes: u64,
+    /// Nodes merged by SAT sweeping (proven-equivalent rewrites).
+    pub nodes_merged: u64,
+    /// Nodes dropped by cone pruning (dead logic + unobservable inputs).
+    pub cones_pruned: u64,
     /// Depth (decision level) of every decision.
     pub decision_depth: Histogram,
     /// Back-jump distance of every conflict.
@@ -266,6 +272,9 @@ impl Observer for MetricsRecorder {
             SolverEvent::JobFinish { .. } => self.jobs_finished += 1,
             SolverEvent::JobRetried { .. } => self.jobs_retried += 1,
             SolverEvent::JobShed { .. } => self.jobs_shed += 1,
+            SolverEvent::PrepPassCompleted { .. } => self.prep_passes += 1,
+            SolverEvent::NodesMerged { nodes } => self.nodes_merged += nodes,
+            SolverEvent::ConesPruned { nodes } => self.cones_pruned += nodes,
         }
     }
 }
@@ -315,6 +324,9 @@ impl MetricsRecorder {
         self.jobs_retried += other.jobs_retried;
         self.jobs_shed += other.jobs_shed;
         self.queue_depth_peak = self.queue_depth_peak.max(other.queue_depth_peak);
+        self.prep_passes += other.prep_passes;
+        self.nodes_merged += other.nodes_merged;
+        self.cones_pruned += other.cones_pruned;
         self.decision_depth.merge(&other.decision_depth);
         self.backjump_distance.merge(&other.backjump_distance);
         self.learned_length.merge(&other.learned_length);
@@ -368,7 +380,10 @@ impl MetricsRecorder {
             .field_u64("jobs_finished", self.jobs_finished)
             .field_u64("jobs_retried", self.jobs_retried)
             .field_u64("jobs_shed", self.jobs_shed)
-            .field_u64("queue_depth_peak", self.queue_depth_peak);
+            .field_u64("queue_depth_peak", self.queue_depth_peak)
+            .field_u64("prep_passes", self.prep_passes)
+            .field_u64("nodes_merged", self.nodes_merged)
+            .field_u64("cones_pruned", self.cones_pruned);
         for reason in Interrupt::ALL {
             let n = self.exhausted(reason);
             if n != 0 {
@@ -465,6 +480,10 @@ mod tests {
         m.record(SolverEvent::SessionPush { depth: 2 });
         m.record(SolverEvent::SessionPop { depth: 1 });
         m.record(SolverEvent::ClausesRetained { clauses: 17 });
+        m.record(SolverEvent::PrepPassCompleted { pass: 1, nodes: 50 });
+        m.record(SolverEvent::PrepPassCompleted { pass: 2, nodes: 40 });
+        m.record(SolverEvent::NodesMerged { nodes: 7 });
+        m.record(SolverEvent::ConesPruned { nodes: 3 });
         assert_eq!(m.decisions, 2);
         assert_eq!(m.grouped_decisions, 1);
         assert_eq!(m.conflicts, 1);
@@ -483,7 +502,11 @@ mod tests {
         assert_eq!(m.session_pushes, 2);
         assert_eq!(m.session_pops, 1);
         assert_eq!(m.clauses_retained, 17);
+        assert_eq!(m.prep_passes, 2);
+        assert_eq!(m.nodes_merged, 7);
+        assert_eq!(m.cones_pruned, 3);
         assert!(m.counters_json().contains("\"session_pushes\": 2"));
+        assert!(m.counters_json().contains("\"nodes_merged\": 7"));
     }
 
     #[test]

@@ -1,43 +1,30 @@
-//! SAT sweeping (fraiging) on an incremental solving session.
+//! SAT sweeping (fraiging) through the preprocessing pipeline.
 //!
 //! Sweeping shrinks a redundant netlist by merging nodes the solver
 //! proves equivalent. The candidate proofs are a long sequence of closely
 //! related sub-solves over one circuit — exactly the workload the
-//! [`csat::core::Session`] API exists for: one session keeps the learned
-//! clauses, VSIDS activities and saved phases from every earlier check,
-//! so later checks start ahead instead of from scratch.
+//! [`csat::core::Session`] API exists for, and [`csat::prep`] packages
+//! the whole loop (candidate discovery, incremental proving, merging,
+//! re-strashing) as pass 3–4 of its [`PrepPipeline`]: one session keeps
+//! the learned clauses, VSIDS activities and saved phases from every
+//! earlier check, so later checks start ahead instead of from scratch.
 //!
-//! This example proves the same candidate sequence twice — once on a
-//! single session, once with a fresh solver per check (the pre-session
-//! baseline) — and reports the conflicts saved by learned-clause reuse.
-//! The tracked `BENCH_solve.json` rows `mac.sweep / circuit-session` and
-//! `mac.sweep / circuit-fresh` measure the same comparison.
+//! This example shows the simulation-proposed candidate set, runs the
+//! full pipeline over a redundant netlist, and verifies via the
+//! `ClausesRetained` telemetry that the sweep really reused learning
+//! across checks. The tracked `BENCH_solve.json` rows `mac.sweep /
+//! circuit-session` and `mac.sweep / circuit-fresh` measure the
+//! conflict savings of that reuse.
 //!
 //! ```sh
 //! cargo run --release --example sat_sweeping
 //! ```
 
-use csat::core::sweep::{fraig, FraigOptions};
-use csat::core::{Budget, Session, Solver, SolverOptions, SubVerdict};
 use csat::netlist::{miter, optimize, Aig, Lit};
-use csat::sim::{find_correlations, Correlation, Relation, SimulationOptions};
+use csat::prep::{PrepLevel, PrepPipeline};
+use csat::sim::{find_correlations, SimulationOptions};
 use csat::telemetry::MetricsRecorder;
-
-/// Proves one candidate by refuting both difference orientations:
-/// `later == target` iff neither `later != target` direction is
-/// satisfiable. Returns `(proven, refuted)` — neither set means the
-/// conflict budget ran out first.
-fn prove<S>(solve: &mut S, l: Lit, target: Lit, budget: &Budget) -> (bool, bool)
-where
-    S: FnMut(&[Lit], &Budget) -> SubVerdict,
-{
-    let d1 = solve(&[l, !target], budget);
-    let d2 = solve(&[!l, target], budget);
-    let unsat =
-        |v: &SubVerdict| matches!(v, SubVerdict::Unsat | SubVerdict::UnsatUnderAssumptions(_));
-    let sat = |v: &SubVerdict| matches!(v, SubVerdict::Sat(_));
-    (unsat(&d1) && unsat(&d2), sat(&d1) || sat(&d2))
-}
+use csat::types::Budget;
 
 fn main() {
     // A redundant netlist with LIVE outputs: two structurally different
@@ -62,91 +49,57 @@ fn main() {
     );
 
     // Random simulation proposes equivalence candidates (paper §III).
+    // The pipeline repeats this discovery internally on the strashed
+    // netlist; this direct call shows the raw candidate set it starts
+    // from.
     let correlations = find_correlations(&redundant, &SimulationOptions::default());
-    let mut candidates: Vec<Correlation> = correlations.correlations.clone();
-    candidates.sort_by_key(|c| c.a.index().max(c.b.index()));
-    println!("simulation proposed {} candidates", candidates.len());
-    let pair = |c: &Correlation| {
-        let (later, earlier) = if c.a.index() >= c.b.index() {
-            (c.a, c.b)
-        } else {
-            (c.b, c.a)
-        };
-        let target = Lit::new(earlier, c.relation == Relation::Opposite);
-        (later.lit(), target)
-    };
-    let budget = Budget::conflicts(1000);
-
-    // Pass 1: ONE session across every check. `metrics` sees a
-    // `ClausesRetained` event at the start of each call — the learned
-    // clauses the previous checks left behind.
-    let mut metrics = MetricsRecorder::default();
-    let mut session = Session::new(redundant.clone(), SolverOptions::default());
-    let (mut proven, mut refuted, mut undecided) = (0u64, 0u64, 0u64);
-    for c in &candidates {
-        let (l, target) = pair(c);
-        let (p, r) = prove(
-            &mut |a: &[Lit], b: &Budget| session.solve_under(a, b, &mut metrics),
-            l,
-            target,
-            &budget,
-        );
-        proven += p as u64;
-        refuted += r as u64;
-        undecided += (!p && !r) as u64;
-    }
-    let session_conflicts = session.stats().conflicts;
     println!(
-        "session:  {proven} proven, {refuted} refuted, {undecided} undecided \
-         — {session_conflicts} conflicts total"
+        "simulation proposed {} candidates",
+        correlations.correlations.len()
+    );
+    assert_eq!(
+        correlations.correlations.len(),
+        381,
+        "the MAC redundancy workload is deterministic"
+    );
+
+    // The full sweep — strash rebuild, cone pruning, candidate discovery
+    // and incremental proving on one session — is `PrepPipeline` at
+    // level `full`. The metrics recorder sees a `ClausesRetained` event
+    // at the start of each sub-solve inside the sweep: the learned
+    // clauses every earlier check left behind.
+    let mut metrics = MetricsRecorder::default();
+    let pipeline = PrepPipeline::with_level(PrepLevel::Full);
+    let result = pipeline.run_under(&redundant, &[], &Budget::UNLIMITED, &mut metrics);
+    println!(
+        "sweep: {} candidates attempted, {} merged, {} refuted, {} undecided \
+         — {} conflicts total",
+        result.stats.candidates,
+        result.stats.merged,
+        result.stats.refuted,
+        result.stats.undecided,
+        result.stats.sweep_conflicts
     );
     println!(
-        "          the final check started with {} learned clauses retained",
+        "       the final check started with {} learned clauses retained",
         metrics.clauses_retained
     );
     assert!(
         metrics.clauses_retained > 0,
         "later checks must reuse clauses learned by earlier ones"
     );
-
-    // Pass 2: the pre-session baseline — a fresh solver per check throws
-    // that learning away every time.
-    let (mut proven_f, mut fresh_conflicts) = (0u64, 0u64);
-    for c in &candidates {
-        let (l, target) = pair(c);
-        let (p, _) = prove(
-            &mut |a: &[Lit], b: &Budget| {
-                let mut solver = Solver::new(&redundant, SolverOptions::default());
-                let v = solver.solve_under(a, b, &mut csat::telemetry::NoOpObserver);
-                fresh_conflicts += solver.stats().conflicts;
-                v
-            },
-            l,
-            target,
-            &budget,
-        );
-        proven_f += p as u64;
-    }
     println!(
-        "baseline: {proven_f} proven — {fresh_conflicts} conflicts total (fresh solver per check)"
-    );
-    if fresh_conflicts > session_conflicts {
-        println!(
-            "learned-clause reuse saved {:.1}% of the baseline's conflicts",
-            100.0 * (fresh_conflicts - session_conflicts) as f64 / fresh_conflicts as f64
-        );
-    }
-
-    // The full sweep (candidate proving + merging + rebuild) is packaged
-    // as `sweep::fraig`; finish by actually shrinking the netlist and
-    // spot-checking the result.
-    let result = fraig(&redundant, &FraigOptions::default());
-    println!(
-        "fraig: {} -> {} AND gates ({:.1}% of the original)",
+        "prep: {} -> {} AND gates ({:.1}% of the original)",
         redundant.and_count(),
-        result.aig.and_count(),
-        100.0 * result.aig.and_count() as f64 / redundant.and_count() as f64
+        result.reduced.and_count(),
+        100.0 * result.reduced.and_count() as f64 / redundant.and_count() as f64
     );
+    assert!(result.stats.merged > 0);
+    assert!(result.reduced.and_count() < redundant.and_count());
+
+    // Spot-check function preservation: the reduced netlist re-registers
+    // the original outputs, so project each random assignment onto the
+    // surviving inputs and compare output vectors.
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     for _ in 0..1000 {
@@ -155,7 +108,9 @@ fn main() {
             .collect();
         assert_eq!(
             redundant.evaluate_outputs(&bits),
-            result.aig.evaluate_outputs(&bits)
+            result
+                .reduced
+                .evaluate_outputs(&result.map.project_inputs(&bits))
         );
     }
     println!("sweep verified on 1000 random patterns");

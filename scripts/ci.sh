@@ -44,6 +44,16 @@ run_incremental() {
     cargo run --release --bin csat-fuzz -- \
         --seed 0 --iters 300 --matrix incremental --corpus-dir fuzz/corpus
 }
+run_prep() {
+    # Preprocessing differential: 300 seed-0 instances each solved through
+    # the csat-prep pipeline at off, light and full levels plus the CNF
+    # baseline. SAT models are lifted through the reconstruction map and
+    # re-checked on the original netlist, so a bad merge, a wrong constant
+    # fold or a broken lifting shows up as a matrix disagreement (repro in
+    # fuzz/corpus/) — never as a silently wrong answer.
+    cargo run --release --bin csat-fuzz -- \
+        --seed 0 --iters 300 --matrix prep --corpus-dir fuzz/corpus
+}
 run_parallel_determinism() {
     # Parallel-vs-sequential differential gate: the same 200 seed-0
     # quick-matrix instances as fuzz-smoke, with the portfolio and
@@ -61,7 +71,7 @@ run_features() {
     # simulation rounds) must build and test everywhere it is forwarded.
     local crate
     for crate in csat-types csat-netlist csat-telemetry csat-search csat-sim \
-        csat-cnf csat-core csat-par csat-fuzz csat-bench csat; do
+        csat-cnf csat-core csat-prep csat-par csat-fuzz csat-bench csat; do
         cargo build -p "$crate" --no-default-features
     done
     cargo test -q -p csat-sim --features parallel
@@ -174,6 +184,7 @@ case "${1:-all}" in
     fuzz-smoke) run_fuzz_smoke ;;
     kernel-parity) run_kernel_parity ;;
     incremental) run_incremental ;;
+    prep) run_prep ;;
     parallel-determinism) run_parallel_determinism ;;
     features) run_features ;;
     perf-smoke) run_perf_smoke ;;
@@ -188,6 +199,7 @@ case "${1:-all}" in
         run_step fuzz-smoke run_fuzz_smoke
         run_step kernel-parity run_kernel_parity
         run_step incremental run_incremental
+        run_step prep run_prep
         run_step parallel-determinism run_parallel_determinism
         run_step features run_features
         run_step perf-smoke run_perf_smoke
@@ -196,7 +208,7 @@ case "${1:-all}" in
         print_summary
         ;;
     *)
-        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|kernel-parity|incremental|parallel-determinism|features|perf-smoke|serve|resilience|all]" >&2
+        echo "usage: scripts/ci.sh [fmt|clippy|build|test|doc|fuzz-smoke|kernel-parity|incremental|prep|parallel-determinism|features|perf-smoke|serve|resilience|all]" >&2
         exit 2
         ;;
 esac

@@ -10,6 +10,8 @@
 //! LEFT/RIGHT: .bench or .aag circuit files (matched by input/output count)
 //!
 //! OPTIONS:
+//!   --prep[=<L>]        preprocessing level: off | light | full
+//!                       (bare --prep means full)          [default: off]
 //!   --no-learning       plain C-SAT-Jnode (no correlation learning)
 //!   --check-proof       verify an EQUIVALENT verdict by unit propagation
 //!   --timeout <SECS>    abort after this many seconds
@@ -31,6 +33,14 @@
 //! skipped (it targets a single solver's clause database). `--check-proof`
 //! is rejected with `--threads > 1`.
 //!
+//! With `--prep full` the miter first runs through the `csat-prep`
+//! pipeline, which usually collapses equivalent circuit pairs outright:
+//! when preprocessing proves the miter objective constant false the
+//! verdict is EQUIVALENT with no kernel solve at all (in that fast path
+//! there is no resolution proof, so `--check-proof` has nothing to
+//! verify and is skipped). Counterexample models found on the reduced
+//! miter are lifted back to the original inputs before display.
+//!
 //! Exit code 0 = equivalent, 1 = different, 2 = usage/input error,
 //! 3 = proof check failure, 4 = interrupted (timeout, memory, Ctrl-C).
 //!
@@ -43,10 +53,11 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use csat::core::{explicit, Budget, ExplicitOptions, Solver, SolverOptions, Verdict};
-use csat::netlist::{aiger, bench, miter, Aig};
+use csat::netlist::{aiger, bench, miter, Aig, Lit};
 use csat::par::{
     run_cubes, solve_aig_portfolio, CircuitCubeSolver, CubeOptions, ParMode, PortfolioOptions,
 };
+use csat::prep::{PrepLevel, PrepOptions, PrepPipeline, PrepResult};
 use csat::sim::{find_correlations_observed, SimulationOptions};
 use csat::telemetry::{MetricsRecorder, NoOpObserver, Observer, ProgressObserver};
 use csat::types::parse_byte_size;
@@ -54,6 +65,7 @@ use csat::types::parse_byte_size;
 struct Options {
     left: String,
     right: String,
+    prep: PrepLevel,
     learning: bool,
     check_proof: bool,
     timeout: Option<Duration>,
@@ -68,7 +80,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cec [--no-learning] [--check-proof] [--timeout SECS]\n\
+        "usage: cec [--prep[=off|light|full]] [--no-learning] [--check-proof] [--timeout SECS]\n\
          \x20          [--mem-limit SIZE] [--sim-words N] [--sim-threads N]\n\
          \x20          [--stats] [--progress SECS] [--metrics-out FILE]\n\
          \x20          [--threads N] [--par-mode portfolio|cubes]\n\
@@ -81,6 +93,7 @@ fn parse_args() -> Options {
     let mut options = Options {
         left: String::new(),
         right: String::new(),
+        prep: PrepLevel::Off,
         learning: true,
         check_proof: false,
         timeout: None,
@@ -92,9 +105,24 @@ fn parse_args() -> Options {
         threads: 1,
         par_mode: ParMode::Portfolio,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            // `--prep` alone means full; `--prep LEVEL` / `--prep=LEVEL`
+            // pick a level explicitly.
+            "--prep" => {
+                options.prep = match args.peek().map(|s| PrepLevel::parse(s)) {
+                    Some(Some(level)) => {
+                        args.next();
+                        level
+                    }
+                    _ => PrepLevel::Full,
+                }
+            }
+            prep_eq if prep_eq.starts_with("--prep=") => {
+                options.prep =
+                    PrepLevel::parse(&prep_eq["--prep=".len()..]).unwrap_or_else(|| usage());
+            }
             "--no-learning" => options.learning = false,
             "--check-proof" => options.check_proof = true,
             "--timeout" => {
@@ -223,15 +251,65 @@ fn main() -> ExitCode {
         eprintln!("error: --check-proof requires the sequential engine (drop --threads)");
         return ExitCode::from(2);
     }
+    // Preprocessing runs under the same budget as the solve. For
+    // equivalent circuit pairs the sweep usually proves the miter
+    // objective constant false outright — the fast path below.
+    let prepped: Option<(PrepResult, Lit)> = if options.prep != PrepLevel::Off {
+        let pipeline = PrepPipeline::new(PrepOptions {
+            level: options.prep,
+            simulation: options.simulation,
+            ..PrepOptions::default()
+        });
+        let result = pipeline.run_under(&m.aig, &[m.objective], &budget, obs);
+        let s = &result.stats;
+        eprintln!(
+            "c prep({}): {} -> {} nodes ({} folded, {} pruned, {} of {} candidates merged)",
+            options.prep.name(),
+            s.nodes_before,
+            s.nodes_after,
+            s.strash_folded,
+            s.cones_pruned,
+            s.merged,
+            s.candidates
+        );
+        if let Some(reason) = s.interrupted {
+            eprintln!("c prep interrupted: {reason}");
+        }
+        let mapped = result
+            .map_lit(m.objective)
+            .expect("the miter objective is a preserved root");
+        Some((result, mapped))
+    } else {
+        None
+    };
+    let (solve_aig, solve_objective) = match &prepped {
+        Some((r, mapped)) => (&r.reduced, *mapped),
+        None => (&m.aig, m.objective),
+    };
+    // A constant miter objective needs no kernel solve: constant false
+    // means every output pair was proven equal; constant true means the
+    // circuits differ on every assignment (all-false below, lifted like
+    // any counterexample).
+    let decided = if solve_objective == Lit::FALSE {
+        eprintln!("c objective is constant false — no kernel solve needed");
+        Some(Verdict::Unsat)
+    } else if solve_objective == Lit::TRUE {
+        eprintln!("c objective is constant true — no kernel solve needed");
+        Some(Verdict::Sat(vec![false; solve_aig.inputs().len()]))
+    } else {
+        None
+    };
     let mut par_metrics: Option<MetricsRecorder> = None;
-    let verdict = if options.threads > 1 {
+    let verdict = if let Some(v) = decided {
+        v
+    } else if options.threads > 1 {
         let solver_options = SolverOptions::builder()
             .implicit_learning(options.learning)
             .build();
         // One correlation analysis feeds every worker; the explicit pass
         // is skipped here (it learns into a single solver's database).
         let correlations = if options.learning {
-            let c = find_correlations_observed(&m.aig, &options.simulation, obs);
+            let c = find_correlations_observed(solve_aig, &options.simulation, obs);
             eprintln!(
                 "c simulation: {} correlations in {:?} (shared across {} workers)",
                 c.correlations.len(),
@@ -244,8 +322,8 @@ fn main() -> ExitCode {
         };
         let outcome = match options.par_mode {
             ParMode::Portfolio => solve_aig_portfolio(
-                &m.aig,
-                m.objective,
+                solve_aig,
+                solve_objective,
                 solver_options,
                 options.threads,
                 &PortfolioOptions::default(),
@@ -257,7 +335,7 @@ fn main() -> ExitCode {
                 },
             ),
             ParMode::Cubes => {
-                let mut base = CircuitCubeSolver::new(&m.aig, m.objective, solver_options);
+                let mut base = CircuitCubeSolver::new(solve_aig, solve_objective, solver_options);
                 if let Some(c) = &correlations {
                     base.session.set_correlations(c);
                 }
@@ -286,7 +364,7 @@ fn main() -> ExitCode {
         outcome.verdict
     } else {
         let mut solver = Solver::new(
-            &m.aig,
+            solve_aig,
             SolverOptions::builder()
                 .implicit_learning(options.learning)
                 .build(),
@@ -295,7 +373,7 @@ fn main() -> ExitCode {
             solver.start_proof();
         }
         if options.learning {
-            let correlations = find_correlations_observed(&m.aig, &options.simulation, obs);
+            let correlations = find_correlations_observed(solve_aig, &options.simulation, obs);
             eprintln!(
                 "c simulation: {} correlations in {:?} ({} rounds, {} patterns)",
                 correlations.correlations.len(),
@@ -325,13 +403,14 @@ fn main() -> ExitCode {
                 eprintln!("c explicit learning interrupted: {reason}");
             }
         }
-        let verdict = solver.solve_observed(m.objective, &budget, obs);
+        let verdict = solver.solve_observed(solve_objective, &budget, obs);
         if options.stats {
             eprintln!("c stats: {:?}", solver.stats());
         }
         if options.check_proof && verdict == Verdict::Unsat {
             let proof = solver.take_proof();
-            match csat::core::proof::verify_unsat(&m.aig, &proof, m.objective) {
+            // With --prep the proof is over the netlist the kernel solved.
+            match csat::core::proof::verify_unsat(solve_aig, &proof, solve_objective) {
                 Ok(()) => eprintln!("c proof: VERIFIED ({} clauses)", proof.len()),
                 Err(e) => {
                     eprintln!("c proof: FAILED — {e}");
@@ -340,6 +419,13 @@ fn main() -> ExitCode {
             }
         }
         verdict
+    };
+    // Lift reduced-miter counterexamples back onto the original inputs
+    // (the distinguishing-input display below evaluates both original
+    // circuits on the lifted model).
+    let verdict = match (verdict, &prepped) {
+        (Verdict::Sat(model), Some((r, _))) => Verdict::Sat(r.lift_model(&model)),
+        (v, _) => v,
     };
     let elapsed = start.elapsed();
     eprintln!("c solved in {elapsed:?}");

@@ -7,7 +7,8 @@
 //!   --seed <N>          base seed [default: 0]
 //!   --iters <N>         instances to generate and cross-check [default: 100]
 //!   --time-budget <S>   stop early after this many seconds of wall clock
-//!   --matrix <M>        quick | full | incremental | serve   [default: quick]
+//!   --matrix <M>        quick | full | incremental | serve | prep
+//!                       [default: quick]
 //!   --json              emit one JSONL row per instance to stdout
 //!   --corpus-dir <D>    where disagreement repros are written
 //!                       [default: fuzz/corpus]
@@ -31,6 +32,12 @@
 //! [`csat::core::Session`] or [`csat::cnf::Session`] and cross-checks every
 //! solve point against a fresh monolithic solver. Trajectory disagreements
 //! are replayed from the seed alone, so no corpus repro is written.
+//!
+//! `--matrix prep` runs the preprocessing differential: every instance is
+//! solved through `csat-prep` at `off`, `light` and `full` levels plus the
+//! CNF baseline, with SAT models lifted back through the reconstruction
+//! map and re-checked on the *original* netlist. Any verdict flip or
+//! invalid lifted model is a disagreement.
 //!
 //! `--matrix serve` switches to the daemon-protocol family: each iteration
 //! feeds one seed-derived batch of hostile JSONL frames — malformed,
@@ -57,7 +64,7 @@ use csat::types::parse_byte_size;
 fn usage() -> ! {
     eprintln!(
         "usage: csat-fuzz [--seed N] [--iters N] [--time-budget SECS]\n\
-         \x20               [--matrix quick|full|incremental|serve] [--json]\n\
+         \x20               [--matrix quick|full|incremental|serve|prep] [--json]\n\
          \x20               [--corpus-dir DIR]\n\
          \x20               [--conflict-budget N] [--mem-limit SIZE]\n\
          \x20               [--threads N]"

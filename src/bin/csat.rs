@@ -9,6 +9,8 @@
 //!   --output <NAME>     objective output (default: first output) = 1
 //!   --negate            ask for objective = 0 instead
 //!   --engine <E>        circuit | circuit-plain | cnf     [default: circuit]
+//!   --prep[=<L>]        preprocessing level: off | light | full
+//!                       (bare --prep means full)          [default: off]
 //!   --no-implicit       disable implicit correlation learning
 //!   --no-explicit       disable the explicit learning pass
 //!   --check-proof       verify UNSAT answers by reverse unit propagation
@@ -34,6 +36,17 @@
 //! `--check-proof` requires the sequential engine and is rejected with
 //! `--threads > 1` (parallel runs assemble no single proof log).
 //!
+//! With `--prep` the netlist first runs through the `csat-prep` pipeline
+//! (strash rebuild and cone pruning at `light`; plus simulation-guided
+//! SAT sweeping at `full`) under the same time/memory/cancel budget as
+//! the solve. The engines then solve the reduced netlist; SAT models are
+//! lifted back to the original inputs before printing (and before the
+//! final model check, which always runs against the original netlist).
+//! If preprocessing alone proves the objective constant, the verdict is
+//! reported without any kernel solve. `--check-proof` verifies the UNSAT
+//! proof against the netlist the kernel actually solved — the reduced
+//! one when `--prep` is active.
+//!
 //! Ctrl-C interrupts the solve cooperatively: the first strike yields
 //! `s UNKNOWN` (reason `cancelled`) with partial statistics and a clean
 //! exit; the second kills the process with status 130.
@@ -48,6 +61,7 @@ use csat::par::{
     run_cubes, solve_aig_portfolio, solve_cnf_cubes, solve_cnf_portfolio, CircuitCubeSolver,
     CubeOptions, ParMode, ParOutcome, PortfolioOptions,
 };
+use csat::prep::{PrepLevel, PrepOptions, PrepPipeline, PrepResult};
 use csat::sim::{find_correlations_observed, SimulationOptions};
 use csat::telemetry::{MetricsRecorder, NoOpObserver, Observer, ProgressObserver};
 use csat::types::parse_byte_size;
@@ -57,6 +71,7 @@ struct Options {
     output: Option<String>,
     negate: bool,
     engine: Engine,
+    prep: PrepLevel,
     implicit: bool,
     explicit_pass: bool,
     check_proof: bool,
@@ -80,6 +95,7 @@ enum Engine {
 fn usage() -> ! {
     eprintln!(
         "usage: csat [--output NAME] [--negate] [--engine circuit|circuit-plain|cnf]\n\
+         \x20           [--prep[=off|light|full]]\n\
          \x20           [--no-implicit] [--no-explicit] [--check-proof]\n\
          \x20           [--timeout SECS] [--mem-limit SIZE]\n\
          \x20           [--sim-words N] [--sim-threads N]\n\
@@ -96,6 +112,7 @@ fn parse_args() -> Options {
         output: None,
         negate: false,
         engine: Engine::Circuit,
+        prep: PrepLevel::Off,
         implicit: true,
         explicit_pass: true,
         check_proof: false,
@@ -108,9 +125,24 @@ fn parse_args() -> Options {
         threads: 1,
         par_mode: ParMode::Portfolio,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            // `--prep` alone means full; `--prep LEVEL` / `--prep=LEVEL`
+            // pick a level explicitly.
+            "--prep" => {
+                options.prep = match args.peek().map(|s| PrepLevel::parse(s)) {
+                    Some(Some(level)) => {
+                        args.next();
+                        level
+                    }
+                    _ => PrepLevel::Full,
+                }
+            }
+            prep_eq if prep_eq.starts_with("--prep=") => {
+                options.prep =
+                    PrepLevel::parse(&prep_eq["--prep=".len()..]).unwrap_or_else(|| usage());
+            }
             "--output" => options.output = Some(args.next().unwrap_or_else(|| usage())),
             "--negate" => options.negate = true,
             "--engine" => {
@@ -256,9 +288,60 @@ fn main() -> ExitCode {
         eprintln!("error: --check-proof requires the sequential engine (drop --threads)");
         return ExitCode::from(2);
     }
+    // Preprocessing runs under the same budget as the solve, so a timeout,
+    // memory limit or Ctrl-C mid-sweep charges the solve's budget and
+    // aborts cleanly (the pipeline keeps whatever sound reduction it had
+    // committed).
+    let prepped: Option<(PrepResult, Lit)> = if options.prep != PrepLevel::Off {
+        let pipeline = PrepPipeline::new(PrepOptions {
+            level: options.prep,
+            simulation: options.simulation,
+            ..PrepOptions::default()
+        });
+        let result = pipeline.run_under(&aig, &[objective], &budget, obs);
+        let s = &result.stats;
+        eprintln!(
+            "c prep({}): {} -> {} nodes ({} folded, {} pruned, {} of {} candidates merged)",
+            options.prep.name(),
+            s.nodes_before,
+            s.nodes_after,
+            s.strash_folded,
+            s.cones_pruned,
+            s.merged,
+            s.candidates
+        );
+        if let Some(reason) = s.interrupted {
+            eprintln!("c prep interrupted: {reason}");
+        }
+        let mapped = result
+            .map_lit(objective)
+            .expect("the objective is a preserved root");
+        Some((result, mapped))
+    } else {
+        None
+    };
+    let (solve_aig, solve_objective) = match &prepped {
+        Some((r, mapped)) => (&r.reduced, *mapped),
+        None => (&aig, objective),
+    };
+    // A constant objective needs no kernel solve (the usual case: full
+    // prep collapsed an equivalence miter). A constant-true objective is
+    // satisfied by every assignment — all-false over the reduced inputs,
+    // lifted below like any solver model.
+    let decided = if solve_objective == Lit::FALSE {
+        eprintln!("c objective is constant false — no kernel solve needed");
+        Some(Verdict::Unsat)
+    } else if solve_objective == Lit::TRUE {
+        eprintln!("c objective is constant true — no kernel solve needed");
+        Some(Verdict::Sat(vec![false; solve_aig.inputs().len()]))
+    } else {
+        None
+    };
     let mut par_metrics: Option<MetricsRecorder> = None;
-    let verdict = if options.threads > 1 {
-        let outcome = solve_parallel(&options, &aig, objective, &budget, obs);
+    let verdict = if let Some(v) = decided {
+        Some(v)
+    } else if options.threads > 1 {
+        let outcome = solve_parallel(&options, solve_aig, solve_objective, &budget, obs);
         eprintln!(
             "c parallel: {} workers ({:?}), winner {:?}, {} rounds total in {:?}",
             outcome.workers.len(),
@@ -282,19 +365,25 @@ fn main() -> ExitCode {
             // CNF-engine models come back over CNF variables; map them to
             // circuit inputs like the sequential path does.
             (Engine::Cnf, Verdict::Sat(model)) => {
-                let enc = csat::netlist::tseitin::encode_with_objective(&aig, objective);
-                Verdict::Sat(enc.input_values(&aig, &model))
+                let enc = csat::netlist::tseitin::encode_with_objective(solve_aig, solve_objective);
+                Verdict::Sat(enc.input_values(solve_aig, &model))
             }
             (_, v) => v,
         };
         par_metrics = Some(outcome.metrics);
         Some(verdict)
     } else {
-        solve_sequential(&options, &aig, objective, &budget, obs)
+        solve_sequential(&options, solve_aig, solve_objective, &budget, obs)
     };
     let verdict = match verdict {
         Some(v) => v,
         None => return ExitCode::from(3),
+    };
+    // Lift reduced-netlist models back onto the original inputs; the
+    // model check below always runs against the original netlist.
+    let verdict = match (verdict, &prepped) {
+        (Verdict::Sat(model), Some((r, _))) => Verdict::Sat(r.lift_model(&model)),
+        (v, _) => v,
     };
     let elapsed = start.elapsed();
     eprintln!("c solved in {elapsed:?}");

@@ -13,6 +13,9 @@
 //! * [`cnf`] — the ZChaff-class CNF CDCL baseline solver.
 //! * [`core`] — the circuit-based CDCL solver with J-node decisions and
 //!   implicit/explicit correlation-guided learning.
+//! * [`prep`] — the preprocessing pass pipeline: strash rebuild, constant
+//!   propagation, cone pruning and simulation-guided SAT sweeping, with a
+//!   reconstruction map lifting verdicts back to the original netlist.
 //! * [`fuzz`] — the deterministic differential-testing engine cross-checking
 //!   the full solver configuration matrix.
 //! * [`par`] — the parallel portfolio / cube-and-conquer layer.
@@ -48,6 +51,7 @@ pub use csat_core as core;
 pub use csat_fuzz as fuzz;
 pub use csat_netlist as netlist;
 pub use csat_par as par;
+pub use csat_prep as prep;
 pub use csat_serve as serve;
 pub use csat_sim as sim;
 pub use csat_telemetry as telemetry;
